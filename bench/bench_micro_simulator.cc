@@ -1,0 +1,165 @@
+// Microbenchmarks (google-benchmark) for the substrate itself: decoder,
+// encoder, CPU stepping, machine boot/restore, compile/assemble, and a
+// full injection run.  These quantify the cost model behind the
+// campaign harness.
+#include <benchmark/benchmark.h>
+
+#include "inject/injector.h"
+#include "inject/targets.h"
+#include "isa/decode.h"
+#include "isa/encode.h"
+#include "kasm/assembler.h"
+#include "kernel/build.h"
+#include "machine/machine.h"
+#include "minic/codegen.h"
+
+namespace {
+
+using namespace kfi;
+
+void BM_DecodeHotSequence(benchmark::State& state) {
+  // A representative compiled-code byte stream.
+  const std::uint8_t bytes[] = {0x55, 0x89, 0xE5, 0x8B, 0x45, 0x08, 0x50,
+                                0x8B, 0x45, 0x0C, 0x89, 0xC1, 0x58, 0x01,
+                                0xC8, 0xC9, 0xC3};
+  std::size_t pos = 0;
+  for (auto _ : state) {
+    isa::Instruction instr;
+    isa::decode(bytes + pos, sizeof bytes - pos, instr);
+    pos += instr.length;
+    if (pos >= sizeof bytes - isa::kMaxInstructionLength) pos = 0;
+    benchmark::DoNotOptimize(instr);
+  }
+}
+BENCHMARK(BM_DecodeHotSequence);
+
+void BM_EncodeMovRegImm(benchmark::State& state) {
+  isa::Instruction instr;
+  instr.op = isa::Op::Mov;
+  instr.dst = isa::Operand::make_reg(isa::Reg::Eax);
+  instr.src = isa::Operand::make_imm(0x12345678);
+  std::vector<std::uint8_t> out;
+  for (auto _ : state) {
+    out.clear();
+    isa::encode(instr, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_EncodeMovRegImm);
+
+void BM_AssembleFunction(benchmark::State& state) {
+  const char* src = R"(
+  .func f
+  f:
+    push %ebp
+    mov %esp, %ebp
+    mov 8(%ebp), %eax
+    add $4, %eax
+    cmp $100, %eax
+    jl out
+    mov $0, %eax
+  out:
+    leave
+    ret
+  .endfunc
+  )";
+  for (auto _ : state) {
+    kasm::AsmResult result = kasm::assemble(src, 0xC0105000);
+    benchmark::DoNotOptimize(result.unit.bytes.data());
+  }
+}
+BENCHMARK(BM_AssembleFunction);
+
+void BM_CompileMiniC(benchmark::State& state) {
+  const char* src = R"(
+    global counter = 0;
+    func bump(n) {
+      var i = 0;
+      while (i < n) {
+        counter = counter + i;
+        i = i + 1;
+      }
+      return counter;
+    }
+  )";
+  for (auto _ : state) {
+    minic::CompileResult result = minic::compile(src, "bench");
+    benchmark::DoNotOptimize(result.text_asm.data());
+  }
+}
+BENCHMARK(BM_CompileMiniC);
+
+void BM_CpuStepThroughput(benchmark::State& state) {
+  static machine::Machine* m = [] {
+    static disk::DiskImage disk_image = machine::make_root_disk();
+    auto* machine = new machine::Machine(
+        kernel::built_kernel(), workloads::built_workload("dhry"),
+        disk_image);
+    machine->boot();
+    return machine;
+  }();
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    m->restore();
+    state.ResumeTiming();
+    const std::uint64_t start = m->cpu().cycles();
+    m->run(200'000);
+    cycles += m->cpu().cycles() - start;
+  }
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CpuStepThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_MachineRestore(benchmark::State& state) {
+  static machine::Machine* m = [] {
+    static disk::DiskImage disk_image = machine::make_root_disk();
+    auto* machine = new machine::Machine(
+        kernel::built_kernel(), workloads::built_workload("syscall"),
+        disk_image);
+    machine->boot();
+    return machine;
+  }();
+  for (auto _ : state) {
+    m->restore();
+  }
+}
+BENCHMARK(BM_MachineRestore)->Unit(benchmark::kMillisecond);
+
+void BM_SingleInjectionRun(benchmark::State& state) {
+  static inject::Injector* injector = new inject::Injector();
+  static const inject::InjectionSpec spec = [] {
+    const kernel::KernelImage& image = kernel::built_kernel();
+    const kernel::KernelFunction* fn = image.function("pipe_read");
+    const auto sites = inject::enumerate_function(image, *fn);
+    inject::InjectionSpec s;
+    s.campaign = inject::Campaign::RandomNonBranch;
+    s.function = fn->name;
+    s.subsystem = fn->subsystem;
+    s.instr_addr = sites[1].addr;
+    s.instr_len = static_cast<std::uint8_t>(sites[1].bytes.size());
+    s.byte_index = 0;
+    s.bit_index = 2;
+    s.workload = "pipe";
+    return s;
+  }();
+  (void)injector->golden("pipe");  // warm outside the loop
+  for (auto _ : state) {
+    inject::InjectionResult result = injector->run_one(spec);
+    benchmark::DoNotOptimize(result.outcome);
+  }
+}
+BENCHMARK(BM_SingleInjectionRun)->Unit(benchmark::kMillisecond);
+
+void BM_KernelBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    kernel::BuildResult result = kernel::build_kernel();
+    benchmark::DoNotOptimize(result.image.segments.data());
+  }
+}
+BENCHMARK(BM_KernelBuild)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

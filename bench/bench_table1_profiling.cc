@@ -1,0 +1,28 @@
+// Table 1: function distribution among kernel modules, derived from
+// kernprof-style PC sampling while the UnixBench-analog workloads run.
+//
+// Paper: 403 profiled functions; the top 32 cover 95% of all profiling
+// values (arch 5, fs 12, kernel 5, mm 10 of the core 32).
+#include <cstdio>
+
+#include "analysis/render.h"
+#include "profile/profile.h"
+#include "support/strings.h"
+
+int main() {
+  const kfi::profile::ProfileResult& prof = kfi::profile::default_profile();
+  std::fputs(kfi::analysis::render_table1(prof, 0.95).c_str(), stdout);
+
+  std::printf("\nHottest kernel functions (kernprof analog):\n");
+  int rank = 1;
+  for (const kfi::profile::FunctionSamples& fs : prof.functions) {
+    if (rank > 20) break;
+    std::printf("  %2d. %-24s %-8s %8s samples  (best workload: %s)\n",
+                rank++, fs.function.c_str(),
+                std::string(kfi::kernel::subsystem_name(fs.subsystem)).c_str(),
+                kfi::with_commas(fs.samples).c_str(),
+                prof.best_workload(fs.function).c_str());
+  }
+  std::printf("\npaper: top 32 of 403 profiled functions cover 95%%\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Table 5 / §7.1: crash severity, the most-severe inventory, and the
+// availability arithmetic the paper closes the section with.
+//
+// Paper: of 9,600 dumped crashes, all but 34 reboot automatically; 25
+// are "severe" (manual fsck) and 9 are "most severe" (reformat, ~1 h).
+// 8 of the 9 most-severe cases come from campaign C.
+#include <cstdio>
+
+#include "analysis/io.h"
+#include "analysis/render.h"
+
+int main(int argc, char** argv) {
+  using namespace kfi;
+  const analysis::BenchOptions options =
+      analysis::parse_bench_options(argc, argv);
+
+  inject::Injector injector;
+  std::uint64_t most_severe_by_campaign[3] = {};
+  int index = 0;
+  for (const inject::Campaign campaign :
+       {inject::Campaign::RandomNonBranch, inject::Campaign::RandomBranch,
+        inject::Campaign::IncorrectBranch}) {
+    const inject::CampaignRun run =
+        analysis::bench_campaign(injector, campaign, options);
+    const analysis::SeveritySummary summary = analysis::make_severity(run);
+    std::fputs(analysis::render_severity(run, summary).c_str(), stdout);
+    most_severe_by_campaign[index++] = summary.most_severe;
+    std::printf("\n");
+  }
+
+  std::printf("most-severe crashes per campaign: A=%llu B=%llu C=%llu\n",
+              static_cast<unsigned long long>(most_severe_by_campaign[0]),
+              static_cast<unsigned long long>(most_severe_by_campaign[1]),
+              static_cast<unsigned long long>(most_severe_by_campaign[2]));
+  std::printf(
+      "paper: 9 most-severe of ~9,600 dumped crashes; 8 of 9 from\n"
+      "campaign C (reversed branches corrupting fs metadata)\n\n");
+  std::printf(
+      "availability arithmetic (paper §7.1): at 5 nines (5 min/yr)\n"
+      "one most-severe crash (~55 min) is allowed every ~11 years, one\n"
+      "severe (~6 min) every ~1.2 years, one normal reboot (~4 min)\n"
+      "every ~0.8 years.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Table 6: case studies of Not Manifested errors in the Random Branch
+// campaign — corrupted branches whose new condition evaluates the same
+// way, or corruptions absorbed by downstream code.
+#include <cstdio>
+
+#include "analysis/io.h"
+#include "analysis/render.h"
+#include "support/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace kfi;
+  const analysis::BenchOptions options =
+      analysis::parse_bench_options(argc, argv);
+
+  inject::Injector injector;
+  const inject::CampaignRun run = analysis::bench_campaign(
+      injector, inject::Campaign::RandomBranch, options);
+
+  std::printf(
+      "Table 6: Causes of Not Manifested Errors in the Random Branch "
+      "Error Injection Campaign\n"
+      "--------------------------------------------------------------\n");
+  int shown = 0;
+  for (const inject::InjectionResult& r : run.results) {
+    if (r.outcome != inject::Outcome::NotManifested) continue;
+    if (r.disasm_before == r.disasm_after) continue;
+    std::printf("  %2d. %-22s %-8s @%s\n", ++shown, r.spec.function.c_str(),
+                std::string(kernel::subsystem_name(r.spec.subsystem)).c_str(),
+                hex32(r.spec.instr_addr).c_str());
+    std::printf("      before: %-28s after: %s\n", r.disasm_before.c_str(),
+                r.disasm_after.c_str());
+    if (shown >= 12) break;
+  }
+  if (shown == 0) {
+    std::printf("  (no not-manifested branch corruptions in this run; "
+                "increase --scale)\n");
+  }
+
+  std::uint64_t nm = 0;
+  std::uint64_t activated = 0;
+  for (const inject::InjectionResult& r : run.results) {
+    if (r.outcome == inject::Outcome::NotActivated) continue;
+    ++activated;
+    if (r.outcome == inject::Outcome::NotManifested) ++nm;
+  }
+  std::printf(
+      "\nnot manifested: %s of %s activated branch errors (%s)\n",
+      with_commas(nm).c_str(), with_commas(activated).c_str(),
+      percent(static_cast<double>(nm), static_cast<double>(activated))
+          .c_str());
+  std::printf(
+      "paper: 47.5%% of activated random-branch errors are not\n"
+      "manifested — typically the corrupted condition evaluates the\n"
+      "same way (e.g. je -> jl with both not taken)\n");
+  return 0;
+}

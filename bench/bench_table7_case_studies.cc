@@ -1,0 +1,76 @@
+// Table 7: example case studies of the dominant crash causes — for each
+// cause, a representative injection with its before/after disassembly,
+// the paper-style oops line, and the measured latency.
+#include <cstdio>
+
+#include <map>
+
+#include "analysis/io.h"
+#include "analysis/render.h"
+#include "support/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace kfi;
+  const analysis::BenchOptions options =
+      analysis::parse_bench_options(argc, argv);
+
+  inject::Injector injector;
+
+  // Collect one representative crash per cause, preferring short
+  // latencies (as the paper's examples are).
+  std::map<inject::CrashCause, const inject::InjectionResult*> examples;
+  std::vector<inject::CampaignRun> runs;
+  for (const inject::Campaign campaign :
+       {inject::Campaign::RandomNonBranch, inject::Campaign::RandomBranch,
+        inject::Campaign::IncorrectBranch}) {
+    runs.push_back(analysis::bench_campaign(injector, campaign, options));
+  }
+  for (const inject::CampaignRun& run : runs) {
+    for (const inject::InjectionResult& r : run.results) {
+      if (r.outcome != inject::Outcome::DumpedCrash) continue;
+      const auto it = examples.find(r.cause);
+      if (it == examples.end() ||
+          r.latency_cycles < it->second->latency_cycles) {
+        examples[r.cause] = &r;
+      }
+    }
+  }
+
+  std::printf(
+      "Table 7: Example Case Studies of Crash Causes\n"
+      "--------------------------------------------------------------\n");
+  int case_no = 1;
+  for (const auto& [cause, r] : examples) {
+    std::printf("%d. campaign %s, %s:%s @%s (workload %s)\n", case_no++,
+                std::string(inject::campaign_name(r->spec.campaign)).c_str(),
+                std::string(kernel::subsystem_name(r->spec.subsystem))
+                    .c_str(),
+                r->spec.function.c_str(), hex32(r->spec.instr_addr).c_str(),
+                r->spec.workload.c_str());
+    std::printf("   before: %s\n", r->disasm_before.c_str());
+    std::printf("   after : %s   (byte %u, bit %u flipped)\n",
+                r->disasm_after.c_str(), r->spec.byte_index,
+                r->spec.bit_index);
+    if (cause == inject::CrashCause::NullPointer ||
+        cause == inject::CrashCause::PagingRequest) {
+      std::printf("   oops  : %s at virtual address %s (eip %s)\n",
+                  std::string(inject::crash_cause_name(cause)).c_str(),
+                  hex32(r->crash_addr).c_str(), hex32(r->crash_eip).c_str());
+    } else {
+      std::printf("   oops  : %s (eip %s)\n",
+                  std::string(inject::crash_cause_name(cause)).c_str(),
+                  hex32(r->crash_eip).c_str());
+    }
+    std::printf("   crash in %s, latency %s cycles%s\n",
+                std::string(kernel::subsystem_name(r->crash_subsystem))
+                    .c_str(),
+                with_commas(r->latency_cycles).c_str(),
+                r->propagated ? "  [propagated]" : "");
+  }
+  std::printf(
+      "\npaper's four examples: reversed jne -> NULL dereference;\n"
+      "shortened mov re-sequencing the byte stream -> paging request;\n"
+      "mov corrupted to lret -> general protection fault; reversed\n"
+      "assertion branch -> ud2a invalid opcode\n");
+  return 0;
+}

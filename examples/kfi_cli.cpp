@@ -1,0 +1,219 @@
+// kfi_cli — a command-line front end over the whole library, the tool a
+// downstream user drives experiments with.
+//
+//   kfi_cli workloads
+//   kfi_cli functions [subsystem]
+//   kfi_cli disasm <function>
+//   kfi_cli profile [top-n]
+//   kfi_cli inject <function> <instr-index> <byte> <bit> [workload]
+//   kfi_cli campaign <A|B|C> [function ...]
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/aggregate.h"
+#include "analysis/io.h"
+#include "analysis/render.h"
+#include "analysis/report.h"
+#include "inject/campaign.h"
+#include "inject/targets.h"
+#include "machine/kdb.h"
+#include "profile/profile.h"
+#include "support/strings.h"
+
+namespace {
+
+using namespace kfi;
+
+int usage() {
+  std::printf(
+      "usage: kfi_cli <command> [args]\n"
+      "  workloads                 list the benchmark workloads\n"
+      "  functions [subsystem]     list kernel functions (optionally one\n"
+      "                            subsystem: arch fs kernel mm drivers\n"
+      "                            lib ipc net)\n"
+      "  disasm <function>         disassemble a kernel function\n"
+      "  profile [top-n]           kernprof-style profile (default 15)\n"
+      "  inject <fn> <i> <byte> <bit> [workload]\n"
+      "                            flip one bit in instruction #i of fn\n"
+      "  campaign <A|B|C> [fn...]  run a campaign (default: paper's\n"
+      "                            function selection)\n"
+      "  report [out.md]           run/load all campaigns and write a\n"
+      "                            markdown report\n");
+  return 2;
+}
+
+int cmd_workloads() {
+  for (const workloads::Workload& w : workloads::all_workloads()) {
+    std::printf("%-10s exercises: %s\n", w.name.c_str(), w.exercises.c_str());
+  }
+  return 0;
+}
+
+int cmd_functions(int argc, char** argv) {
+  const std::string filter = argc > 2 ? argv[2] : "";
+  for (const kernel::KernelFunction& fn : kernel::built_kernel().functions) {
+    const std::string subsystem(kernel::subsystem_name(fn.subsystem));
+    if (!filter.empty() && subsystem != filter) continue;
+    std::printf("%-8s %s..%s  %s\n", subsystem.c_str(),
+                hex32(fn.start).c_str(), hex32(fn.end).c_str(),
+                fn.name.c_str());
+  }
+  return 0;
+}
+
+int cmd_disasm(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const disk::DiskImage root_disk = machine::make_root_disk();
+  machine::Machine machine(kernel::built_kernel(),
+                           workloads::built_workload("syscall"), root_disk);
+  if (!machine.boot()) return 1;
+  machine::Kdb kdb(machine);
+  std::fputs(kdb.disassemble_function(argv[2]).c_str(), stdout);
+  return 0;
+}
+
+int cmd_profile(int argc, char** argv) {
+  const int top = argc > 2 ? std::atoi(argv[2]) : 15;
+  const profile::ProfileResult& prof = profile::default_profile();
+  std::fputs(analysis::render_table1(prof, 0.95).c_str(), stdout);
+  std::printf("\n");
+  int rank = 1;
+  for (const profile::FunctionSamples& fs : prof.functions) {
+    if (rank > top) break;
+    std::printf("%3d. %-26s %-8s %8s samples\n", rank++,
+                fs.function.c_str(),
+                std::string(kernel::subsystem_name(fs.subsystem)).c_str(),
+                with_commas(fs.samples).c_str());
+  }
+  return 0;
+}
+
+int cmd_inject(int argc, char** argv) {
+  if (argc < 6) return usage();
+  const kernel::KernelImage& image = kernel::built_kernel();
+  const kernel::KernelFunction* fn = image.function(argv[2]);
+  if (fn == nullptr) {
+    std::printf("unknown function '%s'\n", argv[2]);
+    return 1;
+  }
+  const auto sites = inject::enumerate_function(image, *fn);
+  const int index = std::atoi(argv[3]);
+  if (index < 0 || static_cast<std::size_t>(index) >= sites.size()) {
+    std::printf("instruction index out of range (0..%zu)\n",
+                sites.size() - 1);
+    return 1;
+  }
+  inject::InjectionSpec spec;
+  spec.function = fn->name;
+  spec.subsystem = fn->subsystem;
+  spec.instr_addr = sites[static_cast<std::size_t>(index)].addr;
+  spec.instr_len = static_cast<std::uint8_t>(
+      sites[static_cast<std::size_t>(index)].bytes.size());
+  spec.byte_index = static_cast<std::uint8_t>(std::atoi(argv[4]));
+  spec.bit_index = static_cast<std::uint8_t>(std::atoi(argv[5]));
+  if (spec.byte_index >= spec.instr_len) {
+    std::printf("byte index out of range (instruction is %u bytes)\n",
+                spec.instr_len);
+    return 1;
+  }
+  spec.workload = argc > 6 ? argv[6]
+                           : profile::default_profile().best_workload(
+                                 fn->name);
+  if (spec.workload.empty()) spec.workload = "syscall";
+
+  inject::Injector injector;
+  const inject::InjectionResult result = injector.run_one(spec);
+  std::printf("target   : %s @%s (%s), workload %s\n", fn->name.c_str(),
+              hex32(spec.instr_addr).c_str(),
+              std::string(kernel::subsystem_name(fn->subsystem)).c_str(),
+              spec.workload.c_str());
+  std::printf("before   : %s\n", result.disasm_before.c_str());
+  std::printf("after    : %s\n", result.disasm_after.c_str());
+  std::printf("outcome  : %s\n",
+              std::string(inject::outcome_name(result.outcome)).c_str());
+  if (result.outcome == inject::Outcome::DumpedCrash) {
+    std::printf("cause    : %s\n",
+                std::string(inject::crash_cause_name(result.cause)).c_str());
+    std::printf("crash in : %s (eip %s), latency %s cycles%s\n",
+                std::string(kernel::subsystem_name(result.crash_subsystem))
+                    .c_str(),
+                hex32(result.crash_eip).c_str(),
+                with_commas(result.latency_cycles).c_str(),
+                result.propagated ? " [propagated]" : "");
+    std::printf("severity : %s\n",
+                std::string(inject::severity_name(result.severity)).c_str());
+  }
+  return 0;
+}
+
+int cmd_campaign(int argc, char** argv) {
+  if (argc < 3) return usage();
+  inject::CampaignConfig config;
+  switch (argv[2][0]) {
+    case 'A': config.campaign = inject::Campaign::RandomNonBranch; break;
+    case 'B': config.campaign = inject::Campaign::RandomBranch; break;
+    case 'C': config.campaign = inject::Campaign::IncorrectBranch; break;
+    default: return usage();
+  }
+  for (int i = 3; i < argc; ++i) config.functions.emplace_back(argv[i]);
+  config.progress = [](std::size_t done, std::size_t total) {
+    if (done % 200 == 0 || done == total) {
+      std::fprintf(stderr, "\r%zu/%zu", done, total);
+      if (done == total) std::fprintf(stderr, "\n");
+    }
+  };
+  inject::Injector injector;
+  const inject::CampaignRun run =
+      inject::run_campaign(injector, profile::default_profile(), config);
+  std::fputs(analysis::render_outcome_table(analysis::make_outcome_table(run))
+                 .c_str(),
+             stdout);
+  std::printf("\n");
+  std::fputs(
+      analysis::render_crash_causes(analysis::make_crash_causes(run)).c_str(),
+      stdout);
+  return 0;
+}
+
+int cmd_report(int argc, char** argv) {
+  const char* path = argc > 2 ? argv[2] : "kfi-results/report.md";
+  inject::Injector injector;
+  analysis::BenchOptions options;
+  const inject::CampaignRun a = analysis::bench_campaign(
+      injector, inject::Campaign::RandomNonBranch, options);
+  const inject::CampaignRun b = analysis::bench_campaign(
+      injector, inject::Campaign::RandomBranch, options);
+  const inject::CampaignRun c = analysis::bench_campaign(
+      injector, inject::Campaign::IncorrectBranch, options);
+  analysis::ReportInputs inputs;
+  inputs.profile = &profile::default_profile();
+  inputs.campaigns = {&a, &b, &c};
+  inputs.title = "kfi campaign report (DSN'03 reproduction)";
+  const std::string md = analysis::render_markdown_report(inputs);
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::printf("cannot open %s\n", path);
+    return 1;
+  }
+  std::fputs(md.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s (%zu bytes)\n", path, md.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  if (command == "workloads") return cmd_workloads();
+  if (command == "functions") return cmd_functions(argc, argv);
+  if (command == "disasm") return cmd_disasm(argc, argv);
+  if (command == "profile") return cmd_profile(argc, argv);
+  if (command == "inject") return cmd_inject(argc, argv);
+  if (command == "campaign") return cmd_campaign(argc, argv);
+  if (command == "report") return cmd_report(argc, argv);
+  return usage();
+}

@@ -1,0 +1,69 @@
+// run_workload: boot the simulated machine and run one of the
+// UnixBench-analog benchmarks to completion, showing its console output
+// and kernel statistics — the fault-free substrate by itself.
+//
+//   $ ./examples/run_workload [name]        (default: fstime)
+//   $ ./examples/run_workload --list
+#include <cstdio>
+#include <cstring>
+
+#include "fsutil/kfs.h"
+#include "machine/machine.h"
+#include "support/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace kfi;
+
+  std::string name = "fstime";
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "--list") == 0) {
+      for (const workloads::Workload& w : workloads::all_workloads()) {
+        std::printf("%-10s exercises: %s\n", w.name.c_str(),
+                    w.exercises.c_str());
+      }
+      return 0;
+    }
+    name = argv[1];
+  }
+  if (workloads::find_workload(name) == nullptr) {
+    std::printf("unknown workload '%s' (try --list)\n", name.c_str());
+    return 1;
+  }
+
+  const disk::DiskImage root_disk = machine::make_root_disk();
+  machine::Machine machine(kernel::built_kernel(),
+                           workloads::built_workload(name), root_disk);
+  if (!machine.boot()) {
+    std::printf("kernel failed to boot:\n%s\n",
+                machine.console_output().c_str());
+    return 1;
+  }
+
+  const std::uint64_t start = machine.cpu().cycles();
+  const machine::RunResult result = machine.run(100'000'000);
+
+  std::printf("---- console ----\n%s-----------------\n",
+              machine.console_output().c_str());
+  switch (result.exit) {
+    case machine::RunExit::Completed:
+      std::printf("completed, exit code %u\n", result.exit_code >> 8);
+      break;
+    case machine::RunExit::Crashed:
+      std::printf("kernel crashed: cause %u at %s\n", result.crash.cause,
+                  hex32(result.crash.fault_addr).c_str());
+      break;
+    default:
+      std::printf("did not complete (watchdog)\n");
+      break;
+  }
+  std::printf("cycles executed : %s\n",
+              with_commas(machine.cpu().cycles() - start).c_str());
+  const fsutil::FsckReport report = fsutil::fsck(machine.disk_image());
+  std::printf("fsck            : %s\n",
+              report.verdict == fsutil::FsckVerdict::Clean ? "clean"
+                                                           : "DAMAGED");
+  std::printf("fs tree digest  : %016llx\n",
+              static_cast<unsigned long long>(
+                  fsutil::tree_digest(machine.disk_image())));
+  return result.exit == machine::RunExit::Completed ? 0 : 1;
+}

@@ -1,0 +1,162 @@
+#include "analysis/aggregate.h"
+
+#include <set>
+
+namespace kfi::analysis {
+
+using inject::Campaign;
+using inject::CampaignRun;
+using inject::CrashCause;
+using inject::InjectionResult;
+using inject::Outcome;
+using kernel::Subsystem;
+
+const std::vector<Subsystem>& table_subsystems() {
+  static const std::vector<Subsystem> subsystems = {
+      Subsystem::Arch, Subsystem::Fs, Subsystem::Kernel, Subsystem::Mm};
+  return subsystems;
+}
+
+OutcomeTable make_outcome_table(const CampaignRun& run) {
+  OutcomeTable table;
+  table.campaign = run.campaign;
+
+  std::map<Subsystem, OutcomeRow> rows;
+  std::map<Subsystem, std::set<std::string>> functions;
+  for (const Subsystem s : table_subsystems()) {
+    rows[s].subsystem = s;
+  }
+
+  for (const InjectionResult& r : run.results) {
+    OutcomeRow& row = rows[r.spec.subsystem];
+    row.subsystem = r.spec.subsystem;
+    functions[r.spec.subsystem].insert(r.spec.function);
+    ++row.injected;
+    if (r.outcome == Outcome::NotActivated) continue;
+    ++row.activated;
+    switch (r.outcome) {
+      case Outcome::NotManifested: ++row.not_manifested; break;
+      case Outcome::FailSilenceViolation: ++row.fail_silence; break;
+      case Outcome::DumpedCrash:
+        ++row.crash_hang;
+        ++table.dumped_crash;
+        break;
+      case Outcome::HangUnknown:
+        ++row.crash_hang;
+        ++table.hang_unknown;
+        break;
+      default: break;
+    }
+  }
+
+  for (const Subsystem s : table_subsystems()) {
+    OutcomeRow row = rows[s];
+    row.functions = functions[s].size();
+    table.rows.push_back(row);
+  }
+  // Fold any remaining subsystems (drivers/lib/ipc) into the total only.
+  table.total.subsystem = Subsystem::Unknown;
+  for (const auto& [subsystem, row] : rows) {
+    table.total.functions += functions[subsystem].size();
+    table.total.injected += row.injected;
+    table.total.activated += row.activated;
+    table.total.not_manifested += row.not_manifested;
+    table.total.fail_silence += row.fail_silence;
+    table.total.crash_hang += row.crash_hang;
+  }
+  return table;
+}
+
+double CrashCauseDistribution::top4_share() const {
+  if (total == 0) return 0.0;
+  std::uint64_t top4 = 0;
+  for (const CrashCause cause :
+       {CrashCause::NullPointer, CrashCause::PagingRequest,
+        CrashCause::InvalidOpcode, CrashCause::GpFault}) {
+    const auto it = counts.find(cause);
+    if (it != counts.end()) top4 += it->second;
+  }
+  return static_cast<double>(top4) / static_cast<double>(total);
+}
+
+CrashCauseDistribution make_crash_causes(const CampaignRun& run) {
+  CrashCauseDistribution dist;
+  dist.campaign = run.campaign;
+  for (const InjectionResult& r : run.results) {
+    if (r.outcome != Outcome::DumpedCrash) continue;
+    ++dist.counts[r.cause];
+    ++dist.total;
+  }
+  return dist;
+}
+
+LatencyDistribution make_latency(const CampaignRun& run) {
+  LatencyDistribution dist;
+  dist.campaign = run.campaign;
+  for (const Subsystem s : table_subsystems()) {
+    dist.by_subsystem.emplace(s, Histogram::latency_decades());
+  }
+  for (const InjectionResult& r : run.results) {
+    if (r.outcome != Outcome::DumpedCrash) continue;
+    dist.overall.add(r.latency_cycles);
+    const auto it = dist.by_subsystem.find(r.spec.subsystem);
+    if (it != dist.by_subsystem.end()) it->second.add(r.latency_cycles);
+  }
+  return dist;
+}
+
+double PropagationGraph::self_share() const {
+  if (total_crashes == 0) return 0.0;
+  for (const PropagationEdge& edge : edges) {
+    if (edge.to == from) {
+      return static_cast<double>(edge.crashes) /
+             static_cast<double>(total_crashes);
+    }
+  }
+  return 0.0;
+}
+
+PropagationGraph make_propagation(const CampaignRun& run, Subsystem from) {
+  PropagationGraph graph;
+  graph.campaign = run.campaign;
+  graph.from = from;
+
+  std::map<Subsystem, PropagationEdge> edges;
+  for (const InjectionResult& r : run.results) {
+    if (r.outcome != Outcome::DumpedCrash) continue;
+    if (r.spec.subsystem != from) continue;
+    PropagationEdge& edge = edges[r.crash_subsystem];
+    edge.from = from;
+    edge.to = r.crash_subsystem;
+    ++edge.crashes;
+    ++edge.causes[r.cause];
+    ++graph.total_crashes;
+  }
+  for (auto& [to, edge] : edges) graph.edges.push_back(std::move(edge));
+  return graph;
+}
+
+SeveritySummary make_severity(const CampaignRun& run) {
+  SeveritySummary summary;
+  for (std::size_t i = 0; i < run.results.size(); ++i) {
+    const InjectionResult& r = run.results[i];
+    if (r.severity == inject::Severity::NotApplicable) continue;
+    summary.total_downtime_seconds +=
+        inject::severity_downtime_seconds(r.severity);
+    switch (r.severity) {
+      case inject::Severity::Normal: ++summary.normal; break;
+      case inject::Severity::Severe:
+        ++summary.severe;
+        summary.severe_indices.push_back(i);
+        break;
+      case inject::Severity::MostSevere:
+        ++summary.most_severe;
+        summary.most_severe_indices.push_back(i);
+        break;
+      default: break;
+    }
+  }
+  return summary;
+}
+
+}  // namespace kfi::analysis

@@ -1,0 +1,97 @@
+// Aggregation of injection results into the paper's tables and figures.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "inject/campaign.h"
+#include "inject/outcome.h"
+#include "support/histogram.h"
+
+namespace kfi::analysis {
+
+// The four subsystems the paper's tables break out.
+const std::vector<kernel::Subsystem>& table_subsystems();
+
+// ---- Figure 4: outcome statistics ----
+
+struct OutcomeRow {
+  kernel::Subsystem subsystem = kernel::Subsystem::Unknown;
+  std::size_t functions = 0;  // distinct functions injected (and activated set)
+  std::uint64_t injected = 0;
+  std::uint64_t activated = 0;
+  std::uint64_t not_manifested = 0;
+  std::uint64_t fail_silence = 0;
+  std::uint64_t crash_hang = 0;  // dumped crash + hang/unknown
+};
+
+struct OutcomeTable {
+  inject::Campaign campaign = inject::Campaign::RandomNonBranch;
+  std::vector<OutcomeRow> rows;  // one per table subsystem, in order
+  OutcomeRow total;
+  // Overall distribution (the pie chart): over activated errors.
+  std::uint64_t dumped_crash = 0;
+  std::uint64_t hang_unknown = 0;
+};
+
+OutcomeTable make_outcome_table(const inject::CampaignRun& run);
+
+// ---- Figure 6: crash-cause distribution ----
+
+struct CrashCauseDistribution {
+  inject::Campaign campaign = inject::Campaign::RandomNonBranch;
+  std::map<inject::CrashCause, std::uint64_t> counts;
+  std::uint64_t total = 0;
+  // Share covered by the four dominant causes (the paper's 95% claim).
+  double top4_share() const;
+};
+
+CrashCauseDistribution make_crash_causes(const inject::CampaignRun& run);
+
+// ---- Figure 7: crash latency ----
+
+struct LatencyDistribution {
+  inject::Campaign campaign = inject::Campaign::RandomNonBranch;
+  std::map<kernel::Subsystem, Histogram> by_subsystem;
+  Histogram overall = Histogram::latency_decades();
+};
+
+LatencyDistribution make_latency(const inject::CampaignRun& run);
+
+// ---- Figure 8: error propagation ----
+
+struct PropagationEdge {
+  kernel::Subsystem from = kernel::Subsystem::Unknown;
+  kernel::Subsystem to = kernel::Subsystem::Unknown;
+  std::uint64_t crashes = 0;
+  std::map<inject::CrashCause, std::uint64_t> causes;
+};
+
+struct PropagationGraph {
+  inject::Campaign campaign = inject::Campaign::RandomNonBranch;
+  kernel::Subsystem from = kernel::Subsystem::Unknown;
+  std::uint64_t total_crashes = 0;
+  std::vector<PropagationEdge> edges;  // including the self edge
+  double self_share() const;           // fraction crashing in `from`
+};
+
+PropagationGraph make_propagation(const inject::CampaignRun& run,
+                                  kernel::Subsystem from);
+
+// ---- Table 5 / §7.1: crash severity ----
+
+struct SeveritySummary {
+  std::uint64_t normal = 0;
+  std::uint64_t severe = 0;
+  std::uint64_t most_severe = 0;
+  // Indices into the campaign's results for severe+ cases.
+  std::vector<std::size_t> severe_indices;
+  std::vector<std::size_t> most_severe_indices;
+  // Modeled downtime across all crashes, in seconds.
+  std::uint64_t total_downtime_seconds = 0;
+};
+
+SeveritySummary make_severity(const inject::CampaignRun& run);
+
+}  // namespace kfi::analysis

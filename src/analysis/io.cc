@@ -1,0 +1,239 @@
+#include "analysis/io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "kernel/build.h"
+#include "support/strings.h"
+
+namespace kfi::analysis {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4B464931;  // "KFI1"
+constexpr std::uint32_t kVersion = 4;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.append(reinterpret_cast<const char*>(&v), 4);
+}
+void put_u64(std::string& out, std::uint64_t v) {
+  out.append(reinterpret_cast<const char*>(&v), 8);
+}
+void put_str(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+struct Reader {
+  const std::string& data;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  std::uint32_t u32() {
+    if (pos + 4 > data.size()) {
+      ok = false;
+      return 0;
+    }
+    std::uint32_t v;
+    std::memcpy(&v, data.data() + pos, 4);
+    pos += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    if (pos + 8 > data.size()) {
+      ok = false;
+      return 0;
+    }
+    std::uint64_t v;
+    std::memcpy(&v, data.data() + pos, 8);
+    pos += 8;
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (!ok || pos + n > data.size()) {
+      ok = false;
+      return "";
+    }
+    std::string s = data.substr(pos, n);
+    pos += n;
+    return s;
+  }
+};
+
+}  // namespace
+
+bool save_campaign(const inject::CampaignRun& run, const std::string& path) {
+  std::string out;
+  put_u32(out, kMagic);
+  put_u32(out, kVersion);
+  put_u32(out, static_cast<std::uint32_t>(run.campaign));
+  put_u64(out, run.functions_targeted);
+  put_u64(out, run.results.size());
+  for (const inject::InjectionResult& r : run.results) {
+    put_u32(out, static_cast<std::uint32_t>(r.spec.campaign));
+    put_str(out, r.spec.function);
+    put_u32(out, static_cast<std::uint32_t>(r.spec.subsystem));
+    put_u32(out, r.spec.instr_addr);
+    put_u32(out, r.spec.instr_len);
+    put_u32(out, r.spec.byte_index);
+    put_u32(out, r.spec.bit_index);
+    put_str(out, r.spec.workload);
+    put_u32(out, static_cast<std::uint32_t>(r.outcome));
+    put_u64(out, r.activation_cycle);
+    put_u32(out, static_cast<std::uint32_t>(r.cause));
+    put_u32(out, r.crash_eip);
+    put_u32(out, r.crash_addr);
+    put_u32(out, static_cast<std::uint32_t>(r.crash_subsystem));
+    put_u32(out, r.propagated ? 1 : 0);
+    put_u64(out, r.latency_cycles);
+    put_u32(out, static_cast<std::uint32_t>(r.severity));
+    put_u32(out, r.fs_damaged ? 1 : 0);
+    put_u32(out, r.bootable ? 1 : 0);
+    put_u32(out, r.repair_verified ? 1 : 0);
+    put_str(out, r.disasm_before);
+    put_str(out, r.disasm_after);
+  }
+
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return false;
+  file.write(out.data(), static_cast<std::streamsize>(out.size()));
+  return file.good();
+}
+
+std::optional<inject::CampaignRun> load_campaign(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return std::nullopt;
+  std::string data((std::istreambuf_iterator<char>(file)),
+                   std::istreambuf_iterator<char>());
+  Reader reader{data};
+  if (reader.u32() != kMagic || reader.u32() != kVersion) {
+    return std::nullopt;
+  }
+
+  inject::CampaignRun run;
+  run.campaign = static_cast<inject::Campaign>(reader.u32());
+  run.functions_targeted = static_cast<std::size_t>(reader.u64());
+  const std::uint64_t count = reader.u64();
+  if (!reader.ok || count > 100'000'000) return std::nullopt;
+  run.results.reserve(count);
+  for (std::uint64_t i = 0; i < count && reader.ok; ++i) {
+    inject::InjectionResult r;
+    r.spec.campaign = static_cast<inject::Campaign>(reader.u32());
+    r.spec.function = reader.str();
+    r.spec.subsystem = static_cast<kernel::Subsystem>(reader.u32());
+    r.spec.instr_addr = reader.u32();
+    r.spec.instr_len = static_cast<std::uint8_t>(reader.u32());
+    r.spec.byte_index = static_cast<std::uint8_t>(reader.u32());
+    r.spec.bit_index = static_cast<std::uint8_t>(reader.u32());
+    r.spec.workload = reader.str();
+    r.outcome = static_cast<inject::Outcome>(reader.u32());
+    r.activation_cycle = reader.u64();
+    r.cause = static_cast<inject::CrashCause>(reader.u32());
+    r.crash_eip = reader.u32();
+    r.crash_addr = reader.u32();
+    r.crash_subsystem = static_cast<kernel::Subsystem>(reader.u32());
+    r.propagated = reader.u32() != 0;
+    r.latency_cycles = reader.u64();
+    r.severity = static_cast<inject::Severity>(reader.u32());
+    r.fs_damaged = reader.u32() != 0;
+    r.bootable = reader.u32() != 0;
+    r.repair_verified = reader.u32() != 0;
+    r.disasm_before = reader.str();
+    r.disasm_after = reader.str();
+    run.results.push_back(std::move(r));
+  }
+  if (!reader.ok) return std::nullopt;
+  return run;
+}
+
+inject::CampaignRun load_or_run_campaign(inject::Injector& injector,
+                                         inject::Campaign campaign,
+                                         int repeats, std::uint64_t seed,
+                                         const std::string& cache_dir,
+                                         bool verbose) {
+  std::string path;
+  if (!cache_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(cache_dir, ec);
+    // The cache is only valid for the kernel image it was produced
+    // from; fingerprint the image into the file name.
+    std::uint64_t fingerprint = 1469598103934665603ULL;
+    for (const kernel::LoadSegment& segment :
+         kernel::built_kernel().segments) {
+      for (const std::uint8_t byte : segment.bytes) {
+        fingerprint = (fingerprint ^ byte) * 1099511628211ULL;
+      }
+    }
+    path = cache_dir + "/campaign_" +
+           std::string(inject::campaign_name(campaign)) + "_r" +
+           std::to_string(repeats) + "_s" + std::to_string(seed) + "_k" +
+           format("%08x", static_cast<std::uint32_t>(fingerprint)) + ".kfi";
+    if (auto cached = load_campaign(path)) {
+      if (verbose) {
+        std::fprintf(stderr, "[kfi] campaign %s: loaded %zu results from %s\n",
+                     std::string(inject::campaign_name(campaign)).c_str(),
+                     cached->results.size(), path.c_str());
+      }
+      return std::move(*cached);
+    }
+  }
+
+  inject::CampaignConfig config;
+  config.campaign = campaign;
+  config.repeats = repeats;
+  config.seed = seed;
+  if (verbose) {
+    config.progress = [campaign](std::size_t done, std::size_t total) {
+      if (done % 500 == 0 || done == total) {
+        std::fprintf(stderr, "[kfi] campaign %s: %zu/%zu\r",
+                     std::string(inject::campaign_name(campaign)).c_str(),
+                     done, total);
+        if (done == total) std::fprintf(stderr, "\n");
+      }
+    };
+  }
+  inject::CampaignRun run =
+      inject::run_campaign(injector, profile::default_profile(), config);
+  if (!path.empty()) save_campaign(run, path);
+  return run;
+}
+
+BenchOptions parse_bench_options(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--scale" && i + 1 < argc) {
+      options.repeats = std::atoi(argv[++i]);
+      if (options.repeats < 1) options.repeats = 1;
+    } else if (arg == "--seed" && i + 1 < argc) {
+      options.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--cache" && i + 1 < argc) {
+      options.cache_dir = argv[++i];
+    } else if (arg == "--no-cache") {
+      options.use_cache = false;
+    } else if (arg == "--quiet") {
+      options.verbose = false;
+    } else if (arg == "--help") {
+      std::printf(
+          "options: --scale N (repeat random campaigns N times)\n"
+          "         --seed N  (campaign RNG seed)\n"
+          "         --cache DIR | --no-cache\n"
+          "         --quiet\n");
+      std::exit(0);
+    }
+  }
+  return options;
+}
+
+inject::CampaignRun bench_campaign(inject::Injector& injector,
+                                   inject::Campaign campaign,
+                                   const BenchOptions& options) {
+  return load_or_run_campaign(injector, campaign, options.repeats,
+                              options.seed,
+                              options.use_cache ? options.cache_dir : "",
+                              options.verbose);
+}
+
+}  // namespace kfi::analysis

@@ -1,0 +1,41 @@
+// Campaign result persistence: a compact binary format so the bench
+// binaries for Figures 4/6/7/8 and Table 5 share one set of campaign
+// runs instead of re-injecting thousands of errors each.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "inject/campaign.h"
+
+namespace kfi::analysis {
+
+bool save_campaign(const inject::CampaignRun& run, const std::string& path);
+std::optional<inject::CampaignRun> load_campaign(const std::string& path);
+
+// Loads the campaign from `<cache_dir>/campaign_<name>_r<repeats>_s<seed>.kfi`
+// or runs it (and saves).  `verbose` prints progress to stderr.
+inject::CampaignRun load_or_run_campaign(inject::Injector& injector,
+                                         inject::Campaign campaign,
+                                         int repeats, std::uint64_t seed,
+                                         const std::string& cache_dir,
+                                         bool verbose);
+
+// Shared bench flags: --scale N (repeats), --seed N, --cache DIR,
+// --no-cache, --quiet.
+struct BenchOptions {
+  int repeats = 1;
+  std::uint64_t seed = 2003;
+  std::string cache_dir = "kfi-results";
+  bool use_cache = true;
+  bool verbose = true;
+};
+
+BenchOptions parse_bench_options(int argc, char** argv);
+
+// Runs (or loads) one campaign with the given options.
+inject::CampaignRun bench_campaign(inject::Injector& injector,
+                                   inject::Campaign campaign,
+                                   const BenchOptions& options);
+
+}  // namespace kfi::analysis

@@ -1,0 +1,231 @@
+#include "analysis/render.h"
+
+#include "support/strings.h"
+
+namespace kfi::analysis {
+
+using inject::Campaign;
+using inject::CrashCause;
+using kernel::Subsystem;
+
+std::string render_fig1(const kernel::KernelImage& image) {
+  std::string out;
+  out += "Figure 1: Size of Kernel Subsystems in Terms of Source Code Lines\n";
+  out += "------------------------------------------------------------------\n";
+  std::size_t total = 0;
+  for (const auto& [subsystem, lines] : image.source_lines) {
+    out += format("  %-8s %6zu lines\n",
+                  std::string(subsystem_name(subsystem)).c_str(), lines);
+    total += lines;
+  }
+  out += format("  %-8s %6zu lines\n", "total", total);
+  return out;
+}
+
+std::string render_table1(const profile::ProfileResult& prof,
+                          double coverage) {
+  const auto rows = prof.table1(coverage);
+  const auto core = prof.core_functions(coverage);
+  std::string out;
+  out += "Table 1: Function Distribution Among Kernel Modules\n";
+  out += "----------------------------------------------------------------\n";
+  out += format("  %-10s %22s %26s\n", "Subsystem", "Profiled functions",
+                "Contribution to core set");
+  std::size_t total_fns = 0;
+  std::size_t total_core = 0;
+  for (const auto& row : rows) {
+    out += format("  %-10s %22zu %26zu\n",
+                  std::string(subsystem_name(row.subsystem)).c_str(),
+                  row.profiled_functions, row.core_functions);
+    total_fns += row.profiled_functions;
+    total_core += row.core_functions;
+  }
+  out += format("  %-10s %22zu %26zu\n", "Total", total_fns, total_core);
+  out += format("  core set: top %zu functions cover >= %.0f%% of %s kernel"
+                " samples\n",
+                core.size(), coverage * 100.0,
+                with_commas(prof.total_kernel_samples).c_str());
+  return out;
+}
+
+std::string render_table4() {
+  std::string out;
+  out += "Table 4: Definition of Fault Injection Campaigns\n";
+  out += "-------------------------------------------------\n";
+  for (const Campaign campaign :
+       {Campaign::RandomNonBranch, Campaign::RandomBranch,
+        Campaign::IncorrectBranch}) {
+    out += format("  %s - %s\n",
+                  std::string(inject::campaign_name(campaign)).c_str(),
+                  std::string(inject::campaign_description(campaign)).c_str());
+  }
+  return out;
+}
+
+std::string render_outcome_table(const OutcomeTable& table) {
+  std::string out;
+  out += format("Campaign %s — %s\n",
+                std::string(inject::campaign_name(table.campaign)).c_str(),
+                std::string(inject::campaign_description(table.campaign))
+                    .c_str());
+  out += "--------------------------------------------------------------"
+         "-----------------------\n";
+  out += format("  %-12s %9s %18s %16s %14s %12s\n", "Subsystem", "Injected",
+                "Activated", "NotManifested", "FailSilence", "Crash/Hang");
+
+  const auto row_text = [](const char* name, const OutcomeRow& row) {
+    const double act = static_cast<double>(row.activated);
+    return format(
+        "  %-12s %9s %10s(%5s) %9s(%5s) %8s(%5s) %7s(%5s)\n", name,
+        with_commas(row.injected).c_str(), with_commas(row.activated).c_str(),
+        percent(static_cast<double>(row.activated),
+                static_cast<double>(row.injected)).c_str(),
+        with_commas(row.not_manifested).c_str(),
+        percent(static_cast<double>(row.not_manifested), act).c_str(),
+        with_commas(row.fail_silence).c_str(),
+        percent(static_cast<double>(row.fail_silence), act).c_str(),
+        with_commas(row.crash_hang).c_str(),
+        percent(static_cast<double>(row.crash_hang), act).c_str());
+  };
+
+  for (const OutcomeRow& row : table.rows) {
+    const std::string name =
+        format("%s[%zu]", std::string(subsystem_name(row.subsystem)).c_str(),
+               row.functions);
+    out += row_text(name.c_str(), row);
+  }
+  const std::string total_name = format("Total[%zu]", table.total.functions);
+  out += row_text(total_name.c_str(), table.total);
+
+  const double act = static_cast<double>(table.total.activated);
+  out += "  Overall distribution of activated errors:\n";
+  out += format("    Not Manifested        %6s\n",
+                percent(static_cast<double>(table.total.not_manifested), act)
+                    .c_str());
+  out += format("    Fail Silence Violation%6s\n",
+                percent(static_cast<double>(table.total.fail_silence), act)
+                    .c_str());
+  out += format("    Dumped Crash          %6s\n",
+                percent(static_cast<double>(table.dumped_crash), act).c_str());
+  out += format("    Hang/Unknown Crash    %6s\n",
+                percent(static_cast<double>(table.hang_unknown), act).c_str());
+  return out;
+}
+
+std::string render_crash_causes(const CrashCauseDistribution& dist) {
+  std::string out;
+  out += format("Figure 6 (campaign %s): Distribution of Crash Causes "
+                "(%s dumped crashes)\n",
+                std::string(inject::campaign_name(dist.campaign)).c_str(),
+                with_commas(dist.total).c_str());
+  out += "------------------------------------------------------------------"
+         "----\n";
+  for (const CrashCause cause :
+       {CrashCause::NullPointer, CrashCause::PagingRequest,
+        CrashCause::InvalidOpcode, CrashCause::GpFault,
+        CrashCause::DivideError, CrashCause::KernelPanic,
+        CrashCause::OutOfMemory, CrashCause::Other}) {
+    const auto it = dist.counts.find(cause);
+    const std::uint64_t count = it == dist.counts.end() ? 0 : it->second;
+    if (count == 0) continue;
+    out += format("  %-52s %7s  %6s\n",
+                  std::string(inject::crash_cause_name(cause)).c_str(),
+                  with_commas(count).c_str(),
+                  percent(static_cast<double>(count),
+                          static_cast<double>(dist.total)).c_str());
+  }
+  out += format("  top-4 causes account for %.1f%% of all crashes\n",
+                dist.top4_share() * 100.0);
+  return out;
+}
+
+std::string render_latency(const LatencyDistribution& dist) {
+  std::string out;
+  out += format("Figure 7 (campaign %s): Crash Latency in CPU Cycles\n",
+                std::string(inject::campaign_name(dist.campaign)).c_str());
+  out += "---------------------------------------------------------------\n";
+  out += format("  %-10s", "bucket");
+  for (const Subsystem s : table_subsystems()) {
+    out += format(" %8s", std::string(subsystem_name(s)).c_str());
+  }
+  out += format(" %8s\n", "overall");
+  for (std::size_t bucket = 0; bucket < dist.overall.bucket_count();
+       ++bucket) {
+    out += format("  %-10s", dist.overall.bucket_label(bucket).c_str());
+    for (const Subsystem s : table_subsystems()) {
+      const Histogram& h = dist.by_subsystem.at(s);
+      out += format(" %7.1f%%", h.share(bucket) * 100.0);
+    }
+    out += format(" %7.1f%%\n", dist.overall.share(bucket) * 100.0);
+  }
+  out += format("  crashes: overall %s\n",
+                with_commas(dist.overall.total()).c_str());
+  return out;
+}
+
+std::string render_propagation(const PropagationGraph& graph) {
+  std::string out;
+  out += format("Figure 8 (campaign %s): Error Propagation from '%s' "
+                "(%s crashes)\n",
+                std::string(inject::campaign_name(graph.campaign)).c_str(),
+                std::string(subsystem_name(graph.from)).c_str(),
+                with_commas(graph.total_crashes).c_str());
+  out += "------------------------------------------------------------------"
+         "----\n";
+  for (const PropagationEdge& edge : graph.edges) {
+    out += format("  %s -> %-8s %6s",
+                  std::string(subsystem_name(edge.from)).c_str(),
+                  std::string(subsystem_name(edge.to)).c_str(),
+                  percent(static_cast<double>(edge.crashes),
+                          static_cast<double>(graph.total_crashes)).c_str());
+    out += "  causes:";
+    for (const auto& [cause, count] : edge.causes) {
+      out += format(" %s=%s",
+                    std::string(inject::crash_cause_short_name(cause)).c_str(),
+                    with_commas(count).c_str());
+    }
+    out += "\n";
+  }
+  out += format("  crashes inside the faulted subsystem: %.1f%%\n",
+                graph.self_share() * 100.0);
+  return out;
+}
+
+std::string render_severity(const inject::CampaignRun& run,
+                            const SeveritySummary& summary) {
+  std::string out;
+  out += format("Crash severity (campaign %s, §7.1 taxonomy)\n",
+                std::string(inject::campaign_name(run.campaign)).c_str());
+  out += "----------------------------------------------------------------\n";
+  out += format("  normal (auto reboot, <4 min)      %6s\n",
+                with_commas(summary.normal).c_str());
+  out += format("  severe (manual fsck, >5 min)      %6s\n",
+                with_commas(summary.severe).c_str());
+  out += format("  most severe (reformat, ~1 h)      %6s\n",
+                with_commas(summary.most_severe).c_str());
+  out += format("  modeled downtime                  %6s minutes\n",
+                with_commas(summary.total_downtime_seconds / 60).c_str());
+  std::uint64_t severe_verified = 0;
+  for (const std::size_t index : summary.severe_indices) {
+    if (run.results[index].repair_verified) ++severe_verified;
+  }
+  if (summary.severe > 0) {
+    out += format("  severe cases verified repairable  %6s of %s\n",
+                  with_commas(severe_verified).c_str(),
+                  with_commas(summary.severe).c_str());
+  }
+  if (!summary.most_severe_indices.empty()) {
+    out += "  Most severe crash inventory (Table 5 style):\n";
+    int case_no = 1;
+    for (const std::size_t index : summary.most_severe_indices) {
+      const inject::InjectionResult& r = run.results[index];
+      out += format("   %2d. %s: %s  [%s -> %s]  bootable=%s\n", case_no++,
+                    std::string(subsystem_name(r.spec.subsystem)).c_str(),
+                    r.spec.function.c_str(), r.disasm_before.c_str(),
+                    r.disasm_after.c_str(), r.bootable ? "yes" : "NO");
+    }
+  }
+  return out;
+}
+
+}  // namespace kfi::analysis

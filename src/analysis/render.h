@@ -1,0 +1,39 @@
+// Text renderers that print each experiment in the layout of the
+// paper's tables and figures (the bench harness output).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/aggregate.h"
+#include "profile/profile.h"
+
+namespace kfi::analysis {
+
+// Figure 1: kernel source size per subsystem.
+std::string render_fig1(const kernel::KernelImage& image);
+
+// Table 1: function distribution among kernel subsystems.
+std::string render_table1(const profile::ProfileResult& prof,
+                          double coverage);
+
+// Table 4: campaign definitions.
+std::string render_table4();
+
+// Figure 4: one campaign's outcome table plus its overall distribution.
+std::string render_outcome_table(const OutcomeTable& table);
+
+// Figure 6: crash-cause distribution for one campaign.
+std::string render_crash_causes(const CrashCauseDistribution& dist);
+
+// Figure 7: crash latency distribution for one campaign.
+std::string render_latency(const LatencyDistribution& dist);
+
+// Figure 8: propagation graph for one faulted subsystem.
+std::string render_propagation(const PropagationGraph& graph);
+
+// Table 5 / §7.1: severity summary with the most-severe inventory.
+std::string render_severity(const inject::CampaignRun& run,
+                            const SeveritySummary& summary);
+
+}  // namespace kfi::analysis

@@ -1,0 +1,126 @@
+#include "analysis/report.h"
+
+#include "support/strings.h"
+
+namespace kfi::analysis {
+
+using inject::CampaignRun;
+using kernel::Subsystem;
+
+namespace {
+
+std::string outcome_section(const CampaignRun& run) {
+  const OutcomeTable table = make_outcome_table(run);
+  std::string out;
+  out += format("### Campaign %s — %s\n\n",
+                std::string(inject::campaign_name(run.campaign)).c_str(),
+                std::string(inject::campaign_description(run.campaign))
+                    .c_str());
+  out += "| subsystem | injected | activated | not manifested | "
+         "fail silence | crash/hang |\n";
+  out += "|---|---|---|---|---|---|\n";
+  const auto row = [](const std::string& name, const OutcomeRow& r) {
+    const double act = static_cast<double>(r.activated);
+    return format(
+        "| %s | %s | %s (%s) | %s (%s) | %s (%s) | %s (%s) |\n",
+        name.c_str(), with_commas(r.injected).c_str(),
+        with_commas(r.activated).c_str(),
+        percent(static_cast<double>(r.activated),
+                static_cast<double>(r.injected)).c_str(),
+        with_commas(r.not_manifested).c_str(),
+        percent(static_cast<double>(r.not_manifested), act).c_str(),
+        with_commas(r.fail_silence).c_str(),
+        percent(static_cast<double>(r.fail_silence), act).c_str(),
+        with_commas(r.crash_hang).c_str(),
+        percent(static_cast<double>(r.crash_hang), act).c_str());
+  };
+  for (const OutcomeRow& r : table.rows) {
+    out += row(format("%s [%zu fns]",
+                      std::string(subsystem_name(r.subsystem)).c_str(),
+                      r.functions),
+               r);
+  }
+  out += row(format("**total** [%zu fns]", table.total.functions),
+             table.total);
+  out += "\n";
+
+  const CrashCauseDistribution causes = make_crash_causes(run);
+  if (causes.total > 0) {
+    out += format("Crash causes (%s dumped crashes): ",
+                  with_commas(causes.total).c_str());
+    bool first = true;
+    for (const auto& [cause, count] : causes.counts) {
+      if (!first) out += ", ";
+      first = false;
+      out += format("%s %s",
+                    std::string(inject::crash_cause_short_name(cause))
+                        .c_str(),
+                    percent(static_cast<double>(count),
+                            static_cast<double>(causes.total)).c_str());
+    }
+    out += format(" — top-4 cover %.1f%%.\n\n", causes.top4_share() * 100.0);
+
+    const LatencyDistribution latency = make_latency(run);
+    out += "Crash latency (cycles): ";
+    for (std::size_t b = 0; b < latency.overall.bucket_count(); ++b) {
+      if (b != 0) out += ", ";
+      out += format("%s %.1f%%", latency.overall.bucket_label(b).c_str(),
+                    latency.overall.share(b) * 100.0);
+    }
+    out += ".\n\n";
+
+    out += "Propagation (self-share per faulted subsystem): ";
+    bool first_prop = true;
+    for (const Subsystem s : table_subsystems()) {
+      const PropagationGraph graph = make_propagation(run, s);
+      if (graph.total_crashes == 0) continue;
+      if (!first_prop) out += ", ";
+      first_prop = false;
+      out += format("%s %.1f%%",
+                    std::string(subsystem_name(s)).c_str(),
+                    graph.self_share() * 100.0);
+    }
+    out += ".\n\n";
+  }
+
+  const SeveritySummary severity = make_severity(run);
+  out += format(
+      "Severity: %s normal / %s severe / %s most-severe; modeled downtime "
+      "%s minutes.\n\n",
+      with_commas(severity.normal).c_str(),
+      with_commas(severity.severe).c_str(),
+      with_commas(severity.most_severe).c_str(),
+      with_commas(severity.total_downtime_seconds / 60).c_str());
+  return out;
+}
+
+}  // namespace
+
+std::string render_markdown_report(const ReportInputs& inputs) {
+  std::string out = "# " + inputs.title + "\n\n";
+
+  if (inputs.profile != nullptr) {
+    out += "## Kernel profile\n\n";
+    out += format("Total kernel samples: %s across %zu functions.\n\n",
+                  with_commas(inputs.profile->total_kernel_samples).c_str(),
+                  inputs.profile->functions.size());
+    out += "| rank | function | subsystem | samples |\n|---|---|---|---|\n";
+    int rank = 1;
+    for (const profile::FunctionSamples& fs : inputs.profile->functions) {
+      if (rank > 10) break;
+      out += format("| %d | `%s` | %s | %s |\n", rank++,
+                    fs.function.c_str(),
+                    std::string(subsystem_name(fs.subsystem)).c_str(),
+                    with_commas(fs.samples).c_str());
+    }
+    out += "\n";
+  }
+
+  out += "## Campaign outcomes\n\n";
+  for (const CampaignRun* run : inputs.campaigns) {
+    if (run != nullptr) out += outcome_section(*run);
+  }
+  return out;
+}
+
+}  // namespace kfi::analysis

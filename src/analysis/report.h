@@ -1,0 +1,22 @@
+// Markdown campaign report: a single self-contained document with every
+// table and figure of the study, generated from one or more campaign
+// runs (the artifact a user of the framework publishes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/aggregate.h"
+#include "profile/profile.h"
+
+namespace kfi::analysis {
+
+struct ReportInputs {
+  const profile::ProfileResult* profile = nullptr;  // optional
+  std::vector<const inject::CampaignRun*> campaigns;
+  std::string title = "Kernel error-injection campaign report";
+};
+
+std::string render_markdown_report(const ReportInputs& inputs);
+
+}  // namespace kfi::analysis

@@ -1,0 +1,562 @@
+#include "fsutil/kfs.h"
+
+#include <cstring>
+#include <set>
+
+#include "fsutil/kfs_format.h"
+#include "support/strings.h"
+
+namespace kfi::fsutil {
+namespace {
+
+using disk::DiskImage;
+
+std::uint32_t sb_field(const DiskImage& image, std::uint32_t offset) {
+  return image.read32(offset);
+}
+
+std::uint32_t inode_offset(std::uint32_t ino) {
+  return kInodeTableBlock * kBlockSize + ino * kInodeSize;
+}
+
+// Corrupted superblocks can claim absurd geometry; every access must be
+// bounded by the image itself, not by on-disk metadata.
+bool inode_in_image(const DiskImage& image, std::uint32_t ino) {
+  const std::uint64_t end =
+      static_cast<std::uint64_t>(inode_offset(ino)) + kInodeSize;
+  return end <= image.bytes().size();
+}
+
+bool block_in_image(const DiskImage& image, std::uint32_t block) {
+  return block < image.block_count();
+}
+
+struct Inode {
+  std::uint32_t mode = 0;
+  std::uint32_t size = 0;
+  std::uint32_t nlinks = 0;
+  std::uint32_t blocks[kDirectBlocks] = {};
+};
+
+Inode read_inode(const DiskImage& image, std::uint32_t ino) {
+  Inode node;
+  if (!inode_in_image(image, ino)) return node;  // reads as a free inode
+  const std::uint32_t at = inode_offset(ino);
+  node.mode = image.read32(at + kInodeMode);
+  node.size = image.read32(at + kInodeSizeOff);
+  node.nlinks = image.read32(at + kInodeNlinks);
+  for (std::uint32_t i = 0; i < kDirectBlocks; ++i) {
+    node.blocks[i] = image.read32(at + kInodeBlock0 + 4 * i);
+  }
+  return node;
+}
+
+void write_inode(DiskImage& image, std::uint32_t ino, const Inode& node) {
+  if (!inode_in_image(image, ino)) return;
+  const std::uint32_t at = inode_offset(ino);
+  image.write32(at + kInodeMode, node.mode);
+  image.write32(at + kInodeSizeOff, node.size);
+  image.write32(at + kInodeNlinks, node.nlinks);
+  for (std::uint32_t i = 0; i < kDirectBlocks; ++i) {
+    image.write32(at + kInodeBlock0 + 4 * i, node.blocks[i]);
+  }
+}
+
+bool bitmap_get(const DiskImage& image, std::uint32_t block) {
+  const std::uint8_t byte =
+      image.bytes()[kBitmapBlock * kBlockSize + block / 8];
+  return (byte >> (block % 8)) & 1;
+}
+
+void bitmap_set(DiskImage& image, std::uint32_t block, bool used) {
+  std::uint8_t& byte = image.bytes()[kBitmapBlock * kBlockSize + block / 8];
+  if (used) {
+    byte = static_cast<std::uint8_t>(byte | (1u << (block % 8)));
+  } else {
+    byte = static_cast<std::uint8_t>(byte & ~(1u << (block % 8)));
+  }
+}
+
+std::uint32_t alloc_block(DiskImage& image) {
+  const std::uint32_t data_start = sb_field(image, kSbDataStart);
+  const std::uint32_t nblocks = sb_field(image, kSbBlocks);
+  for (std::uint32_t b = data_start; b < nblocks; ++b) {
+    if (!bitmap_get(image, b)) {
+      bitmap_set(image, b, true);
+      std::memset(image.block(b), 0, kBlockSize);
+      return b;
+    }
+  }
+  return 0;
+}
+
+std::uint32_t alloc_inode(DiskImage& image) {
+  const std::uint32_t ninodes = sb_field(image, kSbInodes);
+  for (std::uint32_t i = 1; i < ninodes; ++i) {
+    if (read_inode(image, i).mode == kModeFree) return i;
+  }
+  return 0;
+}
+
+// Finds `name` in directory `dir_ino`; 0 if absent.
+std::uint32_t dir_lookup(const DiskImage& image, std::uint32_t dir_ino,
+                         std::string_view name) {
+  const Inode dir = read_inode(image, dir_ino);
+  if (dir.mode != kModeDir) return 0;
+  for (std::uint32_t i = 0; i < kDirectBlocks; ++i) {
+    const std::uint32_t block = dir.blocks[i];
+    if (block == 0 || !block_in_image(image, block)) continue;
+    const std::uint8_t* data = image.block(block);
+    for (std::uint32_t e = 0; e < kBlockSize / kDirentSize; ++e) {
+      const std::uint8_t* entry = data + e * kDirentSize;
+      std::uint32_t ino = 0;
+      std::memcpy(&ino, entry, 4);
+      if (ino == 0) continue;
+      const char* entry_name = reinterpret_cast<const char*>(entry + 4);
+      const std::size_t len = strnlen(entry_name, kNameLen);
+      if (std::string_view(entry_name, len) == name) return ino;
+    }
+  }
+  return 0;
+}
+
+bool dir_insert(DiskImage& image, std::uint32_t dir_ino,
+                std::string_view name, std::uint32_t ino) {
+  if (name.empty() || name.size() >= kNameLen) return false;
+  Inode dir = read_inode(image, dir_ino);
+  if (dir.mode != kModeDir) return false;
+  for (std::uint32_t i = 0; i < kDirectBlocks; ++i) {
+    if (dir.blocks[i] == 0) {
+      const std::uint32_t block = alloc_block(image);
+      if (block == 0) return false;
+      dir.blocks[i] = block;
+      dir.size = (i + 1) * kBlockSize;
+      write_inode(image, dir_ino, dir);
+    }
+    std::uint8_t* data = image.block(dir.blocks[i]);
+    for (std::uint32_t e = 0; e < kBlockSize / kDirentSize; ++e) {
+      std::uint8_t* entry = data + e * kDirentSize;
+      std::uint32_t existing = 0;
+      std::memcpy(&existing, entry, 4);
+      if (existing != 0) continue;
+      std::memcpy(entry, &ino, 4);
+      std::memset(entry + 4, 0, kNameLen);
+      std::memcpy(entry + 4, name.data(), name.size());
+      return true;
+    }
+  }
+  return false;
+}
+
+// Resolves the parent directory of `path` (creating nothing).  On
+// success, `leaf` receives the final component.
+std::uint32_t resolve_parent(const DiskImage& image, std::string_view path,
+                             std::string& leaf) {
+  if (path.empty() || path[0] != '/') return 0;
+  std::vector<std::string> parts;
+  for (const std::string& part : split(path.substr(1), '/')) {
+    if (!part.empty()) parts.push_back(part);
+  }
+  if (parts.empty()) return 0;
+  std::uint32_t dir = sb_field(image, kSbRootIno);
+  if (!inode_in_image(image, dir)) return 0;
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    dir = dir_lookup(image, dir, parts[i]);
+    if (dir == 0) return 0;
+  }
+  leaf = parts.back();
+  return dir;
+}
+
+}  // namespace
+
+void mkfs(disk::DiskImage& image) {
+  std::memset(image.bytes().data(), 0, image.bytes().size());
+  const std::uint32_t nblocks = image.block_count();
+
+  image.write32(kSbMagic, kKfsMagic);
+  image.write32(kSbBlocks, nblocks);
+  image.write32(kSbInodes, kDefaultInodes);
+  image.write32(kSbInodeBlocks, kDefaultInodeBlocks);
+  image.write32(kSbDataStart, kDefaultDataStart);
+  image.write32(kSbRootIno, kRootIno);
+
+  // Metadata blocks are permanently "used".
+  for (std::uint32_t b = 0; b < kDefaultDataStart; ++b) {
+    bitmap_set(image, b, true);
+  }
+
+  Inode root;
+  root.mode = kModeDir;
+  root.size = 0;
+  root.nlinks = 1;
+  write_inode(image, kRootIno, root);
+}
+
+std::uint32_t add_dir(disk::DiskImage& image, std::string_view path) {
+  if (path == "/") return sb_field(image, kSbRootIno);
+  std::string leaf;
+  // Create parents recursively.
+  const std::size_t slash = path.rfind('/');
+  if (slash != std::string_view::npos && slash > 0) {
+    if (add_dir(image, path.substr(0, slash)) == 0) return 0;
+  }
+  const std::uint32_t parent = resolve_parent(image, path, leaf);
+  if (parent == 0) return 0;
+  if (const std::uint32_t existing = dir_lookup(image, parent, leaf)) {
+    return existing;
+  }
+  const std::uint32_t ino = alloc_inode(image);
+  if (ino == 0) return 0;
+  Inode node;
+  node.mode = kModeDir;
+  node.nlinks = 1;
+  write_inode(image, ino, node);
+  if (!dir_insert(image, parent, leaf, ino)) return 0;
+  return ino;
+}
+
+std::uint32_t add_file(disk::DiskImage& image, std::string_view path,
+                       std::string_view contents) {
+  if (contents.size() > kMaxFileSize) return 0;
+  std::string leaf;
+  const std::uint32_t parent = resolve_parent(image, path, leaf);
+  if (parent == 0) return 0;
+  if (dir_lookup(image, parent, leaf) != 0) return 0;  // exists
+  const std::uint32_t ino = alloc_inode(image);
+  if (ino == 0) return 0;
+
+  Inode node;
+  node.mode = kModeFile;
+  node.size = static_cast<std::uint32_t>(contents.size());
+  node.nlinks = 1;
+  std::size_t written = 0;
+  for (std::uint32_t i = 0; i < kDirectBlocks && written < contents.size();
+       ++i) {
+    const std::uint32_t block = alloc_block(image);
+    if (block == 0) return 0;
+    node.blocks[i] = block;
+    const std::size_t chunk =
+        std::min<std::size_t>(kBlockSize, contents.size() - written);
+    std::memcpy(image.block(block), contents.data() + written, chunk);
+    written += chunk;
+  }
+  write_inode(image, ino, node);
+  if (!dir_insert(image, parent, leaf, ino)) return 0;
+  return ino;
+}
+
+std::uint32_t lookup(const disk::DiskImage& image, std::string_view path) {
+  if (path == "/") return sb_field(image, kSbRootIno);
+  std::string leaf;
+  const std::uint32_t parent = resolve_parent(image, path, leaf);
+  if (parent == 0) return 0;
+  return dir_lookup(image, parent, leaf);
+}
+
+std::optional<std::vector<std::uint8_t>> read_file(
+    const disk::DiskImage& image, std::string_view path) {
+  const std::uint32_t ino = lookup(image, path);
+  if (ino == 0 || ino >= sb_field(image, kSbInodes) ||
+      !inode_in_image(image, ino)) {
+    return std::nullopt;
+  }
+  const Inode node = read_inode(image, ino);
+  if (node.mode != kModeFile) return std::nullopt;
+  if (node.size > kMaxFileSize) return std::nullopt;
+
+  std::vector<std::uint8_t> out;
+  out.reserve(node.size);
+  std::uint32_t remaining = node.size;
+  for (std::uint32_t i = 0; i < kDirectBlocks && remaining > 0; ++i) {
+    const std::uint32_t block = node.blocks[i];
+    if (block == 0 || !block_in_image(image, block)) return std::nullopt;
+    const std::uint32_t chunk = std::min(kBlockSize, remaining);
+    const std::uint8_t* data = image.block(block);
+    out.insert(out.end(), data, data + chunk);
+    remaining -= chunk;
+  }
+  return out;
+}
+
+FsckReport fsck(const disk::DiskImage& image) {
+  FsckReport report;
+  auto issue = [&report](FsckVerdict severity, const std::string& text) {
+    report.issues.push_back(text);
+    if (static_cast<int>(severity) > static_cast<int>(report.verdict)) {
+      report.verdict = severity;
+    }
+  };
+
+  // Superblock sanity.
+  if (image.read32(kSbMagic) != kKfsMagic) {
+    issue(FsckVerdict::Unrepairable, "bad superblock magic");
+    return report;
+  }
+  const std::uint32_t nblocks = image.read32(kSbBlocks);
+  const std::uint32_t ninodes = image.read32(kSbInodes);
+  const std::uint32_t data_start = image.read32(kSbDataStart);
+  const std::uint32_t inode_capacity =
+      (image.block_count() > kInodeTableBlock
+           ? (image.block_count() - kInodeTableBlock) * kInodesPerBlock
+           : 0);
+  if (nblocks != image.block_count() || ninodes == 0 ||
+      ninodes > kDefaultInodes * 4 || ninodes > inode_capacity ||
+      data_start >= nblocks) {
+    issue(FsckVerdict::Unrepairable, "superblock geometry corrupt");
+    return report;
+  }
+  const std::uint32_t root = image.read32(kSbRootIno);
+  if (root == 0 || root >= ninodes || !inode_in_image(image, root) ||
+      read_inode(image, root).mode != kModeDir) {
+    issue(FsckVerdict::Unrepairable, "root inode destroyed");
+    return report;
+  }
+
+  // Walk the tree, collecting referenced blocks and inodes.
+  std::set<std::uint32_t> seen_inodes;
+  std::set<std::uint32_t> used_blocks;
+  std::vector<std::uint32_t> stack{root};
+  seen_inodes.insert(root);
+  int guard = 0;
+  while (!stack.empty()) {
+    if (++guard > 100000) {
+      issue(FsckVerdict::Unrepairable, "directory graph does not terminate");
+      return report;
+    }
+    const std::uint32_t ino = stack.back();
+    stack.pop_back();
+    const Inode node = read_inode(image, ino);
+
+    if (node.size > kMaxFileSize) {
+      issue(FsckVerdict::Repairable,
+            format("inode %u size %u exceeds maximum", ino, node.size));
+    }
+    const std::uint32_t covered =
+        std::min<std::uint32_t>(node.size, kMaxFileSize);
+    const std::uint32_t needed = (covered + kBlockSize - 1) / kBlockSize;
+    for (std::uint32_t i = 0; i < kDirectBlocks; ++i) {
+      const std::uint32_t block = node.blocks[i];
+      if (block == 0) {
+        if (i < needed) {
+          issue(FsckVerdict::Repairable,
+                format("inode %u: missing block %u for its size", ino, i));
+        }
+        continue;
+      }
+      if (block < data_start || block >= nblocks) {
+        issue(FsckVerdict::Repairable,
+              format("inode %u: block pointer %u out of range", ino, block));
+        continue;
+      }
+      if (!used_blocks.insert(block).second) {
+        issue(FsckVerdict::Repairable,
+              format("block %u cross-linked", block));
+      }
+      if (!bitmap_get(image, block)) {
+        issue(FsckVerdict::Repairable,
+              format("block %u in use but marked free", block));
+      }
+    }
+
+    if (node.mode != kModeDir) continue;
+    for (std::uint32_t i = 0; i < kDirectBlocks; ++i) {
+      const std::uint32_t block = node.blocks[i];
+      if (block == 0 || block < data_start ||
+          !block_in_image(image, block)) {
+        continue;
+      }
+      const std::uint8_t* data = image.block(block);
+      for (std::uint32_t e = 0; e < kBlockSize / kDirentSize; ++e) {
+        std::uint32_t child = 0;
+        std::memcpy(&child, data + e * kDirentSize, 4);
+        if (child == 0) continue;
+        if (child >= ninodes) {
+          issue(FsckVerdict::Repairable,
+                format("dirent points at invalid inode %u", child));
+          continue;
+        }
+        const Inode child_node = read_inode(image, child);
+        if (child_node.mode == kModeFree) {
+          issue(FsckVerdict::Repairable,
+                format("dirent points at free inode %u", child));
+          continue;
+        }
+        if (child_node.mode != kModeFile && child_node.mode != kModeDir) {
+          issue(FsckVerdict::Repairable,
+                format("inode %u has invalid mode %u", child,
+                       child_node.mode));
+          continue;
+        }
+        if (!seen_inodes.insert(child).second) {
+          if (child_node.mode == kModeDir) {
+            issue(FsckVerdict::Unrepairable,
+                  format("directory inode %u linked twice (cycle risk)",
+                         child));
+            return report;
+          }
+          continue;
+        }
+        stack.push_back(child);
+      }
+    }
+  }
+
+  // Bitmap leak check: blocks marked used but not referenced.
+  for (std::uint32_t b = data_start; b < nblocks; ++b) {
+    if (bitmap_get(image, b) && used_blocks.count(b) == 0) {
+      issue(FsckVerdict::Repairable, format("block %u leaked", b));
+    }
+  }
+
+  return report;
+}
+
+std::size_t fsck_repair(disk::DiskImage& image) {
+  if (fsck(image).verdict == FsckVerdict::Unrepairable) return 0;
+
+  std::size_t repairs = 0;
+  const std::uint32_t nblocks = image.read32(kSbBlocks);
+  const std::uint32_t ninodes = image.read32(kSbInodes);
+  const std::uint32_t data_start = image.read32(kSbDataStart);
+  const std::uint32_t root = image.read32(kSbRootIno);
+
+  // Pass 1: walk the tree, clamping inode damage and dropping dangling
+  // directory entries; collect each block's first owner.
+  std::set<std::uint32_t> owned;
+  std::set<std::uint32_t> seen;
+  std::vector<std::uint32_t> stack{root};
+  seen.insert(root);
+  while (!stack.empty()) {
+    const std::uint32_t ino = stack.back();
+    stack.pop_back();
+    Inode node = read_inode(image, ino);
+    bool dirty = false;
+
+    for (std::uint32_t i = 0; i < kDirectBlocks; ++i) {
+      const std::uint32_t block = node.blocks[i];
+      if (block == 0) continue;
+      const bool bad_range =
+          block < data_start || !block_in_image(image, block);
+      const bool cross_linked = !bad_range && owned.count(block) != 0;
+      if (bad_range || cross_linked) {
+        node.blocks[i] = 0;
+        dirty = true;
+        ++repairs;
+        continue;
+      }
+      owned.insert(block);
+    }
+    // Clamp the size to what the surviving block prefix can back.
+    std::uint32_t backed = 0;
+    while (backed < kDirectBlocks && node.blocks[backed] != 0) ++backed;
+    const std::uint32_t max_size = backed * kBlockSize;
+    if (node.size > max_size) {
+      node.size = max_size;
+      dirty = true;
+      ++repairs;
+    }
+    if (dirty) write_inode(image, ino, node);
+
+    if (node.mode != kModeDir) continue;
+    for (std::uint32_t i = 0; i < kDirectBlocks; ++i) {
+      const std::uint32_t block = node.blocks[i];
+      if (block == 0 || !block_in_image(image, block)) continue;
+      std::uint8_t* data = image.block(block);
+      for (std::uint32_t e = 0; e < kBlockSize / kDirentSize; ++e) {
+        std::uint32_t child = 0;
+        std::memcpy(&child, data + e * kDirentSize, 4);
+        if (child == 0) continue;
+        const bool bad_ino = child >= ninodes || !inode_in_image(image, child);
+        const Inode child_node =
+            bad_ino ? Inode{} : read_inode(image, child);
+        const bool bad_mode = child_node.mode != kModeFile &&
+                              child_node.mode != kModeDir;
+        const bool duplicate_dir = child_node.mode == kModeDir &&
+                                   seen.count(child) != 0;
+        if (bad_ino || bad_mode || duplicate_dir) {
+          std::memset(data + e * kDirentSize, 0, kDirentSize);
+          ++repairs;
+          continue;
+        }
+        if (seen.insert(child).second) stack.push_back(child);
+      }
+    }
+  }
+
+  // Pass 2: rebuild the allocation bitmap from the reachable set
+  // (fixes both leaked and wrongly-free blocks in one sweep).
+  for (std::uint32_t b = 0; b < nblocks; ++b) {
+    const bool should_be_used = b < data_start || owned.count(b) != 0;
+    if (bitmap_get(image, b) != should_be_used) {
+      bitmap_set(image, b, should_be_used);
+      ++repairs;
+    }
+  }
+  return repairs;
+}
+
+std::uint64_t tree_digest(const disk::DiskImage& image) {
+  // FNV-1a over a deterministic tree walk.  A broken filesystem hashes
+  // to a sentinel so it never collides with a healthy digest.
+  std::uint64_t hash = 1469598103934665603ULL;
+  auto mix_byte = [&hash](std::uint8_t byte) {
+    hash ^= byte;
+    hash *= 1099511628211ULL;
+  };
+  auto mix = [&](std::string_view text) {
+    for (const char c : text) mix_byte(static_cast<std::uint8_t>(c));
+  };
+
+  if (image.read32(kSbMagic) != kKfsMagic) return 0;
+  const std::uint32_t ninodes = image.read32(kSbInodes);
+  const std::uint32_t root = image.read32(kSbRootIno);
+  if (root == 0 || root >= ninodes || !inode_in_image(image, root)) return 0;
+
+  // Recursive walk with an explicit stack of (ino, path).
+  std::vector<std::pair<std::uint32_t, std::string>> stack{{root, "/"}};
+  std::set<std::uint32_t> visited;
+  while (!stack.empty()) {
+    const auto [ino, path] = stack.back();
+    stack.pop_back();
+    if (!visited.insert(ino).second) return 0;
+    if (!inode_in_image(image, ino)) return 0;
+    const Inode node = read_inode(image, ino);
+    mix(path);
+    mix_byte(static_cast<std::uint8_t>(node.mode));
+    if (node.mode == kModeFile) {
+      if (node.size > kMaxFileSize) return 0;
+      std::uint32_t remaining = node.size;
+      for (std::uint32_t i = 0; i < kDirectBlocks && remaining > 0; ++i) {
+        const std::uint32_t block = node.blocks[i];
+        if (block == 0 || !block_in_image(image, block)) return 0;
+        const std::uint32_t chunk = std::min(kBlockSize, remaining);
+        const std::uint8_t* data = image.block(block);
+        for (std::uint32_t k = 0; k < chunk; ++k) mix_byte(data[k]);
+        remaining -= chunk;
+      }
+    } else if (node.mode == kModeDir) {
+      for (std::uint32_t i = 0; i < kDirectBlocks; ++i) {
+        const std::uint32_t block = node.blocks[i];
+        if (block == 0 || !block_in_image(image, block)) continue;
+        const std::uint8_t* data = image.block(block);
+        for (std::uint32_t e = 0; e < kBlockSize / kDirentSize; ++e) {
+          std::uint32_t child = 0;
+          std::memcpy(&child, data + e * kDirentSize, 4);
+          if (child == 0 || child >= ninodes ||
+              !inode_in_image(image, child)) {
+            continue;
+          }
+          const char* name =
+              reinterpret_cast<const char*>(data + e * kDirentSize + 4);
+          const std::size_t len = strnlen(name, kNameLen);
+          stack.emplace_back(child,
+                             path + std::string(name, len) + "/");
+        }
+      }
+    }
+  }
+  return hash;
+}
+
+}  // namespace kfi::fsutil

@@ -1,0 +1,66 @@
+// Host-side kfs tools: mkfs, tree building, reading, fsck, digesting.
+//
+// These play the role of the user-space e2fsprogs in the paper's setup:
+// mkfs prepares the root disk before "power-on", fsck classifies damage
+// after a crash (the crash-severity taxonomy of §7.1), and the digest
+// feeds fail-silence-violation detection (silent on-disk corruption).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "disk/disk.h"
+
+namespace kfi::fsutil {
+
+// Formats `image` with an empty kfs (root directory only).
+void mkfs(disk::DiskImage& image);
+
+// Creates a directory, creating parents as needed.  Returns the inode
+// number, or 0 on failure (no space / bad path).
+std::uint32_t add_dir(disk::DiskImage& image, std::string_view path);
+
+// Creates a file with the given contents.  Returns inode or 0.
+std::uint32_t add_file(disk::DiskImage& image, std::string_view path,
+                       std::string_view contents);
+
+// Reads a file's contents; nullopt when the path cannot be resolved or
+// the metadata is too damaged to follow.
+std::optional<std::vector<std::uint8_t>> read_file(
+    const disk::DiskImage& image, std::string_view path);
+
+// Looks up a path; returns the inode number or 0.
+std::uint32_t lookup(const disk::DiskImage& image, std::string_view path);
+
+// ---- fsck ----
+
+enum class FsckVerdict : std::uint8_t {
+  Clean,         // no inconsistency: normal automatic reboot
+  Repairable,    // inconsistencies a manual fsck run could fix: "severe"
+  Unrepairable,  // superblock/root destroyed: reformat, "most severe"
+};
+
+struct FsckReport {
+  FsckVerdict verdict = FsckVerdict::Clean;
+  std::vector<std::string> issues;
+};
+
+FsckReport fsck(const disk::DiskImage& image);
+
+// The interactive-fsck repair pass the "severe" recovery implies:
+// fixes every Repairable inconsistency in place (clamps oversized
+// inodes, clears out-of-range and cross-linked block pointers, removes
+// dangling directory entries, rebuilds the allocation bitmap from the
+// reachable tree).  Returns the number of repairs applied.  After a
+// successful repair, fsck() reports Clean; Unrepairable images are
+// left untouched (reformat is the only option, as in §7.1).
+std::size_t fsck_repair(disk::DiskImage& image);
+
+// Hash of the complete file tree (paths, sizes, contents).  Two images
+// with the same digest hold the same logical file system state.
+std::uint64_t tree_digest(const disk::DiskImage& image);
+
+}  // namespace kfi::fsutil

@@ -1,0 +1,63 @@
+// kfs — the ext2-like on-disk format shared by the simulated kernel's fs
+// code and the host-side mkfs/fsck tools.
+//
+// Layout (1 KiB blocks):
+//   block 0                superblock
+//   block 1                block allocation bitmap (1 bit per block)
+//   blocks 2..2+IB-1       inode table (16 inodes per block)
+//   blocks data_start..    file/directory data
+//
+// Inode (64 bytes): mode, size, nlinks, 10 direct block pointers.
+// Directory entries (32 bytes): inode number + 28-byte name.
+//
+// The kernel manipulates these structures with simulated instructions,
+// so an injected error can corrupt any of them — which is exactly how
+// the paper's nine "most severe" crashes damaged ext2.
+#pragma once
+
+#include <cstdint>
+
+namespace kfi::fsutil {
+
+inline constexpr std::uint32_t kKfsMagic = 0x6B667331;  // "kfs1"
+inline constexpr std::uint32_t kBlockSize = 1024;
+inline constexpr std::uint32_t kInodeSize = 64;
+inline constexpr std::uint32_t kInodesPerBlock = kBlockSize / kInodeSize;
+inline constexpr std::uint32_t kDirectBlocks = 10;
+inline constexpr std::uint32_t kMaxFileSize = kDirectBlocks * kBlockSize;
+inline constexpr std::uint32_t kDirentSize = 32;
+inline constexpr std::uint32_t kNameLen = 28;
+
+inline constexpr std::uint32_t kBitmapBlock = 1;
+inline constexpr std::uint32_t kInodeTableBlock = 2;
+
+// Inode modes.
+inline constexpr std::uint32_t kModeFree = 0;
+inline constexpr std::uint32_t kModeFile = 1;
+inline constexpr std::uint32_t kModeDir = 2;
+
+inline constexpr std::uint32_t kRootIno = 1;
+
+// Superblock field offsets (bytes within block 0).
+inline constexpr std::uint32_t kSbMagic = 0;
+inline constexpr std::uint32_t kSbBlocks = 4;
+inline constexpr std::uint32_t kSbInodes = 8;
+inline constexpr std::uint32_t kSbInodeBlocks = 12;
+inline constexpr std::uint32_t kSbDataStart = 16;
+inline constexpr std::uint32_t kSbRootIno = 20;
+
+// Inode field offsets (bytes within the 64-byte inode).
+inline constexpr std::uint32_t kInodeMode = 0;
+inline constexpr std::uint32_t kInodeSizeOff = 4;
+inline constexpr std::uint32_t kInodeNlinks = 8;
+inline constexpr std::uint32_t kInodeBlock0 = 12;  // 10 words
+
+// Default geometry used by the machine's root disk.
+inline constexpr std::uint32_t kDefaultBlocks = 4096;   // 4 MiB
+inline constexpr std::uint32_t kDefaultInodes = 256;
+inline constexpr std::uint32_t kDefaultInodeBlocks =
+    kDefaultInodes / kInodesPerBlock;
+inline constexpr std::uint32_t kDefaultDataStart =
+    kInodeTableBlock + kDefaultInodeBlocks;
+
+}  // namespace kfi::fsutil

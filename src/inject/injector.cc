@@ -1,0 +1,197 @@
+#include "inject/injector.h"
+
+#include <stdexcept>
+
+#include "fsutil/kfs.h"
+#include "isa/disasm.h"
+#include "vm/layout.h"
+
+namespace kfi::inject {
+
+Injector::Injector(InjectorOptions options, const kernel::KernelImage* image)
+    : options_(options),
+      image_(image != nullptr ? *image : kernel::built_kernel()),
+      root_disk_(machine::make_root_disk()) {
+  init_pristine_ = *fsutil::read_file(root_disk_, "/sbin/init");
+  libc_pristine_ = *fsutil::read_file(root_disk_, "/lib/libc.so");
+}
+
+Injector::~Injector() = default;
+
+machine::Machine& Injector::machine_for(const std::string& workload) {
+  const auto it = machines_.find(workload);
+  if (it != machines_.end()) return *it->second;
+
+  auto machine = std::make_unique<machine::Machine>(
+      image_, workloads::built_workload(workload), root_disk_);
+  if (!machine->boot()) {
+    throw std::runtime_error("injector: workload '" + workload +
+                             "' failed to boot");
+  }
+  return *machines_.emplace(workload, std::move(machine)).first->second;
+}
+
+const GoldenRun& Injector::golden(const std::string& workload) {
+  const auto it = goldens_.find(workload);
+  if (it != goldens_.end()) return it->second;
+
+  machine::Machine& machine = machine_for(workload);
+  machine.restore();
+  machine.set_trace(&coverage_[workload]);
+  const std::uint64_t start = machine.cpu().cycles();
+  const machine::RunResult run = machine.run(100'000'000);
+  machine.set_trace(nullptr);
+
+  GoldenRun golden;
+  golden.ok = run.exit == machine::RunExit::Completed;
+  golden.console = machine.console_output();
+  golden.exit_code = run.exit_code;
+  golden.fs_digest = fsutil::tree_digest(machine.disk_image());
+  golden.cycles = machine.cpu().cycles() - start;
+  if (!golden.ok) {
+    throw std::runtime_error("injector: golden run for '" + workload +
+                             "' did not complete");
+  }
+  return goldens_.emplace(workload, std::move(golden)).first->second;
+}
+
+const std::unordered_set<std::uint32_t>& Injector::coverage(
+    const std::string& workload) {
+  golden(workload);  // ensures the traced run happened
+  return coverage_[workload];
+}
+
+bool Injector::disk_bootable(const disk::DiskImage& image) const {
+  const auto init_file = fsutil::read_file(image, "/sbin/init");
+  if (!init_file.has_value() || *init_file != init_pristine_) return false;
+  const auto libc_file = fsutil::read_file(image, "/lib/libc.so");
+  if (!libc_file.has_value() || *libc_file != libc_pristine_) return false;
+  return true;
+}
+
+InjectionResult Injector::run_one(const InjectionSpec& spec) {
+  InjectionResult result;
+  result.spec = spec;
+  ++runs_;
+
+  const GoldenRun& ref = golden(spec.workload);
+  if (coverage(spec.workload).count(spec.instr_addr) == 0) {
+    result.outcome = Outcome::NotActivated;
+    return result;
+  }
+  machine::Machine& machine = machine_for(spec.workload);
+  machine.restore();
+
+  const std::uint64_t budget =
+      static_cast<std::uint64_t>(static_cast<double>(ref.cycles) *
+                                 options_.budget_factor) +
+      options_.budget_slack;
+  const std::uint64_t start = machine.cpu().cycles();
+
+  // Arm the trigger and run until the target instruction is reached.
+  machine.cpu().arm_breakpoint(0, spec.instr_addr);
+  machine::RunResult run = machine.run(budget);
+  if (run.exit != machine::RunExit::Breakpoint) {
+    machine.cpu().disarm_breakpoint(0);
+    result.outcome = Outcome::NotActivated;
+    return result;
+  }
+
+  // Flip the bit in the instruction's binary and resume.
+  result.activation_cycle = machine.cpu().cycles() - start;
+  const std::uint32_t flip_phys =
+      vm::phys_of_virt(spec.instr_addr) + spec.byte_index;
+  {
+    std::uint8_t before[16] = {};
+    machine.memory().read_block(vm::phys_of_virt(spec.instr_addr), before,
+                                sizeof before);
+    result.disasm_before =
+        isa::disassemble_bytes(before, sizeof before, spec.instr_addr,
+                               nullptr);
+    const std::uint8_t corrupted = static_cast<std::uint8_t>(
+        machine.memory().read8(flip_phys) ^ (1u << spec.bit_index));
+    machine.memory().write8(flip_phys, corrupted);
+    std::uint8_t after[16] = {};
+    machine.memory().read_block(vm::phys_of_virt(spec.instr_addr), after,
+                                sizeof after);
+    result.disasm_after =
+        isa::disassemble_bytes(after, sizeof after, spec.instr_addr,
+                               nullptr);
+  }
+  machine.cpu().disarm_breakpoint(0);
+
+  const std::uint64_t spent = machine.cpu().cycles() - start;
+  run = machine.run(budget > spent ? budget - spent : 1);
+
+  // Post-run disk state (before the next restore wipes it).
+  const fsutil::FsckReport fsck = fsutil::fsck(machine.disk_image());
+  if (fsck.verdict == fsutil::FsckVerdict::Repairable) {
+    // Validate the severity taxonomy: a "severe" image must actually be
+    // recoverable by the interactive-fsck pass.
+    disk::DiskImage copy = machine.disk_image();
+    fsutil::fsck_repair(copy);
+    result.repair_verified =
+        fsutil::fsck(copy).verdict == fsutil::FsckVerdict::Clean;
+  }
+  result.bootable = disk_bootable(machine.disk_image());
+  const std::uint64_t digest = fsutil::tree_digest(machine.disk_image());
+  result.fs_damaged =
+      fsck.verdict != fsutil::FsckVerdict::Clean || !result.bootable;
+
+  switch (run.exit) {
+    case machine::RunExit::Completed: {
+      const bool matches = machine.console_output() == ref.console &&
+                           run.exit_code == ref.exit_code &&
+                           digest == ref.fs_digest;
+      result.outcome = matches ? Outcome::NotManifested
+                               : Outcome::FailSilenceViolation;
+      break;
+    }
+    case machine::RunExit::Crashed: {
+      result.outcome = Outcome::DumpedCrash;
+      result.cause = crash_cause_from_code(run.crash.cause);
+      result.crash_eip = run.crash.eip;
+      result.crash_addr = run.crash.fault_addr;
+      result.crash_subsystem = kernel::subsystem_of_addr(run.crash.eip);
+      result.propagated = result.crash_subsystem != spec.subsystem;
+      const std::uint64_t activation_abs = start + result.activation_cycle;
+      if (run.crash.trap_cycle >= activation_abs) {
+        result.latency_cycles = run.crash.trap_cycle - activation_abs;
+      } else {
+        result.latency_cycles = run.crash.report_cycle - activation_abs;
+      }
+      break;
+    }
+    case machine::RunExit::Hung:
+    case machine::RunExit::CpuDead:
+      result.outcome = Outcome::HangUnknown;
+      break;
+    case machine::RunExit::Breakpoint:
+      // Cannot happen: the breakpoint is disarmed.
+      result.outcome = Outcome::HangUnknown;
+      break;
+  }
+
+  // Severity (meaningful for crashes and hangs — the recovery path).
+  if (result.outcome == Outcome::DumpedCrash ||
+      result.outcome == Outcome::HangUnknown) {
+    if (fsck.verdict == fsutil::FsckVerdict::Unrepairable ||
+        !result.bootable) {
+      result.severity = Severity::MostSevere;
+    } else if (fsck.verdict == fsutil::FsckVerdict::Repairable) {
+      result.severity = Severity::Severe;
+    } else {
+      result.severity = Severity::Normal;
+    }
+  } else if (result.fs_damaged) {
+    // The paper's "did not crash but could not reboot" observation.
+    result.severity = !result.bootable ||
+                              fsck.verdict == fsutil::FsckVerdict::Unrepairable
+                          ? Severity::MostSevere
+                          : Severity::Severe;
+  }
+
+  return result;
+}
+
+}  // namespace kfi::inject

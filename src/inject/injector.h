@@ -1,0 +1,84 @@
+// The injection engine: executes single-bit instruction-stream error
+// injections against the simulated machine and classifies the outcome
+// (paper §5).
+//
+// Trigger-on-execution semantics exactly as in the paper: a debug
+// register is armed on the target instruction's address; when the
+// program counter matches, the bit is flipped in the instruction's
+// binary, the cycle counter is started, and execution continues from
+// the (now corrupted) instruction.  The error persists for the rest of
+// the run; the machine is rebooted (snapshot-restored) between runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_set>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "disk/disk.h"
+#include "inject/outcome.h"
+#include "machine/machine.h"
+
+namespace kfi::inject {
+
+struct GoldenRun {
+  bool ok = false;
+  std::string console;
+  std::uint32_t exit_code = 0;
+  std::uint64_t fs_digest = 0;
+  std::uint64_t cycles = 0;  // fault-free run length
+};
+
+struct InjectorOptions {
+  // Watchdog budget multiplier over the golden run length.  Injected
+  // runs that still complete stay close to the golden length, so a
+  // modest margin keeps hang detection cheap.
+  double budget_factor = 1.6;
+  std::uint64_t budget_slack = 400'000;
+};
+
+class Injector {
+ public:
+  // `image` selects the kernel build to inject into (default: the
+  // standard build; pass &kernel::built_hardened_kernel() for the
+  // assertion-hardened variant).
+  explicit Injector(InjectorOptions options = {},
+                    const kernel::KernelImage* image = nullptr);
+  ~Injector();
+
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  // Fault-free reference run for a workload (cached).
+  const GoldenRun& golden(const std::string& workload);
+
+  // Kernel instruction addresses executed by the golden run.  Since
+  // execution before the flip is identical to the golden run, a target
+  // outside this set can never activate — the injector classifies it
+  // as NotActivated without running.
+  const std::unordered_set<std::uint32_t>& coverage(
+      const std::string& workload);
+
+  // Executes one injection and classifies it.
+  InjectionResult run_one(const InjectionSpec& spec);
+
+  std::uint64_t runs_executed() const { return runs_; }
+
+ private:
+  machine::Machine& machine_for(const std::string& workload);
+  bool disk_bootable(const disk::DiskImage& image) const;
+
+  InjectorOptions options_;
+  const kernel::KernelImage& image_;
+  disk::DiskImage root_disk_;
+  std::vector<std::uint8_t> init_pristine_;
+  std::vector<std::uint8_t> libc_pristine_;
+  std::map<std::string, std::unique_ptr<machine::Machine>> machines_;
+  std::map<std::string, GoldenRun> goldens_;
+  std::map<std::string, std::unordered_set<std::uint32_t>> coverage_;
+  std::uint64_t runs_ = 0;
+};
+
+}  // namespace kfi::inject

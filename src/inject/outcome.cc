@@ -1,0 +1,105 @@
+#include "inject/outcome.h"
+
+#include "kernel/koffsets.h"
+
+namespace kfi::inject {
+
+std::string_view campaign_name(Campaign campaign) {
+  switch (campaign) {
+    case Campaign::RandomNonBranch: return "A";
+    case Campaign::RandomBranch: return "B";
+    case Campaign::IncorrectBranch: return "C";
+  }
+  return "?";
+}
+
+std::string_view campaign_description(Campaign campaign) {
+  switch (campaign) {
+    case Campaign::RandomNonBranch:
+      return "Any Random Error: a random bit in each byte of every "
+             "non-branch instruction";
+    case Campaign::RandomBranch:
+      return "Random Branch Error: a random bit in each byte of every "
+             "conditional branch instruction";
+    case Campaign::IncorrectBranch:
+      return "Valid but Incorrect Branch: the bit that reverses the "
+             "condition of the branch instruction";
+  }
+  return "?";
+}
+
+std::string_view outcome_name(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::NotActivated: return "Not Activated";
+    case Outcome::NotManifested: return "Not Manifested";
+    case Outcome::FailSilenceViolation: return "Fail Silence Violation";
+    case Outcome::DumpedCrash: return "Dumped Crash";
+    case Outcome::HangUnknown: return "Hang/Unknown Crash";
+  }
+  return "?";
+}
+
+std::string_view crash_cause_name(CrashCause cause) {
+  switch (cause) {
+    case CrashCause::NullPointer:
+      return "unable to handle kernel NULL pointer dereference";
+    case CrashCause::PagingRequest:
+      return "unable to handle kernel paging request";
+    case CrashCause::InvalidOpcode: return "invalid opcode";
+    case CrashCause::GpFault: return "general protection fault";
+    case CrashCause::DivideError: return "divide error";
+    case CrashCause::KernelPanic: return "kernel panic";
+    case CrashCause::OutOfMemory: return "out of memory";
+    case CrashCause::Other: return "other";
+  }
+  return "?";
+}
+
+std::string_view crash_cause_short_name(CrashCause cause) {
+  switch (cause) {
+    case CrashCause::NullPointer: return "null-ptr";
+    case CrashCause::PagingRequest: return "paging";
+    case CrashCause::InvalidOpcode: return "inv-op";
+    case CrashCause::GpFault: return "gp";
+    case CrashCause::DivideError: return "divide";
+    case CrashCause::KernelPanic: return "panic";
+    case CrashCause::OutOfMemory: return "oom";
+    case CrashCause::Other: return "other";
+  }
+  return "?";
+}
+
+CrashCause crash_cause_from_code(std::uint32_t code) {
+  switch (code) {
+    case kernel::CRASH_NULL_POINTER: return CrashCause::NullPointer;
+    case kernel::CRASH_PAGING_REQUEST: return CrashCause::PagingRequest;
+    case kernel::CRASH_INVALID_OPCODE: return CrashCause::InvalidOpcode;
+    case kernel::CRASH_GP_FAULT: return CrashCause::GpFault;
+    case kernel::CRASH_DIVIDE: return CrashCause::DivideError;
+    case kernel::CRASH_PANIC: return CrashCause::KernelPanic;
+    case kernel::CRASH_OUT_OF_MEMORY: return CrashCause::OutOfMemory;
+    default: return CrashCause::Other;
+  }
+}
+
+std::string_view severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::NotApplicable: return "n/a";
+    case Severity::Normal: return "normal";
+    case Severity::Severe: return "severe";
+    case Severity::MostSevere: return "most severe";
+  }
+  return "?";
+}
+
+std::uint32_t severity_downtime_seconds(Severity severity) {
+  switch (severity) {
+    case Severity::NotApplicable: return 0;
+    case Severity::Normal: return 4 * 60;        // automatic reboot
+    case Severity::Severe: return 6 * 60;        // interactive fsck
+    case Severity::MostSevere: return 55 * 60;   // reformat + reinstall
+  }
+  return 0;
+}
+
+}  // namespace kfi::inject

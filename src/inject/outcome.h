@@ -1,0 +1,107 @@
+// Injection campaign vocabulary: campaigns (Table 4), outcome categories
+// (Table 3), crash causes (Figure 6), and crash severity (§7.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "kernel/build.h"
+
+namespace kfi::inject {
+
+// The paper's three campaigns (Table 4).
+enum class Campaign : std::uint8_t {
+  RandomNonBranch,   // A: a random bit in each byte of non-branch instrs
+  RandomBranch,      // B: a random bit in each byte of conditional branches
+  IncorrectBranch,   // C: the bit that reverses the branch condition
+};
+
+std::string_view campaign_name(Campaign campaign);        // "A" / "B" / "C"
+std::string_view campaign_description(Campaign campaign);
+
+// Outcome categories (Table 3).  DumpedCrash and HangUnknown together
+// form the tables' "Crash/Hang" column.
+enum class Outcome : std::uint8_t {
+  NotActivated,          // corrupted instruction never executed
+  NotManifested,         // executed, no visible abnormal effect
+  FailSilenceViolation,  // wrong output / error reported to the app
+  DumpedCrash,           // kernel oops with a crash dump
+  HangUnknown,           // watchdog reboot: hang or dump-less crash
+};
+
+std::string_view outcome_name(Outcome outcome);
+
+// Crash causes as the kernel reports them (Figure 6 categories).
+enum class CrashCause : std::uint8_t {
+  NullPointer,     // unable to handle kernel NULL pointer dereference
+  PagingRequest,   // unable to handle kernel paging request
+  InvalidOpcode,   // invalid operand/opcode (incl. BUG()/ud2 assertions)
+  GpFault,         // general protection fault
+  DivideError,
+  KernelPanic,
+  OutOfMemory,
+  Other,
+};
+
+std::string_view crash_cause_name(CrashCause cause);
+
+// Compact label for dense renderings ("null-ptr", "paging", ...).
+std::string_view crash_cause_short_name(CrashCause cause);
+
+// Maps the kernel's crash-port code to the analysis category.
+CrashCause crash_cause_from_code(std::uint32_t code);
+
+// Crash severity (§7.1): downtime class after the crash.
+enum class Severity : std::uint8_t {
+  NotApplicable,  // run did not crash
+  Normal,         // clean fs: automatic reboot (< 4 minutes)
+  Severe,         // fs repairable by interactive fsck (> 5 minutes)
+  MostSevere,     // fs unrepairable or unbootable: reformat (~1 hour)
+};
+
+std::string_view severity_name(Severity severity);
+
+// Modeled downtime per severity class, in seconds (§7.1's figures).
+std::uint32_t severity_downtime_seconds(Severity severity);
+
+// What and where was injected.
+struct InjectionSpec {
+  Campaign campaign = Campaign::RandomNonBranch;
+  std::string function;
+  kernel::Subsystem subsystem = kernel::Subsystem::Unknown;
+  std::uint32_t instr_addr = 0;
+  std::uint8_t instr_len = 0;
+  std::uint8_t byte_index = 0;
+  std::uint8_t bit_index = 0;
+  std::string workload;
+};
+
+// One injection run's full record.
+struct InjectionResult {
+  InjectionSpec spec;
+  Outcome outcome = Outcome::NotActivated;
+  std::uint64_t activation_cycle = 0;  // relative to run start
+
+  // Crash analysis (valid when outcome == DumpedCrash).
+  CrashCause cause = CrashCause::Other;
+  std::uint32_t crash_eip = 0;
+  std::uint32_t crash_addr = 0;
+  kernel::Subsystem crash_subsystem = kernel::Subsystem::Unknown;
+  bool propagated = false;         // crashed outside the faulted subsystem
+  std::uint64_t latency_cycles = 0;
+
+  // Post-run disk state (valid for every activated outcome).
+  Severity severity = Severity::NotApplicable;
+  bool fs_damaged = false;
+  bool bootable = true;
+  // For Severe gradings: whether fsck_repair on a copy of the damaged
+  // image actually converged to a clean fs (validates the taxonomy).
+  bool repair_verified = false;
+
+  // Case-study material.
+  std::string disasm_before;
+  std::string disasm_after;
+};
+
+}  // namespace kfi::inject

@@ -1,0 +1,115 @@
+#include "inject/targets.h"
+
+#include "isa/decode.h"
+#include "isa/disasm.h"
+
+namespace kfi::inject {
+namespace {
+
+// Locates the image bytes backing [start, end).
+const std::uint8_t* segment_bytes(const kernel::KernelImage& image,
+                                  std::uint32_t start, std::uint32_t end) {
+  for (const kernel::LoadSegment& segment : image.segments) {
+    if (start >= segment.base &&
+        end <= segment.base + segment.bytes.size()) {
+      return segment.bytes.data() + (start - segment.base);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<InstructionSite> enumerate_function(
+    const kernel::KernelImage& image, const kernel::KernelFunction& fn) {
+  std::vector<InstructionSite> sites;
+  const std::uint8_t* bytes = segment_bytes(image, fn.start, fn.end);
+  if (bytes == nullptr) return sites;
+
+  std::uint32_t offset = 0;
+  const std::uint32_t size = fn.end - fn.start;
+  while (offset < size) {
+    isa::Instruction instr;
+    const isa::DecodeStatus status =
+        isa::decode(bytes + offset, size - offset, instr);
+    if (status != isa::DecodeStatus::Ok) break;  // data tail / padding
+    InstructionSite site;
+    site.addr = fn.start + offset;
+    site.bytes.assign(bytes + offset, bytes + offset + instr.length);
+    site.is_branch = instr.is_branch();
+    site.is_cond_branch = instr.is_conditional_branch();
+    site.disasm = isa::disassemble(instr, site.addr);
+    sites.push_back(std::move(site));
+    offset += instr.length;
+  }
+  return sites;
+}
+
+int condition_byte_index(const InstructionSite& site) {
+  if (!site.is_cond_branch || site.bytes.empty()) return -1;
+  if ((site.bytes[0] & 0xF0) == 0x70) return 0;  // short Jcc
+  if (site.bytes[0] == 0x0F && site.bytes.size() > 1 &&
+      (site.bytes[1] & 0xF0) == 0x80) {
+    return 1;  // long Jcc
+  }
+  return -1;
+}
+
+std::vector<InjectionSpec> make_targets(const kernel::KernelImage& image,
+                                        const kernel::KernelFunction& fn,
+                                        Campaign campaign, Rng& rng,
+                                        int repeats) {
+  std::vector<InjectionSpec> targets;
+  const std::vector<InstructionSite> sites = enumerate_function(image, fn);
+
+  auto base_spec = [&fn, campaign](const InstructionSite& site) {
+    InjectionSpec spec;
+    spec.campaign = campaign;
+    spec.function = fn.name;
+    spec.subsystem = fn.subsystem;
+    spec.instr_addr = site.addr;
+    spec.instr_len = static_cast<std::uint8_t>(site.bytes.size());
+    return spec;
+  };
+
+  for (const InstructionSite& site : sites) {
+    switch (campaign) {
+      case Campaign::RandomNonBranch: {
+        if (site.is_branch) break;
+        for (int rep = 0; rep < repeats; ++rep) {
+          for (std::size_t byte = 0; byte < site.bytes.size(); ++byte) {
+            InjectionSpec spec = base_spec(site);
+            spec.byte_index = static_cast<std::uint8_t>(byte);
+            spec.bit_index = static_cast<std::uint8_t>(rng.bit_in_byte());
+            targets.push_back(std::move(spec));
+          }
+        }
+        break;
+      }
+      case Campaign::RandomBranch: {
+        if (!site.is_cond_branch) break;
+        for (int rep = 0; rep < repeats; ++rep) {
+          for (std::size_t byte = 0; byte < site.bytes.size(); ++byte) {
+            InjectionSpec spec = base_spec(site);
+            spec.byte_index = static_cast<std::uint8_t>(byte);
+            spec.bit_index = static_cast<std::uint8_t>(rng.bit_in_byte());
+            targets.push_back(std::move(spec));
+          }
+        }
+        break;
+      }
+      case Campaign::IncorrectBranch: {
+        const int cond_byte = condition_byte_index(site);
+        if (cond_byte < 0) break;
+        InjectionSpec spec = base_spec(site);
+        spec.byte_index = static_cast<std::uint8_t>(cond_byte);
+        spec.bit_index = 0;  // bit 0 reverses the condition
+        targets.push_back(std::move(spec));
+        break;
+      }
+    }
+  }
+  return targets;
+}
+
+}  // namespace kfi::inject

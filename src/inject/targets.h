@@ -1,0 +1,43 @@
+// Target enumeration: disassembles kernel functions and generates the
+// per-campaign injection target lists (Table 4 semantics).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "inject/outcome.h"
+#include "kernel/build.h"
+#include "support/rng.h"
+
+namespace kfi::inject {
+
+struct InstructionSite {
+  std::uint32_t addr = 0;
+  std::vector<std::uint8_t> bytes;
+  bool is_branch = false;       // any control transfer
+  bool is_cond_branch = false;  // Jcc only (campaigns B and C)
+  std::string disasm;
+};
+
+// Reads a function's bytes out of the kernel image and decodes it
+// instruction by instruction.  Decoding stops cleanly at the function
+// end; a trailing partial instruction is dropped.
+std::vector<InstructionSite> enumerate_function(
+    const kernel::KernelImage& image, const kernel::KernelFunction& fn);
+
+// Returns the byte index holding the condition (bit 0 reverses it):
+// 0 for short Jcc (0x7x), 1 for the 0F 8x long form; -1 if not a Jcc.
+int condition_byte_index(const InstructionSite& site);
+
+// Generates the campaign's targets for one function, as the paper does:
+//  A: every byte of every non-branch instruction, a random bit each
+//  B: every byte of every conditional branch, a random bit each
+//  C: one target per conditional branch, the condition-reversing bit
+// `repeats` multiplies the random-bit campaigns (A/B) for larger runs.
+std::vector<InjectionSpec> make_targets(const kernel::KernelImage& image,
+                                        const kernel::KernelFunction& fn,
+                                        Campaign campaign, Rng& rng,
+                                        int repeats = 1);
+
+}  // namespace kfi::inject

@@ -1,0 +1,505 @@
+#include "isa/decode.h"
+
+namespace kfi::isa {
+namespace {
+
+struct Cursor {
+  const std::uint8_t* bytes;
+  std::size_t avail;
+  std::size_t pos = 0;
+  bool truncated = false;
+
+  std::uint8_t u8() {
+    if (pos >= avail) {
+      truncated = true;
+      return 0;
+    }
+    return bytes[pos++];
+  }
+
+  std::int32_t s8() { return static_cast<std::int8_t>(u8()); }
+
+  std::int32_t s32() {
+    std::uint32_t v = 0;
+    v |= static_cast<std::uint32_t>(u8());
+    v |= static_cast<std::uint32_t>(u8()) << 8;
+    v |= static_cast<std::uint32_t>(u8()) << 16;
+    v |= static_cast<std::uint32_t>(u8()) << 24;
+    return static_cast<std::int32_t>(v);
+  }
+};
+
+// Decodes a ModRM byte plus its displacement.  Returns the reg field via
+// `reg_field`; the r/m operand via `rm`.
+void decode_modrm(Cursor& cur, int& reg_field, Operand& rm, bool byte_op) {
+  const std::uint8_t modrm = cur.u8();
+  const int mod = modrm >> 6;
+  reg_field = (modrm >> 3) & 7;
+  const int rm_field = modrm & 7;
+
+  if (mod == 3) {
+    rm = byte_op ? Operand::make_reg8(static_cast<Reg>(rm_field))
+                 : Operand::make_reg(static_cast<Reg>(rm_field));
+    return;
+  }
+  MemRef mem;
+  if (mod == 0 && rm_field == 5) {
+    mem.has_base = false;
+    mem.disp = cur.s32();
+  } else {
+    mem.has_base = true;
+    mem.base = static_cast<Reg>(rm_field);
+    if (mod == 1) {
+      mem.disp = cur.s8();
+    } else if (mod == 2) {
+      mem.disp = cur.s32();
+    }
+  }
+  rm = Operand::make_mem(mem, byte_op);
+}
+
+DecodeStatus finish(Cursor& cur, Instruction& out) {
+  if (cur.truncated) {
+    out.op = Op::Invalid;
+    out.length = static_cast<std::uint8_t>(cur.pos);
+    return DecodeStatus::Truncated;
+  }
+  out.length = static_cast<std::uint8_t>(cur.pos);
+  return DecodeStatus::Ok;
+}
+
+DecodeStatus invalid(Cursor& cur, Instruction& out) {
+  out = Instruction{};
+  out.op = Op::Invalid;
+  // #UD is raised at the instruction start; report length 1 unless the
+  // prefix structure consumed a determinate amount (two-byte escapes).
+  out.length = static_cast<std::uint8_t>(cur.pos > 0 ? cur.pos : 1);
+  return cur.truncated ? DecodeStatus::Truncated : DecodeStatus::Invalid;
+}
+
+// Maps the /reg field of group 0x81/0x83 to an ALU op.
+bool alu_group_op(int reg_field, Op& op) {
+  switch (reg_field) {
+    case 0: op = Op::Add; return true;
+    case 1: op = Op::Or; return true;
+    case 4: op = Op::And; return true;
+    case 5: op = Op::Sub; return true;
+    case 6: op = Op::Xor; return true;
+    case 7: op = Op::Cmp; return true;
+    default: return false;  // adc/sbb not implemented -> #UD
+  }
+}
+
+bool shift_group_op(int reg_field, Op& op) {
+  switch (reg_field) {
+    case 4: op = Op::Shl; return true;
+    case 5: op = Op::Shr; return true;
+    case 7: op = Op::Sar; return true;
+    default: return false;
+  }
+}
+
+}  // namespace
+
+DecodeStatus decode(const std::uint8_t* bytes, std::size_t avail,
+                    Instruction& out) {
+  Cursor cur{bytes, avail};
+  out = Instruction{};
+  const std::uint8_t opcode = cur.u8();
+  if (cur.truncated) return invalid(cur, out);
+
+  // ALU rows share a layout: base+0 rm8,r8 / +1 rm,r / +3 r,rm /
+  // +4 al,imm8 / +5 eax,imm32 (as on IA-32).
+  auto alu_row = [&](Op op) -> DecodeStatus {
+    const int variant = opcode & 7;
+    int reg_field = 0;
+    Operand rm;
+    switch (variant) {
+      case 0:  // rm8, r8
+        decode_modrm(cur, reg_field, rm, /*byte_op=*/true);
+        out.op = op;
+        out.dst = rm;
+        out.src = Operand::make_reg8(static_cast<Reg>(reg_field));
+        return finish(cur, out);
+      case 1:  // rm, r
+        decode_modrm(cur, reg_field, rm, /*byte_op=*/false);
+        out.op = op;
+        out.dst = rm;
+        out.src = Operand::make_reg(static_cast<Reg>(reg_field));
+        return finish(cur, out);
+      case 3:  // r, rm
+        decode_modrm(cur, reg_field, rm, /*byte_op=*/false);
+        out.op = op;
+        out.dst = Operand::make_reg(static_cast<Reg>(reg_field));
+        out.src = rm;
+        return finish(cur, out);
+      case 4:  // al, imm8
+        out.op = op;
+        out.dst = Operand::make_reg8(Reg::Eax);
+        out.src = Operand::make_imm(cur.u8());
+        return finish(cur, out);
+      case 5:  // eax, imm32
+        out.op = op;
+        out.dst = Operand::make_reg(Reg::Eax);
+        out.src = Operand::make_imm(cur.s32());
+        return finish(cur, out);
+      default:
+        return invalid(cur, out);
+    }
+  };
+
+  switch (opcode) {
+    case 0x00: case 0x01: case 0x03: case 0x04: case 0x05:
+      return alu_row(Op::Add);
+    case 0x08: case 0x09: case 0x0B: case 0x0C: case 0x0D:
+      return alu_row(Op::Or);
+    case 0x20: case 0x21: case 0x23: case 0x24: case 0x25:
+      return alu_row(Op::And);
+    case 0x28: case 0x29: case 0x2B: case 0x2C: case 0x2D:
+      return alu_row(Op::Sub);
+    case 0x30: case 0x31: case 0x33: case 0x34: case 0x35:
+      return alu_row(Op::Xor);
+    case 0x38: case 0x39: case 0x3B: case 0x3C: case 0x3D:
+      return alu_row(Op::Cmp);
+
+    case 0x0F: {  // two-byte escape
+      const std::uint8_t second = cur.u8();
+      if (cur.truncated) return invalid(cur, out);
+      if (second == 0x0B) {
+        out.op = Op::Ud2;
+        return finish(cur, out);
+      }
+      if (second >= 0x80 && second <= 0x8F) {
+        out.op = Op::Jcc;
+        out.cond = static_cast<Cond>(second & 0x0F);
+        out.rel = cur.s32();
+        return finish(cur, out);
+      }
+      if (second >= 0x90 && second <= 0x9F) {
+        int reg_field = 0;
+        Operand rm;
+        decode_modrm(cur, reg_field, rm, /*byte_op=*/true);
+        out.op = Op::Setcc;
+        out.cond = static_cast<Cond>(second & 0x0F);
+        out.dst = rm;
+        return finish(cur, out);
+      }
+      if (second == 0xAF) {
+        int reg_field = 0;
+        Operand rm;
+        decode_modrm(cur, reg_field, rm, /*byte_op=*/false);
+        out.op = Op::Imul;
+        out.dst = Operand::make_reg(static_cast<Reg>(reg_field));
+        out.src = rm;
+        return finish(cur, out);
+      }
+      if (second == 0xB6) {
+        int reg_field = 0;
+        Operand rm;
+        decode_modrm(cur, reg_field, rm, /*byte_op=*/true);
+        out.op = Op::Movzx8;
+        out.dst = Operand::make_reg(static_cast<Reg>(reg_field));
+        out.src = rm;
+        return finish(cur, out);
+      }
+      return invalid(cur, out);
+    }
+
+    case 0x68:
+      out.op = Op::Push;
+      out.src = Operand::make_imm(cur.s32());
+      return finish(cur, out);
+    case 0x6A:
+      out.op = Op::Push;
+      out.src = Operand::make_imm(cur.s8());
+      return finish(cur, out);
+
+    case 0x81: {
+      int reg_field = 0;
+      Operand rm;
+      decode_modrm(cur, reg_field, rm, /*byte_op=*/false);
+      Op op;
+      if (!alu_group_op(reg_field, op)) return invalid(cur, out);
+      out.op = op;
+      out.dst = rm;
+      out.src = Operand::make_imm(cur.s32());
+      return finish(cur, out);
+    }
+    case 0x83: {
+      int reg_field = 0;
+      Operand rm;
+      decode_modrm(cur, reg_field, rm, /*byte_op=*/false);
+      Op op;
+      if (!alu_group_op(reg_field, op)) return invalid(cur, out);
+      out.op = op;
+      out.dst = rm;
+      out.src = Operand::make_imm(cur.s8());
+      return finish(cur, out);
+    }
+
+    case 0x84: {
+      int reg_field = 0;
+      Operand rm;
+      decode_modrm(cur, reg_field, rm, /*byte_op=*/true);
+      out.op = Op::Test;
+      out.dst = rm;
+      out.src = Operand::make_reg8(static_cast<Reg>(reg_field));
+      return finish(cur, out);
+    }
+    case 0x85: {
+      int reg_field = 0;
+      Operand rm;
+      decode_modrm(cur, reg_field, rm, /*byte_op=*/false);
+      out.op = Op::Test;
+      out.dst = rm;
+      out.src = Operand::make_reg(static_cast<Reg>(reg_field));
+      return finish(cur, out);
+    }
+
+    case 0x88: {
+      int reg_field = 0;
+      Operand rm;
+      decode_modrm(cur, reg_field, rm, /*byte_op=*/true);
+      out.op = Op::Mov;
+      out.dst = rm;
+      out.src = Operand::make_reg8(static_cast<Reg>(reg_field));
+      return finish(cur, out);
+    }
+    case 0x89: {
+      int reg_field = 0;
+      Operand rm;
+      decode_modrm(cur, reg_field, rm, /*byte_op=*/false);
+      out.op = Op::Mov;
+      out.dst = rm;
+      out.src = Operand::make_reg(static_cast<Reg>(reg_field));
+      return finish(cur, out);
+    }
+    case 0x8A: {
+      int reg_field = 0;
+      Operand rm;
+      decode_modrm(cur, reg_field, rm, /*byte_op=*/true);
+      out.op = Op::Mov;
+      out.dst = Operand::make_reg8(static_cast<Reg>(reg_field));
+      out.src = rm;
+      return finish(cur, out);
+    }
+    case 0x8B: {
+      int reg_field = 0;
+      Operand rm;
+      decode_modrm(cur, reg_field, rm, /*byte_op=*/false);
+      out.op = Op::Mov;
+      out.dst = Operand::make_reg(static_cast<Reg>(reg_field));
+      out.src = rm;
+      return finish(cur, out);
+    }
+    case 0x8D: {
+      int reg_field = 0;
+      Operand rm;
+      decode_modrm(cur, reg_field, rm, /*byte_op=*/false);
+      if (rm.kind != OperandKind::Mem) return invalid(cur, out);
+      out.op = Op::Lea;
+      out.dst = Operand::make_reg(static_cast<Reg>(reg_field));
+      out.src = rm;
+      return finish(cur, out);
+    }
+    case 0x8E: {  // mov sreg, r/m -> corrupted selector, #GP at execution
+      int reg_field = 0;
+      Operand rm;
+      decode_modrm(cur, reg_field, rm, /*byte_op=*/false);
+      out.op = Op::MovSeg;
+      out.src = rm;
+      return finish(cur, out);
+    }
+
+    case 0x90:
+      out.op = Op::Nop;
+      return finish(cur, out);
+    case 0x99:
+      out.op = Op::Cdq;
+      return finish(cur, out);
+    case 0x9A:  // call ptr16:32
+      out.op = Op::FarCall;
+      (void)cur.s32();
+      (void)cur.u8();
+      (void)cur.u8();
+      return finish(cur, out);
+
+    case 0xC1: {
+      int reg_field = 0;
+      Operand rm;
+      decode_modrm(cur, reg_field, rm, /*byte_op=*/false);
+      Op op;
+      if (!shift_group_op(reg_field, op)) return invalid(cur, out);
+      out.op = op;
+      out.dst = rm;
+      out.src = Operand::make_imm(cur.u8() & 31);
+      return finish(cur, out);
+    }
+    case 0xC3:
+      out.op = Op::Ret;
+      return finish(cur, out);
+    case 0xC6: {
+      int reg_field = 0;
+      Operand rm;
+      decode_modrm(cur, reg_field, rm, /*byte_op=*/true);
+      if (reg_field != 0) return invalid(cur, out);
+      out.op = Op::Mov;
+      out.dst = rm;
+      out.src = Operand::make_imm(cur.u8());
+      return finish(cur, out);
+    }
+    case 0xC7: {
+      int reg_field = 0;
+      Operand rm;
+      decode_modrm(cur, reg_field, rm, /*byte_op=*/false);
+      if (reg_field != 0) return invalid(cur, out);
+      out.op = Op::Mov;
+      out.dst = rm;
+      out.src = Operand::make_imm(cur.s32());
+      return finish(cur, out);
+    }
+    case 0xC9:
+      out.op = Op::Leave;
+      return finish(cur, out);
+    case 0xCB:
+      out.op = Op::Lret;
+      return finish(cur, out);
+    case 0xCC:
+      out.op = Op::Int3;
+      return finish(cur, out);
+    case 0xCD:
+      out.op = Op::Int;
+      out.imm8 = cur.u8();
+      return finish(cur, out);
+    case 0xCF:
+      out.op = Op::Iret;
+      return finish(cur, out);
+
+    case 0xD1: {
+      int reg_field = 0;
+      Operand rm;
+      decode_modrm(cur, reg_field, rm, /*byte_op=*/false);
+      Op op;
+      if (!shift_group_op(reg_field, op)) return invalid(cur, out);
+      out.op = op;
+      out.dst = rm;
+      out.src = Operand::make_imm(1);
+      return finish(cur, out);
+    }
+    case 0xD3: {
+      int reg_field = 0;
+      Operand rm;
+      decode_modrm(cur, reg_field, rm, /*byte_op=*/false);
+      Op op;
+      if (!shift_group_op(reg_field, op)) return invalid(cur, out);
+      out.op = op;
+      out.dst = rm;
+      out.src = Operand::make_reg8(Reg::Ecx);  // count in cl
+      return finish(cur, out);
+    }
+
+    case 0xE8:
+      out.op = Op::Call;
+      out.rel = cur.s32();
+      return finish(cur, out);
+    case 0xE9:
+      out.op = Op::Jmp;
+      out.rel = cur.s32();
+      return finish(cur, out);
+    case 0xEA:  // jmp ptr16:32
+      out.op = Op::FarJmp;
+      (void)cur.s32();
+      (void)cur.u8();
+      (void)cur.u8();
+      return finish(cur, out);
+    case 0xEB:
+      out.op = Op::Jmp;
+      out.rel = cur.s8();
+      return finish(cur, out);
+    case 0xEC:
+      out.op = Op::In;
+      return finish(cur, out);
+
+    case 0xF4:
+      out.op = Op::Hlt;
+      return finish(cur, out);
+    case 0xFA:
+      out.op = Op::Cli;
+      return finish(cur, out);
+    case 0xFB:
+      out.op = Op::Sti;
+      return finish(cur, out);
+
+    case 0xF7: {
+      int reg_field = 0;
+      Operand rm;
+      decode_modrm(cur, reg_field, rm, /*byte_op=*/false);
+      switch (reg_field) {
+        case 0:
+          out.op = Op::Test;
+          out.dst = rm;
+          out.src = Operand::make_imm(cur.s32());
+          return finish(cur, out);
+        case 2: out.op = Op::Not; out.dst = rm; return finish(cur, out);
+        case 3: out.op = Op::Neg; out.dst = rm; return finish(cur, out);
+        case 4: out.op = Op::Mul; out.src = rm; return finish(cur, out);
+        case 6: out.op = Op::Div; out.src = rm; return finish(cur, out);
+        case 7: out.op = Op::Idiv; out.src = rm; return finish(cur, out);
+        default: return invalid(cur, out);
+      }
+    }
+    case 0xFF: {
+      int reg_field = 0;
+      Operand rm;
+      decode_modrm(cur, reg_field, rm, /*byte_op=*/false);
+      switch (reg_field) {
+        case 0: out.op = Op::Inc; out.dst = rm; return finish(cur, out);
+        case 1: out.op = Op::Dec; out.dst = rm; return finish(cur, out);
+        case 2: out.op = Op::CallInd; out.src = rm; return finish(cur, out);
+        case 4: out.op = Op::JmpInd; out.src = rm; return finish(cur, out);
+        case 6: out.op = Op::Push; out.src = rm; return finish(cur, out);
+        default: return invalid(cur, out);
+      }
+    }
+
+    default:
+      break;
+  }
+
+  if (opcode >= 0x40 && opcode <= 0x47) {
+    out.op = Op::Inc;
+    out.dst = Operand::make_reg(static_cast<Reg>(opcode - 0x40));
+    return finish(cur, out);
+  }
+  if (opcode >= 0x48 && opcode <= 0x4F) {
+    out.op = Op::Dec;
+    out.dst = Operand::make_reg(static_cast<Reg>(opcode - 0x48));
+    return finish(cur, out);
+  }
+  if (opcode >= 0x50 && opcode <= 0x57) {
+    out.op = Op::Push;
+    out.src = Operand::make_reg(static_cast<Reg>(opcode - 0x50));
+    return finish(cur, out);
+  }
+  if (opcode >= 0x58 && opcode <= 0x5F) {
+    out.op = Op::Pop;
+    out.dst = Operand::make_reg(static_cast<Reg>(opcode - 0x58));
+    return finish(cur, out);
+  }
+  if (opcode >= 0x70 && opcode <= 0x7F) {
+    out.op = Op::Jcc;
+    out.cond = static_cast<Cond>(opcode & 0x0F);
+    out.rel = cur.s8();
+    return finish(cur, out);
+  }
+  if (opcode >= 0xB8 && opcode <= 0xBF) {
+    out.op = Op::Mov;
+    out.dst = Operand::make_reg(static_cast<Reg>(opcode - 0xB8));
+    out.src = Operand::make_imm(cur.s32());
+    return finish(cur, out);
+  }
+
+  return invalid(cur, out);
+}
+
+}  // namespace kfi::isa

@@ -1,0 +1,30 @@
+// Instruction decoder.
+//
+// The decoder is total: any byte sequence decodes to either a valid
+// instruction, an Invalid instruction (executes as #UD), or Truncated
+// (more bytes needed than were supplied — at execution time this surfaces
+// as an instruction-fetch page fault).  Totality is what makes random
+// bit-flip injection meaningful.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "isa/instruction.h"
+
+namespace kfi::isa {
+
+enum class DecodeStatus : std::uint8_t { Ok, Invalid, Truncated };
+
+// Decodes one instruction from `bytes` (at most `avail` bytes).
+// On Ok, `out` is fully populated including `length`.
+// On Invalid, `out.op == Op::Invalid` and `out.length == 1`.
+// On Truncated, `out.length` holds the number of bytes that would be
+// required (lower bound).
+DecodeStatus decode(const std::uint8_t* bytes, std::size_t avail,
+                    Instruction& out);
+
+// Maximum encoded instruction length (opcode + modrm + disp32 + imm32).
+inline constexpr std::size_t kMaxInstructionLength = 11;
+
+}  // namespace kfi::isa

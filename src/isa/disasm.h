@@ -1,0 +1,24 @@
+// Disassembler — renders instructions in AT&T-flavoured syntax matching
+// the listings the paper shows (e.g. "je c01144f4", "mov %ecx,%eax",
+// "movzbl 0x1b(%edx),%eax").  Used by the injector's case-study reports
+// (Tables 6 and 7) and by assembler listings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "isa/instruction.h"
+
+namespace kfi::isa {
+
+// Renders `instr` assuming it was decoded at virtual address `pc`
+// (branch targets print resolved, as the paper's tables do).
+std::string disassemble(const Instruction& instr, std::uint32_t pc);
+
+// Convenience: decode + render one instruction from raw bytes.
+// Returns "(bad)" for undecodable bytes.  `length_out` receives the
+// decoded length (1 for invalid encodings).
+std::string disassemble_bytes(const std::uint8_t* bytes, std::size_t avail,
+                              std::uint32_t pc, std::size_t* length_out);
+
+}  // namespace kfi::isa

@@ -1,0 +1,389 @@
+#include "isa/encode.h"
+
+namespace kfi::isa {
+namespace {
+
+void put8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put32(std::vector<std::uint8_t>& out, std::int32_t value) {
+  const auto v = static_cast<std::uint32_t>(value);
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+bool fits_s8(std::int32_t v) { return v >= -128 && v <= 127; }
+
+// Emits a ModRM byte (+displacement) for `rm` with the given reg field.
+bool put_modrm(std::vector<std::uint8_t>& out, int reg_field,
+               const Operand& rm) {
+  const auto reg_bits = static_cast<std::uint8_t>((reg_field & 7) << 3);
+  switch (rm.kind) {
+    case OperandKind::Reg:
+    case OperandKind::Reg8:
+      put8(out, static_cast<std::uint8_t>(0xC0 | reg_bits |
+                                          (static_cast<int>(rm.reg) & 7)));
+      return true;
+    case OperandKind::Mem:
+    case OperandKind::Mem8: {
+      const MemRef& m = rm.mem;
+      if (!m.has_base) {
+        put8(out, static_cast<std::uint8_t>(0x00 | reg_bits | 5));
+        put32(out, m.disp);
+        return true;
+      }
+      const int base = static_cast<int>(m.base) & 7;
+      // [ebp] must use the disp8 form: mod=0,rm=5 means absolute.
+      if (m.disp == 0 && base != 5) {
+        put8(out, static_cast<std::uint8_t>(0x00 | reg_bits | base));
+      } else if (fits_s8(m.disp)) {
+        put8(out, static_cast<std::uint8_t>(0x40 | reg_bits | base));
+        put8(out, static_cast<std::uint8_t>(m.disp));
+      } else {
+        put8(out, static_cast<std::uint8_t>(0x80 | reg_bits | base));
+        put32(out, m.disp);
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+bool is_reg(const Operand& o) { return o.kind == OperandKind::Reg; }
+bool is_reg8(const Operand& o) { return o.kind == OperandKind::Reg8; }
+bool is_mem(const Operand& o) { return o.kind == OperandKind::Mem; }
+bool is_mem8(const Operand& o) { return o.kind == OperandKind::Mem8; }
+bool is_imm(const Operand& o) { return o.kind == OperandKind::Imm; }
+bool is_rm(const Operand& o) { return is_reg(o) || is_mem(o); }
+bool is_rm8(const Operand& o) { return is_reg8(o) || is_mem8(o); }
+
+// ALU row bases: add=0x00, or=0x08, and=0x20, sub=0x28, xor=0x30, cmp=0x38.
+bool alu_base(Op op, std::uint8_t& base, int& group_reg) {
+  switch (op) {
+    case Op::Add: base = 0x00; group_reg = 0; return true;
+    case Op::Or: base = 0x08; group_reg = 1; return true;
+    case Op::And: base = 0x20; group_reg = 4; return true;
+    case Op::Sub: base = 0x28; group_reg = 5; return true;
+    case Op::Xor: base = 0x30; group_reg = 6; return true;
+    case Op::Cmp: base = 0x38; group_reg = 7; return true;
+    default: return false;
+  }
+}
+
+bool shift_group_reg(Op op, int& group_reg) {
+  switch (op) {
+    case Op::Shl: group_reg = 4; return true;
+    case Op::Shr: group_reg = 5; return true;
+    case Op::Sar: group_reg = 7; return true;
+    default: return false;
+  }
+}
+
+bool encode_impl(const Instruction& in, std::vector<std::uint8_t>& out,
+                 bool force_long) {
+  std::uint8_t base = 0;
+  int group_reg = 0;
+
+  switch (in.op) {
+    case Op::Add:
+    case Op::Or:
+    case Op::And:
+    case Op::Sub:
+    case Op::Xor:
+    case Op::Cmp: {
+      (void)alu_base(in.op, base, group_reg);
+      if (is_rm8(in.dst) && is_reg8(in.src)) {
+        put8(out, base);  // rm8, r8
+        return put_modrm(out, static_cast<int>(in.src.reg), in.dst);
+      }
+      if (is_reg(in.dst) && is_imm(in.src) && in.dst.reg == Reg::Eax &&
+          !fits_s8(in.src.imm)) {
+        put8(out, static_cast<std::uint8_t>(base + 5));  // eax, imm32
+        put32(out, in.src.imm);
+        return true;
+      }
+      if (is_rm(in.dst) && is_imm(in.src)) {
+        if (fits_s8(in.src.imm)) {
+          put8(out, 0x83);
+          if (!put_modrm(out, group_reg, in.dst)) return false;
+          put8(out, static_cast<std::uint8_t>(in.src.imm));
+        } else {
+          put8(out, 0x81);
+          if (!put_modrm(out, group_reg, in.dst)) return false;
+          put32(out, in.src.imm);
+        }
+        return true;
+      }
+      if (is_reg8(in.dst) && in.dst.reg == Reg::Eax && is_imm(in.src)) {
+        put8(out, static_cast<std::uint8_t>(base + 4));  // al, imm8
+        put8(out, static_cast<std::uint8_t>(in.src.imm));
+        return true;
+      }
+      if (is_rm(in.dst) && is_reg(in.src)) {
+        put8(out, static_cast<std::uint8_t>(base + 1));  // rm, r
+        return put_modrm(out, static_cast<int>(in.src.reg), in.dst);
+      }
+      if (is_reg(in.dst) && is_mem(in.src)) {
+        put8(out, static_cast<std::uint8_t>(base + 3));  // r, rm
+        return put_modrm(out, static_cast<int>(in.dst.reg), in.src);
+      }
+      return false;
+    }
+
+    case Op::Test:
+      if (is_rm8(in.dst) && is_reg8(in.src)) {
+        put8(out, 0x84);
+        return put_modrm(out, static_cast<int>(in.src.reg), in.dst);
+      }
+      if (is_rm(in.dst) && is_reg(in.src)) {
+        put8(out, 0x85);
+        return put_modrm(out, static_cast<int>(in.src.reg), in.dst);
+      }
+      if (is_rm(in.dst) && is_imm(in.src)) {
+        put8(out, 0xF7);
+        if (!put_modrm(out, 0, in.dst)) return false;
+        put32(out, in.src.imm);
+        return true;
+      }
+      return false;
+
+    case Op::Mov:
+      if (is_reg(in.dst) && is_imm(in.src)) {
+        put8(out, static_cast<std::uint8_t>(0xB8 + static_cast<int>(in.dst.reg)));
+        put32(out, in.src.imm);
+        return true;
+      }
+      if (is_mem(in.dst) && is_imm(in.src)) {
+        put8(out, 0xC7);
+        if (!put_modrm(out, 0, in.dst)) return false;
+        put32(out, in.src.imm);
+        return true;
+      }
+      if (is_mem8(in.dst) && is_imm(in.src)) {
+        put8(out, 0xC6);
+        if (!put_modrm(out, 0, in.dst)) return false;
+        put8(out, static_cast<std::uint8_t>(in.src.imm));
+        return true;
+      }
+      if (is_rm8(in.dst) && is_reg8(in.src)) {
+        put8(out, 0x88);
+        return put_modrm(out, static_cast<int>(in.src.reg), in.dst);
+      }
+      if (is_reg8(in.dst) && is_mem8(in.src)) {
+        put8(out, 0x8A);
+        return put_modrm(out, static_cast<int>(in.dst.reg), in.src);
+      }
+      if (is_rm(in.dst) && is_reg(in.src)) {
+        put8(out, 0x89);
+        return put_modrm(out, static_cast<int>(in.src.reg), in.dst);
+      }
+      if (is_reg(in.dst) && is_mem(in.src)) {
+        put8(out, 0x8B);
+        return put_modrm(out, static_cast<int>(in.dst.reg), in.src);
+      }
+      return false;
+
+    case Op::Lea:
+      if (!is_reg(in.dst) || !is_mem(in.src)) return false;
+      put8(out, 0x8D);
+      return put_modrm(out, static_cast<int>(in.dst.reg), in.src);
+
+    case Op::Movzx8:
+      if (!is_reg(in.dst) || !is_rm8(in.src)) return false;
+      put8(out, 0x0F);
+      put8(out, 0xB6);
+      return put_modrm(out, static_cast<int>(in.dst.reg), in.src);
+
+    case Op::Imul:
+      if (!is_reg(in.dst) || !is_rm(in.src)) return false;
+      put8(out, 0x0F);
+      put8(out, 0xAF);
+      return put_modrm(out, static_cast<int>(in.dst.reg), in.src);
+
+    case Op::Push:
+      if (is_reg(in.src)) {
+        put8(out, static_cast<std::uint8_t>(0x50 + static_cast<int>(in.src.reg)));
+        return true;
+      }
+      if (is_imm(in.src)) {
+        if (fits_s8(in.src.imm)) {
+          put8(out, 0x6A);
+          put8(out, static_cast<std::uint8_t>(in.src.imm));
+        } else {
+          put8(out, 0x68);
+          put32(out, in.src.imm);
+        }
+        return true;
+      }
+      if (is_mem(in.src)) {
+        put8(out, 0xFF);
+        return put_modrm(out, 6, in.src);
+      }
+      return false;
+
+    case Op::Pop:
+      if (!is_reg(in.dst)) return false;
+      put8(out, static_cast<std::uint8_t>(0x58 + static_cast<int>(in.dst.reg)));
+      return true;
+
+    case Op::Inc:
+      if (is_reg(in.dst)) {
+        put8(out, static_cast<std::uint8_t>(0x40 + static_cast<int>(in.dst.reg)));
+        return true;
+      }
+      if (is_mem(in.dst)) {
+        put8(out, 0xFF);
+        return put_modrm(out, 0, in.dst);
+      }
+      return false;
+
+    case Op::Dec:
+      if (is_reg(in.dst)) {
+        put8(out, static_cast<std::uint8_t>(0x48 + static_cast<int>(in.dst.reg)));
+        return true;
+      }
+      if (is_mem(in.dst)) {
+        put8(out, 0xFF);
+        return put_modrm(out, 1, in.dst);
+      }
+      return false;
+
+    case Op::Not:
+      put8(out, 0xF7);
+      return put_modrm(out, 2, in.dst);
+    case Op::Neg:
+      put8(out, 0xF7);
+      return put_modrm(out, 3, in.dst);
+    case Op::Mul:
+      put8(out, 0xF7);
+      return put_modrm(out, 4, in.src);
+    case Op::Div:
+      put8(out, 0xF7);
+      return put_modrm(out, 6, in.src);
+    case Op::Idiv:
+      put8(out, 0xF7);
+      return put_modrm(out, 7, in.src);
+
+    case Op::Shl:
+    case Op::Shr:
+    case Op::Sar: {
+      if (!shift_group_reg(in.op, group_reg)) return false;
+      if (is_imm(in.src)) {
+        if (in.src.imm == 1) {
+          put8(out, 0xD1);
+          return put_modrm(out, group_reg, in.dst);
+        }
+        put8(out, 0xC1);
+        if (!put_modrm(out, group_reg, in.dst)) return false;
+        put8(out, static_cast<std::uint8_t>(in.src.imm & 31));
+        return true;
+      }
+      if (is_reg8(in.src) && in.src.reg == Reg::Ecx) {
+        put8(out, 0xD3);
+        return put_modrm(out, group_reg, in.dst);
+      }
+      return false;
+    }
+
+    case Op::Jcc:
+      if (!force_long && fits_s8(in.rel)) {
+        put8(out, static_cast<std::uint8_t>(0x70 | static_cast<int>(in.cond)));
+        put8(out, static_cast<std::uint8_t>(in.rel));
+      } else {
+        put8(out, 0x0F);
+        put8(out, static_cast<std::uint8_t>(0x80 | static_cast<int>(in.cond)));
+        put32(out, in.rel);
+      }
+      return true;
+
+    case Op::Setcc:
+      if (!is_rm8(in.dst)) return false;
+      put8(out, 0x0F);
+      put8(out, static_cast<std::uint8_t>(0x90 | static_cast<int>(in.cond)));
+      return put_modrm(out, 0, in.dst);
+
+    case Op::Jmp:
+      if (!force_long && fits_s8(in.rel)) {
+        put8(out, 0xEB);
+        put8(out, static_cast<std::uint8_t>(in.rel));
+      } else {
+        put8(out, 0xE9);
+        put32(out, in.rel);
+      }
+      return true;
+
+    case Op::JmpInd:
+      put8(out, 0xFF);
+      return put_modrm(out, 4, in.src);
+
+    case Op::Call:
+      put8(out, 0xE8);
+      put32(out, in.rel);
+      return true;
+
+    case Op::CallInd:
+      put8(out, 0xFF);
+      return put_modrm(out, 2, in.src);
+
+    case Op::Ret: put8(out, 0xC3); return true;
+    case Op::Leave: put8(out, 0xC9); return true;
+    case Op::Nop: put8(out, 0x90); return true;
+    case Op::Cdq: put8(out, 0x99); return true;
+    case Op::Ud2: put8(out, 0x0F); put8(out, 0x0B); return true;
+    case Op::Int3: put8(out, 0xCC); return true;
+    case Op::Int:
+      put8(out, 0xCD);
+      put8(out, in.imm8);
+      return true;
+    case Op::Iret: put8(out, 0xCF); return true;
+    case Op::Lret: put8(out, 0xCB); return true;
+    case Op::In: put8(out, 0xEC); return true;
+    case Op::Hlt: put8(out, 0xF4); return true;
+    case Op::Cli: put8(out, 0xFA); return true;
+    case Op::Sti: put8(out, 0xFB); return true;
+
+    case Op::FarJmp:
+      put8(out, 0xEA);
+      put32(out, 0);
+      put8(out, 0);
+      put8(out, 0);
+      return true;
+    case Op::FarCall:
+      put8(out, 0x9A);
+      put32(out, 0);
+      put8(out, 0);
+      put8(out, 0);
+      return true;
+    case Op::MovSeg:
+      put8(out, 0x8E);
+      return put_modrm(out, 0, in.src);
+
+    case Op::Invalid:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool encode(const Instruction& instr, std::vector<std::uint8_t>& out,
+            bool force_long_branch) {
+  const std::size_t before = out.size();
+  if (!encode_impl(instr, out, force_long_branch)) {
+    out.resize(before);
+    return false;
+  }
+  return true;
+}
+
+std::size_t encoded_length(const Instruction& instr, bool force_long_branch) {
+  std::vector<std::uint8_t> tmp;
+  if (!encode(instr, tmp, force_long_branch)) return 0;
+  return tmp.size();
+}
+
+}  // namespace kfi::isa

@@ -1,0 +1,28 @@
+// Instruction encoder — the inverse of the decoder for canonical forms.
+//
+// The assembler builds `Instruction` values and serializes them here.
+// `decode(encode(i)) == i` holds for every encodable instruction, which
+// the property tests exercise exhaustively over the operand space.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.h"
+
+namespace kfi::isa {
+
+// Appends the canonical encoding of `instr` to `out`.  Returns false if
+// the instruction has no encoding (e.g. Op::Invalid, malformed operands).
+//
+// Branch instructions: `instr.rel` is encoded as given; short forms are
+// chosen when the displacement fits unless `force_long_branch` is set
+// (the assembler's relaxation uses the forced form).
+bool encode(const Instruction& instr, std::vector<std::uint8_t>& out,
+            bool force_long_branch = false);
+
+// Length the canonical encoding would have, 0 if not encodable.
+std::size_t encoded_length(const Instruction& instr,
+                           bool force_long_branch = false);
+
+}  // namespace kfi::isa

@@ -1,0 +1,133 @@
+// Decoded instruction representation.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "isa/isa.h"
+
+namespace kfi::isa {
+
+// Operation kinds after decoding.  One enumerator per semantic operation;
+// the addressing mode lives in the operands.
+enum class Op : std::uint8_t {
+  Add,
+  Or,
+  And,
+  Sub,
+  Xor,
+  Cmp,
+  Test,
+  Mov,
+  Lea,
+  Movzx8,   // movzbl: zero-extending byte load
+  Imul,
+  Push,
+  Pop,
+  Inc,
+  Dec,
+  Not,
+  Neg,
+  Mul,      // unsigned edx:eax = eax * rm
+  Div,      // unsigned eax = edx:eax / rm, edx = remainder
+  Idiv,
+  Shl,
+  Shr,
+  Sar,
+  Jcc,      // conditional branch (the only branch kind campaigns B/C target)
+  Setcc,
+  Jmp,
+  JmpInd,   // jmp r/m
+  Call,     // call rel32
+  CallInd,  // call r/m
+  Ret,
+  Leave,
+  Nop,
+  Cdq,
+  Ud2,      // guaranteed-undefined opcode; the kernel's BUG() uses it
+  Int3,
+  Int,      // int imm8 (0x80 = system call)
+  Iret,     // privileged
+  Lret,     // far return: no far segments exist -> always #GP
+  FarJmp,   // jmp ptr16:32 -> always #GP
+  FarCall,  // call ptr16:32 -> always #GP
+  MovSeg,   // mov sreg, r/m -> always #GP (bad selector)
+  In,       // privileged port read
+  Hlt,      // privileged idle
+  Cli,
+  Sti,
+  Invalid,  // undefined encoding -> #UD at execution
+};
+
+std::string_view op_name(Op op);
+
+enum class OperandKind : std::uint8_t { None, Reg, Reg8, Mem, Mem8, Imm };
+
+struct MemRef {
+  bool has_base = false;
+  Reg base = Reg::Eax;
+  std::int32_t disp = 0;
+
+  bool operator==(const MemRef&) const = default;
+};
+
+struct Operand {
+  OperandKind kind = OperandKind::None;
+  Reg reg = Reg::Eax;   // Reg / Reg8
+  MemRef mem;           // Mem / Mem8
+  std::int32_t imm = 0; // Imm
+
+  bool operator==(const Operand&) const = default;
+
+  static Operand none() { return {}; }
+  static Operand make_reg(Reg r) {
+    Operand o;
+    o.kind = OperandKind::Reg;
+    o.reg = r;
+    return o;
+  }
+  static Operand make_reg8(Reg r) {
+    Operand o;
+    o.kind = OperandKind::Reg8;
+    o.reg = r;
+    return o;
+  }
+  static Operand make_mem(MemRef m, bool byte = false) {
+    Operand o;
+    o.kind = byte ? OperandKind::Mem8 : OperandKind::Mem;
+    o.mem = m;
+    return o;
+  }
+  static Operand make_imm(std::int32_t v) {
+    Operand o;
+    o.kind = OperandKind::Imm;
+    o.imm = v;
+    return o;
+  }
+};
+
+struct Instruction {
+  Op op = Op::Invalid;
+  Cond cond = Cond::O;      // Jcc / Setcc
+  Operand dst;
+  Operand src;
+  std::int32_t rel = 0;     // Jcc/Jmp/Call relative displacement
+  std::uint8_t imm8 = 0;    // Int vector / shift count when immediate
+  std::uint8_t length = 1;  // encoded byte length
+
+  bool operator==(const Instruction& other) const {
+    return op == other.op && cond == other.cond && dst == other.dst &&
+           src == other.src && rel == other.rel && imm8 == other.imm8 &&
+           length == other.length;
+  }
+
+  // Campaigns B and C target exactly the conditional branches.
+  bool is_conditional_branch() const { return op == Op::Jcc; }
+  bool is_branch() const {
+    return op == Op::Jcc || op == Op::Jmp || op == Op::JmpInd ||
+           op == Op::Call || op == Op::CallInd || op == Op::Ret ||
+           op == Op::Lret || op == Op::Iret;
+  }
+};
+
+}  // namespace kfi::isa

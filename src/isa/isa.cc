@@ -1,0 +1,120 @@
+#include "isa/isa.h"
+
+#include "isa/instruction.h"
+
+namespace kfi::isa {
+
+std::string_view reg_name(Reg reg) {
+  static constexpr std::string_view kNames[kRegCount] = {
+      "eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"};
+  return kNames[static_cast<int>(reg) & 7];
+}
+
+std::string_view reg8_name(Reg reg) {
+  static constexpr std::string_view kNames[kRegCount] = {
+      "al", "cl", "dl", "bl", "spl", "bpl", "sil", "dil"};
+  return kNames[static_cast<int>(reg) & 7];
+}
+
+std::string_view cond_name(Cond cond) {
+  static constexpr std::string_view kNames[16] = {
+      "o", "no", "b", "ae", "e", "ne", "be", "a",
+      "s", "ns", "p", "np", "l", "ge", "le", "g"};
+  return kNames[static_cast<int>(cond) & 15];
+}
+
+bool cond_holds(Cond cond, const Flags& f) noexcept {
+  switch (cond) {
+    case Cond::O: return f.of;
+    case Cond::No: return !f.of;
+    case Cond::B: return f.cf;
+    case Cond::Ae: return !f.cf;
+    case Cond::E: return f.zf;
+    case Cond::Ne: return !f.zf;
+    case Cond::Be: return f.cf || f.zf;
+    case Cond::A: return !f.cf && !f.zf;
+    case Cond::S: return f.sf;
+    case Cond::Ns: return !f.sf;
+    case Cond::P: return f.pf;
+    case Cond::Np: return !f.pf;
+    case Cond::L: return f.sf != f.of;
+    case Cond::Ge: return f.sf == f.of;
+    case Cond::Le: return f.zf || (f.sf != f.of);
+    case Cond::G: return !f.zf && (f.sf == f.of);
+  }
+  return false;
+}
+
+std::string_view trap_name(Trap trap) {
+  switch (trap) {
+    case Trap::None: return "none";
+    case Trap::DivideError: return "divide error";
+    case Trap::Int3: return "int3";
+    case Trap::Overflow: return "overflow";
+    case Trap::Bounds: return "bounds";
+    case Trap::InvalidOpcode: return "invalid opcode";
+    case Trap::DoubleFault: return "double fault";
+    case Trap::InvalidTss: return "invalid TSS";
+    case Trap::SegNotPresent: return "segment not present";
+    case Trap::StackFault: return "stack exception";
+    case Trap::GpFault: return "general protection fault";
+    case Trap::PageFault: return "page fault";
+    case Trap::Syscall: return "system call";
+    case Trap::Timer: return "timer";
+  }
+  return "unknown";
+}
+
+std::string_view op_name(Op op) {
+  switch (op) {
+    case Op::Add: return "add";
+    case Op::Or: return "or";
+    case Op::And: return "and";
+    case Op::Sub: return "sub";
+    case Op::Xor: return "xor";
+    case Op::Cmp: return "cmp";
+    case Op::Test: return "test";
+    case Op::Mov: return "mov";
+    case Op::Lea: return "lea";
+    case Op::Movzx8: return "movzbl";
+    case Op::Imul: return "imul";
+    case Op::Push: return "push";
+    case Op::Pop: return "pop";
+    case Op::Inc: return "inc";
+    case Op::Dec: return "dec";
+    case Op::Not: return "not";
+    case Op::Neg: return "neg";
+    case Op::Mul: return "mul";
+    case Op::Div: return "div";
+    case Op::Idiv: return "idiv";
+    case Op::Shl: return "shl";
+    case Op::Shr: return "shr";
+    case Op::Sar: return "sar";
+    case Op::Jcc: return "j";
+    case Op::Setcc: return "set";
+    case Op::Jmp: return "jmp";
+    case Op::JmpInd: return "jmp";
+    case Op::Call: return "call";
+    case Op::CallInd: return "call";
+    case Op::Ret: return "ret";
+    case Op::Leave: return "leave";
+    case Op::Nop: return "nop";
+    case Op::Cdq: return "cdq";
+    case Op::Ud2: return "ud2a";
+    case Op::Int3: return "int3";
+    case Op::Int: return "int";
+    case Op::Iret: return "iret";
+    case Op::Lret: return "lret";
+    case Op::FarJmp: return "ljmp";
+    case Op::FarCall: return "lcall";
+    case Op::MovSeg: return "mov-sreg";
+    case Op::In: return "in";
+    case Op::Hlt: return "hlt";
+    case Op::Cli: return "cli";
+    case Op::Sti: return "sti";
+    case Op::Invalid: return "(bad)";
+  }
+  return "(bad)";
+}
+
+}  // namespace kfi::isa

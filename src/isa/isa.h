@@ -1,0 +1,112 @@
+// KX86 — the simulated 32-bit instruction set.
+//
+// The encoding deliberately mirrors IA-32's one-byte opcode map for the
+// instructions the paper's case studies show (je=0x74, jne=0x75,
+// mov r,r/m=0x8B, test=0x85, xor al,imm8=0x34, ud2=0F 0B, lret=0xCB, ...),
+// because the paper's findings hinge on properties of that encoding:
+//
+//  * conditional branches encode their condition in opcode bit 0, so a
+//    single-bit flip reverses the condition (campaign C's error model);
+//  * the opcode map is sparse, so random byte corruption frequently decodes
+//    to an undefined instruction (the "invalid opcode" crash cause);
+//  * instructions are variable length, so corrupting one byte can change
+//    the instruction's length and cause the bytes that follow to be
+//    re-interpreted as a different instruction sequence (Table 7, ex. 2).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace kfi::isa {
+
+// General-purpose registers, numbered as IA-32 encodes them.
+enum class Reg : std::uint8_t {
+  Eax = 0,
+  Ecx = 1,
+  Edx = 2,
+  Ebx = 3,
+  Esp = 4,
+  Ebp = 5,
+  Esi = 6,
+  Edi = 7,
+};
+
+inline constexpr int kRegCount = 8;
+
+std::string_view reg_name(Reg reg);
+std::string_view reg8_name(Reg reg);  // low byte: al, cl, dl, bl, spl, ...
+
+// EFLAGS bits we model (IA-32 bit positions).
+struct Flags {
+  bool cf = false;  // carry
+  bool pf = false;  // parity (of low result byte)
+  bool zf = false;  // zero
+  bool sf = false;  // sign
+  bool of = false;  // overflow
+  bool intf = true; // interrupt enable (IF)
+
+  std::uint32_t to_word() const noexcept {
+    return (cf ? 1u : 0u) | (pf ? 1u << 2 : 0u) | (zf ? 1u << 6 : 0u) |
+           (sf ? 1u << 7 : 0u) | (intf ? 1u << 9 : 0u) |
+           (of ? 1u << 11 : 0u) | (1u << 1);
+  }
+  static Flags from_word(std::uint32_t w) noexcept {
+    Flags f;
+    f.cf = w & 1u;
+    f.pf = w & (1u << 2);
+    f.zf = w & (1u << 6);
+    f.sf = w & (1u << 7);
+    f.intf = w & (1u << 9);
+    f.of = w & (1u << 11);
+    return f;
+  }
+};
+
+// IA-32 condition codes (the low nibble of Jcc opcodes).  Bit 0 negates
+// the condition: cc ^ 1 is the reversed branch, which is exactly the bit
+// campaign C flips.
+enum class Cond : std::uint8_t {
+  O = 0x0,
+  No = 0x1,
+  B = 0x2,
+  Ae = 0x3,
+  E = 0x4,
+  Ne = 0x5,
+  Be = 0x6,
+  A = 0x7,
+  S = 0x8,
+  Ns = 0x9,
+  P = 0xA,
+  Np = 0xB,
+  L = 0xC,
+  Ge = 0xD,
+  Le = 0xE,
+  G = 0xF,
+};
+
+std::string_view cond_name(Cond cond);  // "o", "no", "b", ...
+
+// Evaluate a condition against flags, exactly as IA-32 does.
+bool cond_holds(Cond cond, const Flags& flags) noexcept;
+
+// Hardware exception vectors (IA-32 numbering where it exists).
+enum class Trap : std::uint8_t {
+  None = 255,
+  DivideError = 0,
+  Int3 = 3,
+  Overflow = 4,
+  Bounds = 5,
+  InvalidOpcode = 6,
+  DoubleFault = 8,
+  InvalidTss = 10,
+  SegNotPresent = 11,
+  StackFault = 12,
+  GpFault = 13,
+  PageFault = 14,
+  Syscall = 0x80,
+  Timer = 0x20,
+};
+
+std::string_view trap_name(Trap trap);
+
+}  // namespace kfi::isa

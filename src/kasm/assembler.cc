@@ -1,0 +1,896 @@
+#include "kasm/assembler.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+
+#include "isa/encode.h"
+#include "isa/instruction.h"
+#include "support/strings.h"
+
+namespace kfi::kasm {
+
+using isa::Cond;
+using isa::Instruction;
+using isa::MemRef;
+using isa::Op;
+using isa::Operand;
+using isa::OperandKind;
+using isa::Reg;
+
+namespace {
+
+// Placeholder values for relocated fields.  They do not fit in 8 bits,
+// so the encoder always chooses the wide (32-bit) form, which the
+// linker then patches.  Reserved: guest code must not use them as
+// literal constants (the compiler never emits them).
+constexpr std::int32_t kImmMagic = 0x7A7B7C7D;
+constexpr std::int32_t kDispMagic = 0x7A7B7C7E;
+
+struct Item {
+  enum class Kind : std::uint8_t {
+    Label,
+    Instr,
+    Word,
+    Byte,
+    Space,
+    Ascii,
+    FuncStart,
+    FuncEnd,
+  };
+  Kind kind = Kind::Instr;
+  int line = 0;
+  std::string name;      // label / func name / reloc symbol for Word
+  Instruction instr;
+  std::string target;      // branch target label
+  bool target_external = false;
+  bool forced_long = false;  // sticky relaxation state
+  std::string imm_symbol;    // reloc landing in the immediate field
+  std::string disp_symbol;   // reloc landing in the displacement field
+  std::uint32_t value = 0;   // Word/Byte value, Space length
+  std::string text;          // Ascii payload
+  std::uint32_t offset = 0;
+  std::uint32_t size = 0;
+};
+
+struct Parser {
+  std::vector<Item> items;
+  std::vector<std::string> errors;
+  int line = 0;
+
+  void error(const std::string& message) {
+    errors.push_back("line " + std::to_string(line) + ": " + message);
+  }
+
+  static std::optional<Reg> parse_reg32(std::string_view t) {
+    static constexpr std::string_view names[] = {"eax", "ecx", "edx", "ebx",
+                                                 "esp", "ebp", "esi", "edi"};
+    for (int i = 0; i < 8; ++i) {
+      if (t == names[i]) return static_cast<Reg>(i);
+    }
+    return std::nullopt;
+  }
+
+  static std::optional<Reg> parse_reg8(std::string_view t) {
+    static constexpr std::string_view names[] = {"al",  "cl",  "dl",  "bl",
+                                                 "spl", "bpl", "sil", "dil"};
+    for (int i = 0; i < 8; ++i) {
+      if (t == names[i]) return static_cast<Reg>(i);
+    }
+    return std::nullopt;
+  }
+
+  static bool parse_number(std::string_view t, std::int64_t& out) {
+    if (t.empty()) return false;
+    const std::string s(t);
+    char* end = nullptr;
+    const long long v = std::strtoll(s.c_str(), &end, 0);
+    if (end == nullptr || *end != '\0') return false;
+    out = v;
+    return true;
+  }
+
+  static bool is_identifier(std::string_view t) {
+    if (t.empty()) return false;
+    if (!(std::isalpha(static_cast<unsigned char>(t[0])) || t[0] == '_')) {
+      return false;
+    }
+    for (const char c : t) {
+      if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  struct ParsedOperand {
+    enum class Kind : std::uint8_t {
+      Reg,
+      Reg8,
+      Imm,        // $n
+      ImmSym,     // $symbol
+      Mem,        // disp(%base) or (%base)
+      AbsMem,     // 0xADDR or bare number as memory
+      AbsMemSym,  // symbol as memory
+      LabelRef,   // bare identifier in branch position
+      StarReg,    // *%reg
+      StarMem,    // *disp(%reg)
+    };
+    Kind kind = Kind::Imm;
+    Reg reg = Reg::Eax;
+    std::int32_t value = 0;
+    MemRef mem;
+    std::string symbol;
+  };
+
+  bool parse_operand(std::string_view t, ParsedOperand& out) {
+    t = kfi::trim(t);
+    if (t.empty()) {
+      error("empty operand");
+      return false;
+    }
+    if (t[0] == '%') {
+      const auto rest = t.substr(1);
+      if (const auto r32 = parse_reg32(rest)) {
+        out.kind = ParsedOperand::Kind::Reg;
+        out.reg = *r32;
+        return true;
+      }
+      if (const auto r8 = parse_reg8(rest)) {
+        out.kind = ParsedOperand::Kind::Reg8;
+        out.reg = *r8;
+        return true;
+      }
+      error("unknown register '" + std::string(t) + "'");
+      return false;
+    }
+    if (t[0] == '$') {
+      const auto rest = t.substr(1);
+      std::int64_t v = 0;
+      if (parse_number(rest, v)) {
+        out.kind = ParsedOperand::Kind::Imm;
+        out.value = static_cast<std::int32_t>(v);
+        return true;
+      }
+      if (is_identifier(rest)) {
+        out.kind = ParsedOperand::Kind::ImmSym;
+        out.symbol = std::string(rest);
+        return true;
+      }
+      error("bad immediate '" + std::string(t) + "'");
+      return false;
+    }
+    if (t[0] == '*') {
+      ParsedOperand inner;
+      if (!parse_operand(t.substr(1), inner)) return false;
+      if (inner.kind == ParsedOperand::Kind::Reg) {
+        out.kind = ParsedOperand::Kind::StarReg;
+        out.reg = inner.reg;
+        return true;
+      }
+      if (inner.kind == ParsedOperand::Kind::Mem ||
+          inner.kind == ParsedOperand::Kind::AbsMem ||
+          inner.kind == ParsedOperand::Kind::AbsMemSym) {
+        out = inner;
+        out.kind = inner.kind == ParsedOperand::Kind::Mem
+                       ? ParsedOperand::Kind::StarMem
+                       : inner.kind;
+        if (inner.kind != ParsedOperand::Kind::Mem) {
+          out.kind = ParsedOperand::Kind::StarMem;
+          out.mem = inner.mem;
+          if (inner.kind == ParsedOperand::Kind::AbsMem) {
+            out.mem.has_base = false;
+            out.mem.disp = inner.value;
+          }
+          out.symbol = inner.symbol;
+        }
+        return true;
+      }
+      error("bad indirect operand '" + std::string(t) + "'");
+      return false;
+    }
+    const std::size_t paren = t.find('(');
+    if (paren != std::string_view::npos) {
+      if (t.back() != ')') {
+        error("unterminated memory operand '" + std::string(t) + "'");
+        return false;
+      }
+      const auto disp_text = t.substr(0, paren);
+      const auto base_text = t.substr(paren + 1, t.size() - paren - 2);
+      std::int64_t disp = 0;
+      if (!disp_text.empty() && !parse_number(disp_text, disp)) {
+        error("bad displacement '" + std::string(disp_text) + "'");
+        return false;
+      }
+      if (base_text.empty() || base_text[0] != '%') {
+        error("bad base register in '" + std::string(t) + "'");
+        return false;
+      }
+      const auto base = parse_reg32(base_text.substr(1));
+      if (!base) {
+        error("bad base register '" + std::string(base_text) + "'");
+        return false;
+      }
+      out.kind = ParsedOperand::Kind::Mem;
+      out.mem.has_base = true;
+      out.mem.base = *base;
+      out.mem.disp = static_cast<std::int32_t>(disp);
+      return true;
+    }
+    std::int64_t v = 0;
+    if (parse_number(t, v)) {
+      out.kind = ParsedOperand::Kind::AbsMem;
+      out.value = static_cast<std::int32_t>(v);
+      return true;
+    }
+    if (is_identifier(t)) {
+      out.kind = ParsedOperand::Kind::AbsMemSym;  // or LabelRef in branches
+      out.symbol = std::string(t);
+      return true;
+    }
+    error("unparseable operand '" + std::string(t) + "'");
+    return false;
+  }
+
+  // Converts a parsed operand to an isa::Operand for a given width.
+  // Returns false (with error) on invalid combination.  Fills the item's
+  // reloc slots for symbolic values.
+  bool to_operand(const ParsedOperand& p, bool byte_width, Item& item,
+                  Operand& out) {
+    switch (p.kind) {
+      case ParsedOperand::Kind::Reg:
+        if (byte_width) {
+          error("expected byte register");
+          return false;
+        }
+        out = Operand::make_reg(p.reg);
+        return true;
+      case ParsedOperand::Kind::Reg8:
+        if (!byte_width) {
+          error("byte register in 32-bit context");
+          return false;
+        }
+        out = Operand::make_reg8(p.reg);
+        return true;
+      case ParsedOperand::Kind::Imm:
+        out = Operand::make_imm(p.value);
+        return true;
+      case ParsedOperand::Kind::ImmSym:
+        out = Operand::make_imm(kImmMagic);
+        item.imm_symbol = p.symbol;
+        return true;
+      case ParsedOperand::Kind::Mem:
+        out = Operand::make_mem(p.mem, byte_width);
+        return true;
+      case ParsedOperand::Kind::AbsMem: {
+        MemRef m;
+        m.has_base = false;
+        m.disp = p.value;
+        out = Operand::make_mem(m, byte_width);
+        return true;
+      }
+      case ParsedOperand::Kind::AbsMemSym: {
+        MemRef m;
+        m.has_base = false;
+        m.disp = kDispMagic;
+        out = Operand::make_mem(m, byte_width);
+        item.disp_symbol = p.symbol;
+        return true;
+      }
+      default:
+        error("operand kind not allowed here");
+        return false;
+    }
+  }
+
+  static std::optional<Cond> parse_cond(std::string_view suffix) {
+    static const std::pair<std::string_view, Cond> table[] = {
+        {"o", Cond::O},   {"no", Cond::No}, {"b", Cond::B},
+        {"ae", Cond::Ae}, {"e", Cond::E},   {"z", Cond::E},
+        {"ne", Cond::Ne}, {"nz", Cond::Ne}, {"be", Cond::Be},
+        {"a", Cond::A},   {"s", Cond::S},   {"ns", Cond::Ns},
+        {"p", Cond::P},   {"np", Cond::Np}, {"l", Cond::L},
+        {"ge", Cond::Ge}, {"le", Cond::Le}, {"g", Cond::G},
+        {"c", Cond::B},   {"nc", Cond::Ae},
+    };
+    for (const auto& [name, cond] : table) {
+      if (suffix == name) return cond;
+    }
+    return std::nullopt;
+  }
+
+  void parse_line(std::string_view raw) {
+    std::string_view text = raw;
+    // .ascii needs its string intact; strip comments carefully.
+    bool in_string = false;
+    std::size_t cut = text.size();
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      const char c = text[i];
+      if (c == '"') in_string = !in_string;
+      if (!in_string &&
+          (c == ';' ||
+           (c == '/' && i + 1 < text.size() && text[i + 1] == '/'))) {
+        cut = i;
+        break;
+      }
+    }
+    text = kfi::trim(text.substr(0, cut));
+    if (text.empty()) return;
+
+    // Leading label.
+    while (true) {
+      const std::size_t colon = text.find(':');
+      if (colon == std::string_view::npos) break;
+      const auto head = kfi::trim(text.substr(0, colon));
+      if (!is_identifier(head)) break;
+      Item label;
+      label.kind = Item::Kind::Label;
+      label.line = line;
+      label.name = std::string(head);
+      items.push_back(label);
+      text = kfi::trim(text.substr(colon + 1));
+      if (text.empty()) return;
+    }
+
+    // Mnemonic.
+    std::size_t sp = text.find_first_of(" \t");
+    const std::string mnem(text.substr(0, sp));
+    std::string_view rest =
+        sp == std::string_view::npos ? std::string_view{} : kfi::trim(text.substr(sp));
+
+    Item item;
+    item.kind = Item::Kind::Instr;
+    item.line = line;
+
+    if (mnem == ".func" || mnem == ".endfunc") {
+      item.kind = mnem == ".func" ? Item::Kind::FuncStart : Item::Kind::FuncEnd;
+      item.name = std::string(rest);
+      if (item.kind == Item::Kind::FuncStart && !is_identifier(rest)) {
+        error(".func requires a name");
+        return;
+      }
+      items.push_back(item);
+      return;
+    }
+    if (mnem == ".word") {
+      item.kind = Item::Kind::Word;
+      std::int64_t v = 0;
+      if (parse_number(rest, v)) {
+        item.value = static_cast<std::uint32_t>(v);
+      } else if (is_identifier(rest)) {
+        item.name = std::string(rest);
+      } else {
+        error(".word requires a number or symbol");
+        return;
+      }
+      items.push_back(item);
+      return;
+    }
+    if (mnem == ".byte") {
+      item.kind = Item::Kind::Byte;
+      std::int64_t v = 0;
+      if (!parse_number(rest, v)) {
+        error(".byte requires a number");
+        return;
+      }
+      item.value = static_cast<std::uint32_t>(v) & 0xFF;
+      items.push_back(item);
+      return;
+    }
+    if (mnem == ".space") {
+      item.kind = Item::Kind::Space;
+      std::int64_t v = 0;
+      if (!parse_number(rest, v) || v < 0) {
+        error(".space requires a non-negative count");
+        return;
+      }
+      item.value = static_cast<std::uint32_t>(v);
+      items.push_back(item);
+      return;
+    }
+    if (mnem == ".ascii") {
+      item.kind = Item::Kind::Ascii;
+      if (rest.size() < 2 || rest.front() != '"' || rest.back() != '"') {
+        error(".ascii requires a quoted string");
+        return;
+      }
+      const auto body = rest.substr(1, rest.size() - 2);
+      for (std::size_t i = 0; i < body.size(); ++i) {
+        char c = body[i];
+        if (c == '\\' && i + 1 < body.size()) {
+          ++i;
+          switch (body[i]) {
+            case 'n': c = '\n'; break;
+            case '0': c = '\0'; break;
+            case 't': c = '\t'; break;
+            case '\\': c = '\\'; break;
+            case '"': c = '"'; break;
+            default: c = body[i]; break;
+          }
+        }
+        item.text.push_back(c);
+      }
+      items.push_back(item);
+      return;
+    }
+
+    // Split operands on top-level commas.
+    std::vector<std::string> operand_text;
+    if (!rest.empty()) {
+      std::size_t start = 0;
+      for (std::size_t i = 0; i <= rest.size(); ++i) {
+        if (i == rest.size() || rest[i] == ',') {
+          operand_text.emplace_back(kfi::trim(rest.substr(start, i - start)));
+          start = i + 1;
+        }
+      }
+    }
+
+    if (!build_instruction(mnem, operand_text, item)) return;
+    items.push_back(item);
+  }
+
+  bool build_instruction(const std::string& mnem,
+                         const std::vector<std::string>& ops, Item& item) {
+    Instruction& in = item.instr;
+
+    auto need = [&](std::size_t n) {
+      if (ops.size() != n) {
+        error(mnem + " expects " + std::to_string(n) + " operand(s)");
+        return false;
+      }
+      return true;
+    };
+
+    // --- zero-operand ---
+    static const std::pair<std::string_view, Op> nullary[] = {
+        {"ret", Op::Ret},   {"leave", Op::Leave}, {"nop", Op::Nop},
+        {"cdq", Op::Cdq},   {"ud2", Op::Ud2},     {"ud2a", Op::Ud2},
+        {"int3", Op::Int3}, {"iret", Op::Iret},   {"hlt", Op::Hlt},
+        {"cli", Op::Cli},   {"sti", Op::Sti},     {"lret", Op::Lret},
+    };
+    for (const auto& [name, op] : nullary) {
+      if (mnem == name) {
+        if (!need(0)) return false;
+        in.op = op;
+        return true;
+      }
+    }
+
+    // --- conditional branches / setcc ---
+    if (mnem.size() >= 2 && mnem[0] == 'j' && mnem != "jmp") {
+      const auto cond = parse_cond(std::string_view(mnem).substr(1));
+      if (!cond) {
+        error("unknown branch '" + mnem + "'");
+        return false;
+      }
+      if (!need(1)) return false;
+      if (!is_identifier(ops[0])) {
+        error("branch target must be a label");
+        return false;
+      }
+      in.op = Op::Jcc;
+      in.cond = *cond;
+      item.target = ops[0];
+      return true;
+    }
+    if (kfi::starts_with(mnem, "set")) {
+      const auto cond = parse_cond(std::string_view(mnem).substr(3));
+      if (!cond) {
+        error("unknown setcc '" + mnem + "'");
+        return false;
+      }
+      if (!need(1)) return false;
+      ParsedOperand p;
+      if (!parse_operand(ops[0], p)) return false;
+      in.op = Op::Setcc;
+      in.cond = *cond;
+      return to_operand(p, /*byte_width=*/true, item, in.dst);
+    }
+
+    if (mnem == "jmp" || mnem == "call") {
+      if (!need(1)) return false;
+      ParsedOperand p;
+      if (!parse_operand(ops[0], p)) return false;
+      if (p.kind == ParsedOperand::Kind::AbsMemSym) {
+        in.op = mnem == "jmp" ? Op::Jmp : Op::Call;
+        item.target = p.symbol;
+        return true;
+      }
+      if (p.kind == ParsedOperand::Kind::StarReg) {
+        in.op = mnem == "jmp" ? Op::JmpInd : Op::CallInd;
+        in.src = Operand::make_reg(p.reg);
+        return true;
+      }
+      if (p.kind == ParsedOperand::Kind::StarMem) {
+        in.op = mnem == "jmp" ? Op::JmpInd : Op::CallInd;
+        in.src = Operand::make_mem(p.mem);
+        if (!p.symbol.empty()) {
+          in.src.mem.disp = kDispMagic;
+          item.disp_symbol = p.symbol;
+        }
+        return true;
+      }
+      error(mnem + " target must be a label or *indirect");
+      return false;
+    }
+
+    if (mnem == "int") {
+      if (!need(1)) return false;
+      ParsedOperand p;
+      if (!parse_operand(ops[0], p) || p.kind != ParsedOperand::Kind::Imm) {
+        error("int requires $imm");
+        return false;
+      }
+      in.op = Op::Int;
+      in.imm8 = static_cast<std::uint8_t>(p.value);
+      return true;
+    }
+
+    // --- single-operand r/m ---
+    static const std::pair<std::string_view, Op> unary[] = {
+        {"inc", Op::Inc},   {"dec", Op::Dec}, {"not", Op::Not},
+        {"neg", Op::Neg},   {"mul", Op::Mul}, {"div", Op::Div},
+        {"idiv", Op::Idiv}, {"pop", Op::Pop}, {"push", Op::Push},
+    };
+    for (const auto& [name, op] : unary) {
+      if (mnem != name) continue;
+      if (!need(1)) return false;
+      ParsedOperand p;
+      if (!parse_operand(ops[0], p)) return false;
+      in.op = op;
+      Operand operand;
+      if (op == Op::Push) {
+        if (p.kind == ParsedOperand::Kind::Imm ||
+            p.kind == ParsedOperand::Kind::ImmSym) {
+          if (!to_operand(p, false, item, in.src)) return false;
+          return true;
+        }
+        if (p.kind == ParsedOperand::Kind::AbsMemSym ||
+            p.kind == ParsedOperand::Kind::AbsMem ||
+            p.kind == ParsedOperand::Kind::Mem ||
+            p.kind == ParsedOperand::Kind::Reg) {
+          return to_operand(p, false, item, in.src);
+        }
+        error("bad push operand");
+        return false;
+      }
+      if (!to_operand(p, false, item, operand)) return false;
+      if (op == Op::Mul || op == Op::Div || op == Op::Idiv) {
+        in.src = operand;
+      } else {
+        in.dst = operand;
+      }
+      return true;
+    }
+
+    // --- two-operand ---
+    const bool is_byte = mnem == "movb";
+    static const std::pair<std::string_view, Op> binary[] = {
+        {"mov", Op::Mov},   {"movb", Op::Mov},     {"movzbl", Op::Movzx8},
+        {"add", Op::Add},   {"sub", Op::Sub},      {"and", Op::And},
+        {"or", Op::Or},     {"xor", Op::Xor},      {"cmp", Op::Cmp},
+        {"test", Op::Test}, {"lea", Op::Lea},      {"imul", Op::Imul},
+        {"shl", Op::Shl},   {"shr", Op::Shr},      {"sar", Op::Sar},
+    };
+    for (const auto& [name, op] : binary) {
+      if (mnem != name) continue;
+      if (!need(2)) return false;
+      ParsedOperand src_p;
+      ParsedOperand dst_p;
+      if (!parse_operand(ops[0], src_p)) return false;  // AT&T: src first
+      if (!parse_operand(ops[1], dst_p)) return false;
+      in.op = op;
+
+      if (op == Op::Shl || op == Op::Shr || op == Op::Sar) {
+        if (!to_operand(dst_p, false, item, in.dst)) return false;
+        if (src_p.kind == ParsedOperand::Kind::Imm) {
+          in.src = Operand::make_imm(src_p.value);
+          return true;
+        }
+        if (src_p.kind == ParsedOperand::Kind::Reg8 &&
+            src_p.reg == Reg::Ecx) {
+          in.src = Operand::make_reg8(Reg::Ecx);
+          return true;
+        }
+        error("shift count must be $imm or %cl");
+        return false;
+      }
+
+      if (op == Op::Movzx8) {
+        if (!to_operand(src_p, /*byte_width=*/true, item, in.src)) return false;
+        return to_operand(dst_p, false, item, in.dst);
+      }
+
+      if (is_byte) {
+        // movb: immediate source stays an Imm; memory/regs are byte-width.
+        if (src_p.kind == ParsedOperand::Kind::Imm) {
+          in.src = Operand::make_imm(src_p.value & 0xFF);
+        } else if (!to_operand(src_p, /*byte_width=*/true, item, in.src)) {
+          return false;
+        }
+        return to_operand(dst_p, /*byte_width=*/true, item, in.dst);
+      }
+
+      const bool src_is_imm = src_p.kind == ParsedOperand::Kind::Imm ||
+                              src_p.kind == ParsedOperand::Kind::ImmSym;
+      if (!src_is_imm && src_p.kind != ParsedOperand::Kind::Reg &&
+          op != Op::Lea && dst_p.kind != ParsedOperand::Kind::Reg) {
+        error("memory-to-memory forms do not exist");
+        return false;
+      }
+      if (!to_operand(src_p, false, item, in.src)) return false;
+      return to_operand(dst_p, false, item, in.dst);
+    }
+
+    error("unknown mnemonic '" + mnem + "'");
+    return false;
+  }
+};
+
+// Computes the encoded size of an item's instruction given the current
+// relaxation state.  Branch rel values are placeholders; only size
+// matters here.
+std::size_t instr_size(const Item& item) {
+  Instruction copy = item.instr;
+  if (!item.target.empty()) {
+    if (copy.op == Op::Call) {
+      copy.rel = 0;
+      return isa::encoded_length(copy, /*force_long_branch=*/true);
+    }
+    copy.rel = item.forced_long ? 0x1000 : 0;
+    return isa::encoded_length(copy, item.forced_long);
+  }
+  return isa::encoded_length(copy);
+}
+
+}  // namespace
+
+AsmResult assemble(std::string_view source, std::uint32_t base) {
+  AsmResult result;
+  result.unit.base = base;
+
+  Parser parser;
+  std::size_t start = 0;
+  while (start <= source.size()) {
+    std::size_t end = source.find('\n', start);
+    if (end == std::string_view::npos) end = source.size();
+    ++parser.line;
+    parser.parse_line(source.substr(start, end - start));
+    start = end + 1;
+  }
+  if (!parser.errors.empty()) {
+    result.errors = std::move(parser.errors);
+    return result;
+  }
+
+  std::vector<Item>& items = parser.items;
+
+  // Collect local label names.
+  std::map<std::string, std::uint32_t> local_offsets;
+  for (const Item& item : items) {
+    if (item.kind == Item::Kind::Label) local_offsets[item.name] = 0;
+  }
+  for (Item& item : items) {
+    if (item.kind == Item::Kind::Instr && !item.target.empty()) {
+      item.target_external = local_offsets.find(item.target) == local_offsets.end();
+      if (item.target_external && item.instr.op == Op::Jcc) {
+        result.errors.push_back("line " + std::to_string(item.line) +
+                                ": conditional branch to external symbol '" +
+                                item.target + "'");
+      }
+      if (item.target_external && item.instr.op != Op::Call &&
+          item.instr.op != Op::Jmp) {
+        result.errors.push_back("line " + std::to_string(item.line) +
+                                ": unresolved branch target '" + item.target +
+                                "'");
+      }
+    }
+  }
+  if (!result.errors.empty()) return result;
+
+  // Relaxation fixpoint: sizes only grow, so this terminates.
+  for (int round = 0; round < 64; ++round) {
+    std::uint32_t off = 0;
+    for (Item& item : items) {
+      item.offset = off;
+      switch (item.kind) {
+        case Item::Kind::Label:
+          local_offsets[item.name] = off;
+          item.size = 0;
+          break;
+        case Item::Kind::FuncStart:
+        case Item::Kind::FuncEnd:
+          item.size = 0;
+          break;
+        case Item::Kind::Word: item.size = 4; break;
+        case Item::Kind::Byte: item.size = 1; break;
+        case Item::Kind::Space: item.size = item.value; break;
+        case Item::Kind::Ascii:
+          item.size = static_cast<std::uint32_t>(item.text.size());
+          break;
+        case Item::Kind::Instr:
+          item.size = static_cast<std::uint32_t>(instr_size(item));
+          break;
+      }
+      off += item.size;
+    }
+
+    bool grew = false;
+    for (Item& item : items) {
+      if (item.kind != Item::Kind::Instr || item.target.empty() ||
+          item.forced_long || item.target_external) {
+        continue;
+      }
+      if (item.instr.op == Op::Call) continue;  // always rel32
+      const std::int64_t target = local_offsets[item.target];
+      const std::int64_t rel =
+          target - (static_cast<std::int64_t>(item.offset) + item.size);
+      if (rel < -128 || rel > 127) {
+        item.forced_long = true;
+        grew = true;
+      }
+    }
+    if (!grew) break;
+  }
+
+  // Emit.
+  AsmUnit& unit = result.unit;
+  std::string current_func;
+  std::uint32_t func_start = 0;
+  for (Item& item : items) {
+    const std::uint32_t off = static_cast<std::uint32_t>(unit.bytes.size());
+    switch (item.kind) {
+      case Item::Kind::Label:
+        if (unit.symbols.count(item.name) != 0) {
+          result.errors.push_back("line " + std::to_string(item.line) +
+                                  ": duplicate label '" + item.name + "'");
+          return result;
+        }
+        unit.symbols[item.name] = base + off;
+        break;
+      case Item::Kind::FuncStart:
+        current_func = item.name;
+        func_start = off;
+        break;
+      case Item::Kind::FuncEnd:
+        if (current_func.empty()) {
+          result.errors.push_back("line " + std::to_string(item.line) +
+                                  ": .endfunc without .func");
+          return result;
+        }
+        unit.functions.push_back({current_func, func_start, off});
+        current_func.clear();
+        break;
+      case Item::Kind::Word:
+        if (!item.name.empty()) {
+          unit.relocs.push_back({off, item.name, RelocKind::Abs32, 0});
+          item.value = 0;
+        }
+        for (int i = 0; i < 4; ++i) {
+          unit.bytes.push_back(
+              static_cast<std::uint8_t>(item.value >> (8 * i)));
+        }
+        break;
+      case Item::Kind::Byte:
+        unit.bytes.push_back(static_cast<std::uint8_t>(item.value));
+        break;
+      case Item::Kind::Space:
+        unit.bytes.insert(unit.bytes.end(), item.value, 0);
+        break;
+      case Item::Kind::Ascii:
+        unit.bytes.insert(unit.bytes.end(), item.text.begin(),
+                          item.text.end());
+        break;
+      case Item::Kind::Instr: {
+        Instruction instr = item.instr;
+        bool force_long = item.forced_long;
+        if (!item.target.empty()) {
+          if (item.target_external) {
+            instr.rel = 0;
+            force_long = true;
+          } else {
+            const std::int64_t target = local_offsets[item.target];
+            instr.rel = static_cast<std::int32_t>(
+                target - (static_cast<std::int64_t>(item.offset) + item.size));
+            if (instr.op == Op::Call) force_long = true;
+          }
+        }
+        std::vector<std::uint8_t> bytes;
+        if (!isa::encode(instr, bytes, force_long)) {
+          result.errors.push_back("line " + std::to_string(item.line) +
+                                  ": unencodable instruction");
+          return result;
+        }
+        if (bytes.size() != item.size) {
+          result.errors.push_back("line " + std::to_string(item.line) +
+                                  ": size mismatch (assembler bug)");
+          return result;
+        }
+        // Locate relocated fields by their magic payloads.
+        auto find_magic = [&](std::int32_t magic) -> std::size_t {
+          const std::uint8_t pattern[4] = {
+              static_cast<std::uint8_t>(magic),
+              static_cast<std::uint8_t>(magic >> 8),
+              static_cast<std::uint8_t>(magic >> 16),
+              static_cast<std::uint8_t>(magic >> 24)};
+          for (std::size_t i = 0; i + 4 <= bytes.size(); ++i) {
+            if (bytes[i] == pattern[0] && bytes[i + 1] == pattern[1] &&
+                bytes[i + 2] == pattern[2] && bytes[i + 3] == pattern[3]) {
+              return i;
+            }
+          }
+          return bytes.size();
+        };
+        if (!item.imm_symbol.empty()) {
+          const std::size_t at = find_magic(kImmMagic);
+          if (at == bytes.size()) {
+            result.errors.push_back("line " + std::to_string(item.line) +
+                                    ": cannot relocate immediate");
+            return result;
+          }
+          for (int i = 0; i < 4; ++i) bytes[at + i] = 0;
+          unit.relocs.push_back({off + static_cast<std::uint32_t>(at),
+                                 item.imm_symbol, RelocKind::Abs32, 0});
+        }
+        if (!item.disp_symbol.empty()) {
+          const std::size_t at = find_magic(kDispMagic);
+          if (at == bytes.size()) {
+            result.errors.push_back("line " + std::to_string(item.line) +
+                                    ": cannot relocate displacement");
+            return result;
+          }
+          for (int i = 0; i < 4; ++i) bytes[at + i] = 0;
+          unit.relocs.push_back({off + static_cast<std::uint32_t>(at),
+                                 item.disp_symbol, RelocKind::Abs32, 0});
+        }
+        if (item.target_external) {
+          unit.relocs.push_back(
+              {off + static_cast<std::uint32_t>(bytes.size()) - 4, item.target,
+               RelocKind::Rel32, 0});
+        }
+        unit.bytes.insert(unit.bytes.end(), bytes.begin(), bytes.end());
+        break;
+      }
+    }
+  }
+  if (!current_func.empty()) {
+    result.errors.push_back("missing .endfunc for '" + current_func + "'");
+    return result;
+  }
+
+  result.ok = result.errors.empty();
+  return result;
+}
+
+LinkResult link(std::vector<AsmUnit>& units) {
+  LinkResult result;
+  for (const AsmUnit& unit : units) {
+    for (const auto& [name, vaddr] : unit.symbols) {
+      if (!result.symbols.emplace(name, vaddr).second) {
+        result.errors.push_back("duplicate symbol '" + name + "'");
+      }
+    }
+  }
+  for (AsmUnit& unit : units) {
+    for (const Reloc& reloc : unit.relocs) {
+      const auto it = result.symbols.find(reloc.symbol);
+      if (it == result.symbols.end()) {
+        result.errors.push_back("undefined symbol '" + reloc.symbol + "'");
+        continue;
+      }
+      std::uint32_t value = it->second + static_cast<std::uint32_t>(reloc.addend);
+      if (reloc.kind == RelocKind::Rel32) {
+        value -= unit.base + reloc.offset + 4;
+      }
+      for (int i = 0; i < 4; ++i) {
+        unit.bytes[reloc.offset + i] =
+            static_cast<std::uint8_t>(value >> (8 * i));
+      }
+    }
+  }
+  result.ok = result.errors.empty();
+  return result;
+}
+
+}  // namespace kfi::kasm

@@ -1,0 +1,78 @@
+// kasm — a two-pass assembler for KX86 with AT&T-flavoured syntax.
+//
+// The MiniC compiler emits kasm text; the kernel's trap-entry stubs are
+// written in kasm directly.  Supported syntax:
+//
+//   label:                     ; symbol definition
+//   .func name ... .endfunc    ; function extent (injection targeting)
+//   .word <imm|symbol>         ; 32-bit data (e.g. the syscall table)
+//   .byte <imm>
+//   .space <n>                 ; n zero bytes
+//   .ascii "text"              ; raw bytes, supports \n \0 \\ \"
+//   mov $5, %eax               ; AT&T operand order (src, dst)
+//   mov counter, %eax          ; absolute-address load (symbol or 0x...)
+//   mov %eax, 8(%ebp)          ; based memory with displacement
+//   movb/movzbl                ; byte forms
+//   je label / jmp label       ; relaxed automatically (rel8 vs rel32)
+//   call func / call *%eax
+//   ; comment                  ; also "//"
+//
+// Branches to local labels are relaxed iteratively (short forms grow to
+// long, never shrink, so the fixpoint terminates).  References to
+// symbols not defined in the unit become relocations for the Linker.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kfi::kasm {
+
+enum class RelocKind : std::uint8_t {
+  Abs32,  // 32-bit absolute address (imm or disp or .word)
+  Rel32,  // call/jmp rel32: value = S - (P + 4)
+};
+
+struct Reloc {
+  std::uint32_t offset = 0;  // byte offset of the 32-bit field in the unit
+  std::string symbol;
+  RelocKind kind = RelocKind::Abs32;
+  std::int32_t addend = 0;
+};
+
+struct FuncRange {
+  std::string name;
+  std::uint32_t start = 0;  // offsets within the unit
+  std::uint32_t end = 0;
+};
+
+struct AsmUnit {
+  std::uint32_t base = 0;  // load virtual address
+  std::vector<std::uint8_t> bytes;
+  std::map<std::string, std::uint32_t> symbols;  // name -> vaddr
+  std::vector<FuncRange> functions;
+  std::vector<Reloc> relocs;
+};
+
+struct AsmResult {
+  bool ok = false;
+  AsmUnit unit;
+  std::vector<std::string> errors;  // "line N: message"
+};
+
+AsmResult assemble(std::string_view source, std::uint32_t base);
+
+// The Linker resolves cross-unit references: collects every unit's
+// exported symbols, then patches relocations in place.  Duplicate or
+// missing symbols are reported as errors.
+struct LinkResult {
+  bool ok = false;
+  std::map<std::string, std::uint32_t> symbols;
+  std::vector<std::string> errors;
+};
+
+LinkResult link(std::vector<AsmUnit>& units);
+
+}  // namespace kfi::kasm

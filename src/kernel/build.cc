@@ -1,0 +1,220 @@
+#include "kernel/build.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "kasm/assembler.h"
+#include "kernel/constants.h"
+#include "kernel/sources.h"
+#include "minic/codegen.h"
+#include "vm/layout.h"
+
+namespace kfi::kernel {
+namespace {
+
+struct UnitSpec {
+  Subsystem subsystem;
+  const char* name;
+  std::uint32_t text_base;
+  std::uint32_t text_limit;
+  std::uint32_t data_base;
+  std::string (*minic)();
+  std::string (*raw_asm)();  // optional extra kasm appended to the text
+};
+
+const UnitSpec kUnits[] = {
+    {Subsystem::Arch, "arch", vm::kArchTextBase, vm::kKernTextBase,
+     0xC0200000, arch_source, arch_asm_source},
+    {Subsystem::Kernel, "kernel", vm::kKernTextBase, vm::kMmTextBase,
+     0xC0204000, kernel_source, nullptr},
+    {Subsystem::Mm, "mm", vm::kMmTextBase, vm::kFsTextBase, 0xC0210000,
+     mm_source, nullptr},
+    {Subsystem::Fs, "fs", vm::kFsTextBase, vm::kDriversTextBase, 0xC0218000,
+     fs_source, nullptr},
+    {Subsystem::Drivers, "drivers", vm::kDriversTextBase, vm::kLibTextBase,
+     0xC0220000, drivers_source, nullptr},
+    {Subsystem::Lib, "lib", vm::kLibTextBase, vm::kIpcTextBase, 0xC0224000,
+     lib_source, nullptr},
+    {Subsystem::Ipc, "ipc", vm::kIpcTextBase, vm::kNetTextBase, 0xC0228000,
+     ipc_source, nullptr},
+    {Subsystem::Net, "net", vm::kNetTextBase, vm::kTextEnd, 0xC022C000,
+     net_source, nullptr},
+};
+
+std::size_t count_lines(const std::string& text) {
+  std::size_t lines = 0;
+  for (const char c : text) {
+    if (c == '\n') ++lines;
+  }
+  return lines;
+}
+
+}  // namespace
+
+std::string_view subsystem_name(Subsystem subsystem) {
+  switch (subsystem) {
+    case Subsystem::Arch: return "arch";
+    case Subsystem::Kernel: return "kernel";
+    case Subsystem::Mm: return "mm";
+    case Subsystem::Fs: return "fs";
+    case Subsystem::Drivers: return "drivers";
+    case Subsystem::Lib: return "lib";
+    case Subsystem::Ipc: return "ipc";
+    case Subsystem::Net: return "net";
+    case Subsystem::Unknown: return "unknown";
+  }
+  return "unknown";
+}
+
+Subsystem subsystem_of_addr(std::uint32_t vaddr) {
+  for (const UnitSpec& unit : kUnits) {
+    if (vaddr >= unit.text_base && vaddr < unit.text_limit) {
+      return unit.subsystem;
+    }
+  }
+  return Subsystem::Unknown;
+}
+
+const KernelFunction* KernelImage::function(std::string_view name) const {
+  for (const KernelFunction& fn : functions) {
+    if (fn.name == name) return &fn;
+  }
+  return nullptr;
+}
+
+const KernelFunction* KernelImage::function_at(std::uint32_t vaddr) const {
+  for (const KernelFunction& fn : functions) {
+    if (vaddr >= fn.start && vaddr < fn.end) return &fn;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Enables `//H! <stmt>` hardening lines when requested.
+std::string apply_hardening(std::string source, bool hardened) {
+  const std::string tag = "//H! ";
+  std::size_t at = 0;
+  while ((at = source.find(tag, at)) != std::string::npos) {
+    if (hardened) {
+      source.replace(at, tag.size(), "     ");
+    } else {
+      at += tag.size();
+    }
+  }
+  return source;
+}
+
+}  // namespace
+
+BuildResult build_kernel(const KernelConfig& config) {
+  BuildResult result;
+  const std::string preamble = kernel_constants_minic();
+
+  std::vector<kasm::AsmUnit> units;
+  struct PendingFuncs {
+    Subsystem subsystem;
+    std::size_t unit_index;
+  };
+  std::vector<PendingFuncs> pending;
+
+  for (const UnitSpec& spec : kUnits) {
+    const std::string source =
+        apply_hardening(spec.minic(), config.hardened_assertions);
+    minic::CompileResult compiled =
+        minic::compile(preamble + source, spec.name);
+    if (!compiled.ok) {
+      for (const std::string& e : compiled.errors) {
+        result.errors.push_back(std::string(spec.name) + ": " + e);
+      }
+      continue;
+    }
+    std::string text_asm = std::move(compiled.text_asm);
+    if (spec.raw_asm != nullptr) {
+      text_asm += "\n";
+      text_asm += spec.raw_asm();
+    }
+    kasm::AsmResult text = kasm::assemble(text_asm, spec.text_base);
+    if (!text.ok) {
+      for (const std::string& e : text.errors) {
+        result.errors.push_back(std::string(spec.name) + " text: " + e);
+      }
+      continue;
+    }
+    if (spec.text_base + text.unit.bytes.size() > spec.text_limit) {
+      result.errors.push_back(std::string(spec.name) +
+                              ": text overflows its region");
+      continue;
+    }
+    kasm::AsmResult data = kasm::assemble(compiled.data_asm, spec.data_base);
+    if (!data.ok) {
+      for (const std::string& e : data.errors) {
+        result.errors.push_back(std::string(spec.name) + " data: " + e);
+      }
+      continue;
+    }
+
+    pending.push_back({spec.subsystem, units.size()});
+    units.push_back(std::move(text.unit));
+    units.push_back(std::move(data.unit));
+    result.image.source_lines[spec.subsystem] =
+        count_lines(source) +
+        (spec.raw_asm != nullptr ? count_lines(spec.raw_asm()) : 0);
+  }
+  if (!result.errors.empty()) return result;
+
+  kasm::LinkResult linked = kasm::link(units);
+  if (!linked.ok) {
+    result.errors = std::move(linked.errors);
+    return result;
+  }
+
+  result.image.symbols = std::move(linked.symbols);
+  for (const PendingFuncs& p : pending) {
+    const kasm::AsmUnit& unit = units[p.unit_index];
+    for (const kasm::FuncRange& fn : unit.functions) {
+      KernelFunction info;
+      info.name = fn.name;
+      info.subsystem = p.subsystem;
+      info.start = unit.base + fn.start;
+      info.end = unit.base + fn.end;
+      result.image.functions.push_back(std::move(info));
+    }
+  }
+  for (kasm::AsmUnit& unit : units) {
+    if (unit.bytes.empty()) continue;
+    result.image.segments.push_back({unit.base, std::move(unit.bytes)});
+  }
+  result.ok = true;
+  return result;
+}
+
+namespace {
+
+const KernelImage& built_with(const KernelConfig& config) {
+  BuildResult result = build_kernel(config);
+  if (!result.ok) {
+    std::string message = "kernel build failed:\n";
+    for (const std::string& e : result.errors) message += "  " + e + "\n";
+    throw std::runtime_error(message);
+  }
+  static KernelImage* images[2] = {nullptr, nullptr};
+  KernelImage*& slot = images[config.hardened_assertions ? 1 : 0];
+  slot = new KernelImage(std::move(result.image));
+  return *slot;
+}
+
+}  // namespace
+
+const KernelImage& built_kernel() {
+  static const KernelImage& image = built_with(KernelConfig{});
+  return image;
+}
+
+const KernelImage& built_hardened_kernel() {
+  static const KernelImage& image =
+      built_with(KernelConfig{.hardened_assertions = true});
+  return image;
+}
+
+}  // namespace kfi::kernel

@@ -1,0 +1,83 @@
+// Kernel build pipeline: MiniC/kasm sources -> linked kernel image.
+//
+// The image records per-function extents tagged by subsystem — the
+// injector's targeting data and the propagation analysis's address map.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kfi::kernel {
+
+enum class Subsystem : std::uint8_t {
+  Arch,
+  Kernel,
+  Mm,
+  Fs,
+  Drivers,
+  Lib,
+  Ipc,
+  Net,
+  Unknown,
+};
+
+std::string_view subsystem_name(Subsystem subsystem);
+
+// Maps a kernel text address to its subsystem (Unknown outside kernel
+// text) — the basis of the Figure 8 propagation attribution.
+Subsystem subsystem_of_addr(std::uint32_t vaddr);
+
+struct KernelFunction {
+  std::string name;
+  Subsystem subsystem = Subsystem::Unknown;
+  std::uint32_t start = 0;  // virtual address
+  std::uint32_t end = 0;
+};
+
+struct LoadSegment {
+  std::uint32_t base = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+struct KernelImage {
+  std::vector<LoadSegment> segments;
+  std::map<std::string, std::uint32_t> symbols;
+  std::vector<KernelFunction> functions;
+
+  std::uint32_t symbol(const std::string& name) const {
+    const auto it = symbols.find(name);
+    return it == symbols.end() ? 0 : it->second;
+  }
+  const KernelFunction* function(std::string_view name) const;
+  const KernelFunction* function_at(std::uint32_t vaddr) const;
+
+  // Source line counts per subsystem (for the Figure 1 reproduction).
+  std::map<Subsystem, std::size_t> source_lines;
+};
+
+struct BuildResult {
+  bool ok = false;
+  KernelImage image;
+  std::vector<std::string> errors;
+};
+
+// Build-time configuration.  `hardened_assertions` enables the extra
+// assertion lines tagged `//H!` in the kernel sources — the paper's
+// §7.4 recommendation of placing assertions at the propagation and
+// fs-damage hot spots a campaign reveals.
+struct KernelConfig {
+  bool hardened_assertions = false;
+};
+
+// Compiles and links the whole kernel.  Deterministic; the result can
+// be cached and shared by every machine instance.
+BuildResult build_kernel(const KernelConfig& config = {});
+
+// Shared singleton builds (the kernel never changes within a process).
+const KernelImage& built_kernel();
+const KernelImage& built_hardened_kernel();
+
+}  // namespace kfi::kernel

@@ -1,0 +1,210 @@
+// Generates the MiniC constants preamble from the C++ single source of
+// truth, so the kernel source can never drift from the host tooling.
+#include "kernel/constants.h"
+
+#include "fsutil/kfs_format.h"
+#include "kernel/koffsets.h"
+#include "support/strings.h"
+#include "vm/layout.h"
+
+namespace kfi::kernel {
+
+std::string kernel_constants_minic() {
+  std::string out;
+  auto def = [&out](const char* name, std::uint32_t value) {
+    out += format("const %s = 0x%x;\n", name, value);
+  };
+
+  // Memory layout.
+  def("PAGE_SIZE", vm::kPageSize);
+  def("PAGE_SHIFT", 12);
+  def("KERNEL_BASE", vm::kKernelBase);
+  def("RAM_SIZE", vm::kRamSize);
+  def("FREE_PHYS_BASE", vm::kFreePhysBase);
+  def("TSS_VIRT", vm::kKernelBase + vm::kTssPhys);
+  def("BOOT_PGD_PHYS", vm::kBootPgdPhys);
+  def("BOOT_PGD_VIRT", vm::kKernelBase + vm::kBootPgdPhys);
+  def("BOOT_INFO", vm::kKernelBase + vm::kBootInfoPhys);
+  def("USER_TEXT", vm::kUserTextBase);
+  def("USER_DATA", vm::kUserDataBase);
+  def("USER_STACK_TOP", vm::kUserStackTop);
+  def("USER_STACK_LIMIT", vm::kUserStackLimit);
+  def("BOOT_STACK_TOP", vm::kBootStackTop);
+
+  // PTE bits.
+  def("PTE_P", vm::kPtePresent);
+  def("PTE_W", vm::kPteWrite);
+  def("PTE_U", vm::kPteUser);
+  def("PTE_FRAME", vm::kPteFrameMask);
+
+  // MMIO.
+  def("CON_PORT", vm::kConsoleMmio);
+  def("DISK_CMD", vm::kDiskMmio + 0);
+  def("DISK_BLOCK", vm::kDiskMmio + 4);
+  def("DISK_PHYS", vm::kDiskMmio + 8);
+  def("DISK_STATUS", vm::kDiskMmio + 12);
+  def("CRASH_CAUSE", vm::kCrashMmio + 0);
+  def("CRASH_ADDR", vm::kCrashMmio + 4);
+  def("CRASH_EIP", vm::kCrashMmio + 8);
+  def("TLB_PAGE", vm::kTlbMmio + TLB_FLUSH_PAGE);
+  def("TLB_ALL", vm::kTlbMmio + TLB_FLUSH_ALL);
+  def("TLB_CR3", vm::kTlbMmio + TLB_SET_CR3);
+
+  // Tasks.
+  def("NTASKS", kNumTasks);
+  def("TASK_SIZE", kTaskSize);
+  def("T_STATE", T_STATE);
+  def("T_PID", T_PID);
+  def("T_COUNTER", T_COUNTER);
+  def("T_PGD", T_PGD);
+  def("T_KESP", T_KESP);
+  def("T_KSTACK", T_KSTACK);
+  def("T_PARENT", T_PARENT);
+  def("T_EXIT", T_EXIT);
+  def("T_BRK", T_BRK);
+  def("T_WAITNEXT", T_WAITNEXT);
+  def("T_TEXTEND", T_TEXTEND);
+  def("T_FILES", T_FILES);
+  def("NFDS", kNumFds);
+  def("TS_UNUSED", TS_UNUSED);
+  def("TS_RUN", TS_RUN);
+  def("TS_SLEEP", TS_SLEEP);
+  def("TS_ZOMBIE", TS_ZOMBIE);
+  def("QUANTUM", kDefaultQuantum);
+
+  // Files.
+  def("F_TYPE", F_TYPE);
+  def("F_OBJ", F_OBJ);
+  def("F_POS", F_POS);
+  def("F_COUNT", F_COUNT);
+  def("FT_FILE", FT_FILE);
+  def("FT_PIPE_R", FT_PIPE_R);
+  def("FT_PIPE_W", FT_PIPE_W);
+  def("FT_CONSOLE", FT_CONSOLE);
+
+  // Inode cache.
+  def("NICACHE", kNumInodeCache);
+  def("IC_INO", IC_INO);
+  def("IC_MODE", IC_MODE);
+  def("IC_SIZE", IC_SIZE);
+  def("IC_BLOCKS", IC_BLOCKS);
+  def("IC_COUNT", IC_COUNT);
+  def("IC_DIRTY", IC_DIRTY);
+  def("IC_ENTRY", kInodeCacheEntry);
+
+  // Pipes.
+  def("P_PAGE", P_PAGE);
+  def("P_HEAD", P_HEAD);
+  def("P_LEN", P_LEN);
+  def("P_READERS", P_READERS);
+  def("P_WRITERS", P_WRITERS);
+  def("P_WAIT", P_WAIT);
+  def("PIPE_BUF", kPipeBufSize);
+
+  // Buffer and page caches.
+  def("NBH", kNumBh);
+  def("BH_BLOCK", BH_BLOCK);
+  def("BH_PAGE", BH_PAGE);
+  def("BH_VALID", BH_VALID);
+  def("BH_ENTRY", kBhEntry);
+  def("NPCH", kNumPageHash);
+  def("PC_INO", PC_INO);
+  def("PC_IDX", PC_IDX);
+  def("PC_PAGE", PC_PAGE);
+  def("PC_ENTRY", kPcEntry);
+
+  // Trap frame and boot info.
+  def("TF_EIP", TF_EIP);
+  def("TF_EFLAGS", TF_EFLAGS);
+  def("TF_ESP", TF_ESP);
+  def("TF_CPL", TF_CPL);
+  def("TF_ERR", TF_ERR);
+  def("TF_ADDR", TF_ADDR);
+  def("BI_ENTRY", BI_ENTRY);
+  def("BI_TEXT_VADDR", BI_TEXT_VADDR);
+  def("BI_TEXT_PHYS", BI_TEXT_PHYS);
+  def("BI_TEXT_LEN", BI_TEXT_LEN);
+  def("BI_DATA_VADDR", BI_DATA_VADDR);
+  def("BI_DATA_PHYS", BI_DATA_PHYS);
+  def("BI_DATA_LEN", BI_DATA_LEN);
+
+  // Crash causes.
+  def("C_NULL", CRASH_NULL_POINTER);
+  def("C_PAGING", CRASH_PAGING_REQUEST);
+  def("C_INVOP", CRASH_INVALID_OPCODE);
+  def("C_GP", CRASH_GP_FAULT);
+  def("C_DIVIDE", CRASH_DIVIDE);
+  def("C_PANIC", CRASH_PANIC);
+  def("C_INT3", CRASH_INT3);
+  def("C_BOUNDS", CRASH_BOUNDS);
+  def("C_ITSS", CRASH_INVALID_TSS);
+  def("C_STACK", CRASH_STACK);
+  def("C_OVF", CRASH_OVERFLOW);
+  def("C_SEGNP", CRASH_SEG_NOT_PRESENT);
+  def("C_OOM", CRASH_OUT_OF_MEMORY);
+  def("C_SHUTDOWN", CRASH_CLEAN_SHUTDOWN);
+
+  // kfs format.
+  def("BLOCK_SIZE", fsutil::kBlockSize);
+  def("KFS_MAGIC", fsutil::kKfsMagic);
+  def("INODE_SIZE", fsutil::kInodeSize);
+  def("INODES_PER_BLOCK", fsutil::kInodesPerBlock);
+  def("NDIRECT", fsutil::kDirectBlocks);
+  def("MAX_FILE_SIZE", fsutil::kMaxFileSize);
+  def("DIRENT_SIZE", fsutil::kDirentSize);
+  def("NAME_LEN", fsutil::kNameLen);
+  def("BITMAP_BLOCK", fsutil::kBitmapBlock);
+  def("ITAB_BLOCK", fsutil::kInodeTableBlock);
+  def("SB_MAGIC", fsutil::kSbMagic);
+  def("SB_BLOCKS", fsutil::kSbBlocks);
+  def("SB_INODES", fsutil::kSbInodes);
+  def("SB_INODE_BLOCKS", fsutil::kSbInodeBlocks);
+  def("SB_DATA_START", fsutil::kSbDataStart);
+  def("SB_ROOT", fsutil::kSbRootIno);
+  def("I_MODE", fsutil::kInodeMode);
+  def("I_SIZE", fsutil::kInodeSizeOff);
+  def("I_NLINKS", fsutil::kInodeNlinks);
+  def("I_BLOCK0", fsutil::kInodeBlock0);
+  def("M_FREE", fsutil::kModeFree);
+  def("M_FILE", fsutil::kModeFile);
+  def("M_DIR", fsutil::kModeDir);
+
+  // Syscalls and errno.
+  def("SYS_EXIT", SYS_EXIT);
+  def("SYS_FORK", SYS_FORK);
+  def("SYS_READ", SYS_READ);
+  def("SYS_WRITE", SYS_WRITE);
+  def("SYS_OPEN", SYS_OPEN);
+  def("SYS_CLOSE", SYS_CLOSE);
+  def("SYS_WAITPID", SYS_WAITPID);
+  def("SYS_CREAT", SYS_CREAT);
+  def("SYS_UNLINK", SYS_UNLINK);
+  def("SYS_LSEEK", SYS_LSEEK);
+  def("SYS_GETPID", SYS_GETPID);
+  def("SYS_DUP", SYS_DUP);
+  def("SYS_PIPE", SYS_PIPE);
+  def("SYS_BRK", SYS_BRK);
+  def("SYS_SOCKETCALL", SYS_SOCKETCALL);
+  def("SYS_IPC", SYS_IPC);
+  def("NSYSCALLS", kNumSyscalls);
+  def("ENOENT", KE_ENOENT);
+  def("EBADF", KE_EBADF);
+  def("EAGAIN", KE_EAGAIN);
+  def("ENOMEM", KE_ENOMEM);
+  def("EEXIST", KE_EEXIST);
+  def("EINVAL", KE_EINVAL);
+  def("EMFILE", KE_EMFILE);
+  def("ENOSPC", KE_ENOSPC);
+  def("ESPIPE", KE_ESPIPE);
+  def("EPIPE", KE_EPIPE);
+  def("ENOSYS", KE_ENOSYS);
+  def("O_RDONLY", KO_RDONLY);
+  def("O_WRONLY", KO_WRONLY);
+  def("O_RDWR", KO_RDWR);
+  def("O_CREAT", KO_CREAT);
+  def("O_TRUNC", KO_TRUNC);
+
+  return out;
+}
+
+}  // namespace kfi::kernel

@@ -1,0 +1,13 @@
+// MiniC constants preamble generation (see constants.cc).
+#pragma once
+
+#include <string>
+
+namespace kfi::kernel {
+
+// Returns `const NAME = 0x...;` MiniC declarations for every layout,
+// MMIO, kfs, and ABI constant the kernel source uses.  Prepended to
+// each kernel MiniC unit by the builder.
+std::string kernel_constants_minic();
+
+}  // namespace kfi::kernel

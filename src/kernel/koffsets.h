@@ -1,0 +1,166 @@
+// In-kernel data structure layouts, shared between the MiniC kernel
+// source (via the generated constants preamble) and host-side tooling
+// (tests, the injector's crash analysis).
+//
+// All structures are word-granular; offsets are in bytes.
+#pragma once
+
+#include <cstdint>
+
+namespace kfi::kernel {
+
+// ---- task_struct (128 bytes, kNumTasks slots in task_table) ----
+inline constexpr std::uint32_t kNumTasks = 16;
+inline constexpr std::uint32_t kTaskSize = 128;
+inline constexpr std::uint32_t T_STATE = 0;
+inline constexpr std::uint32_t T_PID = 4;
+inline constexpr std::uint32_t T_COUNTER = 8;   // scheduling quantum left
+inline constexpr std::uint32_t T_PGD = 12;      // physical address of PGD
+inline constexpr std::uint32_t T_KESP = 16;     // saved kernel esp
+inline constexpr std::uint32_t T_KSTACK = 20;   // kernel stack top (esp0)
+inline constexpr std::uint32_t T_PARENT = 24;   // parent task pointer
+inline constexpr std::uint32_t T_EXIT = 28;
+inline constexpr std::uint32_t T_BRK = 32;      // heap end
+inline constexpr std::uint32_t T_WAITNEXT = 36; // wait-queue link
+inline constexpr std::uint32_t T_TEXTEND = 40;  // user text vma end
+inline constexpr std::uint32_t T_FILES = 44;    // kNumFds file pointers
+inline constexpr std::uint32_t kNumFds = 8;
+
+// Task states.
+inline constexpr std::uint32_t TS_UNUSED = 0;
+inline constexpr std::uint32_t TS_RUN = 1;
+inline constexpr std::uint32_t TS_SLEEP = 2;
+inline constexpr std::uint32_t TS_ZOMBIE = 3;
+
+inline constexpr std::uint32_t kDefaultQuantum = 6;
+
+// ---- struct file (16 bytes, kmalloc'd) ----
+inline constexpr std::uint32_t F_TYPE = 0;
+inline constexpr std::uint32_t F_OBJ = 4;   // inode* or pipe*
+inline constexpr std::uint32_t F_POS = 8;
+inline constexpr std::uint32_t F_COUNT = 12;
+inline constexpr std::uint32_t FT_FILE = 1;
+inline constexpr std::uint32_t FT_PIPE_R = 2;
+inline constexpr std::uint32_t FT_PIPE_W = 3;
+inline constexpr std::uint32_t FT_CONSOLE = 4;
+
+// ---- in-core inode (64 bytes, kNumInodeCache slots) ----
+inline constexpr std::uint32_t kNumInodeCache = 32;
+inline constexpr std::uint32_t IC_INO = 0;
+inline constexpr std::uint32_t IC_MODE = 4;
+inline constexpr std::uint32_t IC_SIZE = 8;
+inline constexpr std::uint32_t IC_BLOCKS = 12;  // 10 words
+inline constexpr std::uint32_t IC_COUNT = 52;
+inline constexpr std::uint32_t IC_DIRTY = 56;
+inline constexpr std::uint32_t kInodeCacheEntry = 64;
+
+// ---- pipe (32 bytes + one data page) ----
+inline constexpr std::uint32_t P_PAGE = 0;
+inline constexpr std::uint32_t P_HEAD = 4;
+inline constexpr std::uint32_t P_LEN = 8;
+inline constexpr std::uint32_t P_READERS = 12;
+inline constexpr std::uint32_t P_WRITERS = 16;
+inline constexpr std::uint32_t P_WAIT = 20;
+inline constexpr std::uint32_t kPipeBufSize = 4096;
+
+// ---- buffer cache (kNumBh entries x 16 bytes) ----
+inline constexpr std::uint32_t kNumBh = 32;
+inline constexpr std::uint32_t BH_BLOCK = 0;
+inline constexpr std::uint32_t BH_PAGE = 4;
+inline constexpr std::uint32_t BH_VALID = 8;
+inline constexpr std::uint32_t kBhEntry = 16;
+
+// ---- page cache (kNumPageHash entries x 16 bytes) ----
+inline constexpr std::uint32_t kNumPageHash = 64;
+inline constexpr std::uint32_t PC_INO = 0;
+inline constexpr std::uint32_t PC_IDX = 4;
+inline constexpr std::uint32_t PC_PAGE = 8;
+inline constexpr std::uint32_t kPcEntry = 16;
+
+// ---- trap frame (pushed by the CPU, see vm::Cpu::deliver) ----
+inline constexpr std::uint32_t TF_EIP = 0;
+inline constexpr std::uint32_t TF_EFLAGS = 4;
+inline constexpr std::uint32_t TF_ESP = 8;
+inline constexpr std::uint32_t TF_CPL = 12;
+inline constexpr std::uint32_t TF_ERR = 16;
+inline constexpr std::uint32_t TF_ADDR = 20;
+
+// ---- boot info (written by the host loader at kBootInfoPhys) ----
+inline constexpr std::uint32_t BI_ENTRY = 0;
+inline constexpr std::uint32_t BI_TEXT_VADDR = 4;
+inline constexpr std::uint32_t BI_TEXT_PHYS = 8;
+inline constexpr std::uint32_t BI_TEXT_LEN = 12;
+inline constexpr std::uint32_t BI_DATA_VADDR = 16;
+inline constexpr std::uint32_t BI_DATA_PHYS = 20;
+inline constexpr std::uint32_t BI_DATA_LEN = 24;
+
+// Physical region the host loader parks the workload image in (mapped
+// into the init task by the kernel; below the page allocator's range).
+inline constexpr std::uint32_t kWorkloadPhysBase = 0x00300000;
+inline constexpr std::uint32_t kWorkloadPhysSize = 0x00100000;
+
+// ---- crash port causes (MMIO kCrashMmio) ----
+// +0 = cause (commits), +4 = fault address, +8 = faulting eip.
+inline constexpr std::uint32_t CRASH_NULL_POINTER = 1;
+inline constexpr std::uint32_t CRASH_PAGING_REQUEST = 2;
+inline constexpr std::uint32_t CRASH_INVALID_OPCODE = 3;
+inline constexpr std::uint32_t CRASH_GP_FAULT = 4;
+inline constexpr std::uint32_t CRASH_DIVIDE = 5;
+inline constexpr std::uint32_t CRASH_PANIC = 6;
+inline constexpr std::uint32_t CRASH_INT3 = 7;
+inline constexpr std::uint32_t CRASH_BOUNDS = 8;
+inline constexpr std::uint32_t CRASH_INVALID_TSS = 9;
+inline constexpr std::uint32_t CRASH_STACK = 10;
+inline constexpr std::uint32_t CRASH_OVERFLOW = 11;
+inline constexpr std::uint32_t CRASH_SEG_NOT_PRESENT = 12;
+inline constexpr std::uint32_t CRASH_OUT_OF_MEMORY = 13;
+inline constexpr std::uint32_t CRASH_DOUBLE_FAULT = 14;
+inline constexpr std::uint32_t CRASH_CLEAN_SHUTDOWN = 100;
+
+// ---- TLB/MMU control port (MMIO kTlbMmio) ----
+inline constexpr std::uint32_t TLB_FLUSH_PAGE = 0;  // write vaddr
+inline constexpr std::uint32_t TLB_FLUSH_ALL = 4;   // write anything
+inline constexpr std::uint32_t TLB_SET_CR3 = 8;     // write PGD phys
+
+// ---- syscall numbers (Linux 2.4 values) ----
+inline constexpr std::uint32_t SYS_EXIT = 1;
+inline constexpr std::uint32_t SYS_FORK = 2;
+inline constexpr std::uint32_t SYS_READ = 3;
+inline constexpr std::uint32_t SYS_WRITE = 4;
+inline constexpr std::uint32_t SYS_OPEN = 5;
+inline constexpr std::uint32_t SYS_CLOSE = 6;
+inline constexpr std::uint32_t SYS_WAITPID = 7;
+inline constexpr std::uint32_t SYS_CREAT = 8;
+inline constexpr std::uint32_t SYS_UNLINK = 10;
+inline constexpr std::uint32_t SYS_LSEEK = 19;
+inline constexpr std::uint32_t SYS_GETPID = 20;
+inline constexpr std::uint32_t SYS_DUP = 41;
+inline constexpr std::uint32_t SYS_PIPE = 42;
+inline constexpr std::uint32_t SYS_BRK = 45;
+inline constexpr std::uint32_t SYS_SOCKETCALL = 102;
+inline constexpr std::uint32_t SYS_IPC = 117;
+inline constexpr std::uint32_t kNumSyscalls = 128;
+
+// ---- errno values (Linux) ----
+inline constexpr std::uint32_t KE_ENOENT = 2;
+inline constexpr std::uint32_t KE_EBADF = 9;
+inline constexpr std::uint32_t KE_EAGAIN = 11;
+inline constexpr std::uint32_t KE_ENOMEM = 12;
+inline constexpr std::uint32_t KE_EEXIST = 17;
+inline constexpr std::uint32_t KE_EINVAL = 22;
+inline constexpr std::uint32_t KE_EMFILE = 24;
+inline constexpr std::uint32_t KE_ENOSPC = 28;
+inline constexpr std::uint32_t KE_ESPIPE = 29;
+inline constexpr std::uint32_t KE_EPIPE = 32;
+inline constexpr std::uint32_t KE_ENOSYS = 38;
+
+// open(2) flags.
+inline constexpr std::uint32_t KO_RDONLY = 0;
+inline constexpr std::uint32_t KO_WRONLY = 1;
+inline constexpr std::uint32_t KO_RDWR = 2;
+inline constexpr std::uint32_t KO_CREAT = 0x40;
+inline constexpr std::uint32_t KO_TRUNC = 0x200;
+
+inline constexpr std::uint32_t kTimerPeriodCycles = 5000;
+
+}  // namespace kfi::kernel

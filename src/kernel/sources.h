@@ -1,0 +1,23 @@
+// The mini-kernel's source code, one unit per subsystem.
+//
+// Each function returns MiniC source (or kasm for the assembly parts of
+// arch/).  The kernel builder compiles and links them into the final
+// image; every function carries its Linux 2.4 counterpart's name so the
+// paper's per-function findings map one-to-one.
+#pragma once
+
+#include <string>
+
+namespace kfi::kernel {
+
+std::string arch_source();       // MiniC: do_page_fault, trap handlers, oops
+std::string arch_asm_source();   // kasm: entry stubs, switch_to, syscall table
+std::string kernel_source();     // MiniC: scheduler, fork/exit/wait, timer
+std::string mm_source();         // MiniC: page allocator, page cache, COW
+std::string fs_source();         // MiniC: VFS, kfs, buffer cache, pipes
+std::string drivers_source();    // MiniC: console + block driver
+std::string lib_source();        // MiniC: string/memory helpers
+std::string ipc_source();        // MiniC: System V-ish semaphores
+std::string net_source();        // MiniC: loopback datagram sockets
+
+}  // namespace kfi::kernel

@@ -1,0 +1,273 @@
+// arch/i386 — trap handlers, the page-fault handler, oops reporting
+// (MiniC), plus the low-level entry stubs, context switch, and the
+// system-call table (kasm).
+#include "kernel/sources.h"
+
+#include <cstdint>
+#include <map>
+
+#include "kernel/koffsets.h"
+#include "support/strings.h"
+#include "vm/layout.h"
+
+namespace kfi::kernel {
+
+std::string arch_source() {
+  return R"MC(
+extern current;
+
+// ---- oops / die (arch/i386/kernel/traps.c) ----
+
+func oops(cause, addr, eip) {
+  if (cause == C_NULL) {
+    printk("Unable to handle kernel NULL pointer dereference");
+    printk(" at virtual address ");
+    printk_hex(addr);
+  }
+  if (cause == C_PAGING) {
+    printk("Unable to handle kernel paging request at virtual address ");
+    printk_hex(addr);
+  }
+  if (cause == C_INVOP) { printk("kernel BUG: invalid opcode"); }
+  if (cause == C_GP) { printk("general protection fault"); }
+  if (cause == C_DIVIDE) { printk("divide error"); }
+  printk("\n Oops: eip = ");
+  printk_hex(eip);
+  printk("\n");
+  mem[CRASH_ADDR] = addr;
+  mem[CRASH_EIP] = eip;
+  mem[CRASH_CAUSE] = cause;
+  while (1) { }
+  return 0;
+}
+
+func kill_current(sig) {
+  do_exit(128 + sig);
+  return 0;
+}
+
+// Common fatal-trap path: user-mode traps kill the offending process,
+// kernel-mode traps oops (and the host crash handler records the dump).
+func die_if_kernel(frame, cause) {
+  if (mem[frame + TF_CPL] == 3) {
+    kill_current(cause);
+    return 0;
+  }
+  oops(cause, mem[frame + TF_ADDR], mem[frame + TF_EIP]);
+  return 0;
+}
+
+func do_divide_error(frame) { die_if_kernel(frame, C_DIVIDE); return 0; }
+func do_int3(frame) { die_if_kernel(frame, C_INT3); return 0; }
+func do_overflow(frame) { die_if_kernel(frame, C_OVF); return 0; }
+func do_bounds(frame) { die_if_kernel(frame, C_BOUNDS); return 0; }
+func do_invalid_op(frame) { die_if_kernel(frame, C_INVOP); return 0; }
+func do_invalid_tss(frame) { die_if_kernel(frame, C_ITSS); return 0; }
+func do_segment_not_present(frame) { die_if_kernel(frame, C_SEGNP); return 0; }
+func do_stack_segment(frame) { die_if_kernel(frame, C_STACK); return 0; }
+func do_general_protection(frame) { die_if_kernel(frame, C_GP); return 0; }
+
+// ---- page faults (arch/i386/mm/fault.c) ----
+
+func do_page_fault(frame) {
+  var addr = mem[frame + TF_ADDR];
+  var err = mem[frame + TF_ERR];
+  var write = (err & 2) >> 1;
+  if ((err & 4) != 0) {
+    // Fault from user mode.
+    if (handle_mm_fault(current, addr, write) == 0) { return 0; }
+    kill_current(11);   // SIGSEGV
+    return 0;
+  }
+  // Fault from kernel mode.  Touching user pages (copy_{to,from}_user,
+  // COW break) is legal and repaired; anything else is an oops.
+  if (addr <u KERNEL_BASE && addr >=u USER_TEXT) {
+    if (handle_mm_fault(current, addr, write) == 0) { return 0; }
+  }
+  if (addr <u PAGE_SIZE) {
+    oops(C_NULL, addr, mem[frame + TF_EIP]);
+    return 0;
+  }
+  oops(C_PAGING, addr, mem[frame + TF_EIP]);
+  return 0;
+}
+)MC";
+}
+
+std::string arch_asm_source() {
+  std::string out;
+
+  // Trap stubs: save all registers (pusha order), hand the trap frame to
+  // the C handler, reschedule when returning to user mode.
+  struct Stub {
+    const char* label;
+    const char* handler;
+  };
+  static constexpr Stub kStubs[] = {
+      {"divide_error_entry", "do_divide_error"},
+      {"int3_entry", "do_int3"},
+      {"overflow_entry", "do_overflow"},
+      {"bounds_entry", "do_bounds"},
+      {"invalid_op_entry", "do_invalid_op"},
+      {"invalid_tss_entry", "do_invalid_tss"},
+      {"segment_not_present_entry", "do_segment_not_present"},
+      {"stack_segment_entry", "do_stack_segment"},
+      {"general_protection_entry", "do_general_protection"},
+      {"page_fault_entry", "do_page_fault"},
+  };
+  for (const Stub& stub : kStubs) {
+    out += format(R"ASM(
+.func %s
+%s:
+  push %%eax
+  push %%ecx
+  push %%edx
+  push %%ebx
+  push %%esp
+  push %%ebp
+  push %%esi
+  push %%edi
+  lea 32(%%esp), %%eax
+  push %%eax
+  call %s
+  add $4, %%esp
+  jmp trap_ret
+.endfunc
+)ASM",
+                  stub.label, stub.label, stub.handler);
+  }
+
+  // Timer interrupt.
+  out += R"ASM(
+.func timer_interrupt
+timer_interrupt:
+  push %eax
+  push %ecx
+  push %edx
+  push %ebx
+  push %esp
+  push %ebp
+  push %esi
+  push %edi
+  call do_timer
+  jmp trap_ret
+.endfunc
+
+; Common trap exit: restore registers, reschedule when going back to
+; user mode with need_resched set.
+trap_ret:
+  mov 44(%esp), %eax        ; saved cpl in the trap frame
+  cmp $3, %eax
+  jne trap_ret_nores
+  mov need_resched, %eax
+  test %eax, %eax
+  je trap_ret_nores
+  call schedule
+trap_ret_nores:
+  pop %edi
+  pop %esi
+  pop %ebp
+  add $4, %esp              ; skip the saved esp slot
+  pop %ebx
+  pop %edx
+  pop %ecx
+  pop %eax
+  iret
+)ASM";
+
+  // System-call entry: save the full register set (the child of fork
+  // irets through the same frame), dispatch via the table, store the
+  // return value into the saved-eax slot, exit through trap_ret.
+  out += format(R"ASM(
+.func system_call
+system_call:
+  push %%eax
+  push %%ecx
+  push %%edx
+  push %%ebx
+  push %%esp
+  push %%ebp
+  push %%esi
+  push %%edi
+  push 20(%%esp)            ; arg3 = saved edx
+  push 28(%%esp)            ; arg2 = saved ecx
+  push 24(%%esp)            ; arg1 = saved ebx
+  cmp $%u, %%eax
+  jae sc_bad
+  shl $2, %%eax
+  add $sys_call_table, %%eax
+  mov (%%eax), %%eax
+  test %%eax, %%eax
+  je sc_bad
+  call *%%eax
+sc_out:
+  add $12, %%esp
+  mov %%eax, 28(%%esp)      ; return value -> saved eax
+  jmp trap_ret
+sc_bad:
+  mov $-38, %%eax           ; -ENOSYS
+  jmp sc_out
+.endfunc
+)ASM",
+                kNumSyscalls);
+
+  // Context switch (arch/i386/kernel/process.c __switch_to).
+  out += format(R"ASM(
+.func switch_to
+switch_to:
+  mov 4(%%esp), %%eax       ; prev
+  mov 8(%%esp), %%edx       ; next
+  push %%ebp
+  push %%ebx
+  push %%esi
+  push %%edi
+  mov %%esp, %u(%%eax)      ; prev->kesp
+  mov %u(%%edx), %%esp      ; next->kesp
+  mov %u(%%edx), %%ecx      ; next->kstack (esp0)
+  mov %%ecx, 0x%x           ; TSS esp0
+  mov %u(%%edx), %%ecx      ; next->pgd
+  mov %%ecx, 0x%x           ; cr3 load port (flushes TLB)
+  mov %%edx, current
+  pop %%edi
+  pop %%esi
+  pop %%ebx
+  pop %%ebp
+  ret
+.endfunc
+
+.func ret_from_fork
+ret_from_fork:
+  mov $0, %%eax
+  mov %%eax, 28(%%esp)      ; the child returns 0
+  jmp trap_ret
+.endfunc
+)ASM",
+                T_KESP, T_KESP, T_KSTACK,
+                vm::kKernelBase + vm::kTssPhys, T_PGD,
+                vm::kTlbMmio + TLB_SET_CR3);
+
+  // The system-call table.
+  const std::map<std::uint32_t, std::string> entries = {
+      {SYS_EXIT, "sys_exit"},       {SYS_FORK, "sys_fork"},
+      {SYS_READ, "sys_read"},       {SYS_WRITE, "sys_write"},
+      {SYS_OPEN, "sys_open"},       {SYS_CLOSE, "sys_close"},
+      {SYS_WAITPID, "sys_waitpid"}, {SYS_CREAT, "sys_creat"},
+      {SYS_UNLINK, "sys_unlink"},   {SYS_LSEEK, "sys_lseek"},
+      {SYS_GETPID, "sys_getpid"},   {SYS_DUP, "sys_dup"},
+      {SYS_PIPE, "sys_pipe"},       {SYS_BRK, "sys_brk"},
+      {SYS_SOCKETCALL, "sys_socketcall"},
+      {SYS_IPC, "sys_ipc"},
+  };
+  out += "\nsys_call_table:\n";
+  for (std::uint32_t nr = 0; nr < kNumSyscalls; ++nr) {
+    const auto it = entries.find(nr);
+    if (it != entries.end()) {
+      out += "  .word " + it->second + "\n";
+    } else {
+      out += "  .word 0\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace kfi::kernel

@@ -1,0 +1,75 @@
+// drivers/ — console (tty) and block device driver.
+#include "kernel/sources.h"
+
+namespace kfi::kernel {
+
+std::string drivers_source() {
+  return R"MC(
+// drivers/char/console.c equivalents.
+
+func console_putc(c) {
+  mem[CON_PORT] = c & 0xFF;
+  return 0;
+}
+
+func console_write(buf, n) {
+  var i = 0;
+  while (i < n) {
+    console_putc(memb[buf + i]);
+    i = i + 1;
+  }
+  return n;
+}
+
+func printk(s) {
+  var n = strlen(s);
+  console_write(s, n);
+  return n;
+}
+
+func printk_hex(v) {
+  var i = 28;
+  while (i >= 0) {
+    var d = (v >> i) & 0xF;
+    if (d < 10) { console_putc(48 + d); }
+    else { console_putc(87 + d); }   // 'a' - 10
+    i = i - 4;
+  }
+  return 0;
+}
+
+func printk_dec(v) {
+  if (v == 0) { console_putc(48); return 0; }
+  array_scratch_guard();
+  var div = 1000000000;
+  var started = 0;
+  while (div != 0) {
+    var d = v / div;
+    v = v % div;
+    if (d != 0 || started != 0 || div == 1) {
+      console_putc(48 + d);
+      started = 1;
+    }
+    div = div / 10;
+  }
+  return 0;
+}
+
+// Placeholder so printk_dec keeps a realistic call in its body (the
+// profiler needs cross-function edges in drivers/ too).
+func array_scratch_guard() {
+  return 0;
+}
+
+// drivers/block — synchronous request interface to the MMIO disk port.
+// cmd: 1 = read, 2 = write.  Returns the device status (0 = ok).
+func ll_rw_block(cmd, block, kvaddr) {
+  mem[DISK_BLOCK] = block;
+  mem[DISK_PHYS] = kvaddr - KERNEL_BASE;
+  mem[DISK_CMD] = cmd;
+  return mem[DISK_STATUS];
+}
+)MC";
+}
+
+}  // namespace kfi::kernel

@@ -1,0 +1,695 @@
+// fs/ — VFS layer, kfs on-disk filesystem, buffer cache, pipes.
+#include "kernel/sources.h"
+
+namespace kfi::kernel {
+
+std::string fs_source() {
+  return R"MC(
+extern current;
+
+// ---- buffer cache (fs/buffer.c) ----
+
+global sb_nblocks = 0;
+global sb_ninodes = 0;
+global sb_data_start = 0;
+global sb_root = 0;
+array bh_table[128];      // NBH x BH_ENTRY bytes
+
+func buffer_init() {
+  memset(bh_table, 0, NBH * BH_ENTRY);
+  return 0;
+}
+
+// The paper's get_hash_table: cache lookup by block number.
+func get_hash_table(block) {
+  var bh = bh_table + (block & (NBH - 1)) * BH_ENTRY;
+  if (mem[bh + BH_VALID] != 0 && mem[bh + BH_BLOCK] == block) {
+    return bh;
+  }
+  return 0;
+}
+
+func bread(block) {
+  var bh = get_hash_table(block);
+  if (bh != 0) { return bh; }
+  bh = bh_table + (block & (NBH - 1)) * BH_ENTRY;
+  if (mem[bh + BH_PAGE] == 0) {
+    var page = alloc_page();
+    if (page == 0) { return 0; }
+    mem[bh + BH_PAGE] = page;
+  }
+  mem[bh + BH_VALID] = 0;
+  if (ll_rw_block(1, block, mem[bh + BH_PAGE]) != 0) {
+    return 0;
+  }
+  mem[bh + BH_BLOCK] = block;
+  mem[bh + BH_VALID] = 1;
+  return bh;
+}
+
+// Write-through: every metadata/data update goes straight to disk, so
+// kernel-state corruption becomes disk corruption (the severity channel
+// behind the paper's Table 5).
+func bwrite(bh) {
+  //H! assert(mem[bh + BH_BLOCK] <u sb_nblocks || sb_nblocks == 0);
+  return ll_rw_block(2, mem[bh + BH_BLOCK], mem[bh + BH_PAGE]);
+}
+
+// ---- superblock (fs/super.c) ----
+
+func kfs_read_super() {
+  var bh = bread(0);
+  if (bh == 0) {
+    panic("unable to read superblock");
+    return 0;
+  }
+  var b = mem[bh + BH_PAGE];
+  if (mem[b + SB_MAGIC] != KFS_MAGIC) {
+    panic("VFS: bad kfs magic on root device");
+    return 0;
+  }
+  sb_nblocks = mem[b + SB_BLOCKS];
+  sb_ninodes = mem[b + SB_INODES];
+  sb_data_start = mem[b + SB_DATA_START];
+  sb_root = mem[b + SB_ROOT];
+  return 0;
+}
+
+// ---- inode cache (fs/inode.c) ----
+
+array inode_cache[512];   // NICACHE x IC_ENTRY bytes
+
+func inode_init() {
+  memset(inode_cache, 0, NICACHE * IC_ENTRY);
+  return 0;
+}
+
+func iget(ino) {
+  if (ino == 0 || ino >=u sb_ninodes) { return 0; }
+  var i = 0;
+  var free_slot = 0;
+  while (i < NICACHE) {
+    var e = inode_cache + i * IC_ENTRY;
+    if (mem[e + IC_INO] == ino) {
+      mem[e + IC_COUNT] = mem[e + IC_COUNT] + 1;
+      return e;
+    }
+    if (free_slot == 0 && mem[e + IC_INO] == 0) { free_slot = e; }
+    i = i + 1;
+  }
+  if (free_slot == 0) { return 0; }
+  var blk = ITAB_BLOCK + ino / INODES_PER_BLOCK;
+  var bh = bread(blk);
+  if (bh == 0) { return 0; }
+  var src = mem[bh + BH_PAGE] + (ino % INODES_PER_BLOCK) * INODE_SIZE;
+  mem[free_slot + IC_INO] = ino;
+  mem[free_slot + IC_MODE] = mem[src + I_MODE];
+  mem[free_slot + IC_SIZE] = mem[src + I_SIZE];
+  var k = 0;
+  while (k < NDIRECT) {
+    mem[free_slot + IC_BLOCKS + k * 4] = mem[src + I_BLOCK0 + k * 4];
+    k = k + 1;
+  }
+  mem[free_slot + IC_COUNT] = 1;
+  mem[free_slot + IC_DIRTY] = 0;
+  return free_slot;
+}
+
+func write_inode(e) {
+  var ino = mem[e + IC_INO];
+  assert(ino != 0);                   // BUG(): writing back a free slot
+  //H! assert(ino <u sb_ninodes);
+  var blk = ITAB_BLOCK + ino / INODES_PER_BLOCK;
+  var bh = bread(blk);
+  if (bh == 0) { return -5; }
+  var dst = mem[bh + BH_PAGE] + (ino % INODES_PER_BLOCK) * INODE_SIZE;
+  mem[dst + I_MODE] = mem[e + IC_MODE];
+  mem[dst + I_SIZE] = mem[e + IC_SIZE];
+  mem[dst + I_NLINKS] = 1;
+  var k = 0;
+  while (k < NDIRECT) {
+    mem[dst + I_BLOCK0 + k * 4] = mem[e + IC_BLOCKS + k * 4];
+    k = k + 1;
+  }
+  mem[e + IC_DIRTY] = 0;
+  return bwrite(bh);
+}
+
+func iput(e) {
+  if (e == 0) { return 0; }
+  if (mem[e + IC_DIRTY] != 0) {
+    write_inode(e);
+  }
+  var c = mem[e + IC_COUNT];
+  if (c <= 1) {
+    mem[e + IC_COUNT] = 0;
+    mem[e + IC_INO] = 0;
+  } else {
+    mem[e + IC_COUNT] = c - 1;
+  }
+  return 0;
+}
+
+// ---- kfs block/inode allocation (fs/ext2/balloc.c analogs) ----
+
+func kfs_get_block(inode, fblock) {
+  if (fblock >=u NDIRECT) { return 0; }
+  return mem[inode + IC_BLOCKS + fblock * 4];
+}
+
+func kfs_alloc_block() {
+  var bh = bread(BITMAP_BLOCK);
+  if (bh == 0) { return 0; }
+  var map = mem[bh + BH_PAGE];
+  var b = sb_data_start;
+  while (b <u sb_nblocks) {
+    var byte = memb[map + b / 8];
+    if ((byte & (1 << (b % 8))) == 0) {
+      //H! assert(b >=u sb_data_start);
+      memb[map + b / 8] = byte | (1 << (b % 8));
+      bwrite(bh);
+      var page = alloc_page();
+      if (page != 0) {
+        // Fresh blocks must read back as zeroes.
+        memset(page, 0, BLOCK_SIZE);
+        ll_rw_block(2, b, page);
+        free_pages(page);
+      }
+      // Drop any stale buffer-cache copy of the recycled block.
+      var stale = get_hash_table(b);
+      if (stale != 0) { mem[stale + BH_VALID] = 0; }
+      return b;
+    }
+    b = b + 1;
+  }
+  return 0;
+}
+
+func kfs_free_block(b) {
+  if (b <u sb_data_start || b >=u sb_nblocks) { return 0; }
+  var bh = bread(BITMAP_BLOCK);
+  if (bh == 0) { return 0; }
+  var map = mem[bh + BH_PAGE];
+  memb[map + b / 8] = memb[map + b / 8] & ~(1 << (b % 8));
+  bwrite(bh);
+  return 0;
+}
+
+// Scans the on-disk inode table for a free inode; returns its number.
+func kfs_alloc_inode() {
+  var ino = 1;
+  while (ino <u sb_ninodes) {
+    var bh = bread(ITAB_BLOCK + ino / INODES_PER_BLOCK);
+    if (bh == 0) { return 0; }
+    var at = mem[bh + BH_PAGE] + (ino % INODES_PER_BLOCK) * INODE_SIZE;
+    if (mem[at + I_MODE] == M_FREE) {
+      mem[at + I_MODE] = M_FILE;
+      mem[at + I_SIZE] = 0;
+      mem[at + I_NLINKS] = 1;
+      var k = 0;
+      while (k < NDIRECT) {
+        mem[at + I_BLOCK0 + k * 4] = 0;
+        k = k + 1;
+      }
+      bwrite(bh);
+      return ino;
+    }
+    ino = ino + 1;
+  }
+  return 0;
+}
+
+// ---- directories (fs/namei.c) ----
+
+array namebuf[8];     // one path component
+array path_buf[32];   // kernel copy of the user path
+
+// Finds `name` in the directory inode `dir`; returns the inode number.
+func dir_find_entry(dir, name) {
+  var k = 0;
+  while (k < NDIRECT) {
+    var blk = mem[dir + IC_BLOCKS + k * 4];
+    if (blk != 0 && blk <u sb_nblocks) {
+      var bh = bread(blk);
+      if (bh != 0) {
+        var base = mem[bh + BH_PAGE];
+        var e = 0;
+        while (e < BLOCK_SIZE) {
+          var ino = mem[base + e];
+          if (ino != 0) {
+            if (strncmp(base + e + 4, name, NAME_LEN) == 0) { return ino; }
+          }
+          e = e + DIRENT_SIZE;
+        }
+      }
+    }
+    k = k + 1;
+  }
+  return 0;
+}
+
+func dir_add_entry(dir, name, ino) {
+  //H! assert(ino != 0);
+  //H! assert(ino <u sb_ninodes);
+  var k = 0;
+  while (k < NDIRECT) {
+    var blk = mem[dir + IC_BLOCKS + k * 4];
+    if (blk == 0) {
+      blk = kfs_alloc_block();
+      if (blk == 0) { return -ENOSPC; }
+      mem[dir + IC_BLOCKS + k * 4] = blk;
+      mem[dir + IC_SIZE] = (k + 1) * BLOCK_SIZE;
+      mem[dir + IC_DIRTY] = 1;
+      write_inode(dir);
+    }
+    var bh = bread(blk);
+    if (bh == 0) { return -5; }
+    var base = mem[bh + BH_PAGE];
+    var e = 0;
+    while (e < BLOCK_SIZE) {
+      if (mem[base + e] == 0) {
+        mem[base + e] = ino;
+        memset(base + e + 4, 0, NAME_LEN);
+        strncpy(base + e + 4, name, NAME_LEN - 1);
+        bwrite(bh);
+        return 0;
+      }
+      e = e + DIRENT_SIZE;
+    }
+    k = k + 1;
+  }
+  return -ENOSPC;
+}
+
+func dir_remove_entry(dir, name) {
+  var k = 0;
+  while (k < NDIRECT) {
+    var blk = mem[dir + IC_BLOCKS + k * 4];
+    if (blk != 0 && blk <u sb_nblocks) {
+      var bh = bread(blk);
+      if (bh != 0) {
+        var base = mem[bh + BH_PAGE];
+        var e = 0;
+        while (e < BLOCK_SIZE) {
+          if (mem[base + e] != 0) {
+            if (strncmp(base + e + 4, name, NAME_LEN) == 0) {
+              mem[base + e] = 0;
+              bwrite(bh);
+              return 0;
+            }
+          }
+          e = e + DIRENT_SIZE;
+        }
+      }
+    }
+    k = k + 1;
+  }
+  return -ENOENT;
+}
+
+// Walks `path` (absolute, NUL-terminated, kernel memory) and returns
+// the inode of the final component, or 0.  (fs/namei.c)
+func link_path_walk(path) {
+  if (memb[path] != 47) { return 0; }    // must start with '/'
+  var dir = iget(sb_root);
+  var i = 1;
+  while (memb[path + i] == 47) { i = i + 1; }
+  while (memb[path + i] != 0) {
+    if (dir == 0) { return 0; }
+    if (mem[dir + IC_MODE] != M_DIR) {
+      iput(dir);
+      return 0;
+    }
+    var j = 0;
+    while (memb[path + i] != 0 && memb[path + i] != 47) {
+      if (j < NAME_LEN - 1) {
+        memb[namebuf + j] = memb[path + i];
+        j = j + 1;
+      }
+      i = i + 1;
+    }
+    memb[namebuf + j] = 0;
+    while (memb[path + i] == 47) { i = i + 1; }
+    var ino = dir_find_entry(dir, namebuf);
+    iput(dir);
+    if (ino == 0) { return 0; }
+    dir = iget(ino);
+  }
+  return dir;
+}
+
+// Resolves the parent directory of `path`, leaving the final component
+// in namebuf.  Returns the parent inode or 0.
+func path_parent(path) {
+  var last = -1;
+  var i = 0;
+  while (memb[path + i] != 0) {
+    if (memb[path + i] == 47) { last = i; }
+    i = i + 1;
+  }
+  if (last < 0) { return 0; }
+  // Copy the leaf out first (namebuf is clobbered by the walk).
+  strncpy(path_buf + 96, path + last + 1, NAME_LEN - 1);
+  memb[path_buf + 96 + NAME_LEN - 1] = 0;
+  var parent = 0;
+  if (last == 0) {
+    parent = iget(sb_root);
+  } else {
+    memb[path + last] = 0;
+    parent = link_path_walk(path);
+    memb[path + last] = 47;
+  }
+  strncpy(namebuf, path_buf + 96, NAME_LEN);
+  return parent;
+}
+
+func kfs_create(path) {
+  var parent = path_parent(path);
+  if (parent == 0) { return 0; }
+  if (mem[parent + IC_MODE] != M_DIR) { iput(parent); return 0; }
+  var ino = kfs_alloc_inode();
+  if (ino == 0) { iput(parent); return 0; }
+  if (dir_add_entry(parent, namebuf, ino) != 0) {
+    iput(parent);
+    return 0;
+  }
+  iput(parent);
+  return iget(ino);
+}
+
+func kfs_truncate(inode) {
+  var k = 0;
+  while (k < NDIRECT) {
+    var blk = mem[inode + IC_BLOCKS + k * 4];
+    if (blk != 0) {
+      kfs_free_block(blk);
+      mem[inode + IC_BLOCKS + k * 4] = 0;
+    }
+    k = k + 1;
+  }
+  mem[inode + IC_SIZE] = 0;
+  mem[inode + IC_DIRTY] = 1;
+  write_inode(inode);
+  invalidate_inode_pages(mem[inode + IC_INO]);
+  return 0;
+}
+
+// open(2)'s name resolution (fs/namei.c).
+func open_namei(path, flags) {
+  var inode = link_path_walk(path);
+  if (inode == 0) {
+    if ((flags & O_CREAT) == 0) { return 0; }
+    inode = kfs_create(path);
+    if (inode == 0) { return 0; }
+  }
+  if ((flags & O_TRUNC) != 0 && mem[inode + IC_MODE] == M_FILE) {
+    kfs_truncate(inode);
+  }
+  return inode;
+}
+
+// ---- file table (fs/file_table.c) ----
+
+func get_empty_filp() {
+  var f = kmalloc(16);
+  if (f != 0) {
+    mem[f + F_COUNT] = 1;
+  }
+  return f;
+}
+
+func fget(fd) {
+  if (fd >=u NFDS) { return 0; }
+  return mem[current + T_FILES + fd * 4];
+}
+
+func get_unused_fd() {
+  var i = 0;
+  while (i < NFDS) {
+    if (mem[current + T_FILES + i * 4] == 0) { return i; }
+    i = i + 1;
+  }
+  return -EMFILE;
+}
+
+func fput(f) {
+  var c = mem[f + F_COUNT];
+  assert(c != 0);                     // BUG(): double fput
+  if (c > 1) {
+    mem[f + F_COUNT] = c - 1;
+    return 0;
+  }
+  var t = mem[f + F_TYPE];
+  if (t == FT_FILE) {
+    iput(mem[f + F_OBJ]);
+  }
+  if (t == FT_PIPE_R || t == FT_PIPE_W) {
+    pipe_release(f);
+  }
+  if (t == 5) {                       // FT_SOCKET (net/)
+    sock_close(f);
+  }
+  kfree(f, 16);
+  return 0;
+}
+
+// ---- read/write (fs/read_write.c) ----
+
+func generic_file_read(f, buf, count) {
+  return do_generic_file_read(f, buf, count);
+}
+
+func generic_commit_write(f, inode, pos) {
+  //H! assert(pos <=u MAX_FILE_SIZE);
+  //H! assert(mem[inode + IC_INO] <u sb_ninodes);
+  if (pos >u mem[inode + IC_SIZE]) {
+    mem[inode + IC_SIZE] = pos;     // Table 5 case 8: i_size update
+    mem[inode + IC_DIRTY] = 1;
+    write_inode(inode);
+  }
+  return 0;
+}
+
+func generic_file_write(f, buf, count) {
+  var inode = mem[f + F_OBJ];
+  assert(mem[inode + IC_INO] != 0);   // BUG(): write to a dead inode
+  var pos = mem[f + F_POS];
+  var done = 0;
+  while (done <u count) {
+    var fblock = pos / BLOCK_SIZE;
+    if (fblock >=u NDIRECT) { break; }
+    var blk = kfs_get_block(inode, fblock);
+    if (blk == 0) {
+      blk = kfs_alloc_block();
+      if (blk == 0) { break; }
+      //H! assert(blk >=u sb_data_start && blk <u sb_nblocks);
+      mem[inode + IC_BLOCKS + fblock * 4] = blk;
+      mem[inode + IC_DIRTY] = 1;
+    }
+    var bh = bread(blk);
+    if (bh == 0) { break; }
+    var off = pos % BLOCK_SIZE;
+    var n = BLOCK_SIZE - off;
+    if (n >u count - done) { n = count - done; }
+    copy_from_user(mem[bh + BH_PAGE] + off, buf + done, n);
+    bwrite(bh);
+    pos = pos + n;
+    done = done + n;
+    generic_commit_write(f, inode, pos);
+  }
+  mem[f + F_POS] = pos;
+  invalidate_inode_pages(mem[inode + IC_INO]);
+  return done;
+}
+
+// ---- syscalls ----
+
+func sys_open(upath, flags, c) {
+  if (strncpy_from_user(path_buf, upath, 95) < 0) { return -EINVAL; }
+  var inode = open_namei(path_buf, flags);
+  if (inode == 0) { return -ENOENT; }
+  var fd = get_unused_fd();
+  if (fd < 0) { iput(inode); return fd; }
+  var f = get_empty_filp();
+  if (f == 0) { iput(inode); return -ENOMEM; }
+  mem[f + F_TYPE] = FT_FILE;
+  mem[f + F_OBJ] = inode;
+  mem[f + F_POS] = 0;
+  mem[current + T_FILES + fd * 4] = f;
+  return fd;
+}
+
+func sys_creat(upath, mode, c) {
+  return sys_open(upath, O_CREAT | O_TRUNC | O_WRONLY, 0);
+}
+
+func sys_close(fd, b, c) {
+  var f = fget(fd);
+  if (f == 0) { return -EBADF; }
+  mem[current + T_FILES + fd * 4] = 0;
+  fput(f);
+  return 0;
+}
+
+func sys_dup(fd, b, c) {
+  var f = fget(fd);
+  if (f == 0) { return -EBADF; }
+  var nfd = get_unused_fd();
+  if (nfd < 0) { return nfd; }
+  mem[f + F_COUNT] = mem[f + F_COUNT] + 1;
+  mem[current + T_FILES + nfd * 4] = f;
+  return nfd;
+}
+
+func sys_lseek(fd, off, whence) {
+  var f = fget(fd);
+  if (f == 0) { return -EBADF; }
+  if (mem[f + F_TYPE] != FT_FILE) { return -ESPIPE; }
+  var inode = mem[f + F_OBJ];
+  var pos = 0;
+  if (whence == 0) { pos = off; }
+  else { if (whence == 1) { pos = mem[f + F_POS] + off; }
+         else { pos = mem[inode + IC_SIZE] + off; } }
+  mem[f + F_POS] = pos;
+  return pos;
+}
+
+func sys_unlink(upath, b, c) {
+  if (strncpy_from_user(path_buf, upath, 95) < 0) { return -EINVAL; }
+  var inode = link_path_walk(path_buf);
+  if (inode == 0) { return -ENOENT; }
+  var ino = mem[inode + IC_INO];
+  var parent = path_parent(path_buf);
+  if (parent == 0) { iput(inode); return -ENOENT; }
+  var r = dir_remove_entry(parent, namebuf);
+  iput(parent);
+  if (r != 0) { iput(inode); return r; }
+  kfs_truncate(inode);
+  mem[inode + IC_MODE] = M_FREE;
+  mem[inode + IC_DIRTY] = 1;
+  write_inode(inode);
+  invalidate_inode_pages(ino);
+  iput(inode);
+  return 0;
+}
+
+func sys_read(fd, buf, count) {
+  var f = fget(fd);
+  if (f == 0) { return -EBADF; }
+  var t = mem[f + F_TYPE];
+  if (t == FT_FILE) { return generic_file_read(f, buf, count); }
+  if (t == FT_PIPE_R) { return pipe_read(f, buf, count); }
+  if (t == FT_CONSOLE) { return 0; }
+  return -EBADF;
+}
+
+func sys_write(fd, buf, count) {
+  var f = fget(fd);
+  if (f == 0) { return -EBADF; }
+  var t = mem[f + F_TYPE];
+  if (t == FT_CONSOLE) { return console_write(buf, count); }
+  if (t == FT_PIPE_W) { return pipe_write(f, buf, count); }
+  if (t == FT_FILE) { return generic_file_write(f, buf, count); }
+  return -EBADF;
+}
+
+// ---- pipes (fs/pipe.c) ----
+
+func sys_pipe(fds_ptr, b, c) {
+  var pipe = kmalloc(32);
+  if (pipe == 0) { return -ENOMEM; }
+  var page = alloc_page();
+  if (page == 0) { kfree(pipe, 32); return -ENOMEM; }
+  mem[pipe + P_PAGE] = page;
+  mem[pipe + P_HEAD] = 0;
+  mem[pipe + P_LEN] = 0;
+  mem[pipe + P_READERS] = 1;
+  mem[pipe + P_WRITERS] = 1;
+  mem[pipe + P_WAIT] = 0;
+  var rf = get_empty_filp();
+  var wf = get_empty_filp();
+  if (rf == 0 || wf == 0) { return -ENOMEM; }
+  mem[rf + F_TYPE] = FT_PIPE_R;
+  mem[rf + F_OBJ] = pipe;
+  mem[wf + F_TYPE] = FT_PIPE_W;
+  mem[wf + F_OBJ] = pipe;
+  var rfd = get_unused_fd();
+  if (rfd < 0) { return rfd; }
+  mem[current + T_FILES + rfd * 4] = rf;
+  var wfd = get_unused_fd();
+  if (wfd < 0) { return wfd; }
+  mem[current + T_FILES + wfd * 4] = wf;
+  mem[fds_ptr] = rfd;
+  mem[fds_ptr + 4] = wfd;
+  return 0;
+}
+
+// The paper's §8 fail-silence example: the error-code path at the top
+// returns -ESPIPE through out_nolock when the guard trips.
+func pipe_read(filp, buf, count) {
+  var ret = -ESPIPE;
+  var read = 0;
+  if (mem[filp + F_TYPE] != FT_PIPE_R) { goto out_nolock; }
+  var pipe = mem[filp + F_OBJ];
+  assert(pipe != 0);                  // BUG()
+  while (mem[pipe + P_LEN] == 0) {
+    if (mem[pipe + P_WRITERS] == 0) { return 0; }
+    sleep_on(pipe + P_WAIT);
+  }
+  var page = mem[pipe + P_PAGE];
+  while (read <u count && mem[pipe + P_LEN] != 0) {
+    var head = mem[pipe + P_HEAD];
+    memb[buf + read] = memb[page + head];
+    mem[pipe + P_HEAD] = (head + 1) & (PIPE_BUF - 1);
+    mem[pipe + P_LEN] = mem[pipe + P_LEN] - 1;
+    read = read + 1;
+  }
+  wake_up(pipe + P_WAIT);
+  ret = read;
+out_nolock:
+  if (read != 0) { ret = read; }
+  return ret;
+}
+
+func pipe_write(filp, buf, count) {
+  if (mem[filp + F_TYPE] != FT_PIPE_W) { return -ESPIPE; }
+  var pipe = mem[filp + F_OBJ];
+  var page = mem[pipe + P_PAGE];
+  var written = 0;
+  while (written <u count) {
+    if (mem[pipe + P_READERS] == 0) {
+      if (written != 0) { return written; }
+      return -EPIPE;
+    }
+    if (mem[pipe + P_LEN] == PIPE_BUF) {
+      wake_up(pipe + P_WAIT);
+      sleep_on(pipe + P_WAIT);
+      continue;
+    }
+    var tail = (mem[pipe + P_HEAD] + mem[pipe + P_LEN]) & (PIPE_BUF - 1);
+    memb[page + tail] = memb[buf + written];
+    mem[pipe + P_LEN] = mem[pipe + P_LEN] + 1;
+    written = written + 1;
+  }
+  wake_up(pipe + P_WAIT);
+  return written;
+}
+
+func pipe_release(f) {
+  var pipe = mem[f + F_OBJ];
+  if (mem[f + F_TYPE] == FT_PIPE_R) {
+    mem[pipe + P_READERS] = mem[pipe + P_READERS] - 1;
+  } else {
+    mem[pipe + P_WRITERS] = mem[pipe + P_WRITERS] - 1;
+  }
+  wake_up(pipe + P_WAIT);
+  if (mem[pipe + P_READERS] == 0 && mem[pipe + P_WRITERS] == 0) {
+    free_pages(mem[pipe + P_PAGE]);
+    kfree(pipe, 32);
+  }
+  return 0;
+}
+)MC";
+}
+
+}  // namespace kfi::kernel

@@ -1,0 +1,44 @@
+// ipc/ — a miniature System V semaphore facility behind sys_ipc.
+#include "kernel/sources.h"
+
+namespace kfi::kernel {
+
+std::string ipc_source() {
+  return R"MC(
+// ipc/sem.c equivalent: 8 kernel semaphores addressed by id.
+// sys_ipc(op, id, val): op 1 = semop +val (up), op 2 = semop -val
+// (down, non-blocking: returns -EAGAIN when it would go negative),
+// op 3 = read current value, op 4 = set value.
+
+array sem_table[8];
+
+func sema_init() {
+  memset(sem_table, 0, 32);
+  return 0;
+}
+
+func sys_ipc(op, id, val) {
+  if (id >=u 8) { return -EINVAL; }
+  var slot = sem_table + id * 4;
+  if (op == 1) {
+    mem[slot] = mem[slot] + val;
+    return mem[slot];
+  }
+  if (op == 2) {
+    if (mem[slot] < val) { return -EAGAIN; }
+    mem[slot] = mem[slot] - val;
+    return mem[slot];
+  }
+  if (op == 3) {
+    return mem[slot];
+  }
+  if (op == 4) {
+    mem[slot] = val;
+    return 0;
+  }
+  return -EINVAL;
+}
+)MC";
+}
+
+}  // namespace kfi::kernel

@@ -1,0 +1,421 @@
+// kernel/ — scheduler, fork/exit/wait, timer, panic, boot sequence.
+#include "kernel/sources.h"
+
+namespace kfi::kernel {
+
+std::string kernel_source() {
+  return R"MC(
+extern ret_from_fork;
+
+// ---- global kernel state (kernel/sched.c) ----
+
+global current = 0;
+global need_resched = 0;
+global jiffies = 0;
+global next_pid = 2;
+global child_wait = 0;          // wait queue for waitpid
+array task_table[512];          // NTASKS x TASK_SIZE bytes
+
+func task_slot(i) {
+  return task_table + i * TASK_SIZE;
+}
+
+func find_free_task() {
+  var i = 1;
+  while (i < NTASKS) {
+    if (mem[task_slot(i) + T_STATE] == TS_UNUSED) { return task_slot(i); }
+    i = i + 1;
+  }
+  return 0;
+}
+
+func sched_init() {
+  memset(task_table, 0, NTASKS * TASK_SIZE);
+  need_resched = 0;
+  jiffies = 0;
+  next_pid = 2;
+  child_wait = 0;
+  return 0;
+}
+
+// On a uniprocessor this decides whether the woken task preempts the
+// current one (the paper's §8 reschedule_idle example).
+func reschedule_idle(p) {
+  if (mem[p + T_COUNTER] > mem[current + T_COUNTER]) {
+    need_resched = 1;
+  }
+  return 0;
+}
+
+func goodness(t) {
+  return mem[t + T_COUNTER];
+}
+
+// ---- wait queues (kernel/sched.c) ----
+
+func __wake_up(q) {
+  var t = mem[q];
+  while (t != 0) {
+    mem[t + T_STATE] = TS_RUN;
+    reschedule_idle(t);
+    var nxt = mem[t + T_WAITNEXT];
+    mem[t + T_WAITNEXT] = 0;
+    t = nxt;
+  }
+  mem[q] = 0;
+  return 0;
+}
+
+func wake_up(q) {
+  return __wake_up(q);
+}
+
+func sleep_on(q) {
+  assert(mem[current + T_PID] != 0);  // BUG(): the idle task never sleeps
+  mem[current + T_STATE] = TS_SLEEP;
+  mem[current + T_WAITNEXT] = mem[q];
+  mem[q] = current;
+  schedule();
+  return 0;
+}
+
+// ---- the scheduler (kernel/sched.c) ----
+
+func schedule() {
+  need_resched = 0;
+  var next = 0;
+  var best = -1;
+  var any = 0;
+  var i = 1;
+  while (i < NTASKS) {
+    var t = task_slot(i);
+    if (mem[t + T_STATE] == TS_RUN) {
+      any = 1;
+      if (goodness(t) > best) {
+        best = goodness(t);
+        next = t;
+      }
+    }
+    i = i + 1;
+  }
+  if (any != 0 && best == 0) {
+    // Every runnable task exhausted its quantum: recharge all.
+    i = 1;
+    while (i < NTASKS) {
+      var t2 = task_slot(i);
+      if (mem[t2 + T_STATE] != TS_UNUSED) {
+        mem[t2 + T_COUNTER] = QUANTUM;
+      }
+      i = i + 1;
+    }
+  }
+  if (any == 0) {
+    next = task_slot(0);     // idle task
+  }
+  if (next == current) { return 0; }
+  switch_to(current, next);
+  return 0;
+}
+
+// ---- timer (kernel/timer.c) ----
+
+func do_timer() {
+  assert(current != 0);               // BUG()
+  jiffies = jiffies + 1;
+  var c = mem[current + T_COUNTER];
+  if (c > 0) {
+    mem[current + T_COUNTER] = c - 1;
+  }
+  if (mem[current + T_COUNTER] == 0) {
+    need_resched = 1;
+  }
+  return 0;
+}
+
+// ---- fork (kernel/fork.c) ----
+
+func copy_files(dst, src) {
+  var i = 0;
+  while (i < NFDS) {
+    var f = mem[src + T_FILES + i * 4];
+    if (f != 0) {
+      mem[f + F_COUNT] = mem[f + F_COUNT] + 1;
+    }
+    mem[dst + T_FILES + i * 4] = f;
+    i = i + 1;
+  }
+  return 0;
+}
+
+func do_fork() {
+  var p = find_free_task();
+  if (p == 0) { return -EAGAIN; }
+  var kstack = alloc_page();
+  if (kstack == 0) { return -ENOMEM; }
+  var pgd = alloc_page();
+  if (pgd == 0) { free_pages(kstack); return -ENOMEM; }
+  memset(pgd, 0, PAGE_SIZE);
+  // Kernel half of the address space is shared with everyone.
+  var i = 768;
+  while (i < 1024) {
+    mem[pgd + i * 4] = mem[BOOT_PGD_VIRT + i * 4];
+    i = i + 1;
+  }
+  memset(p, 0, TASK_SIZE);
+  mem[p + T_PID] = next_pid;
+  next_pid = next_pid + 1;
+  mem[p + T_COUNTER] = QUANTUM;
+  mem[p + T_PGD] = pgd - KERNEL_BASE;
+  mem[p + T_KSTACK] = kstack + PAGE_SIZE;
+  mem[p + T_PARENT] = current;
+  mem[p + T_BRK] = mem[current + T_BRK];
+  mem[p + T_TEXTEND] = mem[current + T_TEXTEND];
+  copy_files(p, current);
+  var r = copy_page_range(p, current);
+  if (r != 0) { return r; }
+
+  // Child kernel stack: a switch frame that "returns" into
+  // ret_from_fork, which irets to user with eax = 0.  The user eip and
+  // esp come from the parent's trap frame at the top of its kstack.
+  var top = kstack + PAGE_SIZE;
+  var ptop = mem[current + T_KSTACK];
+  mem[top - 4] = 0;                       // fault addr
+  mem[top - 8] = 0;                       // error code
+  mem[top - 12] = 3;                      // cpl
+  mem[top - 16] = mem[ptop - 16];         // user esp
+  mem[top - 20] = 0x202;                  // eflags (IF)
+  mem[top - 24] = mem[ptop - 24];         // user eip
+  // Copy the parent's saved user registers (pushed by system_call).
+  var off = 28;
+  while (off <= 56) {
+    mem[top - off] = mem[ptop - off];
+    off = off + 4;
+  }
+  mem[top - 60] = &ret_from_fork;
+  mem[top - 64] = 0;                      // ebp
+  mem[top - 68] = 0;                      // ebx
+  mem[top - 72] = 0;                      // esi
+  mem[top - 76] = 0;                      // edi
+  mem[p + T_KESP] = top - 76;
+  mem[p + T_STATE] = TS_RUN;
+  return mem[p + T_PID];
+}
+
+func sys_fork(a, b, c) {
+  return do_fork();
+}
+
+// ---- exit and wait (kernel/exit.c) ----
+
+func system_shutdown(code) {
+  printk("INIT: exiting\n");
+  printk("System halted.\n");
+  mem[CRASH_ADDR] = code;
+  mem[CRASH_EIP] = 0;
+  mem[CRASH_CAUSE] = C_SHUTDOWN;
+  while (1) { }
+  return 0;
+}
+
+func do_exit(code) {
+  assert(mem[current + T_STATE] == TS_RUN);  // BUG()
+  if (mem[current + T_PID] == 1) {
+    system_shutdown(code);
+  }
+  var i = 0;
+  while (i < NFDS) {
+    var f = mem[current + T_FILES + i * 4];
+    if (f != 0) {
+      fput(f);
+      mem[current + T_FILES + i * 4] = 0;
+    }
+    i = i + 1;
+  }
+  exit_mm(current);
+  mem[current + T_EXIT] = code;
+  mem[current + T_STATE] = TS_ZOMBIE;
+  wake_up(&child_wait);
+  schedule();
+  return 0;   // unreachable: we are a zombie
+}
+
+func sys_exit(code, b, c) {
+  do_exit((code & 0xFF) << 8);
+  return 0;
+}
+
+func sys_waitpid(pid, status_ptr, opts) {
+  while (1) {
+    var i = 1;
+    var have_children = 0;
+    while (i < NTASKS) {
+      var t = task_slot(i);
+      if (mem[t + T_STATE] != TS_UNUSED && mem[t + T_PARENT] == current) {
+        have_children = 1;
+        if (mem[t + T_STATE] == TS_ZOMBIE) {
+          if (pid == -1 || mem[t + T_PID] == pid) {
+            var rpid = mem[t + T_PID];
+            if (status_ptr != 0) {
+              mem[status_ptr] = mem[t + T_EXIT];
+            }
+            free_pages(mem[t + T_KSTACK] - PAGE_SIZE);
+            free_pages(KERNEL_BASE + mem[t + T_PGD]);
+            mem[t + T_STATE] = TS_UNUSED;
+            return rpid;
+          }
+        }
+      }
+      i = i + 1;
+    }
+    if (have_children == 0) { return -10; }   // -ECHILD
+    sleep_on(&child_wait);
+  }
+  return 0;
+}
+
+func sys_getpid(a, b, c) {
+  return mem[current + T_PID];
+}
+
+func sys_brk(newbrk, b, c) {
+  if (newbrk == 0) { return mem[current + T_BRK]; }
+  if (newbrk <u USER_DATA || newbrk >=u USER_STACK_LIMIT) {
+    return -EINVAL;
+  }
+  mem[current + T_BRK] = newbrk;
+  return newbrk;
+}
+
+// ---- panic (kernel/panic.c) ----
+
+func panic(msg) {
+  printk("Kernel panic: ");
+  printk(msg);
+  printk("\n");
+  mem[CRASH_ADDR] = 0;
+  mem[CRASH_EIP] = 0;
+  mem[CRASH_CAUSE] = C_PANIC;
+  while (1) { }
+  return 0;
+}
+
+// ---- boot (init/main.c) ----
+
+func setup_idle_task() {
+  var t = task_slot(0);
+  mem[t + T_STATE] = TS_RUN;
+  mem[t + T_PID] = 0;
+  mem[t + T_COUNTER] = 0;
+  mem[t + T_PGD] = BOOT_PGD_PHYS;
+  mem[t + T_KSTACK] = BOOT_STACK_TOP;
+  current = t;
+  return 0;
+}
+
+func create_init_task() {
+  var p = find_free_task();
+  assert(p != 0);
+  var kstack = alloc_page();
+  var pgd = alloc_page();
+  assert(kstack != 0);
+  assert(pgd != 0);
+  memset(pgd, 0, PAGE_SIZE);
+  var i = 768;
+  while (i < 1024) {
+    mem[pgd + i * 4] = mem[BOOT_PGD_VIRT + i * 4];
+    i = i + 1;
+  }
+  memset(p, 0, TASK_SIZE);
+  mem[p + T_PID] = 1;
+  mem[p + T_COUNTER] = QUANTUM;
+  mem[p + T_PGD] = pgd - KERNEL_BASE;
+  mem[p + T_KSTACK] = kstack + PAGE_SIZE;
+
+  // Map the workload image prepared by the boot loader.
+  var tv = mem[BOOT_INFO + BI_TEXT_VADDR];
+  var tp = mem[BOOT_INFO + BI_TEXT_PHYS];
+  var tl = mem[BOOT_INFO + BI_TEXT_LEN];
+  var off = 0;
+  while (off <u tl) {
+    map_page(mem[p + T_PGD], tv + off, KERNEL_BASE + tp + off, PTE_U);
+    off = off + PAGE_SIZE;
+  }
+  var dv = mem[BOOT_INFO + BI_DATA_VADDR];
+  var dp = mem[BOOT_INFO + BI_DATA_PHYS];
+  var dl = mem[BOOT_INFO + BI_DATA_LEN];
+  off = 0;
+  while (off <u dl) {
+    map_page(mem[p + T_PGD], dv + off, KERNEL_BASE + dp + off,
+             PTE_U | PTE_W);
+    off = off + PAGE_SIZE;
+  }
+  mem[p + T_TEXTEND] = tv + tl;
+  mem[p + T_BRK] = dv + dl + 0x40000;     // 256 KiB heap headroom
+
+  // One eagerly mapped stack page; growth is demand-paged.
+  var sp = alloc_page();
+  assert(sp != 0);
+  memset(sp, 0, PAGE_SIZE);
+  map_page(mem[p + T_PGD], USER_STACK_TOP - PAGE_SIZE, sp, PTE_U | PTE_W);
+
+  // stdin/stdout/stderr on the console.
+  var cf = get_empty_filp();
+  assert(cf != 0);
+  mem[cf + F_TYPE] = FT_CONSOLE;
+  mem[cf + F_COUNT] = 3;
+  mem[p + T_FILES + 0] = cf;
+  mem[p + T_FILES + 4] = cf;
+  mem[p + T_FILES + 8] = cf;
+
+  // Kernel stack: iret into the workload's entry point with a zeroed
+  // user register set.
+  var top = kstack + PAGE_SIZE;
+  mem[top - 4] = 0;
+  mem[top - 8] = 0;
+  mem[top - 12] = 3;
+  mem[top - 16] = USER_STACK_TOP - 16;
+  mem[top - 20] = 0x202;
+  mem[top - 24] = mem[BOOT_INFO + BI_ENTRY];
+  var regoff = 28;
+  while (regoff <= 56) {
+    mem[top - regoff] = 0;
+    regoff = regoff + 4;
+  }
+  mem[top - 60] = &ret_from_fork;
+  mem[top - 64] = 0;
+  mem[top - 68] = 0;
+  mem[top - 72] = 0;
+  mem[top - 76] = 0;
+  mem[p + T_KESP] = top - 76;
+  mem[p + T_STATE] = TS_RUN;
+  return p;
+}
+
+func cpu_idle() {
+  while (1) {
+    asm("sti");
+    if (need_resched != 0) { schedule(); }
+    asm("hlt");
+  }
+  return 0;
+}
+
+func start_kernel() {
+  mm_init();
+  pgcache_init();
+  buffer_init();
+  inode_init();
+  sched_init();
+  sema_init();
+  net_init();
+  kfs_read_super();
+  printk("kfi-linux 2.4.19 (kfs root) booting\n");
+  setup_idle_task();
+  create_init_task();
+  cpu_idle();
+  return 0;
+}
+)MC";
+}
+
+}  // namespace kfi::kernel

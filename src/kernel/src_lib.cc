@@ -1,0 +1,108 @@
+// lib/ — string and memory helpers (the kernel's lib/ directory).
+#include "kernel/sources.h"
+
+namespace kfi::kernel {
+
+std::string lib_source() {
+  return R"MC(
+// lib/string.c equivalents.
+
+func memcpy(dst, src, n) {
+  var i = 0;
+  while (i + 4 <= n) {
+    mem[dst + i] = mem[src + i];
+    i = i + 4;
+  }
+  while (i < n) {
+    memb[dst + i] = memb[src + i];
+    i = i + 1;
+  }
+  return dst;
+}
+
+func memset(dst, c, n) {
+  var word = c & 0xFF;
+  word = word | (word << 8);
+  word = word | (word << 16);
+  var i = 0;
+  while (i + 4 <= n) {
+    mem[dst + i] = word;
+    i = i + 4;
+  }
+  while (i < n) {
+    memb[dst + i] = c;
+    i = i + 1;
+  }
+  return dst;
+}
+
+func strlen(s) {
+  var n = 0;
+  while (memb[s + n] != 0) {
+    n = n + 1;
+  }
+  return n;
+}
+
+func strcmp(a, b) {
+  var i = 0;
+  while (1) {
+    var ca = memb[a + i];
+    var cb = memb[b + i];
+    if (ca != cb) { return ca - cb; }
+    if (ca == 0) { return 0; }
+    i = i + 1;
+  }
+  return 0;
+}
+
+func strncmp(a, b, n) {
+  var i = 0;
+  while (i < n) {
+    var ca = memb[a + i];
+    var cb = memb[b + i];
+    if (ca != cb) { return ca - cb; }
+    if (ca == 0) { return 0; }
+    i = i + 1;
+  }
+  return 0;
+}
+
+func strncpy(dst, src, n) {
+  var i = 0;
+  while (i < n) {
+    var c = memb[src + i];
+    memb[dst + i] = c;
+    if (c == 0) { return dst; }
+    i = i + 1;
+  }
+  return dst;
+}
+
+// Copies a NUL-terminated string from user space; returns its length,
+// or n with forced termination when the source is too long.
+func strncpy_from_user(dst, src, n) {
+  var i = 0;
+  while (i < n) {
+    var c = memb[src + i];
+    memb[dst + i] = c;
+    if (c == 0) { return i; }
+    i = i + 1;
+  }
+  memb[dst + n] = 0;
+  return n;
+}
+
+func copy_to_user(dst, src, n) {
+  memcpy(dst, src, n);
+  return 0;
+}
+
+func copy_from_user(dst, src, n) {
+  memcpy(dst, src, n);
+  return 0;
+}
+)MC";
+}
+
+}  // namespace kfi::kernel

@@ -1,0 +1,388 @@
+// mm/ — page allocator, kmalloc, page tables, COW, page cache, and the
+// read path (do_generic_file_read — the function behind the paper's
+// catastrophic-crash case study in Figure 5).
+#include "kernel/sources.h"
+
+namespace kfi::kernel {
+
+std::string mm_source() {
+  return R"MC(
+extern current;
+
+// ---- physical page allocator (mm/page_alloc.c) ----
+
+global free_list = 0;
+global nr_free_pages = 0;
+array mem_map[4096];        // one refcount word per physical page
+
+func mem_map_entry(paddr) {
+  return mem_map + (paddr >> PAGE_SHIFT) * 4;
+}
+
+func mm_init() {
+  var p = FREE_PHYS_BASE;
+  free_list = 0;
+  nr_free_pages = 0;
+  while (p <u RAM_SIZE) {
+    mem[KERNEL_BASE + p] = free_list;   // freelist link lives in the page
+    free_list = KERNEL_BASE + p;
+    nr_free_pages = nr_free_pages + 1;
+    p = p + PAGE_SIZE;
+  }
+  // Pages below the allocator's range (kernel text/data, workload
+  // image, firmware tables) are permanently referenced.
+  var i = 0;
+  while (i < (FREE_PHYS_BASE >> PAGE_SHIFT)) {
+    mem[mem_map + i * 4] = 1;
+    i = i + 1;
+  }
+  return 0;
+}
+
+// Returns the kernel-virtual address of a free page, or 0.
+func __alloc_pages() {
+  if (free_list == 0) { return 0; }
+  var page = free_list;
+  free_list = mem[page];
+  nr_free_pages = nr_free_pages - 1;
+  mem[mem_map_entry(page - KERNEL_BASE)] = 1;
+  return page;
+}
+
+func alloc_page() {
+  return __alloc_pages();
+}
+
+func page_count(page) {
+  return mem[mem_map_entry(page - KERNEL_BASE)];
+}
+
+func get_page(page) {
+  var e = mem_map_entry(page - KERNEL_BASE);
+  mem[e] = mem[e] + 1;
+  return 0;
+}
+
+func free_pages(page) {
+  var e = mem_map_entry(page - KERNEL_BASE);
+  var c = mem[e];
+  assert(c != 0);                      // freeing a free page is a BUG()
+  if (c > 1) {
+    mem[e] = c - 1;
+    return 0;
+  }
+  mem[e] = 0;
+  mem[page] = free_list;
+  free_list = page;
+  nr_free_pages = nr_free_pages + 1;
+  return 0;
+}
+
+// ---- kmalloc (mm/slab.c, size classes 32/64/128/256) ----
+
+array kmalloc_heads[4];
+
+func kmalloc_class(size) {
+  if (size <=u 32) { return 0; }
+  if (size <=u 64) { return 1; }
+  if (size <=u 128) { return 2; }
+  if (size <=u 256) { return 3; }
+  return -1;
+}
+
+func kmalloc(size) {
+  var cl = kmalloc_class(size);
+  if (cl < 0) { return 0; }
+  var head = kmalloc_heads + cl * 4;
+  if (mem[head] == 0) {
+    var page = alloc_page();
+    if (page == 0) { return 0; }
+    var csz = 32 << cl;
+    var p = page;
+    while (p + csz <=u page + PAGE_SIZE) {
+      mem[p] = mem[head];
+      mem[head] = p;
+      p = p + csz;
+    }
+  }
+  var obj = mem[head];
+  mem[head] = mem[obj];
+  memset(obj, 0, 32 << cl);
+  return obj;
+}
+
+func kfree(obj, size) {
+  var cl = kmalloc_class(size);
+  if (cl < 0) { return 0; }
+  var head = kmalloc_heads + cl * 4;
+  mem[obj] = mem[head];
+  mem[head] = obj;
+  return 0;
+}
+
+// ---- page tables (mm/memory.c) ----
+
+// Kernel-virtual address of the PTE slot for (pgd_phys, vaddr);
+// allocates the page table when `create` and returns 0 on miss.
+func pte_slot(pgd_phys, vaddr, create) {
+  var pgd_e = KERNEL_BASE + pgd_phys + (vaddr >> 22) * 4;
+  var e = mem[pgd_e];
+  if ((e & PTE_P) == 0) {
+    if (create == 0) { return 0; }
+    var pt = alloc_page();
+    if (pt == 0) { return 0; }
+    memset(pt, 0, PAGE_SIZE);
+    e = (pt - KERNEL_BASE) | PTE_P | PTE_W | PTE_U;
+    mem[pgd_e] = e;
+  }
+  return KERNEL_BASE + (e & PTE_FRAME) + ((vaddr >> 12) & 0x3FF) * 4;
+}
+
+func map_page(pgd_phys, vaddr, page_virt, flags) {
+  assert(page_virt >=u KERNEL_BASE);  // BUG(): mapping a non-kernel page
+  var slot = pte_slot(pgd_phys, vaddr, 1);
+  if (slot == 0) { return -ENOMEM; }
+  mem[slot] = (page_virt - KERNEL_BASE) | PTE_P | flags;
+  mem[TLB_PAGE] = vaddr;
+  return 0;
+}
+
+// ---- fault handling (mm/memory.c) ----
+
+func do_anonymous_page(task, addr) {
+  var page = alloc_page();
+  if (page == 0) { return -ENOMEM; }
+  memset(page, 0, PAGE_SIZE);
+  return map_page(mem[task + T_PGD], addr & 0xFFFFF000, page,
+                  PTE_W | PTE_U);
+}
+
+// Copy-on-write break (the paper's Table 5 cases 2 and 7 target).
+func do_wp_page(task, addr, slot) {
+  var pte = mem[slot];
+  assert((pte & PTE_P) != 0);         // BUG(): COW break on absent page
+  var old_page = KERNEL_BASE + (pte & PTE_FRAME);
+  if (page_count(old_page) == 1) {
+    mem[slot] = pte | PTE_W;
+    mem[TLB_PAGE] = addr;
+    return 0;
+  }
+  var page = alloc_page();
+  if (page == 0) { return -ENOMEM; }
+  memcpy(page, old_page, PAGE_SIZE);
+  mem[slot] = (page - KERNEL_BASE) | PTE_P | PTE_W | PTE_U;
+  mem[TLB_PAGE] = addr;
+  free_pages(old_page);
+  return 0;
+}
+
+// Returns 0 when the fault was repaired, negative when it is a real
+// access violation.
+func handle_mm_fault(task, addr, write) {
+  assert(task != 0);                  // BUG()
+  var slot = pte_slot(mem[task + T_PGD], addr, 0);
+  if (slot != 0) {
+    var pte = mem[slot];
+    if ((pte & PTE_P) != 0) {
+      if ((pte & PTE_U) == 0) { return -1; }
+      if (write != 0 && (pte & PTE_W) == 0) {
+        return do_wp_page(task, addr, slot);
+      }
+      if (write != 0) { return 0; }   // race: already writable
+      return -1;
+    }
+  }
+  if (addr >=u USER_STACK_LIMIT && addr <u USER_STACK_TOP) {
+    return do_anonymous_page(task, addr);
+  }
+  if (addr >=u USER_DATA && addr <u mem[task + T_BRK]) {
+    return do_anonymous_page(task, addr);
+  }
+  return -1;
+}
+
+// Unmaps and frees user pages in [start, end) (mm/memory.c).
+func zap_page_range(task, start, end) {
+  assert(start <=u end);              // BUG()
+  var addr = start;
+  while (addr <u end) {
+    var slot = pte_slot(mem[task + T_PGD], addr, 0);
+    if (slot == 0) {
+      addr = (addr & 0xFFC00000) + 0x400000;   // skip the 4 MiB hole
+      continue;
+    }
+    var pte = mem[slot];
+    if ((pte & PTE_P) != 0) {
+      free_pages(KERNEL_BASE + (pte & PTE_FRAME));
+      mem[slot] = 0;
+    }
+    addr = addr + PAGE_SIZE;
+  }
+  mem[TLB_ALL] = 1;
+  return 0;
+}
+
+// Tears down a task's entire user address space including page tables.
+func exit_mm(task) {
+  zap_page_range(task, USER_TEXT, mem[task + T_BRK]);
+  zap_page_range(task, USER_STACK_LIMIT, USER_STACK_TOP);
+  var pgd = mem[task + T_PGD];
+  var i = 0;
+  while (i < 768) {   // user half of the PGD
+    var e = mem[KERNEL_BASE + pgd + i * 4];
+    if ((e & PTE_P) != 0) {
+      free_pages(KERNEL_BASE + (e & PTE_FRAME));
+      mem[KERNEL_BASE + pgd + i * 4] = 0;
+    }
+    i = i + 1;
+  }
+  mem[TLB_ALL] = 1;
+  return 0;
+}
+
+// fork: duplicate user mappings copy-on-write (mm/memory.c).
+func copy_page_range(dst_task, src_task) {
+  var spgd = mem[src_task + T_PGD];
+  var dpgd = mem[dst_task + T_PGD];
+  var i = 0;
+  while (i < 768) {
+    var se = mem[KERNEL_BASE + spgd + i * 4];
+    if ((se & PTE_P) != 0) {
+      var spt = KERNEL_BASE + (se & PTE_FRAME);
+      var dpt = alloc_page();
+      if (dpt == 0) { return -ENOMEM; }
+      memset(dpt, 0, PAGE_SIZE);
+      mem[KERNEL_BASE + dpgd + i * 4] =
+          (dpt - KERNEL_BASE) | PTE_P | PTE_W | PTE_U;
+      var j = 0;
+      while (j < 1024) {
+        var pte = mem[spt + j * 4];
+        if ((pte & PTE_P) != 0) {
+          pte = pte & ~PTE_W;            // both sides become read-only
+          mem[spt + j * 4] = pte;
+          mem[dpt + j * 4] = pte;
+          get_page(KERNEL_BASE + (pte & PTE_FRAME));
+        }
+        j = j + 1;
+      }
+    }
+    i = i + 1;
+  }
+  mem[TLB_ALL] = 1;
+  return 0;
+}
+
+// ---- page cache (mm/filemap.c) ----
+
+array page_hash[256];   // NPCH entries x PC_ENTRY bytes
+
+func pgcache_init() {
+  memset(page_hash, 0, NPCH * PC_ENTRY);
+  return 0;
+}
+
+func page_hash_slot(ino, idx) {
+  return page_hash + (((ino * 31) + idx) & (NPCH - 1)) * PC_ENTRY;
+}
+
+func __find_page_nolock(ino, idx) {
+  var e = page_hash_slot(ino, idx);
+  if (mem[e + PC_PAGE] != 0 && mem[e + PC_INO] == ino &&
+      mem[e + PC_IDX] == idx) {
+    return mem[e + PC_PAGE];
+  }
+  return 0;
+}
+
+func find_get_page(ino, idx) {
+  return __find_page_nolock(ino, idx);
+}
+
+func add_to_page_cache(ino, idx, page) {
+  assert(page != 0);                  // BUG()
+  var e = page_hash_slot(ino, idx);
+  if (mem[e + PC_PAGE] != 0) {
+    free_pages(mem[e + PC_PAGE]);      // direct-mapped: evict collision
+  }
+  mem[e + PC_INO] = ino;
+  mem[e + PC_IDX] = idx;
+  mem[e + PC_PAGE] = page;
+  return 0;
+}
+
+func invalidate_inode_pages(ino) {
+  var i = 0;
+  while (i < NPCH) {
+    var e = page_hash + i * PC_ENTRY;
+    if (mem[e + PC_PAGE] != 0 && mem[e + PC_INO] == ino) {
+      free_pages(mem[e + PC_PAGE]);
+      mem[e + PC_PAGE] = 0;
+    }
+    i = i + 1;
+  }
+  return 0;
+}
+
+// Reads the 4 disk blocks behind page `idx` of `inode` into a fresh
+// page-cache page (the fs readpage path).
+func read_inode_page(inode, idx) {
+  var page = alloc_page();
+  if (page == 0) { return 0; }
+  memset(page, 0, PAGE_SIZE);
+  var fblock = idx * (PAGE_SIZE / BLOCK_SIZE);
+  var k = 0;
+  while (k < (PAGE_SIZE / BLOCK_SIZE)) {
+    var db = kfs_get_block(inode, fblock + k);
+    if (db != 0) {
+      var bh = bread(db);
+      if (bh != 0) {
+        memcpy(page + k * BLOCK_SIZE, mem[bh + BH_PAGE], BLOCK_SIZE);
+      }
+    }
+    k = k + 1;
+  }
+  add_to_page_cache(mem[inode + IC_INO], idx, page);
+  return page;
+}
+
+func file_read_actor(dst, src, n) {
+  copy_to_user(dst, src, n);
+  return n;
+}
+
+// The paper's Figure 5 function: transfers file data from the page
+// cache to the user buffer.  end_index is the variable whose corruption
+// produced the catastrophic incomplete-read crash.
+func do_generic_file_read(filp, buf, count) {
+  var inode = mem[filp + F_OBJ];
+  var pos = mem[filp + F_POS];
+  var isize = mem[inode + IC_SIZE];
+  //H! assert(isize <=u MAX_FILE_SIZE);
+  var end_index = isize >> PAGE_SHIFT;
+  var done = 0;
+  while (count >u 0) {
+    if (pos >=u isize) { break; }
+    var index = pos >> PAGE_SHIFT;
+    if (index >u end_index) { break; }
+    var page = find_get_page(mem[inode + IC_INO], index);
+    if (page == 0) {
+      page = read_inode_page(inode, index);
+    }
+    if (page == 0) { break; }
+    var offset = pos & (PAGE_SIZE - 1);
+    var n = PAGE_SIZE - offset;
+    if (n >u count) { n = count; }
+    if (n >u isize - pos) { n = isize - pos; }
+    if (n == 0) { break; }
+    file_read_actor(buf + done, page + offset, n);
+    pos = pos + n;
+    done = done + n;
+    count = count - n;
+  }
+  mem[filp + F_POS] = pos;
+  return done;
+}
+)MC";
+}
+
+}  // namespace kfi::kernel

@@ -1,0 +1,207 @@
+// net/ — a loopback datagram socket stack.
+//
+// The paper deliberately excluded Linux's net subsystem ("the network
+// issues can be studied separately"); this module is that separate
+// study's substrate: a miniature UDP-over-loopback path (socket / bind
+// / sendto / recvfrom through sys_socketcall, as Linux 2.4 multiplexed
+// them), with a layered transmit path (udp_sendmsg -> ip_loopback_xmit
+// -> netif_rx -> udp_queue_rcv) so injections can propagate across
+// layers like they do across subsystems.
+#include "kernel/sources.h"
+
+namespace kfi::kernel {
+
+std::string net_source() {
+  return R"MC(
+extern current;
+
+// struct socket (kmalloc'd, 32 bytes):
+//   +0  port        (0 = unbound)
+//   +4  rx page     (ring buffer of datagrams)
+//   +8  head        (byte offset of the first queued datagram)
+//   +12 len         (queued bytes)
+//   +16 wait        (wait queue head)
+//   +20 drops       (datagrams dropped on overflow)
+const SK_PORT = 0;
+const SK_PAGE = 4;
+const SK_HEAD = 8;
+const SK_LEN = 12;
+const SK_WAIT = 16;
+const SK_DROPS = 20;
+const SK_RING = 4096;
+
+// Bound sockets, looked up by port on delivery (net/ipv4/udp.c's hash).
+array udp_hash[16];
+
+func net_init() {
+  memset(udp_hash, 0, 64);
+  return 0;
+}
+
+func udp_hash_slot(port) {
+  return udp_hash + (port & 15) * 4;
+}
+
+func udp_v4_lookup(port) {
+  var sk = mem[udp_hash_slot(port)];
+  if (sk != 0 && mem[sk + SK_PORT] == port) { return sk; }
+  return 0;
+}
+
+func sock_create() {
+  var sk = kmalloc(32);
+  if (sk == 0) { return 0; }
+  var page = alloc_page();
+  if (page == 0) { kfree(sk, 32); return 0; }
+  mem[sk + SK_PAGE] = page;
+  return sk;
+}
+
+func sock_release(f) {
+  var sk = mem[f + F_OBJ];
+  if (sk == 0) { return 0; }
+  var port = mem[sk + SK_PORT];
+  if (port != 0 && udp_v4_lookup(port) == sk) {
+    mem[udp_hash_slot(port)] = 0;
+  }
+  free_pages(mem[sk + SK_PAGE]);
+  kfree(sk, 32);
+  return 0;
+}
+
+func inet_bind(sk, port) {
+  if (port == 0) { return -EINVAL; }
+  if (udp_v4_lookup(port) != 0) { return -EEXIST; }
+  mem[sk + SK_PORT] = port;
+  mem[udp_hash_slot(port)] = sk;
+  return 0;
+}
+
+// 16-bit ones'-complement checksum over the payload (net/checksum.c).
+func net_checksum(buf, n) {
+  var sum = 0;
+  var i = 0;
+  while (i + 1 < n) {
+    sum = sum + (memb[buf + i] << 8) + memb[buf + i + 1];
+    i = i + 2;
+  }
+  if (i < n) { sum = sum + (memb[buf + i] << 8); }
+  while ((sum >> 16) != 0) {
+    sum = (sum & 0xFFFF) + (sum >> 16);
+  }
+  return (~sum) & 0xFFFF;
+}
+
+// Queues one datagram into the destination socket's ring:
+// [u16 len][u16 checksum][payload...], bytes wrapped modulo SK_RING.
+func udp_queue_rcv(sk, buf, n, csum) {
+  if (mem[sk + SK_LEN] + n + 4 >u SK_RING) {
+    mem[sk + SK_DROPS] = mem[sk + SK_DROPS] + 1;
+    return -EAGAIN;
+  }
+  var page = mem[sk + SK_PAGE];
+  var tail = (mem[sk + SK_HEAD] + mem[sk + SK_LEN]) & (SK_RING - 1);
+  memb[page + tail] = n & 0xFF;
+  memb[page + ((tail + 1) & (SK_RING - 1))] = (n >> 8) & 0xFF;
+  memb[page + ((tail + 2) & (SK_RING - 1))] = csum & 0xFF;
+  memb[page + ((tail + 3) & (SK_RING - 1))] = (csum >> 8) & 0xFF;
+  var i = 0;
+  while (i < n) {
+    memb[page + ((tail + 4 + i) & (SK_RING - 1))] = memb[buf + i];
+    i = i + 1;
+  }
+  mem[sk + SK_LEN] = mem[sk + SK_LEN] + n + 4;
+  wake_up(sk + SK_WAIT);
+  return 0;
+}
+
+// The loopback "device": immediately hands the frame back to the rx
+// path (drivers/net/loopback.c + net/core/dev.c netif_rx).
+func netif_rx(port, buf, n, csum) {
+  var sk = udp_v4_lookup(port);
+  if (sk == 0) { return -ENOENT; }
+  return udp_queue_rcv(sk, buf, n, csum);
+}
+
+func ip_loopback_xmit(port, buf, n, csum) {
+  assert(n <=u SK_RING);              // BUG(): oversized datagram
+  return netif_rx(port, buf, n, csum);
+}
+
+func udp_sendmsg(sk, port, buf, n) {
+  if (n >u 1024) { return -EINVAL; }
+  var csum = net_checksum(buf, n);
+  return ip_loopback_xmit(port, buf, n, csum);
+}
+
+// Blocking receive; verifies the checksum like the real rx path does.
+func udp_recvmsg(sk, buf, n) {
+  while (mem[sk + SK_LEN] == 0) {
+    sleep_on(sk + SK_WAIT);
+  }
+  var page = mem[sk + SK_PAGE];
+  var head = mem[sk + SK_HEAD];
+  var dlen = memb[page + head] +
+             (memb[page + ((head + 1) & (SK_RING - 1))] << 8);
+  var csum = memb[page + ((head + 2) & (SK_RING - 1))] +
+             (memb[page + ((head + 3) & (SK_RING - 1))] << 8);
+  var take = dlen;
+  if (take >u n) { take = n; }
+  var i = 0;
+  while (i < take) {
+    memb[buf + i] = memb[page + ((head + 4 + i) & (SK_RING - 1))];
+    i = i + 1;
+  }
+  mem[sk + SK_HEAD] = (head + 4 + dlen) & (SK_RING - 1);
+  mem[sk + SK_LEN] = mem[sk + SK_LEN] - dlen - 4;
+  if (take == dlen) {
+    if (net_checksum(buf, take) != csum) { return -EINVAL; }
+  }
+  return take;
+}
+
+// sys_socketcall(call, args) — Linux 2.4's socket multiplexer.  args is
+// a user-space array of words:
+//   call 1  socket()                  -> fd
+//   call 2  bind(fd, port)            (args: fd, port)
+//   call 11 sendto(fd, buf, n, port)  (args: fd, buf, n, port)
+//   call 12 recvfrom(fd, buf, n)      (args: fd, buf, n)
+const FT_SOCKET = 5;
+
+func sys_socketcall(call, args, c) {
+  if (call == 1) {
+    var nsk = sock_create();
+    if (nsk == 0) { return -ENOMEM; }
+    var fd = get_unused_fd();
+    if (fd < 0) { return fd; }
+    var nf = get_empty_filp();
+    if (nf == 0) { return -ENOMEM; }
+    mem[nf + F_TYPE] = FT_SOCKET;
+    mem[nf + F_OBJ] = nsk;
+    mem[current + T_FILES + fd * 4] = nf;
+    return fd;
+  }
+  var f = fget(mem[args]);
+  if (f == 0 || mem[f + F_TYPE] != FT_SOCKET) { return -EBADF; }
+  var sk = mem[f + F_OBJ];
+  if (call == 2) {
+    return inet_bind(sk, mem[args + 4]);
+  }
+  if (call == 11) {
+    return udp_sendmsg(sk, mem[args + 12], mem[args + 4], mem[args + 8]);
+  }
+  if (call == 12) {
+    return udp_recvmsg(sk, mem[args + 4], mem[args + 8]);
+  }
+  return -EINVAL;
+}
+
+// Called by fput() when the last reference to a socket file drops.
+func sock_close(f) {
+  sock_release(f);
+  return 0;
+}
+)MC";
+}
+
+}  // namespace kfi::kernel

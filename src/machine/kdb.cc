@@ -1,0 +1,192 @@
+#include "machine/kdb.h"
+
+#include "isa/disasm.h"
+#include "kernel/koffsets.h"
+#include "support/strings.h"
+#include "vm/layout.h"
+
+namespace kfi::machine {
+
+std::string Kdb::disassemble(std::uint32_t vaddr, int count,
+                             std::uint32_t mark) {
+  std::string out;
+  std::uint32_t at = vaddr;
+  for (int i = 0; i < count; ++i) {
+    std::uint8_t buf[isa::kMaxInstructionLength] = {};
+    std::size_t got = 0;
+    for (; got < sizeof buf; ++got) {
+      if (!machine_.cpu().peek8(at + static_cast<std::uint32_t>(got),
+                                buf[got])) {
+        break;
+      }
+    }
+    if (got == 0) {
+      out += format("  %s:  (unmapped)\n", hex32(at).c_str());
+      break;
+    }
+    std::size_t len = 0;
+    const std::string text = isa::disassemble_bytes(buf, got, at, &len);
+    if (len == 0) len = 1;
+    out += format("%s %s:  %-22s %s\n", at == mark ? ">" : " ",
+                  hex32(at).c_str(),
+                  hex_bytes(buf, len < got ? len : got).c_str(),
+                  text.c_str());
+    at += static_cast<std::uint32_t>(len);
+  }
+  return out;
+}
+
+std::string Kdb::disassemble_function(const std::string& name) {
+  const kernel::KernelFunction* fn = kernel::built_kernel().function(name);
+  if (fn == nullptr) return "unknown function: " + name + "\n";
+  std::string out = name + ":\n";
+  std::uint32_t at = fn->start;
+  while (at < fn->end) {
+    std::uint8_t buf[isa::kMaxInstructionLength] = {};
+    std::size_t got = 0;
+    for (; got < sizeof buf; ++got) {
+      if (!machine_.cpu().peek8(at + static_cast<std::uint32_t>(got),
+                                buf[got])) {
+        break;
+      }
+    }
+    std::size_t len = 0;
+    const std::string text = isa::disassemble_bytes(buf, got, at, &len);
+    if (len == 0) break;
+    out += format("  %s:  %-22s %s\n", hex32(at).c_str(),
+                  hex_bytes(buf, len).c_str(), text.c_str());
+    at += static_cast<std::uint32_t>(len);
+  }
+  return out;
+}
+
+std::vector<Kdb::Frame> Kdb::backtrace(int max_frames) {
+  std::vector<Frame> frames;
+  const kernel::KernelImage& image = kernel::built_kernel();
+
+  Frame top;
+  top.pc = machine_.cpu().eip();
+  top.ebp = machine_.cpu().reg(isa::Reg::Ebp);
+  if (const auto* fn = image.function_at(top.pc)) top.function = fn->name;
+  frames.push_back(top);
+
+  std::uint32_t ebp = top.ebp;
+  for (int i = 1; i < max_frames; ++i) {
+    std::uint32_t saved_ebp = 0;
+    std::uint32_t ret = 0;
+    if (!machine_.cpu().peek32(ebp, saved_ebp) ||
+        !machine_.cpu().peek32(ebp + 4, ret)) {
+      break;
+    }
+    if (ret == 0) break;
+    Frame frame;
+    frame.pc = ret;
+    frame.ebp = saved_ebp;
+    if (const auto* fn = image.function_at(ret)) frame.function = fn->name;
+    frames.push_back(frame);
+    if (saved_ebp <= ebp) break;  // corrupt / terminal frame
+    ebp = saved_ebp;
+  }
+  return frames;
+}
+
+std::vector<Kdb::TaskInfo> Kdb::tasks() {
+  std::vector<TaskInfo> out;
+  const kernel::KernelImage& image = kernel::built_kernel();
+  const std::uint32_t table = image.symbol("task_table");
+  std::uint32_t current = 0;
+  machine_.cpu().peek32(image.symbol("current"), current);
+  if (table == 0) return out;
+  for (std::uint32_t i = 0; i < kernel::kNumTasks; ++i) {
+    const std::uint32_t t = table + i * kernel::kTaskSize;
+    TaskInfo info;
+    info.slot = static_cast<int>(i);
+    machine_.cpu().peek32(t + kernel::T_STATE, info.state);
+    if (info.state == kernel::TS_UNUSED) continue;
+    machine_.cpu().peek32(t + kernel::T_PID, info.pid);
+    machine_.cpu().peek32(t + kernel::T_COUNTER, info.counter);
+    machine_.cpu().peek32(t + kernel::T_KESP, info.kesp);
+    info.is_current = t == current;
+    out.push_back(info);
+  }
+  return out;
+}
+
+std::string Kdb::render_tasks() {
+  static const char* kStateNames[] = {"unused", "run", "sleep", "zombie"};
+  std::string out = "  slot  pid  state   counter  kesp\n";
+  for (const TaskInfo& task : tasks()) {
+    out += format("  %3d %5u  %-7s %7u  %s%s\n", task.slot, task.pid,
+                  task.state < 4 ? kStateNames[task.state] : "?",
+                  task.counter, hex32(task.kesp).c_str(),
+                  task.is_current ? "  <- current" : "");
+  }
+  return out;
+}
+
+std::string Kdb::dump_memory(std::uint32_t vaddr, std::uint32_t words) {
+  std::string out;
+  for (std::uint32_t i = 0; i < words; ++i) {
+    if (i % 4 == 0) {
+      if (i != 0) out += "\n";
+      out += format("  %s:", hex32(vaddr + 4 * i).c_str());
+    }
+    std::uint32_t value = 0;
+    if (machine_.cpu().peek32(vaddr + 4 * i, value)) {
+      out += " " + hex32(value);
+    } else {
+      out += " ????????";
+    }
+  }
+  out += "\n";
+  return out;
+}
+
+std::string Kdb::oops_report(const CrashInfo& crash) {
+  const kernel::KernelImage& image = kernel::built_kernel();
+  std::string out;
+
+  out += std::string(crash_code_name(crash.cause));
+  if (crash.cause == kernel::CRASH_NULL_POINTER ||
+      crash.cause == kernel::CRASH_PAGING_REQUEST) {
+    out += " at virtual address " + hex32(crash.fault_addr);
+  }
+  out += "\n";
+
+  out += "Oops: 0000\n";
+  out += "EIP:    0010:[<" + hex32(crash.eip) + ">]";
+  if (const auto* fn = image.function_at(crash.eip)) {
+    out += "    (" + fn->name + "+0x" + format("%x", crash.eip - fn->start) +
+           "/" + format("0x%x", fn->end - fn->start) + " [" +
+           std::string(kernel::subsystem_name(fn->subsystem)) + "])";
+  }
+  out += "\n";
+
+  const vm::Cpu& cpu = const_cast<const vm::Cpu&>(machine_.cpu());
+  out += format("eax: %s   ebx: %s   ecx: %s   edx: %s\n",
+                hex32(cpu.reg(isa::Reg::Eax)).c_str(),
+                hex32(cpu.reg(isa::Reg::Ebx)).c_str(),
+                hex32(cpu.reg(isa::Reg::Ecx)).c_str(),
+                hex32(cpu.reg(isa::Reg::Edx)).c_str());
+  out += format("esi: %s   edi: %s   ebp: %s   esp: %s\n",
+                hex32(cpu.reg(isa::Reg::Esi)).c_str(),
+                hex32(cpu.reg(isa::Reg::Edi)).c_str(),
+                hex32(cpu.reg(isa::Reg::Ebp)).c_str(),
+                hex32(cpu.reg(isa::Reg::Esp)).c_str());
+
+  out += "Stack:\n";
+  out += dump_memory(machine_.cpu().reg(isa::Reg::Esp), 16);
+
+  out += "Call Trace:";
+  for (const Frame& frame : backtrace()) {
+    out += " [<" + hex32(frame.pc) + ">]";
+    if (!frame.function.empty()) out += " " + frame.function;
+  }
+  out += "\n";
+
+  out += "Code:\n";
+  out += disassemble(crash.eip, 5, crash.eip);
+  return out;
+}
+
+}  // namespace kfi::machine

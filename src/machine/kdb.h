@@ -1,0 +1,65 @@
+// kdb — a host-side kernel debugger in the spirit of SGI's KDB, which
+// the paper used to trace repeatable crashes (§7.1, Figure 5).
+//
+// Works on a (possibly crashed) Machine: disassembles around an
+// address, reconstructs the call chain through saved frame pointers,
+// dumps the task table, renders trap frames, and produces a full
+// Linux-style Oops report from the latest crash.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "machine/machine.h"
+
+namespace kfi::machine {
+
+class Kdb {
+ public:
+  explicit Kdb(Machine& machine) : machine_(machine) {}
+
+  // `count` instructions disassembled starting at `vaddr`, one per
+  // line, with a marker on `mark` (0 = none).  Unmapped bytes are shown
+  // as such.
+  std::string disassemble(std::uint32_t vaddr, int count,
+                          std::uint32_t mark = 0);
+
+  // Disassembly window around a kernel function, resolved by symbol.
+  std::string disassemble_function(const std::string& name);
+
+  // Call-chain reconstruction by walking saved (ebp, return address)
+  // pairs from the current frame pointer.  Entries are annotated with
+  // the containing kernel function.
+  struct Frame {
+    std::uint32_t pc = 0;
+    std::uint32_t ebp = 0;
+    std::string function;  // empty if outside kernel text
+  };
+  std::vector<Frame> backtrace(int max_frames = 16);
+
+  // The kernel task table, as the paper's dump analyses show it.
+  struct TaskInfo {
+    int slot = 0;
+    std::uint32_t pid = 0;
+    std::uint32_t state = 0;
+    std::uint32_t counter = 0;
+    std::uint32_t kesp = 0;
+    bool is_current = false;
+  };
+  std::vector<TaskInfo> tasks();
+  std::string render_tasks();
+
+  // Hex dump of guest virtual memory (unmapped words shown as ????).
+  std::string dump_memory(std::uint32_t vaddr, std::uint32_t words);
+
+  // A full Linux-style Oops report for the machine's last crash:
+  // cause line, EIP with symbol, registers, stack dump, call trace,
+  // and disassembly of the faulting code.
+  std::string oops_report(const CrashInfo& crash);
+
+ private:
+  Machine& machine_;
+};
+
+}  // namespace kfi::machine

@@ -1,0 +1,362 @@
+#include "machine/machine.h"
+
+#include <cassert>
+
+#include "fsutil/kfs.h"
+#include "fsutil/kfs_format.h"
+#include "support/strings.h"
+#include "vm/hostmap.h"
+#include "vm/layout.h"
+
+namespace kfi::machine {
+
+using kernel::KernelImage;
+
+// ---------------------------------------------------------------------
+// Devices
+// ---------------------------------------------------------------------
+
+class Machine::ConsoleDevice : public vm::Device {
+ public:
+  explicit ConsoleDevice(Machine& machine) : machine_(machine) {}
+  std::uint32_t mmio_read(std::uint32_t) override { return 0; }
+  void mmio_write(std::uint32_t offset, std::uint32_t value) override {
+    if (offset == 0) {
+      machine_.console_.push_back(static_cast<char>(value & 0xFF));
+      // Guard against runaway printing under fault (console spam).
+      if (machine_.console_.size() > 1 << 20) {
+        machine_.console_.resize(1 << 20);
+      }
+    }
+  }
+
+ private:
+  Machine& machine_;
+};
+
+class Machine::CrashDevice : public vm::Device {
+ public:
+  explicit CrashDevice(Machine& machine) : machine_(machine) {}
+  std::uint32_t mmio_read(std::uint32_t) override { return 0; }
+  void mmio_write(std::uint32_t offset, std::uint32_t value) override {
+    switch (offset) {
+      case 4: addr_ = value; break;
+      case 8: eip_ = value; break;
+      case 0: {
+        if (machine_.crash_fired_) break;  // first report wins
+        machine_.crash_fired_ = true;
+        machine_.crash_.cause = value;
+        machine_.crash_.fault_addr = addr_;
+        machine_.crash_.eip = eip_;
+        machine_.crash_.report_cycle = machine_.cpu_->cycles();
+        machine_.crash_.trap_cycle = machine_.cpu_->last_trap().cycle;
+        break;
+      }
+      default: break;
+    }
+  }
+
+ private:
+  Machine& machine_;
+  std::uint32_t addr_ = 0;
+  std::uint32_t eip_ = 0;
+};
+
+class Machine::TlbDevice : public vm::Device {
+ public:
+  explicit TlbDevice(Machine& machine) : machine_(machine) {}
+  std::uint32_t mmio_read(std::uint32_t) override { return 0; }
+  void mmio_write(std::uint32_t offset, std::uint32_t value) override {
+    switch (offset) {
+      case kernel::TLB_FLUSH_PAGE:
+        machine_.cpu_->mmu().flush_page(value);
+        break;
+      case kernel::TLB_FLUSH_ALL:
+        machine_.cpu_->mmu().flush_tlb();
+        break;
+      case kernel::TLB_SET_CR3:
+        machine_.cpu_->mmu().set_cr3(value);
+        break;
+      default:
+        break;
+    }
+  }
+
+ private:
+  Machine& machine_;
+};
+
+// ---------------------------------------------------------------------
+// Root disk
+// ---------------------------------------------------------------------
+
+std::string_view crash_code_name(std::uint32_t code) {
+  switch (code) {
+    case kernel::CRASH_NULL_POINTER:
+      return "Unable to handle kernel NULL pointer dereference";
+    case kernel::CRASH_PAGING_REQUEST:
+      return "Unable to handle kernel paging request";
+    case kernel::CRASH_INVALID_OPCODE: return "invalid opcode";
+    case kernel::CRASH_GP_FAULT: return "general protection fault";
+    case kernel::CRASH_DIVIDE: return "divide error";
+    case kernel::CRASH_PANIC: return "Kernel panic";
+    case kernel::CRASH_INT3: return "int3 trap";
+    case kernel::CRASH_BOUNDS: return "bounds";
+    case kernel::CRASH_INVALID_TSS: return "invalid TSS";
+    case kernel::CRASH_STACK: return "stack exception";
+    case kernel::CRASH_OVERFLOW: return "overflow";
+    case kernel::CRASH_SEG_NOT_PRESENT: return "segment not present";
+    case kernel::CRASH_OUT_OF_MEMORY: return "out of memory";
+    case kernel::CRASH_DOUBLE_FAULT: return "double fault";
+    case kernel::CRASH_CLEAN_SHUTDOWN: return "clean shutdown";
+    default: return "unknown";
+  }
+}
+
+disk::DiskImage make_root_disk() {
+  disk::DiskImage image(fsutil::kDefaultBlocks);
+  fsutil::mkfs(image);
+
+  // System files whose integrity decides bootability (most-severe check).
+  std::string init_bin = "\x7f" "ELF-init";
+  for (int i = 0; i < 480; ++i) init_bin += format("init%04d", i);
+  std::string libc_bin = "\x7f" "ELF-libc.so.6";
+  for (int i = 0; i < 900; ++i) libc_bin += format("libc%04d", i);
+
+  fsutil::add_dir(image, "/sbin");
+  fsutil::add_dir(image, "/lib");
+  fsutil::add_dir(image, "/lib/i686");
+  fsutil::add_dir(image, "/etc");
+  fsutil::add_dir(image, "/data");
+  fsutil::add_dir(image, "/tmp");
+
+  fsutil::add_file(image, "/sbin/init", init_bin);
+  fsutil::add_file(image, "/lib/libc.so", libc_bin);
+  fsutil::add_file(image, "/lib/i686/libc.so.6", libc_bin);
+  fsutil::add_file(image, "/etc/passwd",
+                   "root:x:0:0:root:/root:/bin/bash\n"
+                   "bench:x:500:500:unixbench:/home/bench:/bin/sh\n");
+
+  std::string seed;
+  for (int i = 0; i < 3000; ++i) {
+    seed.push_back(static_cast<char>('A' + (i * 7) % 26));
+  }
+  fsutil::add_file(image, "/data/seed.dat", seed);
+  return image;
+}
+
+// ---------------------------------------------------------------------
+// Machine
+// ---------------------------------------------------------------------
+
+Machine::Machine(const KernelImage& kernel_image,
+                 const workloads::WorkloadImage& workload,
+                 const disk::DiskImage& root_disk,
+                 const MachineOptions& options)
+    : kernel_image_(kernel_image), workload_(workload), options_(options) {
+  memory_ = std::make_unique<vm::PhysicalMemory>(vm::kRamSize);
+  bus_ = std::make_unique<vm::Bus>();
+  cpu_ = std::make_unique<vm::Cpu>(*memory_, *bus_);
+  disk_image_ = std::make_unique<disk::DiskImage>(root_disk);
+  disk_device_ = std::make_unique<disk::DiskDevice>(*disk_image_, *memory_);
+  console_device_ = std::make_unique<ConsoleDevice>(*this);
+  crash_device_ = std::make_unique<CrashDevice>(*this);
+  tlb_device_ = std::make_unique<TlbDevice>(*this);
+
+  bus_->attach(vm::kConsoleMmio, vm::kPageSize, console_device_.get());
+  bus_->attach(vm::kDiskMmio, vm::kPageSize, disk_device_.get());
+  bus_->attach(vm::kCrashMmio, vm::kPageSize, crash_device_.get());
+  bus_->attach(vm::kTlbMmio, vm::kPageSize, tlb_device_.get());
+
+  disk_snapshot_ = root_disk.snapshot();
+  load_images();
+  install_vectors();
+}
+
+Machine::~Machine() = default;
+
+void Machine::load_images() {
+  for (const kernel::LoadSegment& segment : kernel_image_.segments) {
+    memory_->write_block(vm::phys_of_virt(segment.base),
+                         segment.bytes.data(),
+                         static_cast<std::uint32_t>(segment.bytes.size()));
+  }
+
+  // Park the workload image below the page allocator's range; the
+  // kernel maps it into the init task from boot info.
+  const std::uint32_t text_phys = kernel::kWorkloadPhysBase;
+  const std::uint32_t text_len =
+      (static_cast<std::uint32_t>(workload_.text.size()) + vm::kPageMask) &
+      ~vm::kPageMask;
+  const std::uint32_t data_phys = text_phys + text_len;
+  const std::uint32_t data_len =
+      (static_cast<std::uint32_t>(workload_.data.size()) + vm::kPageMask) &
+      ~vm::kPageMask;
+  assert(text_len + data_len <= kernel::kWorkloadPhysSize);
+
+  if (!workload_.text.empty()) {
+    memory_->write_block(text_phys, workload_.text.data(),
+                         static_cast<std::uint32_t>(workload_.text.size()));
+  }
+  if (!workload_.data.empty()) {
+    memory_->write_block(data_phys, workload_.data.data(),
+                         static_cast<std::uint32_t>(workload_.data.size()));
+  }
+
+  memory_->write32(vm::kBootInfoPhys + kernel::BI_ENTRY, workload_.entry);
+  memory_->write32(vm::kBootInfoPhys + kernel::BI_TEXT_VADDR,
+                   workload_.text_base);
+  memory_->write32(vm::kBootInfoPhys + kernel::BI_TEXT_PHYS, text_phys);
+  memory_->write32(vm::kBootInfoPhys + kernel::BI_TEXT_LEN, text_len);
+  memory_->write32(vm::kBootInfoPhys + kernel::BI_DATA_VADDR,
+                   workload_.data_base);
+  memory_->write32(vm::kBootInfoPhys + kernel::BI_DATA_PHYS, data_phys);
+  memory_->write32(vm::kBootInfoPhys + kernel::BI_DATA_LEN, data_len);
+
+  // Boot page tables: kernel straight map (done by "firmware").
+  vm::HostMapper mapper(*memory_, vm::kBootPgdPhys, vm::kKernelPtePhys);
+  mapper.map_range(vm::kKernelBase, 0, vm::kRamSize, vm::kPteWrite);
+  assert(mapper.cursor() <= vm::kBootPteEnd);
+  cpu_->mmu().set_cr3(vm::kBootPgdPhys);
+
+  memory_->write32(vm::kTssPhys, vm::kBootStackTop);
+
+  cpu_->set_eip(kernel_image_.symbol("start_kernel"));
+  cpu_->set_reg(isa::Reg::Esp, vm::kBootStackTop);
+  cpu_->set_cpl(0);
+  cpu_->flags().intf = false;
+}
+
+void Machine::install_vectors() {
+  const auto set = [this](int vector, const char* symbol) {
+    const std::uint32_t addr = kernel_image_.symbol(symbol);
+    assert(addr != 0);
+    cpu_->set_vector(vector, addr);
+  };
+  set(0, "divide_error_entry");
+  set(3, "int3_entry");
+  set(4, "overflow_entry");
+  set(5, "bounds_entry");
+  set(6, "invalid_op_entry");
+  set(10, "invalid_tss_entry");
+  set(11, "segment_not_present_entry");
+  set(12, "stack_segment_entry");
+  set(13, "general_protection_entry");
+  set(14, "page_fault_entry");
+  set(0x20, "timer_interrupt");
+  set(0x80, "system_call");
+  // Vector 8 (double fault) stays empty: a fault during delivery kills
+  // the CPU, which the watchdog classifies as Hang/Unknown.
+}
+
+bool Machine::boot() {
+  cpu_->arm_breakpoint(3, workload_.entry);
+  const RunResult result = run(options_.boot_budget);
+  cpu_->disarm_breakpoint(3);
+  if (result.exit != RunExit::Breakpoint) return false;
+
+  mem_snapshot_ = memory_->snapshot();
+  for (int i = 0; i < 8; ++i) {
+    snap_regs_[i] = cpu_->reg(static_cast<isa::Reg>(i));
+  }
+  snap_eip_ = cpu_->eip();
+  snap_flags_ = cpu_->flags().to_word();
+  snap_cpl_ = cpu_->cpl();
+  snap_cr3_ = cpu_->mmu().cr3();
+  snapshot_cycles_ = cpu_->cycles();
+  disk_snapshot_ = disk_image_->snapshot();
+  console_snapshot_ = console_;
+  booted_ = true;
+  return true;
+}
+
+void Machine::restore() {
+  assert(booted_);
+  memory_->restore(mem_snapshot_);
+  disk_image_->restore(disk_snapshot_);
+  for (int i = 0; i < 8; ++i) {
+    cpu_->set_reg(static_cast<isa::Reg>(i), snap_regs_[i]);
+  }
+  cpu_->set_eip(snap_eip_);
+  cpu_->flags() = isa::Flags::from_word(snap_flags_);
+  cpu_->set_cpl(snap_cpl_);
+  cpu_->mmu().set_cr3(snap_cr3_);  // also flushes the TLB
+  cpu_->set_cycles(snapshot_cycles_);
+  cpu_->reset_fault_state();
+  crash_fired_ = false;
+  crash_ = CrashInfo{};
+  console_ = console_snapshot_;
+  next_timer_ = snapshot_cycles_ + options_.timer_period;
+}
+
+RunResult Machine::run(std::uint64_t max_cycles) {
+  RunResult result;
+  const std::uint64_t deadline = cpu_->cycles() + max_cycles;
+  if (next_timer_ == 0) next_timer_ = cpu_->cycles() + options_.timer_period;
+  bool timer_pending = false;
+
+  while (cpu_->cycles() < deadline) {
+    if (cpu_->cycles() >= next_timer_) {
+      timer_pending = true;
+      next_timer_ += options_.timer_period;
+    }
+    if (timer_pending && cpu_->deliver_interrupt(isa::Trap::Timer)) {
+      timer_pending = false;
+    }
+
+    if (trace_ != nullptr) {
+      const std::uint32_t pc = cpu_->eip();
+      if (pc >= vm::kArchTextBase && pc < vm::kTextEnd) trace_->insert(pc);
+    }
+    const vm::CpuEvent event = cpu_->step();
+
+    if (crash_fired_) {
+      if (crash_.cause == kernel::CRASH_CLEAN_SHUTDOWN) {
+        result.exit = RunExit::Completed;
+        result.exit_code = crash_.fault_addr;
+      } else {
+        result.exit = RunExit::Crashed;
+        result.crash = crash_;
+      }
+      return result;
+    }
+
+    switch (event.kind) {
+      case vm::CpuEventKind::Executed:
+        break;
+      case vm::CpuEventKind::Breakpoint:
+        result.exit = RunExit::Breakpoint;
+        result.breakpoint_index = event.breakpoint_index;
+        return result;
+      case vm::CpuEventKind::Halted: {
+        if (!cpu_->flags().intf) {
+          // hlt with interrupts off: hard deadlock.
+          result.exit = RunExit::Hung;
+          return result;
+        }
+        // Fast-forward to the next timer tick.
+        if (next_timer_ >= deadline) {
+          // Idle time still passes while halted; otherwise short-budget
+          // callers (the profiler) would spin without progress.
+          cpu_->set_cycles(deadline);
+          result.exit = RunExit::Hung;
+          return result;
+        }
+        cpu_->set_cycles(next_timer_);
+        timer_pending = true;
+        next_timer_ += options_.timer_period;
+        if (timer_pending && cpu_->deliver_interrupt(isa::Trap::Timer)) {
+          timer_pending = false;
+        }
+        break;
+      }
+      case vm::CpuEventKind::DoubleFault:
+        result.exit = RunExit::CpuDead;
+        return result;
+    }
+  }
+  result.exit = RunExit::Hung;
+  return result;
+}
+
+}  // namespace kfi::machine

@@ -1,0 +1,145 @@
+// The whole simulated machine: CPU + RAM + MMU + devices + kernel +
+// workload + root disk, with boot, post-boot snapshot/restore ("reboot"),
+// a cycle-budget watchdog, and the crash-handler back end.
+//
+// This is the substrate every injection run executes on; one Machine is
+// reused across thousands of runs by restoring the post-boot snapshot.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_set>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "disk/disk.h"
+#include "kernel/build.h"
+#include "kernel/koffsets.h"
+#include "vm/bus.h"
+#include "vm/cpu.h"
+#include "vm/memory.h"
+#include "workloads/workloads.h"
+
+namespace kfi::machine {
+
+// What the kernel's crash handler reported through the crash port
+// (LKCD-dump equivalent), plus the hardware trap record for latency.
+struct CrashInfo {
+  std::uint32_t cause = 0;       // kernel::CRASH_* code
+  std::uint32_t fault_addr = 0;
+  std::uint32_t eip = 0;         // faulting instruction (from the frame)
+  std::uint64_t report_cycle = 0;  // when the crash port was written
+  std::uint64_t trap_cycle = 0;    // when the hardware trap fired
+};
+
+enum class RunExit : std::uint8_t {
+  Completed,   // init exited: clean shutdown, exit code in `exit_code`
+  Crashed,     // kernel oops/panic: see `crash`
+  Hung,        // watchdog: cycle budget exhausted or hard deadlock
+  CpuDead,     // double/triple fault: no dump possible
+  Breakpoint,  // a debug-register breakpoint fired (injection trigger)
+};
+
+struct RunResult {
+  RunExit exit = RunExit::Hung;
+  std::uint32_t exit_code = 0;
+  CrashInfo crash;
+  int breakpoint_index = -1;
+};
+
+struct MachineOptions {
+  std::uint32_t timer_period = kernel::kTimerPeriodCycles;
+  std::uint64_t boot_budget = 4'000'000;
+};
+
+// Human-readable text for a kernel crash-port cause code, phrased as
+// the kernel's oops messages are.
+std::string_view crash_code_name(std::uint32_t code);
+
+// Builds the default root-disk image (with /sbin/init, /lib/libc.so,
+// /etc/passwd, /data/seed.dat, /tmp) the severity analysis expects.
+disk::DiskImage make_root_disk();
+
+class Machine {
+ public:
+  // The kernel image and the workload are loaded at construction; call
+  // boot() once, then run()/restore() per injection run.
+  Machine(const kernel::KernelImage& kernel_image,
+          const workloads::WorkloadImage& workload,
+          const disk::DiskImage& root_disk,
+          const MachineOptions& options = {});
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  // Runs from reset to the first user-mode instruction of the workload
+  // and snapshots there.  Returns false if the kernel failed to boot.
+  bool boot();
+
+  // Continues execution until an exit condition or `max_cycles` more
+  // cycles elapse (the watchdog).
+  RunResult run(std::uint64_t max_cycles);
+
+  // Restores the post-boot snapshot and the pristine disk ("reboot").
+  void restore();
+
+  vm::Cpu& cpu() { return *cpu_; }
+  vm::PhysicalMemory& memory() { return *memory_; }
+  disk::DiskImage& disk_image() { return *disk_image_; }
+  const std::string& console_output() const { return console_; }
+
+  // Cycle at which run() started relative to the boot snapshot.
+  std::uint64_t snapshot_cycles() const { return snapshot_cycles_; }
+
+  // When set, every kernel-text instruction address executed during
+  // run() is inserted into *sink (instruction coverage for the
+  // injector's activation precheck).  Pass nullptr to disable.
+  void set_trace(std::unordered_set<std::uint32_t>* sink) { trace_ = sink; }
+
+ private:
+  class ConsoleDevice;
+  class CrashDevice;
+  class TlbDevice;
+
+  void load_images();
+  void install_vectors();
+
+  const kernel::KernelImage& kernel_image_;
+  const workloads::WorkloadImage& workload_;
+  MachineOptions options_;
+
+  std::unique_ptr<vm::PhysicalMemory> memory_;
+  std::unique_ptr<vm::Bus> bus_;
+  std::unique_ptr<vm::Cpu> cpu_;
+  std::unique_ptr<disk::DiskImage> disk_image_;
+  std::unique_ptr<disk::DiskDevice> disk_device_;
+  std::unique_ptr<ConsoleDevice> console_device_;
+  std::unique_ptr<CrashDevice> crash_device_;
+  std::unique_ptr<TlbDevice> tlb_device_;
+
+  std::string console_;
+
+  // Crash-port state (latched by CrashDevice).
+  bool crash_fired_ = false;
+  CrashInfo crash_;
+
+  // Post-boot snapshot.
+  bool booted_ = false;
+  std::vector<std::uint8_t> mem_snapshot_;
+  std::vector<std::uint8_t> disk_snapshot_;
+  std::string console_snapshot_;
+  std::uint32_t snap_regs_[8] = {};
+  std::uint32_t snap_eip_ = 0;
+  std::uint32_t snap_flags_ = 0;
+  int snap_cpl_ = 0;
+  std::uint32_t snap_cr3_ = 0;
+  std::uint64_t snapshot_cycles_ = 0;
+
+  std::uint64_t next_timer_ = 0;
+  std::unordered_set<std::uint32_t>* trace_ = nullptr;
+};
+
+}  // namespace kfi::machine

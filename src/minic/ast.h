@@ -1,0 +1,99 @@
+// MiniC abstract syntax tree.
+//
+// Everything is a 32-bit word; memory is accessed explicitly through
+// mem[addr] (word) and memb[addr] (byte), which keeps the language tiny
+// while still letting kernel code walk real data structures.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace kfi::minic {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind : std::uint8_t {
+    Number,
+    Ident,     // const / local / param / global / extern / array name
+    Unary,     // op in `op`: - ~ !
+    Binary,    // op in `op`
+    Call,      // name(args...)
+    MemWord,   // mem[addr]
+    MemByte,   // memb[addr]
+    String,    // literal -> address of NUL-terminated data
+    AddrOf,    // &ident
+  };
+
+  Kind kind = Kind::Number;
+  int line = 0;
+  std::int64_t number = 0;
+  std::string name;  // Ident / Call / AddrOf
+  std::string op;    // Unary / Binary
+  std::string str;   // String
+  ExprPtr lhs;
+  ExprPtr rhs;
+  std::vector<ExprPtr> args;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind : std::uint8_t {
+    VarDecl,    // var name (= expr)?
+    Assign,     // name = expr
+    MemAssign,  // mem[addr] = expr  (byte_access for memb)
+    If,
+    While,
+    Return,     // value optional
+    Goto,
+    Label,
+    Break,
+    Continue,
+    ExprStmt,
+    Asm,        // raw kasm line
+    Assert,     // BUG() analog: !cond -> ud2
+  };
+
+  Kind kind = Kind::ExprStmt;
+  int line = 0;
+  std::string name;  // VarDecl/Assign target, Goto/Label name, Asm text
+  bool byte_access = false;
+  ExprPtr addr;      // MemAssign
+  ExprPtr value;     // VarDecl init / Assign / MemAssign / Return / cond
+  std::vector<StmtPtr> body;       // If-then / While body
+  std::vector<StmtPtr> else_body;  // If-else
+};
+
+struct Function {
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<StmtPtr> body;
+  int line = 0;
+};
+
+struct Global {
+  std::string name;
+  std::int64_t init = 0;
+  int line = 0;
+};
+
+struct Array {
+  std::string name;
+  std::uint32_t count = 0;  // words
+  int line = 0;
+};
+
+struct Program {
+  std::vector<std::pair<std::string, std::int64_t>> consts;
+  std::vector<Global> globals;
+  std::vector<Array> arrays;
+  std::vector<std::string> externs;  // symbols defined in another unit
+  std::vector<Function> functions;
+};
+
+}  // namespace kfi::minic

@@ -1,0 +1,442 @@
+#include "minic/codegen.h"
+
+#include <map>
+#include <set>
+
+#include "minic/parser.h"
+#include "support/strings.h"
+
+namespace kfi::minic {
+namespace {
+
+// Symbol classes visible to expressions.
+enum class SymKind : std::uint8_t { Const, Global, Array, Extern };
+
+class Codegen {
+ public:
+  Codegen(const Program& program, std::string_view unit_name)
+      : program_(program), unit_(unit_name) {}
+
+  CompileResult run() {
+    CompileResult result;
+
+    for (const auto& [name, value] : program_.consts) {
+      consts_[name] = value;
+      declare(name, SymKind::Const);
+    }
+    for (const Global& g : program_.globals) declare(g.name, SymKind::Global);
+    for (const Array& a : program_.arrays) declare(a.name, SymKind::Array);
+    for (const std::string& e : program_.externs) declare(e, SymKind::Extern);
+    for (const Function& f : program_.functions) function_names_.insert(f.name);
+
+    for (const Global& g : program_.globals) {
+      data(g.name + ":");
+      data("  .word " + std::to_string(static_cast<std::uint32_t>(g.init)));
+    }
+    for (const Array& a : program_.arrays) {
+      data(a.name + ":");
+      data("  .space " + std::to_string(a.count * 4));
+    }
+
+    for (const Function& fn : program_.functions) gen_function(fn);
+
+    result.errors = std::move(errors_);
+    result.ok = result.errors.empty();
+    result.text_asm = std::move(text_);
+    result.data_asm = std::move(data_);
+    return result;
+  }
+
+ private:
+  void emit(const std::string& line) { text_ += "  " + line + "\n"; }
+  void emit_label(const std::string& label) { text_ += label + ":\n"; }
+  void raw(const std::string& line) { text_ += line + "\n"; }
+  void data(const std::string& line) { data_ += line + "\n"; }
+
+  void error(int line, const std::string& message) {
+    errors_.push_back("line " + std::to_string(line) + ": " + message);
+  }
+
+  void declare(const std::string& name, SymKind kind) {
+    if (!symbols_.emplace(name, kind).second) {
+      errors_.push_back("duplicate symbol '" + name + "'");
+    }
+  }
+
+  std::string fresh_label() {
+    return fn_->name + "__L" + std::to_string(label_counter_++);
+  }
+  std::string user_label(const std::string& name) {
+    return fn_->name + "__u_" + name;
+  }
+  std::string epilogue_label() { return fn_->name + "__epilogue"; }
+
+  // ---- function frame ----
+  void collect_locals(const std::vector<StmtPtr>& stmts) {
+    for (const StmtPtr& s : stmts) {
+      if (s->kind == Stmt::Kind::VarDecl) {
+        if (locals_.count(s->name) != 0 || params_.count(s->name) != 0) {
+          error(s->line, "duplicate variable '" + s->name + "'");
+        } else {
+          const int offset = -4 * (static_cast<int>(locals_.size()) + 1);
+          locals_[s->name] = offset;
+        }
+      }
+      collect_locals(s->body);
+      collect_locals(s->else_body);
+    }
+  }
+
+  void gen_function(const Function& fn) {
+    fn_ = &fn;
+    locals_.clear();
+    params_.clear();
+    label_counter_ = 0;
+    loop_stack_.clear();
+
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+      params_[fn.params[i]] = 8 + 4 * static_cast<int>(i);
+    }
+    collect_locals(fn.body);
+
+    raw(".func " + fn.name);
+    emit_label(fn.name);
+    emit("push %ebp");
+    emit("mov %esp, %ebp");
+    if (!locals_.empty()) {
+      emit("sub $" + std::to_string(4 * locals_.size()) + ", %esp");
+    }
+    gen_stmts(fn.body);
+    emit_label(epilogue_label());
+    emit("leave");
+    emit("ret");
+    raw(".endfunc");
+    raw("");
+    fn_ = nullptr;
+  }
+
+  void gen_stmts(const std::vector<StmtPtr>& stmts) {
+    for (const StmtPtr& s : stmts) gen_stmt(*s);
+  }
+
+  void gen_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case Stmt::Kind::VarDecl:
+        if (s.value) {
+          gen_expr(*s.value);
+          emit(kfi::format("mov %%eax, %d(%%ebp)", locals_.at(s.name)));
+        }
+        break;
+      case Stmt::Kind::Assign: {
+        gen_expr(*s.value);
+        if (const auto local = locals_.find(s.name); local != locals_.end()) {
+          emit(kfi::format("mov %%eax, %d(%%ebp)", local->second));
+          break;
+        }
+        if (const auto param = params_.find(s.name); param != params_.end()) {
+          emit(kfi::format("mov %%eax, %d(%%ebp)", param->second));
+          break;
+        }
+        const auto sym = symbols_.find(s.name);
+        if (sym != symbols_.end() && (sym->second == SymKind::Global ||
+                                      sym->second == SymKind::Extern)) {
+          emit("mov %eax, " + s.name);
+          break;
+        }
+        error(s.line, "cannot assign to '" + s.name + "'");
+        break;
+      }
+      case Stmt::Kind::MemAssign: {
+        gen_expr(*s.addr);
+        emit("push %eax");
+        gen_expr(*s.value);
+        emit("pop %ecx");
+        emit(s.byte_access ? "movb %al, (%ecx)" : "mov %eax, (%ecx)");
+        break;
+      }
+      case Stmt::Kind::If: {
+        const std::string else_label = fresh_label();
+        gen_expr(*s.value);
+        emit("test %eax, %eax");
+        emit("je " + else_label);
+        gen_stmts(s.body);
+        if (s.else_body.empty()) {
+          emit_label(else_label);
+        } else {
+          const std::string end_label = fresh_label();
+          emit("jmp " + end_label);
+          emit_label(else_label);
+          gen_stmts(s.else_body);
+          emit_label(end_label);
+        }
+        break;
+      }
+      case Stmt::Kind::While: {
+        const std::string head = fresh_label();
+        const std::string end = fresh_label();
+        emit_label(head);
+        gen_expr(*s.value);
+        emit("test %eax, %eax");
+        emit("je " + end);
+        loop_stack_.push_back({head, end});
+        gen_stmts(s.body);
+        loop_stack_.pop_back();
+        emit("jmp " + head);
+        emit_label(end);
+        break;
+      }
+      case Stmt::Kind::Return:
+        if (s.value) gen_expr(*s.value);
+        emit("jmp " + epilogue_label());
+        break;
+      case Stmt::Kind::Goto:
+        emit("jmp " + user_label(s.name));
+        break;
+      case Stmt::Kind::Label:
+        emit_label(user_label(s.name));
+        break;
+      case Stmt::Kind::Break:
+        if (loop_stack_.empty()) {
+          error(s.line, "break outside loop");
+        } else {
+          emit("jmp " + loop_stack_.back().second);
+        }
+        break;
+      case Stmt::Kind::Continue:
+        if (loop_stack_.empty()) {
+          error(s.line, "continue outside loop");
+        } else {
+          emit("jmp " + loop_stack_.back().first);
+        }
+        break;
+      case Stmt::Kind::ExprStmt:
+        gen_expr(*s.value);
+        break;
+      case Stmt::Kind::Asm:
+        emit(s.name);
+        break;
+      case Stmt::Kind::Assert: {
+        // BUG(): if the condition fails, execute ud2 — the kernel's
+        // assertion idiom the paper highlights (Table 7, example 4).
+        const std::string ok = fresh_label();
+        gen_expr(*s.value);
+        emit("test %eax, %eax");
+        emit("jne " + ok);
+        emit("ud2a");
+        emit_label(ok);
+        break;
+      }
+    }
+  }
+
+  // ---- expressions: result in %eax ----
+  void gen_expr(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::Number:
+        emit(kfi::format("mov $%d, %%eax",
+                         static_cast<std::int32_t>(e.number)));
+        break;
+      case Expr::Kind::Ident: {
+        if (const auto local = locals_.find(e.name); local != locals_.end()) {
+          emit(kfi::format("mov %d(%%ebp), %%eax", local->second));
+          return;
+        }
+        if (const auto param = params_.find(e.name); param != params_.end()) {
+          emit(kfi::format("mov %d(%%ebp), %%eax", param->second));
+          return;
+        }
+        const auto sym = symbols_.find(e.name);
+        if (sym == symbols_.end()) {
+          error(e.line, "undeclared identifier '" + e.name + "'");
+          return;
+        }
+        switch (sym->second) {
+          case SymKind::Const:
+            emit(kfi::format("mov $%d, %%eax",
+                             static_cast<std::int32_t>(consts_.at(e.name))));
+            break;
+          case SymKind::Global:
+          case SymKind::Extern:
+            emit("mov " + e.name + ", %eax");
+            break;
+          case SymKind::Array:
+            emit("mov $" + e.name + ", %eax");
+            break;
+        }
+        break;
+      }
+      case Expr::Kind::AddrOf: {
+        const auto sym = symbols_.find(e.name);
+        if (sym == symbols_.end() ||
+            (sym->second != SymKind::Global && sym->second != SymKind::Array &&
+             sym->second != SymKind::Extern)) {
+          error(e.line, "'&' requires a global, array, or extern");
+          return;
+        }
+        emit("mov $" + e.name + ", %eax");
+        break;
+      }
+      case Expr::Kind::String: {
+        const std::string label =
+            "str_" + std::string(unit_) + "_" + std::to_string(string_counter_++);
+        std::string escaped;
+        for (const char c : e.str) {
+          switch (c) {
+            case '\n': escaped += "\\n"; break;
+            case '\t': escaped += "\\t"; break;
+            case '"': escaped += "\\\""; break;
+            case '\\': escaped += "\\\\"; break;
+            case '\0': escaped += "\\0"; break;
+            default: escaped.push_back(c); break;
+          }
+        }
+        data(label + ":");
+        data("  .ascii \"" + escaped + "\\0\"");
+        emit("mov $" + label + ", %eax");
+        break;
+      }
+      case Expr::Kind::MemWord:
+        gen_expr(*e.lhs);
+        emit("mov (%eax), %eax");
+        break;
+      case Expr::Kind::MemByte:
+        gen_expr(*e.lhs);
+        emit("movzbl (%eax), %eax");
+        break;
+      case Expr::Kind::Unary:
+        gen_expr(*e.lhs);
+        if (e.op == "-") {
+          emit("neg %eax");
+        } else if (e.op == "~") {
+          emit("not %eax");
+        } else {  // !
+          emit("test %eax, %eax");
+          emit("sete %al");
+          emit("movzbl %al, %eax");
+        }
+        break;
+      case Expr::Kind::Binary:
+        gen_binary(e);
+        break;
+      case Expr::Kind::Call: {
+        if (locals_.count(e.name) != 0 || params_.count(e.name) != 0) {
+          error(e.line, "'" + e.name + "' is not callable");
+          return;
+        }
+        for (auto it = e.args.rbegin(); it != e.args.rend(); ++it) {
+          gen_expr(**it);
+          emit("push %eax");
+        }
+        emit("call " + e.name);
+        if (!e.args.empty()) {
+          emit(kfi::format("add $%zu, %%esp", 4 * e.args.size()));
+        }
+        break;
+      }
+    }
+  }
+
+  void gen_binary(const Expr& e) {
+    // Short-circuit logicals.
+    if (e.op == "&&" || e.op == "||") {
+      const std::string out = fresh_label();
+      const std::string rhs = fresh_label();
+      gen_expr(*e.lhs);
+      emit("test %eax, %eax");
+      if (e.op == "&&") {
+        emit("jne " + rhs);
+        emit("mov $0, %eax");
+        emit("jmp " + out);
+      } else {
+        emit("je " + rhs);
+        emit("mov $1, %eax");
+        emit("jmp " + out);
+      }
+      emit_label(rhs);
+      gen_expr(*e.rhs);
+      emit("test %eax, %eax");
+      emit("setne %al");
+      emit("movzbl %al, %eax");
+      emit_label(out);
+      return;
+    }
+
+    gen_expr(*e.lhs);
+    emit("push %eax");
+    gen_expr(*e.rhs);
+    emit("mov %eax, %ecx");
+    emit("pop %eax");
+
+    static const std::map<std::string_view, std::string_view> setcc = {
+        {"==", "sete"},  {"!=", "setne"}, {"<", "setl"},   {"<=", "setle"},
+        {">", "setg"},   {">=", "setge"}, {"<u", "setb"},  {"<=u", "setbe"},
+        {">u", "seta"},  {">=u", "setae"},
+    };
+
+    if (e.op == "+") {
+      emit("add %ecx, %eax");
+    } else if (e.op == "-") {
+      emit("sub %ecx, %eax");
+    } else if (e.op == "*") {
+      emit("imul %ecx, %eax");
+    } else if (e.op == "/") {
+      emit("mov $0, %edx");
+      emit("div %ecx");
+    } else if (e.op == "%") {
+      emit("mov $0, %edx");
+      emit("div %ecx");
+      emit("mov %edx, %eax");
+    } else if (e.op == "&") {
+      emit("and %ecx, %eax");
+    } else if (e.op == "|") {
+      emit("or %ecx, %eax");
+    } else if (e.op == "^") {
+      emit("xor %ecx, %eax");
+    } else if (e.op == "<<") {
+      emit("shl %cl, %eax");
+    } else if (e.op == ">>") {
+      emit("shr %cl, %eax");
+    } else if (const auto it = setcc.find(e.op); it != setcc.end()) {
+      emit("cmp %ecx, %eax");
+      emit(std::string(it->second) + " %al");
+      emit("movzbl %al, %eax");
+    } else {
+      error(e.line, "unsupported operator '" + e.op + "'");
+    }
+  }
+
+  const Program& program_;
+  std::string_view unit_;
+  std::string text_;
+  std::string data_;
+  std::vector<std::string> errors_;
+
+  std::map<std::string, SymKind> symbols_;
+  std::map<std::string, std::int64_t> consts_;
+  std::set<std::string> function_names_;
+
+  const Function* fn_ = nullptr;
+  std::map<std::string, int> locals_;
+  std::map<std::string, int> params_;
+  std::vector<std::pair<std::string, std::string>> loop_stack_;
+  int label_counter_ = 0;
+  int string_counter_ = 0;
+};
+
+}  // namespace
+
+CompileResult generate(const Program& program, std::string_view unit_name) {
+  return Codegen(program, unit_name).run();
+}
+
+CompileResult compile(std::string_view source, std::string_view unit_name) {
+  ParseResult parsed = parse(source);
+  if (!parsed.ok) {
+    CompileResult result;
+    result.errors = std::move(parsed.errors);
+    return result;
+  }
+  return generate(parsed.program, unit_name);
+}
+
+}  // namespace kfi::minic

@@ -1,0 +1,27 @@
+// MiniC code generator: AST -> kasm text (one text stream for the code
+// section, one for the data section; they are assembled at different
+// base addresses by the kernel builder).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "minic/ast.h"
+
+namespace kfi::minic {
+
+struct CompileResult {
+  bool ok = false;
+  std::string text_asm;
+  std::string data_asm;
+  std::vector<std::string> errors;
+};
+
+// `unit_name` disambiguates generated data labels across units.
+CompileResult generate(const Program& program, std::string_view unit_name);
+
+// Convenience: parse + generate.
+CompileResult compile(std::string_view source, std::string_view unit_name);
+
+}  // namespace kfi::minic

@@ -1,0 +1,171 @@
+#include "minic/lexer.h"
+
+#include <cctype>
+
+namespace kfi::minic {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+LexResult lex(std::string_view src) {
+  LexResult result;
+  int line = 1;
+  std::size_t i = 0;
+
+  auto error = [&](const std::string& message) {
+    result.errors.push_back("line " + std::to_string(line) + ": " + message);
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    // Comments: // to end of line, /* ... */
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= src.size()) {
+        error("unterminated block comment");
+        return result;
+      }
+      i += 2;
+      continue;
+    }
+
+    Token tok;
+    tok.line = line;
+
+    if (ident_start(c)) {
+      std::size_t start = i;
+      while (i < src.size() && ident_char(src[i])) ++i;
+      tok.kind = TokKind::Ident;
+      tok.text = std::string(src.substr(start, i - start));
+      result.tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = i;
+      int base = 10;
+      if (c == '0' && i + 1 < src.size() &&
+          (src[i + 1] == 'x' || src[i + 1] == 'X')) {
+        base = 16;
+        i += 2;
+      }
+      std::int64_t value = 0;
+      bool any = base == 10;  // "0" alone is fine
+      while (i < src.size()) {
+        const char d = src[i];
+        int digit = -1;
+        if (d >= '0' && d <= '9') digit = d - '0';
+        else if (base == 16 && d >= 'a' && d <= 'f') digit = d - 'a' + 10;
+        else if (base == 16 && d >= 'A' && d <= 'F') digit = d - 'A' + 10;
+        else break;
+        value = value * base + digit;
+        any = true;
+        ++i;
+      }
+      if (!any) {
+        error("malformed number");
+        return result;
+      }
+      if (i < src.size() && ident_char(src[i])) {
+        error("malformed number suffix");
+        return result;
+      }
+      tok.kind = TokKind::Number;
+      tok.number = value;
+      tok.text = std::string(src.substr(start, i - start));
+      result.tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    if (c == '"') {
+      ++i;
+      tok.kind = TokKind::String;
+      while (i < src.size() && src[i] != '"') {
+        char ch = src[i];
+        if (ch == '\n') {
+          error("newline in string literal");
+          return result;
+        }
+        if (ch == '\\' && i + 1 < src.size()) {
+          ++i;
+          switch (src[i]) {
+            case 'n': ch = '\n'; break;
+            case 't': ch = '\t'; break;
+            case '0': ch = '\0'; break;
+            case '\\': ch = '\\'; break;
+            case '"': ch = '"'; break;
+            default: ch = src[i]; break;
+          }
+        }
+        tok.text.push_back(ch);
+        ++i;
+      }
+      if (i >= src.size()) {
+        error("unterminated string literal");
+        return result;
+      }
+      ++i;  // closing quote
+      result.tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    // Punctuation / operators, longest match first.
+    static constexpr std::string_view multi[] = {
+        "<=u", ">=u", "<<", ">>", "<=", ">=", "==", "!=",
+        "&&",  "||",  "<u", ">u",
+    };
+    tok.kind = TokKind::Punct;
+    bool matched = false;
+    for (const auto& m : multi) {
+      if (src.substr(i, m.size()) == m) {
+        tok.text = std::string(m);
+        i += m.size();
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      static constexpr std::string_view single = "+-*/%&|^~!<>=(){}[],;:";
+      if (single.find(c) == std::string_view::npos) {
+        error(std::string("unexpected character '") + c + "'");
+        return result;
+      }
+      tok.text = std::string(1, c);
+      ++i;
+    }
+    result.tokens.push_back(std::move(tok));
+  }
+
+  Token end;
+  end.kind = TokKind::End;
+  end.line = line;
+  result.tokens.push_back(std::move(end));
+  result.ok = result.errors.empty();
+  return result;
+}
+
+}  // namespace kfi::minic

@@ -1,0 +1,42 @@
+// MiniC lexer.
+//
+// MiniC is the small C-like language the simulated kernel and the
+// UnixBench-like workloads are written in.  Tokens:
+//   identifiers, integer literals (decimal / 0x hex), string literals,
+//   keywords (func, var, global, array, const, extern, if, else, while,
+//   return, goto, break, continue, asm, assert, mem, memb),
+//   operators incl. unsigned comparisons <u <=u >u >=u (must be written
+//   without a space between '<' and 'u').
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kfi::minic {
+
+enum class TokKind : std::uint8_t {
+  End,
+  Ident,
+  Number,
+  String,
+  Punct,  // operator or punctuation, text in `text`
+};
+
+struct Token {
+  TokKind kind = TokKind::End;
+  std::string text;
+  std::int64_t number = 0;
+  int line = 1;
+};
+
+struct LexResult {
+  bool ok = false;
+  std::vector<Token> tokens;  // terminated by an End token
+  std::vector<std::string> errors;
+};
+
+LexResult lex(std::string_view source);
+
+}  // namespace kfi::minic

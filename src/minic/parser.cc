@@ -1,0 +1,504 @@
+#include "minic/parser.h"
+
+#include <map>
+
+#include "minic/lexer.h"
+
+namespace kfi::minic {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  ParseResult run() {
+    ParseResult result;
+    while (!at_end() && errors_.empty()) {
+      parse_item();
+    }
+    result.errors = std::move(errors_);
+    result.ok = result.errors.empty();
+    result.program = std::move(program_);
+    return result;
+  }
+
+ private:
+  const Token& peek(int ahead = 0) const {
+    const std::size_t at = pos_ + static_cast<std::size_t>(ahead);
+    return at < tokens_.size() ? tokens_[at] : tokens_.back();
+  }
+  const Token& advance() {
+    const Token& t = tokens_[pos_];
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
+  bool at_end() const { return peek().kind == TokKind::End; }
+
+  bool check_punct(std::string_view text) const {
+    return peek().kind == TokKind::Punct && peek().text == text;
+  }
+  bool check_ident(std::string_view text) const {
+    return peek().kind == TokKind::Ident && peek().text == text;
+  }
+  bool match_punct(std::string_view text) {
+    if (!check_punct(text)) return false;
+    advance();
+    return true;
+  }
+  bool match_ident(std::string_view text) {
+    if (!check_ident(text)) return false;
+    advance();
+    return true;
+  }
+
+  void error(const std::string& message) {
+    errors_.push_back("line " + std::to_string(peek().line) + ": " + message);
+    // Recovery: skip to next ';' or '}' to avoid error cascades.
+    while (!at_end() && !check_punct(";") && !check_punct("}")) advance();
+    if (!at_end()) advance();
+  }
+
+  bool expect_punct(std::string_view text) {
+    if (match_punct(text)) return true;
+    error("expected '" + std::string(text) + "', found '" + peek().text + "'");
+    return false;
+  }
+
+  std::string expect_name(const char* what) {
+    if (peek().kind == TokKind::Ident) return advance().text;
+    error(std::string("expected ") + what);
+    return "";
+  }
+
+  // ---- constant expressions (folded at parse time) ----
+  bool eval_const(const Expr& e, std::int64_t& out) {
+    switch (e.kind) {
+      case Expr::Kind::Number:
+        out = e.number;
+        return true;
+      case Expr::Kind::Ident: {
+        const auto it = const_values_.find(e.name);
+        if (it == const_values_.end()) return false;
+        out = it->second;
+        return true;
+      }
+      case Expr::Kind::Unary: {
+        std::int64_t v = 0;
+        if (!eval_const(*e.lhs, v)) return false;
+        if (e.op == "-") out = -v;
+        else if (e.op == "~") out = ~v;
+        else if (e.op == "!") out = v == 0 ? 1 : 0;
+        else return false;
+        return true;
+      }
+      case Expr::Kind::Binary: {
+        std::int64_t a = 0;
+        std::int64_t b = 0;
+        if (!eval_const(*e.lhs, a) || !eval_const(*e.rhs, b)) return false;
+        if (e.op == "+") out = a + b;
+        else if (e.op == "-") out = a - b;
+        else if (e.op == "*") out = a * b;
+        else if (e.op == "/") { if (b == 0) return false; out = a / b; }
+        else if (e.op == "%") { if (b == 0) return false; out = a % b; }
+        else if (e.op == "<<") out = a << (b & 31);
+        else if (e.op == ">>") out = static_cast<std::int64_t>(
+                 static_cast<std::uint32_t>(a) >> (b & 31));
+        else if (e.op == "&") out = a & b;
+        else if (e.op == "|") out = a | b;
+        else if (e.op == "^") out = a ^ b;
+        else return false;
+        return true;
+      }
+      default:
+        return false;
+    }
+  }
+
+  // ---- top level ----
+  void parse_item() {
+    if (match_ident("const")) {
+      const std::string name = expect_name("const name");
+      if (name.empty()) return;
+      if (!expect_punct("=")) return;
+      ExprPtr e = parse_expr();
+      if (!e) return;
+      std::int64_t value = 0;
+      if (!eval_const(*e, value)) {
+        error("const initializer must be a constant expression");
+        return;
+      }
+      expect_punct(";");
+      const_values_[name] = value;
+      program_.consts.emplace_back(name, value);
+      return;
+    }
+    if (match_ident("global")) {
+      Global g;
+      g.line = peek().line;
+      g.name = expect_name("global name");
+      if (g.name.empty()) return;
+      if (match_punct("=")) {
+        ExprPtr e = parse_expr();
+        if (!e) return;
+        if (!eval_const(*e, g.init)) {
+          error("global initializer must be constant");
+          return;
+        }
+      }
+      expect_punct(";");
+      program_.globals.push_back(std::move(g));
+      return;
+    }
+    if (match_ident("array")) {
+      Array a;
+      a.line = peek().line;
+      a.name = expect_name("array name");
+      if (a.name.empty()) return;
+      if (!expect_punct("[")) return;
+      ExprPtr e = parse_expr();
+      if (!e) return;
+      std::int64_t count = 0;
+      if (!eval_const(*e, count) || count <= 0) {
+        error("array size must be a positive constant");
+        return;
+      }
+      a.count = static_cast<std::uint32_t>(count);
+      expect_punct("]");
+      expect_punct(";");
+      program_.arrays.push_back(std::move(a));
+      return;
+    }
+    if (match_ident("extern")) {
+      const std::string name = expect_name("extern name");
+      if (name.empty()) return;
+      expect_punct(";");
+      program_.externs.push_back(name);
+      return;
+    }
+    if (match_ident("func")) {
+      Function fn;
+      fn.line = peek().line;
+      fn.name = expect_name("function name");
+      if (fn.name.empty()) return;
+      if (!expect_punct("(")) return;
+      if (!check_punct(")")) {
+        while (true) {
+          const std::string p = expect_name("parameter name");
+          if (p.empty()) return;
+          fn.params.push_back(p);
+          if (!match_punct(",")) break;
+        }
+      }
+      if (!expect_punct(")")) return;
+      if (!parse_block(fn.body)) return;
+      program_.functions.push_back(std::move(fn));
+      return;
+    }
+    error("expected top-level item (const/global/array/extern/func)");
+  }
+
+  bool parse_block(std::vector<StmtPtr>& out) {
+    if (!expect_punct("{")) return false;
+    while (!check_punct("}") && !at_end() && errors_.empty()) {
+      StmtPtr s = parse_stmt();
+      if (s) out.push_back(std::move(s));
+      if (!errors_.empty()) return false;
+    }
+    return expect_punct("}");
+  }
+
+  StmtPtr parse_stmt() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->line = peek().line;
+
+    if (match_ident("var")) {
+      stmt->kind = Stmt::Kind::VarDecl;
+      stmt->name = expect_name("variable name");
+      if (stmt->name.empty()) return nullptr;
+      if (match_punct("=")) {
+        stmt->value = parse_expr();
+        if (!stmt->value) return nullptr;
+      }
+      expect_punct(";");
+      return stmt;
+    }
+    if (match_ident("if")) {
+      stmt->kind = Stmt::Kind::If;
+      if (!expect_punct("(")) return nullptr;
+      stmt->value = parse_expr();
+      if (!stmt->value) return nullptr;
+      if (!expect_punct(")")) return nullptr;
+      if (!parse_block(stmt->body)) return nullptr;
+      if (match_ident("else")) {
+        if (check_ident("if")) {
+          StmtPtr nested = parse_stmt();
+          if (!nested) return nullptr;
+          stmt->else_body.push_back(std::move(nested));
+        } else if (!parse_block(stmt->else_body)) {
+          return nullptr;
+        }
+      }
+      return stmt;
+    }
+    if (match_ident("while")) {
+      stmt->kind = Stmt::Kind::While;
+      if (!expect_punct("(")) return nullptr;
+      stmt->value = parse_expr();
+      if (!stmt->value) return nullptr;
+      if (!expect_punct(")")) return nullptr;
+      if (!parse_block(stmt->body)) return nullptr;
+      return stmt;
+    }
+    if (match_ident("return")) {
+      stmt->kind = Stmt::Kind::Return;
+      if (!check_punct(";")) {
+        stmt->value = parse_expr();
+        if (!stmt->value) return nullptr;
+      }
+      expect_punct(";");
+      return stmt;
+    }
+    if (match_ident("goto")) {
+      stmt->kind = Stmt::Kind::Goto;
+      stmt->name = expect_name("label");
+      expect_punct(";");
+      return stmt;
+    }
+    if (match_ident("break")) {
+      stmt->kind = Stmt::Kind::Break;
+      expect_punct(";");
+      return stmt;
+    }
+    if (match_ident("continue")) {
+      stmt->kind = Stmt::Kind::Continue;
+      expect_punct(";");
+      return stmt;
+    }
+    if (match_ident("asm")) {
+      stmt->kind = Stmt::Kind::Asm;
+      if (!expect_punct("(")) return nullptr;
+      if (peek().kind != TokKind::String) {
+        error("asm requires a string literal");
+        return nullptr;
+      }
+      stmt->name = advance().text;
+      expect_punct(")");
+      expect_punct(";");
+      return stmt;
+    }
+    if (match_ident("assert")) {
+      stmt->kind = Stmt::Kind::Assert;
+      if (!expect_punct("(")) return nullptr;
+      stmt->value = parse_expr();
+      if (!stmt->value) return nullptr;
+      expect_punct(")");
+      expect_punct(";");
+      return stmt;
+    }
+    if ((check_ident("mem") || check_ident("memb")) &&
+        peek(1).kind == TokKind::Punct && peek(1).text == "[") {
+      stmt->byte_access = peek().text == "memb";
+      advance();  // mem/memb
+      advance();  // [
+      stmt->addr = parse_expr();
+      if (!stmt->addr) return nullptr;
+      if (!expect_punct("]")) return nullptr;
+      if (match_punct("=")) {
+        stmt->kind = Stmt::Kind::MemAssign;
+        stmt->value = parse_expr();
+        if (!stmt->value) return nullptr;
+        expect_punct(";");
+        return stmt;
+      }
+      error("expected '=' after memory reference");
+      return nullptr;
+    }
+    // label:  |  name = expr;  |  expression;
+    if (peek().kind == TokKind::Ident && peek(1).kind == TokKind::Punct) {
+      if (peek(1).text == ":") {
+        stmt->kind = Stmt::Kind::Label;
+        stmt->name = advance().text;
+        advance();  // :
+        return stmt;
+      }
+      if (peek(1).text == "=") {
+        stmt->kind = Stmt::Kind::Assign;
+        stmt->name = advance().text;
+        advance();  // =
+        stmt->value = parse_expr();
+        if (!stmt->value) return nullptr;
+        expect_punct(";");
+        return stmt;
+      }
+    }
+    stmt->kind = Stmt::Kind::ExprStmt;
+    stmt->value = parse_expr();
+    if (!stmt->value) return nullptr;
+    expect_punct(";");
+    return stmt;
+  }
+
+  // ---- expressions ----
+  ExprPtr parse_expr() { return parse_lor(); }
+
+  ExprPtr make_binary(const std::string& op, ExprPtr lhs, ExprPtr rhs) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::Binary;
+    e->op = op;
+    e->line = lhs ? lhs->line : 0;
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    return e;
+  }
+
+  template <typename Next>
+  ExprPtr parse_left_assoc(Next next,
+                           std::initializer_list<std::string_view> ops) {
+    ExprPtr lhs = (this->*next)();
+    if (!lhs) return nullptr;
+    while (true) {
+      bool matched = false;
+      for (const auto op : ops) {
+        if (check_punct(op)) {
+          advance();
+          ExprPtr rhs = (this->*next)();
+          if (!rhs) return nullptr;
+          lhs = make_binary(std::string(op), std::move(lhs), std::move(rhs));
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) return lhs;
+    }
+  }
+
+  ExprPtr parse_lor() {
+    return parse_left_assoc(&Parser::parse_land, {"||"});
+  }
+  ExprPtr parse_land() {
+    return parse_left_assoc(&Parser::parse_bor, {"&&"});
+  }
+  ExprPtr parse_bor() {
+    return parse_left_assoc(&Parser::parse_bxor, {"|"});
+  }
+  ExprPtr parse_bxor() {
+    return parse_left_assoc(&Parser::parse_band, {"^"});
+  }
+  ExprPtr parse_band() {
+    return parse_left_assoc(&Parser::parse_eq, {"&"});
+  }
+  ExprPtr parse_eq() {
+    return parse_left_assoc(&Parser::parse_rel, {"==", "!="});
+  }
+  ExprPtr parse_rel() {
+    return parse_left_assoc(&Parser::parse_shift,
+                            {"<=u", ">=u", "<u", ">u", "<=", ">=", "<", ">"});
+  }
+  ExprPtr parse_shift() {
+    return parse_left_assoc(&Parser::parse_add, {"<<", ">>"});
+  }
+  ExprPtr parse_add() {
+    return parse_left_assoc(&Parser::parse_mul, {"+", "-"});
+  }
+  ExprPtr parse_mul() {
+    return parse_left_assoc(&Parser::parse_unary, {"*", "/", "%"});
+  }
+
+  ExprPtr parse_unary() {
+    for (const std::string_view op : {"-", "~", "!"}) {
+      if (check_punct(op)) {
+        const int line = peek().line;
+        advance();
+        ExprPtr operand = parse_unary();
+        if (!operand) return nullptr;
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::Unary;
+        e->op = std::string(op);
+        e->line = line;
+        e->lhs = std::move(operand);
+        return e;
+      }
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    auto e = std::make_unique<Expr>();
+    e->line = peek().line;
+
+    if (peek().kind == TokKind::Number) {
+      e->kind = Expr::Kind::Number;
+      e->number = advance().number;
+      return e;
+    }
+    if (peek().kind == TokKind::String) {
+      e->kind = Expr::Kind::String;
+      e->str = advance().text;
+      return e;
+    }
+    if (match_punct("(")) {
+      ExprPtr inner = parse_expr();
+      if (!inner) return nullptr;
+      if (!expect_punct(")")) return nullptr;
+      return inner;
+    }
+    if (match_punct("&")) {
+      e->kind = Expr::Kind::AddrOf;
+      e->name = expect_name("symbol after '&'");
+      if (e->name.empty()) return nullptr;
+      return e;
+    }
+    if ((check_ident("mem") || check_ident("memb")) &&
+        peek(1).kind == TokKind::Punct && peek(1).text == "[") {
+      e->kind = peek().text == "mem" ? Expr::Kind::MemWord
+                                     : Expr::Kind::MemByte;
+      advance();
+      advance();
+      e->lhs = parse_expr();
+      if (!e->lhs) return nullptr;
+      if (!expect_punct("]")) return nullptr;
+      return e;
+    }
+    if (peek().kind == TokKind::Ident) {
+      e->name = advance().text;
+      if (match_punct("(")) {
+        e->kind = Expr::Kind::Call;
+        if (!check_punct(")")) {
+          while (true) {
+            ExprPtr arg = parse_expr();
+            if (!arg) return nullptr;
+            e->args.push_back(std::move(arg));
+            if (!match_punct(",")) break;
+          }
+        }
+        if (!expect_punct(")")) return nullptr;
+        return e;
+      }
+      e->kind = Expr::Kind::Ident;
+      return e;
+    }
+    error("expected expression, found '" + peek().text + "'");
+    return nullptr;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::vector<std::string> errors_;
+  Program program_;
+  std::map<std::string, std::int64_t> const_values_;
+};
+
+}  // namespace
+
+ParseResult parse(std::string_view source) {
+  LexResult lexed = lex(source);
+  if (!lexed.ok) {
+    ParseResult result;
+    result.errors = std::move(lexed.errors);
+    return result;
+  }
+  Parser parser(std::move(lexed.tokens));
+  return parser.run();
+}
+
+}  // namespace kfi::minic

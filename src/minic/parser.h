@@ -1,0 +1,19 @@
+// MiniC recursive-descent parser.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "minic/ast.h"
+
+namespace kfi::minic {
+
+struct ParseResult {
+  bool ok = false;
+  Program program;
+  std::vector<std::string> errors;
+};
+
+ParseResult parse(std::string_view source);
+
+}  // namespace kfi::minic

@@ -1,0 +1,53 @@
+#include "support/histogram.h"
+
+#include <cassert>
+
+#include "support/strings.h"
+
+namespace kfi {
+
+Histogram::Histogram(std::vector<std::uint64_t> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    assert(bounds_[i] > bounds_[i - 1] && "bounds must strictly increase");
+  }
+}
+
+Histogram Histogram::latency_decades() {
+  return Histogram({10, 100, 1000, 10000, 100000});
+}
+
+void Histogram::add(std::uint64_t value) {
+  std::size_t bucket = bounds_.size();
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++counts_[bucket];
+  ++total_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  assert(bounds_ == other.bounds_ && "incompatible histograms");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
+double Histogram::share(std::size_t bucket) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(bucket)) /
+         static_cast<double>(total_);
+}
+
+std::string Histogram::bucket_label(std::size_t bucket) const {
+  if (bucket < bounds_.size()) {
+    return "<=" + std::to_string(bounds_[bucket]);
+  }
+  return ">" + std::to_string(bounds_.back());
+}
+
+}  // namespace kfi

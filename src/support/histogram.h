@@ -1,0 +1,39 @@
+// Bucketed histogram used for the crash-latency distributions (Figure 7).
+//
+// The paper buckets latencies by decade of CPU cycles: <=10, <=100, ...,
+// >100k.  Histogram is generic over explicit bucket upper bounds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kfi {
+
+class Histogram {
+ public:
+  // `upper_bounds` must be strictly increasing; a final implicit
+  // "overflow" bucket catches everything above the last bound.
+  explicit Histogram(std::vector<std::uint64_t> upper_bounds);
+
+  // The paper's latency decades: 10, 100, 1k, 10k, 100k (+ >100k).
+  static Histogram latency_decades();
+
+  void add(std::uint64_t value);
+  void merge(const Histogram& other);
+
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bucket) const { return counts_.at(bucket); }
+  std::uint64_t total() const { return total_; }
+  double share(std::size_t bucket) const;
+
+  // "<=10", "<=100", ..., ">100000"
+  std::string bucket_label(std::size_t bucket) const;
+
+ private:
+  std::vector<std::uint64_t> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace kfi

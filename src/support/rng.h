@@ -1,0 +1,76 @@
+// Deterministic pseudo-random number generation for reproducible campaigns.
+//
+// Every stochastic choice in the framework (which bit to flip, sampling
+// jitter, workload variation) draws from an Rng seeded explicitly by the
+// caller, so an entire injection campaign can be replayed run-by-run.
+#pragma once
+
+#include <cstdint>
+
+namespace kfi {
+
+// xoshiro256** with a splitmix64 seeder.  Small, fast, well distributed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    // splitmix64 to spread a small seed over the full state.
+    auto next = [&seed]() noexcept {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+    for (auto& word : state_) word = next();
+  }
+
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  std::uint32_t next_u32() noexcept {
+    return static_cast<std::uint32_t>(next_u64() >> 32);
+  }
+
+  // Uniform in [0, bound).  bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    // Rejection-free (biased < 2^-32 for our bounds) multiply-shift.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Bernoulli draw with probability p (clamped to [0,1]).
+  bool chance(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53 < p;
+  }
+
+  // A random bit index within a byte: [0, 7].
+  int bit_in_byte() noexcept { return static_cast<int>(below(8)); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace kfi

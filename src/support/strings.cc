@@ -1,0 +1,98 @@
+#include "support/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace kfi {
+
+std::string hex32(std::uint32_t value) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%08x", value);
+  return buf;
+}
+
+std::string hex32_prefixed(std::uint32_t value) {
+  return "0x" + hex32(value);
+}
+
+std::string hex_bytes(const std::uint8_t* data, std::size_t size) {
+  std::string out;
+  out.reserve(size * 3);
+  for (std::size_t i = 0; i < size; ++i) {
+    char buf[4];
+    std::snprintf(buf, sizeof buf, "%02x", data[i]);
+    if (i != 0) out.push_back(' ');
+    out += buf;
+  }
+  return out;
+}
+
+std::string hex_bytes(const std::vector<std::uint8_t>& bytes) {
+  return hex_bytes(bytes.data(), bytes.size());
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find(sep, start);
+    if (end == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      break;
+    }
+    parts.emplace_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t' ||
+                           text.front() == '\r' || text.front() == '\n')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t' ||
+                           text.back() == '\r' || text.back() == '\n')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string with_commas(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  const std::size_t n = digits.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != 0 && (n - i) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string percent(double numerator, double denominator) {
+  if (denominator <= 0.0) return "0.0%";
+  return format("%.1f%%", 100.0 * numerator / denominator);
+}
+
+}  // namespace kfi

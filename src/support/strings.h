@@ -1,0 +1,36 @@
+// Small string utilities shared across modules: hex formatting in the
+// style of kernel oops messages, splitting, trimming and printf-style
+// formatting into std::string.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kfi {
+
+// "c0130a33" — lowercase, zero-padded 8 digits, as Linux prints EIPs.
+std::string hex32(std::uint32_t value);
+
+// "0xc0130a33"
+std::string hex32_prefixed(std::uint32_t value);
+
+// "74 56" — space-separated lowercase byte dump.
+std::string hex_bytes(const std::uint8_t* data, std::size_t size);
+std::string hex_bytes(const std::vector<std::uint8_t>& bytes);
+
+// printf into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+std::vector<std::string> split(std::string_view text, char sep);
+std::string_view trim(std::string_view text);
+bool starts_with(std::string_view text, std::string_view prefix);
+
+// "12,345" — thousands separators for table rendering.
+std::string with_commas(std::uint64_t value);
+
+// "12.3%" with one decimal, as the paper's tables print shares.
+std::string percent(double numerator, double denominator);
+
+}  // namespace kfi

@@ -1,0 +1,40 @@
+#include "vm/bus.h"
+
+#include <cassert>
+
+#include "vm/layout.h"
+
+namespace kfi::vm {
+
+void Bus::attach(std::uint32_t base, std::uint32_t size, Device* device) {
+  assert(base >= kMmioBase && (base & kPageMask) == 0 && device != nullptr);
+  mappings_.push_back({base, size, device});
+}
+
+Device* Bus::find(std::uint32_t addr, std::uint32_t& offset) {
+  for (const Mapping& m : mappings_) {
+    if (addr >= m.base && addr - m.base < m.size) {
+      offset = addr - m.base;
+      return m.device;
+    }
+  }
+  return nullptr;
+}
+
+bool Bus::read32(std::uint32_t addr, std::uint32_t& value) {
+  std::uint32_t offset = 0;
+  Device* device = find(addr, offset);
+  if (device == nullptr) return false;
+  value = device->mmio_read(offset);
+  return true;
+}
+
+bool Bus::write32(std::uint32_t addr, std::uint32_t value) {
+  std::uint32_t offset = 0;
+  Device* device = find(addr, offset);
+  if (device == nullptr) return false;
+  device->mmio_write(offset, value);
+  return true;
+}
+
+}  // namespace kfi::vm

@@ -1,0 +1,41 @@
+// MMIO device bus.
+//
+// Devices sit above kMmioBase (virtual == physical, supervisor-only).
+// All device access is 32-bit; sub-word access to MMIO raises #GP in the
+// CPU before reaching the bus.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace kfi::vm {
+
+class Device {
+ public:
+  virtual ~Device() = default;
+  virtual std::uint32_t mmio_read(std::uint32_t offset) = 0;
+  virtual void mmio_write(std::uint32_t offset, std::uint32_t value) = 0;
+};
+
+class Bus {
+ public:
+  // Registers `device` at [base, base+size).  Base must be page-aligned
+  // and above kMmioBase.  The bus does not own the device.
+  void attach(std::uint32_t base, std::uint32_t size, Device* device);
+
+  // Returns false if no device claims the address (surfaces as #GP).
+  bool read32(std::uint32_t addr, std::uint32_t& value);
+  bool write32(std::uint32_t addr, std::uint32_t value);
+
+ private:
+  struct Mapping {
+    std::uint32_t base;
+    std::uint32_t size;
+    Device* device;
+  };
+  Device* find(std::uint32_t addr, std::uint32_t& offset);
+  std::vector<Mapping> mappings_;
+};
+
+}  // namespace kfi::vm

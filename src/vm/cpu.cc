@@ -1,0 +1,858 @@
+#include "vm/cpu.h"
+
+namespace kfi::vm {
+
+using isa::Cond;
+using isa::DecodeStatus;
+using isa::Flags;
+using isa::Instruction;
+using isa::Op;
+using isa::Operand;
+using isa::OperandKind;
+using isa::Reg;
+using isa::Trap;
+
+namespace {
+
+bool parity_even(std::uint8_t byte) {
+  return (__builtin_popcount(byte) & 1) == 0;
+}
+
+}  // namespace
+
+Cpu::Cpu(PhysicalMemory& memory, Bus& bus)
+    : memory_(memory), bus_(bus), mmu_(memory),
+      decode_cache_(kDecodeCacheSize) {}
+
+void Cpu::set_vector(int vector, std::uint32_t handler_vaddr) {
+  vectors_[vector & 0xFF] = handler_vaddr;
+}
+
+void Cpu::arm_breakpoint(int index, std::uint32_t vaddr) {
+  debug_[index & 3].enabled = true;
+  debug_[index & 3].addr = vaddr;
+}
+
+void Cpu::disarm_breakpoint(int index) { debug_[index & 3].enabled = false; }
+
+// ---------------------------------------------------------------------
+// Trap delivery
+// ---------------------------------------------------------------------
+
+bool Cpu::deliver(Trap trap, std::uint32_t error_code, std::uint32_t addr,
+                  int depth) {
+  if (depth > 1) {
+    // Fault while delivering the double fault: the machine is gone
+    // ("triple fault" — a hard hang on real hardware).
+    dead_ = true;
+    return false;
+  }
+
+  last_trap_.trap = trap;
+  last_trap_.error_code = error_code;
+  last_trap_.fault_addr = addr;
+  last_trap_.faulting_eip = eip_;
+  last_trap_.faulting_cpl = cpl_;
+  last_trap_.cycle = cycles_;
+
+  const std::uint32_t handler = vectors_[static_cast<int>(trap)];
+  if (handler == 0) {
+    if (trap == Trap::DoubleFault) {
+      dead_ = true;
+      return false;
+    }
+    return deliver(Trap::DoubleFault, static_cast<std::uint32_t>(trap), addr,
+                   depth + 1);
+  }
+
+  // Stack switch on privilege change: esp0 lives in the TSS page.
+  std::uint32_t new_esp = regs_[static_cast<int>(Reg::Esp)];
+  if (cpl_ == 3) {
+    if (!memory_.contains(kTssPhys, 4)) {
+      dead_ = true;
+      return false;
+    }
+    new_esp = memory_.read32(kTssPhys);
+  }
+
+  const std::uint32_t old_esp = regs_[static_cast<int>(Reg::Esp)];
+  const std::uint32_t old_eflags = flags_.to_word();
+  const std::uint32_t old_eip = eip_;
+  const std::uint32_t old_cpl = static_cast<std::uint32_t>(cpl_);
+
+  // Push the 6-word trap frame with supervisor rights.
+  const std::uint32_t words[6] = {addr,      error_code, old_cpl,
+                                  old_esp,   old_eflags, old_eip};
+  for (const std::uint32_t word : words) {
+    new_esp -= 4;
+    std::uint32_t paddr = 0;
+    bool ok = true;
+    if ((new_esp & kPageMask) <= kPageSize - 4) {
+      ok = mmu_.translate(new_esp, Access::Write, 0, paddr) ==
+           TranslateStatus::Ok;
+      if (ok) memory_.write32(paddr, word);
+    } else {
+      for (int i = 0; i < 4 && ok; ++i) {
+        ok = mmu_.translate(new_esp + i, Access::Write, 0, paddr) ==
+             TranslateStatus::Ok;
+        if (ok) memory_.write8(paddr, static_cast<std::uint8_t>(word >> (8 * i)));
+      }
+    }
+    if (!ok) {
+      return deliver(Trap::DoubleFault, static_cast<std::uint32_t>(trap),
+                     new_esp, depth + 1);
+    }
+  }
+
+  regs_[static_cast<int>(Reg::Esp)] = new_esp;
+  cpl_ = 0;
+  eip_ = handler;
+  flags_.intf = false;  // interrupt gate semantics
+  halted_ = false;
+  return true;
+}
+
+bool Cpu::raise(Trap trap, std::uint32_t error_code, std::uint32_t addr) {
+  deliver(trap, error_code, addr, 0);
+  return false;  // instruction aborted
+}
+
+bool Cpu::deliver_interrupt(Trap trap) {
+  if (dead_ || !flags_.intf) return false;
+  halted_ = false;
+  return deliver(trap, 0, 0, 0);
+}
+
+// ---------------------------------------------------------------------
+// Guest memory access
+// ---------------------------------------------------------------------
+
+bool Cpu::read_v(std::uint32_t vaddr, std::uint32_t size,
+                 std::uint32_t& value) {
+  std::uint32_t paddr = 0;
+  const TranslateStatus status =
+      mmu_.translate(vaddr, Access::Read, cpl_, paddr);
+  switch (status) {
+    case TranslateStatus::Ok:
+      break;
+    case TranslateStatus::Mmio: {
+      if (size != 4 || (vaddr & 3) != 0) {
+        return raise(Trap::GpFault, 0, vaddr);
+      }
+      if (!bus_.read32(vaddr, value)) return raise(Trap::GpFault, 0, vaddr);
+      return true;
+    }
+    case TranslateStatus::NotPresent:
+      return raise(Trap::PageFault, (cpl_ == 3 ? kPfErrUser : 0), vaddr);
+    case TranslateStatus::Protection:
+      return raise(Trap::PageFault,
+                   kPfErrPresent | (cpl_ == 3 ? kPfErrUser : 0), vaddr);
+    case TranslateStatus::BadPhysical:
+      return raise(Trap::PageFault, (cpl_ == 3 ? kPfErrUser : 0), vaddr);
+  }
+
+  if (size == 1) {
+    value = memory_.read8(paddr);
+    return true;
+  }
+  if ((vaddr & kPageMask) <= kPageSize - 4) {
+    value = memory_.read32(paddr);
+    return true;
+  }
+  // Page-crossing 32-bit read: translate per byte.
+  value = 0;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    std::uint32_t b = 0;
+    if (!read_v(vaddr + i, 1, b)) return false;
+    value |= b << (8 * i);
+  }
+  return true;
+}
+
+bool Cpu::write_v(std::uint32_t vaddr, std::uint32_t size,
+                  std::uint32_t value) {
+  std::uint32_t paddr = 0;
+  const TranslateStatus status =
+      mmu_.translate(vaddr, Access::Write, cpl_, paddr);
+  switch (status) {
+    case TranslateStatus::Ok:
+      break;
+    case TranslateStatus::Mmio: {
+      if (size != 4 || (vaddr & 3) != 0) {
+        return raise(Trap::GpFault, 0, vaddr);
+      }
+      if (!bus_.write32(vaddr, value)) return raise(Trap::GpFault, 0, vaddr);
+      return true;
+    }
+    case TranslateStatus::NotPresent:
+      return raise(Trap::PageFault,
+                   kPfErrWrite | (cpl_ == 3 ? kPfErrUser : 0), vaddr);
+    case TranslateStatus::Protection:
+      return raise(Trap::PageFault,
+                   kPfErrPresent | kPfErrWrite | (cpl_ == 3 ? kPfErrUser : 0),
+                   vaddr);
+    case TranslateStatus::BadPhysical:
+      return raise(Trap::PageFault,
+                   kPfErrWrite | (cpl_ == 3 ? kPfErrUser : 0), vaddr);
+  }
+
+  if (size == 1) {
+    memory_.write8(paddr, static_cast<std::uint8_t>(value));
+    return true;
+  }
+  if ((vaddr & kPageMask) <= kPageSize - 4) {
+    memory_.write32(paddr, value);
+    return true;
+  }
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    if (!write_v(vaddr + i, 1, (value >> (8 * i)) & 0xFF)) return false;
+  }
+  return true;
+}
+
+bool Cpu::push32(std::uint32_t value) {
+  const std::uint32_t esp = regs_[static_cast<int>(Reg::Esp)] - 4;
+  if (!write_v(esp, 4, value)) return false;
+  regs_[static_cast<int>(Reg::Esp)] = esp;
+  return true;
+}
+
+bool Cpu::pop32(std::uint32_t& value) {
+  const std::uint32_t esp = regs_[static_cast<int>(Reg::Esp)];
+  if (!read_v(esp, 4, value)) return false;
+  regs_[static_cast<int>(Reg::Esp)] = esp + 4;
+  return true;
+}
+
+bool Cpu::peek32(std::uint32_t vaddr, std::uint32_t& value) {
+  std::uint32_t paddr = 0;
+  if (mmu_.translate(vaddr, Access::Read, 0, paddr) != TranslateStatus::Ok) {
+    return false;
+  }
+  if ((vaddr & kPageMask) > kPageSize - 4) return false;
+  value = memory_.read32(paddr);
+  return true;
+}
+
+bool Cpu::peek8(std::uint32_t vaddr, std::uint8_t& value) {
+  std::uint32_t paddr = 0;
+  if (mmu_.translate(vaddr, Access::Read, 0, paddr) != TranslateStatus::Ok) {
+    return false;
+  }
+  value = memory_.read8(paddr);
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// Operand helpers
+// ---------------------------------------------------------------------
+
+bool Cpu::operand_addr(const Operand& op, std::uint32_t& addr) {
+  addr = static_cast<std::uint32_t>(op.mem.disp);
+  if (op.mem.has_base) addr += regs_[static_cast<int>(op.mem.base)];
+  return true;
+}
+
+bool Cpu::read_operand(const Operand& op, std::uint32_t& value) {
+  switch (op.kind) {
+    case OperandKind::Reg:
+      value = regs_[static_cast<int>(op.reg)];
+      return true;
+    case OperandKind::Reg8:
+      value = regs_[static_cast<int>(op.reg)] & 0xFF;
+      return true;
+    case OperandKind::Imm:
+      value = static_cast<std::uint32_t>(op.imm);
+      return true;
+    case OperandKind::Mem: {
+      std::uint32_t addr = 0;
+      operand_addr(op, addr);
+      return read_v(addr, 4, value);
+    }
+    case OperandKind::Mem8: {
+      std::uint32_t addr = 0;
+      operand_addr(op, addr);
+      if (!read_v(addr, 1, value)) return false;
+      value &= 0xFF;
+      return true;
+    }
+    case OperandKind::None:
+      value = 0;
+      return true;
+  }
+  return true;
+}
+
+bool Cpu::write_operand(const Operand& op, std::uint32_t value) {
+  switch (op.kind) {
+    case OperandKind::Reg:
+      regs_[static_cast<int>(op.reg)] = value;
+      return true;
+    case OperandKind::Reg8: {
+      std::uint32_t& r = regs_[static_cast<int>(op.reg)];
+      r = (r & 0xFFFFFF00u) | (value & 0xFF);
+      return true;
+    }
+    case OperandKind::Mem: {
+      std::uint32_t addr = 0;
+      operand_addr(op, addr);
+      return write_v(addr, 4, value);
+    }
+    case OperandKind::Mem8: {
+      std::uint32_t addr = 0;
+      operand_addr(op, addr);
+      return write_v(addr, 1, value & 0xFF);
+    }
+    default:
+      return true;
+  }
+}
+
+void Cpu::set_logic_flags32(std::uint32_t result) {
+  flags_.cf = false;
+  flags_.of = false;
+  flags_.zf = result == 0;
+  flags_.sf = (result >> 31) != 0;
+  flags_.pf = parity_even(static_cast<std::uint8_t>(result));
+}
+
+void Cpu::set_logic_flags8(std::uint8_t result) {
+  flags_.cf = false;
+  flags_.of = false;
+  flags_.zf = result == 0;
+  flags_.sf = (result & 0x80) != 0;
+  flags_.pf = parity_even(result);
+}
+
+// ---------------------------------------------------------------------
+// Step
+// ---------------------------------------------------------------------
+
+CpuEvent Cpu::step() {
+  CpuEvent event;
+  if (dead_) {
+    event.kind = CpuEventKind::DoubleFault;
+    return event;
+  }
+  if (halted_) {
+    event.kind = CpuEventKind::Halted;
+    return event;
+  }
+
+  // Debug-register match on the instruction address (the injection
+  // trigger).  resume_flag suppresses an immediate re-trigger so the
+  // host can resume execution of the very instruction it intercepted.
+  if (!resume_flag_) {
+    for (int i = 0; i < 4; ++i) {
+      if (debug_[i].enabled && debug_[i].addr == eip_) {
+        resume_flag_ = true;
+        event.kind = CpuEventKind::Breakpoint;
+        event.breakpoint_index = i;
+        return event;
+      }
+    }
+  }
+  resume_flag_ = false;
+
+  // --- Fetch ---
+  std::uint8_t buf[isa::kMaxInstructionLength];
+  std::size_t fetched = 0;
+  std::uint32_t fault_vaddr = 0;
+  {
+    std::uint32_t paddr = 0;
+    const TranslateStatus status =
+        mmu_.translate(eip_, Access::Execute, cpl_, paddr);
+    if (status == TranslateStatus::Ok) {
+      // Decode-cache hit: skip fetch + decode entirely.
+      DecodedSlot& slot =
+          decode_cache_[(paddr ^ (paddr >> 14)) & (kDecodeCacheSize - 1)];
+      if (slot.paddr == paddr &&
+          slot.version == memory_.page_version(paddr)) {
+        cycles_ += 1;
+        const bool cached_trap = !execute(slot.instr);
+        if (cached_trap) {
+          event.trap_taken = true;
+          event.trap = last_trap_.trap;
+        }
+        if (dead_) {
+          event.kind = CpuEventKind::DoubleFault;
+        } else if (halted_) {
+          event.kind = CpuEventKind::Halted;
+        }
+        return event;
+      }
+      const std::uint32_t room = kPageSize - (eip_ & kPageMask);
+      const std::uint32_t take =
+          room < isa::kMaxInstructionLength ? room
+                                            : isa::kMaxInstructionLength;
+      memory_.read_block(paddr, buf, take);
+      fetched = take;
+      // Cross-page tail, fetched lazily only if the decoder wants it.
+      if (fetched < isa::kMaxInstructionLength) {
+        std::uint32_t paddr2 = 0;
+        const TranslateStatus s2 =
+            mmu_.translate(eip_ + fetched, Access::Execute, cpl_, paddr2);
+        if (s2 == TranslateStatus::Ok) {
+          memory_.read_block(paddr2, buf + fetched,
+                             isa::kMaxInstructionLength -
+                                 static_cast<std::uint32_t>(fetched));
+          fetched = isa::kMaxInstructionLength;
+        } else {
+          fault_vaddr = eip_ + static_cast<std::uint32_t>(fetched);
+        }
+      }
+    } else if (status == TranslateStatus::Mmio) {
+      cycles_ += 1;
+      raise(Trap::GpFault, 0, eip_);
+      event.trap_taken = true;
+      event.trap = last_trap_.trap;
+      if (dead_) event.kind = CpuEventKind::DoubleFault;
+      return event;
+    } else {
+      cycles_ += 1;
+      const std::uint32_t err =
+          (status == TranslateStatus::Protection ? kPfErrPresent : 0) |
+          (cpl_ == 3 ? kPfErrUser : 0);
+      raise(Trap::PageFault, err, eip_);
+      event.trap_taken = true;
+      event.trap = last_trap_.trap;
+      if (dead_) event.kind = CpuEventKind::DoubleFault;
+      return event;
+    }
+  }
+
+  Instruction instr;
+  const DecodeStatus status = isa::decode(buf, fetched, instr);
+  cycles_ += 1;
+
+  if (status == DecodeStatus::Ok) {
+    std::uint32_t paddr = 0;
+    if (mmu_.translate(eip_, Access::Execute, cpl_, paddr) ==
+            TranslateStatus::Ok &&
+        (paddr & kPageMask) + instr.length <= kPageSize) {
+      DecodedSlot& slot =
+          decode_cache_[(paddr ^ (paddr >> 14)) & (kDecodeCacheSize - 1)];
+      slot.paddr = paddr;
+      slot.version = memory_.page_version(paddr);
+      slot.instr = instr;
+    }
+  }
+
+  if (status == DecodeStatus::Truncated) {
+    // The instruction ran off the end of a mapped region.
+    raise(Trap::PageFault, (cpl_ == 3 ? kPfErrUser : 0),
+          fault_vaddr != 0 ? fault_vaddr : eip_ + static_cast<std::uint32_t>(fetched));
+    event.trap_taken = true;
+    event.trap = last_trap_.trap;
+    if (dead_) event.kind = CpuEventKind::DoubleFault;
+    return event;
+  }
+  if (status == DecodeStatus::Invalid) {
+    raise(Trap::InvalidOpcode, 0, eip_);
+    event.trap_taken = true;
+    event.trap = last_trap_.trap;
+    if (dead_) event.kind = CpuEventKind::DoubleFault;
+    return event;
+  }
+
+  const bool trapped = !execute(instr);
+  if (trapped) {
+    event.trap_taken = true;
+    event.trap = last_trap_.trap;
+  }
+  if (dead_) {
+    event.kind = CpuEventKind::DoubleFault;
+  } else if (halted_) {
+    event.kind = CpuEventKind::Halted;
+  }
+  return event;
+}
+
+// Returns false when a trap was raised (eip already redirected).
+bool Cpu::execute(const Instruction& in) {
+  const std::uint32_t next = eip_ + in.length;
+
+  auto finish = [&]() {
+    eip_ = next;
+    return true;
+  };
+
+  switch (in.op) {
+    // ----- data movement -----
+    case Op::Mov: {
+      std::uint32_t value = 0;
+      if (!read_operand(in.src, value)) return false;
+      if (!write_operand(in.dst, value)) return false;
+      return finish();
+    }
+    case Op::Lea: {
+      std::uint32_t addr = 0;
+      operand_addr(in.src, addr);
+      if (!write_operand(in.dst, addr)) return false;
+      return finish();
+    }
+    case Op::Movzx8: {
+      std::uint32_t value = 0;
+      if (!read_operand(in.src, value)) return false;
+      if (!write_operand(in.dst, value & 0xFF)) return false;
+      return finish();
+    }
+
+    // ----- ALU -----
+    case Op::Add:
+    case Op::Or:
+    case Op::And:
+    case Op::Sub:
+    case Op::Xor:
+    case Op::Cmp:
+    case Op::Test: {
+      const bool byte_op = in.dst.kind == OperandKind::Reg8 ||
+                           in.dst.kind == OperandKind::Mem8;
+      std::uint32_t a = 0;
+      std::uint32_t b = 0;
+      if (!read_operand(in.dst, a)) return false;
+      if (!read_operand(in.src, b)) return false;
+
+      std::uint32_t result = 0;
+      if (byte_op) {
+        const std::uint8_t a8 = static_cast<std::uint8_t>(a);
+        const std::uint8_t b8 = static_cast<std::uint8_t>(b);
+        std::uint8_t r8 = 0;
+        switch (in.op) {
+          case Op::Add: {
+            const unsigned wide = unsigned(a8) + unsigned(b8);
+            r8 = static_cast<std::uint8_t>(wide);
+            flags_.cf = wide > 0xFF;
+            flags_.of = ((a8 ^ r8) & (b8 ^ r8) & 0x80) != 0;
+            break;
+          }
+          case Op::Sub:
+          case Op::Cmp: {
+            r8 = static_cast<std::uint8_t>(a8 - b8);
+            flags_.cf = a8 < b8;
+            flags_.of = ((a8 ^ b8) & (a8 ^ r8) & 0x80) != 0;
+            break;
+          }
+          case Op::Or: r8 = a8 | b8; break;
+          case Op::And:
+          case Op::Test: r8 = a8 & b8; break;
+          case Op::Xor: r8 = a8 ^ b8; break;
+          default: break;
+        }
+        if (in.op == Op::Or || in.op == Op::And || in.op == Op::Xor ||
+            in.op == Op::Test) {
+          set_logic_flags8(r8);
+        } else {
+          flags_.zf = r8 == 0;
+          flags_.sf = (r8 & 0x80) != 0;
+          flags_.pf = parity_even(r8);
+        }
+        result = r8;
+      } else {
+        switch (in.op) {
+          case Op::Add: {
+            result = a + b;
+            flags_.cf = result < a;
+            flags_.of = (((a ^ result) & (b ^ result)) >> 31) != 0;
+            break;
+          }
+          case Op::Sub:
+          case Op::Cmp: {
+            result = a - b;
+            flags_.cf = a < b;
+            flags_.of = (((a ^ b) & (a ^ result)) >> 31) != 0;
+            break;
+          }
+          case Op::Or: result = a | b; break;
+          case Op::And:
+          case Op::Test: result = a & b; break;
+          case Op::Xor: result = a ^ b; break;
+          default: break;
+        }
+        if (in.op == Op::Or || in.op == Op::And || in.op == Op::Xor ||
+            in.op == Op::Test) {
+          set_logic_flags32(result);
+        } else {
+          flags_.zf = result == 0;
+          flags_.sf = (result >> 31) != 0;
+          flags_.pf = parity_even(static_cast<std::uint8_t>(result));
+        }
+      }
+      if (in.op != Op::Cmp && in.op != Op::Test) {
+        if (!write_operand(in.dst, result)) return false;
+      }
+      return finish();
+    }
+
+    case Op::Inc:
+    case Op::Dec: {
+      std::uint32_t a = 0;
+      if (!read_operand(in.dst, a)) return false;
+      const std::uint32_t result = in.op == Op::Inc ? a + 1 : a - 1;
+      // CF unchanged (IA-32 semantics).
+      if (in.op == Op::Inc) {
+        flags_.of = result == 0x80000000u;
+      } else {
+        flags_.of = a == 0x80000000u;
+      }
+      flags_.zf = result == 0;
+      flags_.sf = (result >> 31) != 0;
+      flags_.pf = parity_even(static_cast<std::uint8_t>(result));
+      if (!write_operand(in.dst, result)) return false;
+      return finish();
+    }
+
+    case Op::Not: {
+      std::uint32_t a = 0;
+      if (!read_operand(in.dst, a)) return false;
+      if (!write_operand(in.dst, ~a)) return false;  // no flags
+      return finish();
+    }
+    case Op::Neg: {
+      std::uint32_t a = 0;
+      if (!read_operand(in.dst, a)) return false;
+      const std::uint32_t result = 0u - a;
+      flags_.cf = a != 0;
+      flags_.of = a == 0x80000000u;
+      flags_.zf = result == 0;
+      flags_.sf = (result >> 31) != 0;
+      flags_.pf = parity_even(static_cast<std::uint8_t>(result));
+      if (!write_operand(in.dst, result)) return false;
+      return finish();
+    }
+
+    case Op::Mul: {
+      std::uint32_t src = 0;
+      if (!read_operand(in.src, src)) return false;
+      const std::uint64_t wide =
+          static_cast<std::uint64_t>(regs_[0]) * src;
+      regs_[0] = static_cast<std::uint32_t>(wide);
+      regs_[static_cast<int>(Reg::Edx)] = static_cast<std::uint32_t>(wide >> 32);
+      flags_.cf = flags_.of = regs_[static_cast<int>(Reg::Edx)] != 0;
+      flags_.zf = regs_[0] == 0;
+      flags_.sf = (regs_[0] >> 31) != 0;
+      return finish();
+    }
+    case Op::Imul: {
+      std::uint32_t a = 0;
+      std::uint32_t b = 0;
+      if (!read_operand(in.dst, a)) return false;
+      if (!read_operand(in.src, b)) return false;
+      const std::int64_t wide = static_cast<std::int64_t>(
+                                    static_cast<std::int32_t>(a)) *
+                                static_cast<std::int32_t>(b);
+      const std::int32_t low = static_cast<std::int32_t>(wide);
+      flags_.cf = flags_.of = wide != low;
+      if (!write_operand(in.dst, static_cast<std::uint32_t>(low))) return false;
+      return finish();
+    }
+    case Op::Div: {
+      std::uint32_t src = 0;
+      if (!read_operand(in.src, src)) return false;
+      if (src == 0) return raise(Trap::DivideError, 0, eip_);
+      const std::uint64_t dividend =
+          (static_cast<std::uint64_t>(regs_[static_cast<int>(Reg::Edx)]) << 32) |
+          regs_[0];
+      const std::uint64_t q = dividend / src;
+      if (q > 0xFFFFFFFFu) return raise(Trap::DivideError, 0, eip_);
+      regs_[0] = static_cast<std::uint32_t>(q);
+      regs_[static_cast<int>(Reg::Edx)] =
+          static_cast<std::uint32_t>(dividend % src);
+      return finish();
+    }
+    case Op::Idiv: {
+      std::uint32_t src = 0;
+      if (!read_operand(in.src, src)) return false;
+      if (src == 0) return raise(Trap::DivideError, 0, eip_);
+      const std::int64_t dividend = static_cast<std::int64_t>(
+          (static_cast<std::uint64_t>(regs_[static_cast<int>(Reg::Edx)]) << 32) |
+          regs_[0]);
+      const std::int32_t divisor = static_cast<std::int32_t>(src);
+      if (dividend == INT64_MIN && divisor == -1) {
+        return raise(Trap::DivideError, 0, eip_);
+      }
+      const std::int64_t q = dividend / divisor;
+      if (q > INT32_MAX || q < INT32_MIN) {
+        return raise(Trap::DivideError, 0, eip_);
+      }
+      regs_[0] = static_cast<std::uint32_t>(static_cast<std::int32_t>(q));
+      regs_[static_cast<int>(Reg::Edx)] = static_cast<std::uint32_t>(
+          static_cast<std::int32_t>(dividend % divisor));
+      return finish();
+    }
+    case Op::Cdq:
+      regs_[static_cast<int>(Reg::Edx)] =
+          (regs_[0] & 0x80000000u) ? 0xFFFFFFFFu : 0;
+      return finish();
+
+    case Op::Shl:
+    case Op::Shr:
+    case Op::Sar: {
+      std::uint32_t a = 0;
+      std::uint32_t count = 0;
+      if (!read_operand(in.dst, a)) return false;
+      if (!read_operand(in.src, count)) return false;
+      count &= 31;
+      if (count == 0) return finish();  // no flag change
+      std::uint32_t result = 0;
+      if (in.op == Op::Shl) {
+        result = a << count;
+        flags_.cf = ((a >> (32 - count)) & 1) != 0;
+        if (count == 1) flags_.of = ((result >> 31) != 0) != flags_.cf;
+      } else if (in.op == Op::Shr) {
+        result = a >> count;
+        flags_.cf = ((a >> (count - 1)) & 1) != 0;
+        if (count == 1) flags_.of = (a >> 31) != 0;
+      } else {
+        result = static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(a) >> count);
+        flags_.cf = ((a >> (count - 1)) & 1) != 0;
+        if (count == 1) flags_.of = false;
+      }
+      flags_.zf = result == 0;
+      flags_.sf = (result >> 31) != 0;
+      flags_.pf = parity_even(static_cast<std::uint8_t>(result));
+      if (!write_operand(in.dst, result)) return false;
+      return finish();
+    }
+
+    case Op::Setcc: {
+      const std::uint32_t value = cond_holds(in.cond, flags_) ? 1 : 0;
+      if (!write_operand(in.dst, value)) return false;
+      return finish();
+    }
+
+    // ----- stack -----
+    case Op::Push: {
+      std::uint32_t value = 0;
+      if (!read_operand(in.src, value)) return false;
+      if (!push32(value)) return false;
+      return finish();
+    }
+    case Op::Pop: {
+      std::uint32_t value = 0;
+      if (!pop32(value)) return false;
+      if (!write_operand(in.dst, value)) return false;
+      return finish();
+    }
+    case Op::Leave: {
+      regs_[static_cast<int>(Reg::Esp)] = regs_[static_cast<int>(Reg::Ebp)];
+      std::uint32_t value = 0;
+      if (!pop32(value)) return false;
+      regs_[static_cast<int>(Reg::Ebp)] = value;
+      return finish();
+    }
+
+    // ----- control transfer -----
+    case Op::Jcc:
+      eip_ = cond_holds(in.cond, flags_)
+                 ? next + static_cast<std::uint32_t>(in.rel)
+                 : next;
+      return true;
+    case Op::Jmp:
+      eip_ = next + static_cast<std::uint32_t>(in.rel);
+      return true;
+    case Op::JmpInd: {
+      std::uint32_t target = 0;
+      if (!read_operand(in.src, target)) return false;
+      eip_ = target;
+      return true;
+    }
+    case Op::Call: {
+      if (!push32(next)) return false;
+      eip_ = next + static_cast<std::uint32_t>(in.rel);
+      return true;
+    }
+    case Op::CallInd: {
+      std::uint32_t target = 0;
+      if (!read_operand(in.src, target)) return false;
+      if (!push32(next)) return false;
+      eip_ = target;
+      return true;
+    }
+    case Op::Ret: {
+      std::uint32_t target = 0;
+      if (!pop32(target)) return false;
+      eip_ = target;
+      return true;
+    }
+
+    case Op::Nop:
+      return finish();
+
+    // ----- traps and privileged operations -----
+    case Op::Ud2:
+    case Op::Invalid:
+      return raise(Trap::InvalidOpcode, 0, eip_);
+
+    case Op::Int3:
+      eip_ = next;  // software traps push the next instruction
+      deliver(Trap::Int3, 0, 0, 0);
+      return false;
+    case Op::Int: {
+      const int vec = in.imm8;
+      // Gate DPL check: user code may only raise the syscall gate and
+      // the debug/breakpoint vectors.
+      if (cpl_ == 3 && vec != 0x80 && vec != 3 && vec != 4) {
+        return raise(Trap::GpFault, 0, eip_);
+      }
+      if (vectors_[vec] == 0) return raise(Trap::GpFault, 0, eip_);
+      eip_ = next;
+      deliver(static_cast<Trap>(vec), 0, 0, 0);
+      return false;
+    }
+    case Op::Iret: {
+      if (cpl_ != 0) return raise(Trap::GpFault, 0, eip_);
+      const std::uint32_t esp = regs_[static_cast<int>(Reg::Esp)];
+      std::uint32_t new_eip = 0;
+      std::uint32_t new_eflags = 0;
+      std::uint32_t new_esp = 0;
+      std::uint32_t new_cpl = 0;
+      if (!read_v(esp, 4, new_eip)) return false;
+      if (!read_v(esp + 4, 4, new_eflags)) return false;
+      if (!read_v(esp + 8, 4, new_esp)) return false;
+      if (!read_v(esp + 12, 4, new_cpl)) return false;
+      new_cpl &= 3;
+      if (new_cpl != 0 && new_cpl != 3) {
+        return raise(Trap::GpFault, 0, eip_);
+      }
+      if (new_cpl == 3) {
+        regs_[static_cast<int>(Reg::Esp)] = new_esp;
+      } else {
+        regs_[static_cast<int>(Reg::Esp)] = esp + 24;
+      }
+      cpl_ = static_cast<int>(new_cpl);
+      flags_ = Flags::from_word(new_eflags);
+      eip_ = new_eip;
+      return true;
+    }
+
+    case Op::Lret:
+    case Op::FarJmp:
+    case Op::FarCall:
+    case Op::MovSeg:
+      // No far segments / descriptors exist; a corrupted selector always
+      // faults (Table 7 example 3).
+      return raise(Trap::GpFault, 0, eip_);
+
+    case Op::In:
+      if (cpl_ != 0) return raise(Trap::GpFault, 0, eip_);
+      regs_[0] = (regs_[0] & 0xFFFFFF00u);  // no legacy ports: reads 0
+      return finish();
+    case Op::Hlt:
+      if (cpl_ != 0) return raise(Trap::GpFault, 0, eip_);
+      halted_ = true;
+      return finish();
+    case Op::Cli:
+      if (cpl_ != 0) return raise(Trap::GpFault, 0, eip_);
+      flags_.intf = false;
+      return finish();
+    case Op::Sti:
+      if (cpl_ != 0) return raise(Trap::GpFault, 0, eip_);
+      flags_.intf = true;
+      return finish();
+  }
+  return raise(Trap::InvalidOpcode, 0, eip_);
+}
+
+}  // namespace kfi::vm

@@ -1,0 +1,159 @@
+// The KX86 CPU core: fetch/decode/execute with IA-32-style privilege
+// levels, trap delivery through a vector table, debug registers (the
+// injection trigger, as in the paper's injector and Xception), and a
+// cycle counter (the paper's performance counter for crash latency).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/decode.h"
+#include "isa/instruction.h"
+#include "isa/isa.h"
+#include "vm/bus.h"
+#include "vm/layout.h"
+#include "vm/memory.h"
+#include "vm/mmu.h"
+
+namespace kfi::vm {
+
+// What step() observed.  Executed is the common case; everything else
+// is a host-visible event.
+enum class CpuEventKind : std::uint8_t {
+  Executed,     // one instruction retired (possibly delivering a trap)
+  Breakpoint,   // debug register matched at fetch; instruction NOT executed
+  Halted,       // hlt with interrupts enabled; host advances time
+  DoubleFault,  // trap delivery failed twice: CPU is dead (hard hang)
+};
+
+struct CpuEvent {
+  CpuEventKind kind = CpuEventKind::Executed;
+  int breakpoint_index = -1;
+  bool trap_taken = false;     // a trap was delivered during this step
+  isa::Trap trap = isa::Trap::None;
+};
+
+// Record of the most recent trap delivery; the crash handler analysis
+// reads this to timestamp manifestation (paper §5.3: the latency is
+// measured at the fault, with handler switching time subtracted).
+struct TrapRecord {
+  isa::Trap trap = isa::Trap::None;
+  std::uint32_t error_code = 0;
+  std::uint32_t fault_addr = 0;
+  std::uint32_t faulting_eip = 0;
+  int faulting_cpl = 0;
+  std::uint64_t cycle = 0;
+};
+
+class Cpu {
+ public:
+  Cpu(PhysicalMemory& memory, Bus& bus);
+
+  // --- Architectural state ---
+  std::uint32_t reg(isa::Reg r) const { return regs_[static_cast<int>(r)]; }
+  void set_reg(isa::Reg r, std::uint32_t v) { regs_[static_cast<int>(r)] = v; }
+  std::uint32_t eip() const { return eip_; }
+  void set_eip(std::uint32_t v) { eip_ = v; }
+  const isa::Flags& flags() const { return flags_; }
+  isa::Flags& flags() { return flags_; }
+  int cpl() const { return cpl_; }
+  void set_cpl(int cpl) { cpl_ = cpl; }
+  Mmu& mmu() { return mmu_; }
+
+  std::uint64_t cycles() const { return cycles_; }
+  void set_cycles(std::uint64_t cycles) { cycles_ = cycles; }
+
+  // Clears dead/halted/resume state when the host restores a snapshot.
+  void reset_fault_state() {
+    dead_ = false;
+    halted_ = false;
+    resume_flag_ = false;
+  }
+  bool halted() const { return halted_; }
+
+  // --- Trap vector table (the "IDT", programmed by the boot loader) ---
+  void set_vector(int vector, std::uint32_t handler_vaddr);
+  std::uint32_t vector(int v) const { return vectors_[v & 0xFF]; }
+
+  // --- Debug registers (injection trigger) ---
+  // Arms breakpoint `index` (0..3) on instruction address `vaddr`.
+  void arm_breakpoint(int index, std::uint32_t vaddr);
+  void disarm_breakpoint(int index);
+
+  // --- Execution ---
+  CpuEvent step();
+
+  // Delivers an external interrupt (timer) if IF is set; returns true if
+  // delivered.  The host calls this between steps.
+  bool deliver_interrupt(isa::Trap trap);
+
+  const TrapRecord& last_trap() const { return last_trap_; }
+
+  // Whether the CPU is permanently stopped (double fault escalated).
+  bool dead() const { return dead_; }
+
+  // Virtual-memory accessors for the host (debugger/loader view).
+  // They use the current privilege translation but never trap; failures
+  // return false.
+  bool peek32(std::uint32_t vaddr, std::uint32_t& value);
+  bool peek8(std::uint32_t vaddr, std::uint8_t& value);
+
+ private:
+  // Raises a trap against the current instruction (eip_ points at it).
+  // Returns false if delivery escalated into a dead CPU.
+  bool raise(isa::Trap trap, std::uint32_t error_code, std::uint32_t addr);
+  bool deliver(isa::Trap trap, std::uint32_t error_code, std::uint32_t addr,
+               int depth);
+
+  // Guest memory access; on failure raises #PF/#GP and returns false.
+  bool read_v(std::uint32_t vaddr, std::uint32_t size, std::uint32_t& value);
+  bool write_v(std::uint32_t vaddr, std::uint32_t size, std::uint32_t value);
+  bool push32(std::uint32_t value);
+  bool pop32(std::uint32_t& value);
+
+  // Operand helpers.
+  bool operand_addr(const isa::Operand& op, std::uint32_t& addr);
+  bool read_operand(const isa::Operand& op, std::uint32_t& value);
+  bool write_operand(const isa::Operand& op, std::uint32_t value);
+
+  void set_logic_flags32(std::uint32_t result);
+  void set_logic_flags8(std::uint8_t result);
+
+  bool execute(const isa::Instruction& instr);
+
+  PhysicalMemory& memory_;
+  Bus& bus_;
+  Mmu mmu_;
+
+  std::uint32_t regs_[isa::kRegCount] = {};
+  std::uint32_t eip_ = 0;
+  isa::Flags flags_;
+  int cpl_ = 0;
+  std::uint64_t cycles_ = 0;
+  bool dead_ = false;
+  bool halted_ = false;
+
+  std::uint32_t vectors_[256] = {};
+
+  struct DebugReg {
+    bool enabled = false;
+    std::uint32_t addr = 0;
+  };
+  DebugReg debug_[4];
+  bool resume_flag_ = false;  // suppress re-trigger after a breakpoint
+
+  // Decode cache: direct-mapped on the instruction's physical address,
+  // invalidated through PhysicalMemory's per-page write versions.
+  // Only instructions that fit within one physical page are cached.
+  struct DecodedSlot {
+    std::uint32_t paddr = 0xFFFFFFFF;
+    std::uint32_t version = 0;
+    isa::Instruction instr;
+  };
+  static constexpr std::uint32_t kDecodeCacheSize = 16384;  // power of two
+  std::vector<DecodedSlot> decode_cache_;
+
+  TrapRecord last_trap_;
+};
+
+}  // namespace kfi::vm

@@ -1,0 +1,57 @@
+// Host-side guest page-table construction.
+//
+// Used by the boot loader (and tests) to build the initial kernel
+// address space, exactly like a real boot path sets up page tables
+// before enabling paging.  Runtime mappings (user pages, COW) are made
+// by the simulated kernel's own mm code, not by this helper.
+#pragma once
+
+#include <cstdint>
+
+#include "vm/layout.h"
+#include "vm/memory.h"
+
+namespace kfi::vm {
+
+class HostMapper {
+ public:
+  // `pte_page_cursor` is the physical address of the next free page to
+  // consume for page-table pages.
+  HostMapper(PhysicalMemory& memory, std::uint32_t pgd_phys,
+             std::uint32_t pte_page_cursor)
+      : memory_(memory), pgd_phys_(pgd_phys), cursor_(pte_page_cursor) {}
+
+  std::uint32_t pgd_phys() const { return pgd_phys_; }
+  std::uint32_t cursor() const { return cursor_; }
+
+  // Maps one page: vaddr -> paddr with PTE `flags` (kPtePresent implied).
+  void map(std::uint32_t vaddr, std::uint32_t paddr, std::uint32_t flags) {
+    const std::uint32_t pgd_slot = pgd_phys_ + ((vaddr >> 22) << 2);
+    std::uint32_t pgd_entry = memory_.read32(pgd_slot);
+    if ((pgd_entry & kPtePresent) == 0) {
+      const std::uint32_t pte_page = cursor_;
+      cursor_ += kPageSize;
+      memory_.fill(pte_page, kPageSize, 0);
+      // PGD entries are permissive; the PTE carries the restriction.
+      pgd_entry = pte_page | kPtePresent | kPteWrite | kPteUser;
+      memory_.write32(pgd_slot, pgd_entry);
+    }
+    const std::uint32_t pte_slot =
+        (pgd_entry & kPteFrameMask) + (((vaddr >> 12) & 0x3FF) << 2);
+    memory_.write32(pte_slot, (paddr & kPteFrameMask) | kPtePresent | flags);
+  }
+
+  void map_range(std::uint32_t vaddr, std::uint32_t paddr, std::uint32_t size,
+                 std::uint32_t flags) {
+    for (std::uint32_t off = 0; off < size; off += kPageSize) {
+      map(vaddr + off, paddr + off, flags);
+    }
+  }
+
+ private:
+  PhysicalMemory& memory_;
+  std::uint32_t pgd_phys_;
+  std::uint32_t cursor_;
+};
+
+}  // namespace kfi::vm

@@ -1,0 +1,80 @@
+// Simulated machine address map.
+//
+// Mirrors the Linux/IA-32 split the paper's testbed used: kernel at
+// 0xC0000000 straight-mapped over physical memory, user space below.
+// Kernel text is laid out one region per subsystem so that any code
+// address maps to its subsystem — the basis for the error-propagation
+// analysis (Figure 8).
+#pragma once
+
+#include <cstdint>
+
+namespace kfi::vm {
+
+inline constexpr std::uint32_t kPageSize = 4096;
+inline constexpr std::uint32_t kPageMask = kPageSize - 1;
+
+inline constexpr std::uint32_t kRamSize = 16u * 1024 * 1024;
+
+// Physical layout reserved by "firmware" (the host-side boot loader).
+inline constexpr std::uint32_t kTssPhys = 0x00001000;      // esp0 at +0
+inline constexpr std::uint32_t kBootPgdPhys = 0x00002000;  // initial cr3
+inline constexpr std::uint32_t kBootInfoPhys = 0x00003000;
+inline constexpr std::uint32_t kKernelPtePhys = 0x00004000;  // boot PTE pages
+inline constexpr std::uint32_t kBootPteEnd = 0x00010000;     // 12 pages
+
+// Kernel virtual base: virt = phys + kKernelBase for the straight map.
+inline constexpr std::uint32_t kKernelBase = 0xC0000000;
+
+inline constexpr std::uint32_t virt_of_phys(std::uint32_t paddr) {
+  return paddr + kKernelBase;
+}
+inline constexpr std::uint32_t phys_of_virt(std::uint32_t vaddr) {
+  return vaddr - kKernelBase;
+}
+
+// Kernel text regions (virtual), one per subsystem.  Region sizes are
+// generous; the linker asserts fit.
+inline constexpr std::uint32_t kArchTextBase = 0xC0105000;
+inline constexpr std::uint32_t kKernTextBase = 0xC0112000;
+inline constexpr std::uint32_t kMmTextBase = 0xC0125000;
+inline constexpr std::uint32_t kFsTextBase = 0xC0134000;
+inline constexpr std::uint32_t kDriversTextBase = 0xC0150000;
+inline constexpr std::uint32_t kLibTextBase = 0xC0155000;
+inline constexpr std::uint32_t kIpcTextBase = 0xC015A000;
+inline constexpr std::uint32_t kNetTextBase = 0xC015C000;
+inline constexpr std::uint32_t kTextEnd = 0xC0162000;
+
+// Kernel global data and the boot stack.
+inline constexpr std::uint32_t kKernelDataBase = 0xC0200000;
+inline constexpr std::uint32_t kKernelDataSize = 0x00040000;
+inline constexpr std::uint32_t kBootStackTop = 0xC02F0000;
+
+// Physical pages from here up are owned by the kernel page allocator.
+inline constexpr std::uint32_t kFreePhysBase = 0x00400000;
+
+// User address space.
+inline constexpr std::uint32_t kUserTextBase = 0x08048000;
+inline constexpr std::uint32_t kUserDataBase = 0x08100000;
+inline constexpr std::uint32_t kUserStackTop = 0xBFFFE000;
+inline constexpr std::uint32_t kUserStackLimit = 0xBFF00000;
+
+// Memory-mapped I/O (virtual == physical, supervisor only).
+inline constexpr std::uint32_t kMmioBase = 0xFF000000;
+inline constexpr std::uint32_t kConsoleMmio = 0xFF000000;
+inline constexpr std::uint32_t kDiskMmio = 0xFF001000;
+inline constexpr std::uint32_t kCrashMmio = 0xFF002000;
+inline constexpr std::uint32_t kTlbMmio = 0xFF003000;  // write: flush page/all
+
+// Page-table entry bits (IA-32 subset).
+inline constexpr std::uint32_t kPtePresent = 1u << 0;
+inline constexpr std::uint32_t kPteWrite = 1u << 1;
+inline constexpr std::uint32_t kPteUser = 1u << 2;
+inline constexpr std::uint32_t kPteFrameMask = 0xFFFFF000u;
+
+// Page-fault error code bits (IA-32 encoding).
+inline constexpr std::uint32_t kPfErrPresent = 1u << 0;  // protection (vs not-present)
+inline constexpr std::uint32_t kPfErrWrite = 1u << 1;
+inline constexpr std::uint32_t kPfErrUser = 1u << 2;
+
+}  // namespace kfi::vm

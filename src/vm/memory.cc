@@ -1,0 +1,54 @@
+#include "vm/memory.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace kfi::vm {
+
+PhysicalMemory::PhysicalMemory(std::uint32_t size)
+    : bytes_(size, 0), versions_((size >> 12) + 1, 0) {}
+
+void PhysicalMemory::bump_range(std::uint32_t paddr, std::uint32_t len) {
+  const std::uint32_t first = paddr >> 12;
+  const std::uint32_t last = (paddr + (len ? len - 1 : 0)) >> 12;
+  for (std::uint32_t page = first; page <= last; ++page) ++versions_[page];
+}
+
+std::uint32_t PhysicalMemory::read32(std::uint32_t paddr) const {
+  std::uint32_t v;
+  std::memcpy(&v, bytes_.data() + paddr, 4);
+  return v;
+}
+
+void PhysicalMemory::write32(std::uint32_t paddr, std::uint32_t v) {
+  std::memcpy(bytes_.data() + paddr, &v, 4);
+  bump_range(paddr, 4);
+}
+
+void PhysicalMemory::fill(std::uint32_t paddr, std::uint32_t len,
+                          std::uint8_t value) {
+  assert(contains(paddr, len));
+  std::memset(bytes_.data() + paddr, value, len);
+  bump_range(paddr, len);
+}
+
+void PhysicalMemory::write_block(std::uint32_t paddr, const void* data,
+                                 std::uint32_t len) {
+  assert(contains(paddr, len));
+  std::memcpy(bytes_.data() + paddr, data, len);
+  bump_range(paddr, len);
+}
+
+void PhysicalMemory::read_block(std::uint32_t paddr, void* data,
+                                std::uint32_t len) const {
+  assert(contains(paddr, len));
+  std::memcpy(data, bytes_.data() + paddr, len);
+}
+
+void PhysicalMemory::restore(const std::vector<std::uint8_t>& snap) {
+  assert(snap.size() == bytes_.size());
+  std::memcpy(bytes_.data(), snap.data(), bytes_.size());
+  for (std::uint32_t& v : versions_) ++v;
+}
+
+}  // namespace kfi::vm

@@ -1,0 +1,59 @@
+// Physical memory with snapshot/restore.
+//
+// Snapshot/restore implements the per-run "reboot": the machine is
+// snapshotted once after boot, and every injection run starts by
+// restoring that snapshot (equivalent to the paper's reboot between
+// runs, minus the wall-clock cost).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace kfi::vm {
+
+class PhysicalMemory {
+ public:
+  explicit PhysicalMemory(std::uint32_t size);
+
+  // Per-page write generation, used by the CPU's decode cache to detect
+  // self-modifying code, DMA into text, host-side bit flips, and
+  // snapshot restores.
+  std::uint32_t page_version(std::uint32_t paddr) const {
+    return versions_[paddr >> 12];
+  }
+
+  std::uint32_t size() const { return static_cast<std::uint32_t>(bytes_.size()); }
+  bool contains(std::uint32_t paddr, std::uint32_t len = 1) const {
+    return paddr + len >= paddr &&
+           static_cast<std::size_t>(paddr) + len <= bytes_.size();
+  }
+
+  // Unchecked fast accessors — callers must validate with contains().
+  std::uint8_t read8(std::uint32_t paddr) const { return bytes_[paddr]; }
+  void write8(std::uint32_t paddr, std::uint8_t v) {
+    bytes_[paddr] = v;
+    ++versions_[paddr >> 12];
+  }
+  std::uint32_t read32(std::uint32_t paddr) const;
+  void write32(std::uint32_t paddr, std::uint32_t v);
+
+  std::uint8_t* raw(std::uint32_t paddr) { return bytes_.data() + paddr; }
+  const std::uint8_t* raw(std::uint32_t paddr) const {
+    return bytes_.data() + paddr;
+  }
+
+  void fill(std::uint32_t paddr, std::uint32_t len, std::uint8_t value);
+  void write_block(std::uint32_t paddr, const void* data, std::uint32_t len);
+  void read_block(std::uint32_t paddr, void* data, std::uint32_t len) const;
+
+  std::vector<std::uint8_t> snapshot() const { return bytes_; }
+  void restore(const std::vector<std::uint8_t>& snap);
+
+ private:
+  void bump_range(std::uint32_t paddr, std::uint32_t len);
+
+  std::vector<std::uint8_t> bytes_;
+  std::vector<std::uint32_t> versions_;
+};
+
+}  // namespace kfi::vm

@@ -1,0 +1,65 @@
+// Two-level paging MMU (IA-32 style: 10-bit PGD index, 10-bit PTE index,
+// 12-bit offset) with a small direct-mapped TLB.
+//
+// The page tables live in simulated physical memory and are maintained by
+// the simulated kernel's mm code, so instruction-stream errors can and do
+// corrupt translations — one of the propagation channels the paper
+// observes (mm faults crashing in other subsystems).
+#pragma once
+
+#include <cstdint>
+
+#include "vm/layout.h"
+#include "vm/memory.h"
+
+namespace kfi::vm {
+
+enum class Access : std::uint8_t { Read, Write, Execute };
+
+enum class TranslateStatus : std::uint8_t {
+  Ok,
+  NotPresent,   // PGD/PTE absent -> #PF (error code: not-present)
+  Protection,   // write to RO page or user access to supervisor -> #PF
+  BadPhysical,  // PTE points outside RAM -> #PF (paging request)
+  Mmio,         // address in MMIO window (supervisor only)
+};
+
+class Mmu {
+ public:
+  explicit Mmu(PhysicalMemory& memory) : memory_(memory) {}
+
+  std::uint32_t cr3() const { return cr3_; }
+  void set_cr3(std::uint32_t pgd_phys) {
+    cr3_ = pgd_phys;
+    flush_tlb();
+  }
+
+  // Translates `vaddr`; on Ok fills `paddr`.  MMIO addresses return
+  // Mmio when cpl==0 (Protection otherwise) and do not fill paddr.
+  TranslateStatus translate(std::uint32_t vaddr, Access access, int cpl,
+                            std::uint32_t& paddr);
+
+  void flush_tlb();
+
+  // Drops any cached translation for the page containing `vaddr`
+  // (the kernel's invlpg; also called by the CPU after stores that hit
+  // page-table pages is *not* modelled — the kernel flushes explicitly,
+  // as real kernels must).
+  void flush_page(std::uint32_t vaddr);
+
+ private:
+  struct TlbEntry {
+    std::uint32_t tag = 0xFFFFFFFF;  // vpn | valid marker
+    std::uint32_t frame = 0;
+    bool writable = false;
+    bool user = false;
+  };
+
+  static constexpr std::uint32_t kTlbSize = 256;  // power of two
+
+  PhysicalMemory& memory_;
+  std::uint32_t cr3_ = kBootPgdPhys;
+  TlbEntry tlb_[kTlbSize];
+};
+
+}  // namespace kfi::vm

@@ -1,0 +1,72 @@
+#include "workloads/workloads.h"
+
+#include <map>
+#include <stdexcept>
+
+#include "kasm/assembler.h"
+#include "kernel/constants.h"
+#include "minic/codegen.h"
+#include "vm/layout.h"
+#include "workloads/libc.h"
+
+namespace kfi::workloads {
+
+WorkloadBuildResult build_workload(const Workload& workload) {
+  WorkloadBuildResult result;
+  const std::string source =
+      kernel::kernel_constants_minic() + user_libc() + workload.source;
+  minic::CompileResult compiled = minic::compile(source, workload.name);
+  if (!compiled.ok) {
+    result.errors = std::move(compiled.errors);
+    return result;
+  }
+  kasm::AsmResult text = kasm::assemble(compiled.text_asm, vm::kUserTextBase);
+  kasm::AsmResult data = kasm::assemble(compiled.data_asm, vm::kUserDataBase);
+  if (!text.ok || !data.ok) {
+    result.errors = text.errors;
+    result.errors.insert(result.errors.end(), data.errors.begin(),
+                         data.errors.end());
+    return result;
+  }
+  std::vector<kasm::AsmUnit> units{std::move(text.unit),
+                                   std::move(data.unit)};
+  kasm::LinkResult linked = kasm::link(units);
+  if (!linked.ok) {
+    result.errors = std::move(linked.errors);
+    return result;
+  }
+  const auto entry = linked.symbols.find("_start");
+  if (entry == linked.symbols.end()) {
+    result.errors.push_back("workload has no _start");
+    return result;
+  }
+  result.image.name = workload.name;
+  result.image.entry = entry->second;
+  result.image.text_base = units[0].base;
+  result.image.text = std::move(units[0].bytes);
+  result.image.data_base = units[1].base;
+  result.image.data = std::move(units[1].bytes);
+  result.ok = true;
+  return result;
+}
+
+const WorkloadImage& built_workload(const std::string& name) {
+  static std::map<std::string, WorkloadImage>& cache =
+      *new std::map<std::string, WorkloadImage>();
+  const auto it = cache.find(name);
+  if (it != cache.end()) return it->second;
+
+  const Workload* workload = find_workload(name);
+  if (workload == nullptr) {
+    throw std::runtime_error("unknown workload: " + name);
+  }
+  WorkloadBuildResult result = build_workload(*workload);
+  if (!result.ok) {
+    std::string message = "workload build failed (" + name + "):\n";
+    for (const std::string& e : result.errors) message += "  " + e + "\n";
+    throw std::runtime_error(message);
+  }
+  return cache.emplace(name, std::move(result.image)).first->second;
+}
+
+}  // namespace kfi::workloads

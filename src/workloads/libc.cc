@@ -1,0 +1,87 @@
+// The user-space support library every workload links against:
+// syscall wrappers (int 0x80, Linux register convention), string
+// helpers, and formatted console output.
+#include "workloads/libc.h"
+
+namespace kfi::workloads {
+
+std::string user_libc() {
+  return R"MC(
+// crt0: the kernel irets here; exit with main's return value.
+func _start() {
+  var r = main();
+  exit(r);
+  return 0;
+}
+
+// int 0x80 with eax=nr, ebx/ecx/edx = args; result in eax.
+func syscall3(nr, a, b, c) {
+  asm("mov 8(%ebp), %eax");
+  asm("mov 12(%ebp), %ebx");
+  asm("mov 16(%ebp), %ecx");
+  asm("mov 20(%ebp), %edx");
+  asm("int $0x80");
+  return;
+}
+
+func exit(code) { syscall3(SYS_EXIT, code, 0, 0); return 0; }
+func fork() { return syscall3(SYS_FORK, 0, 0, 0); }
+func read(fd, buf, n) { return syscall3(SYS_READ, fd, buf, n); }
+func write(fd, buf, n) { return syscall3(SYS_WRITE, fd, buf, n); }
+func open(path, flags) { return syscall3(SYS_OPEN, path, flags, 0); }
+func close(fd) { return syscall3(SYS_CLOSE, fd, 0, 0); }
+func waitpid(pid, status, opts) { return syscall3(SYS_WAITPID, pid, status, opts); }
+func creat(path) { return syscall3(SYS_CREAT, path, 0, 0); }
+func unlink(path) { return syscall3(SYS_UNLINK, path, 0, 0); }
+func lseek(fd, off, whence) { return syscall3(SYS_LSEEK, fd, off, whence); }
+func getpid() { return syscall3(SYS_GETPID, 0, 0, 0); }
+func dup(fd) { return syscall3(SYS_DUP, fd, 0, 0); }
+func pipe(fds) { return syscall3(SYS_PIPE, fds, 0, 0); }
+func brk(p) { return syscall3(SYS_BRK, p, 0, 0); }
+func semctl(op, id, val) { return syscall3(SYS_IPC, op, id, val); }
+
+func u_strlen(s) {
+  var n = 0;
+  while (memb[s + n] != 0) { n = n + 1; }
+  return n;
+}
+
+func print(s) {
+  write(1, s, u_strlen(s));
+  return 0;
+}
+
+array num_buf[4];
+
+func print_num(v) {
+  var i = 15;
+  memb[num_buf + i] = 0;
+  if (v == 0) {
+    i = i - 1;
+    memb[num_buf + i] = 48;
+  }
+  while (v != 0) {
+    i = i - 1;
+    memb[num_buf + i] = 48 + v % 10;
+    v = v / 10;
+  }
+  print(num_buf + i);
+  return 0;
+}
+
+func print_hex(v) {
+  var i = 28;
+  while (i >= 0) {
+    var d = (v >> i) & 0xF;
+    if (d < 10) { memb[num_buf] = 48 + d; }
+    else { memb[num_buf] = 87 + d; }
+    memb[num_buf + 1] = 0;
+    print(num_buf);
+    i = i - 4;
+  }
+  return 0;
+}
+)MC";
+}
+
+}  // namespace kfi::workloads

@@ -1,0 +1,10 @@
+// MiniC user-space library source (see libc.cc).
+#pragma once
+
+#include <string>
+
+namespace kfi::workloads {
+
+std::string user_libc();
+
+}  // namespace kfi::workloads

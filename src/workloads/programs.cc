@@ -1,0 +1,381 @@
+// The eight UnixBench-analog benchmark programs.
+#include "workloads/workloads.h"
+
+namespace kfi::workloads {
+namespace {
+
+// syscall.c — raw system-call overhead: getpid/dup/close/semctl loops.
+// Exercises: arch (entry path), kernel, fs (file table), ipc.
+const char* kSyscall = R"MC(
+func main() {
+  var i = 0;
+  var acc = 0;
+  while (i < 120) {
+    acc = acc + getpid();
+    var fd = dup(1);
+    if (fd >= 0) { close(fd); }
+    semctl(4, 1, i);
+    acc = acc + semctl(3, 1, 0);
+    i = i + 1;
+  }
+  print("syscall: ");
+  print_num(acc);
+  print("\n");
+  return 0;
+}
+)MC";
+
+// pipe.c — single-process pipe throughput: write/read 512-byte chunks.
+// Exercises: fs (pipe_read/pipe_write), kernel (wait queues), mm.
+const char* kPipe = R"MC(
+array fds[2];
+array buf[128];
+
+func main() {
+  if (pipe(fds) != 0) { print("pipe failed\n"); return 1; }
+  var wfd = mem[fds + 4];
+  var rfd = mem[fds];
+  var round = 0;
+  var sum = 0;
+  while (round < 12) {
+    var i = 0;
+    while (i < 512) {
+      memb[buf + i] = (round + i) & 0xFF;
+      i = i + 1;
+    }
+    if (write(wfd, buf, 512) != 512) { print("short write\n"); return 1; }
+    i = 0;
+    while (i < 512) { memb[buf + i] = 0; i = i + 1; }
+    if (read(rfd, buf, 512) != 512) { print("short read\n"); return 1; }
+    i = 0;
+    while (i < 512) {
+      sum = sum + memb[buf + i];
+      i = i + 1;
+    }
+    round = round + 1;
+  }
+  print("pipe: ");
+  print_num(sum);
+  print("\n");
+  return 0;
+}
+)MC";
+
+// context1.c — two processes ping-pong a token through two pipes,
+// forcing a context switch per hop.
+// Exercises: kernel (schedule/wake_up), fs (pipes), arch (switch_to).
+const char* kContext1 = R"MC(
+array up[2];
+array down[2];
+array tok[1];
+
+func main() {
+  if (pipe(up) != 0) { return 1; }
+  if (pipe(down) != 0) { return 1; }
+  var pid = fork();
+  if (pid == 0) {
+    // child: read from up, bump, write to down
+    var n = 0;
+    while (n < 40) {
+      if (read(mem[up], tok, 4) != 4) { exit(2); }
+      mem[tok] = mem[tok] + 1;
+      if (write(mem[down + 4], tok, 4) != 4) { exit(3); }
+      n = n + 1;
+    }
+    exit(0);
+  }
+  var rounds = 0;
+  mem[tok] = 0;
+  while (rounds < 40) {
+    if (write(mem[up + 4], tok, 4) != 4) { print("ctx write err\n"); return 1; }
+    if (read(mem[down], tok, 4) != 4) { print("ctx read err\n"); return 1; }
+    rounds = rounds + 1;
+  }
+  var status = 0;
+  waitpid(pid, &wait_status, 0);
+  print("context1: ");
+  print_num(mem[tok]);
+  print("\n");
+  return 0;
+}
+
+global wait_status = 0;
+)MC";
+
+// spawn.c — process creation: fork + immediate child exit + waitpid.
+// Exercises: kernel (fork/exit/wait), mm (copy_page_range, zap, COW).
+const char* kSpawn = R"MC(
+global statuses = 0;
+
+func main() {
+  var i = 0;
+  while (i < 8) {
+    var pid = fork();
+    if (pid == 0) {
+      exit(i & 0x7F);
+    }
+    if (pid < 0) { print("fork failed\n"); return 1; }
+    var st = 0;
+    var got = waitpid(pid, &wait_box, 0);
+    if (got != pid) { print("wait mismatch\n"); return 1; }
+    statuses = statuses + (wait_box >> 8);
+    i = i + 1;
+  }
+  print("spawn: ");
+  print_num(statuses);
+  print("\n");
+  return 0;
+}
+
+global wait_box = 0;
+)MC";
+
+// fstime.c — file system throughput: create, write, rewind, read back,
+// checksum, unlink; plus a read pass over pre-existing files.
+// Exercises: fs (namei, read/write paths), mm (page cache), drivers.
+const char* kFstime = R"MC(
+array wbuf[256];
+
+func checksum_file(path) {
+  var fd = open(path, O_RDONLY);
+  if (fd < 0) { return -1; }
+  var sum = 0;
+  var n = read(fd, wbuf, 1024);
+  while (n > 0) {
+    var i = 0;
+    while (i < n) {
+      sum = sum + memb[wbuf + i];
+      i = i + 1;
+    }
+    n = read(fd, wbuf, 1024);
+  }
+  close(fd);
+  return sum;
+}
+
+func main() {
+  // Write a 3.5 KiB file in 512-byte chunks.
+  var fd = creat("/tmp/fstime.tmp");
+  if (fd < 0) { print("creat failed\n"); return 1; }
+  var chunk = 0;
+  while (chunk < 7) {
+    var i = 0;
+    while (i < 512) {
+      memb[wbuf + i] = (chunk * 7 + i) & 0xFF;
+      i = i + 1;
+    }
+    if (write(fd, wbuf, 512) != 512) { print("write failed\n"); return 1; }
+    chunk = chunk + 1;
+  }
+  close(fd);
+
+  var sum = checksum_file("/tmp/fstime.tmp");
+  print("fstime rw: ");
+  print_num(sum);
+  print("\n");
+
+  var etc = checksum_file("/etc/passwd");
+  var seed = checksum_file("/data/seed.dat");
+  print("fstime ro: ");
+  print_num(etc);
+  print(" ");
+  print_num(seed);
+  print("\n");
+
+  unlink("/tmp/fstime.tmp");
+  var gone = open("/tmp/fstime.tmp", O_RDONLY);
+  if (gone >= 0) { print("unlink failed\n"); return 1; }
+  return 0;
+}
+)MC";
+
+// dhry.c — Dhrystone-flavoured integer/string synthetic benchmark.
+// Exercises: user CPU + timer preemption (arch), minimal syscalls.
+const char* kDhry = R"MC(
+array rec_a[16];
+array rec_b[16];
+array str_a[16];
+array str_b[16];
+
+func str_copy(dst, src) {
+  var i = 0;
+  while (memb[src + i] != 0) {
+    memb[dst + i] = memb[src + i];
+    i = i + 1;
+  }
+  memb[dst + i] = 0;
+  return i;
+}
+
+func str_eq(a, b) {
+  var i = 0;
+  while (1) {
+    if (memb[a + i] != memb[b + i]) { return 0; }
+    if (memb[a + i] == 0) { return 1; }
+    i = i + 1;
+  }
+  return 0;
+}
+
+func proc7(a, b) { return a + 2 + b; }
+
+func proc8(arr1, arr2, x, y) {
+  mem[arr1 + (x + 2) * 4] = y + 5;
+  mem[arr2 + (x + 1) * 4] = mem[arr1 + (x + 2) * 4];
+  return 0;
+}
+
+func main() {
+  str_copy(str_a, "DHRYSTONE PROGRAM, 1ST STRING");
+  var runs = 0;
+  var int_glob = 0;
+  while (runs < 150) {
+    str_copy(str_b, str_a);
+    if (str_eq(str_a, str_b)) {
+      int_glob = proc7(int_glob, runs);
+    }
+    proc8(rec_a, rec_b, runs & 7, int_glob & 0xFF);
+    int_glob = (int_glob * 13 + 7) % 100003;
+    runs = runs + 1;
+  }
+  print("dhry: ");
+  print_num(int_glob);
+  print("\n");
+  return 0;
+}
+)MC";
+
+// hanoi.c — recursion benchmark (deep user stack growth -> page faults).
+// Exercises: arch+mm (do_page_fault / do_anonymous_page on stack).
+const char* kHanoi = R"MC(
+global moves = 0;
+
+func hanoi(n, from, to, via) {
+  if (n == 0) { return 0; }
+  hanoi(n - 1, from, via, to);
+  moves = moves + 1;
+  hanoi(n - 1, via, to, from);
+  return 0;
+}
+
+func main() {
+  hanoi(11, 1, 3, 2);
+  print("hanoi: ");
+  print_num(moves);
+  print("\n");
+  return 0;
+}
+)MC";
+
+// looper.c — loop with heap traffic via brk (demand-zero paging).
+// Exercises: mm (brk / do_anonymous_page), kernel (timer slicing).
+const char* kLooper = R"MC(
+func main() {
+  var base = brk(0);
+  if (brk(base + 0x6000) < 0) { print("brk failed\n"); return 1; }
+  var sum = 0;
+  var round = 0;
+  while (round < 4) {
+    var p = base;
+    while (p <u base + 0x6000) {
+      mem[p] = mem[p] + round + (p & 0xFF);
+      sum = sum + mem[p];
+      p = p + 256;
+    }
+    round = round + 1;
+  }
+  print("looper: ");
+  print_num(sum & 0xFFFFFF);
+  print("\n");
+  return 0;
+}
+)MC";
+
+// netio.c — loopback datagram throughput: two bound sockets exchanging
+// checksummed datagrams (the "studied separately" net extension).
+// Exercises: net (udp_sendmsg/recvmsg, loopback), fs (file table).
+const char* kNetio = R"MC(
+array args[4];
+array msg[64];
+
+func sock() { mem[args] = 0; return syscall3(SYS_SOCKETCALL, 1, args, 0); }
+func bindp(fd, port) {
+  mem[args] = fd;
+  mem[args + 4] = port;
+  return syscall3(SYS_SOCKETCALL, 2, args, 0);
+}
+func sendto(fd, buf, n, port) {
+  mem[args] = fd;
+  mem[args + 4] = buf;
+  mem[args + 8] = n;
+  mem[args + 12] = port;
+  return syscall3(SYS_SOCKETCALL, 11, args, 0);
+}
+func recvfrom(fd, buf, n) {
+  mem[args] = fd;
+  mem[args + 4] = buf;
+  mem[args + 8] = n;
+  return syscall3(SYS_SOCKETCALL, 12, args, 0);
+}
+
+func main() {
+  var a = sock();
+  var b = sock();
+  if (a < 0 || b < 0) { print("socket failed\n"); return 1; }
+  if (bindp(a, 53) != 0) { print("bind a failed\n"); return 1; }
+  if (bindp(b, 80) != 0) { print("bind b failed\n"); return 1; }
+  var round = 0;
+  var sum = 0;
+  while (round < 25) {
+    var i = 0;
+    while (i < 48) {
+      memb[msg + i] = (round * 3 + i) & 0xFF;
+      i = i + 1;
+    }
+    if (sendto(a, msg, 48, 80) != 0) { print("send failed\n"); return 1; }
+    i = 0;
+    while (i < 48) { memb[msg + i] = 0; i = i + 1; }
+    var n = recvfrom(b, msg, 64);
+    if (n != 48) { print("recv failed\n"); return 1; }
+    i = 0;
+    while (i < n) {
+      sum = sum + memb[msg + i];
+      i = i + 1;
+    }
+    // Bounce a reply the other way.
+    if (sendto(b, msg, 16, 53) != 0) { print("reply failed\n"); return 1; }
+    if (recvfrom(a, msg, 64) != 16) { print("reply recv failed\n"); return 1; }
+    round = round + 1;
+  }
+  print("netio: ");
+  print_num(sum);
+  print("\n");
+  return 0;
+}
+)MC";
+
+}  // namespace
+
+const std::vector<Workload>& all_workloads() {
+  static const std::vector<Workload> workloads = {
+      {"syscall", kSyscall, "arch kernel fs ipc"},
+      {"pipe", kPipe, "fs kernel"},
+      {"context1", kContext1, "kernel fs arch"},
+      {"spawn", kSpawn, "kernel mm"},
+      {"fstime", kFstime, "fs mm drivers"},
+      {"dhry", kDhry, "arch user-cpu"},
+      {"hanoi", kHanoi, "arch mm"},
+      {"looper", kLooper, "mm kernel"},
+      {"netio", kNetio, "net fs"},
+  };
+  return workloads;
+}
+
+const Workload* find_workload(const std::string& name) {
+  for (const Workload& w : all_workloads()) {
+    if (w.name == name) return &w;
+  }
+  return nullptr;
+}
+
+}  // namespace kfi::workloads

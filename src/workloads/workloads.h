@@ -1,0 +1,45 @@
+// The benchmark workloads — MiniC re-implementations of the eight
+// UnixBench programs the paper selected (context1, dhry, fstime, hanoi,
+// looper, pipe, spawn, syscall), compiled for the simulated user space.
+//
+// Their role is the paper's: generate kernel activity in the targeted
+// subsystems so injected errors get activated, and produce deterministic
+// console output for fail-silence comparison against a golden run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kfi::workloads {
+
+struct Workload {
+  std::string name;
+  std::string source;      // MiniC
+  std::string exercises;   // which subsystems it stresses (documentation)
+};
+
+const std::vector<Workload>& all_workloads();
+const Workload* find_workload(const std::string& name);
+
+struct WorkloadImage {
+  std::string name;
+  std::uint32_t entry = 0;
+  std::uint32_t text_base = 0;
+  std::vector<std::uint8_t> text;
+  std::uint32_t data_base = 0;
+  std::vector<std::uint8_t> data;
+};
+
+struct WorkloadBuildResult {
+  bool ok = false;
+  WorkloadImage image;
+  std::vector<std::string> errors;
+};
+
+WorkloadBuildResult build_workload(const Workload& workload);
+
+// Cached build by name; throws on unknown name or build failure.
+const WorkloadImage& built_workload(const std::string& name);
+
+}  // namespace kfi::workloads

@@ -1,0 +1,213 @@
+// Analysis aggregation tests over synthetic injection results.
+#include "analysis/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/render.h"
+
+namespace kfi::analysis {
+namespace {
+
+using inject::Campaign;
+using inject::CampaignRun;
+using inject::CrashCause;
+using inject::InjectionResult;
+using inject::Outcome;
+using inject::Severity;
+using kernel::Subsystem;
+
+InjectionResult make_result(Subsystem subsystem, Outcome outcome,
+                            CrashCause cause = CrashCause::Other,
+                            Subsystem crash_in = Subsystem::Unknown,
+                            std::uint64_t latency = 0,
+                            const char* function = "f") {
+  InjectionResult r;
+  r.spec.subsystem = subsystem;
+  r.spec.function = function;
+  r.outcome = outcome;
+  r.cause = cause;
+  r.crash_subsystem =
+      crash_in == Subsystem::Unknown ? subsystem : crash_in;
+  r.propagated = r.crash_subsystem != subsystem;
+  r.latency_cycles = latency;
+  if (outcome == Outcome::DumpedCrash || outcome == Outcome::HangUnknown) {
+    r.severity = Severity::Normal;
+  }
+  return r;
+}
+
+CampaignRun sample_run() {
+  CampaignRun run;
+  run.campaign = Campaign::RandomNonBranch;
+  // fs: 2 injected, 1 not activated, 1 crash (null ptr, stays in fs).
+  run.results.push_back(make_result(Subsystem::Fs, Outcome::NotActivated));
+  run.results.push_back(make_result(Subsystem::Fs, Outcome::DumpedCrash,
+                                    CrashCause::NullPointer, Subsystem::Fs,
+                                    5, "sys_read"));
+  // kernel: crash that propagates to mm with long latency.
+  run.results.push_back(make_result(Subsystem::Kernel, Outcome::DumpedCrash,
+                                    CrashCause::PagingRequest, Subsystem::Mm,
+                                    200'000, "schedule"));
+  // mm: not manifested + FSV + hang.
+  run.results.push_back(make_result(Subsystem::Mm, Outcome::NotManifested));
+  run.results.push_back(
+      make_result(Subsystem::Mm, Outcome::FailSilenceViolation));
+  run.results.push_back(make_result(Subsystem::Mm, Outcome::HangUnknown));
+  // arch: invalid opcode crash within arch.
+  run.results.push_back(make_result(Subsystem::Arch, Outcome::DumpedCrash,
+                                    CrashCause::InvalidOpcode,
+                                    Subsystem::Arch, 1, "do_page_fault"));
+  return run;
+}
+
+TEST(OutcomeTableTest, CountsPerSubsystem) {
+  const OutcomeTable table = make_outcome_table(sample_run());
+  ASSERT_EQ(table.rows.size(), 4u);
+
+  const OutcomeRow& fs = table.rows[1];  // arch, fs, kernel, mm order
+  EXPECT_EQ(fs.subsystem, Subsystem::Fs);
+  EXPECT_EQ(fs.injected, 2u);
+  EXPECT_EQ(fs.activated, 1u);
+  EXPECT_EQ(fs.crash_hang, 1u);
+
+  const OutcomeRow& mm = table.rows[3];
+  EXPECT_EQ(mm.injected, 3u);
+  EXPECT_EQ(mm.activated, 3u);
+  EXPECT_EQ(mm.not_manifested, 1u);
+  EXPECT_EQ(mm.fail_silence, 1u);
+  EXPECT_EQ(mm.crash_hang, 1u);
+
+  EXPECT_EQ(table.total.injected, 7u);
+  EXPECT_EQ(table.total.activated, 6u);
+  EXPECT_EQ(table.dumped_crash, 3u);
+  EXPECT_EQ(table.hang_unknown, 1u);
+}
+
+TEST(OutcomeTableTest, DistinctFunctionCount) {
+  CampaignRun run;
+  run.campaign = Campaign::RandomBranch;
+  run.results.push_back(make_result(Subsystem::Fs, Outcome::NotActivated,
+                                    CrashCause::Other, Subsystem::Unknown, 0,
+                                    "a"));
+  run.results.push_back(make_result(Subsystem::Fs, Outcome::NotActivated,
+                                    CrashCause::Other, Subsystem::Unknown, 0,
+                                    "a"));
+  run.results.push_back(make_result(Subsystem::Fs, Outcome::NotActivated,
+                                    CrashCause::Other, Subsystem::Unknown, 0,
+                                    "b"));
+  const OutcomeTable table = make_outcome_table(run);
+  EXPECT_EQ(table.rows[1].functions, 2u);
+}
+
+TEST(CrashCauses, CountsAndTop4) {
+  const CrashCauseDistribution dist = make_crash_causes(sample_run());
+  EXPECT_EQ(dist.total, 3u);
+  EXPECT_EQ(dist.counts.at(CrashCause::NullPointer), 1u);
+  EXPECT_EQ(dist.counts.at(CrashCause::PagingRequest), 1u);
+  EXPECT_EQ(dist.counts.at(CrashCause::InvalidOpcode), 1u);
+  EXPECT_DOUBLE_EQ(dist.top4_share(), 1.0);
+}
+
+TEST(CrashCauses, Top4ExcludesOtherCauses) {
+  CampaignRun run;
+  run.campaign = Campaign::RandomNonBranch;
+  run.results.push_back(make_result(Subsystem::Fs, Outcome::DumpedCrash,
+                                    CrashCause::DivideError));
+  run.results.push_back(make_result(Subsystem::Fs, Outcome::DumpedCrash,
+                                    CrashCause::NullPointer));
+  const CrashCauseDistribution dist = make_crash_causes(run);
+  EXPECT_DOUBLE_EQ(dist.top4_share(), 0.5);
+}
+
+TEST(Latency, BucketsByDecadeAndSubsystem) {
+  const LatencyDistribution dist = make_latency(sample_run());
+  EXPECT_EQ(dist.overall.total(), 3u);
+  EXPECT_EQ(dist.overall.count(0), 2u);   // latencies 5 and 1
+  EXPECT_EQ(dist.overall.count(5), 1u);   // 200k > 100k
+  EXPECT_EQ(dist.by_subsystem.at(Subsystem::Kernel).count(5), 1u);
+  EXPECT_EQ(dist.by_subsystem.at(Subsystem::Arch).count(0), 1u);
+}
+
+TEST(Propagation, EdgesAndSelfShare) {
+  CampaignRun run;
+  run.campaign = Campaign::RandomNonBranch;
+  for (int i = 0; i < 9; ++i) {
+    run.results.push_back(make_result(Subsystem::Fs, Outcome::DumpedCrash,
+                                      CrashCause::NullPointer,
+                                      Subsystem::Fs));
+  }
+  run.results.push_back(make_result(Subsystem::Fs, Outcome::DumpedCrash,
+                                    CrashCause::PagingRequest,
+                                    Subsystem::Kernel));
+  const PropagationGraph graph = make_propagation(run, Subsystem::Fs);
+  EXPECT_EQ(graph.total_crashes, 10u);
+  EXPECT_DOUBLE_EQ(graph.self_share(), 0.9);
+  ASSERT_EQ(graph.edges.size(), 2u);
+}
+
+TEST(Propagation, IgnoresOtherSubsystems) {
+  const PropagationGraph graph =
+      make_propagation(sample_run(), Subsystem::Fs);
+  EXPECT_EQ(graph.total_crashes, 1u);
+  EXPECT_DOUBLE_EQ(graph.self_share(), 1.0);
+}
+
+TEST(SeverityAgg, CountsAndDowntime) {
+  CampaignRun run;
+  run.campaign = Campaign::IncorrectBranch;
+  InjectionResult normal = make_result(Subsystem::Fs, Outcome::DumpedCrash);
+  InjectionResult severe = make_result(Subsystem::Fs, Outcome::DumpedCrash);
+  severe.severity = Severity::Severe;
+  InjectionResult worst = make_result(Subsystem::Mm, Outcome::DumpedCrash);
+  worst.severity = Severity::MostSevere;
+  run.results = {};
+  run.results.push_back(normal);
+  run.results.push_back(severe);
+  run.results.push_back(worst);
+
+  const SeveritySummary summary = make_severity(run);
+  EXPECT_EQ(summary.normal, 1u);
+  EXPECT_EQ(summary.severe, 1u);
+  EXPECT_EQ(summary.most_severe, 1u);
+  EXPECT_EQ(summary.most_severe_indices.size(), 1u);
+  EXPECT_EQ(summary.total_downtime_seconds,
+            inject::severity_downtime_seconds(Severity::Normal) +
+                inject::severity_downtime_seconds(Severity::Severe) +
+                inject::severity_downtime_seconds(Severity::MostSevere));
+}
+
+TEST(Renderers, ProduceNonEmptyPaperStyleText) {
+  const CampaignRun run = sample_run();
+  const OutcomeTable table = make_outcome_table(run);
+  const std::string fig4 = render_outcome_table(table);
+  EXPECT_NE(fig4.find("Campaign A"), std::string::npos);
+  EXPECT_NE(fig4.find("Crash/Hang"), std::string::npos);
+
+  const std::string fig6 = render_crash_causes(make_crash_causes(run));
+  EXPECT_NE(fig6.find("NULL pointer"), std::string::npos);
+
+  const std::string fig7 = render_latency(make_latency(run));
+  EXPECT_NE(fig7.find("<=10"), std::string::npos);
+
+  const std::string fig8 =
+      render_propagation(make_propagation(run, Subsystem::Fs));
+  EXPECT_NE(fig8.find("fs ->"), std::string::npos);
+
+  const std::string table4 = render_table4();
+  EXPECT_NE(table4.find("Valid but Incorrect Branch"), std::string::npos);
+
+  const std::string sev = render_severity(run, make_severity(run));
+  EXPECT_NE(sev.find("most severe"), std::string::npos);
+
+  const std::string fig1 = render_fig1(kernel::built_kernel());
+  EXPECT_NE(fig1.find("fs"), std::string::npos);
+}
+
+TEST(SeverityDowntime, ModelMatchesPaper) {
+  EXPECT_EQ(inject::severity_downtime_seconds(Severity::Normal), 240u);
+  EXPECT_GT(inject::severity_downtime_seconds(Severity::Severe), 300u);
+  EXPECT_GE(inject::severity_downtime_seconds(Severity::MostSevere), 3000u);
+}
+
+}  // namespace
+}  // namespace kfi::analysis

@@ -1,0 +1,105 @@
+// Markdown report generator tests (synthetic inputs).
+#include "analysis/report.h"
+
+#include <gtest/gtest.h>
+
+namespace kfi::analysis {
+namespace {
+
+using inject::Campaign;
+using inject::CampaignRun;
+using inject::CrashCause;
+using inject::InjectionResult;
+using inject::Outcome;
+using inject::Severity;
+
+CampaignRun small_run(Campaign campaign) {
+  CampaignRun run;
+  run.campaign = campaign;
+  run.functions_targeted = 2;
+
+  InjectionResult crash;
+  crash.spec.campaign = campaign;
+  crash.spec.function = "sys_read";
+  crash.spec.subsystem = kernel::Subsystem::Fs;
+  crash.outcome = Outcome::DumpedCrash;
+  crash.cause = CrashCause::NullPointer;
+  crash.crash_subsystem = kernel::Subsystem::Fs;
+  crash.latency_cycles = 3;
+  crash.severity = Severity::Normal;
+  run.results.push_back(crash);
+
+  InjectionResult nm;
+  nm.spec.function = "schedule";
+  nm.spec.subsystem = kernel::Subsystem::Kernel;
+  nm.outcome = Outcome::NotManifested;
+  run.results.push_back(nm);
+
+  InjectionResult dead;
+  dead.spec.function = "schedule";
+  dead.spec.subsystem = kernel::Subsystem::Kernel;
+  dead.outcome = Outcome::NotActivated;
+  run.results.push_back(dead);
+  return run;
+}
+
+TEST(Report, ContainsTitleAndCampaignSections) {
+  const CampaignRun a = small_run(Campaign::RandomNonBranch);
+  const CampaignRun c = small_run(Campaign::IncorrectBranch);
+  ReportInputs inputs;
+  inputs.title = "My study";
+  inputs.campaigns = {&a, &c};
+  const std::string md = render_markdown_report(inputs);
+  EXPECT_NE(md.find("# My study"), std::string::npos);
+  EXPECT_NE(md.find("### Campaign A"), std::string::npos);
+  EXPECT_NE(md.find("### Campaign C"), std::string::npos);
+  EXPECT_NE(md.find("| subsystem |"), std::string::npos);
+  EXPECT_NE(md.find("**total**"), std::string::npos);
+  EXPECT_NE(md.find("Crash causes"), std::string::npos);
+  EXPECT_NE(md.find("null-ptr"), std::string::npos);
+  EXPECT_NE(md.find("Severity:"), std::string::npos);
+}
+
+TEST(Report, NullCampaignsIgnored) {
+  ReportInputs inputs;
+  inputs.campaigns = {nullptr};
+  const std::string md = render_markdown_report(inputs);
+  EXPECT_NE(md.find("## Campaign outcomes"), std::string::npos);
+  EXPECT_EQ(md.find("### Campaign"), std::string::npos);
+}
+
+TEST(Report, ProfileSectionWhenGiven) {
+  profile::ProfileResult prof;
+  profile::FunctionSamples fs;
+  fs.function = "pipe_read";
+  fs.subsystem = kernel::Subsystem::Fs;
+  fs.samples = 1234;
+  prof.functions.push_back(fs);
+  prof.total_kernel_samples = 1234;
+
+  ReportInputs inputs;
+  inputs.profile = &prof;
+  const std::string md = render_markdown_report(inputs);
+  EXPECT_NE(md.find("## Kernel profile"), std::string::npos);
+  EXPECT_NE(md.find("`pipe_read`"), std::string::npos);
+  EXPECT_NE(md.find("1,234"), std::string::npos);
+}
+
+TEST(Report, CrashFreeRunOmitsCrashSections) {
+  CampaignRun run;
+  run.campaign = Campaign::RandomBranch;
+  InjectionResult nm;
+  nm.spec.function = "f";
+  nm.spec.subsystem = kernel::Subsystem::Mm;
+  nm.outcome = Outcome::NotManifested;
+  run.results.push_back(nm);
+
+  ReportInputs inputs;
+  inputs.campaigns = {&run};
+  const std::string md = render_markdown_report(inputs);
+  EXPECT_EQ(md.find("Crash causes"), std::string::npos);
+  EXPECT_NE(md.find("Severity: 0 normal"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kfi::analysis

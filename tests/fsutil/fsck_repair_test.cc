@@ -1,0 +1,134 @@
+// fsck_repair: every Repairable corruption class must become Clean
+// after a repair pass, with surviving files intact.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "fsutil/kfs.h"
+#include "fsutil/kfs_format.h"
+
+namespace kfi::fsutil {
+namespace {
+
+disk::DiskImage image_with_files() {
+  disk::DiskImage image(kDefaultBlocks);
+  mkfs(image);
+  add_dir(image, "/etc");
+  add_file(image, "/etc/passwd", "root:x:0:0");
+  add_file(image, "/a", "AAAAAAAA");
+  add_file(image, "/b", "BBBBBBBB");
+  return image;
+}
+
+std::uint32_t inode_at(const disk::DiskImage& image, const char* path) {
+  return lookup(image, path);
+}
+
+TEST(FsckRepair, CleanImageNeedsNoRepairs) {
+  disk::DiskImage image = image_with_files();
+  EXPECT_EQ(fsck_repair(image), 0u);
+  EXPECT_EQ(fsck(image).verdict, FsckVerdict::Clean);
+}
+
+TEST(FsckRepair, OversizedInodeClamped) {
+  disk::DiskImage image = image_with_files();
+  const std::uint32_t ino = inode_at(image, "/a");
+  image.write32(kInodeTableBlock * kBlockSize + ino * kInodeSize +
+                    kInodeSizeOff,
+                kMaxFileSize + 12345);
+  ASSERT_EQ(fsck(image).verdict, FsckVerdict::Repairable);
+  EXPECT_GT(fsck_repair(image), 0u);
+  EXPECT_EQ(fsck(image).verdict, FsckVerdict::Clean);
+}
+
+TEST(FsckRepair, OutOfRangeBlockPointerCleared) {
+  disk::DiskImage image = image_with_files();
+  const std::uint32_t ino = inode_at(image, "/a");
+  image.write32(kInodeTableBlock * kBlockSize + ino * kInodeSize +
+                    kInodeBlock0,
+                0xFFFF0000);
+  ASSERT_EQ(fsck(image).verdict, FsckVerdict::Repairable);
+  fsck_repair(image);
+  EXPECT_EQ(fsck(image).verdict, FsckVerdict::Clean);
+  // /a lost its data (truncated), but /b is untouched.
+  const auto b = read_file(image, "/b");
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(std::string(b->begin(), b->end()), "BBBBBBBB");
+}
+
+TEST(FsckRepair, CrossLinkedBlockDetached) {
+  disk::DiskImage image = image_with_files();
+  const std::uint32_t a = inode_at(image, "/a");
+  const std::uint32_t b = inode_at(image, "/b");
+  const std::uint32_t a_block = image.read32(
+      kInodeTableBlock * kBlockSize + a * kInodeSize + kInodeBlock0);
+  image.write32(kInodeTableBlock * kBlockSize + b * kInodeSize + kInodeBlock0,
+                a_block);
+  ASSERT_EQ(fsck(image).verdict, FsckVerdict::Repairable);
+  fsck_repair(image);
+  EXPECT_EQ(fsck(image).verdict, FsckVerdict::Clean);
+}
+
+TEST(FsckRepair, DanglingDirentRemoved) {
+  disk::DiskImage image = image_with_files();
+  const std::uint32_t ino = inode_at(image, "/a");
+  image.write32(kInodeTableBlock * kBlockSize + ino * kInodeSize + kInodeMode,
+                kModeFree);
+  ASSERT_EQ(fsck(image).verdict, FsckVerdict::Repairable);
+  fsck_repair(image);
+  EXPECT_EQ(fsck(image).verdict, FsckVerdict::Clean);
+  EXPECT_EQ(lookup(image, "/a"), 0u) << "the dangling entry is gone";
+  EXPECT_NE(lookup(image, "/b"), 0u);
+}
+
+TEST(FsckRepair, LeakedBlocksReclaimed) {
+  disk::DiskImage image = image_with_files();
+  image.bytes()[kBitmapBlock * kBlockSize + (kDefaultDataStart + 9) / 8] |=
+      static_cast<std::uint8_t>(1u << ((kDefaultDataStart + 9) % 8));
+  ASSERT_EQ(fsck(image).verdict, FsckVerdict::Repairable);
+  fsck_repair(image);
+  EXPECT_EQ(fsck(image).verdict, FsckVerdict::Clean);
+}
+
+TEST(FsckRepair, InUseButFreeBlockRemarked) {
+  disk::DiskImage image = image_with_files();
+  const std::uint32_t ino = inode_at(image, "/a");
+  const std::uint32_t block = image.read32(
+      kInodeTableBlock * kBlockSize + ino * kInodeSize + kInodeBlock0);
+  image.bytes()[kBitmapBlock * kBlockSize + block / 8] &=
+      static_cast<std::uint8_t>(~(1u << (block % 8)));
+  ASSERT_EQ(fsck(image).verdict, FsckVerdict::Repairable);
+  fsck_repair(image);
+  EXPECT_EQ(fsck(image).verdict, FsckVerdict::Clean);
+  // The file's data is still there.
+  const auto a = read_file(image, "/a");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(std::string(a->begin(), a->end()), "AAAAAAAA");
+}
+
+TEST(FsckRepair, UnrepairableLeftAlone) {
+  disk::DiskImage image = image_with_files();
+  image.write32(kSbMagic, 0xDEAD);
+  EXPECT_EQ(fsck_repair(image), 0u);
+  EXPECT_EQ(fsck(image).verdict, FsckVerdict::Unrepairable);
+}
+
+TEST(FsckRepair, CompoundDamageConvergesToClean) {
+  disk::DiskImage image = image_with_files();
+  const std::uint32_t a = inode_at(image, "/a");
+  const std::uint32_t b = inode_at(image, "/b");
+  // Oversize one inode, wreck the other's pointer, leak two blocks.
+  image.write32(kInodeTableBlock * kBlockSize + a * kInodeSize + kInodeSizeOff,
+                kMaxFileSize * 3);
+  image.write32(kInodeTableBlock * kBlockSize + b * kInodeSize + kInodeBlock0,
+                0xABCDE000);
+  image.bytes()[kBitmapBlock * kBlockSize + (kDefaultDataStart + 20) / 8] |=
+      static_cast<std::uint8_t>(1u << ((kDefaultDataStart + 20) % 8));
+  ASSERT_EQ(fsck(image).verdict, FsckVerdict::Repairable);
+  const std::size_t repairs = fsck_repair(image);
+  EXPECT_GE(repairs, 3u);
+  EXPECT_EQ(fsck(image).verdict, FsckVerdict::Clean);
+}
+
+}  // namespace
+}  // namespace kfi::fsutil

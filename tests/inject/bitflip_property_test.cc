@@ -1,0 +1,139 @@
+// Property tests over the whole kernel image's instruction space:
+// every single-bit flip of every kernel instruction must decode totally
+// (valid or #UD, never a host-side failure), and the campaign C flip
+// must always produce the reversed branch.
+#include <gtest/gtest.h>
+
+#include "inject/targets.h"
+#include "isa/decode.h"
+
+namespace kfi::inject {
+namespace {
+
+const kernel::KernelImage& image() { return kernel::built_kernel(); }
+
+TEST(BitflipProperty, EveryKernelInstructionDecodes) {
+  std::size_t instructions = 0;
+  for (const kernel::KernelFunction& fn : image().functions) {
+    const auto sites = enumerate_function(image(), fn);
+    std::uint32_t covered = fn.start;
+    for (const InstructionSite& site : sites) {
+      EXPECT_EQ(site.addr, covered) << fn.name;
+      covered += static_cast<std::uint32_t>(site.bytes.size());
+      ++instructions;
+    }
+    EXPECT_EQ(covered, fn.end)
+        << fn.name << ": function body must decode exactly to its end";
+  }
+  EXPECT_GT(instructions, 5000u);
+}
+
+TEST(BitflipProperty, AllSingleBitFlipsDecodeTotally) {
+  std::uint64_t flips = 0;
+  for (const kernel::KernelFunction& fn : image().functions) {
+    for (const InstructionSite& site : enumerate_function(image(), fn)) {
+      for (std::size_t byte = 0; byte < site.bytes.size(); ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+          std::uint8_t buf[16] = {};
+          for (std::size_t i = 0; i < site.bytes.size() && i < 16; ++i) {
+            buf[i] = site.bytes[i];
+          }
+          buf[byte] = static_cast<std::uint8_t>(buf[byte] ^ (1u << bit));
+          isa::Instruction instr;
+          const isa::DecodeStatus status =
+              isa::decode(buf, sizeof buf, instr);
+          // Totality: every flip is Ok or Invalid (never Truncated with
+          // 16 bytes of context, never UB).
+          ASSERT_NE(status, isa::DecodeStatus::Truncated)
+              << fn.name << " @" << std::hex << site.addr;
+          if (status == isa::DecodeStatus::Ok) {
+            ASSERT_GE(instr.length, 1);
+            ASSERT_LE(instr.length, isa::kMaxInstructionLength);
+          }
+          ++flips;
+        }
+      }
+    }
+  }
+  EXPECT_GT(flips, 100'000u);
+}
+
+TEST(BitflipProperty, CampaignCFlipAlwaysReversesCondition) {
+  std::size_t branches = 0;
+  for (const kernel::KernelFunction& fn : image().functions) {
+    for (const InstructionSite& site : enumerate_function(image(), fn)) {
+      if (!site.is_cond_branch) continue;
+      ++branches;
+      const int cond_byte = condition_byte_index(site);
+      ASSERT_GE(cond_byte, 0) << fn.name;
+
+      isa::Instruction original;
+      ASSERT_EQ(isa::decode(site.bytes.data(), site.bytes.size(), original),
+                isa::DecodeStatus::Ok);
+
+      std::vector<std::uint8_t> corrupted = site.bytes;
+      corrupted[static_cast<std::size_t>(cond_byte)] ^= 1;
+      isa::Instruction reversed;
+      ASSERT_EQ(isa::decode(corrupted.data(), corrupted.size(), reversed),
+                isa::DecodeStatus::Ok);
+      ASSERT_EQ(reversed.op, isa::Op::Jcc);
+      EXPECT_EQ(static_cast<int>(reversed.cond),
+                static_cast<int>(original.cond) ^ 1)
+          << fn.name << " @" << std::hex << site.addr;
+      EXPECT_EQ(reversed.rel, original.rel);
+      EXPECT_EQ(reversed.length, original.length);
+    }
+  }
+  EXPECT_GT(branches, 200u);
+}
+
+TEST(BitflipProperty, TargetsAreWithinTheirInstructions) {
+  Rng rng(7);
+  for (const kernel::KernelFunction& fn : image().functions) {
+    for (const Campaign campaign :
+         {Campaign::RandomNonBranch, Campaign::RandomBranch,
+          Campaign::IncorrectBranch}) {
+      for (const InjectionSpec& spec :
+           make_targets(image(), fn, campaign, rng)) {
+        EXPECT_GE(spec.instr_addr, fn.start);
+        EXPECT_LT(spec.instr_addr, fn.end);
+        EXPECT_LT(spec.byte_index, spec.instr_len);
+        EXPECT_LT(spec.bit_index, 8);
+        EXPECT_EQ(spec.subsystem, fn.subsystem);
+      }
+    }
+  }
+}
+
+TEST(BitflipProperty, TargetGenerationIsSeedDeterministic) {
+  const kernel::KernelFunction* fn = image().function("schedule");
+  ASSERT_NE(fn, nullptr);
+  Rng a(99);
+  Rng b(99);
+  const auto ta = make_targets(image(), *fn, Campaign::RandomNonBranch, a);
+  const auto tb = make_targets(image(), *fn, Campaign::RandomNonBranch, b);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].instr_addr, tb[i].instr_addr);
+    EXPECT_EQ(ta[i].byte_index, tb[i].byte_index);
+    EXPECT_EQ(ta[i].bit_index, tb[i].bit_index);
+  }
+}
+
+TEST(BitflipProperty, HardenedKernelHasMoreBranches) {
+  const kernel::KernelImage& hardened = kernel::built_hardened_kernel();
+  auto count_branches = [](const kernel::KernelImage& img) {
+    std::size_t n = 0;
+    for (const kernel::KernelFunction& fn : img.functions) {
+      for (const InstructionSite& site : enumerate_function(img, fn)) {
+        if (site.is_cond_branch) ++n;
+      }
+    }
+    return n;
+  };
+  EXPECT_GT(count_branches(hardened), count_branches(image()))
+      << "//H! assertion sites must add conditional branches";
+}
+
+}  // namespace
+}  // namespace kfi::inject

@@ -1,0 +1,173 @@
+// Targeted end-to-end injections reproducing specific paper scenarios:
+// hangs, file-system damage (Table 5 mechanisms), and severity grading.
+#include <gtest/gtest.h>
+
+#include "inject/injector.h"
+#include "inject/targets.h"
+
+namespace kfi::inject {
+namespace {
+
+Injector& shared_injector() {
+  static Injector injector;
+  return injector;
+}
+
+const kernel::KernelImage& image() { return kernel::built_kernel(); }
+
+// Returns the nth conditional branch of `function` (0-based).
+const InstructionSite* nth_branch(const char* function, int n,
+                                  std::vector<InstructionSite>& storage) {
+  const kernel::KernelFunction* fn = image().function(function);
+  if (fn == nullptr) return nullptr;
+  storage = enumerate_function(image(), *fn);
+  int seen = 0;
+  for (const InstructionSite& site : storage) {
+    if (site.is_cond_branch) {
+      if (seen == n) return &site;
+      ++seen;
+    }
+  }
+  return nullptr;
+}
+
+InjectionSpec reversal_spec(const char* function,
+                            const InstructionSite& site,
+                            const char* workload) {
+  InjectionSpec spec;
+  spec.campaign = Campaign::IncorrectBranch;
+  spec.function = function;
+  spec.subsystem = image().function(function)->subsystem;
+  spec.instr_addr = site.addr;
+  spec.instr_len = static_cast<std::uint8_t>(site.bytes.size());
+  spec.byte_index =
+      static_cast<std::uint8_t>(condition_byte_index(site));
+  spec.bit_index = 0;
+  spec.workload = workload;
+  return spec;
+}
+
+TEST(SeverityScenarios, BlockBitmapGuardReversalIsTable5Case7Analog) {
+  // Reversing kfs_alloc_block's "bit already set?" guard makes the
+  // allocator hand out blocks that are in use — the paper's Table 5
+  // case 7 ("kernel reuses a page/block which is in use").  Under the
+  // fstime workload this overwrites live file data on disk.
+  std::vector<InstructionSite> sites;
+  const kernel::KernelFunction* fn = image().function("kfs_alloc_block");
+  ASSERT_NE(fn, nullptr);
+  sites = enumerate_function(image(), *fn);
+
+  bool saw_damage = false;
+  for (const InstructionSite& site : sites) {
+    if (!site.is_cond_branch) continue;
+    const InjectionResult result = shared_injector().run_one(
+        reversal_spec("kfs_alloc_block", site, "fstime"));
+    if (result.outcome == Outcome::NotActivated) continue;
+    if (result.fs_damaged) {
+      saw_damage = true;
+      EXPECT_NE(result.severity, Severity::NotApplicable);
+      EXPECT_NE(result.severity, Severity::Normal);
+    }
+  }
+  EXPECT_TRUE(saw_damage)
+      << "at least one reversed allocator guard must damage the fs";
+}
+
+TEST(SeverityScenarios, SchedulerLoopReversalCanHang) {
+  // Reversing branches in the scheduler's selection loop produces
+  // hangs (watchdog) or crashes; sweep them and require at least one
+  // non-completing outcome.
+  const kernel::KernelFunction* fn = image().function("schedule");
+  ASSERT_NE(fn, nullptr);
+  const auto sites = enumerate_function(image(), *fn);
+  bool saw_stuck = false;
+  for (const InstructionSite& site : sites) {
+    if (!site.is_cond_branch) continue;
+    const InjectionResult result = shared_injector().run_one(
+        reversal_spec("schedule", site, "context1"));
+    if (result.outcome == Outcome::HangUnknown ||
+        result.outcome == Outcome::DumpedCrash) {
+      saw_stuck = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_stuck);
+}
+
+TEST(SeverityScenarios, CrashesGetSeverityAndHangsToo) {
+  // Every crash/hang outcome must carry a severity grade; every
+  // completed outcome must not.
+  const kernel::KernelFunction* fn = image().function("pipe_write");
+  ASSERT_NE(fn, nullptr);
+  const auto sites = enumerate_function(image(), *fn);
+  int graded = 0;
+  for (const InstructionSite& site : sites) {
+    if (!site.is_cond_branch) continue;
+    const InjectionResult result = shared_injector().run_one(
+        reversal_spec("pipe_write", site, "pipe"));
+    switch (result.outcome) {
+      case Outcome::DumpedCrash:
+      case Outcome::HangUnknown:
+        EXPECT_NE(result.severity, Severity::NotApplicable);
+        if (result.severity == Severity::Severe) {
+          EXPECT_TRUE(result.repair_verified)
+              << "a severe grading must be backed by a successful repair";
+        }
+        ++graded;
+        break;
+      case Outcome::NotManifested:
+        EXPECT_EQ(result.severity, Severity::NotApplicable);
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_GT(graded, 0);
+}
+
+TEST(SeverityScenarios, GenericCommitWriteReversalDamagesSizes) {
+  // Table 5 case 8: generic_commit_write reduces inode->i_size.
+  // Reversing its "grew past the old size?" branch must produce a
+  // fail-silence violation or fs damage under fstime.
+  std::vector<InstructionSite> storage;
+  const InstructionSite* guard =
+      nth_branch("generic_commit_write", 0, storage);
+  ASSERT_NE(guard, nullptr);
+  const InjectionResult result = shared_injector().run_one(
+      reversal_spec("generic_commit_write", *guard, "fstime"));
+  ASSERT_NE(result.outcome, Outcome::NotActivated);
+  EXPECT_TRUE(result.outcome == Outcome::FailSilenceViolation ||
+              result.outcome == Outcome::DumpedCrash ||
+              result.fs_damaged)
+      << outcome_name(result.outcome);
+}
+
+TEST(SeverityScenarios, RepeatabilityOfAMostSevereCandidate) {
+  // The paper marks 4 of its 9 most-severe crashes "repeatable"; with a
+  // deterministic machine, every injection here is repeatable.  Verify
+  // on a damaging case.
+  const kernel::KernelFunction* fn = image().function("kfs_alloc_block");
+  const auto sites = enumerate_function(image(), *fn);
+  const InstructionSite* guard = nullptr;
+  InjectionResult first;
+  for (const InstructionSite& site : sites) {
+    if (!site.is_cond_branch) continue;
+    const InjectionResult r = shared_injector().run_one(
+        reversal_spec("kfs_alloc_block", site, "fstime"));
+    if (r.outcome != Outcome::NotActivated && r.fs_damaged) {
+      guard = &site;
+      first = r;
+      break;
+    }
+  }
+  if (guard == nullptr) GTEST_SKIP() << "no damaging guard in this build";
+  const InjectionResult second = shared_injector().run_one(
+      reversal_spec("kfs_alloc_block", *guard, "fstime"));
+  EXPECT_EQ(second.outcome, first.outcome);
+  EXPECT_EQ(second.fs_damaged, first.fs_damaged);
+  EXPECT_EQ(second.bootable, first.bootable);
+  EXPECT_EQ(second.severity, first.severity);
+}
+
+}  // namespace
+}  // namespace kfi::inject

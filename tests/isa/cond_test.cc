@@ -1,0 +1,107 @@
+// Condition-code semantics: parameterized over all 16 IA-32 conditions.
+#include <gtest/gtest.h>
+
+#include "isa/isa.h"
+
+namespace kfi::isa {
+namespace {
+
+struct CondCase {
+  Cond cond;
+  // Expected outcome for a handful of canonical flag states.
+  bool after_cmp_equal;     // cmp x,x: ZF=1, SF=OF=CF=0
+  bool after_cmp_less;      // cmp 1,2 (signed <): SF=1, OF=0, CF=1
+  bool after_cmp_greater;   // cmp 2,1: all clear
+};
+
+class CondSemantics : public ::testing::TestWithParam<CondCase> {};
+
+Flags flags_equal() {
+  Flags f;
+  f.zf = true;
+  f.pf = true;
+  return f;
+}
+
+Flags flags_less() {
+  Flags f;
+  f.sf = true;
+  f.cf = true;
+  return f;
+}
+
+Flags flags_greater() { return Flags{}; }
+
+TEST_P(CondSemantics, MatchesIa32Truth) {
+  const CondCase& c = GetParam();
+  EXPECT_EQ(cond_holds(c.cond, flags_equal()), c.after_cmp_equal)
+      << cond_name(c.cond) << " after equal compare";
+  EXPECT_EQ(cond_holds(c.cond, flags_less()), c.after_cmp_less)
+      << cond_name(c.cond) << " after signed-less compare";
+  EXPECT_EQ(cond_holds(c.cond, flags_greater()), c.after_cmp_greater)
+      << cond_name(c.cond) << " after greater compare";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConds, CondSemantics,
+    ::testing::Values(
+        //        cond      ==     <      >
+        CondCase{Cond::O, false, false, false},
+        CondCase{Cond::No, true, true, true},
+        CondCase{Cond::B, false, true, false},
+        CondCase{Cond::Ae, true, false, true},
+        CondCase{Cond::E, true, false, false},
+        CondCase{Cond::Ne, false, true, true},
+        CondCase{Cond::Be, true, true, false},
+        CondCase{Cond::A, false, false, true},
+        CondCase{Cond::S, false, true, false},
+        CondCase{Cond::Ns, true, false, true},
+        CondCase{Cond::P, true, false, false},
+        CondCase{Cond::Np, false, true, true},
+        CondCase{Cond::L, false, true, false},
+        CondCase{Cond::Ge, true, false, true},
+        CondCase{Cond::Le, true, true, false},
+        CondCase{Cond::G, false, false, true}),
+    [](const ::testing::TestParamInfo<CondCase>& info) {
+      return std::string(cond_name(info.param.cond));
+    });
+
+TEST(CondPairs, Bit0AlwaysNegates) {
+  for (int cc = 0; cc < 16; cc += 2) {
+    for (int mask = 0; mask < 32; ++mask) {
+      Flags f;
+      f.cf = mask & 1;
+      f.zf = mask & 2;
+      f.sf = mask & 4;
+      f.of = mask & 8;
+      f.pf = mask & 16;
+      EXPECT_NE(cond_holds(static_cast<Cond>(cc), f),
+                cond_holds(static_cast<Cond>(cc + 1), f));
+    }
+  }
+}
+
+TEST(FlagsWord, RoundTrips) {
+  Flags f;
+  f.cf = true;
+  f.sf = true;
+  f.intf = false;
+  f.of = true;
+  const Flags g = Flags::from_word(f.to_word());
+  EXPECT_EQ(g.cf, f.cf);
+  EXPECT_EQ(g.pf, f.pf);
+  EXPECT_EQ(g.zf, f.zf);
+  EXPECT_EQ(g.sf, f.sf);
+  EXPECT_EQ(g.of, f.of);
+  EXPECT_EQ(g.intf, f.intf);
+}
+
+TEST(TrapNames, MatchPaperTerminology) {
+  EXPECT_EQ(trap_name(Trap::InvalidOpcode), "invalid opcode");
+  EXPECT_EQ(trap_name(Trap::GpFault), "general protection fault");
+  EXPECT_EQ(trap_name(Trap::DivideError), "divide error");
+  EXPECT_EQ(trap_name(Trap::InvalidTss), "invalid TSS");
+}
+
+}  // namespace
+}  // namespace kfi::isa

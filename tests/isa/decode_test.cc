@@ -1,0 +1,301 @@
+// Decoder tests anchored on the exact byte sequences the paper's tables
+// show, plus structural coverage of every opcode family.
+#include "isa/decode.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "isa/disasm.h"
+
+namespace kfi::isa {
+namespace {
+
+Instruction decode_ok(std::initializer_list<std::uint8_t> bytes) {
+  std::vector<std::uint8_t> buf(bytes);
+  Instruction instr;
+  EXPECT_EQ(decode(buf.data(), buf.size(), instr), DecodeStatus::Ok)
+      << "bytes failed to decode";
+  return instr;
+}
+
+DecodeStatus decode_status(std::initializer_list<std::uint8_t> bytes) {
+  std::vector<std::uint8_t> buf(bytes);
+  Instruction instr;
+  return decode(buf.data(), buf.size(), instr);
+}
+
+// --- Byte sequences straight from the paper's Tables 6 and 7 ---
+
+TEST(Decode, PaperTable6_JeShort) {
+  // "74 56  je" — Table 6 example 1 (original code).
+  const Instruction instr = decode_ok({0x74, 0x56});
+  EXPECT_EQ(instr.op, Op::Jcc);
+  EXPECT_EQ(instr.cond, Cond::E);
+  EXPECT_EQ(instr.rel, 0x56);
+  EXPECT_EQ(instr.length, 2);
+}
+
+TEST(Decode, PaperTable6_JlAfterBitFlip) {
+  // "7c 56  jl" — the same instruction after the injected bit flip.
+  const Instruction instr = decode_ok({0x7C, 0x56});
+  EXPECT_EQ(instr.op, Op::Jcc);
+  EXPECT_EQ(instr.cond, Cond::L);
+}
+
+TEST(Decode, PaperTable6_JeLong) {
+  // "0f 84 ed 00 00 00  je" — Table 6 example 2.
+  const Instruction instr = decode_ok({0x0F, 0x84, 0xED, 0x00, 0x00, 0x00});
+  EXPECT_EQ(instr.op, Op::Jcc);
+  EXPECT_EQ(instr.cond, Cond::E);
+  EXPECT_EQ(instr.rel, 0xED);
+  EXPECT_EQ(instr.length, 6);
+}
+
+TEST(Decode, PaperTable6_JoAfterBitFlip) {
+  // "0f 80 ed 00 00 00  jo" — after flipping bit 2 of the second byte.
+  const Instruction instr = decode_ok({0x0F, 0x80, 0xED, 0x00, 0x00, 0x00});
+  EXPECT_EQ(instr.op, Op::Jcc);
+  EXPECT_EQ(instr.cond, Cond::O);
+}
+
+TEST(Decode, PaperTable6_XorAlImm8) {
+  // "34 56  xor $0x56,%al" — je corrupted into xor (example 3).
+  const Instruction instr = decode_ok({0x34, 0x56});
+  EXPECT_EQ(instr.op, Op::Xor);
+  EXPECT_EQ(instr.dst.kind, OperandKind::Reg8);
+  EXPECT_EQ(instr.dst.reg, Reg::Eax);
+  EXPECT_EQ(instr.src.imm, 0x56);
+}
+
+TEST(Decode, PaperTable7_TestEdxEdx) {
+  // "85 d2  test %edx,%edx"
+  const Instruction instr = decode_ok({0x85, 0xD2});
+  EXPECT_EQ(instr.op, Op::Test);
+  EXPECT_EQ(instr.dst.reg, Reg::Edx);
+  EXPECT_EQ(instr.src.reg, Reg::Edx);
+}
+
+TEST(Decode, PaperTable7_MovzblWithDisp) {
+  // "0f b6 42 1b  movzbl 0x1b(%edx),%eax"
+  const Instruction instr = decode_ok({0x0F, 0xB6, 0x42, 0x1B});
+  EXPECT_EQ(instr.op, Op::Movzx8);
+  EXPECT_EQ(instr.dst.reg, Reg::Eax);
+  EXPECT_EQ(instr.src.kind, OperandKind::Mem8);
+  EXPECT_EQ(instr.src.mem.base, Reg::Edx);
+  EXPECT_EQ(instr.src.mem.disp, 0x1B);
+}
+
+TEST(Decode, PaperTable7_MovDisp8) {
+  // "8b 51 0c  mov 0xc(%ecx),%edx"
+  const Instruction instr = decode_ok({0x8B, 0x51, 0x0C});
+  EXPECT_EQ(instr.op, Op::Mov);
+  EXPECT_EQ(instr.dst.reg, Reg::Edx);
+  EXPECT_EQ(instr.src.mem.base, Reg::Ecx);
+  EXPECT_EQ(instr.src.mem.disp, 0x0C);
+  EXPECT_EQ(instr.length, 3);
+}
+
+TEST(Decode, PaperTable7_CorruptedMovShrinksAndResequences) {
+  // Table 7 example 2: "8b 51 0c" corrupted to "8b 11" (mov (%ecx),%edx)
+  // makes the following bytes decode as different instructions.
+  const Instruction instr = decode_ok({0x8B, 0x11});
+  EXPECT_EQ(instr.op, Op::Mov);
+  EXPECT_EQ(instr.length, 2);
+  EXPECT_EQ(instr.src.mem.disp, 0);
+
+  // The displaced byte 0x0c then starts "or $0x39,%al".
+  const Instruction next = decode_ok({0x0C, 0x39});
+  EXPECT_EQ(next.op, Op::Or);
+  EXPECT_EQ(next.dst.kind, OperandKind::Reg8);
+  EXPECT_EQ(next.src.imm, 0x39);
+}
+
+TEST(Decode, PaperTable7_PopEbp) {
+  // "5d  pop %ebp"
+  const Instruction instr = decode_ok({0x5D});
+  EXPECT_EQ(instr.op, Op::Pop);
+  EXPECT_EQ(instr.dst.reg, Reg::Ebp);
+  EXPECT_EQ(instr.length, 1);
+}
+
+TEST(Decode, PaperTable7_MovCorruptedToLret) {
+  // Table 7 example 3: "8b 5d bc" -> "cb" (lret), which raises #GP.
+  const Instruction instr = decode_ok({0xCB});
+  EXPECT_EQ(instr.op, Op::Lret);
+}
+
+TEST(Decode, PaperTable7_Ud2Assertion) {
+  // "0f 0b  ud2a" — BUG() body; drives campaign C's invalid-opcode share.
+  const Instruction instr = decode_ok({0x0F, 0x0B});
+  EXPECT_EQ(instr.op, Op::Ud2);
+  EXPECT_EQ(instr.length, 2);
+}
+
+// --- Structural coverage ---
+
+TEST(Decode, AllJccShortCondsDecode) {
+  for (int cc = 0; cc < 16; ++cc) {
+    const Instruction instr =
+        decode_ok({static_cast<std::uint8_t>(0x70 + cc), 0x10});
+    EXPECT_EQ(instr.op, Op::Jcc);
+    EXPECT_EQ(static_cast<int>(instr.cond), cc);
+  }
+}
+
+TEST(Decode, JccBit0FlipReversesCondition) {
+  // The property campaign C relies on: opcode bit 0 negates the condition.
+  for (int cc = 0; cc < 16; ++cc) {
+    const auto a = decode_ok({static_cast<std::uint8_t>(0x70 + cc), 0x10});
+    const auto b =
+        decode_ok({static_cast<std::uint8_t>((0x70 + cc) ^ 1), 0x10});
+    EXPECT_EQ(static_cast<int>(a.cond) ^ 1, static_cast<int>(b.cond));
+    Flags flags;
+    for (int mask = 0; mask < 32; ++mask) {
+      flags.cf = mask & 1;
+      flags.zf = mask & 2;
+      flags.sf = mask & 4;
+      flags.of = mask & 8;
+      flags.pf = mask & 16;
+      EXPECT_NE(cond_holds(a.cond, flags), cond_holds(b.cond, flags));
+    }
+  }
+}
+
+TEST(Decode, MovRegImm32) {
+  const Instruction instr = decode_ok({0xB8, 0x78, 0x56, 0x34, 0x12});
+  EXPECT_EQ(instr.op, Op::Mov);
+  EXPECT_EQ(instr.dst.reg, Reg::Eax);
+  EXPECT_EQ(instr.src.imm, 0x12345678);
+  EXPECT_EQ(instr.length, 5);
+}
+
+TEST(Decode, NegativeDisp8SignExtends) {
+  // "8b 45 c0  mov -0x40(%ebp),%eax" — frame-local access pattern.
+  const Instruction instr = decode_ok({0x8B, 0x45, 0xC0});
+  EXPECT_EQ(instr.src.mem.disp, -0x40);
+}
+
+TEST(Decode, AbsoluteAddressing) {
+  // mod=0, rm=5 -> [disp32].
+  const Instruction instr = decode_ok({0x8B, 0x05, 0x00, 0x10, 0x20, 0xC0});
+  EXPECT_EQ(instr.src.kind, OperandKind::Mem);
+  EXPECT_FALSE(instr.src.mem.has_base);
+  EXPECT_EQ(instr.src.mem.disp, static_cast<std::int32_t>(0xC0201000));
+}
+
+TEST(Decode, GroupF7) {
+  EXPECT_EQ(decode_ok({0xF7, 0xD0}).op, Op::Not);   // /2
+  EXPECT_EQ(decode_ok({0xF7, 0xD8}).op, Op::Neg);   // /3
+  EXPECT_EQ(decode_ok({0xF7, 0xE1}).op, Op::Mul);   // /4
+  EXPECT_EQ(decode_ok({0xF7, 0xF1}).op, Op::Div);   // /6
+  EXPECT_EQ(decode_ok({0xF7, 0xF9}).op, Op::Idiv);  // /7
+  EXPECT_EQ(decode_status({0xF7, 0xC8}), DecodeStatus::Invalid);  // /1
+}
+
+TEST(Decode, GroupFF) {
+  EXPECT_EQ(decode_ok({0xFF, 0xC0}).op, Op::Inc);      // /0
+  EXPECT_EQ(decode_ok({0xFF, 0xC8}).op, Op::Dec);      // /1
+  EXPECT_EQ(decode_ok({0xFF, 0xD0}).op, Op::CallInd);  // /2
+  EXPECT_EQ(decode_ok({0xFF, 0xE0}).op, Op::JmpInd);   // /4
+  EXPECT_EQ(decode_ok({0xFF, 0xF0}).op, Op::Push);     // /6
+  EXPECT_EQ(decode_status({0xFF, 0xD8}), DecodeStatus::Invalid);  // /3
+}
+
+TEST(Decode, ImmediateGroup81And83) {
+  const Instruction long_form =
+      decode_ok({0x81, 0xC3, 0x00, 0x01, 0x00, 0x00});
+  EXPECT_EQ(long_form.op, Op::Add);
+  EXPECT_EQ(long_form.dst.reg, Reg::Ebx);
+  EXPECT_EQ(long_form.src.imm, 256);
+
+  const Instruction short_form = decode_ok({0x83, 0xEB, 0xFC});
+  EXPECT_EQ(short_form.op, Op::Sub);
+  EXPECT_EQ(short_form.src.imm, -4);
+}
+
+TEST(Decode, ShiftForms) {
+  EXPECT_EQ(decode_ok({0xD1, 0xE0}).op, Op::Shl);
+  EXPECT_EQ(decode_ok({0xD1, 0xE0}).src.imm, 1);
+  EXPECT_EQ(decode_ok({0xC1, 0xE8, 0x0C}).op, Op::Shr);
+  EXPECT_EQ(decode_ok({0xC1, 0xE8, 0x0C}).src.imm, 12);
+  EXPECT_EQ(decode_ok({0xD3, 0xF8}).op, Op::Sar);
+  EXPECT_EQ(decode_ok({0xD3, 0xF8}).src.reg, Reg::Ecx);
+}
+
+TEST(Decode, LeaRejectsRegisterForm) {
+  EXPECT_EQ(decode_status({0x8D, 0xC0}), DecodeStatus::Invalid);
+}
+
+TEST(Decode, ControlTransfers) {
+  EXPECT_EQ(decode_ok({0xE8, 1, 0, 0, 0}).op, Op::Call);
+  EXPECT_EQ(decode_ok({0xE9, 1, 0, 0, 0}).op, Op::Jmp);
+  EXPECT_EQ(decode_ok({0xEB, 0xFE}).rel, -2);
+  EXPECT_EQ(decode_ok({0xC3}).op, Op::Ret);
+  EXPECT_EQ(decode_ok({0xC9}).op, Op::Leave);
+  EXPECT_EQ(decode_ok({0xCF}).op, Op::Iret);
+}
+
+TEST(Decode, IntImm8) {
+  const Instruction instr = decode_ok({0xCD, 0x80});
+  EXPECT_EQ(instr.op, Op::Int);
+  EXPECT_EQ(instr.imm8, 0x80);
+}
+
+TEST(Decode, PrivilegedAndFarOps) {
+  EXPECT_EQ(decode_ok({0xF4}).op, Op::Hlt);
+  EXPECT_EQ(decode_ok({0xFA}).op, Op::Cli);
+  EXPECT_EQ(decode_ok({0xFB}).op, Op::Sti);
+  EXPECT_EQ(decode_ok({0xEC}).op, Op::In);
+  EXPECT_EQ(decode_ok({0xEA, 0, 0, 0, 0, 0, 0}).op, Op::FarJmp);
+  EXPECT_EQ(decode_ok({0x9A, 0, 0, 0, 0, 0, 0}).op, Op::FarCall);
+  EXPECT_EQ(decode_ok({0x8E, 0xD8}).op, Op::MovSeg);
+}
+
+TEST(Decode, UndefinedBytesAreInvalidNotCrash) {
+  for (const std::uint8_t opcode : {0x06, 0x0E, 0x16, 0x26, 0x60, 0x9B,
+                                    0xD8, 0xE0, 0xF0, 0xF1}) {
+    EXPECT_EQ(decode_status({opcode, 0x00, 0x00, 0x00, 0x00, 0x00}),
+              DecodeStatus::Invalid)
+        << "opcode " << static_cast<int>(opcode);
+  }
+}
+
+TEST(Decode, TruncatedInputReportsTruncated) {
+  EXPECT_EQ(decode_status({0xB8, 0x01}), DecodeStatus::Truncated);
+  EXPECT_EQ(decode_status({0x8B}), DecodeStatus::Truncated);
+  EXPECT_EQ(decode_status({0x0F}), DecodeStatus::Truncated);
+}
+
+TEST(Decode, ZeroBytesDecodeAsAddNotInvalid) {
+  // "00 00  add %al,(%eax)" is valid on IA-32; zeroed memory should not
+  // read as invalid opcodes.
+  const Instruction instr = decode_ok({0x00, 0x00});
+  EXPECT_EQ(instr.op, Op::Add);
+  EXPECT_EQ(instr.dst.kind, OperandKind::Mem8);
+}
+
+// Property: the decoder is total — every 1..6 byte prefix of random data
+// yields Ok, Invalid, or Truncated without misbehaving, and Ok lengths
+// never exceed the supplied size.
+TEST(Decode, TotalOverRandomBytes) {
+  std::uint32_t state = 12345;
+  auto next = [&state] {
+    state = state * 1664525 + 1013904223;
+    return static_cast<std::uint8_t>(state >> 24);
+  };
+  for (int trial = 0; trial < 20000; ++trial) {
+    std::uint8_t buf[12];
+    for (auto& b : buf) b = next();
+    Instruction instr;
+    const DecodeStatus status = decode(buf, sizeof buf, instr);
+    if (status == DecodeStatus::Ok) {
+      EXPECT_GE(instr.length, 1);
+      EXPECT_LE(instr.length, kMaxInstructionLength);
+      EXPECT_NE(instr.op, Op::Invalid);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kfi::isa

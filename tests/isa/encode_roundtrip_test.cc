@@ -1,0 +1,312 @@
+// Property tests: decode(encode(i)) == i across the operand space.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "isa/decode.h"
+#include "isa/encode.h"
+
+namespace kfi::isa {
+namespace {
+
+// Encodes, then decodes, and compares semantic fields (length is set by
+// the decoder from the actual byte count).
+void expect_roundtrip(Instruction instr) {
+  std::vector<std::uint8_t> bytes;
+  ASSERT_TRUE(encode(instr, bytes)) << "not encodable: "
+                                    << static_cast<int>(instr.op);
+  Instruction decoded;
+  ASSERT_EQ(decode(bytes.data(), bytes.size(), decoded), DecodeStatus::Ok);
+  instr.length = static_cast<std::uint8_t>(bytes.size());
+  EXPECT_TRUE(instr == decoded)
+      << "op=" << static_cast<int>(instr.op)
+      << " decoded op=" << static_cast<int>(decoded.op);
+}
+
+std::vector<Operand> interesting_rm32() {
+  std::vector<Operand> ops;
+  for (int r = 0; r < kRegCount; ++r) {
+    ops.push_back(Operand::make_reg(static_cast<Reg>(r)));
+  }
+  for (int base = 0; base < kRegCount; ++base) {
+    for (const std::int32_t disp : {0, 4, -4, 127, -128, 128, -129, 4096}) {
+      MemRef m;
+      m.has_base = true;
+      m.base = static_cast<Reg>(base);
+      m.disp = disp;
+      ops.push_back(Operand::make_mem(m));
+    }
+  }
+  MemRef abs;
+  abs.has_base = false;
+  abs.disp = static_cast<std::int32_t>(0xC0201000);
+  ops.push_back(Operand::make_mem(abs));
+  return ops;
+}
+
+TEST(EncodeRoundtrip, AluRegisterAndMemoryForms) {
+  const auto rms = interesting_rm32();
+  for (const Op op : {Op::Add, Op::Or, Op::And, Op::Sub, Op::Xor, Op::Cmp}) {
+    for (const auto& rm : rms) {
+      Instruction instr;
+      instr.op = op;
+      instr.dst = rm;
+      instr.src = Operand::make_reg(Reg::Edx);
+      expect_roundtrip(instr);
+
+      if (rm.kind == OperandKind::Mem) {
+        Instruction load;
+        load.op = op;
+        load.dst = Operand::make_reg(Reg::Ecx);
+        load.src = rm;
+        expect_roundtrip(load);
+      }
+
+      for (const std::int32_t imm : {0, 1, -1, 127, -128, 128, 65536}) {
+        Instruction immf;
+        immf.op = op;
+        immf.dst = rm;
+        immf.src = Operand::make_imm(imm);
+        expect_roundtrip(immf);
+      }
+    }
+  }
+}
+
+TEST(EncodeRoundtrip, MovForms) {
+  const auto rms = interesting_rm32();
+  for (const auto& rm : rms) {
+    Instruction store;
+    store.op = Op::Mov;
+    store.dst = rm;
+    store.src = Operand::make_reg(Reg::Esi);
+    expect_roundtrip(store);
+
+    if (rm.kind == OperandKind::Mem) {
+      Instruction load;
+      load.op = Op::Mov;
+      load.dst = Operand::make_reg(Reg::Edi);
+      load.src = rm;
+      expect_roundtrip(load);
+
+      Instruction imm_store;
+      imm_store.op = Op::Mov;
+      imm_store.dst = rm;
+      imm_store.src = Operand::make_imm(0x12345678);
+      expect_roundtrip(imm_store);
+    }
+  }
+  for (int r = 0; r < kRegCount; ++r) {
+    Instruction imm;
+    imm.op = Op::Mov;
+    imm.dst = Operand::make_reg(static_cast<Reg>(r));
+    imm.src = Operand::make_imm(-1);
+    expect_roundtrip(imm);
+  }
+}
+
+TEST(EncodeRoundtrip, ByteForms) {
+  for (int r = 0; r < 4; ++r) {
+    MemRef m;
+    m.has_base = true;
+    m.base = Reg::Esi;
+    m.disp = 0x1B;
+
+    Instruction store;
+    store.op = Op::Mov;
+    store.dst = Operand::make_mem(m, /*byte=*/true);
+    store.src = Operand::make_reg8(static_cast<Reg>(r));
+    expect_roundtrip(store);
+
+    Instruction load;
+    load.op = Op::Mov;
+    load.dst = Operand::make_reg8(static_cast<Reg>(r));
+    load.src = Operand::make_mem(m, /*byte=*/true);
+    expect_roundtrip(load);
+
+    Instruction movzx;
+    movzx.op = Op::Movzx8;
+    movzx.dst = Operand::make_reg(static_cast<Reg>(r));
+    movzx.src = Operand::make_mem(m, /*byte=*/true);
+    expect_roundtrip(movzx);
+  }
+}
+
+TEST(EncodeRoundtrip, StackOps) {
+  for (int r = 0; r < kRegCount; ++r) {
+    Instruction push;
+    push.op = Op::Push;
+    push.src = Operand::make_reg(static_cast<Reg>(r));
+    expect_roundtrip(push);
+
+    Instruction pop;
+    pop.op = Op::Pop;
+    pop.dst = Operand::make_reg(static_cast<Reg>(r));
+    expect_roundtrip(pop);
+  }
+  for (const std::int32_t imm : {0, 127, -128, 128, 0x12345678}) {
+    Instruction push;
+    push.op = Op::Push;
+    push.src = Operand::make_imm(imm);
+    expect_roundtrip(push);
+  }
+}
+
+TEST(EncodeRoundtrip, IncDecNotNegMulDiv) {
+  const auto rms = interesting_rm32();
+  for (const auto& rm : rms) {
+    for (const Op op : {Op::Not, Op::Neg}) {
+      Instruction instr;
+      instr.op = op;
+      instr.dst = rm;
+      expect_roundtrip(instr);
+    }
+    for (const Op op : {Op::Mul, Op::Div, Op::Idiv}) {
+      Instruction instr;
+      instr.op = op;
+      instr.src = rm;
+      expect_roundtrip(instr);
+    }
+    Instruction inc;
+    inc.op = Op::Inc;
+    inc.dst = rm;
+    expect_roundtrip(inc);
+    Instruction dec;
+    dec.op = Op::Dec;
+    dec.dst = rm;
+    expect_roundtrip(dec);
+  }
+}
+
+TEST(EncodeRoundtrip, Shifts) {
+  for (const Op op : {Op::Shl, Op::Shr, Op::Sar}) {
+    for (const std::int32_t count : {1, 2, 12, 31}) {
+      Instruction instr;
+      instr.op = op;
+      instr.dst = Operand::make_reg(Reg::Eax);
+      instr.src = Operand::make_imm(count);
+      expect_roundtrip(instr);
+    }
+    Instruction by_cl;
+    by_cl.op = op;
+    by_cl.dst = Operand::make_reg(Reg::Edx);
+    by_cl.src = Operand::make_reg8(Reg::Ecx);
+    expect_roundtrip(by_cl);
+  }
+}
+
+TEST(EncodeRoundtrip, BranchesShortAndLong) {
+  for (int cc = 0; cc < 16; ++cc) {
+    Instruction shortj;
+    shortj.op = Op::Jcc;
+    shortj.cond = static_cast<Cond>(cc);
+    shortj.rel = 0x10;
+    expect_roundtrip(shortj);
+
+    Instruction longj;
+    longj.op = Op::Jcc;
+    longj.cond = static_cast<Cond>(cc);
+    longj.rel = 0x1234;
+    expect_roundtrip(longj);
+  }
+  Instruction jmp_short;
+  jmp_short.op = Op::Jmp;
+  jmp_short.rel = -2;
+  expect_roundtrip(jmp_short);
+
+  Instruction jmp_long;
+  jmp_long.op = Op::Jmp;
+  jmp_long.rel = 100000;
+  expect_roundtrip(jmp_long);
+
+  Instruction call;
+  call.op = Op::Call;
+  call.rel = -4096;
+  expect_roundtrip(call);
+}
+
+TEST(EncodeRoundtrip, ForceLongBranchKeepsRoundtrip) {
+  Instruction jcc;
+  jcc.op = Op::Jcc;
+  jcc.cond = Cond::Ne;
+  jcc.rel = 4;  // would fit short
+  std::vector<std::uint8_t> bytes;
+  ASSERT_TRUE(encode(jcc, bytes, /*force_long_branch=*/true));
+  EXPECT_EQ(bytes.size(), 6u);
+  Instruction decoded;
+  ASSERT_EQ(decode(bytes.data(), bytes.size(), decoded), DecodeStatus::Ok);
+  EXPECT_EQ(decoded.op, Op::Jcc);
+  EXPECT_EQ(decoded.cond, Cond::Ne);
+  EXPECT_EQ(decoded.rel, 4);
+}
+
+TEST(EncodeRoundtrip, NullaryOps) {
+  for (const Op op : {Op::Ret, Op::Leave, Op::Nop, Op::Cdq, Op::Ud2,
+                      Op::Int3, Op::Iret, Op::Lret, Op::In, Op::Hlt,
+                      Op::Cli, Op::Sti}) {
+    Instruction instr;
+    instr.op = op;
+    expect_roundtrip(instr);
+  }
+  Instruction syscall_instr;
+  syscall_instr.op = Op::Int;
+  syscall_instr.imm8 = 0x80;
+  expect_roundtrip(syscall_instr);
+}
+
+TEST(EncodeRoundtrip, IndirectCallsAndJumps) {
+  const auto rms = interesting_rm32();
+  for (const auto& rm : rms) {
+    Instruction call;
+    call.op = Op::CallInd;
+    call.src = rm;
+    expect_roundtrip(call);
+
+    Instruction jmp;
+    jmp.op = Op::JmpInd;
+    jmp.src = rm;
+    expect_roundtrip(jmp);
+  }
+}
+
+TEST(EncodeRoundtrip, LeaAndSetcc) {
+  MemRef m;
+  m.has_base = true;
+  m.base = Reg::Ebp;
+  m.disp = -8;
+  Instruction lea;
+  lea.op = Op::Lea;
+  lea.dst = Operand::make_reg(Reg::Eax);
+  lea.src = Operand::make_mem(m);
+  expect_roundtrip(lea);
+
+  for (int cc = 0; cc < 16; ++cc) {
+    Instruction setcc;
+    setcc.op = Op::Setcc;
+    setcc.cond = static_cast<Cond>(cc);
+    setcc.dst = Operand::make_reg8(Reg::Ecx);
+    expect_roundtrip(setcc);
+  }
+}
+
+TEST(EncodeRoundtrip, InvalidIsNotEncodable) {
+  Instruction instr;
+  instr.op = Op::Invalid;
+  std::vector<std::uint8_t> bytes;
+  EXPECT_FALSE(encode(instr, bytes));
+  EXPECT_TRUE(bytes.empty());
+  EXPECT_EQ(encoded_length(instr), 0u);
+}
+
+TEST(EncodeRoundtrip, EncodedLengthMatchesEncode) {
+  Instruction instr;
+  instr.op = Op::Mov;
+  instr.dst = Operand::make_reg(Reg::Eax);
+  instr.src = Operand::make_imm(7);
+  std::vector<std::uint8_t> bytes;
+  ASSERT_TRUE(encode(instr, bytes));
+  EXPECT_EQ(encoded_length(instr), bytes.size());
+}
+
+}  // namespace
+}  // namespace kfi::isa

@@ -1,0 +1,319 @@
+// Assembler tests: encoding fidelity, label resolution, relaxation,
+// relocations, linking — and an end-to-end "assemble and execute" check.
+#include "kasm/assembler.h"
+
+#include <gtest/gtest.h>
+
+#include "isa/decode.h"
+#include "isa/disasm.h"
+#include "support/strings.h"
+#include "vm/cpu.h"
+#include "vm/hostmap.h"
+
+namespace kfi::kasm {
+namespace {
+
+AsmUnit must_assemble(std::string_view src, std::uint32_t base = 0x1000) {
+  AsmResult r = assemble(src, base);
+  EXPECT_TRUE(r.ok) << (r.errors.empty() ? "?" : r.errors[0]);
+  return r.unit;
+}
+
+TEST(Assembler, EncodesPaperByteSequences) {
+  // The exact encodings the paper's Table 7 shows.
+  const AsmUnit unit = must_assemble(R"(
+    test %edx, %edx
+    xor %edx, %edx
+    mov 0xc(%ecx), %edx
+    movzbl 0x1b(%edx), %eax
+    ud2a
+  )");
+  EXPECT_EQ(hex_bytes(unit.bytes),
+            "85 d2 31 d2 8b 51 0c 0f b6 42 1b 0f 0b");
+}
+
+TEST(Assembler, ShortBranchBackward) {
+  const AsmUnit unit = must_assemble(R"(
+  loop:
+    dec %eax
+    jne loop
+    ret
+  )");
+  // dec eax = 48; jne rel8 = 75 FD (back 3).
+  EXPECT_EQ(hex_bytes(unit.bytes), "48 75 fd c3");
+}
+
+TEST(Assembler, ForwardBranchResolved) {
+  const AsmUnit unit = must_assemble(R"(
+    cmp %eax, %ebx
+    je out
+    inc %ecx
+  out:
+    ret
+  )");
+  // 39 c3 / 74 01 / 41 / c3
+  EXPECT_EQ(hex_bytes(unit.bytes), "39 c3 74 01 41 c3");
+}
+
+TEST(Assembler, LongBranchRelaxation) {
+  std::string src = "  je far_away\n";
+  for (int i = 0; i < 200; ++i) src += "  nop\n";
+  src += "far_away:\n  ret\n";
+  const AsmUnit unit = must_assemble(src);
+  // je must have grown to the 6-byte form: 0F 84 c8 00 00 00.
+  EXPECT_EQ(unit.bytes[0], 0x0F);
+  EXPECT_EQ(unit.bytes[1], 0x84);
+  const std::uint32_t rel = unit.bytes[2] | (unit.bytes[3] << 8);
+  EXPECT_EQ(rel, 200u);
+}
+
+TEST(Assembler, CallLocalIsRel32) {
+  const AsmUnit unit = must_assemble(R"(
+    call f
+  f:
+    ret
+  )");
+  EXPECT_EQ(hex_bytes(unit.bytes), "e8 00 00 00 00 c3");
+}
+
+TEST(Assembler, SymbolsGetBaseAddedAddresses) {
+  const AsmUnit unit = must_assemble(R"(
+    nop
+  entry:
+    ret
+  )", 0xC0105000);
+  ASSERT_EQ(unit.symbols.count("entry"), 1u);
+  EXPECT_EQ(unit.symbols.at("entry"), 0xC0105001u);
+}
+
+TEST(Assembler, FuncRangesRecorded) {
+  const AsmUnit unit = must_assemble(R"(
+  .func foo
+  foo:
+    nop
+    ret
+  .endfunc
+  .func bar
+  bar:
+    ret
+  .endfunc
+  )");
+  ASSERT_EQ(unit.functions.size(), 2u);
+  EXPECT_EQ(unit.functions[0].name, "foo");
+  EXPECT_EQ(unit.functions[0].start, 0u);
+  EXPECT_EQ(unit.functions[0].end, 2u);
+  EXPECT_EQ(unit.functions[1].start, 2u);
+  EXPECT_EQ(unit.functions[1].end, 3u);
+}
+
+TEST(Assembler, DataDirectives) {
+  const AsmUnit unit = must_assemble(R"(
+    .word 0x12345678
+    .byte 0xAB
+    .space 3
+    .ascii "hi\n"
+  )");
+  EXPECT_EQ(hex_bytes(unit.bytes), "78 56 34 12 ab 00 00 00 68 69 0a");
+}
+
+TEST(Assembler, ImmediateSymbolBecomesReloc) {
+  const AsmUnit unit = must_assemble("  mov $counter, %eax\n");
+  ASSERT_EQ(unit.relocs.size(), 1u);
+  EXPECT_EQ(unit.relocs[0].symbol, "counter");
+  EXPECT_EQ(unit.relocs[0].kind, RelocKind::Abs32);
+  EXPECT_EQ(unit.relocs[0].offset, 1u);  // B8 <imm32>
+}
+
+TEST(Assembler, AbsoluteMemorySymbolBecomesReloc) {
+  const AsmUnit unit = must_assemble("  mov counter, %eax\n");
+  ASSERT_EQ(unit.relocs.size(), 1u);
+  EXPECT_EQ(unit.relocs[0].offset, 2u);  // 8B 05 <disp32>
+}
+
+TEST(Assembler, ExternalCallBecomesRel32Reloc) {
+  const AsmUnit unit = must_assemble("  call do_page_fault\n  ret\n");
+  ASSERT_EQ(unit.relocs.size(), 1u);
+  EXPECT_EQ(unit.relocs[0].kind, RelocKind::Rel32);
+  EXPECT_EQ(unit.relocs[0].offset, 1u);
+}
+
+TEST(Assembler, JccToExternalIsError) {
+  const AsmResult r = assemble("  je somewhere_else\n", 0);
+  EXPECT_FALSE(r.ok);
+  ASSERT_FALSE(r.errors.empty());
+  EXPECT_NE(r.errors[0].find("external"), std::string::npos);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  const AsmResult r = assemble("  nop\n  bogus %eax\n", 0);
+  EXPECT_FALSE(r.ok);
+  ASSERT_FALSE(r.errors.empty());
+  EXPECT_NE(r.errors[0].find("line 2"), std::string::npos);
+}
+
+TEST(Assembler, DuplicateLabelIsError) {
+  const AsmResult r = assemble("x:\n  nop\nx:\n", 0);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const AsmUnit unit = must_assemble(R"(
+    ; full line comment
+    nop          ; trailing
+    nop          // c++ style
+
+  )");
+  EXPECT_EQ(unit.bytes.size(), 2u);
+}
+
+TEST(Assembler, IndirectCallAndJump) {
+  const AsmUnit unit = must_assemble("  call *%eax\n  jmp *%ebx\n");
+  EXPECT_EQ(hex_bytes(unit.bytes), "ff d0 ff e3");
+}
+
+TEST(Assembler, PushForms) {
+  const AsmUnit unit = must_assemble(R"(
+    push %ebp
+    push $4
+    push $300
+    push 8(%ebp)
+  )");
+  EXPECT_EQ(hex_bytes(unit.bytes), "55 6a 04 68 2c 01 00 00 ff 75 08");
+}
+
+TEST(Assembler, ShiftForms) {
+  const AsmUnit unit = must_assemble(R"(
+    shl $1, %eax
+    shr $12, %eax
+    sar %cl, %edx
+  )");
+  EXPECT_EQ(hex_bytes(unit.bytes), "d1 e0 c1 e8 0c d3 fa");
+}
+
+TEST(Assembler, ByteMoves) {
+  const AsmUnit unit = must_assemble(R"(
+    movb %al, 3(%esi)
+    movb $7, (%edi)
+    movzbl (%esi), %ecx
+  )");
+  EXPECT_EQ(hex_bytes(unit.bytes), "88 46 03 c6 07 07 0f b6 0e");
+}
+
+TEST(Linker, ResolvesCrossUnitCallsAndData) {
+  AsmResult a = assemble(R"(
+  .func caller
+  caller:
+    call callee
+    mov shared_counter, %eax
+    ret
+  .endfunc
+  )", 0x1000);
+  AsmResult b = assemble(R"(
+  .func callee
+  callee:
+    ret
+  .endfunc
+  shared_counter:
+    .word 99
+  )", 0x2000);
+  ASSERT_TRUE(a.ok && b.ok);
+
+  std::vector<AsmUnit> units{a.unit, b.unit};
+  const LinkResult linked = link(units);
+  ASSERT_TRUE(linked.ok) << (linked.errors.empty() ? "?" : linked.errors[0]);
+
+  // call rel32 at unit A offset 1: target 0x2000, next = 0x1005.
+  std::uint32_t rel = 0;
+  for (int i = 0; i < 4; ++i) rel |= units[0].bytes[1 + i] << (8 * i);
+  EXPECT_EQ(rel, 0x2000u - 0x1005u);
+
+  // mov disp32 patched to 0x2001 (after callee's ret).
+  std::uint32_t disp = 0;
+  for (int i = 0; i < 4; ++i) disp |= units[0].bytes[7 + i] << (8 * i);
+  EXPECT_EQ(disp, 0x2001u);
+}
+
+TEST(Linker, MissingSymbolReported) {
+  AsmResult a = assemble("  call nowhere\n", 0x1000);
+  ASSERT_TRUE(a.ok);
+  std::vector<AsmUnit> units{a.unit};
+  const LinkResult linked = link(units);
+  EXPECT_FALSE(linked.ok);
+}
+
+TEST(Linker, DuplicateSymbolReported) {
+  AsmResult a = assemble("x:\n  nop\n", 0x1000);
+  AsmResult b = assemble("x:\n  nop\n", 0x2000);
+  ASSERT_TRUE(a.ok && b.ok);
+  std::vector<AsmUnit> units{a.unit, b.unit};
+  const LinkResult linked = link(units);
+  EXPECT_FALSE(linked.ok);
+}
+
+// End to end: assemble a function, load it into the VM, run it.
+TEST(Assembler, AssembledCodeExecutes) {
+  const AsmUnit unit = must_assemble(R"(
+  ; sum 1..5 into eax
+    mov $0, %eax
+    mov $5, %ecx
+  loop:
+    add %ecx, %eax
+    dec %ecx
+    jne loop
+    hlt
+  )", 0xC0105000);
+
+  vm::PhysicalMemory memory(vm::kRamSize);
+  vm::Bus bus;
+  vm::Cpu cpu(memory, bus);
+  vm::HostMapper mapper(memory, vm::kBootPgdPhys, vm::kKernelPtePhys);
+  mapper.map_range(vm::kKernelBase, 0, vm::kRamSize, vm::kPteWrite);
+  cpu.mmu().set_cr3(vm::kBootPgdPhys);
+  memory.write_block(vm::phys_of_virt(0xC0105000),
+                     unit.bytes.data(),
+                     static_cast<std::uint32_t>(unit.bytes.size()));
+  cpu.set_eip(0xC0105000);
+  cpu.set_reg(isa::Reg::Esp, vm::kBootStackTop);
+
+  for (int i = 0; i < 100; ++i) {
+    if (cpu.step().kind == vm::CpuEventKind::Halted) break;
+  }
+  EXPECT_EQ(cpu.reg(isa::Reg::Eax), 15u);
+}
+
+// Property: every assembled instruction disassembles back (no "(bad)").
+TEST(Assembler, AllEmittedBytesDisassemble) {
+  const AsmUnit unit = must_assemble(R"(
+    mov $1, %eax
+    mov %eax, 8(%ebp)
+    add $4, %esp
+    cmp $0, %eax
+    je done
+    call done
+    push %esi
+    pop %edi
+    test %eax, %eax
+    lea 8(%ebx), %ecx
+    imul %edx, %eax
+    not %eax
+    neg %ecx
+    cdq
+    idiv %ecx
+  done:
+    leave
+    ret
+  )");
+  std::size_t pos = 0;
+  while (pos < unit.bytes.size()) {
+    std::size_t len = 0;
+    const std::string text = isa::disassemble_bytes(
+        unit.bytes.data() + pos, unit.bytes.size() - pos,
+        unit.base + static_cast<std::uint32_t>(pos), &len);
+    EXPECT_NE(text, "(bad)") << "at offset " << pos;
+    ASSERT_GT(len, 0u);
+    pos += len;
+  }
+}
+
+}  // namespace
+}  // namespace kfi::kasm

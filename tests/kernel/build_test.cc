@@ -1,0 +1,101 @@
+// Kernel build pipeline tests: the MiniC kernel compiles, links, lays
+// out within its regions, and exports the paper's hot functions.
+#include "kernel/build.h"
+
+#include <gtest/gtest.h>
+
+#include "vm/layout.h"
+
+namespace kfi::kernel {
+namespace {
+
+TEST(KernelBuild, BuildsWithoutErrors) {
+  const BuildResult result = build_kernel();
+  ASSERT_TRUE(result.ok) << (result.errors.empty() ? "?"
+                                                   : result.errors[0]);
+  EXPECT_FALSE(result.image.segments.empty());
+  EXPECT_GT(result.image.functions.size(), 60u);
+}
+
+TEST(KernelBuild, PaperHotFunctionsExist) {
+  const KernelImage& image = built_kernel();
+  // The functions the paper names explicitly.
+  for (const char* name :
+       {"do_page_fault", "schedule", "zap_page_range",
+        "do_generic_file_read", "pipe_read", "open_namei",
+        "link_path_walk", "sys_read", "get_hash_table", "do_wp_page",
+        "generic_commit_write", "reschedule_idle", "__wake_up"}) {
+    const KernelFunction* fn = image.function(name);
+    ASSERT_NE(fn, nullptr) << name;
+    EXPECT_GT(fn->end, fn->start) << name;
+  }
+}
+
+TEST(KernelBuild, FunctionsLandInTheirSubsystemRegions) {
+  const KernelImage& image = built_kernel();
+  const struct {
+    const char* name;
+    Subsystem subsystem;
+  } expectations[] = {
+      {"do_page_fault", Subsystem::Arch},
+      {"system_call", Subsystem::Arch},
+      {"switch_to", Subsystem::Arch},
+      {"schedule", Subsystem::Kernel},
+      {"do_fork", Subsystem::Kernel},
+      {"do_generic_file_read", Subsystem::Mm},
+      {"zap_page_range", Subsystem::Mm},
+      {"do_wp_page", Subsystem::Mm},
+      {"pipe_read", Subsystem::Fs},
+      {"open_namei", Subsystem::Fs},
+      {"get_hash_table", Subsystem::Fs},
+      {"console_write", Subsystem::Drivers},
+      {"ll_rw_block", Subsystem::Drivers},
+      {"memcpy", Subsystem::Lib},
+      {"sys_ipc", Subsystem::Ipc},
+  };
+  for (const auto& expect : expectations) {
+    const KernelFunction* fn = image.function(expect.name);
+    ASSERT_NE(fn, nullptr) << expect.name;
+    EXPECT_EQ(fn->subsystem, expect.subsystem) << expect.name;
+    EXPECT_EQ(subsystem_of_addr(fn->start), expect.subsystem) << expect.name;
+  }
+}
+
+TEST(KernelBuild, SymbolsIncludeEntryAndVectors) {
+  const KernelImage& image = built_kernel();
+  for (const char* symbol :
+       {"start_kernel", "system_call", "timer_interrupt",
+        "page_fault_entry", "invalid_op_entry", "general_protection_entry",
+        "divide_error_entry", "ret_from_fork", "sys_call_table",
+        "current", "need_resched"}) {
+    EXPECT_NE(image.symbol(symbol), 0u) << symbol;
+  }
+}
+
+TEST(KernelBuild, FunctionAtResolvesAddresses) {
+  const KernelImage& image = built_kernel();
+  const KernelFunction* schedule = image.function("schedule");
+  ASSERT_NE(schedule, nullptr);
+  EXPECT_EQ(image.function_at(schedule->start), schedule);
+  EXPECT_EQ(image.function_at(schedule->end - 1), schedule);
+}
+
+TEST(KernelBuild, SubsystemOfAddrOutsideTextIsUnknown) {
+  EXPECT_EQ(subsystem_of_addr(0x1000), Subsystem::Unknown);
+  EXPECT_EQ(subsystem_of_addr(0xC0200000), Subsystem::Unknown);
+}
+
+TEST(KernelBuild, SourceLinesCounted) {
+  const KernelImage& image = built_kernel();
+  EXPECT_GT(image.source_lines.at(Subsystem::Fs), 100u);
+  EXPECT_GT(image.source_lines.at(Subsystem::Mm), 100u);
+}
+
+TEST(KernelBuild, SubsystemNames) {
+  EXPECT_EQ(subsystem_name(Subsystem::Arch), "arch");
+  EXPECT_EQ(subsystem_name(Subsystem::Mm), "mm");
+  EXPECT_EQ(subsystem_name(Subsystem::Unknown), "unknown");
+}
+
+}  // namespace
+}  // namespace kfi::kernel

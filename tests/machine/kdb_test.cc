@@ -1,0 +1,135 @@
+// KDB-analog debugger tests: disassembly windows, backtraces, task
+// dumps, memory dumps, and the full oops report.
+#include "machine/kdb.h"
+
+#include <gtest/gtest.h>
+
+#include "kernel/koffsets.h"
+#include "vm/layout.h"
+
+namespace kfi::machine {
+namespace {
+
+std::unique_ptr<Machine> booted(const char* workload) {
+  static const disk::DiskImage root_disk = make_root_disk();
+  auto machine = std::make_unique<Machine>(kernel::built_kernel(),
+                                           workloads::built_workload(workload),
+                                           root_disk);
+  EXPECT_TRUE(machine->boot());
+  return machine;
+}
+
+TEST(Kdb, DisassembleFunctionShowsEveryInstruction) {
+  auto machine = booted("syscall");
+  Kdb kdb(*machine);
+  const std::string text = kdb.disassemble_function("pipe_read");
+  EXPECT_NE(text.find("pipe_read:"), std::string::npos);
+  EXPECT_NE(text.find("push %ebp"), std::string::npos);
+  EXPECT_NE(text.find("ret"), std::string::npos);
+  EXPECT_EQ(text.find("(bad)"), std::string::npos)
+      << "pristine kernel code must disassemble cleanly";
+}
+
+TEST(Kdb, DisassembleUnknownFunction) {
+  auto machine = booted("syscall");
+  Kdb kdb(*machine);
+  EXPECT_NE(Kdb(*machine).disassemble_function("nope").find("unknown"),
+            std::string::npos);
+}
+
+TEST(Kdb, DisassembleUnmappedAddress) {
+  auto machine = booted("syscall");
+  Kdb kdb(*machine);
+  const std::string text = kdb.disassemble(0x00000040, 3);
+  EXPECT_NE(text.find("(unmapped)"), std::string::npos);
+}
+
+TEST(Kdb, TasksShowIdleAndInit) {
+  auto machine = booted("syscall");
+  Kdb kdb(*machine);
+  const auto tasks = kdb.tasks();
+  ASSERT_GE(tasks.size(), 2u);  // idle + init
+  EXPECT_EQ(tasks[0].pid, 0u);
+  EXPECT_EQ(tasks[1].pid, 1u);
+  bool any_current = false;
+  for (const auto& t : tasks) any_current = any_current || t.is_current;
+  EXPECT_TRUE(any_current);
+  EXPECT_NE(kdb.render_tasks().find("<- current"), std::string::npos);
+}
+
+TEST(Kdb, BacktraceFromKernelCrashNamesFunctions) {
+  // Crash inside the kernel: corrupt do_generic_file_read so the fstime
+  // read path faults, then backtrace from the handler context.
+  auto machine = booted("fstime");
+  const kernel::KernelImage& image = kernel::built_kernel();
+  const kernel::KernelFunction* fn = image.function("do_generic_file_read");
+  ASSERT_NE(fn, nullptr);
+
+  // Stop at function entry, then corrupt an early mov into a NULL load.
+  machine->cpu().arm_breakpoint(0, fn->start);
+  RunResult run = machine->run(50'000'000);
+  ASSERT_EQ(run.exit, RunExit::Breakpoint);
+  machine->cpu().disarm_breakpoint(0);
+  // Flip a bit in the function body (same mechanism as the injector).
+  machine->memory().write8(vm::phys_of_virt(fn->start + 10),
+                           machine->memory().read8(
+                               vm::phys_of_virt(fn->start + 10)) ^ 0x40);
+  run = machine->run(50'000'000);
+
+  if (run.exit == RunExit::Crashed) {
+    Kdb kdb(*machine);
+    const auto frames = kdb.backtrace();
+    EXPECT_FALSE(frames.empty());
+    // The oops report must carry the cause, the EIP symbol and code.
+    const std::string report = kdb.oops_report(run.crash);
+    EXPECT_NE(report.find("EIP"), std::string::npos);
+    EXPECT_NE(report.find("Call Trace:"), std::string::npos);
+    EXPECT_NE(report.find("Code:"), std::string::npos);
+    EXPECT_NE(report.find("Stack:"), std::string::npos);
+  } else {
+    // The specific bit flip did not crash on this build; still exercise
+    // the report path against a synthetic record.
+    CrashInfo info;
+    info.cause = kernel::CRASH_NULL_POINTER;
+    info.fault_addr = 0x1B;
+    info.eip = fn->start + 10;
+    Kdb kdb(*machine);
+    const std::string report = kdb.oops_report(info);
+    EXPECT_NE(report.find("NULL pointer"), std::string::npos);
+  }
+}
+
+TEST(Kdb, OopsReportNamesFaultingFunction) {
+  auto machine = booted("syscall");
+  const kernel::KernelImage& image = kernel::built_kernel();
+  CrashInfo info;
+  info.cause = kernel::CRASH_PAGING_REQUEST;
+  info.fault_addr = 0xFFFFFFCE;
+  info.eip = image.function("schedule")->start + 4;
+  Kdb kdb(*machine);
+  const std::string report = kdb.oops_report(info);
+  EXPECT_NE(report.find("Unable to handle kernel paging request"),
+            std::string::npos);
+  EXPECT_NE(report.find("ffffffce"), std::string::npos);
+  EXPECT_NE(report.find("schedule+0x4"), std::string::npos);
+  EXPECT_NE(report.find("[kernel]"), std::string::npos);
+}
+
+TEST(Kdb, DumpMemoryMarksUnmappedWords) {
+  auto machine = booted("syscall");
+  Kdb kdb(*machine);
+  const std::string mapped = kdb.dump_memory(vm::kKernelBase, 8);
+  EXPECT_EQ(mapped.find("????????"), std::string::npos);
+  const std::string unmapped = kdb.dump_memory(0x00000100, 4);
+  EXPECT_NE(unmapped.find("????????"), std::string::npos);
+}
+
+TEST(Kdb, CrashCodeNames) {
+  EXPECT_EQ(crash_code_name(kernel::CRASH_NULL_POINTER),
+            "Unable to handle kernel NULL pointer dereference");
+  EXPECT_EQ(crash_code_name(kernel::CRASH_INVALID_OPCODE), "invalid opcode");
+  EXPECT_EQ(crash_code_name(12345), "unknown");
+}
+
+}  // namespace
+}  // namespace kfi::machine

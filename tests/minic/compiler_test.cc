@@ -1,0 +1,417 @@
+// MiniC end-to-end tests: compile, assemble, link, execute on the VM,
+// and check results.  This is the toolchain the simulated kernel is
+// built with, so correctness here underwrites everything above it.
+#include <gtest/gtest.h>
+
+#include "kasm/assembler.h"
+#include "minic/codegen.h"
+#include "vm/cpu.h"
+#include "vm/hostmap.h"
+
+namespace kfi::minic {
+namespace {
+
+constexpr std::uint32_t kTextBase = 0xC0105000;
+constexpr std::uint32_t kDataBase = 0xC0200000;
+constexpr std::uint32_t kStubBase = 0xC0104000;
+
+// Compiles `source`, links it with a start stub that calls `main`, runs
+// it until hlt, and returns eax.
+class MiniCRunner {
+ public:
+  explicit MiniCRunner(std::string_view source)
+      : memory(vm::kRamSize), cpu(memory, bus) {
+    CompileResult compiled = compile(source, "test");
+    EXPECT_TRUE(compiled.ok) << (compiled.errors.empty()
+                                     ? "?"
+                                     : compiled.errors[0]);
+    if (!compiled.ok) return;
+
+    kasm::AsmResult stub =
+        kasm::assemble("start:\n  call main\n  hlt\n", kStubBase);
+    kasm::AsmResult text = kasm::assemble(compiled.text_asm, kTextBase);
+    kasm::AsmResult data = kasm::assemble(compiled.data_asm, kDataBase);
+    EXPECT_TRUE(stub.ok && text.ok && data.ok)
+        << (!text.ok && !text.errors.empty() ? text.errors[0] : "")
+        << (!data.ok && !data.errors.empty() ? data.errors[0] : "");
+    if (!stub.ok || !text.ok || !data.ok) return;
+
+    std::vector<kasm::AsmUnit> units{stub.unit, text.unit, data.unit};
+    kasm::LinkResult linked = kasm::link(units);
+    EXPECT_TRUE(linked.ok) << (linked.errors.empty() ? "?"
+                                                     : linked.errors[0]);
+    if (!linked.ok) return;
+
+    vm::HostMapper mapper(memory, vm::kBootPgdPhys, vm::kKernelPtePhys);
+    mapper.map_range(vm::kKernelBase, 0, vm::kRamSize, vm::kPteWrite);
+    cpu.mmu().set_cr3(vm::kBootPgdPhys);
+    for (const kasm::AsmUnit& unit : units) {
+      if (unit.bytes.empty()) continue;
+      memory.write_block(vm::phys_of_virt(unit.base), unit.bytes.data(),
+                         static_cast<std::uint32_t>(unit.bytes.size()));
+    }
+    // Minimal trap handling: every vector lands on a hlt stub so traps
+    // are observable without a double fault.
+    constexpr std::uint32_t kTrapStub = 0xC0103000;
+    memory.fill(vm::phys_of_virt(kTrapStub), 64, 0xF4);
+    for (int v = 0; v < 32; ++v) cpu.set_vector(v, kTrapStub);
+    memory.write32(vm::kTssPhys, vm::kBootStackTop - 0x1000);
+
+    cpu.set_eip(kStubBase);
+    cpu.set_reg(isa::Reg::Esp, vm::kBootStackTop);
+    ready = true;
+  }
+
+  // Runs to hlt; returns eax.  Fails the test on trap or timeout.
+  std::uint32_t run(std::uint64_t max_steps = 2'000'000) {
+    EXPECT_TRUE(ready);
+    for (std::uint64_t i = 0; i < max_steps; ++i) {
+      const vm::CpuEvent event = cpu.step();
+      if (event.kind == vm::CpuEventKind::Halted) {
+        return cpu.reg(isa::Reg::Eax);
+      }
+      if (event.trap_taken) {
+        ADD_FAILURE() << "unexpected trap "
+                      << isa::trap_name(cpu.last_trap().trap) << " at eip "
+                      << std::hex << cpu.last_trap().faulting_eip
+                      << " addr " << cpu.last_trap().fault_addr;
+        return 0xDEADDEAD;
+      }
+    }
+    ADD_FAILURE() << "program did not halt";
+    return 0xDEADDEAD;
+  }
+
+  vm::PhysicalMemory memory;
+  vm::Bus bus;
+  vm::Cpu cpu;
+  bool ready = false;
+};
+
+std::uint32_t run_minic(std::string_view source,
+                        std::uint64_t max_steps = 2'000'000) {
+  MiniCRunner runner(source);
+  return runner.run(max_steps);
+}
+
+TEST(MiniC, ReturnsConstant) {
+  EXPECT_EQ(run_minic("func main() { return 42; }"), 42u);
+}
+
+TEST(MiniC, HexLiterals) {
+  EXPECT_EQ(run_minic("func main() { return 0xC0130A33; }"), 0xC0130A33u);
+}
+
+TEST(MiniC, ArithmeticPrecedence) {
+  EXPECT_EQ(run_minic("func main() { return 2 + 3 * 4; }"), 14u);
+  EXPECT_EQ(run_minic("func main() { return (2 + 3) * 4; }"), 20u);
+  EXPECT_EQ(run_minic("func main() { return 20 / 4 - 1; }"), 4u);
+  EXPECT_EQ(run_minic("func main() { return 17 % 5; }"), 2u);
+}
+
+TEST(MiniC, UnaryOperators) {
+  EXPECT_EQ(run_minic("func main() { return -5 + 7; }"), 2u);
+  EXPECT_EQ(run_minic("func main() { return ~0; }"), 0xFFFFFFFFu);
+  EXPECT_EQ(run_minic("func main() { return !0; }"), 1u);
+  EXPECT_EQ(run_minic("func main() { return !7; }"), 0u);
+}
+
+TEST(MiniC, BitwiseAndShifts) {
+  EXPECT_EQ(run_minic("func main() { return 0xF0 | 0x0F; }"), 0xFFu);
+  EXPECT_EQ(run_minic("func main() { return 0xFF & 0x0F; }"), 0x0Fu);
+  EXPECT_EQ(run_minic("func main() { return 0xFF ^ 0x0F; }"), 0xF0u);
+  EXPECT_EQ(run_minic("func main() { return 1 << 12; }"), 4096u);
+  EXPECT_EQ(run_minic("func main() { return 0xB728 >> 12; }"), 0xBu);
+}
+
+TEST(MiniC, ComparisonsSigned) {
+  EXPECT_EQ(run_minic("func main() { return 1 < 2; }"), 1u);
+  EXPECT_EQ(run_minic("func main() { return -1 < 2; }"), 1u);
+  EXPECT_EQ(run_minic("func main() { return 2 <= 2; }"), 1u);
+  EXPECT_EQ(run_minic("func main() { return 3 > 4; }"), 0u);
+  EXPECT_EQ(run_minic("func main() { return 0 == 0; }"), 1u);
+  EXPECT_EQ(run_minic("func main() { return 1 != 1; }"), 0u);
+}
+
+TEST(MiniC, ComparisonsUnsigned) {
+  // 0xC0000000 as signed is negative; unsigned compare must say it is
+  // bigger than 1 (address comparisons in the kernel rely on this).
+  EXPECT_EQ(run_minic("func main() { return 0xC0000000 >u 1; }"), 1u);
+  EXPECT_EQ(run_minic("func main() { return 0xC0000000 > 1; }"), 0u);
+  EXPECT_EQ(run_minic("func main() { return 1 <u 0xFFFFFFFF; }"), 1u);
+  EXPECT_EQ(run_minic("func main() { return 5 >=u 5; }"), 1u);
+}
+
+TEST(MiniC, ShortCircuitLogic) {
+  // Division by zero on the right side must not run.
+  EXPECT_EQ(run_minic("func main() { return 0 && (1 / 0); }"), 0u);
+  EXPECT_EQ(run_minic("func main() { return 1 || (1 / 0); }"), 1u);
+  EXPECT_EQ(run_minic("func main() { return 1 && 2; }"), 1u);
+  EXPECT_EQ(run_minic("func main() { return 0 || 0; }"), 0u);
+}
+
+TEST(MiniC, LocalsAndAssignment) {
+  EXPECT_EQ(run_minic(R"(
+    func main() {
+      var a = 10;
+      var b;
+      b = a * 2;
+      a = b + 5;
+      return a;
+    }
+  )"), 25u);
+}
+
+TEST(MiniC, IfElseChains) {
+  const char* src = R"(
+    func classify(x) {
+      if (x < 0) { return 1; }
+      else if (x == 0) { return 2; }
+      else { return 3; }
+    }
+    func main() {
+      return classify(-5) * 100 + classify(0) * 10 + classify(9);
+    }
+  )";
+  EXPECT_EQ(run_minic(src), 123u);
+}
+
+TEST(MiniC, WhileLoopSum) {
+  EXPECT_EQ(run_minic(R"(
+    func main() {
+      var i = 1;
+      var sum = 0;
+      while (i <= 100) {
+        sum = sum + i;
+        i = i + 1;
+      }
+      return sum;
+    }
+  )"), 5050u);
+}
+
+TEST(MiniC, BreakAndContinue) {
+  EXPECT_EQ(run_minic(R"(
+    func main() {
+      var i = 0;
+      var sum = 0;
+      while (1) {
+        i = i + 1;
+        if (i > 10) { break; }
+        if (i % 2 == 0) { continue; }
+        sum = sum + i;   // 1+3+5+7+9
+      }
+      return sum;
+    }
+  )"), 25u);
+}
+
+TEST(MiniC, GotoAndLabels) {
+  // The kernel's pipe_read error-path idiom (paper §8).
+  EXPECT_EQ(run_minic(R"(
+    func main() {
+      var ret = 0 - 29;   // -ESPIPE
+      var read = 0;
+      if (1) { goto out_nolock; }
+      ret = 7;
+    out_nolock:
+      if (read) { ret = read; }
+      return ret;
+    }
+  )"), static_cast<std::uint32_t>(-29));
+}
+
+TEST(MiniC, FunctionCallsAndRecursion) {
+  EXPECT_EQ(run_minic(R"(
+    func fib(n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    func main() { return fib(15); }
+  )"), 610u);
+}
+
+TEST(MiniC, MultipleParameters) {
+  EXPECT_EQ(run_minic(R"(
+    func weigh(a, b, c, d) { return a * 1000 + b * 100 + c * 10 + d; }
+    func main() { return weigh(1, 2, 3, 4); }
+  )"), 1234u);
+}
+
+TEST(MiniC, GlobalsPersistAcrossCalls) {
+  EXPECT_EQ(run_minic(R"(
+    global counter = 5;
+    func bump() { counter = counter + 3; return 0; }
+    func main() {
+      bump();
+      bump();
+      return counter;
+    }
+  )"), 11u);
+}
+
+TEST(MiniC, ArraysViaMemAccess) {
+  EXPECT_EQ(run_minic(R"(
+    array table[8];
+    func main() {
+      var i = 0;
+      while (i < 8) {
+        mem[table + i * 4] = i * i;
+        i = i + 1;
+      }
+      return mem[table + 5 * 4];
+    }
+  )"), 25u);
+}
+
+TEST(MiniC, ByteMemoryAccess) {
+  EXPECT_EQ(run_minic(R"(
+    array buf[2];
+    func main() {
+      memb[buf] = 0x11;
+      memb[buf + 1] = 0x22;
+      memb[buf + 2] = 0x33;
+      memb[buf + 3] = 0x44;
+      return mem[buf];   // little endian
+    }
+  )"), 0x44332211u);
+}
+
+TEST(MiniC, ByteLoadsZeroExtend) {
+  EXPECT_EQ(run_minic(R"(
+    array buf[1];
+    func main() {
+      mem[buf] = 0xFFFFFFFF;
+      return memb[buf + 1];
+    }
+  )"), 0xFFu);
+}
+
+TEST(MiniC, ConstantsFold) {
+  EXPECT_EQ(run_minic(R"(
+    const PAGE_SIZE = 4096;
+    const PAGE_SHIFT = 12;
+    const TWO_PAGES = PAGE_SIZE * 2;
+    func main() { return TWO_PAGES >> PAGE_SHIFT; }
+  )"), 2u);
+}
+
+TEST(MiniC, AddressOfGlobal) {
+  EXPECT_EQ(run_minic(R"(
+    global slot = 77;
+    func main() {
+      var p = &slot;
+      mem[p] = 88;
+      return slot;
+    }
+  )"), 88u);
+}
+
+TEST(MiniC, StringsAreNulTerminatedData) {
+  EXPECT_EQ(run_minic(R"(
+    func strlen(s) {
+      var n = 0;
+      while (memb[s + n] != 0) { n = n + 1; }
+      return n;
+    }
+    func main() { return strlen("panic!"); }
+  )"), 6u);
+}
+
+TEST(MiniC, AssertPassesWhenTrue) {
+  EXPECT_EQ(run_minic(R"(
+    func main() {
+      assert(1 + 1 == 2);
+      return 7;
+    }
+  )"), 7u);
+}
+
+TEST(MiniC, AssertFailureExecutesUd2) {
+  // assert(false) must execute ud2 -> invalid opcode trap, exactly the
+  // BUG() mechanism the paper describes for campaign C crashes.
+  MiniCRunner runner("func main() { assert(0); return 7; }");
+  ASSERT_TRUE(runner.ready);
+  bool trapped = false;
+  for (int i = 0; i < 1000; ++i) {
+    const vm::CpuEvent event = runner.cpu.step();
+    if (event.trap_taken) {
+      EXPECT_EQ(event.trap, isa::Trap::InvalidOpcode);
+      trapped = true;
+      break;
+    }
+    if (event.kind != vm::CpuEventKind::Executed) break;
+  }
+  EXPECT_TRUE(trapped);
+}
+
+TEST(MiniC, AsmEscape) {
+  EXPECT_EQ(run_minic(R"(
+    func main() {
+      asm("mov $123, %eax");
+      asm("mov %eax, %ebx");
+      return 321;
+    }
+  )"), 321u);
+}
+
+TEST(MiniC, NestedCallsAsArguments) {
+  EXPECT_EQ(run_minic(R"(
+    func add(a, b) { return a + b; }
+    func main() { return add(add(1, 2), add(3, 4)); }
+  )"), 10u);
+}
+
+TEST(MiniC, CommentsIgnored) {
+  EXPECT_EQ(run_minic(R"(
+    // line comment
+    /* block
+       comment */
+    func main() { return 1; /* inline */ }
+  )"), 1u);
+}
+
+TEST(MiniC, DivByLargeUnsigned) {
+  // '/' is unsigned: 0xFFFFFFFE / 2 = 0x7FFFFFFF.
+  EXPECT_EQ(run_minic("func main() { return 0xFFFFFFFE / 2; }"), 0x7FFFFFFFu);
+}
+
+TEST(MiniCErrors, UndeclaredIdentifier) {
+  const CompileResult r = compile("func main() { return nosuch; }", "t");
+  EXPECT_FALSE(r.ok);
+  ASSERT_FALSE(r.errors.empty());
+  EXPECT_NE(r.errors[0].find("undeclared"), std::string::npos);
+}
+
+TEST(MiniCErrors, DuplicateLocal) {
+  const CompileResult r =
+      compile("func main() { var x; var x; return 0; }", "t");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(MiniCErrors, BreakOutsideLoop) {
+  const CompileResult r = compile("func main() { break; return 0; }", "t");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(MiniCErrors, SyntaxErrorHasLineNumber) {
+  const CompileResult r = compile("func main() {\n  return + ;\n}", "t");
+  EXPECT_FALSE(r.ok);
+  ASSERT_FALSE(r.errors.empty());
+  EXPECT_NE(r.errors[0].find("line 2"), std::string::npos);
+}
+
+TEST(MiniCErrors, AssignToConst) {
+  const CompileResult r =
+      compile("const K = 3; func main() { K = 4; return 0; }", "t");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(MiniCErrors, NonConstantGlobalInit) {
+  const CompileResult r =
+      compile("global g = other; func main() { return 0; }", "t");
+  EXPECT_FALSE(r.ok);
+}
+
+}  // namespace
+}  // namespace kfi::minic

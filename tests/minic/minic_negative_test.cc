@@ -1,0 +1,165 @@
+// MiniC front-end negative paths and additional language semantics.
+#include <gtest/gtest.h>
+
+#include "minic/codegen.h"
+#include "minic/lexer.h"
+#include "minic/parser.h"
+
+namespace kfi::minic {
+namespace {
+
+bool compiles(const std::string& src) {
+  return compile(src, "t").ok;
+}
+
+TEST(Lexer, TokenKinds) {
+  const LexResult r = lex("func x_1 ( ) { return 0x1F + 42; } \"str\\n\"");
+  ASSERT_TRUE(r.ok);
+  // func, x_1, (, ), {, return, 0x1F, +, 42, ;, }, "str\n", End
+  ASSERT_EQ(r.tokens.size(), 13u);
+  EXPECT_EQ(r.tokens[0].kind, TokKind::Ident);
+  EXPECT_EQ(r.tokens[6].kind, TokKind::Number);
+  EXPECT_EQ(r.tokens[6].number, 0x1F);
+  EXPECT_EQ(r.tokens[8].number, 42);
+  EXPECT_EQ(r.tokens[11].kind, TokKind::String);
+  EXPECT_EQ(r.tokens[11].text, "str\n");
+}
+
+TEST(Lexer, UnsignedComparisonLexing) {
+  const LexResult r = lex("a <u b <=u c >u d >=u e");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.tokens[1].text, "<u");
+  EXPECT_EQ(r.tokens[3].text, "<=u");
+  EXPECT_EQ(r.tokens[5].text, ">u");
+  EXPECT_EQ(r.tokens[7].text, ">=u");
+}
+
+TEST(Lexer, RejectsBadCharacters) {
+  EXPECT_FALSE(lex("func f() { return a @ b; }").ok);
+  EXPECT_FALSE(lex("func f() { return `x`; }").ok);
+}
+
+TEST(Lexer, RejectsUnterminatedString) {
+  EXPECT_FALSE(lex("func f() { print(\"oops").ok);
+}
+
+TEST(Lexer, RejectsUnterminatedBlockComment) {
+  EXPECT_FALSE(lex("/* never closed").ok);
+}
+
+TEST(Lexer, RejectsMalformedHex) {
+  EXPECT_FALSE(lex("func f() { return 0x; }").ok);
+  EXPECT_FALSE(lex("func f() { return 12abc; }").ok);
+}
+
+TEST(Parser, RejectsMissingBraces) {
+  EXPECT_FALSE(parse("func f() return 0;").ok);
+}
+
+TEST(Parser, RejectsBadTopLevel) {
+  EXPECT_FALSE(parse("int x;").ok);
+  EXPECT_FALSE(parse("x = 3;").ok);
+}
+
+TEST(Parser, RejectsNonConstantArraySize) {
+  EXPECT_FALSE(parse("global n = 4; array a[n];").ok);
+  EXPECT_FALSE(parse("array a[0];").ok);
+}
+
+TEST(Parser, ConstExpressionsFold) {
+  const ParseResult r = parse("const A = 2 + 3 * 4; const B = A << 2;");
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.program.consts.size(), 2u);
+  EXPECT_EQ(r.program.consts[0].second, 14);
+  EXPECT_EQ(r.program.consts[1].second, 56);
+}
+
+TEST(Parser, ConstDivisionByZeroRejected) {
+  EXPECT_FALSE(parse("const A = 1 / 0;").ok);
+}
+
+TEST(Parser, AsmRequiresStringLiteral) {
+  EXPECT_FALSE(parse("func f() { asm(42); return 0; }").ok);
+}
+
+TEST(Parser, ElseIfChainsParse) {
+  EXPECT_TRUE(parse(R"(
+    func f(x) {
+      if (x == 1) { return 1; }
+      else if (x == 2) { return 2; }
+      else if (x == 3) { return 3; }
+      else { return 0; }
+    }
+  )").ok);
+}
+
+TEST(Codegen, RejectsCallToLocalVariable) {
+  EXPECT_FALSE(compiles("func f() { var g; return g(); }"));
+}
+
+TEST(Codegen, RejectsAddressOfLocal) {
+  EXPECT_FALSE(compiles("func f() { var x; return &x; }"));
+}
+
+TEST(Codegen, RejectsAssignToArrayName) {
+  EXPECT_FALSE(compiles("array a[4]; func f() { a = 3; return 0; }"));
+}
+
+TEST(Codegen, RejectsContinueOutsideLoop) {
+  EXPECT_FALSE(compiles("func f() { continue; return 0; }"));
+}
+
+TEST(Codegen, DuplicateGlobalRejected) {
+  EXPECT_FALSE(compiles("global g; global g; func f() { return 0; }"));
+}
+
+TEST(Codegen, DuplicateParamAndLocalRejected) {
+  EXPECT_FALSE(compiles("func f(a) { var a; return 0; }"));
+}
+
+TEST(Codegen, ExternsAllowSymbolUse) {
+  const CompileResult r = compile(
+      "extern jiffies; func f() { jiffies = jiffies + 1; return jiffies; }",
+      "t");
+  EXPECT_TRUE(r.ok) << (r.errors.empty() ? "?" : r.errors[0]);
+  EXPECT_NE(r.text_asm.find("jiffies"), std::string::npos);
+}
+
+TEST(Codegen, StringLiteralsLandInDataSection) {
+  const CompileResult r =
+      compile("func f() { return \"hello\"; }", "unit9");
+  ASSERT_TRUE(r.ok);
+  EXPECT_NE(r.data_asm.find("str_unit9_0"), std::string::npos);
+  EXPECT_NE(r.data_asm.find("hello"), std::string::npos);
+  EXPECT_NE(r.text_asm.find("$str_unit9_0"), std::string::npos);
+}
+
+TEST(Codegen, GlobalsEmitInitializers) {
+  const CompileResult r =
+      compile("global g = 0x1234; func f() { return g; }", "t");
+  ASSERT_TRUE(r.ok);
+  EXPECT_NE(r.data_asm.find(".word 4660"), std::string::npos);
+}
+
+TEST(Codegen, ArraysReserveWords) {
+  const CompileResult r = compile("array a[7]; func f() { return a; }", "t");
+  ASSERT_TRUE(r.ok);
+  EXPECT_NE(r.data_asm.find(".space 28"), std::string::npos);
+}
+
+TEST(Codegen, FunctionsAreWrappedInFuncDirectives) {
+  const CompileResult r = compile("func alpha() { return 1; }", "t");
+  ASSERT_TRUE(r.ok);
+  EXPECT_NE(r.text_asm.find(".func alpha"), std::string::npos);
+  EXPECT_NE(r.text_asm.find(".endfunc"), std::string::npos);
+}
+
+TEST(Codegen, AssertEmitsUd2) {
+  const CompileResult r =
+      compile("func f(x) { assert(x != 0); return x; }", "t");
+  ASSERT_TRUE(r.ok);
+  EXPECT_NE(r.text_asm.find("ud2a"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kfi::minic

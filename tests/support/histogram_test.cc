@@ -1,0 +1,58 @@
+#include "support/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace kfi {
+namespace {
+
+TEST(Histogram, LatencyDecadesBucketsBoundariesInclusive) {
+  Histogram h = Histogram::latency_decades();
+  h.add(0);
+  h.add(10);      // boundary -> first bucket
+  h.add(11);      // -> second bucket
+  h.add(100000);  // boundary -> last bounded bucket
+  h.add(100001);  // -> overflow bucket
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, Shares) {
+  Histogram h({10});
+  h.add(1);
+  h.add(1);
+  h.add(100);
+  h.add(200);
+  EXPECT_DOUBLE_EQ(h.share(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.share(1), 0.5);
+}
+
+TEST(Histogram, EmptyShareIsZero) {
+  Histogram h({10});
+  EXPECT_DOUBLE_EQ(h.share(0), 0.0);
+  EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(Histogram, Labels) {
+  Histogram h = Histogram::latency_decades();
+  EXPECT_EQ(h.bucket_label(0), "<=10");
+  EXPECT_EQ(h.bucket_label(4), "<=100000");
+  EXPECT_EQ(h.bucket_label(5), ">100000");
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a = Histogram::latency_decades();
+  Histogram b = Histogram::latency_decades();
+  a.add(5);
+  b.add(5);
+  b.add(5000000);
+  a.merge(b);
+  EXPECT_EQ(a.count(0), 2u);
+  EXPECT_EQ(a.count(5), 1u);
+  EXPECT_EQ(a.total(), 3u);
+}
+
+}  // namespace
+}  // namespace kfi

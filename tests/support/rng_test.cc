@@ -1,0 +1,88 @@
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace kfi {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(13), 13u);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u) << "all values in [-3,3] should appear";
+}
+
+TEST(Rng, BitInByteCoversAllBits) {
+  Rng rng(11);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int bit = rng.bit_in_byte();
+    EXPECT_GE(bit, 0);
+    EXPECT_LE(bit, 7);
+    seen.insert(bit);
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng rng(123);
+  const auto first = rng.next_u64();
+  rng.next_u64();
+  rng.reseed(123);
+  EXPECT_EQ(rng.next_u64(), first);
+}
+
+}  // namespace
+}  // namespace kfi

@@ -1,0 +1,65 @@
+#include "support/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace kfi {
+namespace {
+
+TEST(Strings, Hex32PadsToEightDigits) {
+  EXPECT_EQ(hex32(0xc0130a33u), "c0130a33");
+  EXPECT_EQ(hex32(0x1bu), "0000001b");
+  EXPECT_EQ(hex32(0), "00000000");
+  EXPECT_EQ(hex32_prefixed(0xffffffceu), "0xffffffce");
+}
+
+TEST(Strings, HexBytesMatchesPaperStyle) {
+  const std::uint8_t bytes[] = {0x74, 0x56};
+  EXPECT_EQ(hex_bytes(bytes, 2), "74 56");
+  EXPECT_EQ(hex_bytes(nullptr, 0), "");
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(format("%.1f%%", 33.333), "33.3%");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitSingle) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x \t\n"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("do_page_fault", "do_"));
+  EXPECT_FALSE(starts_with("do", "do_"));
+}
+
+TEST(Strings, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(28977), "28,977");
+  EXPECT_EQ(with_commas(1234567890), "1,234,567,890");
+}
+
+TEST(Strings, Percent) {
+  EXPECT_EQ(percent(1508, 4559), "33.1%");
+  EXPECT_EQ(percent(0, 0), "0.0%");
+}
+
+}  // namespace
+}  // namespace kfi

@@ -1,0 +1,111 @@
+// MMIO bus and host page-table mapper unit tests.
+#include "vm/bus.h"
+
+#include <gtest/gtest.h>
+
+#include "vm/hostmap.h"
+#include "vm/mmu.h"
+#include "vm/layout.h"
+
+namespace kfi::vm {
+namespace {
+
+class RecordingDevice : public Device {
+ public:
+  explicit RecordingDevice(std::uint32_t tag) : tag_(tag) {}
+  std::uint32_t mmio_read(std::uint32_t offset) override {
+    last_read = offset;
+    return tag_ + offset;
+  }
+  void mmio_write(std::uint32_t offset, std::uint32_t value) override {
+    last_write_offset = offset;
+    last_write_value = value;
+  }
+  std::uint32_t last_read = 0xFFFFFFFF;
+  std::uint32_t last_write_offset = 0xFFFFFFFF;
+  std::uint32_t last_write_value = 0;
+
+ private:
+  std::uint32_t tag_;
+};
+
+TEST(Bus, DispatchesToTheRightDevice) {
+  Bus bus;
+  RecordingDevice a(0x1000);
+  RecordingDevice b(0x2000);
+  bus.attach(0xFF000000, kPageSize, &a);
+  bus.attach(0xFF001000, kPageSize, &b);
+
+  std::uint32_t value = 0;
+  ASSERT_TRUE(bus.read32(0xFF000010, value));
+  EXPECT_EQ(value, 0x1010u);
+  EXPECT_EQ(a.last_read, 0x10u);
+
+  ASSERT_TRUE(bus.write32(0xFF001004, 77));
+  EXPECT_EQ(b.last_write_offset, 4u);
+  EXPECT_EQ(b.last_write_value, 77u);
+  EXPECT_EQ(a.last_write_offset, 0xFFFFFFFFu) << "a must not see b's write";
+}
+
+TEST(Bus, UnclaimedAddressFails) {
+  Bus bus;
+  RecordingDevice a(0);
+  bus.attach(0xFF000000, kPageSize, &a);
+  std::uint32_t value = 0;
+  EXPECT_FALSE(bus.read32(0xFF005000, value));
+  EXPECT_FALSE(bus.write32(0xFF005000, 1));
+}
+
+TEST(Bus, RangeBoundariesAreExclusive) {
+  Bus bus;
+  RecordingDevice a(0);
+  bus.attach(0xFF000000, kPageSize, &a);
+  std::uint32_t value = 0;
+  EXPECT_TRUE(bus.read32(0xFF000FFC, value));
+  EXPECT_FALSE(bus.read32(0xFF001000, value));
+}
+
+TEST(HostMapper, BuildsTwoLevelTables) {
+  PhysicalMemory memory(kRamSize);
+  HostMapper mapper(memory, kBootPgdPhys, kKernelPtePhys);
+  mapper.map(0x08048000, 0x00300000, kPteUser | kPteWrite);
+
+  const std::uint32_t pgd_entry =
+      memory.read32(kBootPgdPhys + (0x08048000u >> 22) * 4);
+  EXPECT_TRUE(pgd_entry & kPtePresent);
+  const std::uint32_t pte =
+      memory.read32((pgd_entry & kPteFrameMask) +
+                    ((0x08048000u >> 12) & 0x3FF) * 4);
+  EXPECT_EQ(pte & kPteFrameMask, 0x00300000u);
+  EXPECT_TRUE(pte & kPtePresent);
+  EXPECT_TRUE(pte & kPteUser);
+  EXPECT_TRUE(pte & kPteWrite);
+}
+
+TEST(HostMapper, ReusesPteTableWithinSameRegion) {
+  PhysicalMemory memory(kRamSize);
+  HostMapper mapper(memory, kBootPgdPhys, kKernelPtePhys);
+  const std::uint32_t before = mapper.cursor();
+  mapper.map(0x08048000, 0x00300000, kPteUser);
+  mapper.map(0x08049000, 0x00301000, kPteUser);  // same 4 MiB region
+  EXPECT_EQ(mapper.cursor(), before + kPageSize) << "one PTE page suffices";
+  mapper.map(0x08400000, 0x00302000, kPteUser);  // next region
+  EXPECT_EQ(mapper.cursor(), before + 2 * kPageSize);
+}
+
+TEST(HostMapper, MapRangeCoversEveryPage) {
+  PhysicalMemory memory(kRamSize);
+  HostMapper mapper(memory, kBootPgdPhys, kKernelPtePhys);
+  mapper.map_range(0xC0000000, 0, 16 * kPageSize, kPteWrite);
+  Mmu mmu(memory);
+  mmu.set_cr3(kBootPgdPhys);
+  for (std::uint32_t off = 0; off < 16 * kPageSize; off += kPageSize) {
+    std::uint32_t paddr = 0;
+    EXPECT_EQ(mmu.translate(0xC0000000 + off, Access::Write, 0, paddr),
+              TranslateStatus::Ok);
+    EXPECT_EQ(paddr, off);
+  }
+}
+
+}  // namespace
+}  // namespace kfi::vm

@@ -1,0 +1,593 @@
+// CPU core tests: hand-encoded programs run on a minimal flat-mapped
+// machine, exercising execution semantics, paging, privilege, traps,
+// debug registers, and the cycle counter.
+#include "vm/cpu.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "isa/encode.h"
+#include "vm/hostmap.h"
+
+namespace kfi::vm {
+namespace {
+
+using isa::Cond;
+using isa::Instruction;
+using isa::Op;
+using isa::Operand;
+using isa::Reg;
+using isa::Trap;
+
+constexpr std::uint32_t kCodeVirt = 0xC0105000;  // inside arch text region
+constexpr std::uint32_t kDataVirt = 0xC0200000;
+constexpr std::uint32_t kHandlerVirt = 0xC0110000;
+constexpr std::uint32_t kUserCodeVirt = kUserTextBase;
+constexpr std::uint32_t kUserCodePhys = 0x00300000;
+constexpr std::uint32_t kUserStackPhys = 0x00301000;
+constexpr std::uint32_t kUserStackVirt = kUserStackTop - kPageSize;
+
+// A loopback device for MMIO tests.
+class ScratchDevice : public Device {
+ public:
+  std::uint32_t mmio_read(std::uint32_t offset) override {
+    reads.push_back(offset);
+    return 0xFEEDF00Du + offset;
+  }
+  void mmio_write(std::uint32_t offset, std::uint32_t value) override {
+    writes.push_back({offset, value});
+  }
+  std::vector<std::uint32_t> reads;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> writes;
+};
+
+class CpuTest : public ::testing::Test {
+ protected:
+  CpuTest() : memory(kRamSize), cpu(memory, bus) {
+    HostMapper mapper(memory, kBootPgdPhys, kKernelPtePhys);
+    // Kernel straight map (supervisor, writable).
+    mapper.map_range(kKernelBase, 0, kRamSize, kPteWrite);
+    // One user code page and one user stack page.
+    mapper.map(kUserCodeVirt, kUserCodePhys, kPteUser | kPteWrite);
+    mapper.map(kUserStackVirt, kUserStackPhys, kPteUser | kPteWrite);
+    pte_cursor = mapper.cursor();
+
+    cpu.mmu().set_cr3(kBootPgdPhys);
+    memory.write32(kTssPhys, kBootStackTop);  // esp0
+
+    // All exception vectors point at a recognizable handler address.
+    for (int v = 0; v < 32; ++v) cpu.set_vector(v, kHandlerVirt);
+    cpu.set_vector(0x80, kHandlerVirt);
+    cpu.set_vector(0x20, kHandlerVirt);
+    // The handler page holds hlt so stray continued execution is visible.
+    memory.fill(phys_of_virt(kHandlerVirt), 64, 0xF4);
+
+    cpu.set_reg(Reg::Esp, kBootStackTop);
+    cpu.set_eip(kCodeVirt);
+
+    bus.attach(0xFF100000, kPageSize, &scratch);
+  }
+
+  // Emits instructions at `at` (kernel virtual), returns end address.
+  std::uint32_t emit(std::uint32_t at,
+                     const std::vector<Instruction>& instrs) {
+    std::vector<std::uint8_t> bytes;
+    for (const Instruction& instr : instrs) {
+      EXPECT_TRUE(isa::encode(instr, bytes));
+    }
+    memory.write_block(phys_of_virt(at), bytes.data(),
+                       static_cast<std::uint32_t>(bytes.size()));
+    return at + static_cast<std::uint32_t>(bytes.size());
+  }
+
+  void emit_user(std::uint32_t at, const std::vector<Instruction>& instrs) {
+    std::vector<std::uint8_t> bytes;
+    for (const Instruction& instr : instrs) {
+      EXPECT_TRUE(isa::encode(instr, bytes));
+    }
+    memory.write_block(kUserCodePhys + (at - kUserCodeVirt), bytes.data(),
+                       static_cast<std::uint32_t>(bytes.size()));
+  }
+
+  // Steps until `n` instructions execute or an event interrupts.
+  CpuEvent run(int n) {
+    CpuEvent event;
+    for (int i = 0; i < n; ++i) {
+      event = cpu.step();
+      if (event.kind != CpuEventKind::Executed || event.trap_taken) break;
+    }
+    return event;
+  }
+
+  static Instruction mov_ri(Reg r, std::int32_t imm) {
+    Instruction i;
+    i.op = Op::Mov;
+    i.dst = Operand::make_reg(r);
+    i.src = Operand::make_imm(imm);
+    return i;
+  }
+  static Instruction alu_rr(Op op, Reg dst, Reg src) {
+    Instruction i;
+    i.op = op;
+    i.dst = Operand::make_reg(dst);
+    i.src = Operand::make_reg(src);
+    return i;
+  }
+  static Instruction mem_op(Op op, Reg r, Reg base, std::int32_t disp,
+                            bool load) {
+    Instruction i;
+    i.op = op;
+    isa::MemRef m;
+    m.has_base = true;
+    m.base = base;
+    m.disp = disp;
+    if (load) {
+      i.dst = Operand::make_reg(r);
+      i.src = Operand::make_mem(m);
+    } else {
+      i.dst = Operand::make_mem(m);
+      i.src = Operand::make_reg(r);
+    }
+    return i;
+  }
+  static Instruction nullary(Op op) {
+    Instruction i;
+    i.op = op;
+    return i;
+  }
+  static Instruction jcc(Cond cond, std::int32_t rel) {
+    Instruction i;
+    i.op = Op::Jcc;
+    i.cond = cond;
+    i.rel = rel;
+    return i;
+  }
+
+  PhysicalMemory memory;
+  Bus bus;
+  Cpu cpu;
+  ScratchDevice scratch;
+  std::uint32_t pte_cursor = 0;
+};
+
+TEST_F(CpuTest, ArithmeticAndFlags) {
+  emit(kCodeVirt, {
+    mov_ri(Reg::Eax, 5),
+    mov_ri(Reg::Ebx, 7),
+    alu_rr(Op::Add, Reg::Eax, Reg::Ebx),   // eax = 12
+    alu_rr(Op::Sub, Reg::Eax, Reg::Ebx),   // eax = 5, flags from 5
+  });
+  run(4);
+  EXPECT_EQ(cpu.reg(Reg::Eax), 5u);
+  EXPECT_FALSE(cpu.flags().zf);
+  EXPECT_FALSE(cpu.flags().sf);
+  EXPECT_EQ(cpu.cycles(), 4u);
+}
+
+TEST_F(CpuTest, SubSetsCarryAndSign) {
+  emit(kCodeVirt, {
+    mov_ri(Reg::Eax, 1),
+    mov_ri(Reg::Ebx, 2),
+    alu_rr(Op::Sub, Reg::Eax, Reg::Ebx),  // 1-2 -> -1, CF=1, SF=1
+  });
+  run(3);
+  EXPECT_EQ(cpu.reg(Reg::Eax), 0xFFFFFFFFu);
+  EXPECT_TRUE(cpu.flags().cf);
+  EXPECT_TRUE(cpu.flags().sf);
+  EXPECT_FALSE(cpu.flags().of);
+}
+
+TEST_F(CpuTest, AddOverflowFlag) {
+  emit(kCodeVirt, {
+    mov_ri(Reg::Eax, 0x7FFFFFFF),
+    mov_ri(Reg::Ebx, 1),
+    alu_rr(Op::Add, Reg::Eax, Reg::Ebx),
+  });
+  run(3);
+  EXPECT_EQ(cpu.reg(Reg::Eax), 0x80000000u);
+  EXPECT_TRUE(cpu.flags().of);
+  EXPECT_TRUE(cpu.flags().sf);
+  EXPECT_FALSE(cpu.flags().cf);
+}
+
+TEST_F(CpuTest, LoadStoreThroughPaging) {
+  emit(kCodeVirt, {
+    mov_ri(Reg::Ebx, static_cast<std::int32_t>(kDataVirt)),
+    mov_ri(Reg::Eax, 0x12345678),
+    mem_op(Op::Mov, Reg::Eax, Reg::Ebx, 8, /*load=*/false),
+    mov_ri(Reg::Ecx, 0),
+    mem_op(Op::Mov, Reg::Ecx, Reg::Ebx, 8, /*load=*/true),
+  });
+  run(5);
+  EXPECT_EQ(cpu.reg(Reg::Ecx), 0x12345678u);
+  EXPECT_EQ(memory.read32(phys_of_virt(kDataVirt) + 8), 0x12345678u);
+}
+
+TEST_F(CpuTest, ConditionalBranchTakenAndNot) {
+  // cmp eax,ebx; je +2 (skip inc eax); inc ecx
+  emit(kCodeVirt, {
+    mov_ri(Reg::Eax, 3),
+    mov_ri(Reg::Ebx, 3),
+    alu_rr(Op::Cmp, Reg::Eax, Reg::Ebx),
+    jcc(Cond::E, 1),  // skip the 1-byte inc eax
+    [] { Instruction i; i.op = Op::Inc; i.dst = Operand::make_reg(Reg::Eax); return i; }(),
+    [] { Instruction i; i.op = Op::Inc; i.dst = Operand::make_reg(Reg::Ecx); return i; }(),
+  });
+  run(5);
+  EXPECT_EQ(cpu.reg(Reg::Eax), 3u) << "inc eax should have been skipped";
+  EXPECT_EQ(cpu.reg(Reg::Ecx), 1u);
+}
+
+TEST_F(CpuTest, CallAndRet) {
+  // call +5 (to the mov at target); target: mov eax,9; ret
+  const std::uint32_t after_call = kCodeVirt + 5;
+  Instruction call;
+  call.op = Op::Call;
+  call.rel = 1;  // skip the 1-byte hlt after the call
+  emit(kCodeVirt, {call, nullary(Op::Hlt)});
+  emit(after_call + 1, {mov_ri(Reg::Eax, 9), nullary(Op::Ret)});
+  run(3);
+  EXPECT_EQ(cpu.reg(Reg::Eax), 9u);
+  EXPECT_EQ(cpu.eip(), after_call);  // back at the hlt
+}
+
+TEST_F(CpuTest, PushPopStack) {
+  emit(kCodeVirt, {
+    mov_ri(Reg::Eax, 0xAA),
+    [] { Instruction i; i.op = Op::Push; i.src = Operand::make_reg(Reg::Eax); return i; }(),
+    mov_ri(Reg::Eax, 0),
+    [] { Instruction i; i.op = Op::Pop; i.dst = Operand::make_reg(Reg::Ebx); return i; }(),
+  });
+  const std::uint32_t esp0 = cpu.reg(Reg::Esp);
+  run(4);
+  EXPECT_EQ(cpu.reg(Reg::Ebx), 0xAAu);
+  EXPECT_EQ(cpu.reg(Reg::Esp), esp0);
+}
+
+TEST_F(CpuTest, PageFaultOnUnmappedKernelAddress) {
+  emit(kCodeVirt, {
+    mov_ri(Reg::Ebx, 0x1B),  // NULL-ish pointer
+    mem_op(Op::Mov, Reg::Eax, Reg::Ebx, 0, /*load=*/true),
+  });
+  const CpuEvent event = run(2);
+  EXPECT_TRUE(event.trap_taken);
+  EXPECT_EQ(event.trap, Trap::PageFault);
+  EXPECT_EQ(cpu.last_trap().fault_addr, 0x1Bu);
+  EXPECT_EQ(cpu.last_trap().faulting_eip, kCodeVirt + 5);
+  EXPECT_EQ(cpu.eip(), kHandlerVirt);
+  EXPECT_EQ(cpu.cpl(), 0);
+}
+
+TEST_F(CpuTest, TrapFramePushedCorrectly) {
+  emit(kCodeVirt, {
+    mov_ri(Reg::Ebx, 0x00000F00),  // unmapped
+    mem_op(Op::Mov, Reg::Eax, Reg::Ebx, 0, /*load=*/true),
+  });
+  run(2);
+  const std::uint32_t esp = cpu.reg(Reg::Esp);
+  std::uint32_t word = 0;
+  ASSERT_TRUE(cpu.peek32(esp + 0, word));
+  EXPECT_EQ(word, kCodeVirt + 5u);  // old eip (the faulting mov)
+  ASSERT_TRUE(cpu.peek32(esp + 8, word));
+  EXPECT_EQ(word, kBootStackTop);  // old esp
+  ASSERT_TRUE(cpu.peek32(esp + 12, word));
+  EXPECT_EQ(word, 0u);  // old cpl
+  ASSERT_TRUE(cpu.peek32(esp + 20, word));
+  EXPECT_EQ(word, 0xF00u);  // fault address
+}
+
+TEST_F(CpuTest, WriteToReadOnlyPageFaultsWithProtectionBits) {
+  // Map a read-only page and write to it.
+  HostMapper mapper(memory, kBootPgdPhys, pte_cursor);
+  mapper.map(0x0A000000, 0x00310000, kPteUser);  // no kPteWrite
+  cpu.mmu().flush_tlb();
+  emit(kCodeVirt, {
+    mov_ri(Reg::Ebx, 0x0A000000),
+    mem_op(Op::Mov, Reg::Eax, Reg::Ebx, 4, /*load=*/false),
+  });
+  const CpuEvent event = run(2);
+  EXPECT_TRUE(event.trap_taken);
+  EXPECT_EQ(event.trap, Trap::PageFault);
+  EXPECT_EQ(cpu.last_trap().error_code, kPfErrPresent | kPfErrWrite);
+}
+
+TEST_F(CpuTest, InvalidOpcodeTraps) {
+  memory.write8(phys_of_virt(kCodeVirt), 0xF1);  // undefined byte
+  const CpuEvent event = cpu.step();
+  EXPECT_TRUE(event.trap_taken);
+  EXPECT_EQ(event.trap, Trap::InvalidOpcode);
+  EXPECT_EQ(cpu.last_trap().faulting_eip, kCodeVirt);
+}
+
+TEST_F(CpuTest, Ud2Traps) {
+  emit(kCodeVirt, {nullary(Op::Ud2)});
+  const CpuEvent event = cpu.step();
+  EXPECT_TRUE(event.trap_taken);
+  EXPECT_EQ(event.trap, Trap::InvalidOpcode);
+}
+
+TEST_F(CpuTest, DivideByZeroTraps) {
+  Instruction div;
+  div.op = Op::Div;
+  div.src = Operand::make_reg(Reg::Ecx);
+  emit(kCodeVirt, {mov_ri(Reg::Ecx, 0), mov_ri(Reg::Eax, 10), div});
+  const CpuEvent event = run(3);
+  EXPECT_TRUE(event.trap_taken);
+  EXPECT_EQ(event.trap, Trap::DivideError);
+}
+
+TEST_F(CpuTest, DivComputesQuotientRemainder) {
+  Instruction div;
+  div.op = Op::Div;
+  div.src = Operand::make_reg(Reg::Ecx);
+  emit(kCodeVirt, {mov_ri(Reg::Edx, 0), mov_ri(Reg::Eax, 17),
+                   mov_ri(Reg::Ecx, 5), div});
+  run(4);
+  EXPECT_EQ(cpu.reg(Reg::Eax), 3u);
+  EXPECT_EQ(cpu.reg(Reg::Edx), 2u);
+}
+
+TEST_F(CpuTest, LretRaisesGeneralProtectionFault) {
+  emit(kCodeVirt, {nullary(Op::Lret)});
+  const CpuEvent event = cpu.step();
+  EXPECT_TRUE(event.trap_taken);
+  EXPECT_EQ(event.trap, Trap::GpFault);
+}
+
+TEST_F(CpuTest, UserModePrivilegedInstructionsFault) {
+  for (const Op op : {Op::Hlt, Op::Cli, Op::Sti, Op::In, Op::Iret}) {
+    SCOPED_TRACE(static_cast<int>(op));
+    emit_user(kUserCodeVirt, {nullary(op)});
+    cpu.set_cpl(3);
+    cpu.set_eip(kUserCodeVirt);
+    cpu.set_reg(Reg::Esp, kUserStackTop - 16);
+    const CpuEvent event = cpu.step();
+    EXPECT_TRUE(event.trap_taken);
+    EXPECT_EQ(event.trap, Trap::GpFault);
+    EXPECT_EQ(cpu.cpl(), 0) << "trap handler runs in kernel mode";
+    cpu.set_cpl(0);
+  }
+}
+
+TEST_F(CpuTest, UserCannotTouchKernelMemory) {
+  emit_user(kUserCodeVirt, {
+    mov_ri(Reg::Ebx, static_cast<std::int32_t>(kDataVirt)),
+    mem_op(Op::Mov, Reg::Eax, Reg::Ebx, 0, /*load=*/true),
+  });
+  cpu.set_cpl(3);
+  cpu.set_eip(kUserCodeVirt);
+  cpu.set_reg(Reg::Esp, kUserStackTop - 16);
+  const CpuEvent event = run(2);
+  EXPECT_TRUE(event.trap_taken);
+  EXPECT_EQ(event.trap, Trap::PageFault);
+  EXPECT_EQ(cpu.last_trap().error_code & kPfErrUser, kPfErrUser);
+  EXPECT_EQ(cpu.last_trap().error_code & kPfErrPresent, kPfErrPresent);
+}
+
+TEST_F(CpuTest, SyscallFromUserSwitchesStackAndBack) {
+  // User: int 0x80; kernel handler: iret.
+  Instruction syscall_instr;
+  syscall_instr.op = Op::Int;
+  syscall_instr.imm8 = 0x80;
+  emit_user(kUserCodeVirt, {mov_ri(Reg::Eax, 42), syscall_instr,
+                            mov_ri(Reg::Ebx, 0x77)});
+  emit(kHandlerVirt, {nullary(Op::Iret)});
+
+  cpu.set_cpl(3);
+  cpu.set_eip(kUserCodeVirt);
+  cpu.set_reg(Reg::Esp, kUserStackTop - 32);
+
+  cpu.step();  // mov eax,42
+  CpuEvent event = cpu.step();  // int 0x80
+  EXPECT_TRUE(event.trap_taken);
+  EXPECT_EQ(cpu.cpl(), 0);
+  EXPECT_EQ(cpu.eip(), kHandlerVirt);
+  // Stack switched to esp0 minus the 6-word frame.
+  EXPECT_EQ(cpu.reg(Reg::Esp), kBootStackTop - 24);
+
+  cpu.step();  // iret
+  EXPECT_EQ(cpu.cpl(), 3);
+  EXPECT_EQ(cpu.reg(Reg::Esp), kUserStackTop - 32);
+  cpu.step();  // mov ebx
+  EXPECT_EQ(cpu.reg(Reg::Ebx), 0x77u);
+  EXPECT_EQ(cpu.reg(Reg::Eax), 42u);
+}
+
+TEST_F(CpuTest, UserIntToKernelGateFaults) {
+  Instruction bad_int;
+  bad_int.op = Op::Int;
+  bad_int.imm8 = 14;  // page-fault vector: DPL0
+  emit_user(kUserCodeVirt, {bad_int});
+  cpu.set_cpl(3);
+  cpu.set_eip(kUserCodeVirt);
+  cpu.set_reg(Reg::Esp, kUserStackTop - 16);
+  const CpuEvent event = cpu.step();
+  EXPECT_TRUE(event.trap_taken);
+  EXPECT_EQ(event.trap, Trap::GpFault);
+}
+
+TEST_F(CpuTest, BreakpointFiresBeforeExecution) {
+  emit(kCodeVirt, {mov_ri(Reg::Eax, 1), mov_ri(Reg::Ebx, 2)});
+  cpu.arm_breakpoint(0, kCodeVirt + 5);  // second mov
+
+  CpuEvent event = cpu.step();
+  EXPECT_EQ(event.kind, CpuEventKind::Executed);
+  EXPECT_EQ(cpu.reg(Reg::Eax), 1u);
+
+  event = cpu.step();
+  EXPECT_EQ(event.kind, CpuEventKind::Breakpoint);
+  EXPECT_EQ(event.breakpoint_index, 0);
+  EXPECT_EQ(cpu.reg(Reg::Ebx), 0u) << "instruction must not have executed";
+  EXPECT_EQ(cpu.eip(), kCodeVirt + 5);
+
+  event = cpu.step();  // resume: now it executes
+  EXPECT_EQ(event.kind, CpuEventKind::Executed);
+  EXPECT_EQ(cpu.reg(Reg::Ebx), 2u);
+}
+
+TEST_F(CpuTest, DisarmedBreakpointDoesNotFire) {
+  emit(kCodeVirt, {mov_ri(Reg::Eax, 1)});
+  cpu.arm_breakpoint(1, kCodeVirt);
+  cpu.disarm_breakpoint(1);
+  const CpuEvent event = cpu.step();
+  EXPECT_EQ(event.kind, CpuEventKind::Executed);
+}
+
+TEST_F(CpuTest, DoubleFaultWhenNoHandlers) {
+  for (int v = 0; v < 32; ++v) cpu.set_vector(v, 0);
+  emit(kCodeVirt, {nullary(Op::Ud2)});
+  const CpuEvent event = cpu.step();
+  EXPECT_EQ(event.kind, CpuEventKind::DoubleFault);
+  EXPECT_TRUE(cpu.dead());
+  // Subsequent steps stay dead.
+  EXPECT_EQ(cpu.step().kind, CpuEventKind::DoubleFault);
+}
+
+TEST_F(CpuTest, HltThenInterruptResumes) {
+  emit(kCodeVirt, {nullary(Op::Sti), nullary(Op::Hlt)});
+  emit(kHandlerVirt, {nullary(Op::Iret)});
+  cpu.step();  // sti
+  CpuEvent event = cpu.step();  // hlt
+  EXPECT_EQ(event.kind, CpuEventKind::Halted);
+  EXPECT_EQ(cpu.step().kind, CpuEventKind::Halted);
+
+  EXPECT_TRUE(cpu.deliver_interrupt(Trap::Timer));
+  EXPECT_EQ(cpu.eip(), kHandlerVirt);
+  cpu.step();  // iret returns after the hlt
+  EXPECT_EQ(cpu.step().kind, CpuEventKind::Executed);
+}
+
+TEST_F(CpuTest, InterruptMaskedWhenIfClear) {
+  emit(kCodeVirt, {nullary(Op::Cli)});
+  cpu.step();
+  EXPECT_FALSE(cpu.deliver_interrupt(Trap::Timer));
+}
+
+TEST_F(CpuTest, MmioReadWrite32) {
+  emit(kCodeVirt, {
+    mov_ri(Reg::Ebx, static_cast<std::int32_t>(0xFF100000)),
+    mov_ri(Reg::Eax, 0xCAFE),
+    mem_op(Op::Mov, Reg::Eax, Reg::Ebx, 8, /*load=*/false),
+    mem_op(Op::Mov, Reg::Ecx, Reg::Ebx, 4, /*load=*/true),
+  });
+  run(4);
+  ASSERT_EQ(scratch.writes.size(), 1u);
+  EXPECT_EQ(scratch.writes[0].first, 8u);
+  EXPECT_EQ(scratch.writes[0].second, 0xCAFEu);
+  EXPECT_EQ(cpu.reg(Reg::Ecx), 0xFEEDF00Du + 4);
+}
+
+TEST_F(CpuTest, MmioFromUserModeFaults) {
+  emit_user(kUserCodeVirt, {
+    mov_ri(Reg::Ebx, static_cast<std::int32_t>(0xFF100000)),
+    mem_op(Op::Mov, Reg::Ecx, Reg::Ebx, 0, /*load=*/true),
+  });
+  cpu.set_cpl(3);
+  cpu.set_eip(kUserCodeVirt);
+  cpu.set_reg(Reg::Esp, kUserStackTop - 16);
+  const CpuEvent event = run(2);
+  EXPECT_TRUE(event.trap_taken);
+  EXPECT_EQ(event.trap, Trap::PageFault);
+}
+
+TEST_F(CpuTest, UnclaimedMmioAddressIsGp) {
+  emit(kCodeVirt, {
+    mov_ri(Reg::Ebx, static_cast<std::int32_t>(0xFF700000)),
+    mem_op(Op::Mov, Reg::Ecx, Reg::Ebx, 0, /*load=*/true),
+  });
+  const CpuEvent event = run(2);
+  EXPECT_TRUE(event.trap_taken);
+  EXPECT_EQ(event.trap, Trap::GpFault);
+}
+
+TEST_F(CpuTest, ByteOperationsPreserveUpperBits) {
+  Instruction store8;
+  store8.op = Op::Mov;
+  isa::MemRef m;
+  m.has_base = true;
+  m.base = Reg::Ebx;
+  m.disp = 0;
+  store8.dst = Operand::make_mem(m, /*byte=*/true);
+  store8.src = Operand::make_reg8(Reg::Eax);
+
+  Instruction load8;
+  load8.op = Op::Movzx8;
+  load8.dst = Operand::make_reg(Reg::Ecx);
+  load8.src = Operand::make_mem(m, /*byte=*/true);
+
+  emit(kCodeVirt, {
+    mov_ri(Reg::Ebx, static_cast<std::int32_t>(kDataVirt)),
+    mov_ri(Reg::Eax, 0x11223344),
+    store8,
+    mov_ri(Reg::Ecx, 0xFFFFFFFF),
+    load8,
+  });
+  run(5);
+  EXPECT_EQ(cpu.reg(Reg::Ecx), 0x44u);
+  EXPECT_EQ(memory.read8(phys_of_virt(kDataVirt)), 0x44);
+}
+
+TEST_F(CpuTest, ShiftFlagsAndResult) {
+  Instruction shr;
+  shr.op = Op::Shr;
+  shr.dst = Operand::make_reg(Reg::Eax);
+  shr.src = Operand::make_imm(12);
+  emit(kCodeVirt, {mov_ri(Reg::Eax, 0x0000B728), shr});
+  run(2);
+  // The paper's case study: end_index = 0xB728 >> 12 = 0xB.
+  EXPECT_EQ(cpu.reg(Reg::Eax), 0xBu);
+}
+
+TEST_F(CpuTest, CyclesAdvancePerInstruction) {
+  emit(kCodeVirt, {mov_ri(Reg::Eax, 1), mov_ri(Reg::Eax, 2),
+                   mov_ri(Reg::Eax, 3)});
+  run(3);
+  EXPECT_EQ(cpu.cycles(), 3u);
+}
+
+TEST_F(CpuTest, TrapRecordsCycleOfFault) {
+  emit(kCodeVirt, {mov_ri(Reg::Eax, 1), nullary(Op::Ud2)});
+  run(2);
+  EXPECT_EQ(cpu.last_trap().cycle, 2u);
+}
+
+TEST_F(CpuTest, NegAndNot) {
+  Instruction neg;
+  neg.op = Op::Neg;
+  neg.dst = Operand::make_reg(Reg::Eax);
+  Instruction not_i;
+  not_i.op = Op::Not;
+  not_i.dst = Operand::make_reg(Reg::Ebx);
+  emit(kCodeVirt, {mov_ri(Reg::Eax, 5), neg, mov_ri(Reg::Ebx, 0), not_i});
+  run(4);
+  EXPECT_EQ(cpu.reg(Reg::Eax), static_cast<std::uint32_t>(-5));
+  EXPECT_TRUE(cpu.flags().cf);
+  EXPECT_EQ(cpu.reg(Reg::Ebx), 0xFFFFFFFFu);
+}
+
+TEST_F(CpuTest, JmpIndirectThroughRegister) {
+  Instruction jmp;
+  jmp.op = Op::JmpInd;
+  jmp.src = Operand::make_reg(Reg::Eax);
+  emit(kCodeVirt, {mov_ri(Reg::Eax, static_cast<std::int32_t>(kHandlerVirt)),
+                   jmp});
+  run(2);
+  EXPECT_EQ(cpu.eip(), kHandlerVirt);
+}
+
+TEST_F(CpuTest, CorruptedPointerJumpToUnmappedFaults) {
+  Instruction jmp;
+  jmp.op = Op::JmpInd;
+  jmp.src = Operand::make_reg(Reg::Eax);
+  emit(kCodeVirt, {mov_ri(Reg::Eax, 0x0000001B), jmp});
+  CpuEvent event = run(2);
+  EXPECT_EQ(event.kind, CpuEventKind::Executed);  // jmp itself is fine
+  event = cpu.step();  // fetch from 0x1b faults
+  EXPECT_TRUE(event.trap_taken);
+  EXPECT_EQ(event.trap, Trap::PageFault);
+  EXPECT_EQ(cpu.last_trap().fault_addr & ~0xFFFu, 0u);
+}
+
+}  // namespace
+}  // namespace kfi::vm

@@ -1,0 +1,150 @@
+// MMU unit tests: two-level walks, permission bits, TLB behavior, and
+// corrupted page-table handling.
+#include "vm/mmu.h"
+
+#include <gtest/gtest.h>
+
+#include "vm/hostmap.h"
+
+namespace kfi::vm {
+namespace {
+
+class MmuTest : public ::testing::Test {
+ protected:
+  MmuTest() : memory(kRamSize), mmu(memory) {
+    mapper = std::make_unique<HostMapper>(memory, kBootPgdPhys,
+                                          kKernelPtePhys);
+    mmu.set_cr3(kBootPgdPhys);
+  }
+
+  TranslateStatus translate(std::uint32_t vaddr, Access access, int cpl,
+                            std::uint32_t* paddr_out = nullptr) {
+    std::uint32_t paddr = 0;
+    const TranslateStatus status = mmu.translate(vaddr, access, cpl, paddr);
+    if (paddr_out != nullptr) *paddr_out = paddr;
+    return status;
+  }
+
+  PhysicalMemory memory;
+  Mmu mmu;
+  std::unique_ptr<HostMapper> mapper;
+};
+
+TEST_F(MmuTest, UnmappedIsNotPresent) {
+  EXPECT_EQ(translate(0x12345000, Access::Read, 0),
+            TranslateStatus::NotPresent);
+}
+
+TEST_F(MmuTest, BasicMapAndTranslate) {
+  mapper->map(0x08048000, 0x00300000, kPteUser | kPteWrite);
+  std::uint32_t paddr = 0;
+  EXPECT_EQ(translate(0x08048123, Access::Read, 3, &paddr),
+            TranslateStatus::Ok);
+  EXPECT_EQ(paddr, 0x00300123u);
+  EXPECT_EQ(translate(0x08048123, Access::Write, 3), TranslateStatus::Ok);
+}
+
+TEST_F(MmuTest, SupervisorPageRejectsUser) {
+  mapper->map(0xC0100000, 0x00100000, kPteWrite);  // no kPteUser
+  EXPECT_EQ(translate(0xC0100000, Access::Read, 3),
+            TranslateStatus::Protection);
+  EXPECT_EQ(translate(0xC0100000, Access::Read, 0), TranslateStatus::Ok);
+}
+
+TEST_F(MmuTest, ReadOnlyPageRejectsWrite) {
+  mapper->map(0x08048000, 0x00300000, kPteUser);  // read-only
+  EXPECT_EQ(translate(0x08048000, Access::Read, 3), TranslateStatus::Ok);
+  EXPECT_EQ(translate(0x08048000, Access::Write, 3),
+            TranslateStatus::Protection);
+  EXPECT_EQ(translate(0x08048000, Access::Write, 0),
+            TranslateStatus::Protection)
+      << "the MMU enforces read-only for the kernel too (our COW relies "
+         "on it)";
+}
+
+TEST_F(MmuTest, MmioWindowSupervisorOnly) {
+  EXPECT_EQ(translate(kConsoleMmio, Access::Write, 0), TranslateStatus::Mmio);
+  EXPECT_EQ(translate(kConsoleMmio, Access::Write, 3),
+            TranslateStatus::Protection);
+}
+
+TEST_F(MmuTest, PtePointingOutsideRamIsBadPhysical) {
+  mapper->map(0x08048000, 0x00300000, kPteUser);
+  // Corrupt the PTE to point far outside RAM.
+  const std::uint32_t pgd_entry = memory.read32(kBootPgdPhys + (0x08048000u >> 22) * 4);
+  const std::uint32_t pte_slot =
+      (pgd_entry & kPteFrameMask) + ((0x08048000u >> 12) & 0x3FF) * 4;
+  memory.write32(pte_slot, 0x7FFFF000 | kPtePresent | kPteUser);
+  mmu.flush_tlb();
+  EXPECT_EQ(translate(0x08048000, Access::Read, 3),
+            TranslateStatus::BadPhysical);
+}
+
+TEST_F(MmuTest, TlbCachesUntilFlushed) {
+  mapper->map(0x08048000, 0x00300000, kPteUser | kPteWrite);
+  EXPECT_EQ(translate(0x08048000, Access::Read, 3), TranslateStatus::Ok);
+
+  // Change the PTE behind the TLB's back: stale entry still hits.
+  const std::uint32_t pgd_entry = memory.read32(kBootPgdPhys + (0x08048000u >> 22) * 4);
+  const std::uint32_t pte_slot =
+      (pgd_entry & kPteFrameMask) + ((0x08048000u >> 12) & 0x3FF) * 4;
+  memory.write32(pte_slot, 0);
+  EXPECT_EQ(translate(0x08048000, Access::Read, 3), TranslateStatus::Ok)
+      << "stale TLB entry must persist until an explicit flush";
+
+  mmu.flush_page(0x08048000);
+  EXPECT_EQ(translate(0x08048000, Access::Read, 3),
+            TranslateStatus::NotPresent);
+}
+
+TEST_F(MmuTest, FlushPageOnlyDropsThatPage) {
+  mapper->map(0x08048000, 0x00300000, kPteUser);
+  mapper->map(0x08049000, 0x00301000, kPteUser);
+  EXPECT_EQ(translate(0x08048000, Access::Read, 3), TranslateStatus::Ok);
+  EXPECT_EQ(translate(0x08049000, Access::Read, 3), TranslateStatus::Ok);
+
+  // Zap both PTEs; flush only the first page.
+  const std::uint32_t pgd_entry = memory.read32(kBootPgdPhys + (0x08048000u >> 22) * 4);
+  const std::uint32_t pte_base = pgd_entry & kPteFrameMask;
+  memory.write32(pte_base + ((0x08048000u >> 12) & 0x3FF) * 4, 0);
+  memory.write32(pte_base + ((0x08049000u >> 12) & 0x3FF) * 4, 0);
+  mmu.flush_page(0x08048000);
+
+  EXPECT_EQ(translate(0x08048000, Access::Read, 3),
+            TranslateStatus::NotPresent);
+  EXPECT_EQ(translate(0x08049000, Access::Read, 3), TranslateStatus::Ok)
+      << "second page's stale TLB entry should survive";
+}
+
+TEST_F(MmuTest, SetCr3FlushesEverything) {
+  mapper->map(0x08048000, 0x00300000, kPteUser);
+  EXPECT_EQ(translate(0x08048000, Access::Read, 3), TranslateStatus::Ok);
+  const std::uint32_t pgd_entry = memory.read32(kBootPgdPhys + (0x08048000u >> 22) * 4);
+  memory.write32((pgd_entry & kPteFrameMask) +
+                     ((0x08048000u >> 12) & 0x3FF) * 4,
+                 0);
+  mmu.set_cr3(kBootPgdPhys);  // reload = full flush
+  EXPECT_EQ(translate(0x08048000, Access::Read, 3),
+            TranslateStatus::NotPresent);
+}
+
+TEST_F(MmuTest, CorruptCr3OutsideRamIsBadPhysical) {
+  mmu.set_cr3(0x7F000000);
+  EXPECT_EQ(translate(0x08048000, Access::Read, 3),
+            TranslateStatus::BadPhysical);
+}
+
+TEST_F(MmuTest, PgdLevelUserBitGatesUserAccess) {
+  // Map with a user PTE, then clear the PGD's user bit: user access
+  // must fault (both levels are checked, as on IA-32).
+  mapper->map(0x08048000, 0x00300000, kPteUser);
+  const std::uint32_t pgd_slot = kBootPgdPhys + (0x08048000u >> 22) * 4;
+  memory.write32(pgd_slot, memory.read32(pgd_slot) & ~kPteUser);
+  mmu.flush_tlb();
+  EXPECT_EQ(translate(0x08048000, Access::Read, 3),
+            TranslateStatus::Protection);
+  EXPECT_EQ(translate(0x08048000, Access::Read, 0), TranslateStatus::Ok);
+}
+
+}  // namespace
+}  // namespace kfi::vm

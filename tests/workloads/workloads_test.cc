@@ -1,0 +1,79 @@
+// Workload build pipeline tests.
+#include "workloads/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include "vm/layout.h"
+
+namespace kfi::workloads {
+namespace {
+
+TEST(Workloads, AllNinePresent) {
+  const auto& all = all_workloads();
+  EXPECT_EQ(all.size(), 9u);  // the paper's eight + the netio extension
+  for (const char* name : {"context1", "dhry", "fstime", "hanoi", "looper",
+                           "pipe", "spawn", "syscall", "netio"}) {
+    EXPECT_NE(find_workload(name), nullptr) << name;
+  }
+  EXPECT_EQ(find_workload("quake"), nullptr);
+}
+
+TEST(Workloads, EveryWorkloadBuilds) {
+  for (const Workload& w : all_workloads()) {
+    const WorkloadBuildResult result = build_workload(w);
+    EXPECT_TRUE(result.ok) << w.name << ": "
+                           << (result.errors.empty() ? "?"
+                                                     : result.errors[0]);
+    EXPECT_FALSE(result.image.text.empty()) << w.name;
+    EXPECT_EQ(result.image.text_base, vm::kUserTextBase) << w.name;
+    EXPECT_EQ(result.image.data_base, vm::kUserDataBase) << w.name;
+    EXPECT_GE(result.image.entry, vm::kUserTextBase) << w.name;
+    EXPECT_LT(result.image.entry,
+              vm::kUserTextBase + result.image.text.size())
+        << w.name;
+  }
+}
+
+TEST(Workloads, BuildIsDeterministic) {
+  const Workload* w = find_workload("fstime");
+  ASSERT_NE(w, nullptr);
+  const WorkloadBuildResult a = build_workload(*w);
+  const WorkloadBuildResult b = build_workload(*w);
+  ASSERT_TRUE(a.ok && b.ok);
+  EXPECT_EQ(a.image.text, b.image.text);
+  EXPECT_EQ(a.image.data, b.image.data);
+  EXPECT_EQ(a.image.entry, b.image.entry);
+}
+
+TEST(Workloads, CachedBuildReturnsSameInstance) {
+  const WorkloadImage& a = built_workload("pipe");
+  const WorkloadImage& b = built_workload("pipe");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Workloads, UnknownWorkloadThrows) {
+  EXPECT_THROW(built_workload("no-such-workload"), std::runtime_error);
+}
+
+TEST(Workloads, BrokenSourceReportsErrors) {
+  Workload broken;
+  broken.name = "broken";
+  broken.source = "func main() { return undeclared_thing; }";
+  const WorkloadBuildResult result = build_workload(broken);
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.errors.empty());
+}
+
+TEST(Workloads, ImagesFitTheReservedPhysWindow) {
+  for (const Workload& w : all_workloads()) {
+    const WorkloadBuildResult result = build_workload(w);
+    ASSERT_TRUE(result.ok) << w.name;
+    const std::size_t total =
+        ((result.image.text.size() + vm::kPageMask) & ~std::size_t{vm::kPageMask}) +
+        ((result.image.data.size() + vm::kPageMask) & ~std::size_t{vm::kPageMask});
+    EXPECT_LE(total, std::size_t{0x00100000}) << w.name;
+  }
+}
+
+}  // namespace
+}  // namespace kfi::workloads
