@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_isa.dir/bench_ablation_isa.cc.o"
+  "CMakeFiles/bench_ablation_isa.dir/bench_ablation_isa.cc.o.d"
+  "bench_ablation_isa"
+  "bench_ablation_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

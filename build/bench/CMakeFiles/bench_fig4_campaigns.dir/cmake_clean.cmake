@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_campaigns.dir/bench_fig4_campaigns.cc.o"
+  "CMakeFiles/bench_fig4_campaigns.dir/bench_fig4_campaigns.cc.o.d"
+  "bench_fig4_campaigns"
+  "bench_fig4_campaigns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_campaigns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_crash_causes.dir/bench_fig6_crash_causes.cc.o"
+  "CMakeFiles/bench_fig6_crash_causes.dir/bench_fig6_crash_causes.cc.o.d"
+  "bench_fig6_crash_causes"
+  "bench_fig6_crash_causes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_crash_causes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_propagation.dir/bench_fig8_propagation.cc.o"
+  "CMakeFiles/bench_fig8_propagation.dir/bench_fig8_propagation.cc.o.d"
+  "bench_fig8_propagation"
+  "bench_fig8_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_severe_crashes.dir/bench_table5_severe_crashes.cc.o"
+  "CMakeFiles/bench_table5_severe_crashes.dir/bench_table5_severe_crashes.cc.o.d"
+  "bench_table5_severe_crashes"
+  "bench_table5_severe_crashes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_severe_crashes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_not_manifested.dir/bench_table6_not_manifested.cc.o"
+  "CMakeFiles/bench_table6_not_manifested.dir/bench_table6_not_manifested.cc.o.d"
+  "bench_table6_not_manifested"
+  "bench_table6_not_manifested.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_not_manifested.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table7_case_studies.cc" "bench/CMakeFiles/bench_table7_case_studies.dir/bench_table7_case_studies.cc.o" "gcc" "bench/CMakeFiles/bench_table7_case_studies.dir/bench_table7_case_studies.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/kfi_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/inject/CMakeFiles/kfi_inject.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/kfi_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/kfi_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/kfi_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/kfi_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsutil/CMakeFiles/kfi_fsutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/kfi_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/minic/CMakeFiles/kfi_minic.dir/DependInfo.cmake"
+  "/root/repo/build/src/kasm/CMakeFiles/kfi_kasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/kfi_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/kfi_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/kfi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assertion_hardening.dir/assertion_hardening.cpp.o"
+  "CMakeFiles/assertion_hardening.dir/assertion_hardening.cpp.o.d"
+  "assertion_hardening"
+  "assertion_hardening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assertion_hardening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_forensics.dir/crash_forensics.cpp.o"
+  "CMakeFiles/crash_forensics.dir/crash_forensics.cpp.o.d"
+  "crash_forensics"
+  "crash_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

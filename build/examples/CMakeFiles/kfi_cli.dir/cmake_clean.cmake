@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kfi_cli.dir/kfi_cli.cpp.o"
+  "CMakeFiles/kfi_cli.dir/kfi_cli.cpp.o.d"
+  "kfi_cli"
+  "kfi_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kfi_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

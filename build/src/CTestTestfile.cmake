@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("isa")
+subdirs("kasm")
+subdirs("minic")
+subdirs("vm")
+subdirs("disk")
+subdirs("fsutil")
+subdirs("kernel")
+subdirs("workloads")
+subdirs("machine")
+subdirs("profile")
+subdirs("inject")
+subdirs("analysis")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kfi_analysis.dir/aggregate.cc.o"
+  "CMakeFiles/kfi_analysis.dir/aggregate.cc.o.d"
+  "CMakeFiles/kfi_analysis.dir/io.cc.o"
+  "CMakeFiles/kfi_analysis.dir/io.cc.o.d"
+  "CMakeFiles/kfi_analysis.dir/render.cc.o"
+  "CMakeFiles/kfi_analysis.dir/render.cc.o.d"
+  "CMakeFiles/kfi_analysis.dir/report.cc.o"
+  "CMakeFiles/kfi_analysis.dir/report.cc.o.d"
+  "libkfi_analysis.a"
+  "libkfi_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kfi_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

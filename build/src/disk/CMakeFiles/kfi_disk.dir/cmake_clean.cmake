@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kfi_disk.dir/disk.cc.o"
+  "CMakeFiles/kfi_disk.dir/disk.cc.o.d"
+  "libkfi_disk.a"
+  "libkfi_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kfi_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fsutil/kfs.cc" "src/fsutil/CMakeFiles/kfi_fsutil.dir/kfs.cc.o" "gcc" "src/fsutil/CMakeFiles/kfi_fsutil.dir/kfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/disk/CMakeFiles/kfi_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/kfi_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/kfi_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/kfi_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

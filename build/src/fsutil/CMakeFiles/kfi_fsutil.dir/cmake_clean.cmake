@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kfi_fsutil.dir/kfs.cc.o"
+  "CMakeFiles/kfi_fsutil.dir/kfs.cc.o.d"
+  "libkfi_fsutil.a"
+  "libkfi_fsutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kfi_fsutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

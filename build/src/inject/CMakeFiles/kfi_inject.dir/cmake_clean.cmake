@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kfi_inject.dir/campaign.cc.o"
+  "CMakeFiles/kfi_inject.dir/campaign.cc.o.d"
+  "CMakeFiles/kfi_inject.dir/injector.cc.o"
+  "CMakeFiles/kfi_inject.dir/injector.cc.o.d"
+  "CMakeFiles/kfi_inject.dir/outcome.cc.o"
+  "CMakeFiles/kfi_inject.dir/outcome.cc.o.d"
+  "CMakeFiles/kfi_inject.dir/targets.cc.o"
+  "CMakeFiles/kfi_inject.dir/targets.cc.o.d"
+  "libkfi_inject.a"
+  "libkfi_inject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kfi_inject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkfi_inject.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kfi_isa.dir/decode.cc.o"
+  "CMakeFiles/kfi_isa.dir/decode.cc.o.d"
+  "CMakeFiles/kfi_isa.dir/disasm.cc.o"
+  "CMakeFiles/kfi_isa.dir/disasm.cc.o.d"
+  "CMakeFiles/kfi_isa.dir/encode.cc.o"
+  "CMakeFiles/kfi_isa.dir/encode.cc.o.d"
+  "CMakeFiles/kfi_isa.dir/isa.cc.o"
+  "CMakeFiles/kfi_isa.dir/isa.cc.o.d"
+  "libkfi_isa.a"
+  "libkfi_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kfi_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kfi_kasm.dir/assembler.cc.o"
+  "CMakeFiles/kfi_kasm.dir/assembler.cc.o.d"
+  "libkfi_kasm.a"
+  "libkfi_kasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kfi_kasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/build.cc" "src/kernel/CMakeFiles/kfi_kernel.dir/build.cc.o" "gcc" "src/kernel/CMakeFiles/kfi_kernel.dir/build.cc.o.d"
+  "/root/repo/src/kernel/constants.cc" "src/kernel/CMakeFiles/kfi_kernel.dir/constants.cc.o" "gcc" "src/kernel/CMakeFiles/kfi_kernel.dir/constants.cc.o.d"
+  "/root/repo/src/kernel/src_arch.cc" "src/kernel/CMakeFiles/kfi_kernel.dir/src_arch.cc.o" "gcc" "src/kernel/CMakeFiles/kfi_kernel.dir/src_arch.cc.o.d"
+  "/root/repo/src/kernel/src_drivers.cc" "src/kernel/CMakeFiles/kfi_kernel.dir/src_drivers.cc.o" "gcc" "src/kernel/CMakeFiles/kfi_kernel.dir/src_drivers.cc.o.d"
+  "/root/repo/src/kernel/src_fs.cc" "src/kernel/CMakeFiles/kfi_kernel.dir/src_fs.cc.o" "gcc" "src/kernel/CMakeFiles/kfi_kernel.dir/src_fs.cc.o.d"
+  "/root/repo/src/kernel/src_ipc.cc" "src/kernel/CMakeFiles/kfi_kernel.dir/src_ipc.cc.o" "gcc" "src/kernel/CMakeFiles/kfi_kernel.dir/src_ipc.cc.o.d"
+  "/root/repo/src/kernel/src_kernel.cc" "src/kernel/CMakeFiles/kfi_kernel.dir/src_kernel.cc.o" "gcc" "src/kernel/CMakeFiles/kfi_kernel.dir/src_kernel.cc.o.d"
+  "/root/repo/src/kernel/src_lib.cc" "src/kernel/CMakeFiles/kfi_kernel.dir/src_lib.cc.o" "gcc" "src/kernel/CMakeFiles/kfi_kernel.dir/src_lib.cc.o.d"
+  "/root/repo/src/kernel/src_mm.cc" "src/kernel/CMakeFiles/kfi_kernel.dir/src_mm.cc.o" "gcc" "src/kernel/CMakeFiles/kfi_kernel.dir/src_mm.cc.o.d"
+  "/root/repo/src/kernel/src_net.cc" "src/kernel/CMakeFiles/kfi_kernel.dir/src_net.cc.o" "gcc" "src/kernel/CMakeFiles/kfi_kernel.dir/src_net.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/minic/CMakeFiles/kfi_minic.dir/DependInfo.cmake"
+  "/root/repo/build/src/kasm/CMakeFiles/kfi_kasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/kfi_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsutil/CMakeFiles/kfi_fsutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/kfi_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/kfi_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/kfi_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kfi_kernel.dir/build.cc.o"
+  "CMakeFiles/kfi_kernel.dir/build.cc.o.d"
+  "CMakeFiles/kfi_kernel.dir/constants.cc.o"
+  "CMakeFiles/kfi_kernel.dir/constants.cc.o.d"
+  "CMakeFiles/kfi_kernel.dir/src_arch.cc.o"
+  "CMakeFiles/kfi_kernel.dir/src_arch.cc.o.d"
+  "CMakeFiles/kfi_kernel.dir/src_drivers.cc.o"
+  "CMakeFiles/kfi_kernel.dir/src_drivers.cc.o.d"
+  "CMakeFiles/kfi_kernel.dir/src_fs.cc.o"
+  "CMakeFiles/kfi_kernel.dir/src_fs.cc.o.d"
+  "CMakeFiles/kfi_kernel.dir/src_ipc.cc.o"
+  "CMakeFiles/kfi_kernel.dir/src_ipc.cc.o.d"
+  "CMakeFiles/kfi_kernel.dir/src_kernel.cc.o"
+  "CMakeFiles/kfi_kernel.dir/src_kernel.cc.o.d"
+  "CMakeFiles/kfi_kernel.dir/src_lib.cc.o"
+  "CMakeFiles/kfi_kernel.dir/src_lib.cc.o.d"
+  "CMakeFiles/kfi_kernel.dir/src_mm.cc.o"
+  "CMakeFiles/kfi_kernel.dir/src_mm.cc.o.d"
+  "CMakeFiles/kfi_kernel.dir/src_net.cc.o"
+  "CMakeFiles/kfi_kernel.dir/src_net.cc.o.d"
+  "libkfi_kernel.a"
+  "libkfi_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kfi_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

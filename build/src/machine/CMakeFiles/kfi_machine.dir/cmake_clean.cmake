@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kfi_machine.dir/kdb.cc.o"
+  "CMakeFiles/kfi_machine.dir/kdb.cc.o.d"
+  "CMakeFiles/kfi_machine.dir/machine.cc.o"
+  "CMakeFiles/kfi_machine.dir/machine.cc.o.d"
+  "libkfi_machine.a"
+  "libkfi_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kfi_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

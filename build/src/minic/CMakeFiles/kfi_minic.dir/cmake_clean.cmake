@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kfi_minic.dir/codegen.cc.o"
+  "CMakeFiles/kfi_minic.dir/codegen.cc.o.d"
+  "CMakeFiles/kfi_minic.dir/lexer.cc.o"
+  "CMakeFiles/kfi_minic.dir/lexer.cc.o.d"
+  "CMakeFiles/kfi_minic.dir/parser.cc.o"
+  "CMakeFiles/kfi_minic.dir/parser.cc.o.d"
+  "libkfi_minic.a"
+  "libkfi_minic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kfi_minic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

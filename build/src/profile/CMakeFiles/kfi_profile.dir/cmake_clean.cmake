@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kfi_profile.dir/profile.cc.o"
+  "CMakeFiles/kfi_profile.dir/profile.cc.o.d"
+  "libkfi_profile.a"
+  "libkfi_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kfi_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kfi_support.dir/histogram.cc.o"
+  "CMakeFiles/kfi_support.dir/histogram.cc.o.d"
+  "CMakeFiles/kfi_support.dir/strings.cc.o"
+  "CMakeFiles/kfi_support.dir/strings.cc.o.d"
+  "libkfi_support.a"
+  "libkfi_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kfi_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/bus.cc" "src/vm/CMakeFiles/kfi_vm.dir/bus.cc.o" "gcc" "src/vm/CMakeFiles/kfi_vm.dir/bus.cc.o.d"
+  "/root/repo/src/vm/cpu.cc" "src/vm/CMakeFiles/kfi_vm.dir/cpu.cc.o" "gcc" "src/vm/CMakeFiles/kfi_vm.dir/cpu.cc.o.d"
+  "/root/repo/src/vm/memory.cc" "src/vm/CMakeFiles/kfi_vm.dir/memory.cc.o" "gcc" "src/vm/CMakeFiles/kfi_vm.dir/memory.cc.o.d"
+  "/root/repo/src/vm/mmu.cc" "src/vm/CMakeFiles/kfi_vm.dir/mmu.cc.o" "gcc" "src/vm/CMakeFiles/kfi_vm.dir/mmu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/kfi_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/kfi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

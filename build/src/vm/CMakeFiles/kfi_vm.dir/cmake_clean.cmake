@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kfi_vm.dir/bus.cc.o"
+  "CMakeFiles/kfi_vm.dir/bus.cc.o.d"
+  "CMakeFiles/kfi_vm.dir/cpu.cc.o"
+  "CMakeFiles/kfi_vm.dir/cpu.cc.o.d"
+  "CMakeFiles/kfi_vm.dir/memory.cc.o"
+  "CMakeFiles/kfi_vm.dir/memory.cc.o.d"
+  "CMakeFiles/kfi_vm.dir/mmu.cc.o"
+  "CMakeFiles/kfi_vm.dir/mmu.cc.o.d"
+  "libkfi_vm.a"
+  "libkfi_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kfi_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

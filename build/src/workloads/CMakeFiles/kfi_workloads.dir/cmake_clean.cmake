@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kfi_workloads.dir/build.cc.o"
+  "CMakeFiles/kfi_workloads.dir/build.cc.o.d"
+  "CMakeFiles/kfi_workloads.dir/libc.cc.o"
+  "CMakeFiles/kfi_workloads.dir/libc.cc.o.d"
+  "CMakeFiles/kfi_workloads.dir/programs.cc.o"
+  "CMakeFiles/kfi_workloads.dir/programs.cc.o.d"
+  "libkfi_workloads.a"
+  "libkfi_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kfi_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

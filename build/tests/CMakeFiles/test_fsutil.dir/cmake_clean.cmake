@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fsutil.dir/fsutil/fsck_repair_test.cc.o"
+  "CMakeFiles/test_fsutil.dir/fsutil/fsck_repair_test.cc.o.d"
+  "CMakeFiles/test_fsutil.dir/fsutil/kfs_test.cc.o"
+  "CMakeFiles/test_fsutil.dir/fsutil/kfs_test.cc.o.d"
+  "test_fsutil"
+  "test_fsutil.pdb"
+  "test_fsutil[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fsutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kasm.dir/kasm/assembler_test.cc.o"
+  "CMakeFiles/test_kasm.dir/kasm/assembler_test.cc.o.d"
+  "test_kasm"
+  "test_kasm.pdb"
+  "test_kasm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

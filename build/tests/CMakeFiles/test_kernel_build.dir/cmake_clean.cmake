@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_build.dir/kernel/build_test.cc.o"
+  "CMakeFiles/test_kernel_build.dir/kernel/build_test.cc.o.d"
+  "test_kernel_build"
+  "test_kernel_build.pdb"
+  "test_kernel_build[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minic.dir/minic/compiler_test.cc.o"
+  "CMakeFiles/test_minic.dir/minic/compiler_test.cc.o.d"
+  "CMakeFiles/test_minic.dir/minic/minic_negative_test.cc.o"
+  "CMakeFiles/test_minic.dir/minic/minic_negative_test.cc.o.d"
+  "test_minic"
+  "test_minic.pdb"
+  "test_minic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vm.dir/vm/bus_test.cc.o"
+  "CMakeFiles/test_vm.dir/vm/bus_test.cc.o.d"
+  "CMakeFiles/test_vm.dir/vm/cpu_test.cc.o"
+  "CMakeFiles/test_vm.dir/vm/cpu_test.cc.o.d"
+  "CMakeFiles/test_vm.dir/vm/mmu_test.cc.o"
+  "CMakeFiles/test_vm.dir/vm/mmu_test.cc.o.d"
+  "test_vm"
+  "test_vm.pdb"
+  "test_vm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
