@@ -5,10 +5,16 @@
 //   A: activated 46.1%; of activated: NM 30.4%, FSV 2.2%, crash/hang 67.4%
 //   B: activated 63.8%; of activated: NM 47.5%, FSV 0.8%, crash/hang 51.7%
 //   C: activated 56.1%; of activated: NM 33.3%, FSV 9.9%, crash/hang 56.8%
+//
+// The runs are also pushed through the src/check shape oracles, so this
+// binary fails (exit 1) if the measured distributions drift outside the
+// EXPERIMENTS.md tolerance bands.
 #include <cstdio>
+#include <vector>
 
 #include "analysis/io.h"
 #include "analysis/render.h"
+#include "check/expectations.h"
 
 int main(int argc, char** argv) {
   using namespace kfi;
@@ -19,12 +25,13 @@ int main(int argc, char** argv) {
   std::printf("\n");
 
   inject::Injector injector;
+  std::vector<inject::CampaignRun> runs;
   for (const inject::Campaign campaign :
        {inject::Campaign::RandomNonBranch, inject::Campaign::RandomBranch,
         inject::Campaign::IncorrectBranch}) {
-    const inject::CampaignRun run =
-        analysis::bench_campaign(injector, campaign, options);
-    const analysis::OutcomeTable table = analysis::make_outcome_table(run);
+    runs.push_back(analysis::bench_campaign(injector, campaign, options));
+    const analysis::OutcomeTable table =
+        analysis::make_outcome_table(runs.back());
     std::fputs(analysis::render_outcome_table(table).c_str(), stdout);
     std::printf("\n");
   }
@@ -33,5 +40,14 @@ int main(int argc, char** argv) {
       "paper: A activated 46.1%% (NM 30.4 / FSV 2.2 / crash+hang 67.4)\n"
       "       B activated 63.8%% (NM 47.5 / FSV 0.8 / crash+hang 51.7)\n"
       "       C activated 56.1%% (NM 33.3 / FSV 9.9 / crash+hang 56.8)\n");
+
+  // Shape oracles only make sense at the default scale/seed: a
+  // different seed or scale legitimately shifts the distributions.
+  if (options.repeats == 1 && options.seed == 2003) {
+    const check::ShapeReport report =
+        check::evaluate_full(runs[0], runs[1], runs[2]);
+    std::printf("\n%s", check::render_report(report).c_str());
+    if (!report.all_pass()) return 1;
+  }
   return 0;
 }

@@ -1,0 +1,207 @@
+// kfi_check — the expected-shape regression harness front end.
+//
+//   kfi_check shape smoke             tier-1 oracles on a sub-minute run
+//   kfi_check shape full [...]        EXPERIMENTS.md oracles on the
+//                                     default-scale campaigns (cached)
+//   kfi_check replay <file.kfi> [...] re-execute persisted injections and
+//                                     compare bit-for-bit
+//   kfi_check determinism [...]       threads=1 vs threads=N identical
+//
+// Exit status 0 = every check passed, 1 = at least one failed.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "analysis/io.h"
+#include "check/expectations.h"
+#include "check/replay.h"
+#include "inject/campaign.h"
+#include "profile/profile.h"
+
+namespace {
+
+using namespace kfi;
+
+int usage() {
+  std::printf(
+      "usage: kfi_check <command> [args]\n"
+      "  shape smoke               run the fixed smoke campaigns (A and C\n"
+      "                            over %zu hot functions) and evaluate\n"
+      "                            the smoke oracles\n"
+      "  shape full [--scale N --seed N --cache DIR --no-cache --quiet]\n"
+      "                            evaluate the EXPERIMENTS.md oracles on\n"
+      "                            the full-scale A/B/C campaigns\n"
+      "  replay <file.kfi> [--samples N]\n"
+      "                            replay N runs per outcome category\n"
+      "                            (default 1) from a persisted campaign\n"
+      "                            and require bit-for-bit equality; also\n"
+      "                            checks the sampled specs regenerate\n"
+      "                            from (campaign, seed, repeats)\n"
+      "  replay <file.kfi> --index N\n"
+      "                            replay exactly result #N\n"
+      "  determinism [--threads N] [--campaign A|B|C]\n"
+      "                            run the smoke campaign with threads=1\n"
+      "                            and threads=N (default 4) and require\n"
+      "                            identical result vectors\n",
+      check::smoke_functions().size());
+  return 2;
+}
+
+inject::Campaign parse_campaign(const char* arg) {
+  switch (arg[0]) {
+    case 'B': return inject::Campaign::RandomBranch;
+    case 'C': return inject::Campaign::IncorrectBranch;
+    default: return inject::Campaign::RandomNonBranch;
+  }
+}
+
+int cmd_shape(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string scale = argv[2];
+  if (scale == "smoke") {
+    inject::Injector injector;
+    const auto& prof = profile::default_profile();
+    const inject::CampaignRun a = inject::run_campaign(
+        injector, prof, check::smoke_config(inject::Campaign::RandomNonBranch));
+    const inject::CampaignRun c = inject::run_campaign(
+        injector, prof, check::smoke_config(inject::Campaign::IncorrectBranch));
+    const check::ShapeReport report = check::evaluate_smoke(a, c);
+    std::fputs(check::render_report(report).c_str(), stdout);
+    return report.all_pass() ? 0 : 1;
+  }
+  if (scale != "full") return usage();
+
+  // Shift "shape full" off argv so parse_bench_options sees the flags.
+  const analysis::BenchOptions options =
+      analysis::parse_bench_options(argc - 2, argv + 2);
+  inject::Injector injector;
+  const inject::CampaignRun a = analysis::bench_campaign(
+      injector, inject::Campaign::RandomNonBranch, options);
+  const inject::CampaignRun b = analysis::bench_campaign(
+      injector, inject::Campaign::RandomBranch, options);
+  const inject::CampaignRun c = analysis::bench_campaign(
+      injector, inject::Campaign::IncorrectBranch, options);
+  const check::ShapeReport report = check::evaluate_full(a, b, c);
+  std::fputs(check::render_report(report).c_str(), stdout);
+  return report.all_pass() ? 0 : 1;
+}
+
+int cmd_replay(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string path = argv[2];
+  auto run = analysis::load_campaign(path);
+  if (!run.has_value()) {
+    std::printf("cannot load campaign file '%s'\n", path.c_str());
+    return 1;
+  }
+
+  std::size_t samples = 1;
+  long index = -1;
+  std::uint64_t seed = 2003;
+  int repeats = 1;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--samples") == 0 && i + 1 < argc) {
+      samples = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--index") == 0 && i + 1 < argc) {
+      index = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      repeats = std::atoi(argv[++i]);
+    }
+  }
+
+  inject::Injector injector;
+  check::ReplayReport report;
+  if (index >= 0) {
+    if (static_cast<std::size_t>(index) >= run->results.size()) {
+      std::printf("index out of range (0..%zu)\n", run->results.size() - 1);
+      return 1;
+    }
+    report.replays.push_back(
+        check::replay_one(injector, *run, static_cast<std::size_t>(index)));
+  } else {
+    report = check::replay_samples(injector, *run, samples);
+    // The persisted spec must also regenerate from (campaign, seed,
+    // repeats): proves the target list itself is deterministic.
+    inject::CampaignConfig config;
+    config.campaign = run->campaign;
+    config.seed = seed;
+    config.repeats = repeats;
+    const std::vector<inject::InjectionSpec> regenerated =
+        inject::campaign_targets(profile::default_profile(), config, nullptr);
+    if (regenerated.size() != run->results.size()) {
+      std::printf("regenerated %zu targets but file holds %zu; pass the"
+                  " original --seed/--scale\n",
+                  regenerated.size(), run->results.size());
+      return 1;
+    }
+    for (const check::ReplayOutcome& replay : report.replays) {
+      std::vector<check::FieldDiff> diffs = check::diff_specs(
+          run->results[replay.index].spec, regenerated[replay.index]);
+      if (!diffs.empty()) {
+        report.spec_mismatches.emplace_back(replay.index, std::move(diffs));
+      }
+    }
+  }
+  std::fputs(check::render_replay(report).c_str(), stdout);
+  return report.all_identical() ? 0 : 1;
+}
+
+int cmd_determinism(int argc, char** argv) {
+  unsigned threads = 4;
+  inject::Campaign campaign = inject::Campaign::IncorrectBranch;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--campaign") == 0 && i + 1 < argc) {
+      campaign = parse_campaign(argv[++i]);
+    }
+  }
+
+  const auto& prof = profile::default_profile();
+  inject::CampaignConfig config = check::smoke_config(campaign);
+
+  inject::Injector serial;
+  config.threads = 1;
+  const inject::CampaignRun one = inject::run_campaign(serial, prof, config);
+
+  inject::Injector parallel;
+  config.threads = threads;
+  const inject::CampaignRun many = inject::run_campaign(parallel, prof, config);
+
+  const check::RunComparison comparison = check::compare_runs(one, many);
+  if (comparison.identical()) {
+    std::printf("threads=1 and threads=%u produced identical vectors"
+                " (%zu results)\n",
+                threads, comparison.compared);
+    return 0;
+  }
+  if (comparison.size_mismatch) {
+    std::printf("result vector sizes differ: %zu vs %zu\n", one.results.size(),
+                many.results.size());
+    return 1;
+  }
+  std::printf("%zu of %zu results differ between threads=1 and threads=%u\n",
+              comparison.mismatches.size(), comparison.compared, threads);
+  for (const auto& [index, diffs] : comparison.mismatches) {
+    std::printf("  #%zu %s:\n", index,
+                one.results[index].spec.function.c_str());
+    for (const check::FieldDiff& diff : diffs) {
+      std::printf("    %-16s %s vs %s\n", diff.field.c_str(),
+                  diff.recorded.c_str(), diff.replayed.c_str());
+    }
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  if (command == "shape") return cmd_shape(argc, argv);
+  if (command == "replay") return cmd_replay(argc, argv);
+  if (command == "determinism") return cmd_determinism(argc, argv);
+  return usage();
+}

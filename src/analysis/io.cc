@@ -148,6 +148,28 @@ std::optional<inject::CampaignRun> load_campaign(const std::string& path) {
   return run;
 }
 
+std::uint64_t kernel_fingerprint(const kernel::KernelImage& image) {
+  std::uint64_t fingerprint = 1469598103934665603ULL;
+  for (const kernel::LoadSegment& segment : image.segments) {
+    for (const std::uint8_t byte : segment.bytes) {
+      fingerprint = (fingerprint ^ byte) * 1099511628211ULL;
+    }
+  }
+  return fingerprint;
+}
+
+std::string campaign_cache_path(const std::string& cache_dir,
+                                inject::Campaign campaign, int repeats,
+                                std::uint64_t seed,
+                                const kernel::KernelImage& image) {
+  return cache_dir + "/campaign_" +
+         std::string(inject::campaign_name(campaign)) + "_r" +
+         std::to_string(repeats) + "_s" + std::to_string(seed) + "_k" +
+         format("%08x",
+                static_cast<std::uint32_t>(kernel_fingerprint(image))) +
+         ".kfi";
+}
+
 inject::CampaignRun load_or_run_campaign(inject::Injector& injector,
                                          inject::Campaign campaign,
                                          int repeats, std::uint64_t seed,
@@ -157,19 +179,8 @@ inject::CampaignRun load_or_run_campaign(inject::Injector& injector,
   if (!cache_dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(cache_dir, ec);
-    // The cache is only valid for the kernel image it was produced
-    // from; fingerprint the image into the file name.
-    std::uint64_t fingerprint = 1469598103934665603ULL;
-    for (const kernel::LoadSegment& segment :
-         kernel::built_kernel().segments) {
-      for (const std::uint8_t byte : segment.bytes) {
-        fingerprint = (fingerprint ^ byte) * 1099511628211ULL;
-      }
-    }
-    path = cache_dir + "/campaign_" +
-           std::string(inject::campaign_name(campaign)) + "_r" +
-           std::to_string(repeats) + "_s" + std::to_string(seed) + "_k" +
-           format("%08x", static_cast<std::uint32_t>(fingerprint)) + ".kfi";
+    path = campaign_cache_path(cache_dir, campaign, repeats, seed,
+                               kernel::built_kernel());
     if (auto cached = load_campaign(path)) {
       if (verbose) {
         std::fprintf(stderr, "[kfi] campaign %s: loaded %zu results from %s\n",

@@ -13,6 +13,19 @@ namespace kfi::analysis {
 bool save_campaign(const inject::CampaignRun& run, const std::string& path);
 std::optional<inject::CampaignRun> load_campaign(const std::string& path);
 
+// FNV-1a fingerprint over a kernel image's load segments.  A campaign
+// cache (and the instruction addresses inside it) is only valid for the
+// exact image it was produced from, so the fingerprint is baked into
+// the cache file name.
+std::uint64_t kernel_fingerprint(const kernel::KernelImage& image);
+
+// "<cache_dir>/campaign_<A|B|C>_r<repeats>_s<seed>_k<fp>.kfi" — the
+// canonical cache file name for a campaign run against `image`.
+std::string campaign_cache_path(const std::string& cache_dir,
+                                inject::Campaign campaign, int repeats,
+                                std::uint64_t seed,
+                                const kernel::KernelImage& image);
+
 // Loads the campaign from `<cache_dir>/campaign_<name>_r<repeats>_s<seed>.kfi`
 // or runs it (and saves).  `verbose` prints progress to stderr.
 inject::CampaignRun load_or_run_campaign(inject::Injector& injector,

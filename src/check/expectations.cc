@@ -1,0 +1,253 @@
+#include "check/expectations.h"
+
+namespace kfi::check {
+
+namespace {
+
+using inject::Campaign;
+using inject::CampaignRun;
+using inject::CrashCause;
+using kernel::Subsystem;
+
+CampaignExpectations expectations_a() {
+  CampaignExpectations e;
+  e.outcome.name = "A";
+  // EXPERIMENTS.md Figure 4: 90.2% activated, 23.6% NM, 15.5% FSV,
+  // 61.0% crash+hang; crash/hang dominates activated errors.
+  e.outcome.activated = {0.80, 0.97};
+  e.outcome.not_manifested = {0.14, 0.34};
+  e.outcome.fail_silence = {0.07, 0.25};
+  e.outcome.crash_hang = {0.48, 0.74};
+  e.outcome.expect_crash_hang_dominant = true;
+  // Figure 6: top-4 causes 99.4% of dumped crashes.
+  e.causes.name = "A";
+  e.causes.top4 = {0.92, 1.0};
+  // Figure 8: fs 95.8%, kernel 89.5%, mm 98.3% stay local.
+  e.propagation = {{"A.fs", {0.85, 1.0}, 10},
+                   {"A.kernel", {0.80, 1.0}, 10},
+                   {"A.mm", {0.85, 1.0}, 10}};
+  e.propagation_from = {Subsystem::Fs, Subsystem::Kernel, Subsystem::Mm};
+  // Table 5: 444 severe / 66 most-severe of ~11k activated.
+  e.severity.name = "A";
+  e.severity.severe_rate = {0.01, 0.10};
+  e.severity.most_severe_rate = {0.001, 0.02};
+  return e;
+}
+
+CampaignExpectations expectations_b() {
+  CampaignExpectations e;
+  e.outcome.name = "B";
+  // Figure 4: 93.8% activated, 24.7% NM, 10.2% FSV, 65.1% crash+hang.
+  e.outcome.activated = {0.84, 1.0};
+  e.outcome.not_manifested = {0.14, 0.36};
+  e.outcome.fail_silence = {0.04, 0.20};
+  e.outcome.crash_hang = {0.50, 0.78};
+  e.outcome.expect_crash_hang_dominant = true;
+  e.causes.name = "B";
+  e.causes.top4 = {0.92, 1.0};
+  e.propagation = {{"B.fs", {0.80, 1.0}, 10}};
+  e.propagation_from = {Subsystem::Fs};
+  // Table 5: 25 severe / 3 most-severe of ~700 activated.
+  e.severity.name = "B";
+  e.severity.severe_rate = {0.005, 0.10};
+  e.severity.most_severe_rate = {0.0, 0.02};
+  return e;
+}
+
+CampaignExpectations expectations_c() {
+  CampaignExpectations e;
+  e.outcome.name = "C";
+  // Figure 4: 91.9% activated, 17.2% NM, 62.2% FSV, 20.6% crash+hang;
+  // fail silence dominates (the paper's §8 finding).
+  e.outcome.activated = {0.80, 1.0};
+  e.outcome.not_manifested = {0.08, 0.28};
+  e.outcome.fail_silence = {0.45, 0.75};
+  e.outcome.crash_hang = {0.10, 0.33};
+  e.outcome.expect_fail_silence_dominant = true;
+  // Figure 6: invalid opcode (BUG()/ud2) is the plurality cause, 62.5%.
+  e.causes.name = "C";
+  e.causes.top4 = {0.92, 1.0};
+  e.causes.dominant_cause = CrashCause::InvalidOpcode;
+  e.causes.dominant_share = {0.40, 0.85};
+  e.propagation = {};
+  e.propagation_from = {};
+  // Table 5: C has the highest most-severe *rate*, 2.8% of activated.
+  e.severity.name = "C";
+  e.severity.severe_rate = {0.01, 0.12};
+  e.severity.most_severe_rate = {0.005, 0.06};
+  return e;
+}
+
+double outcome_share(const CampaignRun& run, inject::Outcome outcome) {
+  std::uint64_t activated = 0;
+  std::uint64_t matching = 0;
+  for (const inject::InjectionResult& r : run.results) {
+    if (r.outcome == inject::Outcome::NotActivated) continue;
+    ++activated;
+    if (r.outcome == outcome) ++matching;
+  }
+  return activated == 0
+             ? 0.0
+             : static_cast<double>(matching) / static_cast<double>(activated);
+}
+
+double cause_share(const CampaignRun& run, CrashCause cause) {
+  std::uint64_t crashes = 0;
+  std::uint64_t matching = 0;
+  for (const inject::InjectionResult& r : run.results) {
+    if (r.outcome != inject::Outcome::DumpedCrash) continue;
+    ++crashes;
+    if (r.cause == cause) ++matching;
+  }
+  return crashes == 0
+             ? 0.0
+             : static_cast<double>(matching) / static_cast<double>(crashes);
+}
+
+}  // namespace
+
+ShapeExpectations full_expectations() {
+  return {expectations_a(), expectations_b(), expectations_c()};
+}
+
+ShapeReport evaluate_campaign(const CampaignRun& run,
+                              const CampaignExpectations& expected) {
+  ShapeReport report;
+  report.add(expected.outcome.evaluate(analysis::make_outcome_table(run)));
+  report.add(expected.causes.evaluate(analysis::make_crash_causes(run)));
+  for (std::size_t i = 0; i < expected.propagation.size(); ++i) {
+    report.add(expected.propagation[i].evaluate(
+        analysis::make_propagation(run, expected.propagation_from[i])));
+  }
+  report.add(expected.severity.evaluate(run, analysis::make_severity(run)));
+  return report;
+}
+
+ShapeReport evaluate_full(const CampaignRun& a, const CampaignRun& b,
+                          const CampaignRun& c) {
+  const ShapeExpectations expected = full_expectations();
+  ShapeReport report;
+  report.add(evaluate_campaign(a, expected.a).checks);
+  report.add(evaluate_campaign(b, expected.b).checks);
+  report.add(evaluate_campaign(c, expected.c).checks);
+
+  // Cross-campaign orderings (the paper's comparative observations).
+  report.add(check_argmax(
+      "cross.b_not_manifested_highest",
+      {{"A", outcome_share(a, inject::Outcome::NotManifested)},
+       {"B", outcome_share(b, inject::Outcome::NotManifested)},
+       {"C", outcome_share(c, inject::Outcome::NotManifested)}},
+      "B", "corrupted conditions that evaluate the same way"));
+  report.add(check_argmax(
+      "cross.c_fail_silence_highest",
+      {{"A", outcome_share(a, inject::Outcome::FailSilenceViolation)},
+       {"B", outcome_share(b, inject::Outcome::FailSilenceViolation)},
+       {"C", outcome_share(c, inject::Outcome::FailSilenceViolation)}},
+      "C", "reversed error-checking branches report errors for correct"
+           " requests"));
+  report.add(check_argmin(
+      "cross.c_latency_longest",
+      {{"A", short_latency_share(a, 10)},
+       {"B", short_latency_share(b, 10)},
+       {"C", short_latency_share(c, 10)}},
+      "C", "Figure 7: C executes valid-but-wrong sequences, so its"
+           " <=10-cycle crash share is the smallest"));
+  report.add(check_argmin(
+      "cross.c_paging_smallest",
+      {{"A", cause_share(a, CrashCause::PagingRequest)},
+       {"B", cause_share(b, CrashCause::PagingRequest)},
+       {"C", cause_share(c, CrashCause::PagingRequest)}},
+      "C", "Figure 6: a reversed branch corrupts no register values, so"
+           " paging requests collapse in C"));
+  return report;
+}
+
+const std::vector<std::string>& smoke_functions() {
+  // Campaign A set: every byte of every non-branch instruction is a
+  // target, so the list is kept to ~640 bytes of hot fs/mm code —
+  // pipe_read (the §8 fail-silence case) and free_pages (the BUG()
+  // assertion case) — to hold the tier-1 smoke run near ten seconds on
+  // one core.
+  static const std::vector<std::string> functions = {
+      "pipe_read",
+      "free_pages",
+  };
+  return functions;
+}
+
+namespace {
+
+const std::vector<std::string>& smoke_branch_functions() {
+  // Branch campaigns get one target per conditional branch, so a wider
+  // guard-dense list costs almost nothing — the same widening the paper
+  // applied to its B/C campaigns (Figure 4: 51 / 81 / 176 functions).
+  static const std::vector<std::string> functions = {
+      "pipe_read",  "pipe_write", "sys_read",
+      "sys_write",  "sys_unlink", "do_generic_file_read",
+      "free_pages", "schedule",   "kfs_alloc_block",
+  };
+  return functions;
+}
+
+}  // namespace
+
+inject::CampaignConfig smoke_config(Campaign campaign) {
+  inject::CampaignConfig config;
+  config.campaign = campaign;
+  config.functions = campaign == Campaign::RandomNonBranch
+                         ? smoke_functions()
+                         : smoke_branch_functions();
+  config.repeats = 1;
+  config.seed = 2003;
+  config.threads = 1;
+  return config;
+}
+
+ShapeReport evaluate_smoke(const CampaignRun& a, const CampaignRun& c) {
+  ShapeReport report;
+
+  // Smoke-scale bands: the runs are deterministic (fixed seed and
+  // function list), so the bands only need to absorb legitimate
+  // substrate evolution, not sampling noise.
+  OutcomeShape outcome_a;
+  outcome_a.name = "smoke.A";
+  outcome_a.activated = {0.70, 1.0};
+  outcome_a.not_manifested = {0.05, 0.45};
+  outcome_a.fail_silence = {0.02, 0.40};
+  outcome_a.crash_hang = {0.35, 0.85};
+  outcome_a.expect_crash_hang_dominant = true;
+  report.add(outcome_a.evaluate(analysis::make_outcome_table(a)));
+
+  CauseShape causes_a;
+  causes_a.name = "smoke.A";
+  causes_a.top4 = {0.90, 1.0};
+  report.add(causes_a.evaluate(analysis::make_crash_causes(a)));
+
+  OutcomeShape outcome_c;
+  outcome_c.name = "smoke.C";
+  outcome_c.activated = {0.70, 1.0};
+  outcome_c.not_manifested = {0.0, 0.45};
+  outcome_c.fail_silence = {0.30, 0.90};
+  outcome_c.crash_hang = {0.02, 0.45};
+  outcome_c.expect_fail_silence_dominant = true;
+  report.add(outcome_c.evaluate(analysis::make_outcome_table(c)));
+
+  CauseShape causes_c;
+  causes_c.name = "smoke.C";
+  causes_c.top4 = {0.90, 1.0};
+  causes_c.dominant_cause = CrashCause::InvalidOpcode;
+  causes_c.dominant_share = {0.25, 1.0};
+  report.add(causes_c.evaluate(analysis::make_crash_causes(c)));
+
+  PropagationShape prop_a{"smoke.A.fs", {0.75, 1.0}, 10};
+  report.add(prop_a.evaluate(analysis::make_propagation(a, Subsystem::Fs)));
+
+  report.add(check_argmax(
+      "smoke.cross.c_fail_silence_highest",
+      {{"A", outcome_share(a, inject::Outcome::FailSilenceViolation)},
+       {"C", outcome_share(c, inject::Outcome::FailSilenceViolation)}},
+      "C", "reversed guards report errors for correct requests"));
+  return report;
+}
+
+}  // namespace kfi::check

@@ -1,0 +1,67 @@
+// The expected-shape registry: EXPERIMENTS.md's load-bearing claims
+// encoded as kfi::check oracles with explicit tolerance bands.
+//
+// Two scales:
+//   * full  — the default-scale campaigns (12,157 A + 742 B + 285 C
+//     injections at seed 2003); bands bracket the measured values in
+//     EXPERIMENTS.md wide enough to absorb benign drift but tight
+//     enough that a distribution-shifting regression fails.
+//   * smoke — a deterministic sub-minute campaign over a fixed list of
+//     hot functions, for tier-1 ctest; bands are looser because the
+//     statistics ride on a few hundred injections.
+//
+// The oracle-name <-> claim mapping is documented in EXPERIMENTS.md
+// ("Machine-checked shapes").
+#pragma once
+
+#include "check/shape.h"
+
+namespace kfi::check {
+
+// Everything asserted about one campaign's aggregates.
+struct CampaignExpectations {
+  OutcomeShape outcome;
+  CauseShape causes;
+  std::vector<PropagationShape> propagation;  // paired with `propagation_from`
+  std::vector<kernel::Subsystem> propagation_from;
+  SeverityShape severity;
+};
+
+struct ShapeExpectations {
+  CampaignExpectations a;
+  CampaignExpectations b;
+  CampaignExpectations c;
+};
+
+// Full-scale expectations (EXPERIMENTS.md figures 4/6/8, Table 5).
+ShapeExpectations full_expectations();
+
+// Evaluates one campaign run against its expectations.
+ShapeReport evaluate_campaign(const inject::CampaignRun& run,
+                              const CampaignExpectations& expected);
+
+// Evaluates the three campaigns plus the cross-campaign orderings the
+// paper calls out: B has the highest not-manifested rate, C the highest
+// fail-silence rate, C the longest crash latencies, and C the smallest
+// paging-request share.
+ShapeReport evaluate_full(const inject::CampaignRun& a,
+                          const inject::CampaignRun& b,
+                          const inject::CampaignRun& c);
+
+// ---- tier-1 smoke scale ----
+
+// The fixed function list the smoke campaigns inject into: hot
+// functions spanning fs / kernel / mm with known crash, fail-silence,
+// and assertion sites.
+const std::vector<std::string>& smoke_functions();
+
+// Campaign config for a smoke run (fixed seed, fixed functions,
+// threads=1 so tier-1 results are identical everywhere).
+inject::CampaignConfig smoke_config(inject::Campaign campaign);
+
+// Evaluates smoke runs of campaigns A and C (the two ends of the
+// random-bit vs. reversed-branch spectrum).
+ShapeReport evaluate_smoke(const inject::CampaignRun& a,
+                           const inject::CampaignRun& c);
+
+}  // namespace kfi::check

@@ -1,0 +1,96 @@
+// Deterministic single-run replay (the paper's injector property that
+// every run is reproducible, promoted to a checked API).
+//
+// A persisted .kfi file records, for every injection, both the spec
+// (function, instruction, byte, bit, workload) and the classified
+// result.  Because the injector is deterministic — the machine is
+// snapshot-restored between runs and the only stochastic input is the
+// campaign Rng — re-executing a recorded spec on a fresh machine must
+// reproduce the recorded result bit-for-bit, and regenerating the
+// target list from (campaign, seed, repeats) must reproduce the
+// recorded specs.  Together these make (campaign, seed, index) a
+// complete coordinate for any historical run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "inject/campaign.h"
+#include "inject/injector.h"
+
+namespace kfi::check {
+
+// One field that failed to reproduce.
+struct FieldDiff {
+  std::string field;
+  std::string recorded;
+  std::string replayed;
+};
+
+// Field-by-field comparison of two results (every persisted field).
+std::vector<FieldDiff> diff_results(const inject::InjectionResult& recorded,
+                                    const inject::InjectionResult& replayed);
+
+// Spec-only comparison (used to prove target-list regeneration).
+std::vector<FieldDiff> diff_specs(const inject::InjectionSpec& recorded,
+                                  const inject::InjectionSpec& regenerated);
+
+struct ReplayOutcome {
+  std::size_t index = 0;
+  inject::InjectionResult recorded;
+  inject::InjectionResult replayed;
+  std::vector<FieldDiff> diffs;
+
+  bool identical() const { return diffs.empty(); }
+};
+
+// Re-executes the recorded injection at `index` and diffs the outcome.
+ReplayOutcome replay_one(inject::Injector& injector,
+                         const inject::CampaignRun& run, std::size_t index);
+
+// Picks up to `max_per_outcome` result indices per outcome category
+// (one crash, one not-manifested, one fail-silence violation, ... for
+// max_per_outcome = 1), preferring distinct outcome coverage.
+std::vector<std::size_t> sample_indices(const inject::CampaignRun& run,
+                                        std::size_t max_per_outcome);
+
+struct ReplayReport {
+  std::vector<ReplayOutcome> replays;
+  // Spec mismatches against the regenerated target list (empty when the
+  // regeneration check was not requested or everything matched).
+  std::vector<std::pair<std::size_t, std::vector<FieldDiff>>> spec_mismatches;
+
+  std::size_t identical_count() const;
+  bool all_identical() const {
+    return identical_count() == replays.size() && spec_mismatches.empty();
+  }
+};
+
+// Replays a sample of the persisted run (up to `max_per_outcome`
+// representatives of each outcome category).  Callers that know the
+// original (campaign, seed, repeats) additionally verify the sampled
+// specs against inject::campaign_targets() via diff_specs() and record
+// mismatches in `spec_mismatches`.
+ReplayReport replay_samples(inject::Injector& injector,
+                            const inject::CampaignRun& run,
+                            std::size_t max_per_outcome);
+
+std::string render_replay(const ReplayReport& report);
+
+// ---- schedule independence ----
+
+// Index-by-index comparison of two campaign result vectors (e.g. the
+// same campaign run with threads=1 and threads=N — campaign.h's
+// contract that results are identical regardless of thread count).
+struct RunComparison {
+  std::size_t compared = 0;
+  bool size_mismatch = false;
+  std::vector<std::pair<std::size_t, std::vector<FieldDiff>>> mismatches;
+
+  bool identical() const { return !size_mismatch && mismatches.empty(); }
+};
+
+RunComparison compare_runs(const inject::CampaignRun& x,
+                           const inject::CampaignRun& y);
+
+}  // namespace kfi::check

@@ -1,0 +1,240 @@
+#include "check/shape.h"
+
+#include "support/strings.h"
+
+namespace kfi::check {
+
+namespace {
+
+double ratio(std::uint64_t num, std::uint64_t den) {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+
+std::string entries_text(
+    const std::vector<std::pair<std::string, double>>& entries) {
+  std::string out;
+  for (const auto& [label, value] : entries) {
+    if (!out.empty()) out += ", ";
+    out += format("%s=%.3f", label.c_str(), value);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool ShapeReport::all_pass() const { return failures() == 0; }
+
+std::size_t ShapeReport::failures() const {
+  std::size_t n = 0;
+  for (const CheckResult& check : checks) {
+    if (!check.pass) ++n;
+  }
+  return n;
+}
+
+void ShapeReport::add(std::vector<CheckResult> results) {
+  for (CheckResult& result : results) checks.push_back(std::move(result));
+}
+
+std::string render_report(const ShapeReport& report) {
+  std::string out;
+  for (const CheckResult& check : report.checks) {
+    out += format("  [%s] %-34s observed %.3f  expected [%.3f, %.3f]",
+                  check.pass ? "PASS" : "FAIL", check.oracle.c_str(),
+                  check.observed, check.expected.lo, check.expected.hi);
+    if (!check.pass && !check.detail.empty()) {
+      out += format("  -- %s", check.detail.c_str());
+    }
+    out += "\n";
+  }
+  out += format("%zu oracles, %zu failed\n", report.checks.size(),
+                report.failures());
+  return out;
+}
+
+CheckResult check_band(const std::string& oracle, double observed, Band band,
+                       const std::string& detail) {
+  CheckResult result;
+  result.oracle = oracle;
+  result.observed = observed;
+  result.expected = band;
+  result.pass = band.contains(observed);
+  result.detail = detail;
+  return result;
+}
+
+CheckResult check_argmax(
+    const std::string& oracle,
+    const std::vector<std::pair<std::string, double>>& entries,
+    const std::string& expected_winner, const std::string& detail) {
+  CheckResult result;
+  result.oracle = oracle;
+  result.expected = Band{1.0, 1.0};  // "is the winner" as a boolean
+  const std::pair<std::string, double>* winner = nullptr;
+  double winner_value = 0.0;
+  bool tie = false;
+  for (const auto& entry : entries) {
+    if (winner == nullptr || entry.second > winner_value) {
+      winner = &entry;
+      winner_value = entry.second;
+      tie = false;
+    } else if (entry.second == winner_value && entry.first != winner->first) {
+      tie = true;
+    }
+  }
+  result.pass =
+      winner != nullptr && !tie && winner->first == expected_winner;
+  result.observed = result.pass ? 1.0 : 0.0;
+  result.detail = format("%s; expected '%s' largest (%s)", detail.c_str(),
+                         expected_winner.c_str(),
+                         entries_text(entries).c_str());
+  return result;
+}
+
+CheckResult check_argmin(
+    const std::string& oracle,
+    const std::vector<std::pair<std::string, double>>& entries,
+    const std::string& expected_loser, const std::string& detail) {
+  std::vector<std::pair<std::string, double>> negated;
+  negated.reserve(entries.size());
+  for (const auto& [label, value] : entries) negated.emplace_back(label, -value);
+  CheckResult result = check_argmax(oracle, negated, expected_loser, detail);
+  result.detail = format("%s; expected '%s' smallest (%s)", detail.c_str(),
+                         expected_loser.c_str(),
+                         entries_text(entries).c_str());
+  return result;
+}
+
+std::vector<CheckResult> OutcomeShape::evaluate(
+    const analysis::OutcomeTable& table) const {
+  std::vector<CheckResult> checks;
+  const analysis::OutcomeRow& total = table.total;
+  const double nm = ratio(total.not_manifested, total.activated);
+  const double fsv = ratio(total.fail_silence, total.activated);
+  const double ch = ratio(total.crash_hang, total.activated);
+
+  checks.push_back(check_band(
+      name + ".activated", ratio(total.activated, total.injected), activated,
+      format("%s activated of %s injected", with_commas(total.activated).c_str(),
+             with_commas(total.injected).c_str())));
+  checks.push_back(check_band(
+      name + ".not_manifested", nm, not_manifested,
+      format("%s of %s activated", with_commas(total.not_manifested).c_str(),
+             with_commas(total.activated).c_str())));
+  checks.push_back(check_band(
+      name + ".fail_silence", fsv, fail_silence,
+      format("%s of %s activated", with_commas(total.fail_silence).c_str(),
+             with_commas(total.activated).c_str())));
+  checks.push_back(check_band(
+      name + ".crash_hang", ch, crash_hang,
+      format("%s of %s activated", with_commas(total.crash_hang).c_str(),
+             with_commas(total.activated).c_str())));
+
+  const std::vector<std::pair<std::string, double>> shares = {
+      {"not_manifested", nm}, {"fail_silence", fsv}, {"crash_hang", ch}};
+  if (expect_crash_hang_dominant) {
+    checks.push_back(check_argmax(name + ".crash_hang_dominates", shares,
+                                  "crash_hang",
+                                  "Figure 4 outcome distribution"));
+  }
+  if (expect_fail_silence_dominant) {
+    checks.push_back(check_argmax(name + ".fail_silence_dominates", shares,
+                                  "fail_silence",
+                                  "Figure 4 outcome distribution"));
+  }
+  return checks;
+}
+
+std::vector<CheckResult> CauseShape::evaluate(
+    const analysis::CrashCauseDistribution& dist) const {
+  std::vector<CheckResult> checks;
+  checks.push_back(check_band(
+      name + ".top4_causes", dist.top4_share(), top4,
+      format("NULL-pointer + paging + invalid-op + GP over %s crashes",
+             with_commas(dist.total).c_str())));
+  if (dominant_cause.has_value()) {
+    std::vector<std::pair<std::string, double>> entries;
+    double dominant_observed = 0.0;
+    for (const auto& [cause, count] : dist.counts) {
+      const double share = ratio(count, dist.total);
+      entries.emplace_back(std::string(inject::crash_cause_short_name(cause)),
+                          share);
+      if (cause == *dominant_cause) dominant_observed = share;
+    }
+    const std::string label(inject::crash_cause_short_name(*dominant_cause));
+    checks.push_back(check_argmax(name + "." + label + "_plurality", entries,
+                                  label, "Figure 6 crash-cause distribution"));
+    checks.push_back(check_band(name + "." + label + "_share",
+                                dominant_observed, dominant_share,
+                                "share of dumped crashes"));
+  }
+  return checks;
+}
+
+std::vector<CheckResult> PropagationShape::evaluate(
+    const analysis::PropagationGraph& graph) const {
+  std::vector<CheckResult> checks;
+  CheckResult result;
+  if (graph.total_crashes < min_crashes) {
+    result = check_band(
+        name + ".self_propagation", 1.0, Band{0.0, 1.0},
+        format("only %s crashes (< %s needed); skipped",
+               with_commas(graph.total_crashes).c_str(),
+               with_commas(min_crashes).c_str()));
+  } else {
+    result = check_band(
+        name + ".self_propagation", graph.self_share(), self_share,
+        format("crashes staying in the faulted subsystem, of %s",
+               with_commas(graph.total_crashes).c_str()));
+  }
+  checks.push_back(std::move(result));
+  return checks;
+}
+
+std::vector<CheckResult> SeverityShape::evaluate(
+    const inject::CampaignRun& run,
+    const analysis::SeveritySummary& summary) const {
+  std::vector<CheckResult> checks;
+  std::uint64_t activated = 0;
+  for (const inject::InjectionResult& r : run.results) {
+    if (r.outcome != inject::Outcome::NotActivated) ++activated;
+  }
+  checks.push_back(check_band(
+      name + ".severe_rate", ratio(summary.severe, activated), severe_rate,
+      format("%s severe of %s activated", with_commas(summary.severe).c_str(),
+             with_commas(activated).c_str())));
+  checks.push_back(check_band(
+      name + ".most_severe_rate", ratio(summary.most_severe, activated),
+      most_severe_rate,
+      format("%s most-severe of %s activated",
+             with_commas(summary.most_severe).c_str(),
+             with_commas(activated).c_str())));
+  if (expect_severe_repair_verified) {
+    std::uint64_t verified = 0;
+    for (const std::size_t index : summary.severe_indices) {
+      if (run.results[index].repair_verified) ++verified;
+    }
+    checks.push_back(check_band(
+        name + ".severe_repairable",
+        summary.severe == 0 ? 1.0 : ratio(verified, summary.severe),
+        Band{1.0, 1.0},
+        format("%s of %s severe cases verified repairable by fsck_repair",
+               with_commas(verified).c_str(),
+               with_commas(summary.severe).c_str())));
+  }
+  return checks;
+}
+
+double short_latency_share(const inject::CampaignRun& run,
+                           std::uint64_t within_cycles) {
+  std::uint64_t crashes = 0;
+  std::uint64_t quick = 0;
+  for (const inject::InjectionResult& r : run.results) {
+    if (r.outcome != inject::Outcome::DumpedCrash) continue;
+    ++crashes;
+    if (r.latency_cycles <= within_cycles) ++quick;
+  }
+  return ratio(quick, crashes);
+}
+
+}  // namespace kfi::check

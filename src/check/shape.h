@@ -1,0 +1,129 @@
+// Shape oracles: machine-checkable predicates over campaign aggregates.
+//
+// EXPERIMENTS.md records which *shape* properties of the paper's
+// figures transfer to this substrate (which outcome dominates where,
+// the dominant crash causes, propagation locality, ...).  This module
+// turns those prose claims into executable assertions with explicit
+// tolerance bands, so a refactor of the VM or campaign engine that
+// silently shifts a distribution fails a test instead of a reader's
+// eyeball.  The concrete expectations live in check/expectations.cc;
+// this header is the predicate vocabulary they are written in.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/aggregate.h"
+
+namespace kfi::check {
+
+// Inclusive tolerance band on a statistic (shares are fractions 0..1).
+struct Band {
+  double lo = 0.0;
+  double hi = 1.0;
+
+  bool contains(double value) const { return value >= lo && value <= hi; }
+};
+
+// One evaluated oracle.  `oracle` is the stable name EXPERIMENTS.md
+// documents (e.g. "A.crash_hang_dominates"); `detail` is the
+// human-readable explanation printed on failure.
+struct CheckResult {
+  std::string oracle;
+  bool pass = false;
+  double observed = 0.0;
+  Band expected;
+  std::string detail;
+};
+
+struct ShapeReport {
+  std::vector<CheckResult> checks;
+
+  bool all_pass() const;
+  std::size_t failures() const;
+  void add(CheckResult result) { checks.push_back(std::move(result)); }
+  void add(std::vector<CheckResult> results);
+};
+
+// One line per oracle: PASS/FAIL, observed value, expected band.
+std::string render_report(const ShapeReport& report);
+
+// ---- primitive predicates ----
+
+// observed within band.
+CheckResult check_band(const std::string& oracle, double observed, Band band,
+                       const std::string& detail);
+
+// The entry named `expected_winner` holds the strictly largest value.
+CheckResult check_argmax(
+    const std::string& oracle,
+    const std::vector<std::pair<std::string, double>>& entries,
+    const std::string& expected_winner, const std::string& detail);
+
+// The entry named `expected_loser` holds the strictly smallest value.
+CheckResult check_argmin(
+    const std::string& oracle,
+    const std::vector<std::pair<std::string, double>>& entries,
+    const std::string& expected_loser, const std::string& detail);
+
+// ---- shape oracles over analysis aggregates ----
+
+// Figure 4 shape for one campaign: outcome shares over activated
+// errors, plus the structural claims (which category dominates).
+struct OutcomeShape {
+  std::string name;  // oracle prefix, e.g. "A"
+  Band activated;        // activated / injected
+  Band not_manifested;   // not manifested / activated
+  Band fail_silence;     // fail-silence violations / activated
+  Band crash_hang;       // crash + hang / activated
+  // Structural claims (evaluated only when set):
+  bool expect_crash_hang_dominant = false;   // largest activated category
+  bool expect_fail_silence_dominant = false;
+
+  std::vector<CheckResult> evaluate(const analysis::OutcomeTable& table) const;
+};
+
+// Figure 6 shape for one campaign: the four dominant causes cover
+// `top4`, and optionally one cause is the plurality within `dominant`.
+struct CauseShape {
+  std::string name;
+  Band top4;
+  std::optional<inject::CrashCause> dominant_cause;
+  Band dominant_share;
+
+  std::vector<CheckResult> evaluate(
+      const analysis::CrashCauseDistribution& dist) const;
+};
+
+// Figure 8 shape for one faulted subsystem: crashes stay local.
+struct PropagationShape {
+  std::string name;  // e.g. "A.fs"
+  Band self_share;   // crashes inside the faulted subsystem
+  // Minimum crash count for the claim to be statistically meaningful;
+  // below it the oracle records an automatic pass with a note.
+  std::uint64_t min_crashes = 10;
+
+  std::vector<CheckResult> evaluate(
+      const analysis::PropagationGraph& graph) const;
+};
+
+// Table 5 / §7.1 shape: severity rates over activated errors, and the
+// taxonomy's internal consistency (every severe case repairable).
+struct SeverityShape {
+  std::string name;
+  Band severe_rate;       // severe / activated
+  Band most_severe_rate;  // most severe / activated
+  bool expect_severe_repair_verified = true;
+
+  std::vector<CheckResult> evaluate(
+      const inject::CampaignRun& run,
+      const analysis::SeveritySummary& summary) const;
+};
+
+// Share of dumped crashes with latency <= `within_cycles` (Figure 7's
+// "crashes within 10 cycles" statistic).
+double short_latency_share(const inject::CampaignRun& run,
+                           std::uint64_t within_cycles);
+
+}  // namespace kfi::check

@@ -31,12 +31,9 @@ std::vector<std::string> default_functions(Campaign campaign,
   return names;
 }
 
-CampaignRun run_campaign(Injector& injector,
-                         const profile::ProfileResult& prof,
-                         const CampaignConfig& config) {
-  CampaignRun run;
-  run.campaign = config.campaign;
-
+std::vector<InjectionSpec> campaign_targets(const profile::ProfileResult& prof,
+                                            const CampaignConfig& config,
+                                            std::size_t* functions_targeted) {
   std::vector<std::string> functions = config.functions;
   if (functions.empty()) {
     functions = default_functions(config.campaign, prof,
@@ -48,6 +45,7 @@ CampaignRun run_campaign(Injector& injector,
                                          : kernel::built_kernel();
   Rng rng(config.seed ^ (static_cast<std::uint64_t>(config.campaign) << 32));
 
+  std::size_t targeted = 0;
   std::vector<InjectionSpec> targets;
   for (const std::string& name : functions) {
     const kernel::KernelFunction* fn = image.function(name);
@@ -57,12 +55,24 @@ CampaignRun run_campaign(Injector& injector,
     std::vector<InjectionSpec> fn_targets =
         make_targets(image, *fn, config.campaign, rng, config.repeats);
     if (fn_targets.empty()) continue;
-    ++run.functions_targeted;
+    ++targeted;
     for (InjectionSpec& spec : fn_targets) {
       spec.workload = workload;
       targets.push_back(std::move(spec));
     }
   }
+  if (functions_targeted != nullptr) *functions_targeted = targeted;
+  return targets;
+}
+
+CampaignRun run_campaign(Injector& injector,
+                         const profile::ProfileResult& prof,
+                         const CampaignConfig& config) {
+  CampaignRun run;
+  run.campaign = config.campaign;
+
+  const std::vector<InjectionSpec> targets =
+      campaign_targets(prof, config, &run.functions_targeted);
 
   run.results.resize(targets.size());
 

@@ -48,6 +48,17 @@ std::vector<std::string> default_functions(Campaign campaign,
                                            const profile::ProfileResult& prof,
                                            double coverage);
 
+// The campaign's full target list, derived deterministically from
+// (campaign, seed, repeats, functions): the exact sequence run_campaign
+// executes.  `functions_targeted` (optional) receives the number of
+// functions that contributed at least one target.  Because the only
+// stochastic input is the seeded Rng, re-invoking this with the same
+// config regenerates the identical list — the property kfi::check's
+// single-run replay rests on.
+std::vector<InjectionSpec> campaign_targets(const profile::ProfileResult& prof,
+                                            const CampaignConfig& config,
+                                            std::size_t* functions_targeted);
+
 CampaignRun run_campaign(Injector& injector,
                          const profile::ProfileResult& prof,
                          const CampaignConfig& config);

@@ -289,6 +289,32 @@ void Machine::restore() {
   next_timer_ = snapshot_cycles_ + options_.timer_period;
 }
 
+std::uint64_t Machine::state_digest() const {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix_byte = [&h](std::uint8_t byte) {
+    h = (h ^ byte) * 1099511628211ULL;
+  };
+  const auto mix_u32 = [&mix_byte](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) mix_byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  const auto mix_u64 = [&mix_byte](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) mix_byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  for (int i = 0; i < isa::kRegCount; ++i) {
+    mix_u32(cpu_->reg(static_cast<isa::Reg>(i)));
+  }
+  mix_u32(cpu_->eip());
+  mix_u32(cpu_->flags().to_word());
+  mix_u32(static_cast<std::uint32_t>(cpu_->cpl()));
+  mix_u32(cpu_->mmu().cr3());
+  mix_u64(cpu_->cycles());
+  const std::uint8_t* ram = memory_->raw(0);
+  for (std::uint32_t i = 0; i < memory_->size(); ++i) mix_byte(ram[i]);
+  for (const std::uint8_t byte : disk_image_->bytes()) mix_byte(byte);
+  for (const char c : console_) mix_byte(static_cast<std::uint8_t>(c));
+  return h;
+}
+
 RunResult Machine::run(std::uint64_t max_cycles) {
   RunResult result;
   const std::uint64_t deadline = cpu_->cycles() + max_cycles;

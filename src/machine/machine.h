@@ -94,6 +94,15 @@ class Machine {
   // Cycle at which run() started relative to the boot snapshot.
   std::uint64_t snapshot_cycles() const { return snapshot_cycles_; }
 
+  // FNV-1a digest over the complete machine state: architectural
+  // registers, flags, eip, cpl, cr3, cycle counter, every byte of RAM,
+  // the disk image, and the console output.  Two machines that took the
+  // same execution path from the same snapshot digest identically; any
+  // divergence — a single RAM byte, one extra cycle — changes the
+  // value.  kfi::check uses this for its bit-for-bit replay and
+  // schedule-independence proofs.
+  std::uint64_t state_digest() const;
+
   // When set, every kernel-text instruction address executed during
   // run() is inserted into *sink (instruction coverage for the
   // injector's activation precheck).  Pass nullptr to disable.

@@ -1,0 +1,86 @@
+// The committed kfi-results artifacts must load through analysis/io.cc
+// and re-serialize byte-identically — the .kfi format is canonical, so
+// load(save(load(x))) has one fixed point and any writer/reader skew
+// shows up as a byte diff here.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "analysis/io.h"
+
+#ifndef KFI_SOURCE_DIR
+#define KFI_SOURCE_DIR "."
+#endif
+
+namespace kfi::analysis {
+namespace {
+
+std::vector<std::string> committed_artifacts() {
+  std::vector<std::string> paths;
+  const std::string dir = std::string(KFI_SOURCE_DIR) + "/kfi-results";
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".kfi") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(file)),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(artifact_roundtrip, AllThreeCampaignArtifactsCommitted) {
+  const auto paths = committed_artifacts();
+  ASSERT_GE(paths.size(), 3u)
+      << "expected cached campaign A, B and C artifacts in kfi-results/";
+  bool a = false, b = false, c = false;
+  for (const std::string& path : paths) {
+    const std::string name = std::filesystem::path(path).filename().string();
+    a = a || name.rfind("campaign_A_", 0) == 0;
+    b = b || name.rfind("campaign_B_", 0) == 0;
+    c = c || name.rfind("campaign_C_", 0) == 0;
+  }
+  EXPECT_TRUE(a) << "campaign_A_*.kfi missing";
+  EXPECT_TRUE(b) << "campaign_B_*.kfi missing";
+  EXPECT_TRUE(c) << "campaign_C_*.kfi missing";
+}
+
+TEST(artifact_roundtrip, CommittedArtifactsReserializeIdentically) {
+  for (const std::string& path : committed_artifacts()) {
+    SCOPED_TRACE(path);
+    const auto run = load_campaign(path);
+    ASSERT_TRUE(run.has_value()) << "artifact does not load";
+    ASSERT_FALSE(run->results.empty());
+
+    const std::string copy =
+        (std::filesystem::temp_directory_path() /
+         std::filesystem::path(path).filename())
+            .string();
+    ASSERT_TRUE(save_campaign(*run, copy));
+    EXPECT_EQ(read_file(copy), read_file(path))
+        << "re-serialization changed the byte stream";
+    std::filesystem::remove(copy);
+  }
+}
+
+TEST(artifact_roundtrip, ArtifactNamesMatchCurrentKernelFingerprint) {
+  // The cache file names embed the kernel fingerprint; if this fails,
+  // the kernel image changed and the caches must be regenerated
+  // (EXPERIMENTS.md, "Verifying a change").
+  const std::string expected = campaign_cache_path(
+      std::string(KFI_SOURCE_DIR) + "/kfi-results",
+      inject::Campaign::IncorrectBranch, 1, 2003, kernel::built_kernel());
+  EXPECT_TRUE(std::filesystem::exists(expected))
+      << expected << " not found: kernel image changed without cache"
+      << " regeneration";
+}
+
+}  // namespace
+}  // namespace kfi::analysis

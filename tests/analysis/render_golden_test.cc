@@ -1,0 +1,144 @@
+// Golden-file tests for the text renderers behind the paper's tables:
+// Figure 4 (outcome table), Figure 6 (crash causes), Figure 7 (crash
+// latency).  The input is a synthetic, fully deterministic campaign
+// run, so the rendered text is stable; the goldens live in
+// tests/analysis/golden/ and are refreshed with
+//
+//   UPDATE_GOLDENS=1 ctest -R render_golden
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "analysis/aggregate.h"
+#include "analysis/render.h"
+
+#ifndef KFI_SOURCE_DIR
+#define KFI_SOURCE_DIR "."
+#endif
+
+namespace kfi::analysis {
+namespace {
+
+using inject::Campaign;
+using inject::CampaignRun;
+using inject::CrashCause;
+using inject::InjectionResult;
+using inject::Outcome;
+using kernel::Subsystem;
+
+// A hand-built run exercising every rendered code path: all four table
+// subsystems, every outcome, every dominant cause, latencies across
+// the histogram decades, and a non-table subsystem folded into totals.
+CampaignRun golden_run() {
+  CampaignRun run;
+  run.campaign = Campaign::RandomNonBranch;
+  run.functions_targeted = 6;
+
+  struct Row {
+    const char* function;
+    Subsystem subsystem;
+    Outcome outcome;
+    CrashCause cause;
+    Subsystem crash_in;
+    std::uint64_t latency;
+    int count;
+  };
+  const Row rows[] = {
+      {"pipe_read", Subsystem::Fs, Outcome::NotActivated, CrashCause::Other,
+       Subsystem::Unknown, 0, 4},
+      {"pipe_read", Subsystem::Fs, Outcome::NotManifested, CrashCause::Other,
+       Subsystem::Unknown, 0, 6},
+      {"pipe_read", Subsystem::Fs, Outcome::FailSilenceViolation,
+       CrashCause::Other, Subsystem::Unknown, 0, 3},
+      {"pipe_read", Subsystem::Fs, Outcome::DumpedCrash,
+       CrashCause::NullPointer, Subsystem::Fs, 2, 5},
+      {"iget", Subsystem::Fs, Outcome::DumpedCrash, CrashCause::PagingRequest,
+       Subsystem::Fs, 40, 3},
+      {"iget", Subsystem::Fs, Outcome::DumpedCrash, CrashCause::InvalidOpcode,
+       Subsystem::Kernel, 700, 2},
+      {"schedule", Subsystem::Kernel, Outcome::NotManifested,
+       CrashCause::Other, Subsystem::Unknown, 0, 4},
+      {"schedule", Subsystem::Kernel, Outcome::DumpedCrash,
+       CrashCause::GpFault, Subsystem::Kernel, 9, 2},
+      {"schedule", Subsystem::Kernel, Outcome::HangUnknown, CrashCause::Other,
+       Subsystem::Unknown, 0, 2},
+      {"free_pages", Subsystem::Mm, Outcome::DumpedCrash,
+       CrashCause::InvalidOpcode, Subsystem::Mm, 1, 4},
+      {"free_pages", Subsystem::Mm, Outcome::DumpedCrash,
+       CrashCause::DivideError, Subsystem::Mm, 120000, 1},
+      {"do_page_fault", Subsystem::Arch, Outcome::DumpedCrash,
+       CrashCause::PagingRequest, Subsystem::Arch, 15000, 2},
+      {"strncmp", Subsystem::Lib, Outcome::FailSilenceViolation,
+       CrashCause::Other, Subsystem::Unknown, 0, 2},
+  };
+  for (const Row& row : rows) {
+    for (int i = 0; i < row.count; ++i) {
+      InjectionResult r;
+      r.spec.campaign = run.campaign;
+      r.spec.function = row.function;
+      r.spec.subsystem = row.subsystem;
+      r.spec.workload = "pipe";
+      r.outcome = row.outcome;
+      if (row.outcome == Outcome::DumpedCrash) {
+        r.cause = row.cause;
+        r.crash_subsystem = row.crash_in;
+        r.propagated = row.crash_in != row.subsystem;
+        r.latency_cycles = row.latency;
+        r.severity = inject::Severity::Normal;
+      }
+      run.results.push_back(r);
+    }
+  }
+  return run;
+}
+
+std::string golden_dir() {
+  return std::string(KFI_SOURCE_DIR) + "/tests/analysis/golden";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(file)),
+                     std::istreambuf_iterator<char>());
+}
+
+// Compares `rendered` with the golden file, or rewrites the golden when
+// UPDATE_GOLDENS=1 is set in the environment.
+void expect_matches_golden(const std::string& rendered, const char* name) {
+  const std::string path = golden_dir() + "/" + name;
+  const char* update = std::getenv("UPDATE_GOLDENS");
+  if (update != nullptr && std::string(update) == "1") {
+    std::filesystem::create_directories(golden_dir());
+    std::ofstream(path, std::ios::binary | std::ios::trunc) << rendered;
+    SUCCEED() << "rewrote " << path;
+    return;
+  }
+  ASSERT_TRUE(std::filesystem::exists(path))
+      << path << " missing — run with UPDATE_GOLDENS=1 to create it";
+  EXPECT_EQ(rendered, read_file(path))
+      << "rendered text drifted from " << path
+      << " — if the change is intentional, refresh with UPDATE_GOLDENS=1";
+}
+
+TEST(render_golden, Fig4OutcomeTable) {
+  const CampaignRun run = golden_run();
+  expect_matches_golden(render_outcome_table(make_outcome_table(run)),
+                        "fig4_outcome_table.txt");
+}
+
+TEST(render_golden, Fig6CrashCauses) {
+  const CampaignRun run = golden_run();
+  expect_matches_golden(render_crash_causes(make_crash_causes(run)),
+                        "fig6_crash_causes.txt");
+}
+
+TEST(render_golden, Fig7CrashLatency) {
+  const CampaignRun run = golden_run();
+  expect_matches_golden(render_latency(make_latency(run)),
+                        "fig7_crash_latency.txt");
+}
+
+}  // namespace
+}  // namespace kfi::analysis

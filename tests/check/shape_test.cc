@@ -1,0 +1,239 @@
+// Shape-oracle tests: the tier-1 smoke campaign against the smoke
+// expectations, the demonstration that a perturbed distribution fails
+// the oracles, and unit coverage of the predicate primitives.
+#include "check/shape.h"
+
+#include <gtest/gtest.h>
+
+#include "check/expectations.h"
+#include "inject/injector.h"
+#include "profile/profile.h"
+
+namespace kfi::check {
+namespace {
+
+using inject::Campaign;
+using inject::CampaignRun;
+using inject::CrashCause;
+using inject::InjectionResult;
+using inject::Outcome;
+using kernel::Subsystem;
+
+// A synthetic campaign run with a known, healthy distribution: 100
+// injected into fs, 90 activated: 25 not manifested, 10 fail silence,
+// 55 crash (45 null-ptr/paging/inv-op/gp + 10 in "other" causes would
+// break top4, so all 55 use the four dominant causes).
+CampaignRun fixture_run() {
+  CampaignRun run;
+  run.campaign = Campaign::RandomNonBranch;
+  run.functions_targeted = 1;
+  const auto push = [&run](Outcome outcome, CrashCause cause,
+                           Subsystem crash_in, int n) {
+    for (int i = 0; i < n; ++i) {
+      InjectionResult r;
+      r.spec.campaign = Campaign::RandomNonBranch;
+      r.spec.function = "pipe_read";
+      r.spec.subsystem = Subsystem::Fs;
+      r.spec.workload = "pipe";
+      r.outcome = outcome;
+      if (outcome == Outcome::DumpedCrash) {
+        r.cause = cause;
+        r.crash_subsystem = crash_in;
+        r.propagated = crash_in != Subsystem::Fs;
+        r.latency_cycles = 5;
+        r.severity = inject::Severity::Normal;
+      }
+      run.results.push_back(r);
+    }
+  };
+  push(Outcome::NotActivated, CrashCause::Other, Subsystem::Unknown, 10);
+  push(Outcome::NotManifested, CrashCause::Other, Subsystem::Unknown, 25);
+  push(Outcome::FailSilenceViolation, CrashCause::Other, Subsystem::Unknown,
+       10);
+  push(Outcome::DumpedCrash, CrashCause::NullPointer, Subsystem::Fs, 20);
+  push(Outcome::DumpedCrash, CrashCause::PagingRequest, Subsystem::Fs, 15);
+  push(Outcome::DumpedCrash, CrashCause::InvalidOpcode, Subsystem::Fs, 12);
+  push(Outcome::DumpedCrash, CrashCause::GpFault, Subsystem::Kernel, 3);
+  push(Outcome::HangUnknown, CrashCause::Other, Subsystem::Unknown, 5);
+  return run;
+}
+
+// The healthy-fixture expectations (Figure 4 / 6 / 8 style bands that
+// the fixture satisfies by construction).
+OutcomeShape fixture_outcome_shape() {
+  OutcomeShape shape;
+  shape.name = "fixture";
+  shape.activated = {0.80, 1.0};
+  shape.not_manifested = {0.15, 0.40};
+  shape.fail_silence = {0.05, 0.20};
+  shape.crash_hang = {0.50, 0.80};
+  shape.expect_crash_hang_dominant = true;
+  return shape;
+}
+
+TEST(check_shape_unit, BandContains) {
+  const Band band{0.2, 0.4};
+  EXPECT_TRUE(band.contains(0.2));
+  EXPECT_TRUE(band.contains(0.4));
+  EXPECT_FALSE(band.contains(0.19));
+  EXPECT_FALSE(band.contains(0.41));
+}
+
+TEST(check_shape_unit, CheckBandPassAndFail) {
+  EXPECT_TRUE(check_band("x", 0.5, {0.4, 0.6}, "").pass);
+  EXPECT_FALSE(check_band("x", 0.7, {0.4, 0.6}, "").pass);
+}
+
+TEST(check_shape_unit, ArgmaxDetectsWinnerAndTies) {
+  EXPECT_TRUE(check_argmax("x", {{"a", 0.6}, {"b", 0.3}}, "a", "").pass);
+  EXPECT_FALSE(check_argmax("x", {{"a", 0.3}, {"b", 0.6}}, "a", "").pass);
+  // A tie has no strict winner.
+  EXPECT_FALSE(check_argmax("x", {{"a", 0.5}, {"b", 0.5}}, "a", "").pass);
+}
+
+TEST(check_shape_unit, ArgminDetectsLoser) {
+  EXPECT_TRUE(check_argmin("x", {{"a", 0.1}, {"b", 0.6}}, "a", "").pass);
+  EXPECT_FALSE(check_argmin("x", {{"a", 0.6}, {"b", 0.1}}, "a", "").pass);
+}
+
+TEST(check_shape_unit, OutcomeShapeEvaluatesFixture) {
+  const CampaignRun run = fixture_run();
+  const auto checks =
+      fixture_outcome_shape().evaluate(analysis::make_outcome_table(run));
+  ASSERT_EQ(checks.size(), 5u);
+  for (const CheckResult& check : checks) {
+    EXPECT_TRUE(check.pass) << check.oracle << ": " << check.detail;
+  }
+}
+
+TEST(check_shape_unit, CauseShapeTop4AndPlurality) {
+  const CampaignRun run = fixture_run();
+  CauseShape shape;
+  shape.name = "fixture";
+  shape.top4 = {0.95, 1.0};
+  shape.dominant_cause = CrashCause::NullPointer;
+  shape.dominant_share = {0.3, 0.5};
+  const auto checks = shape.evaluate(analysis::make_crash_causes(run));
+  ASSERT_EQ(checks.size(), 3u);
+  for (const CheckResult& check : checks) {
+    EXPECT_TRUE(check.pass) << check.oracle << ": " << check.detail;
+  }
+}
+
+TEST(check_shape_unit, PropagationShapeSelfShareAndSmallSampleSkip) {
+  const CampaignRun run = fixture_run();
+  PropagationShape shape{"fixture", {0.90, 1.0}, 10};
+  const auto graph = analysis::make_propagation(run, Subsystem::Fs);
+  const auto checks = shape.evaluate(graph);
+  ASSERT_EQ(checks.size(), 1u);
+  // 47 of 50 fs-injected crashes stay in fs = 0.94.
+  EXPECT_TRUE(checks[0].pass) << checks[0].detail;
+
+  // Below min_crashes the oracle records an automatic pass.
+  PropagationShape strict{"fixture.tiny", {0.99, 1.0}, 1000};
+  const auto skipped = strict.evaluate(graph);
+  ASSERT_EQ(skipped.size(), 1u);
+  EXPECT_TRUE(skipped[0].pass);
+}
+
+TEST(check_shape_unit, SeverityShapeFlagsUnverifiedRepairs) {
+  CampaignRun run = fixture_run();
+  // Grade two crashes severe; only one verified repairable.
+  run.results[50].severity = inject::Severity::Severe;
+  run.results[50].repair_verified = true;
+  run.results[51].severity = inject::Severity::Severe;
+  run.results[51].repair_verified = false;
+
+  SeverityShape shape;
+  shape.name = "fixture";
+  shape.severe_rate = {0.0, 0.10};
+  shape.most_severe_rate = {0.0, 0.01};
+  const auto checks =
+      shape.evaluate(run, analysis::make_severity(run));
+  ASSERT_EQ(checks.size(), 3u);
+  EXPECT_TRUE(checks[0].pass);
+  EXPECT_TRUE(checks[1].pass);
+  EXPECT_FALSE(checks[2].pass) << "one unverified severe case must fail";
+}
+
+TEST(check_shape_unit, ShortLatencyShare) {
+  CampaignRun run = fixture_run();
+  EXPECT_DOUBLE_EQ(short_latency_share(run, 10), 1.0);
+  run.results.back().outcome = Outcome::DumpedCrash;
+  run.results.back().latency_cycles = 1000;
+  EXPECT_NEAR(short_latency_share(run, 10), 50.0 / 51.0, 1e-9);
+}
+
+TEST(check_shape_unit, RenderReportListsFailures) {
+  ShapeReport report;
+  report.add(check_band("good", 0.5, {0.0, 1.0}, ""));
+  report.add(check_band("bad", 0.5, {0.6, 1.0}, "too small"));
+  EXPECT_FALSE(report.all_pass());
+  EXPECT_EQ(report.failures(), 1u);
+  const std::string text = render_report(report);
+  EXPECT_NE(text.find("[PASS] good"), std::string::npos);
+  EXPECT_NE(text.find("[FAIL] bad"), std::string::npos);
+  EXPECT_NE(text.find("too small"), std::string::npos);
+}
+
+// ---- the tier-1 smoke campaign ----
+
+// The acceptance property: a deliberately perturbed distribution — the
+// kind of silent shift a VM or campaign-engine regression would cause —
+// violates the oracle tolerances.  The fixture satisfies the bands by
+// construction; reclassifying its crashes as not-manifested (exactly
+// what a broken trigger or a lost crash report would look like) must
+// fail them.
+TEST(check_shape_smoke, PerturbedFixtureViolatesTolerance) {
+  const OutcomeShape shape = fixture_outcome_shape();
+
+  CampaignRun healthy = fixture_run();
+  ShapeReport before;
+  before.add(shape.evaluate(analysis::make_outcome_table(healthy)));
+  ASSERT_TRUE(before.all_pass()) << render_report(before);
+
+  CampaignRun perturbed = fixture_run();
+  for (InjectionResult& r : perturbed.results) {
+    if (r.outcome == Outcome::DumpedCrash ||
+        r.outcome == Outcome::HangUnknown) {
+      r.outcome = Outcome::NotManifested;
+    }
+  }
+  ShapeReport after;
+  after.add(shape.evaluate(analysis::make_outcome_table(perturbed)));
+  EXPECT_FALSE(after.all_pass())
+      << "perturbed distribution must violate the tolerance bands:\n"
+      << render_report(after);
+  // Both the band checks and the dominance claim notice.
+  bool crash_hang_failed = false;
+  bool dominance_failed = false;
+  for (const CheckResult& check : after.checks) {
+    if (check.oracle == "fixture.crash_hang") {
+      crash_hang_failed = !check.pass;
+    }
+    if (check.oracle == "fixture.crash_hang_dominates") {
+      dominance_failed = !check.pass;
+    }
+  }
+  EXPECT_TRUE(crash_hang_failed);
+  EXPECT_TRUE(dominance_failed);
+}
+
+// Live smoke campaigns (A and C over the fixed smoke function lists)
+// against the smoke expectations — the tier-1 guardrail itself.
+TEST(check_shape_smoke, OraclesPassOnLiveSmokeCampaigns) {
+  inject::Injector injector;
+  const auto& prof = profile::default_profile();
+  const CampaignRun a = inject::run_campaign(
+      injector, prof, smoke_config(Campaign::RandomNonBranch));
+  const CampaignRun c = inject::run_campaign(
+      injector, prof, smoke_config(Campaign::IncorrectBranch));
+  ASSERT_GT(a.results.size(), 100u);
+  ASSERT_GT(c.results.size(), 10u);
+
+  const ShapeReport report = evaluate_smoke(a, c);
+  EXPECT_TRUE(report.all_pass()) << render_report(report);
+}
+
+}  // namespace
+}  // namespace kfi::check
