@@ -47,6 +47,34 @@ int usage() {
   return 2;
 }
 
+void print_perf_stats(const inject::Injector& injector) {
+  const machine::PerfStats stats = injector.perf_stats();
+  const std::uint64_t decode_total = stats.decode_hits + stats.decode_misses;
+  const std::uint64_t resumes =
+      injector.checkpoint_hits() + injector.checkpoint_misses();
+  std::printf(
+      "perf: %llu restores (%.1f KiB RAM + %llu disk blocks per restore), "
+      "%llu checkpoints, hit rate %.1f%%, decode cache %.2f%%, "
+      "pre/post-trigger %.1fM/%.1fM cycles, %llu reconverged\n",
+      static_cast<unsigned long long>(stats.restores),
+      stats.restores == 0
+          ? 0.0
+          : static_cast<double>(stats.bytes_restored) / 1024.0 /
+                static_cast<double>(stats.restores),
+      static_cast<unsigned long long>(
+          stats.restores == 0 ? 0 : stats.disk_blocks_restored / stats.restores),
+      static_cast<unsigned long long>(stats.checkpoints_taken),
+      resumes == 0 ? 0.0
+                   : 100.0 * static_cast<double>(injector.checkpoint_hits()) /
+                         static_cast<double>(resumes),
+      decode_total == 0 ? 0.0
+                        : 100.0 * static_cast<double>(stats.decode_hits) /
+                              static_cast<double>(decode_total),
+      static_cast<double>(injector.pre_trigger_cycles()) / 1e6,
+      static_cast<double>(injector.post_trigger_cycles()) / 1e6,
+      static_cast<unsigned long long>(injector.reconverged()));
+}
+
 inject::Campaign parse_campaign(const char* arg) {
   switch (arg[0]) {
     case 'B': return inject::Campaign::RandomBranch;
@@ -67,6 +95,7 @@ int cmd_shape(int argc, char** argv) {
         injector, prof, check::smoke_config(inject::Campaign::IncorrectBranch));
     const check::ShapeReport report = check::evaluate_smoke(a, c);
     std::fputs(check::render_report(report).c_str(), stdout);
+    print_perf_stats(injector);
     return report.all_pass() ? 0 : 1;
   }
   if (scale != "full") return usage();
@@ -175,6 +204,7 @@ int cmd_determinism(int argc, char** argv) {
     std::printf("threads=1 and threads=%u produced identical vectors"
                 " (%zu results)\n",
                 threads, comparison.compared);
+    print_perf_stats(serial);
     return 0;
   }
   if (comparison.size_mismatch) {

@@ -1,6 +1,8 @@
 #include "disk/disk.h"
 
+#include <cassert>
 #include <cstring>
+#include <utility>
 
 namespace kfi::disk {
 
@@ -12,6 +14,13 @@ std::uint32_t DiskImage::read32(std::uint32_t byte_offset) const {
 
 void DiskImage::write32(std::uint32_t byte_offset, std::uint32_t value) {
   std::memcpy(bytes_.data() + byte_offset, &value, 4);
+  ++versions_[byte_offset / kBlockSize];
+}
+
+void DiskImage::restore_blocks_full(const vm::ChunkedSnapshot& snap) {
+  assert(!snap.is_delta() && snap.size() == bytes_.size());
+  std::memcpy(bytes_.data(), snap.chunk(0), bytes_.size());
+  for (std::uint64_t& v : versions_) ++v;
 }
 
 std::uint32_t DiskDevice::mmio_read(std::uint32_t offset) {
@@ -38,7 +47,10 @@ void DiskDevice::execute(std::uint32_t cmd) {
     return;
   }
   if (cmd == kCmdRead) {
-    memory_.write_block(phys_, image_.block(block_), kBlockSize);
+    // Read through the const accessor: a DMA read must not mark the
+    // block dirty for snapshot purposes.
+    memory_.write_block(phys_, std::as_const(image_).block(block_),
+                        kBlockSize);
     ++reads_;
     status_ = 0;
   } else if (cmd == kCmdWrite) {

@@ -11,6 +11,7 @@
 
 #include "vm/bus.h"
 #include "vm/memory.h"
+#include "vm/snapshot.h"
 
 namespace kfi::disk {
 
@@ -28,12 +29,18 @@ inline constexpr std::uint32_t kCmdWrite = 2;
 class DiskImage {
  public:
   explicit DiskImage(std::uint32_t blocks)
-      : bytes_(static_cast<std::size_t>(blocks) * kBlockSize, 0) {}
+      : bytes_(static_cast<std::size_t>(blocks) * kBlockSize, 0),
+        versions_(blocks, 0) {}
 
   std::uint32_t block_count() const {
     return static_cast<std::uint32_t>(bytes_.size() / kBlockSize);
   }
-  std::uint8_t* block(std::uint32_t n) { return bytes_.data() + n * kBlockSize; }
+  // The mutable accessor bumps the block's write version (dirty-block
+  // restore tracking): callers take it to write.
+  std::uint8_t* block(std::uint32_t n) {
+    ++versions_[n];
+    return bytes_.data() + n * kBlockSize;
+  }
   const std::uint8_t* block(std::uint32_t n) const {
     return bytes_.data() + n * kBlockSize;
   }
@@ -41,14 +48,45 @@ class DiskImage {
   std::uint32_t read32(std::uint32_t byte_offset) const;
   void write32(std::uint32_t byte_offset, std::uint32_t value);
 
-  std::vector<std::uint8_t>& bytes() { return bytes_; }
+  // Mutable whole-image access (host-side mkfs/fsck tooling): every
+  // block must be assumed written.
+  std::vector<std::uint8_t>& bytes() {
+    for (std::uint64_t& v : versions_) ++v;
+    return bytes_;
+  }
   const std::vector<std::uint8_t>& bytes() const { return bytes_; }
 
+  // ---- version-tracked snapshots (dirty-block restore) ----
+  vm::ChunkedSnapshot snapshot_blocks() const {
+    return vm::ChunkedSnapshot::full(bytes_.data(), bytes_.size(), versions_,
+                                     kBlockSize);
+  }
+  vm::ChunkedSnapshot snapshot_delta(const vm::ChunkedSnapshot& base) const {
+    return vm::ChunkedSnapshot::delta(bytes_.data(), bytes_.size(), versions_,
+                                      base);
+  }
+  // Copies back only blocks written since `snap` was captured (or last
+  // restored); returns blocks copied.
+  std::uint32_t restore_blocks(vm::ChunkedSnapshot& snap) {
+    return snap.restore_into(bytes_.data(), versions_);
+  }
+  void restore_blocks_full(const vm::ChunkedSnapshot& snap);
+  // True when the image is byte-identical to `snap`; skips blocks whose
+  // write version proves equality.
+  bool blocks_match(const vm::ChunkedSnapshot& snap) const {
+    return snap.matches(bytes_.data(), versions_);
+  }
+
+  // ---- legacy whole-image snapshots ----
   std::vector<std::uint8_t> snapshot() const { return bytes_; }
-  void restore(const std::vector<std::uint8_t>& snap) { bytes_ = snap; }
+  void restore(const std::vector<std::uint8_t>& snap) {
+    bytes_ = snap;
+    for (std::uint64_t& v : versions_) ++v;
+  }
 
  private:
   std::vector<std::uint8_t> bytes_;
+  std::vector<std::uint64_t> versions_;
 };
 
 // The MMIO front-end.  Owns no storage; binds an image to guest RAM.

@@ -1,8 +1,10 @@
 #include "inject/campaign.h"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <thread>
+#include <unordered_set>
 
 namespace kfi::inject {
 
@@ -14,11 +16,10 @@ std::vector<std::string> default_functions(Campaign campaign,
     // reach statistical mass (51 functions in campaign A); mirror that
     // by extending the core set to at least the 40 hottest functions.
     std::vector<std::string> names = prof.core_functions(coverage);
+    std::unordered_set<std::string> present(names.begin(), names.end());
     for (const profile::FunctionSamples& fs : prof.functions) {
       if (names.size() >= 40) break;
-      bool present = false;
-      for (const std::string& n : names) present = present || n == fs.function;
-      if (!present) names.push_back(fs.function);
+      if (present.insert(fs.function).second) names.push_back(fs.function);
     }
     return names;
   }
@@ -45,8 +46,12 @@ std::vector<InjectionSpec> campaign_targets(const profile::ProfileResult& prof,
                                          : kernel::built_kernel();
   Rng rng(config.seed ^ (static_cast<std::uint64_t>(config.campaign) << 32));
 
+  // Two-phase append: expand every function first, then reserve the
+  // exact total once, so the flat list never reallocates mid-fill.
   std::size_t targeted = 0;
-  std::vector<InjectionSpec> targets;
+  std::size_t total = 0;
+  std::vector<std::vector<InjectionSpec>> per_function;
+  per_function.reserve(functions.size());
   for (const std::string& name : functions) {
     const kernel::KernelFunction* fn = image.function(name);
     if (fn == nullptr) continue;
@@ -56,10 +61,15 @@ std::vector<InjectionSpec> campaign_targets(const profile::ProfileResult& prof,
         make_targets(image, *fn, config.campaign, rng, config.repeats);
     if (fn_targets.empty()) continue;
     ++targeted;
-    for (InjectionSpec& spec : fn_targets) {
-      spec.workload = workload;
-      targets.push_back(std::move(spec));
-    }
+    for (InjectionSpec& spec : fn_targets) spec.workload = workload;
+    total += fn_targets.size();
+    per_function.push_back(std::move(fn_targets));
+  }
+
+  std::vector<InjectionSpec> targets;
+  targets.reserve(total);
+  for (std::vector<InjectionSpec>& fn_targets : per_function) {
+    for (InjectionSpec& spec : fn_targets) targets.push_back(std::move(spec));
   }
   if (functions_targeted != nullptr) *functions_targeted = targeted;
   return targets;
@@ -85,9 +95,35 @@ CampaignRun run_campaign(Injector& injector,
     threads = static_cast<unsigned>(targets.size() ? targets.size() : 1);
   }
 
+  // Execution order: group runs by workload, then by the target's
+  // first-execution cycle in the golden run, so consecutive runs resume
+  // from the same (or an adjacent) checkpoint-ladder rung and re-dirty
+  // the same small page set.  Each result is still written to its
+  // spec-order slot, so the output is order-independent.
+  std::vector<std::size_t> order(targets.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  {
+    std::vector<std::uint64_t> touch_cycle(targets.size(), ~0ULL);
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      const auto& touch = injector.first_touch(targets[i].workload);
+      const auto it = touch.find(targets[i].instr_addr);
+      if (it != touch.end()) touch_cycle[i] = it->second.first;
+    }
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (targets[a].workload != targets[b].workload) {
+                  return targets[a].workload < targets[b].workload;
+                }
+                if (touch_cycle[a] != touch_cycle[b]) {
+                  return touch_cycle[a] < touch_cycle[b];
+                }
+                return a < b;
+              });
+  }
+
   if (threads <= 1) {
     std::size_t done = 0;
-    for (std::size_t i = 0; i < targets.size(); ++i) {
+    for (const std::size_t i : order) {
       run.results[i] = injector.run_one(targets[i]);
       ++done;
       if (config.progress) config.progress(done, targets.size());
@@ -100,16 +136,18 @@ CampaignRun run_campaign(Injector& injector,
   std::mutex progress_mutex;
   auto worker = [&](bool use_shared) {
     // Thread 0 reuses the caller's injector (and its warmed goldens);
-    // the others own private machines.
+    // the others own private machines targeting the same kernel image
+    // with the same options.
     std::unique_ptr<Injector> own;
     Injector* inj = &injector;
     if (!use_shared) {
-      own = std::make_unique<Injector>();
+      own = std::make_unique<Injector>(injector.options(), &injector.image());
       inj = own.get();
     }
     while (true) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= targets.size()) break;
+      const std::size_t n = next.fetch_add(1);
+      if (n >= targets.size()) break;
+      const std::size_t i = order[n];
       run.results[i] = inj->run_one(targets[i]);
       const std::size_t d = done.fetch_add(1) + 1;
       if (config.progress) {

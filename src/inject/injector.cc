@@ -22,8 +22,11 @@ machine::Machine& Injector::machine_for(const std::string& workload) {
   const auto it = machines_.find(workload);
   if (it != machines_.end()) return *it->second;
 
+  machine::MachineOptions machine_options;
+  machine_options.full_restore = options_.full_restore;
   auto machine = std::make_unique<machine::Machine>(
-      image_, workloads::built_workload(workload), root_disk_);
+      image_, workloads::built_workload(workload), root_disk_,
+      machine_options);
   if (!machine->boot()) {
     throw std::runtime_error("injector: workload '" + workload +
                              "' failed to boot");
@@ -38,9 +41,11 @@ const GoldenRun& Injector::golden(const std::string& workload) {
   machine::Machine& machine = machine_for(workload);
   machine.restore();
   machine.set_trace(&coverage_[workload]);
+  machine.set_touch_trace(&first_touch_[workload]);
   const std::uint64_t start = machine.cpu().cycles();
   const machine::RunResult run = machine.run(100'000'000);
   machine.set_trace(nullptr);
+  machine.set_touch_trace(nullptr);
 
   GoldenRun golden;
   golden.ok = run.exit == machine::RunExit::Completed;
@@ -52,7 +57,61 @@ const GoldenRun& Injector::golden(const std::string& workload) {
     throw std::runtime_error("injector: golden run for '" + workload +
                              "' did not complete");
   }
+
+  // Classify the golden end-of-run disk exactly as run_one() would, so
+  // a reconverged run can copy the fields instead of recomputing them
+  // from a bit-identical image.
+  {
+    const fsutil::FsckReport fsck = fsutil::fsck(machine.disk_image());
+    golden.bootable = disk_bootable(machine.disk_image());
+    golden.fs_damaged =
+        fsck.verdict != fsutil::FsckVerdict::Clean || !golden.bootable;
+    golden.fsck_unrepairable = fsck.verdict == fsutil::FsckVerdict::Unrepairable;
+    if (fsck.verdict == fsutil::FsckVerdict::Repairable) {
+      disk::DiskImage copy = machine.disk_image();
+      fsutil::fsck_repair(copy);
+      golden.repair_verified =
+          fsutil::fsck(copy).verdict == fsutil::FsckVerdict::Clean;
+    }
+  }
+
+  // Build the checkpoint ladder: replay the golden run once more,
+  // snapshotting at evenly spaced cycles.  The replay follows the same
+  // deterministic timeline, so each rung is a state every injected run
+  // passes through before its trigger fires.
+  if (options_.checkpoints > 0) {
+    std::vector<std::uint64_t> at;
+    at.reserve(static_cast<std::size_t>(options_.checkpoints));
+    for (int k = 1; k <= options_.checkpoints; ++k) {
+      at.push_back(start + golden.cycles * static_cast<std::uint64_t>(k) /
+                               (static_cast<std::uint64_t>(options_.checkpoints) + 1));
+    }
+    ladders_[workload] = machine.capture_checkpoints(std::move(at),
+                                                     100'000'000);
+  }
   return goldens_.emplace(workload, std::move(golden)).first->second;
+}
+
+const std::unordered_map<std::uint32_t, machine::TouchWindow>&
+Injector::first_touch(const std::string& workload) {
+  golden(workload);  // ensures the traced run happened
+  return first_touch_[workload];
+}
+
+machine::PerfStats Injector::perf_stats() const {
+  machine::PerfStats total;
+  for (const auto& [workload, machine] : machines_) {
+    const machine::PerfStats s = machine->perf_stats();
+    total.decode_hits += s.decode_hits;
+    total.decode_misses += s.decode_misses;
+    total.restores += s.restores;
+    total.pages_restored += s.pages_restored;
+    total.bytes_restored += s.bytes_restored;
+    total.disk_blocks_restored += s.disk_blocks_restored;
+    total.checkpoints_taken += s.checkpoints_taken;
+    total.checkpoint_restores += s.checkpoint_restores;
+  }
+  return total;
 }
 
 const std::unordered_set<std::uint32_t>& Injector::coverage(
@@ -80,22 +139,52 @@ InjectionResult Injector::run_one(const InjectionSpec& spec) {
     return result;
   }
   machine::Machine& machine = machine_for(spec.workload);
-  machine.restore();
+
+  // Resume from the latest ladder checkpoint the target's first
+  // execution still lies ahead of; fall back to the post-boot snapshot.
+  // Execution up to the trigger is identical either way — the rung is a
+  // state this exact run passes through — so only the replay cost
+  // changes, never the result.
+  machine::Checkpoint* rung = nullptr;
+  const auto ladder = ladders_.find(spec.workload);
+  const auto& touch = first_touch_[spec.workload];
+  const auto touched = touch.find(spec.instr_addr);
+  if (ladder != ladders_.end() && touched != touch.end()) {
+    for (machine::Checkpoint& ck : ladder->second) {
+      if (ck.cycle > touched->second.first) break;
+      rung = &ck;
+    }
+  }
+  if (rung != nullptr) {
+    machine.restore_checkpoint(*rung);
+    ++ckpt_hits_;
+  } else {
+    machine.restore();
+    ++ckpt_misses_;
+  }
 
   const std::uint64_t budget =
       static_cast<std::uint64_t>(static_cast<double>(ref.cycles) *
                                  options_.budget_factor) +
       options_.budget_slack;
-  const std::uint64_t start = machine.cpu().cycles();
+  // Cycle/budget accounting stays anchored at the post-boot snapshot so
+  // the watchdog deadline (and every derived latency) is bit-identical
+  // to a straight-line run.
+  const std::uint64_t start = machine.snapshot_cycles();
+  const std::uint64_t resumed = machine.cpu().cycles() - start;
+  const std::uint64_t entry = machine.cpu().cycles();
 
   // Arm the trigger and run until the target instruction is reached.
   machine.cpu().arm_breakpoint(0, spec.instr_addr);
-  machine::RunResult run = machine.run(budget);
+  machine::RunResult run =
+      machine.run(budget > resumed ? budget - resumed : 1);
+  pre_trigger_cycles_ += machine.cpu().cycles() - entry;
   if (run.exit != machine::RunExit::Breakpoint) {
     machine.cpu().disarm_breakpoint(0);
     result.outcome = Outcome::NotActivated;
     return result;
   }
+  const std::uint64_t trigger_abs = machine.cpu().cycles();
 
   // Flip the bit in the instruction's binary and resume.
   result.activation_cycle = machine.cpu().cycles() - start;
@@ -120,8 +209,68 @@ InjectionResult Injector::run_one(const InjectionSpec& spec) {
   }
   machine.cpu().disarm_breakpoint(0);
 
+  // Post-trigger execution runs in segments that stop at each upcoming
+  // ladder rung and test for reconvergence: if the machine state is
+  // bit-identical to the golden run's state at that cycle — every
+  // register, RAM page, disk block, console byte, and the timer phase,
+  // excepting only the flipped instruction byte itself — and the golden
+  // run never executes the corrupted instruction again (the rung lies
+  // past its last golden execution), then the remainder of the run can
+  // only replay the golden timeline.  The golden outcome is taken
+  // without simulating it.  A run that never reconverges (or has no
+  // safe rung ahead) executes to its watchdog deadline exactly as a
+  // single continuous run would — segment boundaries preserve the
+  // in-flight timer tick, so the timeline is bit-identical either way.
   const std::uint64_t spent = machine.cpu().cycles() - start;
-  run = machine.run(budget > spent ? budget - spent : 1);
+  const std::uint64_t deadline =
+      machine.cpu().cycles() + (budget > spent ? budget - spent : 1);
+  bool reconverged = false;
+  bool finished = false;
+  if (ladder != ladders_.end() && touched != touch.end()) {
+    const std::uint64_t last_exec = touched->second.last;
+    std::vector<machine::Checkpoint>& rungs = ladder->second;
+    std::size_t idx = 0;
+    while (!reconverged) {
+      while (idx < rungs.size() &&
+             (rungs[idx].cycle <= machine.cpu().cycles() ||
+              rungs[idx].cycle <= last_exec)) {
+        ++idx;
+      }
+      if (idx >= rungs.size() || rungs[idx].cycle >= deadline) break;
+      machine::Checkpoint& ck = rungs[idx];
+      run = machine.run(ck.cycle - machine.cpu().cycles(), /*resumable=*/true);
+      if (run.exit != machine::RunExit::Hung ||
+          machine.cpu().cycles() < ck.cycle) {
+        // Completed, crashed, died, or deadlocked inside the segment:
+        // the run is over, classified below as usual.
+        finished = true;
+        break;
+      }
+      if (machine.state_matches(ck, flip_phys)) {
+        reconverged = true;
+      } else {
+        ++idx;
+      }
+    }
+  }
+  if (reconverged) {
+    ++reconverged_;
+    post_trigger_cycles_ += machine.cpu().cycles() - trigger_abs;
+    result.outcome = Outcome::NotManifested;
+    result.bootable = ref.bootable;
+    result.fs_damaged = ref.fs_damaged;
+    result.repair_verified = ref.repair_verified;
+    if (result.fs_damaged) {
+      result.severity = !ref.bootable || ref.fsck_unrepairable
+                            ? Severity::MostSevere
+                            : Severity::Severe;
+    }
+    return result;
+  }
+  if (!finished) {
+    run = machine.run(deadline - machine.cpu().cycles());
+  }
+  post_trigger_cycles_ += machine.cpu().cycles() - trigger_abs;
 
   // Post-run disk state (before the next restore wipes it).
   const fsutil::FsckReport fsck = fsutil::fsck(machine.disk_image());

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <map>
+#include <unordered_map>
 #include <unordered_set>
 #include <memory>
 #include <string>
@@ -29,6 +30,13 @@ struct GoldenRun {
   std::uint32_t exit_code = 0;
   std::uint64_t fs_digest = 0;
   std::uint64_t cycles = 0;  // fault-free run length
+  // End-of-run disk classification, precomputed once so a run proven to
+  // reconverge onto the golden timeline can take the golden outcome
+  // without re-running fsck on an identical image.
+  bool bootable = true;
+  bool fs_damaged = false;
+  bool fsck_unrepairable = false;
+  bool repair_verified = false;
 };
 
 struct InjectorOptions {
@@ -37,6 +45,15 @@ struct InjectorOptions {
   // modest margin keeps hang detection cheap.
   double budget_factor = 1.6;
   std::uint64_t budget_slack = 400'000;
+  // Number of golden-run checkpoints per workload (the checkpoint
+  // ladder).  Each injection resumes from the latest checkpoint that
+  // precedes its target's first execution, shrinking the pre-trigger
+  // replay from O(golden) to O(golden / checkpoints).  0 disables the
+  // ladder (every run replays from the post-boot snapshot).
+  int checkpoints = 24;
+  // Restore by full-image copy instead of dirty pages (the measurable
+  // pre-optimization baseline; results are bit-identical either way).
+  bool full_restore = false;
 };
 
 class Injector {
@@ -66,6 +83,30 @@ class Injector {
 
   std::uint64_t runs_executed() const { return runs_; }
 
+  // First/last cycle at which the golden run executes each kernel
+  // address.  `first` is the checkpoint-selection key (campaigns also
+  // sort by it so runs resuming from the same rung are adjacent);
+  // `last` bounds reconvergence fast-forward.
+  const std::unordered_map<std::uint32_t, machine::TouchWindow>& first_touch(
+      const std::string& workload);
+
+  const InjectorOptions& options() const { return options_; }
+  const kernel::KernelImage& image() const { return image_; }
+
+  // Runs that resumed from a ladder checkpoint vs from the post-boot
+  // snapshot, and substrate counters summed over all workload machines.
+  std::uint64_t checkpoint_hits() const { return ckpt_hits_; }
+  std::uint64_t checkpoint_misses() const { return ckpt_misses_; }
+  // Runs whose post-trigger state was proven identical to a golden rung
+  // and took the golden outcome without simulating the remainder.
+  std::uint64_t reconverged() const { return reconverged_; }
+  // Cycles simulated before the trigger fired (the replay the ladder
+  // shrinks from O(golden) to O(rung spacing)) and after it (inherent
+  // fault simulation no restore scheme can skip), summed over all runs.
+  std::uint64_t pre_trigger_cycles() const { return pre_trigger_cycles_; }
+  std::uint64_t post_trigger_cycles() const { return post_trigger_cycles_; }
+  machine::PerfStats perf_stats() const;
+
  private:
   machine::Machine& machine_for(const std::string& workload);
   bool disk_bootable(const disk::DiskImage& image) const;
@@ -78,7 +119,15 @@ class Injector {
   std::map<std::string, std::unique_ptr<machine::Machine>> machines_;
   std::map<std::string, GoldenRun> goldens_;
   std::map<std::string, std::unordered_set<std::uint32_t>> coverage_;
+  std::map<std::string, std::unordered_map<std::uint32_t, machine::TouchWindow>>
+      first_touch_;
+  std::map<std::string, std::vector<machine::Checkpoint>> ladders_;
   std::uint64_t runs_ = 0;
+  std::uint64_t ckpt_hits_ = 0;
+  std::uint64_t ckpt_misses_ = 0;
+  std::uint64_t reconverged_ = 0;
+  std::uint64_t pre_trigger_cycles_ = 0;
+  std::uint64_t post_trigger_cycles_ = 0;
 };
 
 }  // namespace kfi::inject

@@ -168,7 +168,7 @@ Machine::Machine(const KernelImage& kernel_image,
   bus_->attach(vm::kCrashMmio, vm::kPageSize, crash_device_.get());
   bus_->attach(vm::kTlbMmio, vm::kPageSize, tlb_device_.get());
 
-  disk_snapshot_ = root_disk.snapshot();
+  disk_snapshot_ = disk_image_->snapshot_blocks();
   load_images();
   install_vectors();
 }
@@ -255,7 +255,7 @@ bool Machine::boot() {
   cpu_->disarm_breakpoint(3);
   if (result.exit != RunExit::Breakpoint) return false;
 
-  mem_snapshot_ = memory_->snapshot();
+  mem_snapshot_ = memory_->snapshot_pages();
   for (int i = 0; i < 8; ++i) {
     snap_regs_[i] = cpu_->reg(static_cast<isa::Reg>(i));
   }
@@ -264,7 +264,7 @@ bool Machine::boot() {
   snap_cpl_ = cpu_->cpl();
   snap_cr3_ = cpu_->mmu().cr3();
   snapshot_cycles_ = cpu_->cycles();
-  disk_snapshot_ = disk_image_->snapshot();
+  disk_snapshot_ = disk_image_->snapshot_blocks();
   console_snapshot_ = console_;
   booted_ = true;
   return true;
@@ -272,8 +272,14 @@ bool Machine::boot() {
 
 void Machine::restore() {
   assert(booted_);
-  memory_->restore(mem_snapshot_);
-  disk_image_->restore(disk_snapshot_);
+  if (options_.full_restore) {
+    memory_->restore_pages_full(mem_snapshot_);
+    disk_blocks_restored_ += disk_image_->block_count();
+    disk_image_->restore_blocks_full(disk_snapshot_);
+  } else {
+    memory_->restore_pages(mem_snapshot_);
+    disk_blocks_restored_ += disk_image_->restore_blocks(disk_snapshot_);
+  }
   for (int i = 0; i < 8; ++i) {
     cpu_->set_reg(static_cast<isa::Reg>(i), snap_regs_[i]);
   }
@@ -287,6 +293,81 @@ void Machine::restore() {
   crash_ = CrashInfo{};
   console_ = console_snapshot_;
   next_timer_ = snapshot_cycles_ + options_.timer_period;
+  timer_pending_resume_ = false;
+}
+
+void Machine::take_checkpoint(bool timer_pending) {
+  Checkpoint ck;
+  ck.cycle = cpu_->cycles();
+  ck.mem = memory_->snapshot_delta(mem_snapshot_);
+  ck.disk = disk_image_->snapshot_delta(disk_snapshot_);
+  ck.console = console_;
+  for (int i = 0; i < 8; ++i) {
+    ck.regs[i] = cpu_->reg(static_cast<isa::Reg>(i));
+  }
+  ck.eip = cpu_->eip();
+  ck.flags = cpu_->flags().to_word();
+  ck.cpl = cpu_->cpl();
+  ck.cr3 = cpu_->mmu().cr3();
+  ck.next_timer = next_timer_;
+  ck.timer_pending = timer_pending;
+  ck.halted = cpu_->halted();
+  ckpt_out_->push_back(std::move(ck));
+  ++checkpoints_taken_;
+}
+
+std::vector<Checkpoint> Machine::capture_checkpoints(
+    std::vector<std::uint64_t> at, std::uint64_t max_cycles) {
+  assert(booted_);
+  std::vector<Checkpoint> out;
+  restore();
+  ckpt_request_ = std::move(at);
+  ckpt_next_ = 0;
+  ckpt_out_ = &out;
+  run(max_cycles);
+  ckpt_out_ = nullptr;
+  ckpt_request_.clear();
+  ckpt_next_ = 0;
+  return out;
+}
+
+void Machine::restore_checkpoint(Checkpoint& checkpoint) {
+  assert(booted_);
+  // The checkpoint's deltas resolve unchanged chunks through the
+  // post-boot snapshot, so restoring them alone rebuilds the full
+  // mid-run state — copying only chunks that diverged since the
+  // checkpoint was captured or last restored.
+  memory_->restore_pages(checkpoint.mem);
+  disk_blocks_restored_ += disk_image_->restore_blocks(checkpoint.disk);
+  for (int i = 0; i < 8; ++i) {
+    cpu_->set_reg(static_cast<isa::Reg>(i), checkpoint.regs[i]);
+  }
+  cpu_->set_eip(checkpoint.eip);
+  cpu_->flags() = isa::Flags::from_word(checkpoint.flags);
+  cpu_->set_cpl(checkpoint.cpl);
+  cpu_->mmu().set_cr3(checkpoint.cr3);  // also flushes the TLB
+  cpu_->set_cycles(checkpoint.cycle);
+  cpu_->reset_fault_state();
+  cpu_->set_halted(checkpoint.halted);
+  crash_fired_ = false;
+  crash_ = CrashInfo{};
+  console_ = checkpoint.console;
+  next_timer_ = checkpoint.next_timer;
+  timer_pending_resume_ = checkpoint.timer_pending;
+  ++checkpoint_restores_;
+}
+
+PerfStats Machine::perf_stats() const {
+  PerfStats stats;
+  stats.decode_hits = cpu_->decode_hits();
+  stats.decode_misses = cpu_->decode_misses();
+  stats.restores = memory_->restore_calls();
+  stats.pages_restored = memory_->restored_pages();
+  stats.bytes_restored = memory_->restored_bytes();
+  stats.disk_blocks_restored = disk_blocks_restored_;
+  stats.checkpoints_taken = checkpoints_taken_;
+  stats.checkpoint_restores = checkpoint_restores_;
+  return stats;
 }
 
 std::uint64_t Machine::state_digest() const {
@@ -315,13 +396,27 @@ std::uint64_t Machine::state_digest() const {
   return h;
 }
 
-RunResult Machine::run(std::uint64_t max_cycles) {
+RunResult Machine::run(std::uint64_t max_cycles, bool resumable) {
   RunResult result;
   const std::uint64_t deadline = cpu_->cycles() + max_cycles;
   if (next_timer_ == 0) next_timer_ = cpu_->cycles() + options_.timer_period;
-  bool timer_pending = false;
+  // A checkpoint restore re-enters the loop with the tick state the
+  // capture saw; a plain restore()/boot() starts with none pending.
+  bool timer_pending = timer_pending_resume_;
+  timer_pending_resume_ = false;
 
   while (cpu_->cycles() < deadline) {
+    // Checkpoint capture sits at the exact point a restored checkpoint
+    // resumes from: top of the loop, before the timer check.
+    if (ckpt_out_ != nullptr && ckpt_next_ < ckpt_request_.size() &&
+        cpu_->cycles() >= ckpt_request_[ckpt_next_]) {
+      take_checkpoint(timer_pending);
+      while (ckpt_next_ < ckpt_request_.size() &&
+             ckpt_request_[ckpt_next_] <= cpu_->cycles()) {
+        ++ckpt_next_;
+      }
+    }
+
     if (cpu_->cycles() >= next_timer_) {
       timer_pending = true;
       next_timer_ += options_.timer_period;
@@ -330,9 +425,17 @@ RunResult Machine::run(std::uint64_t max_cycles) {
       timer_pending = false;
     }
 
-    if (trace_ != nullptr) {
+    if (trace_ != nullptr || touch_ != nullptr) {
       const std::uint32_t pc = cpu_->eip();
-      if (pc >= vm::kArchTextBase && pc < vm::kTextEnd) trace_->insert(pc);
+      if (pc >= vm::kArchTextBase && pc < vm::kTextEnd) {
+        if (trace_ != nullptr) trace_->insert(pc);
+        if (touch_ != nullptr) {
+          const std::uint64_t now = cpu_->cycles();
+          const auto [it, inserted] =
+              touch_->try_emplace(pc, TouchWindow{now, now});
+          if (!inserted) it->second.last = now;
+        }
+      }
     }
     const vm::CpuEvent event = cpu_->step();
 
@@ -365,6 +468,7 @@ RunResult Machine::run(std::uint64_t max_cycles) {
           // Idle time still passes while halted; otherwise short-budget
           // callers (the profiler) would spin without progress.
           cpu_->set_cycles(deadline);
+          if (resumable) timer_pending_resume_ = timer_pending;
           result.exit = RunExit::Hung;
           return result;
         }
@@ -381,8 +485,30 @@ RunResult Machine::run(std::uint64_t max_cycles) {
         return result;
     }
   }
+  if (resumable) timer_pending_resume_ = timer_pending;
   result.exit = RunExit::Hung;
   return result;
+}
+
+bool Machine::state_matches(const Checkpoint& checkpoint,
+                            std::size_t masked_phys) const {
+  if (cpu_->cycles() != checkpoint.cycle) return false;
+  for (int i = 0; i < 8; ++i) {
+    if (cpu_->reg(static_cast<isa::Reg>(i)) != checkpoint.regs[i]) {
+      return false;
+    }
+  }
+  if (cpu_->eip() != checkpoint.eip) return false;
+  if (cpu_->flags().to_word() != checkpoint.flags) return false;
+  if (cpu_->cpl() != checkpoint.cpl) return false;
+  if (cpu_->mmu().cr3() != checkpoint.cr3) return false;
+  if (cpu_->halted() != checkpoint.halted) return false;
+  if (next_timer_ != checkpoint.next_timer) return false;
+  if (timer_pending_resume_ != checkpoint.timer_pending) return false;
+  if (crash_fired_) return false;
+  if (console_ != checkpoint.console) return false;
+  if (!disk_image_->blocks_match(checkpoint.disk)) return false;
+  return memory_->pages_match(checkpoint.mem, masked_phys);
 }
 
 }  // namespace kfi::machine

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string_view>
+#include <unordered_map>
 #include <unordered_set>
 #include <memory>
 #include <optional>
@@ -52,6 +53,56 @@ struct RunResult {
 struct MachineOptions {
   std::uint32_t timer_period = kernel::kTimerPeriodCycles;
   std::uint64_t boot_budget = 4'000'000;
+  // Restore by copying all of RAM and the whole disk instead of only
+  // the dirty pages/blocks.  The two are bit-identical; the full copy
+  // is kept as the measurable pre-optimization baseline.
+  bool full_restore = false;
+};
+
+// One rung of a golden-run checkpoint ladder: the complete machine
+// state at a mid-run cycle, with RAM and disk stored as deltas against
+// the post-boot snapshot.  A Checkpoint is only meaningful for the
+// Machine that captured it (the deltas resolve through its post-boot
+// snapshot) and is invalidated if that Machine boots again.
+struct Checkpoint {
+  std::uint64_t cycle = 0;
+  vm::ChunkedSnapshot mem;   // dirty pages vs the post-boot snapshot
+  vm::ChunkedSnapshot disk;  // dirty blocks vs the post-boot disk
+  std::string console;
+  std::uint32_t regs[8] = {};
+  std::uint32_t eip = 0;
+  std::uint32_t flags = 0;
+  int cpl = 0;
+  std::uint32_t cr3 = 0;
+  std::uint64_t next_timer = 0;
+  bool timer_pending = false;  // a tick fired but was not yet deliverable
+  bool halted = false;         // captured while sitting in hlt
+
+  std::uint64_t storage_bytes() const {
+    return mem.storage_bytes() + disk.storage_bytes() + console.size();
+  }
+};
+
+// First and last cycle at which the golden run executed a kernel-text
+// address.  `first` places checkpoint-ladder rungs (execution before
+// the trigger is golden); `last` bounds reconvergence fast-forward (a
+// rung past `last` can never re-execute the corrupted instruction).
+struct TouchWindow {
+  std::uint64_t first = 0;
+  std::uint64_t last = 0;
+};
+
+// Cumulative substrate performance counters (telemetry only; nothing
+// here feeds back into execution).
+struct PerfStats {
+  std::uint64_t decode_hits = 0;
+  std::uint64_t decode_misses = 0;
+  std::uint64_t restores = 0;         // snapshot/checkpoint restores
+  std::uint64_t pages_restored = 0;   // RAM pages copied by restores
+  std::uint64_t bytes_restored = 0;   // RAM bytes copied by restores
+  std::uint64_t disk_blocks_restored = 0;
+  std::uint64_t checkpoints_taken = 0;
+  std::uint64_t checkpoint_restores = 0;
 };
 
 // Human-readable text for a kernel crash-port cause code, phrased as
@@ -80,11 +131,42 @@ class Machine {
   bool boot();
 
   // Continues execution until an exit condition or `max_cycles` more
-  // cycles elapse (the watchdog).
-  RunResult run(std::uint64_t max_cycles);
+  // cycles elapse (the watchdog).  With `resumable`, a deadline exit
+  // (RunExit::Hung at exactly the requested cycle) keeps any in-flight
+  // timer tick pending for the next run() call, so running to cycle C
+  // in several segments is bit-identical to one continuous run — the
+  // default drops the tick, which short-budget pollers (the profiler)
+  // and the committed replay artifacts depend on.
+  RunResult run(std::uint64_t max_cycles, bool resumable = false);
 
   // Restores the post-boot snapshot and the pristine disk ("reboot").
   void restore();
+
+  // Replays the run from the post-boot snapshot (exactly restore() +
+  // run(max_cycles)) and captures a checkpoint at the first loop
+  // iteration at or after each cycle in `at` (ascending; points the
+  // run never reaches are skipped).  Checkpoints land on the identical
+  // deterministic timeline every restore()-based run follows, so
+  // restore_checkpoint() + run continues bit-for-bit as if the run had
+  // executed from the post-boot snapshot.
+  std::vector<Checkpoint> capture_checkpoints(std::vector<std::uint64_t> at,
+                                              std::uint64_t max_cycles);
+
+  // Restores a mid-run checkpoint (non-const: the checkpoint tracks
+  // which pages it last restored to keep repeat restores cheap).
+  void restore_checkpoint(Checkpoint& checkpoint);
+
+  // True when the machine's complete run-visible state — registers,
+  // flags, eip, cpl, cr3, cycle counter, halt state, timer phase,
+  // console, RAM, and disk — is identical to `checkpoint`, except for
+  // the single RAM byte at `masked_phys` (pass a value outside RAM to
+  // compare everything).  Only meaningful at a segment boundary: right
+  // after a resumable run() exited at its deadline, where the in-flight
+  // tick sits in the resume slot exactly as the capture recorded it.
+  // Dirty-page versions make the cost proportional to what the run
+  // wrote, not machine size.
+  bool state_matches(const Checkpoint& checkpoint,
+                     std::size_t masked_phys) const;
 
   vm::Cpu& cpu() { return *cpu_; }
   vm::PhysicalMemory& memory() { return *memory_; }
@@ -107,6 +189,15 @@ class Machine {
   // run() is inserted into *sink (instruction coverage for the
   // injector's activation precheck).  Pass nullptr to disable.
   void set_trace(std::unordered_set<std::uint32_t>* sink) { trace_ = sink; }
+
+  // When set, records the first and last cycle at which each
+  // kernel-text address is executed (checkpoint placement and
+  // reconvergence bounds).  Pass nullptr to disable.
+  void set_touch_trace(std::unordered_map<std::uint32_t, TouchWindow>* sink) {
+    touch_ = sink;
+  }
+
+  PerfStats perf_stats() const;
 
  private:
   class ConsoleDevice;
@@ -135,10 +226,12 @@ class Machine {
   bool crash_fired_ = false;
   CrashInfo crash_;
 
+  void take_checkpoint(bool timer_pending);
+
   // Post-boot snapshot.
   bool booted_ = false;
-  std::vector<std::uint8_t> mem_snapshot_;
-  std::vector<std::uint8_t> disk_snapshot_;
+  vm::ChunkedSnapshot mem_snapshot_;
+  vm::ChunkedSnapshot disk_snapshot_;
   std::string console_snapshot_;
   std::uint32_t snap_regs_[8] = {};
   std::uint32_t snap_eip_ = 0;
@@ -148,7 +241,22 @@ class Machine {
   std::uint64_t snapshot_cycles_ = 0;
 
   std::uint64_t next_timer_ = 0;
+  // A restored checkpoint's in-flight timer tick, consumed by the next
+  // run() so it resumes with the captured loop state.
+  bool timer_pending_resume_ = false;
+
+  // Checkpoint capture schedule, active only inside
+  // capture_checkpoints()'s run.
+  std::vector<std::uint64_t> ckpt_request_;
+  std::size_t ckpt_next_ = 0;
+  std::vector<Checkpoint>* ckpt_out_ = nullptr;
+
+  std::uint64_t disk_blocks_restored_ = 0;
+  std::uint64_t checkpoints_taken_ = 0;
+  std::uint64_t checkpoint_restores_ = 0;
+
   std::unordered_set<std::uint32_t>* trace_ = nullptr;
+  std::unordered_map<std::uint32_t, TouchWindow>* touch_ = nullptr;
 };
 
 }  // namespace kfi::machine

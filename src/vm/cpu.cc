@@ -368,6 +368,7 @@ CpuEvent Cpu::step() {
           decode_cache_[(paddr ^ (paddr >> 14)) & (kDecodeCacheSize - 1)];
       if (slot.paddr == paddr &&
           slot.version == memory_.page_version(paddr)) {
+        ++decode_hits_;
         cycles_ += 1;
         const bool cached_trap = !execute(slot.instr);
         if (cached_trap) {
@@ -423,6 +424,7 @@ CpuEvent Cpu::step() {
 
   Instruction instr;
   const DecodeStatus status = isa::decode(buf, fetched, instr);
+  ++decode_misses_;
   cycles_ += 1;
 
   if (status == DecodeStatus::Ok) {

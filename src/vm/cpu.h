@@ -70,6 +70,9 @@ class Cpu {
     resume_flag_ = false;
   }
   bool halted() const { return halted_; }
+  // Host-side restore of a mid-run checkpoint captured while the CPU
+  // was sitting in hlt.
+  void set_halted(bool halted) { halted_ = halted; }
 
   // --- Trap vector table (the "IDT", programmed by the boot loader) ---
   void set_vector(int vector, std::uint32_t handler_vaddr);
@@ -91,6 +94,11 @@ class Cpu {
 
   // Whether the CPU is permanently stopped (double fault escalated).
   bool dead() const { return dead_; }
+
+  // Decode-cache telemetry: hits skip fetch+decode entirely; misses
+  // paid the full decode path.  Cumulative over the CPU's lifetime.
+  std::uint64_t decode_hits() const { return decode_hits_; }
+  std::uint64_t decode_misses() const { return decode_misses_; }
 
   // Virtual-memory accessors for the host (debugger/loader view).
   // They use the current privilege translation but never trap; failures
@@ -147,11 +155,13 @@ class Cpu {
   // Only instructions that fit within one physical page are cached.
   struct DecodedSlot {
     std::uint32_t paddr = 0xFFFFFFFF;
-    std::uint32_t version = 0;
+    std::uint64_t version = 0;
     isa::Instruction instr;
   };
   static constexpr std::uint32_t kDecodeCacheSize = 16384;  // power of two
   std::vector<DecodedSlot> decode_cache_;
+  std::uint64_t decode_hits_ = 0;
+  std::uint64_t decode_misses_ = 0;
 
   TrapRecord last_trap_;
 };

@@ -45,10 +45,35 @@ void PhysicalMemory::read_block(std::uint32_t paddr, void* data,
   std::memcpy(data, bytes_.data() + paddr, len);
 }
 
+ChunkedSnapshot PhysicalMemory::snapshot_pages() const {
+  return ChunkedSnapshot::full(bytes_.data(), bytes_.size(), versions_, 4096);
+}
+
+ChunkedSnapshot PhysicalMemory::snapshot_delta(
+    const ChunkedSnapshot& base) const {
+  return ChunkedSnapshot::delta(bytes_.data(), bytes_.size(), versions_, base);
+}
+
+void PhysicalMemory::restore_pages(ChunkedSnapshot& snap) {
+  const std::uint32_t pages = snap.restore_into(bytes_.data(), versions_);
+  ++restore_calls_;
+  restored_pages_ += pages;
+  restored_bytes_ += static_cast<std::uint64_t>(pages) * snap.chunk_size();
+}
+
+void PhysicalMemory::restore_pages_full(const ChunkedSnapshot& snap) {
+  assert(!snap.is_delta() && snap.size() == bytes_.size());
+  std::memcpy(bytes_.data(), snap.chunk(0), bytes_.size());
+  for (std::uint64_t& v : versions_) ++v;
+  ++restore_calls_;
+  restored_pages_ += versions_.size() - 1;
+  restored_bytes_ += bytes_.size();
+}
+
 void PhysicalMemory::restore(const std::vector<std::uint8_t>& snap) {
   assert(snap.size() == bytes_.size());
   std::memcpy(bytes_.data(), snap.data(), bytes_.size());
-  for (std::uint32_t& v : versions_) ++v;
+  for (std::uint64_t& v : versions_) ++v;
 }
 
 }  // namespace kfi::vm

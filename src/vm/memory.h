@@ -3,11 +3,17 @@
 // Snapshot/restore implements the per-run "reboot": the machine is
 // snapshotted once after boot, and every injection run starts by
 // restoring that snapshot (equivalent to the paper's reboot between
-// runs, minus the wall-clock cost).
+// runs, minus the wall-clock cost).  Restores are dirty-page based:
+// per-page write versions (the same machinery the CPU's decode cache
+// uses for invalidation) let restore() copy back only the pages the run
+// actually touched, and leave the decode cache valid for every page it
+// did not.
 #pragma once
 
 #include <cstdint>
 #include <vector>
+
+#include "vm/snapshot.h"
 
 namespace kfi::vm {
 
@@ -17,8 +23,9 @@ class PhysicalMemory {
 
   // Per-page write generation, used by the CPU's decode cache to detect
   // self-modifying code, DMA into text, host-side bit flips, and
-  // snapshot restores.
-  std::uint32_t page_version(std::uint32_t paddr) const {
+  // snapshot restores.  64-bit so it cannot wrap within any campaign
+  // (a wrapped version could false-match a snapshot's record).
+  std::uint64_t page_version(std::uint32_t paddr) const {
     return versions_[paddr >> 12];
   }
 
@@ -46,14 +53,44 @@ class PhysicalMemory {
   void write_block(std::uint32_t paddr, const void* data, std::uint32_t len);
   void read_block(std::uint32_t paddr, void* data, std::uint32_t len) const;
 
+  // ---- version-tracked snapshots (dirty-page restore) ----
+
+  // Full capture of RAM (the post-boot snapshot).
+  ChunkedSnapshot snapshot_pages() const;
+  // Sparse capture of the pages that differ from `base` (mid-run
+  // checkpoints; `base` must outlive the returned snapshot).
+  ChunkedSnapshot snapshot_delta(const ChunkedSnapshot& base) const;
+  // Copies back only the pages whose write version moved since `snap`
+  // was captured (or last restored); bit-identical to a full copy.
+  void restore_pages(ChunkedSnapshot& snap);
+  // Unconditional full copy from `snap` — the pre-dirty-tracking
+  // behavior, kept as the measurable baseline and as a cross-check.
+  void restore_pages_full(const ChunkedSnapshot& snap);
+  // True when RAM is byte-identical to `snap`, ignoring the single byte
+  // at `masked` (or nothing, if masked is out of range).  Costs
+  // O(pages written since the snapshot) — see ChunkedSnapshot::matches.
+  bool pages_match(const ChunkedSnapshot& snap,
+                   std::size_t masked = static_cast<std::size_t>(-1)) const {
+    return snap.matches(bytes_.data(), versions_, masked);
+  }
+
+  // ---- legacy whole-RAM snapshots ----
   std::vector<std::uint8_t> snapshot() const { return bytes_; }
   void restore(const std::vector<std::uint8_t>& snap);
+
+  // Cumulative restore-cost counters (perf telemetry).
+  std::uint64_t restore_calls() const { return restore_calls_; }
+  std::uint64_t restored_pages() const { return restored_pages_; }
+  std::uint64_t restored_bytes() const { return restored_bytes_; }
 
  private:
   void bump_range(std::uint32_t paddr, std::uint32_t len);
 
   std::vector<std::uint8_t> bytes_;
-  std::vector<std::uint32_t> versions_;
+  std::vector<std::uint64_t> versions_;
+  std::uint64_t restore_calls_ = 0;
+  std::uint64_t restored_pages_ = 0;
+  std::uint64_t restored_bytes_ = 0;
 };
 
 }  // namespace kfi::vm

@@ -1,0 +1,112 @@
+#include "vm/snapshot.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace kfi::vm {
+
+namespace {
+
+std::uint32_t count_chunks(std::size_t size, std::uint32_t chunk_size) {
+  return static_cast<std::uint32_t>((size + chunk_size - 1) / chunk_size);
+}
+
+}  // namespace
+
+ChunkedSnapshot ChunkedSnapshot::full(
+    const std::uint8_t* data, std::size_t size,
+    const std::vector<std::uint64_t>& versions, std::uint32_t chunk_size) {
+  assert(chunk_size != 0);
+  ChunkedSnapshot snap;
+  snap.chunk_size_ = chunk_size;
+  snap.size_ = size;
+  snap.chunk_count_ = count_chunks(size, chunk_size);
+  assert(versions.size() >= snap.chunk_count_);
+  snap.data_.assign(data, data + size);
+  snap.versions_.assign(versions.begin(), versions.begin() + snap.chunk_count_);
+  snap.clean_ = snap.versions_;
+  return snap;
+}
+
+ChunkedSnapshot ChunkedSnapshot::delta(
+    const std::uint8_t* data, std::size_t size,
+    const std::vector<std::uint64_t>& versions, const ChunkedSnapshot& base) {
+  assert(base.valid() && !base.is_delta());
+  assert(size == base.size_);
+  ChunkedSnapshot snap;
+  snap.chunk_size_ = base.chunk_size_;
+  snap.size_ = size;
+  snap.chunk_count_ = base.chunk_count_;
+  assert(versions.size() >= snap.chunk_count_);
+  snap.base_ = &base;
+  snap.versions_.assign(versions.begin(), versions.begin() + snap.chunk_count_);
+  snap.clean_ = snap.versions_;
+  snap.slot_.assign(snap.chunk_count_, -1);
+  for (std::uint32_t i = 0; i < snap.chunk_count_; ++i) {
+    // Unchanged version since base capture (or since a restore from
+    // base) means unchanged content: resolve through the base.
+    if (versions[i] == base.versions_[i] || versions[i] == base.clean_[i]) {
+      continue;
+    }
+    const std::uint32_t len = snap.chunk_len(i);
+    const std::uint8_t* live = data + static_cast<std::size_t>(i) * snap.chunk_size_;
+    if (std::memcmp(live, base.chunk(i), len) == 0) continue;
+    snap.slot_[i] = static_cast<std::int32_t>(snap.data_.size() / snap.chunk_size_);
+    const std::size_t at = snap.data_.size();
+    snap.data_.resize(at + snap.chunk_size_, 0);
+    std::memcpy(snap.data_.data() + at, live, len);
+  }
+  return snap;
+}
+
+const std::uint8_t* ChunkedSnapshot::chunk(std::uint32_t index) const {
+  if (base_ == nullptr) {
+    return data_.data() + static_cast<std::size_t>(index) * chunk_size_;
+  }
+  const std::int32_t slot = slot_[index];
+  if (slot < 0) return base_->chunk(index);
+  return data_.data() + static_cast<std::size_t>(slot) * chunk_size_;
+}
+
+bool ChunkedSnapshot::matches(const std::uint8_t* data,
+                              const std::vector<std::uint64_t>& versions,
+                              std::size_t masked) const {
+  assert(valid());
+  assert(versions.size() >= chunk_count_);
+  for (std::uint32_t i = 0; i < chunk_count_; ++i) {
+    if (versions[i] == versions_[i] || versions[i] == clean_[i]) continue;
+    const std::size_t begin = static_cast<std::size_t>(i) * chunk_size_;
+    const std::uint8_t* live = data + begin;
+    const std::uint8_t* want = chunk(i);
+    const std::uint32_t len = chunk_len(i);
+    if (masked >= begin && masked < begin + len) {
+      const std::size_t off = masked - begin;
+      if (std::memcmp(live, want, off) != 0) return false;
+      if (off + 1 < len &&
+          std::memcmp(live + off + 1, want + off + 1, len - off - 1) != 0) {
+        return false;
+      }
+    } else if (std::memcmp(live, want, len) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint32_t ChunkedSnapshot::restore_into(
+    std::uint8_t* data, std::vector<std::uint64_t>& versions) {
+  assert(valid());
+  assert(versions.size() >= chunk_count_);
+  std::uint32_t copied = 0;
+  for (std::uint32_t i = 0; i < chunk_count_; ++i) {
+    if (versions[i] == versions_[i] || versions[i] == clean_[i]) continue;
+    std::memcpy(data + static_cast<std::size_t>(i) * chunk_size_, chunk(i),
+                chunk_len(i));
+    ++versions[i];
+    clean_[i] = versions[i];
+    ++copied;
+  }
+  return copied;
+}
+
+}  // namespace kfi::vm

@@ -1,0 +1,93 @@
+// Chunk-granular snapshots with version-tracked dirty restore.
+//
+// A ChunkedSnapshot captures a byte array (physical RAM, a disk image)
+// whose writers maintain a per-chunk monotonically increasing write
+// version.  restore_into() copies back only the chunks whose version
+// moved since the snapshot was captured — or since the last restore
+// *from this snapshot* — so the per-run "reboot" costs O(pages the run
+// dirtied) instead of O(machine size).  A delta snapshot additionally
+// stores only the chunks that differ from a base full snapshot, so a
+// ladder of mid-run checkpoints costs memory proportional to what the
+// run has written so far, not K full RAM images.
+//
+// Correctness rests on one invariant the writers must uphold: every
+// mutation of chunk i bumps versions[i].  Versions never decrease, so
+// "current version == version recorded when the content equalled this
+// snapshot" implies the content still equals it, and the chunk can be
+// skipped.  restore_into() itself bumps the version of every chunk it
+// copies (the content changed), which also invalidates any decode-cache
+// entries hanging off the old bytes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace kfi::vm {
+
+class ChunkedSnapshot {
+ public:
+  ChunkedSnapshot() = default;
+
+  // Full capture: a private copy of data[0..size) plus the capture-time
+  // versions.  `versions` must have at least ceil(size/chunk_size)
+  // entries.
+  static ChunkedSnapshot full(const std::uint8_t* data, std::size_t size,
+                              const std::vector<std::uint64_t>& versions,
+                              std::uint32_t chunk_size);
+
+  // Sparse capture against `base` (a full snapshot of the same array,
+  // which must outlive this snapshot): stores only chunks whose content
+  // differs from base.  The version filter makes this cheap — chunks
+  // whose version still equals base's capture version are skipped
+  // without comparing bytes.
+  static ChunkedSnapshot delta(const std::uint8_t* data, std::size_t size,
+                               const std::vector<std::uint64_t>& versions,
+                               const ChunkedSnapshot& base);
+
+  // Copies back every chunk whose version says its content may differ
+  // from this snapshot, bumping the version of each restored chunk.
+  // Returns the number of chunks copied.
+  std::uint32_t restore_into(std::uint8_t* data,
+                             std::vector<std::uint64_t>& versions);
+
+  // The snapshot's bytes for one chunk (resolved through the base for
+  // delta snapshots).
+  const std::uint8_t* chunk(std::uint32_t index) const;
+
+  // True when data[0..size) is byte-identical to this snapshot's
+  // logical content.  Chunks whose version proves equality are skipped
+  // without touching their bytes, so the cost is O(chunks written since
+  // the snapshot was captured or last restored).  `masked` (a byte
+  // offset into the array, or SIZE_MAX) excludes exactly one byte from
+  // the comparison — the injector's in-place bit flip.
+  bool matches(const std::uint8_t* data,
+               const std::vector<std::uint64_t>& versions,
+               std::size_t masked = static_cast<std::size_t>(-1)) const;
+
+  bool valid() const { return chunk_size_ != 0; }
+  std::uint32_t chunk_count() const { return chunk_count_; }
+  std::uint32_t chunk_size() const { return chunk_size_; }
+  std::size_t size() const { return size_; }
+  bool is_delta() const { return base_ != nullptr; }
+  // Bytes of payload this snapshot itself stores (delta compression
+  // measure; excludes the base).
+  std::uint64_t storage_bytes() const { return data_.size(); }
+
+ private:
+  std::uint32_t chunk_len(std::uint32_t index) const {
+    const std::size_t begin = static_cast<std::size_t>(index) * chunk_size_;
+    const std::size_t left = size_ - begin;
+    return left < chunk_size_ ? static_cast<std::uint32_t>(left) : chunk_size_;
+  }
+
+  std::uint32_t chunk_size_ = 0;
+  std::uint32_t chunk_count_ = 0;
+  std::size_t size_ = 0;
+  const ChunkedSnapshot* base_ = nullptr;  // full snapshot deltas resolve to
+  std::vector<std::uint8_t> data_;    // full bytes, or packed delta chunks
+  std::vector<std::int32_t> slot_;    // delta: chunk -> packed index, -1=base
+  std::vector<std::uint64_t> versions_;  // capture-time versions
+  std::vector<std::uint64_t> clean_;  // version at last restore-from-here
+};
+
+}  // namespace kfi::vm
