@@ -1,12 +1,13 @@
-// bench_throughput — end-to-end campaign throughput of the
-// checkpoint-ladder execution path against the full-restore baseline.
+// bench_throughput — end-to-end campaign throughput of three execution
+// paths: full-restore baseline, checkpoint ladder (PR 2), and
+// checkpoint ladder + superblock engine (this PR).
 //
-// Both modes run the identical smoke-scale A/B/C campaigns; the result
+// All modes run the identical smoke-scale A/B/C campaigns; the result
 // vectors are required to be bit-identical (exit 1 otherwise), so the
 // measured speedup can never come from changed behavior.  Emits
 // BENCH_throughput.json with machine-readable numbers: runs/sec per
 // mode, RAM bytes copied per restore, checkpoint hit rate, decode-cache
-// hit rate, and the shared result digest.
+// hit rate, block-engine counters, and the shared result digest.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -101,6 +102,8 @@ void print_mode(std::FILE* out, const ModeResult& mode, bool last) {
   const std::uint64_t decode_total =
       mode.stats.decode_hits + mode.stats.decode_misses;
   const std::uint64_t resumes = mode.ckpt_hits + mode.ckpt_misses;
+  const std::uint64_t block_entries =
+      mode.stats.block_builds + mode.stats.block_hits;
   std::fprintf(
       out,
       "    \"%s\": {\n"
@@ -117,7 +120,14 @@ void print_mode(std::FILE* out, const ModeResult& mode, bool last) {
       "      \"reconverged\": %llu,\n"
       "      \"pre_trigger_cycles\": %llu,\n"
       "      \"post_trigger_cycles\": %llu,\n"
-      "      \"decode_hit_rate\": %.4f\n"
+      "      \"decode_hit_rate\": %.4f,\n"
+      "      \"block_builds\": %llu,\n"
+      "      \"block_hits\": %llu,\n"
+      "      \"block_hit_rate\": %.4f,\n"
+      "      \"block_fallbacks\": %llu,\n"
+      "      \"block_invalidations\": %llu,\n"
+      "      \"block_ops\": %llu,\n"
+      "      \"avg_block_len\": %.2f\n"
       "    }%s\n",
       mode.name.c_str(), mode.seconds,
       static_cast<unsigned long long>(mode.runs), rate,
@@ -136,6 +146,18 @@ void print_mode(std::FILE* out, const ModeResult& mode, bool last) {
       decode_total == 0 ? 0.0
                         : static_cast<double>(mode.stats.decode_hits) /
                               static_cast<double>(decode_total),
+      static_cast<unsigned long long>(mode.stats.block_builds),
+      static_cast<unsigned long long>(mode.stats.block_hits),
+      block_entries + mode.stats.block_fallbacks == 0
+          ? 0.0
+          : static_cast<double>(mode.stats.block_hits) /
+                static_cast<double>(block_entries + mode.stats.block_fallbacks),
+      static_cast<unsigned long long>(mode.stats.block_fallbacks),
+      static_cast<unsigned long long>(mode.stats.block_invalidations),
+      static_cast<unsigned long long>(mode.stats.block_ops),
+      block_entries == 0 ? 0.0
+                         : static_cast<double>(mode.stats.block_ops) /
+                               static_cast<double>(block_entries),
       last ? "" : ",");
 }
 
@@ -152,27 +174,56 @@ int main(int argc, char** argv) {
   inject::InjectorOptions baseline_options;
   baseline_options.checkpoints = 0;
   baseline_options.full_restore = true;
+  baseline_options.exec_engine = machine::ExecEngine::Step;
   const ModeResult baseline = run_mode("baseline_full_restore",
                                        baseline_options);
 
-  const ModeResult ladder = run_mode("checkpoint_ladder", {});
+  inject::InjectorOptions ladder_options;
+  ladder_options.exec_engine = machine::ExecEngine::Step;
+  const ModeResult ladder = run_mode("checkpoint_ladder", ladder_options);
 
-  // Hard gate: the optimization must not change a single result.
+  inject::InjectorOptions block_options;
+  block_options.exec_engine = machine::ExecEngine::Block;
+  const ModeResult block =
+      run_mode("checkpoint_ladder+block", block_options);
+
+  // Hard gate: neither optimization may change a single result.
   for (std::size_t i = 0; i < ladder.campaigns.size(); ++i) {
-    const check::RunComparison cmp =
+    const check::RunComparison vs_ladder =
         check::compare_runs(baseline.campaigns[i], ladder.campaigns[i]);
-    if (!cmp.identical()) {
+    if (!vs_ladder.identical()) {
       std::fprintf(stderr,
                    "FAIL: campaign %zu diverged between baseline and ladder "
                    "(%zu mismatches of %zu)\n",
-                   i, cmp.mismatches.size(), cmp.compared);
+                   i, vs_ladder.mismatches.size(), vs_ladder.compared);
+      return 1;
+    }
+    const check::RunComparison vs_block =
+        check::compare_runs(baseline.campaigns[i], block.campaigns[i]);
+    if (!vs_block.identical()) {
+      std::fprintf(stderr,
+                   "FAIL: campaign %zu diverged between baseline and block "
+                   "engine (%zu mismatches of %zu)\n",
+                   i, vs_block.mismatches.size(), vs_block.compared);
       return 1;
     }
   }
   const std::uint64_t digest = results_digest(ladder.campaigns);
+  const std::uint64_t block_digest = results_digest(block.campaigns);
+  if (block_digest != digest) {
+    std::fprintf(stderr,
+                 "FAIL: block-engine result digest %016llx != %016llx\n",
+                 static_cast<unsigned long long>(block_digest),
+                 static_cast<unsigned long long>(digest));
+    return 1;
+  }
 
   const double speedup =
       ladder.seconds > 0.0 ? baseline.seconds / ladder.seconds : 0.0;
+  const double block_speedup =
+      block.seconds > 0.0 ? ladder.seconds / block.seconds : 0.0;
+  const double total_speedup =
+      block.seconds > 0.0 ? baseline.seconds / block.seconds : 0.0;
   // The component the ladder optimizes: pre-trigger replay simulated per
   // run.  Post-trigger simulation is inherent to the injected fault and
   // dominates wall clock on this population (hot-function targets
@@ -183,12 +234,17 @@ int main(int argc, char** argv) {
           ? static_cast<double>(baseline.pre_trigger_cycles) /
                 static_cast<double>(ladder.pre_trigger_cycles)
           : 0.0;
-  std::printf("baseline: %6.2f s  (%.2f runs/s)\n", baseline.seconds,
+  std::printf("baseline:     %6.2f s  (%.2f runs/s)\n", baseline.seconds,
               static_cast<double>(baseline.runs) / baseline.seconds);
-  std::printf("ladder:   %6.2f s  (%.2f runs/s)\n", ladder.seconds,
+  std::printf("ladder:       %6.2f s  (%.2f runs/s)\n", ladder.seconds,
               static_cast<double>(ladder.runs) / ladder.seconds);
-  std::printf("speedup:  %6.2fx   result digest %016llx (identical)\n",
-              speedup, static_cast<unsigned long long>(digest));
+  std::printf("ladder+block: %6.2f s  (%.2f runs/s)\n", block.seconds,
+              static_cast<double>(block.runs) / block.seconds);
+  std::printf(
+      "speedup: ladder %.2fx, block-over-ladder %.2fx, total %.2fx   "
+      "result digest %016llx (identical)\n",
+      speedup, block_speedup, total_speedup,
+      static_cast<unsigned long long>(digest));
   std::printf("pre-trigger replay: %.1fM -> %.1fM cycles (%.1fx less)\n",
               static_cast<double>(baseline.pre_trigger_cycles) / 1e6,
               static_cast<double>(ladder.pre_trigger_cycles) / 1e6,
@@ -201,15 +257,18 @@ int main(int argc, char** argv) {
   }
   std::fprintf(out, "{\n  \"benchmark\": \"throughput\",\n  \"modes\": {\n");
   print_mode(out, baseline, false);
-  print_mode(out, ladder, true);
+  print_mode(out, ladder, false);
+  print_mode(out, block, true);
   std::fprintf(out,
                "  },\n"
                "  \"speedup\": %.3f,\n"
+               "  \"block_speedup\": %.3f,\n"
+               "  \"total_speedup\": %.3f,\n"
                "  \"pre_trigger_speedup\": %.3f,\n"
                "  \"results_identical\": true,\n"
                "  \"result_digest\": \"%016llx\"\n"
                "}\n",
-               speedup, setup_speedup,
+               speedup, block_speedup, total_speedup, setup_speedup,
                static_cast<unsigned long long>(digest));
   std::fclose(out);
   return 0;

@@ -73,6 +73,19 @@ void print_perf_stats(const inject::Injector& injector) {
       static_cast<double>(injector.pre_trigger_cycles()) / 1e6,
       static_cast<double>(injector.post_trigger_cycles()) / 1e6,
       static_cast<unsigned long long>(injector.reconverged()));
+  if (stats.block_builds + stats.block_hits + stats.block_fallbacks > 0) {
+    const std::uint64_t entries = stats.block_builds + stats.block_hits;
+    std::printf(
+        "perf: blocks %llu built, %llu hits, %llu fallbacks, "
+        "%llu invalidations, avg block len %.1f\n",
+        static_cast<unsigned long long>(stats.block_builds),
+        static_cast<unsigned long long>(stats.block_hits),
+        static_cast<unsigned long long>(stats.block_fallbacks),
+        static_cast<unsigned long long>(stats.block_invalidations),
+        entries == 0 ? 0.0
+                     : static_cast<double>(stats.block_ops) /
+                           static_cast<double>(entries));
+  }
 }
 
 inject::Campaign parse_campaign(const char* arg) {

@@ -24,6 +24,7 @@ machine::Machine& Injector::machine_for(const std::string& workload) {
 
   machine::MachineOptions machine_options;
   machine_options.full_restore = options_.full_restore;
+  machine_options.exec_engine = options_.exec_engine;
   auto machine = std::make_unique<machine::Machine>(
       image_, workloads::built_workload(workload), root_disk_,
       machine_options);
@@ -110,6 +111,11 @@ machine::PerfStats Injector::perf_stats() const {
     total.disk_blocks_restored += s.disk_blocks_restored;
     total.checkpoints_taken += s.checkpoints_taken;
     total.checkpoint_restores += s.checkpoint_restores;
+    total.block_builds += s.block_builds;
+    total.block_hits += s.block_hits;
+    total.block_fallbacks += s.block_fallbacks;
+    total.block_invalidations += s.block_invalidations;
+    total.block_ops += s.block_ops;
   }
   return total;
 }
@@ -200,6 +206,9 @@ InjectionResult Injector::run_one(const InjectionSpec& spec) {
     const std::uint8_t corrupted = static_cast<std::uint8_t>(
         machine.memory().read8(flip_phys) ^ (1u << spec.bit_index));
     machine.memory().write8(flip_phys, corrupted);
+    // Drop any cached superblock containing the corrupted page (the
+    // per-op version check would catch it; this avoids the stale hit).
+    machine.cpu().invalidate_blocks(flip_phys);
     std::uint8_t after[16] = {};
     machine.memory().read_block(vm::phys_of_virt(spec.instr_addr), after,
                                 sizeof after);

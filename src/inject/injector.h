@@ -54,6 +54,9 @@ struct InjectorOptions {
   // Restore by full-image copy instead of dirty pages (the measurable
   // pre-optimization baseline; results are bit-identical either way).
   bool full_restore = false;
+  // Execution engine for every machine this injector builds; results
+  // are bit-identical between engines (defaults from KFI_EXEC).
+  machine::ExecEngine exec_engine = machine::default_exec_engine();
 };
 
 class Injector {

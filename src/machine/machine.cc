@@ -1,6 +1,8 @@
 #include "machine/machine.h"
 
 #include <cassert>
+#include <cstdlib>
+#include <cstring>
 
 #include "fsutil/kfs.h"
 #include "fsutil/kfs_format.h"
@@ -89,6 +91,43 @@ class Machine::TlbDevice : public vm::Device {
 // ---------------------------------------------------------------------
 // Root disk
 // ---------------------------------------------------------------------
+
+ExecEngine default_exec_engine() {
+  const char* env = std::getenv("KFI_EXEC");
+  if (env != nullptr && std::string_view(env) == "block") {
+    return ExecEngine::Block;
+  }
+  return ExecEngine::Step;
+}
+
+std::uint64_t fnv1a_mix_bytes(std::uint64_t h, const void* data,
+                              std::size_t len) {
+  const std::uint8_t* p = static_cast<const std::uint8_t*>(data);
+  // Mixing is inherently sequential (each byte folds into h), but
+  // loading a word and unrolling the eight folds keeps the loop out of
+  // byte-at-a-time load/branch territory; the value is identical to
+  // the classic byte loop on any endianness because the bytes are
+  // extracted in memory order.
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  std::size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p + i, 8);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    w = __builtin_bswap64(w);
+#endif
+    h = (h ^ (w & 0xFF)) * kPrime;
+    h = (h ^ ((w >> 8) & 0xFF)) * kPrime;
+    h = (h ^ ((w >> 16) & 0xFF)) * kPrime;
+    h = (h ^ ((w >> 24) & 0xFF)) * kPrime;
+    h = (h ^ ((w >> 32) & 0xFF)) * kPrime;
+    h = (h ^ ((w >> 40) & 0xFF)) * kPrime;
+    h = (h ^ ((w >> 48) & 0xFF)) * kPrime;
+    h = (h ^ (w >> 56)) * kPrime;
+  }
+  for (; i < len; ++i) h = (h ^ p[i]) * kPrime;
+  return h;
+}
 
 std::string_view crash_code_name(std::uint32_t code) {
   switch (code) {
@@ -367,6 +406,11 @@ PerfStats Machine::perf_stats() const {
   stats.disk_blocks_restored = disk_blocks_restored_;
   stats.checkpoints_taken = checkpoints_taken_;
   stats.checkpoint_restores = checkpoint_restores_;
+  stats.block_builds = cpu_->blocks_built();
+  stats.block_hits = cpu_->block_hits();
+  stats.block_fallbacks = cpu_->block_fallbacks();
+  stats.block_invalidations = cpu_->block_invalidations();
+  stats.block_ops = cpu_->block_ops();
   return stats;
 }
 
@@ -389,10 +433,10 @@ std::uint64_t Machine::state_digest() const {
   mix_u32(static_cast<std::uint32_t>(cpu_->cpl()));
   mix_u32(cpu_->mmu().cr3());
   mix_u64(cpu_->cycles());
-  const std::uint8_t* ram = memory_->raw(0);
-  for (std::uint32_t i = 0; i < memory_->size(); ++i) mix_byte(ram[i]);
-  for (const std::uint8_t byte : disk_image_->bytes()) mix_byte(byte);
-  for (const char c : console_) mix_byte(static_cast<std::uint8_t>(c));
+  h = fnv1a_mix_bytes(h, memory_->raw(0), memory_->size());
+  h = fnv1a_mix_bytes(h, disk_image_->bytes().data(),
+                      disk_image_->bytes().size());
+  h = fnv1a_mix_bytes(h, console_.data(), console_.size());
   return h;
 }
 
@@ -404,6 +448,7 @@ RunResult Machine::run(std::uint64_t max_cycles, bool resumable) {
   // capture saw; a plain restore()/boot() starts with none pending.
   bool timer_pending = timer_pending_resume_;
   timer_pending_resume_ = false;
+  const bool block_engine = options_.exec_engine == ExecEngine::Block;
 
   while (cpu_->cycles() < deadline) {
     // Checkpoint capture sits at the exact point a restored checkpoint
@@ -437,7 +482,31 @@ RunResult Machine::run(std::uint64_t max_cycles, bool resumable) {
         }
       }
     }
-    const vm::CpuEvent event = cpu_->step();
+    vm::CpuEvent event;
+    bool stepped = true;
+    // A pending-but-undelivered tick is compatible with block dispatch:
+    // delivery was just attempted above, so pending here implies IF is
+    // off, and the only instruction that can re-enable delivery (sti)
+    // terminates every block — the delivering loop top lands exactly
+    // where the stepper has it.
+    if (block_engine && trace_ == nullptr && touch_ == nullptr &&
+        next_timer_ > cpu_->cycles()) {
+      // Bound the block so the first loop top at or past any host
+      // boundary (run deadline, timer arm, checkpoint rung) is reached
+      // exactly as the stepper reaches it: no event can fire mid-block.
+      std::uint64_t limit = deadline - cpu_->cycles();
+      const std::uint64_t to_timer = next_timer_ - cpu_->cycles();
+      if (to_timer < limit) limit = to_timer;
+      if (ckpt_out_ != nullptr && ckpt_next_ < ckpt_request_.size()) {
+        // Invariant: any pending request is > cycles here (requests at
+        // or below were consumed by the capture block above).
+        const std::uint64_t to_ckpt =
+            ckpt_request_[ckpt_next_] - cpu_->cycles();
+        if (to_ckpt < limit) limit = to_ckpt;
+      }
+      stepped = cpu_->run_block(limit, &crash_fired_, event) == 0;
+    }
+    if (stepped) event = cpu_->step();
 
     if (crash_fired_) {
       if (crash_.cause == kernel::CRASH_CLEAN_SHUTDOWN) {

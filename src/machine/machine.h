@@ -50,6 +50,19 @@ struct RunResult {
   int breakpoint_index = -1;
 };
 
+// Which execution engine run() drives.  Step is the reference
+// single-dispatch path; Block routes straight-line runs through the
+// CPU's superblock trace cache when no host event (timer tick,
+// checkpoint rung, deadline, trace sink) can fire inside the block.
+// The two are bit-identical for every run-visible outcome.
+enum class ExecEngine : std::uint8_t { Step, Block };
+
+// Reads the KFI_EXEC environment variable once per call: "block"
+// selects ExecEngine::Block, anything else (or unset) the stepper.
+// MachineOptions defaults from this so CI can drive the whole test
+// suite through either engine without code changes.
+ExecEngine default_exec_engine();
+
 struct MachineOptions {
   std::uint32_t timer_period = kernel::kTimerPeriodCycles;
   std::uint64_t boot_budget = 4'000'000;
@@ -57,6 +70,7 @@ struct MachineOptions {
   // the dirty pages/blocks.  The two are bit-identical; the full copy
   // is kept as the measurable pre-optimization baseline.
   bool full_restore = false;
+  ExecEngine exec_engine = default_exec_engine();
 };
 
 // One rung of a golden-run checkpoint ladder: the complete machine
@@ -103,7 +117,20 @@ struct PerfStats {
   std::uint64_t disk_blocks_restored = 0;
   std::uint64_t checkpoints_taken = 0;
   std::uint64_t checkpoint_restores = 0;
+  // Superblock engine (all zero under ExecEngine::Step).
+  std::uint64_t block_builds = 0;
+  std::uint64_t block_hits = 0;
+  std::uint64_t block_fallbacks = 0;
+  std::uint64_t block_invalidations = 0;
+  std::uint64_t block_ops = 0;  // instructions retired through blocks
 };
+
+// FNV-1a over `len` bytes starting from hash state `h`, mixed in byte
+// order (identical value to the classic byte loop) but reading the
+// buffer a word at a time.  state_digest() sits on this; exposed for
+// the pinned-digest regression test.
+std::uint64_t fnv1a_mix_bytes(std::uint64_t h, const void* data,
+                              std::size_t len);
 
 // Human-readable text for a kernel crash-port cause code, phrased as
 // the kernel's oops messages are.

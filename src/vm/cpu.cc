@@ -22,7 +22,7 @@ bool parity_even(std::uint8_t byte) {
 
 Cpu::Cpu(PhysicalMemory& memory, Bus& bus)
     : memory_(memory), bus_(bus), mmu_(memory),
-      decode_cache_(kDecodeCacheSize) {}
+      decode_cache_(kDecodeCacheSize), block_cache_(kBlockCacheSize) {}
 
 void Cpu::set_vector(int vector, std::uint32_t handler_vaddr) {
   vectors_[vector & 0xFF] = handler_vaddr;
@@ -388,11 +388,15 @@ CpuEvent Cpu::step() {
                                             : isa::kMaxInstructionLength;
       memory_.read_block(paddr, buf, take);
       fetched = take;
-      // Cross-page tail, fetched lazily only if the decoder wants it.
+      // Cross-page tail.  Looked up with peek (no TLB fill): a fill
+      // here would depend on decode-cache hit history — misses near a
+      // page end would warm the next page's TLB slot while hits would
+      // not — making TLB evolution cache-state-dependent and
+      // irreproducible by the block engine.
       if (fetched < isa::kMaxInstructionLength) {
         std::uint32_t paddr2 = 0;
         const TranslateStatus s2 =
-            mmu_.translate(eip_ + fetched, Access::Execute, cpl_, paddr2);
+            mmu_.peek(eip_ + fetched, Access::Execute, cpl_, paddr2);
         if (s2 == TranslateStatus::Ok) {
           memory_.read_block(paddr2, buf + fetched,
                              isa::kMaxInstructionLength -
@@ -468,6 +472,175 @@ CpuEvent Cpu::step() {
     event.kind = CpuEventKind::Halted;
   }
   return event;
+}
+
+// ---------------------------------------------------------------------
+// Superblock engine
+// ---------------------------------------------------------------------
+
+namespace {
+
+// An instruction ends a block when it cannot deterministically fall
+// through to eip+length: control transfers, software traps, privileged
+// ops that always fault, and hlt.  Anything else that traps at runtime
+// (a #PF on a memory operand, #GP from user mode) ends the block
+// dynamically via execute() returning false.
+bool block_terminator(const Instruction& in) {
+  if (in.is_branch()) return true;
+  switch (in.op) {
+    case Op::Int:
+    case Op::Int3:
+    case Op::Ud2:
+    case Op::Invalid:
+    case Op::Hlt:
+    case Op::FarJmp:
+    case Op::FarCall:
+    case Op::MovSeg:
+      return true;
+    case Op::Sti:
+      // A timer tick that went pending while interrupts were off is
+      // delivered at the first loop top with IF set; ending the block
+      // at sti puts that loop top exactly where the stepper has it.
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool Cpu::build_block(std::uint32_t entry_paddr, Block& blk) {
+  blk.entry_paddr = kNoBlock;
+  blk.byte_len = 0;
+  blk.ops.clear();
+
+  std::uint32_t vaddr = eip_;
+  std::uint32_t paddr = entry_paddr;
+  while (blk.ops.size() < kMaxBlockOps) {
+    // Decode only from bytes within the instruction's page: an
+    // instruction whose fetch identity spans two pages cannot be
+    // verified with one translation, so it is left to the stepper.
+    const std::uint32_t room = kPageSize - (paddr & kPageMask);
+    const std::uint32_t take =
+        room < isa::kMaxInstructionLength
+            ? room
+            : static_cast<std::uint32_t>(isa::kMaxInstructionLength);
+    std::uint8_t buf[isa::kMaxInstructionLength];
+    memory_.read_block(paddr, buf, take);
+    Instruction instr;
+    if (isa::decode(buf, take, instr) != DecodeStatus::Ok) break;
+
+    blk.ops.push_back({paddr, memory_.page_version(paddr), instr});
+    blk.byte_len += instr.length;
+    if (block_terminator(instr)) break;
+
+    vaddr += instr.length;
+    if (mmu_.peek(vaddr, Access::Execute, cpl_, paddr) !=
+        TranslateStatus::Ok) {
+      break;
+    }
+  }
+  if (blk.ops.empty()) return false;
+  blk.entry_paddr = entry_paddr;
+  return true;
+}
+
+std::size_t Cpu::run_block(std::uint64_t max_instructions, const bool* stop,
+                           CpuEvent& event) {
+  event = CpuEvent{};
+  if (dead_ || halted_ || max_instructions == 0) return 0;
+
+  std::uint32_t entry_paddr = 0;
+  if (mmu_.translate(eip_, Access::Execute, cpl_, entry_paddr) !=
+      TranslateStatus::Ok) {
+    // Fetch fault or MMIO fetch: the stepper raises the exact trap.
+    ++block_fallbacks_;
+    return 0;
+  }
+
+  Block& blk = block_cache_[(entry_paddr ^ (entry_paddr >> 12)) &
+                            (kBlockCacheSize - 1)];
+  if (blk.entry_paddr != entry_paddr || blk.ops.empty() ||
+      blk.ops[0].version != memory_.page_version(entry_paddr)) {
+    if (!build_block(entry_paddr, blk)) {
+      ++block_fallbacks_;
+      return 0;
+    }
+    ++blocks_built_;
+  } else {
+    ++block_hits_;
+  }
+
+  // Hoisted breakpoint guard: if any armed debug register lies inside
+  // the block's address range, single-step so the Breakpoint event
+  // surfaces at the exact instruction (unsigned compare also rejects
+  // addresses below eip_).
+  for (const DebugReg& dr : debug_) {
+    if (dr.enabled && dr.addr - eip_ < blk.byte_len) {
+      ++block_fallbacks_;
+      return 0;
+    }
+  }
+  // With no breakpoint in range, the resume flag's only effect in the
+  // stepper is being consumed by the next fetch; consume it here.
+  resume_flag_ = false;
+
+  const std::size_t limit =
+      blk.ops.size() < max_instructions
+          ? blk.ops.size()
+          : static_cast<std::size_t>(max_instructions);
+  std::size_t executed = 0;
+  while (executed < limit) {
+    const MicroOp& op = blk.ops[executed];
+    if (executed != 0) {
+      // Re-verify the fetch translation exactly where the stepper
+      // would fetch: same call, same TLB fills, same result.
+      std::uint32_t paddr = 0;
+      if (mmu_.translate_fast(eip_, Access::Execute, cpl_, paddr) !=
+              TranslateStatus::Ok ||
+          paddr != op.paddr) {
+        break;
+      }
+    }
+    if (memory_.page_version(op.paddr) != op.version) {
+      // Self-modified (or flipped) code page: drop the block and let
+      // the stepper re-decode this instruction.
+      blk.entry_paddr = kNoBlock;
+      ++block_invalidations_;
+      break;
+    }
+    cycles_ += 1;
+    ++executed;
+    if (!execute(op.instr)) {
+      event.trap_taken = true;
+      event.trap = last_trap_.trap;
+      break;
+    }
+    if (halted_ || dead_) break;
+    if (stop != nullptr && *stop) break;
+  }
+  block_ops_ += executed;
+
+  if (dead_) {
+    event.kind = CpuEventKind::DoubleFault;
+  } else if (halted_) {
+    event.kind = CpuEventKind::Halted;
+  }
+  return executed;
+}
+
+void Cpu::invalidate_blocks(std::uint32_t paddr) {
+  const std::uint32_t page = paddr >> 12;
+  for (Block& blk : block_cache_) {
+    if (blk.entry_paddr == kNoBlock) continue;
+    for (const MicroOp& op : blk.ops) {
+      if ((op.paddr >> 12) == page) {
+        blk.entry_paddr = kNoBlock;
+        ++block_invalidations_;
+        break;
+      }
+    }
+  }
 }
 
 // Returns false when a trap was raised (eip already redirected).

@@ -86,6 +86,32 @@ class Cpu {
   // --- Execution ---
   CpuEvent step();
 
+  // Superblock engine: executes up to `max_instructions` predecoded
+  // straight-line micro-ops starting at the current eip with a single
+  // dispatch, and returns the number retired (0 = the caller must
+  // single-step via step()).  Guards hoisted out of the inner loop:
+  //   - the caller bounds `max_instructions` so no timer tick,
+  //     checkpoint rung, or run deadline can fall inside the block;
+  //   - a block whose address range contains an armed debug register
+  //     is refused (single-step delivers the Breakpoint event at the
+  //     exact instruction);
+  //   - each micro-op re-verifies its fetch translation and code-page
+  //     write version before executing, so self-modifying code, page
+  //     remaps, and injection flips break out of the block exactly
+  //     where the stepping engine would re-decode;
+  //   - `stop` (the host's crash-port latch) aborts the block after
+  //     the instruction that sets it, and traps/hlt/double faults end
+  //     it exactly as step() would surface them.
+  // Executing N micro-ops is bit-identical to N step() calls.
+  std::size_t run_block(std::uint64_t max_instructions, const bool* stop,
+                        CpuEvent& event);
+
+  // Drops every cached block containing a micro-op on the page holding
+  // `paddr`.  The injector calls this on its bit flip; the per-op
+  // version check would catch the stale block anyway, so this is a
+  // fast-path hint, not a correctness requirement.
+  void invalidate_blocks(std::uint32_t paddr);
+
   // Delivers an external interrupt (timer) if IF is set; returns true if
   // delivered.  The host calls this between steps.
   bool deliver_interrupt(isa::Trap trap);
@@ -99,6 +125,16 @@ class Cpu {
   // paid the full decode path.  Cumulative over the CPU's lifetime.
   std::uint64_t decode_hits() const { return decode_hits_; }
   std::uint64_t decode_misses() const { return decode_misses_; }
+
+  // Block-engine telemetry.  A run_block() entry either hits a cached
+  // block, builds one (then executes it), or falls back to step().
+  std::uint64_t blocks_built() const { return blocks_built_; }
+  std::uint64_t block_hits() const { return block_hits_; }
+  std::uint64_t block_fallbacks() const { return block_fallbacks_; }
+  std::uint64_t block_invalidations() const { return block_invalidations_; }
+  // Instructions retired through blocks (avg executed block length =
+  // block_ops / (block_hits + blocks_built)).
+  std::uint64_t block_ops() const { return block_ops_; }
 
   // Virtual-memory accessors for the host (debugger/loader view).
   // They use the current privilege translation but never trap; failures
@@ -162,6 +198,37 @@ class Cpu {
   std::vector<DecodedSlot> decode_cache_;
   std::uint64_t decode_hits_ = 0;
   std::uint64_t decode_misses_ = 0;
+
+  // Trace cache: predecoded straight-line runs ("superblocks") ending
+  // at a branch/trapping/privileged op, keyed direct-mapped on the
+  // entry instruction's physical address.  Micro-ops live in one
+  // contiguous array per block, so execution walks memory linearly
+  // instead of re-probing the direct-mapped decode cache per step.
+  struct MicroOp {
+    std::uint32_t paddr = 0;     // fetch identity: physical address...
+    std::uint64_t version = 0;   // ...and code-page version at decode
+    isa::Instruction instr;
+  };
+  struct Block {
+    std::uint32_t entry_paddr = kNoBlock;
+    std::uint32_t byte_len = 0;  // encoded bytes covered (breakpoint guard)
+    std::vector<MicroOp> ops;
+  };
+  static constexpr std::uint32_t kNoBlock = 0xFFFFFFFF;
+  static constexpr std::uint32_t kBlockCacheSize = 4096;  // power of two
+  static constexpr std::size_t kMaxBlockOps = 32;
+
+  // Decodes a straight-line block starting at eip_ (entry already
+  // translated to `entry_paddr`).  Pure lookahead: reads memory and
+  // page versions only, never fills the TLB (Mmu::peek).
+  bool build_block(std::uint32_t entry_paddr, Block& blk);
+
+  std::vector<Block> block_cache_;
+  std::uint64_t blocks_built_ = 0;
+  std::uint64_t block_hits_ = 0;
+  std::uint64_t block_fallbacks_ = 0;
+  std::uint64_t block_invalidations_ = 0;
+  std::uint64_t block_ops_ = 0;
 
   TrapRecord last_trap_;
 };

@@ -11,6 +11,46 @@ void Mmu::flush_page(std::uint32_t vaddr) {
   tlb_[vpn & (kTlbSize - 1)].tag = 0xFFFFFFFF;
 }
 
+TranslateStatus Mmu::peek(std::uint32_t vaddr, Access access, int cpl,
+                          std::uint32_t& paddr) const {
+  if (vaddr >= kMmioBase) {
+    return cpl == 0 ? TranslateStatus::Mmio : TranslateStatus::Protection;
+  }
+
+  const std::uint32_t vpn = vaddr >> 12;
+  const TlbEntry& entry = tlb_[vpn & (kTlbSize - 1)];
+  if (entry.tag == vpn) {
+    if (cpl != 0 && !entry.user) return TranslateStatus::Protection;
+    if (access == Access::Write && !entry.writable) {
+      return TranslateStatus::Protection;
+    }
+    paddr = entry.frame | (vaddr & kPageMask);
+    return TranslateStatus::Ok;
+  }
+
+  const std::uint32_t pgd_slot = cr3_ + ((vaddr >> 22) << 2);
+  if (!memory_.contains(pgd_slot, 4)) return TranslateStatus::BadPhysical;
+  const std::uint32_t pgd_entry = memory_.read32(pgd_slot);
+  if ((pgd_entry & kPtePresent) == 0) return TranslateStatus::NotPresent;
+
+  const std::uint32_t pte_base = pgd_entry & kPteFrameMask;
+  const std::uint32_t pte_slot = pte_base + (((vaddr >> 12) & 0x3FF) << 2);
+  if (!memory_.contains(pte_slot, 4)) return TranslateStatus::BadPhysical;
+  const std::uint32_t pte = memory_.read32(pte_slot);
+  if ((pte & kPtePresent) == 0) return TranslateStatus::NotPresent;
+
+  const bool user_ok = (pgd_entry & kPteUser) && (pte & kPteUser);
+  const bool writable = (pgd_entry & kPteWrite) && (pte & kPteWrite);
+  if (cpl != 0 && !user_ok) return TranslateStatus::Protection;
+  if (access == Access::Write && !writable) return TranslateStatus::Protection;
+
+  const std::uint32_t frame = pte & kPteFrameMask;
+  if (!memory_.contains(frame, kPageSize)) return TranslateStatus::BadPhysical;
+
+  paddr = frame | (vaddr & kPageMask);
+  return TranslateStatus::Ok;
+}
+
 TranslateStatus Mmu::translate(std::uint32_t vaddr, Access access, int cpl,
                                std::uint32_t& paddr) {
   if (vaddr >= kMmioBase) {

@@ -39,6 +39,35 @@ class Mmu {
   TranslateStatus translate(std::uint32_t vaddr, Access access, int cpl,
                             std::uint32_t& paddr);
 
+  // Same result as translate() with the TLB-hit path inlined; falls
+  // through to the full (filling) walk on a miss.  The block engine's
+  // per-micro-op fetch verification sits on this.
+  TranslateStatus translate_fast(std::uint32_t vaddr, Access access, int cpl,
+                                 std::uint32_t& paddr) {
+    if (vaddr >= kMmioBase) {
+      return cpl == 0 ? TranslateStatus::Mmio : TranslateStatus::Protection;
+    }
+    const std::uint32_t vpn = vaddr >> 12;
+    const TlbEntry& entry = tlb_[vpn & (kTlbSize - 1)];
+    if (entry.tag == vpn) {
+      if (cpl != 0 && !entry.user) return TranslateStatus::Protection;
+      if (access == Access::Write && !entry.writable) {
+        return TranslateStatus::Protection;
+      }
+      paddr = entry.frame | (vaddr & kPageMask);
+      return TranslateStatus::Ok;
+    }
+    return translate(vaddr, access, cpl, paddr);
+  }
+
+  // Translation without side effects: identical result to translate()
+  // at this instant, but never fills the TLB.  Block *construction*
+  // uses this so predecoding lookahead instructions cannot perturb the
+  // TLB state the stepping engine would have — stale-entry semantics
+  // stay bit-identical between engines.
+  TranslateStatus peek(std::uint32_t vaddr, Access access, int cpl,
+                       std::uint32_t& paddr) const;
+
   void flush_tlb();
 
   // Drops any cached translation for the page containing `vaddr`

@@ -1,0 +1,61 @@
+// Pins the word-at-a-time FNV-1a used by Machine::state_digest() to
+// the classic byte-at-a-time definition: same polynomial, same byte
+// order, same value — the speedup must not move a single digest.
+#include "machine/machine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace kfi::machine {
+namespace {
+
+std::uint64_t fnv1a_naive(std::uint64_t h, const std::uint8_t* p,
+                          std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i) {
+    h = (h ^ p[i]) * 1099511628211ULL;
+  }
+  return h;
+}
+
+constexpr std::uint64_t kBasis = 1469598103934665603ULL;
+
+std::vector<std::uint8_t> reference_buffer(std::size_t len) {
+  std::vector<std::uint8_t> buf(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    buf[i] = static_cast<std::uint8_t>(i * 37 + 11);
+  }
+  return buf;
+}
+
+TEST(StateDigest, WordMixMatchesPinnedConstant) {
+  // Computed independently from the FNV-1a definition; a change here
+  // means every committed replay digest would silently shift.
+  const std::vector<std::uint8_t> buf = reference_buffer(1003);
+  EXPECT_EQ(fnv1a_mix_bytes(kBasis, buf.data(), buf.size()),
+            0x966be73eab1f7e97ULL);
+}
+
+TEST(StateDigest, WordMixMatchesByteLoopAtEveryLength) {
+  // Lengths 0..40 cover all word/tail split alignments.
+  const std::vector<std::uint8_t> buf = reference_buffer(40);
+  for (std::size_t len = 0; len <= buf.size(); ++len) {
+    EXPECT_EQ(fnv1a_mix_bytes(kBasis, buf.data(), len),
+              fnv1a_naive(kBasis, buf.data(), len))
+        << "len " << len;
+  }
+}
+
+TEST(StateDigest, ChainsAcrossCalls) {
+  // state_digest() chains RAM, disk, and console through one running
+  // hash; split calls must equal one contiguous mix.
+  const std::vector<std::uint8_t> buf = reference_buffer(257);
+  const std::uint64_t whole = fnv1a_mix_bytes(kBasis, buf.data(), buf.size());
+  std::uint64_t split = fnv1a_mix_bytes(kBasis, buf.data(), 100);
+  split = fnv1a_mix_bytes(split, buf.data() + 100, buf.size() - 100);
+  EXPECT_EQ(whole, split);
+}
+
+}  // namespace
+}  // namespace kfi::machine

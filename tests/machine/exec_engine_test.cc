@@ -1,0 +1,132 @@
+// Machine-level cross-engine identity: whole golden runs, checkpoint
+// ladders, and a smoke injection campaign executed under both
+// ExecEngine::Step and ExecEngine::Block must produce bit-identical
+// run-visible state — state_digest(), console, cycle counts, exits.
+#include "machine/machine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "check/expectations.h"
+#include "check/replay.h"
+#include "inject/campaign.h"
+#include "profile/profile.h"
+
+namespace kfi::machine {
+namespace {
+
+constexpr std::uint64_t kRunBudget = 30'000'000;
+
+std::unique_ptr<Machine> make_machine(const std::string& workload,
+                                      ExecEngine engine) {
+  static const disk::DiskImage root_disk = make_root_disk();
+  MachineOptions options;
+  options.exec_engine = engine;
+  return std::make_unique<Machine>(kernel::built_kernel(),
+                                   workloads::built_workload(workload),
+                                   root_disk, options);
+}
+
+TEST(ExecEngine, GoldenRunIdenticalAcrossEngines) {
+  auto step_m = make_machine("syscall", ExecEngine::Step);
+  auto block_m = make_machine("syscall", ExecEngine::Block);
+  ASSERT_TRUE(step_m->boot()) << step_m->console_output();
+  ASSERT_TRUE(block_m->boot()) << block_m->console_output();
+
+  const RunResult a = step_m->run(kRunBudget);
+  const RunResult b = block_m->run(kRunBudget);
+  ASSERT_EQ(a.exit, RunExit::Completed);
+  ASSERT_EQ(b.exit, RunExit::Completed);
+  EXPECT_EQ(a.exit_code, b.exit_code);
+  EXPECT_EQ(step_m->cpu().cycles(), block_m->cpu().cycles());
+  EXPECT_EQ(step_m->console_output(), block_m->console_output());
+  EXPECT_EQ(step_m->state_digest(), block_m->state_digest());
+  // The block machine actually used the block engine.
+  EXPECT_GT(block_m->perf_stats().block_ops, 0u);
+  EXPECT_EQ(step_m->perf_stats().block_ops, 0u);
+}
+
+TEST(ExecEngine, CheckpointLadderIdenticalAcrossEngines) {
+  auto step_m = make_machine("syscall", ExecEngine::Step);
+  auto block_m = make_machine("syscall", ExecEngine::Block);
+  ASSERT_TRUE(step_m->boot());
+  ASSERT_TRUE(block_m->boot());
+
+  // Place rungs inside the actual golden run length (capture replays
+  // from the post-boot snapshot, so this probe run costs nothing).
+  const std::uint64_t base = step_m->snapshot_cycles();
+  ASSERT_EQ(step_m->run(kRunBudget).exit, RunExit::Completed);
+  const std::uint64_t total = step_m->cpu().cycles() - base;
+  ASSERT_GT(total, 100u);
+  const std::vector<std::uint64_t> rungs = {
+      base + total / 8, base + total / 3, base + (2 * total) / 3};
+  auto cks_a = step_m->capture_checkpoints(rungs, kRunBudget);
+  auto cks_b = block_m->capture_checkpoints(rungs, kRunBudget);
+  ASSERT_EQ(cks_a.size(), cks_b.size());
+  for (std::size_t i = 0; i < cks_a.size(); ++i) {
+    // Rungs land on the identical loop-top cycle, with identical
+    // register file and deltas, regardless of engine.
+    EXPECT_EQ(cks_a[i].cycle, cks_b[i].cycle) << "rung " << i;
+    EXPECT_EQ(cks_a[i].eip, cks_b[i].eip) << "rung " << i;
+    EXPECT_EQ(cks_a[i].flags, cks_b[i].flags) << "rung " << i;
+    EXPECT_EQ(cks_a[i].timer_pending, cks_b[i].timer_pending) << "rung " << i;
+    for (int r = 0; r < 8; ++r) {
+      EXPECT_EQ(cks_a[i].regs[r], cks_b[i].regs[r]) << "rung " << i;
+    }
+  }
+
+  // Resuming the step machine from a block-captured rung (and vice
+  // versa would hold too) continues on the same timeline.
+  ASSERT_GE(cks_a.size(), 2u);
+  step_m->restore_checkpoint(cks_a[1]);
+  block_m->restore_checkpoint(cks_b[1]);
+  const RunResult ra = step_m->run(kRunBudget);
+  const RunResult rb = block_m->run(kRunBudget);
+  EXPECT_EQ(ra.exit, rb.exit);
+  EXPECT_EQ(step_m->state_digest(), block_m->state_digest());
+}
+
+TEST(ExecEngine, SmokeCampaignIdenticalAcrossEngines) {
+  inject::InjectorOptions step_options;
+  step_options.exec_engine = ExecEngine::Step;
+  inject::InjectorOptions block_options;
+  block_options.exec_engine = ExecEngine::Block;
+  inject::Injector step_inj(step_options);
+  inject::Injector block_inj(block_options);
+
+  const inject::CampaignRun a = inject::run_campaign(
+      step_inj, profile::default_profile(),
+      check::smoke_config(inject::Campaign::RandomNonBranch));
+  const inject::CampaignRun b = inject::run_campaign(
+      block_inj, profile::default_profile(),
+      check::smoke_config(inject::Campaign::RandomNonBranch));
+
+  const check::RunComparison cmp = check::compare_runs(a, b);
+  EXPECT_TRUE(cmp.identical())
+      << cmp.mismatches.size() << " mismatches of " << cmp.compared;
+  std::size_t shown = 0;
+  for (const auto& [index, diffs] : cmp.mismatches) {
+    for (const check::FieldDiff& d : diffs) {
+      ADD_FAILURE() << "result " << index << " field " << d.field << ": step="
+                    << d.recorded << " block=" << d.replayed;
+    }
+    if (++shown == 3) break;
+  }
+  EXPECT_GT(block_inj.perf_stats().block_ops, 0u);
+}
+
+TEST(ExecEngine, DefaultsFromEnvironment) {
+  // The KFI_EXEC matrix leg in CI relies on this default.
+  const ExecEngine def = default_exec_engine();
+  const char* env = std::getenv("KFI_EXEC");
+  if (env != nullptr && std::string_view(env) == "block") {
+    EXPECT_EQ(def, ExecEngine::Block);
+  } else {
+    EXPECT_EQ(def, ExecEngine::Step);
+  }
+  EXPECT_EQ(MachineOptions{}.exec_engine, def);
+}
+
+}  // namespace
+}  // namespace kfi::machine

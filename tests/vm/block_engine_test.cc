@@ -1,0 +1,444 @@
+// Differential tests for the superblock execution engine: two CPUs on
+// identical machines run the same program, one through step() and one
+// through run_block() with step() fallback (exactly as Machine::run
+// drives it), and every piece of run-visible state must match —
+// registers, flags, eip, cpl, cycle counter, trap records, and all of
+// RAM.  Covers straight-line code, loops (block cache hits),
+// self-modifying code, page-crossing instructions, traps mid-block,
+// breakpoints, injection-flip invalidation, and randomized programs.
+#include "vm/cpu.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "isa/encode.h"
+#include "support/rng.h"
+#include "vm/hostmap.h"
+
+namespace kfi::vm {
+namespace {
+
+using isa::Cond;
+using isa::Instruction;
+using isa::Op;
+using isa::Operand;
+using isa::Reg;
+using isa::Trap;
+
+constexpr std::uint32_t kCodeVirt = 0xC0105000;  // inside arch text region
+constexpr std::uint32_t kDataVirt = 0xC0200000;
+constexpr std::uint32_t kHandlerVirt = 0xC0110000;
+
+// One simulated machine half of the differential pair.
+struct Rig {
+  PhysicalMemory memory;
+  Bus bus;
+  Cpu cpu;
+
+  Rig() : memory(kRamSize), cpu(memory, bus) {
+    HostMapper mapper(memory, kBootPgdPhys, kKernelPtePhys);
+    mapper.map_range(kKernelBase, 0, kRamSize, kPteWrite);
+    cpu.mmu().set_cr3(kBootPgdPhys);
+    memory.write32(kTssPhys, kBootStackTop);
+    for (int v = 0; v < 32; ++v) cpu.set_vector(v, kHandlerVirt);
+    cpu.set_vector(0x80, kHandlerVirt);
+    cpu.set_vector(0x20, kHandlerVirt);
+    // The handler page holds hlt so traps park the CPU visibly.
+    memory.fill(phys_of_virt(kHandlerVirt), 64, 0xF4);
+    cpu.set_reg(Reg::Esp, kBootStackTop);
+    cpu.set_eip(kCodeVirt);
+  }
+
+  void load(const std::vector<std::uint8_t>& bytes) {
+    memory.write_block(phys_of_virt(kCodeVirt), bytes.data(),
+                       static_cast<std::uint32_t>(bytes.size()));
+  }
+};
+
+struct TrapSeen {
+  Trap trap;
+  std::uint64_t cycle;
+  std::uint32_t faulting_eip;
+
+  bool operator==(const TrapSeen&) const = default;
+};
+
+// Runs `rig` up to `max_cycles` total cycles through the stepping
+// engine, recording every trap delivery and the terminal event.
+struct Outcome {
+  CpuEvent last;
+  std::vector<TrapSeen> traps;
+};
+
+Outcome run_step(Rig& rig, std::uint64_t max_cycles) {
+  Outcome out;
+  while (rig.cpu.cycles() < max_cycles) {
+    out.last = rig.cpu.step();
+    if (out.last.trap_taken) {
+      out.traps.push_back({rig.cpu.last_trap().trap,
+                           rig.cpu.last_trap().cycle,
+                           rig.cpu.last_trap().faulting_eip});
+    }
+    if (out.last.kind != CpuEventKind::Executed) break;
+  }
+  return out;
+}
+
+// Same, but through run_block() with step() fallback — the exact
+// dispatch Machine::run uses when no host event can fire.
+Outcome run_block_engine(Rig& rig, std::uint64_t max_cycles) {
+  Outcome out;
+  while (rig.cpu.cycles() < max_cycles) {
+    CpuEvent event;
+    if (rig.cpu.run_block(max_cycles - rig.cpu.cycles(), nullptr, event) ==
+        0) {
+      event = rig.cpu.step();
+    }
+    out.last = event;
+    if (event.trap_taken) {
+      out.traps.push_back({rig.cpu.last_trap().trap,
+                           rig.cpu.last_trap().cycle,
+                           rig.cpu.last_trap().faulting_eip});
+    }
+    if (event.kind != CpuEventKind::Executed) break;
+  }
+  return out;
+}
+
+void expect_same_state(Rig& a, Rig& b) {
+  for (int i = 0; i < isa::kRegCount; ++i) {
+    EXPECT_EQ(a.cpu.reg(static_cast<Reg>(i)),
+              b.cpu.reg(static_cast<Reg>(i)))
+        << "reg " << i;
+  }
+  EXPECT_EQ(a.cpu.eip(), b.cpu.eip());
+  EXPECT_EQ(a.cpu.flags().to_word(), b.cpu.flags().to_word());
+  EXPECT_EQ(a.cpu.cpl(), b.cpu.cpl());
+  EXPECT_EQ(a.cpu.cycles(), b.cpu.cycles());
+  EXPECT_EQ(a.cpu.halted(), b.cpu.halted());
+  EXPECT_EQ(a.cpu.dead(), b.cpu.dead());
+  EXPECT_EQ(std::memcmp(a.memory.raw(0), b.memory.raw(0), kRamSize), 0)
+      << "RAM diverged";
+}
+
+void expect_same_outcome(const Outcome& a, const Outcome& b) {
+  EXPECT_EQ(a.last.kind, b.last.kind);
+  EXPECT_EQ(a.traps, b.traps);
+}
+
+// --- Encoding helpers (mirroring cpu_test.cc) ---
+
+Instruction mov_ri(Reg r, std::int32_t imm) {
+  Instruction i;
+  i.op = Op::Mov;
+  i.dst = Operand::make_reg(r);
+  i.src = Operand::make_imm(imm);
+  return i;
+}
+Instruction alu_rr(Op op, Reg dst, Reg src) {
+  Instruction i;
+  i.op = op;
+  i.dst = Operand::make_reg(dst);
+  i.src = Operand::make_reg(src);
+  return i;
+}
+Instruction mem_op(Op op, Reg r, Reg base, std::int32_t disp, bool load) {
+  Instruction i;
+  i.op = op;
+  isa::MemRef m;
+  m.has_base = true;
+  m.base = base;
+  m.disp = disp;
+  if (load) {
+    i.dst = Operand::make_reg(r);
+    i.src = Operand::make_mem(m);
+  } else {
+    i.dst = Operand::make_mem(m);
+    i.src = Operand::make_reg(r);
+  }
+  return i;
+}
+Instruction nullary(Op op) {
+  Instruction i;
+  i.op = op;
+  return i;
+}
+Instruction jcc(Cond cond, std::int32_t rel) {
+  Instruction i;
+  i.op = Op::Jcc;
+  i.cond = cond;
+  i.rel = rel;
+  return i;
+}
+
+std::vector<std::uint8_t> assemble(const std::vector<Instruction>& instrs) {
+  std::vector<std::uint8_t> bytes;
+  for (const Instruction& instr : instrs) {
+    EXPECT_TRUE(isa::encode(instr, bytes));
+  }
+  return bytes;
+}
+
+void run_both(const std::vector<std::uint8_t>& program,
+              std::uint64_t max_cycles, Rig& stepper, Rig& blocker) {
+  stepper.load(program);
+  blocker.load(program);
+  const Outcome a = run_step(stepper, max_cycles);
+  const Outcome b = run_block_engine(blocker, max_cycles);
+  expect_same_outcome(a, b);
+  expect_same_state(stepper, blocker);
+}
+
+TEST(BlockEngine, StraightLineMatchesStep) {
+  Rig stepper, blocker;
+  const auto program = assemble({
+      mov_ri(Reg::Eax, 5),
+      mov_ri(Reg::Ebx, 7),
+      alu_rr(Op::Add, Reg::Eax, Reg::Ebx),
+      mov_ri(Reg::Ecx, static_cast<std::int32_t>(kDataVirt)),
+      mem_op(Op::Mov, Reg::Eax, Reg::Ecx, 0, false),
+      mem_op(Op::Mov, Reg::Edx, Reg::Ecx, 0, true),
+      nullary(Op::Hlt),
+  });
+  run_both(program, 1000, stepper, blocker);
+  EXPECT_EQ(blocker.cpu.reg(Reg::Edx), 12u);
+  EXPECT_GE(blocker.cpu.blocks_built(), 1u);
+  EXPECT_GT(blocker.cpu.block_ops(), 0u);
+  EXPECT_EQ(stepper.cpu.block_ops(), 0u);  // stepper never built blocks
+}
+
+TEST(BlockEngine, LoopHitsBlockCache) {
+  Rig stepper, blocker;
+  // ecx counts down; the backward jcc re-enters the same block.
+  std::vector<Instruction> body = {
+      mov_ri(Reg::Ecx, 50),
+      mov_ri(Reg::Eax, 0),
+      // loop:
+      alu_rr(Op::Add, Reg::Eax, Reg::Ecx),
+      nullary(Op::Nop),
+      mov_ri(Reg::Ebx, 1),
+      alu_rr(Op::Sub, Reg::Ecx, Reg::Ebx),
+  };
+  std::vector<std::uint8_t> head = assemble(body);
+  std::vector<std::uint8_t> loop_tail = assemble({
+      alu_rr(Op::Add, Reg::Eax, Reg::Ecx),
+      nullary(Op::Nop),
+      mov_ri(Reg::Ebx, 1),
+      alu_rr(Op::Sub, Reg::Ecx, Reg::Ebx),
+  });
+  // Branch back over the loop body when ecx != 0 (short jcc is 2B).
+  std::vector<std::uint8_t> program = head;
+  const std::int32_t back = -static_cast<std::int32_t>(loop_tail.size()) - 2;
+  const std::vector<std::uint8_t> jcc_bytes = assemble({jcc(Cond::Ne, back)});
+  ASSERT_EQ(jcc_bytes.size(), 2u);
+  for (std::uint8_t b : jcc_bytes) program.push_back(b);
+  for (std::uint8_t b : assemble({nullary(Op::Hlt)})) program.push_back(b);
+  run_both(program, 5000, stepper, blocker);
+  EXPECT_GT(blocker.cpu.block_hits(), 10u);
+}
+
+TEST(BlockEngine, SelfModifyingCodeMatches) {
+  Rig stepper, blocker;
+  // Overwrite the upcoming `mov edx, 1` immediate with 0x7F before it
+  // executes: the block (decoded ahead) must invalidate and re-decode.
+  // mov-ri encodes as B8+r imm32, so the prefix length is fixed and the
+  // rewritten immediate sits one byte into the fourth instruction.
+  const std::uint32_t prefix_len = static_cast<std::uint32_t>(
+      assemble({mov_ri(Reg::Eax, 0), mov_ri(Reg::Ecx, 0),
+                mem_op(Op::Mov, Reg::Eax, Reg::Ecx, 0, false)})
+          .size());
+  const std::uint32_t target = kCodeVirt + prefix_len + 1;
+  const auto program = assemble({
+      mov_ri(Reg::Eax, 0x7F),
+      mov_ri(Reg::Ecx, static_cast<std::int32_t>(target)),
+      mem_op(Op::Mov, Reg::Eax, Reg::Ecx, 0, false),  // store into code
+      mov_ri(Reg::Edx, 1),  // immediate gets rewritten to 0x7F
+      nullary(Op::Hlt),
+  });
+  run_both(program, 1000, stepper, blocker);
+  EXPECT_EQ(stepper.cpu.reg(Reg::Edx), 0x7Fu);
+  EXPECT_EQ(blocker.cpu.reg(Reg::Edx), 0x7Fu);
+  EXPECT_GE(blocker.cpu.block_invalidations(), 1u);
+}
+
+TEST(BlockEngine, PageCrossingInstructionFallsBack) {
+  Rig stepper, blocker;
+  // Pad with 1-byte nops so a 5-byte mov straddles the page boundary.
+  std::vector<std::uint8_t> program;
+  const std::uint32_t pad = kPageSize - (kCodeVirt & kPageMask) - 2;
+  const std::vector<std::uint8_t> nop = assemble({nullary(Op::Nop)});
+  ASSERT_EQ(nop.size(), 1u);
+  for (std::uint32_t i = 0; i < pad; ++i) program.push_back(nop[0]);
+  for (std::uint8_t b : assemble({mov_ri(Reg::Eax, 0x11223344)})) {
+    program.push_back(b);
+  }
+  for (std::uint8_t b : assemble({nullary(Op::Hlt)})) program.push_back(b);
+  run_both(program, 2 * kPageSize, stepper, blocker);
+  EXPECT_EQ(blocker.cpu.reg(Reg::Eax), 0x11223344u);
+}
+
+TEST(BlockEngine, TrapMidBlockMatches) {
+  Rig stepper, blocker;
+  const auto program = assemble({
+      mov_ri(Reg::Eax, 1),
+      mov_ri(Reg::Ebx, 2),
+      // Load from an unmapped kernel address -> #PF mid-block.
+      mov_ri(Reg::Ecx, static_cast<std::int32_t>(0xC2000000)),
+      mem_op(Op::Mov, Reg::Edx, Reg::Ecx, 0, true),
+      mov_ri(Reg::Esi, 99),  // skipped: trap redirects to handler (hlt)
+      nullary(Op::Hlt),
+  });
+  run_both(program, 1000, stepper, blocker);
+  EXPECT_NE(stepper.cpu.reg(Reg::Esi), 99u);
+}
+
+TEST(BlockEngine, BreakpointInRangeFallsBackToExactInstruction) {
+  Rig stepper, blocker;
+  const auto program = assemble({
+      mov_ri(Reg::Eax, 1),
+      mov_ri(Reg::Ebx, 2),
+      mov_ri(Reg::Ecx, 3),
+      nullary(Op::Hlt),
+  });
+  const std::uint32_t bp_addr = kCodeVirt + 10;  // third mov
+  stepper.cpu.arm_breakpoint(0, bp_addr);
+  blocker.cpu.arm_breakpoint(0, bp_addr);
+  stepper.load(program);
+  blocker.load(program);
+  const Outcome a = run_step(stepper, 1000);
+  const Outcome b = run_block_engine(blocker, 1000);
+  ASSERT_EQ(a.last.kind, CpuEventKind::Breakpoint);
+  ASSERT_EQ(b.last.kind, CpuEventKind::Breakpoint);
+  EXPECT_EQ(a.last.breakpoint_index, b.last.breakpoint_index);
+  expect_same_state(stepper, blocker);
+  EXPECT_EQ(blocker.cpu.eip(), bp_addr);
+  EXPECT_GE(blocker.cpu.block_fallbacks(), 1u);
+  // Resume across the breakpoint: both engines continue identically.
+  const Outcome a2 = run_step(stepper, 1000);
+  const Outcome b2 = run_block_engine(blocker, 1000);
+  expect_same_outcome(a2, b2);
+  expect_same_state(stepper, blocker);
+  EXPECT_EQ(blocker.cpu.reg(Reg::Ecx), 3u);
+}
+
+TEST(BlockEngine, InjectionFlipInvalidatesCachedBlock) {
+  // Unit test of the injector's invalidation hook: execute a block,
+  // flip a bit in one of its instructions from the host side (as
+  // injector.cc does at the trigger), invalidate, re-enter.
+  Rig rig;
+  const auto program = assemble({
+      mov_ri(Reg::Eax, 1),  // immediate byte at kCodeVirt + 1
+      nullary(Op::Nop),
+      nullary(Op::Hlt),
+  });
+  rig.load(program);
+  CpuEvent event;
+  EXPECT_GT(rig.cpu.run_block(2, nullptr, event), 0u);
+  EXPECT_EQ(rig.cpu.blocks_built(), 1u);
+  EXPECT_EQ(rig.cpu.reg(Reg::Eax), 1u);
+
+  // Host-side flip: 1 -> 3 in the cached mov's immediate.
+  const std::uint32_t flip_phys = phys_of_virt(kCodeVirt) + 1;
+  rig.memory.write8(flip_phys,
+                    static_cast<std::uint8_t>(rig.memory.read8(flip_phys) ^
+                                              (1u << 1)));
+  const std::uint64_t before = rig.cpu.block_invalidations();
+  rig.cpu.invalidate_blocks(flip_phys);
+  EXPECT_EQ(rig.cpu.block_invalidations(), before + 1);
+
+  // Re-run from the top: the rebuilt block must see the flipped byte.
+  rig.cpu.set_eip(kCodeVirt);
+  EXPECT_GT(rig.cpu.run_block(2, nullptr, event), 0u);
+  EXPECT_EQ(rig.cpu.reg(Reg::Eax), 3u);
+  EXPECT_EQ(rig.cpu.blocks_built(), 2u);
+}
+
+TEST(BlockEngine, RandomProgramsDifferential) {
+  // Randomized kasm programs: arithmetic, memory traffic, short
+  // forward/backward branches, occasional stores into the code page
+  // (self-modifying), occasional loads from unmapped space (traps).
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    SCOPED_TRACE(seed);
+    kfi::Rng rng(seed * 0x9E3779B97F4A7C15ULL);
+    std::vector<Instruction> instrs;
+    const int count = 20 + static_cast<int>(rng.below(40));
+    for (int i = 0; i < count; ++i) {
+      switch (rng.below(8)) {
+        case 0:
+          instrs.push_back(mov_ri(static_cast<Reg>(rng.below(4)),
+                                  static_cast<std::int32_t>(rng.next_u32())));
+          break;
+        case 1:
+        case 2: {
+          const Op op = rng.below(2) == 0 ? Op::Add : Op::Xor;
+          instrs.push_back(alu_rr(op, static_cast<Reg>(rng.below(4)),
+                                  static_cast<Reg>(rng.below(4))));
+          break;
+        }
+        case 3:
+          instrs.push_back(mov_ri(Reg::Esi,
+                                  static_cast<std::int32_t>(
+                                      kDataVirt + 4 * rng.below(64))));
+          instrs.push_back(
+              mem_op(Op::Mov, static_cast<Reg>(rng.below(4)), Reg::Esi,
+                     0, rng.below(2) == 0));
+          break;
+        case 4:
+          // Store into the code page well past the program: exercises
+          // version bumps on the executing page.
+          instrs.push_back(mov_ri(
+              Reg::Edi, static_cast<std::int32_t>(kCodeVirt + 0x800)));
+          instrs.push_back(mem_op(Op::Mov, Reg::Eax, Reg::Edi,
+                                  static_cast<std::int32_t>(4 * rng.below(8)),
+                                  false));
+          break;
+        case 5:
+          // Short forward skip over the next instruction (6B jcc + 5B mov).
+          instrs.push_back(jcc(static_cast<Cond>(rng.below(8)), 5));
+          instrs.push_back(mov_ri(Reg::Ebx,
+                                  static_cast<std::int32_t>(rng.next_u32())));
+          break;
+        case 6:
+          if (rng.below(4) == 0) {
+            // Rare trap: load from unmapped space ends the run at the
+            // handler's hlt.
+            instrs.push_back(mov_ri(
+                Reg::Ecx, static_cast<std::int32_t>(0xC2000000)));
+            instrs.push_back(mem_op(Op::Mov, Reg::Edx, Reg::Ecx, 0, true));
+          } else {
+            instrs.push_back(nullary(Op::Nop));
+          }
+          break;
+        default:
+          instrs.push_back(alu_rr(Op::Cmp, static_cast<Reg>(rng.below(4)),
+                                  static_cast<Reg>(rng.below(4))));
+          break;
+      }
+    }
+    instrs.push_back(nullary(Op::Hlt));
+
+    Rig stepper, blocker;
+    run_both(assemble(instrs), 4096, stepper, blocker);
+  }
+}
+
+TEST(BlockEngine, CycleLimitStopsExactly) {
+  // run_block must never retire more than max_instructions, so Machine
+  // boundaries (timer, deadline, checkpoint rung) land on the same
+  // loop top as the stepper.
+  Rig rig;
+  std::vector<Instruction> instrs;
+  for (int i = 0; i < 20; ++i) instrs.push_back(nullary(Op::Nop));
+  instrs.push_back(nullary(Op::Hlt));
+  rig.load(assemble(instrs));
+  CpuEvent event;
+  const std::size_t n = rig.cpu.run_block(7, nullptr, event);
+  EXPECT_EQ(n, 7u);
+  EXPECT_EQ(rig.cpu.cycles(), 7u);
+  EXPECT_EQ(rig.cpu.eip(), kCodeVirt + 7);  // nops are 1 byte
+}
+
+}  // namespace
+}  // namespace kfi::vm
