@@ -1,22 +1,29 @@
 // bench_throughput — end-to-end campaign throughput of three execution
 // paths: full-restore baseline, checkpoint ladder (PR 2), and
-// checkpoint ladder + superblock engine (this PR).
+// checkpoint ladder + superblock engine (PR 3) — plus a worker-thread
+// scaling sweep (threads = 1/2/4/8) of the fastest mode over one
+// shared, prewarmed GoldenCache.
 //
-// All modes run the identical smoke-scale A/B/C campaigns; the result
-// vectors are required to be bit-identical (exit 1 otherwise), so the
-// measured speedup can never come from changed behavior.  Emits
-// BENCH_throughput.json with machine-readable numbers: runs/sec per
-// mode, RAM bytes copied per restore, checkpoint hit rate, decode-cache
-// hit rate, block-engine counters, and the shared result digest.
+// All modes and every sweep entry run the identical smoke-scale A/B/C
+// campaigns; the result vectors are required to be bit-identical (exit
+// 1 otherwise), so the measured speedup can never come from changed
+// behavior.  Emits BENCH_throughput.json with machine-readable numbers:
+// runs/sec per mode, RAM bytes copied per restore, checkpoint hit rate,
+// decode-cache hit rate, block-engine counters, the per-thread-count
+// sweep (with scheduler telemetry), and the shared result digest.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "check/expectations.h"
 #include "check/replay.h"
 #include "inject/campaign.h"
+#include "inject/golden.h"
 #include "machine/machine.h"
 #include "profile/profile.h"
 
@@ -32,36 +39,43 @@ constexpr inject::Campaign kCampaigns[] = {
 
 struct ModeResult {
   std::string name;
+  unsigned threads = 1;
   double seconds = 0.0;
   std::uint64_t runs = 0;
-  std::uint64_t ckpt_hits = 0;
-  std::uint64_t ckpt_misses = 0;
-  std::uint64_t reconverged = 0;
-  std::uint64_t pre_trigger_cycles = 0;
-  std::uint64_t post_trigger_cycles = 0;
-  machine::PerfStats stats;
+  // Aggregated over every worker Injector and all three campaigns.
+  inject::CampaignStats stats;
   std::vector<inject::CampaignRun> campaigns;
 };
 
+// Runs the three smoke campaigns with `threads` workers.  When `cache`
+// is non-null the Injector borrows it (golden artifacts prewarmed
+// outside the timed region); otherwise a private cache is built inside
+// it, exactly as a cold campaign would.
 ModeResult run_mode(const std::string& name,
-                    const inject::InjectorOptions& options) {
+                    const inject::InjectorOptions& options,
+                    unsigned threads = 1,
+                    std::shared_ptr<inject::GoldenCache> cache = nullptr) {
   ModeResult mode;
   mode.name = name;
-  inject::Injector injector(options);
+  mode.threads = threads;
+  auto injector = cache != nullptr
+                      ? std::make_unique<inject::Injector>(std::move(cache))
+                      : std::make_unique<inject::Injector>(options);
   const auto begin = std::chrono::steady_clock::now();
   for (const inject::Campaign campaign : kCampaigns) {
+    inject::CampaignConfig config = check::smoke_config(campaign);
+    config.threads = threads;
     mode.campaigns.push_back(inject::run_campaign(
-        injector, profile::default_profile(), check::smoke_config(campaign)));
+        *injector, profile::default_profile(), config));
+    const inject::CampaignStats& cs = mode.campaigns.back().stats;
     mode.runs += mode.campaigns.back().results.size();
+    mode.stats += cs;
+    mode.stats.chunks += cs.chunks;  // telemetry: not part of +=
+    mode.stats.steals += cs.steals;
   }
   const auto end = std::chrono::steady_clock::now();
   mode.seconds = std::chrono::duration<double>(end - begin).count();
-  mode.ckpt_hits = injector.checkpoint_hits();
-  mode.ckpt_misses = injector.checkpoint_misses();
-  mode.reconverged = injector.reconverged();
-  mode.pre_trigger_cycles = injector.pre_trigger_cycles();
-  mode.post_trigger_cycles = injector.post_trigger_cycles();
-  mode.stats = injector.perf_stats();
+  mode.stats.threads_used = threads;
   return mode;
 }
 
@@ -97,13 +111,13 @@ double per_restore(std::uint64_t total, std::uint64_t restores) {
 }
 
 void print_mode(std::FILE* out, const ModeResult& mode, bool last) {
+  const machine::PerfStats& perf = mode.stats.perf;
   const double rate =
       mode.seconds > 0.0 ? static_cast<double>(mode.runs) / mode.seconds : 0.0;
-  const std::uint64_t decode_total =
-      mode.stats.decode_hits + mode.stats.decode_misses;
-  const std::uint64_t resumes = mode.ckpt_hits + mode.ckpt_misses;
-  const std::uint64_t block_entries =
-      mode.stats.block_builds + mode.stats.block_hits;
+  const std::uint64_t decode_total = perf.decode_hits + perf.decode_misses;
+  const std::uint64_t resumes =
+      mode.stats.checkpoint_hits + mode.stats.checkpoint_misses;
+  const std::uint64_t block_entries = perf.block_builds + perf.block_hits;
   std::fprintf(
       out,
       "    \"%s\": {\n"
@@ -131,32 +145,32 @@ void print_mode(std::FILE* out, const ModeResult& mode, bool last) {
       "    }%s\n",
       mode.name.c_str(), mode.seconds,
       static_cast<unsigned long long>(mode.runs), rate,
-      static_cast<unsigned long long>(mode.stats.restores),
-      per_restore(mode.stats.bytes_restored, mode.stats.restores),
-      static_cast<unsigned long long>(mode.stats.disk_blocks_restored),
-      static_cast<unsigned long long>(mode.stats.checkpoints_taken),
-      static_cast<unsigned long long>(mode.ckpt_hits),
-      static_cast<unsigned long long>(mode.ckpt_misses),
+      static_cast<unsigned long long>(perf.restores),
+      per_restore(perf.bytes_restored, perf.restores),
+      static_cast<unsigned long long>(perf.disk_blocks_restored),
+      static_cast<unsigned long long>(perf.checkpoints_taken),
+      static_cast<unsigned long long>(mode.stats.checkpoint_hits),
+      static_cast<unsigned long long>(mode.stats.checkpoint_misses),
       resumes == 0 ? 0.0
-                   : static_cast<double>(mode.ckpt_hits) /
+                   : static_cast<double>(mode.stats.checkpoint_hits) /
                          static_cast<double>(resumes),
-      static_cast<unsigned long long>(mode.reconverged),
-      static_cast<unsigned long long>(mode.pre_trigger_cycles),
-      static_cast<unsigned long long>(mode.post_trigger_cycles),
+      static_cast<unsigned long long>(mode.stats.reconverged),
+      static_cast<unsigned long long>(mode.stats.pre_trigger_cycles),
+      static_cast<unsigned long long>(mode.stats.post_trigger_cycles),
       decode_total == 0 ? 0.0
-                        : static_cast<double>(mode.stats.decode_hits) /
+                        : static_cast<double>(perf.decode_hits) /
                               static_cast<double>(decode_total),
-      static_cast<unsigned long long>(mode.stats.block_builds),
-      static_cast<unsigned long long>(mode.stats.block_hits),
-      block_entries + mode.stats.block_fallbacks == 0
+      static_cast<unsigned long long>(perf.block_builds),
+      static_cast<unsigned long long>(perf.block_hits),
+      block_entries + perf.block_fallbacks == 0
           ? 0.0
-          : static_cast<double>(mode.stats.block_hits) /
-                static_cast<double>(block_entries + mode.stats.block_fallbacks),
-      static_cast<unsigned long long>(mode.stats.block_fallbacks),
-      static_cast<unsigned long long>(mode.stats.block_invalidations),
-      static_cast<unsigned long long>(mode.stats.block_ops),
+          : static_cast<double>(perf.block_hits) /
+                static_cast<double>(block_entries + perf.block_fallbacks),
+      static_cast<unsigned long long>(perf.block_fallbacks),
+      static_cast<unsigned long long>(perf.block_invalidations),
+      static_cast<unsigned long long>(perf.block_ops),
       block_entries == 0 ? 0.0
-                         : static_cast<double>(mode.stats.block_ops) /
+                         : static_cast<double>(perf.block_ops) /
                                static_cast<double>(block_entries),
       last ? "" : ",");
 }
@@ -230,9 +244,9 @@ int main(int argc, char** argv) {
   // trigger on their first execution, early in the run), which bounds
   // the end-to-end ratio well below the setup ratio — see DESIGN.md.
   const double setup_speedup =
-      ladder.pre_trigger_cycles > 0
-          ? static_cast<double>(baseline.pre_trigger_cycles) /
-                static_cast<double>(ladder.pre_trigger_cycles)
+      ladder.stats.pre_trigger_cycles > 0
+          ? static_cast<double>(baseline.stats.pre_trigger_cycles) /
+                static_cast<double>(ladder.stats.pre_trigger_cycles)
           : 0.0;
   std::printf("baseline:     %6.2f s  (%.2f runs/s)\n", baseline.seconds,
               static_cast<double>(baseline.runs) / baseline.seconds);
@@ -246,9 +260,72 @@ int main(int argc, char** argv) {
       speedup, block_speedup, total_speedup,
       static_cast<unsigned long long>(digest));
   std::printf("pre-trigger replay: %.1fM -> %.1fM cycles (%.1fx less)\n",
-              static_cast<double>(baseline.pre_trigger_cycles) / 1e6,
-              static_cast<double>(ladder.pre_trigger_cycles) / 1e6,
+              static_cast<double>(baseline.stats.pre_trigger_cycles) / 1e6,
+              static_cast<double>(ladder.stats.pre_trigger_cycles) / 1e6,
               setup_speedup);
+
+  // Worker-thread scaling sweep of the fastest mode.  One GoldenCache
+  // is prewarmed (golden runs + ladders for every workload the
+  // campaigns touch) before the clock starts, so each entry times pure
+  // injection work — and proves golden warm-up happens once per
+  // workload total, not once per thread.
+  auto sweep_cache = std::make_shared<inject::GoldenCache>(block_options);
+  {
+    std::set<std::string> workloads;
+    for (const inject::Campaign campaign : kCampaigns) {
+      const std::vector<inject::InjectionSpec> targets =
+          inject::campaign_targets(profile::default_profile(),
+                                   check::smoke_config(campaign), nullptr);
+      for (const inject::InjectionSpec& spec : targets) {
+        workloads.insert(spec.workload);
+      }
+    }
+    for (const std::string& w : workloads) sweep_cache->workload(w);
+  }
+  const std::uint64_t golden_builds = sweep_cache->golden_builds();
+  const unsigned hardware = std::thread::hardware_concurrency();
+  std::vector<ModeResult> sweep;
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    sweep.push_back(run_mode("t" + std::to_string(threads), block_options,
+                             threads, sweep_cache));
+    const ModeResult& entry = sweep.back();
+    for (std::size_t i = 0; i < entry.campaigns.size(); ++i) {
+      const check::RunComparison cmp =
+          check::compare_runs(baseline.campaigns[i], entry.campaigns[i]);
+      if (!cmp.identical()) {
+        std::fprintf(stderr,
+                     "FAIL: campaign %zu diverged at threads=%u "
+                     "(%zu mismatches of %zu)\n",
+                     i, threads, cmp.mismatches.size(), cmp.compared);
+        return 1;
+      }
+    }
+    const std::uint64_t entry_digest = results_digest(entry.campaigns);
+    if (entry_digest != digest) {
+      std::fprintf(stderr,
+                   "FAIL: threads=%u result digest %016llx != %016llx\n",
+                   threads, static_cast<unsigned long long>(entry_digest),
+                   static_cast<unsigned long long>(digest));
+      return 1;
+    }
+  }
+  if (sweep_cache->golden_builds() != golden_builds) {
+    std::fprintf(stderr, "FAIL: sweep rebuilt golden artifacts (%llu -> %llu)\n",
+                 static_cast<unsigned long long>(golden_builds),
+                 static_cast<unsigned long long>(sweep_cache->golden_builds()));
+    return 1;
+  }
+  std::printf("threads sweep (ladder+block, shared golden cache, "
+              "%u hardware threads):\n", hardware);
+  for (const ModeResult& entry : sweep) {
+    std::printf("  t=%u: %6.2f s  (%.2f runs/s, %.2fx vs t=1, "
+                "%llu chunks, %llu steals)\n",
+                entry.threads, entry.seconds,
+                static_cast<double>(entry.runs) / entry.seconds,
+                sweep[0].seconds / entry.seconds,
+                static_cast<unsigned long long>(entry.stats.chunks),
+                static_cast<unsigned long long>(entry.stats.steals));
+  }
 
   std::FILE* out = std::fopen(out_path, "w");
   if (out == nullptr) {
@@ -265,10 +342,34 @@ int main(int argc, char** argv) {
                "  \"block_speedup\": %.3f,\n"
                "  \"total_speedup\": %.3f,\n"
                "  \"pre_trigger_speedup\": %.3f,\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"sweep_golden_builds\": %llu,\n"
+               "  \"threads_sweep\": [\n",
+               speedup, block_speedup, total_speedup, setup_speedup, hardware,
+               static_cast<unsigned long long>(golden_builds));
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const ModeResult& entry = sweep[i];
+    std::fprintf(out,
+                 "    {\"threads\": %u, \"seconds\": %.3f, \"runs\": %llu, "
+                 "\"runs_per_sec\": %.2f, \"speedup_vs_t1\": %.3f, "
+                 "\"chunks\": %llu, \"steals\": %llu, "
+                 "\"results_identical\": true, "
+                 "\"result_digest\": \"%016llx\"}%s\n",
+                 entry.threads, entry.seconds,
+                 static_cast<unsigned long long>(entry.runs),
+                 static_cast<double>(entry.runs) / entry.seconds,
+                 sweep[0].seconds / entry.seconds,
+                 static_cast<unsigned long long>(entry.stats.chunks),
+                 static_cast<unsigned long long>(entry.stats.steals),
+                 static_cast<unsigned long long>(digest),
+                 i + 1 == sweep.size() ? "" : ",");
+  }
+  std::fprintf(out,
+               "  ],\n"
+               "  \"sweep_identical\": true,\n"
                "  \"results_identical\": true,\n"
                "  \"result_digest\": \"%016llx\"\n"
                "}\n",
-               speedup, block_speedup, total_speedup, setup_speedup,
                static_cast<unsigned long long>(digest));
   std::fclose(out);
   return 0;

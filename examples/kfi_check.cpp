@@ -25,10 +25,11 @@ using namespace kfi;
 int usage() {
   std::printf(
       "usage: kfi_check <command> [args]\n"
-      "  shape smoke               run the fixed smoke campaigns (A and C\n"
+      "  shape smoke [--threads N] run the fixed smoke campaigns (A and C\n"
       "                            over %zu hot functions) and evaluate\n"
       "                            the smoke oracles\n"
-      "  shape full [--scale N --seed N --cache DIR --no-cache --quiet]\n"
+      "  shape full [--scale N --seed N --cache DIR --no-cache --quiet\n"
+      "              --threads N]\n"
       "                            evaluate the EXPERIMENTS.md oracles on\n"
       "                            the full-scale A/B/C campaigns\n"
       "  replay <file.kfi> [--samples N]\n"
@@ -47,11 +48,13 @@ int usage() {
   return 2;
 }
 
-void print_perf_stats(const inject::Injector& injector) {
-  const machine::PerfStats stats = injector.perf_stats();
+// Prints a CampaignRun's aggregated counters.  These fold in every
+// worker Injector, so at threads>1 they describe the whole campaign,
+// not just the caller's thread.
+void print_campaign_stats(const inject::CampaignStats& cs) {
+  const machine::PerfStats& stats = cs.perf;
   const std::uint64_t decode_total = stats.decode_hits + stats.decode_misses;
-  const std::uint64_t resumes =
-      injector.checkpoint_hits() + injector.checkpoint_misses();
+  const std::uint64_t resumes = cs.checkpoint_hits + cs.checkpoint_misses;
   std::printf(
       "perf: %llu restores (%.1f KiB RAM + %llu disk blocks per restore), "
       "%llu checkpoints, hit rate %.1f%%, decode cache %.2f%%, "
@@ -65,14 +68,19 @@ void print_perf_stats(const inject::Injector& injector) {
           stats.restores == 0 ? 0 : stats.disk_blocks_restored / stats.restores),
       static_cast<unsigned long long>(stats.checkpoints_taken),
       resumes == 0 ? 0.0
-                   : 100.0 * static_cast<double>(injector.checkpoint_hits()) /
+                   : 100.0 * static_cast<double>(cs.checkpoint_hits) /
                          static_cast<double>(resumes),
       decode_total == 0 ? 0.0
                         : 100.0 * static_cast<double>(stats.decode_hits) /
                               static_cast<double>(decode_total),
-      static_cast<double>(injector.pre_trigger_cycles()) / 1e6,
-      static_cast<double>(injector.post_trigger_cycles()) / 1e6,
-      static_cast<unsigned long long>(injector.reconverged()));
+      static_cast<double>(cs.pre_trigger_cycles) / 1e6,
+      static_cast<double>(cs.post_trigger_cycles) / 1e6,
+      static_cast<unsigned long long>(cs.reconverged));
+  if (cs.threads_used > 1) {
+    std::printf("perf: %u threads, %llu chunks, %llu steals\n",
+                cs.threads_used, static_cast<unsigned long long>(cs.chunks),
+                static_cast<unsigned long long>(cs.steals));
+  }
   if (stats.block_builds + stats.block_hits + stats.block_fallbacks > 0) {
     const std::uint64_t entries = stats.block_builds + stats.block_hits;
     std::printf(
@@ -100,15 +108,29 @@ int cmd_shape(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string scale = argv[2];
   if (scale == "smoke") {
+    unsigned threads = 1;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+        threads = static_cast<unsigned>(std::atoi(argv[++i]));
+      }
+    }
     inject::Injector injector;
     const auto& prof = profile::default_profile();
-    const inject::CampaignRun a = inject::run_campaign(
-        injector, prof, check::smoke_config(inject::Campaign::RandomNonBranch));
-    const inject::CampaignRun c = inject::run_campaign(
-        injector, prof, check::smoke_config(inject::Campaign::IncorrectBranch));
+    inject::CampaignConfig config_a =
+        check::smoke_config(inject::Campaign::RandomNonBranch);
+    inject::CampaignConfig config_c =
+        check::smoke_config(inject::Campaign::IncorrectBranch);
+    config_a.threads = threads;
+    config_c.threads = threads;
+    const inject::CampaignRun a = inject::run_campaign(injector, prof, config_a);
+    const inject::CampaignRun c = inject::run_campaign(injector, prof, config_c);
     const check::ShapeReport report = check::evaluate_smoke(a, c);
     std::fputs(check::render_report(report).c_str(), stdout);
-    print_perf_stats(injector);
+    inject::CampaignStats totals = a.stats;
+    totals += c.stats;
+    totals.chunks = a.stats.chunks + c.stats.chunks;
+    totals.steals = a.stats.steals + c.stats.steals;
+    print_campaign_stats(totals);
     return report.all_pass() ? 0 : 1;
   }
   if (scale != "full") return usage();
@@ -217,7 +239,7 @@ int cmd_determinism(int argc, char** argv) {
     std::printf("threads=1 and threads=%u produced identical vectors"
                 " (%zu results)\n",
                 threads, comparison.compared);
-    print_perf_stats(serial);
+    print_campaign_stats(many.stats);
     return 0;
   }
   if (comparison.size_mismatch) {

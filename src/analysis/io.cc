@@ -174,7 +174,7 @@ inject::CampaignRun load_or_run_campaign(inject::Injector& injector,
                                          inject::Campaign campaign,
                                          int repeats, std::uint64_t seed,
                                          const std::string& cache_dir,
-                                         bool verbose) {
+                                         bool verbose, unsigned threads) {
   std::string path;
   if (!cache_dir.empty()) {
     std::error_code ec;
@@ -195,6 +195,7 @@ inject::CampaignRun load_or_run_campaign(inject::Injector& injector,
   config.campaign = campaign;
   config.repeats = repeats;
   config.seed = seed;
+  config.threads = threads;
   if (verbose) {
     config.progress = [campaign](std::size_t done, std::size_t total) {
       if (done % 500 == 0 || done == total) {
@@ -226,11 +227,14 @@ BenchOptions parse_bench_options(int argc, char** argv) {
       options.use_cache = false;
     } else if (arg == "--quiet") {
       options.verbose = false;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      options.threads = static_cast<unsigned>(std::atoi(argv[++i]));
     } else if (arg == "--help") {
       std::printf(
           "options: --scale N (repeat random campaigns N times)\n"
           "         --seed N  (campaign RNG seed)\n"
           "         --cache DIR | --no-cache\n"
+          "         --threads N (worker threads; 0 = hardware concurrency)\n"
           "         --quiet\n");
       std::exit(0);
     }
@@ -244,7 +248,7 @@ inject::CampaignRun bench_campaign(inject::Injector& injector,
   return load_or_run_campaign(injector, campaign, options.repeats,
                               options.seed,
                               options.use_cache ? options.cache_dir : "",
-                              options.verbose);
+                              options.verbose, options.threads);
 }
 
 }  // namespace kfi::analysis

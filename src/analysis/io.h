@@ -28,20 +28,23 @@ std::string campaign_cache_path(const std::string& cache_dir,
 
 // Loads the campaign from `<cache_dir>/campaign_<name>_r<repeats>_s<seed>.kfi`
 // or runs it (and saves).  `verbose` prints progress to stderr.
+// `threads` maps to CampaignConfig::threads (0 = hardware concurrency);
+// results are bit-identical at any value, so the cache key ignores it.
 inject::CampaignRun load_or_run_campaign(inject::Injector& injector,
                                          inject::Campaign campaign,
                                          int repeats, std::uint64_t seed,
                                          const std::string& cache_dir,
-                                         bool verbose);
+                                         bool verbose, unsigned threads = 0);
 
 // Shared bench flags: --scale N (repeats), --seed N, --cache DIR,
-// --no-cache, --quiet.
+// --no-cache, --quiet, --threads N.
 struct BenchOptions {
   int repeats = 1;
   std::uint64_t seed = 2003;
   std::string cache_dir = "kfi-results";
   bool use_cache = true;
   bool verbose = true;
+  unsigned threads = 0;  // 0 = hardware concurrency
 };
 
 BenchOptions parse_bench_options(int argc, char** argv);

@@ -17,10 +17,14 @@ void DiskImage::write32(std::uint32_t byte_offset, std::uint32_t value) {
   ++versions_[byte_offset / kBlockSize];
 }
 
-void DiskImage::restore_blocks_full(const vm::ChunkedSnapshot& snap) {
+void DiskImage::restore_blocks_full(const vm::ChunkedSnapshot& snap,
+                                    std::vector<std::uint64_t>* memo) {
   assert(!snap.is_delta() && snap.size() == bytes_.size());
   std::memcpy(bytes_.data(), snap.chunk(0), bytes_.size());
   for (std::uint64_t& v : versions_) ++v;
+  if (memo != nullptr) {
+    memo->assign(versions_.begin(), versions_.begin() + snap.chunk_count());
+  }
 }
 
 std::uint32_t DiskDevice::mmio_read(std::uint32_t offset) {

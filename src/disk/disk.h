@@ -57,25 +57,36 @@ class DiskImage {
   const std::vector<std::uint8_t>& bytes() const { return bytes_; }
 
   // ---- version-tracked snapshots (dirty-block restore) ----
+  //
+  // Snapshots are immutable and shareable; the per-(snapshot, image)
+  // equality memo is caller-owned — see vm/snapshot.h.
   vm::ChunkedSnapshot snapshot_blocks() const {
     return vm::ChunkedSnapshot::full(bytes_.data(), bytes_.size(), versions_,
                                      kBlockSize);
   }
-  vm::ChunkedSnapshot snapshot_delta(const vm::ChunkedSnapshot& base) const {
+  vm::ChunkedSnapshot snapshot_delta(
+      const vm::ChunkedSnapshot& base,
+      const std::vector<std::uint64_t>* base_memo = nullptr) const {
     return vm::ChunkedSnapshot::delta(bytes_.data(), bytes_.size(), versions_,
-                                      base);
+                                      base, base_memo);
   }
-  // Copies back only blocks written since `snap` was captured (or last
-  // restored); returns blocks copied.
-  std::uint32_t restore_blocks(vm::ChunkedSnapshot& snap) {
-    return snap.restore_into(bytes_.data(), versions_);
+  // Copies back only blocks written since the last restore of `snap`
+  // into this image (per `memo`); returns blocks copied.
+  std::uint32_t restore_blocks(const vm::ChunkedSnapshot& snap,
+                               std::vector<std::uint64_t>& memo,
+                               std::vector<std::uint64_t>* base_memo = nullptr) {
+    return snap.restore_into(bytes_.data(), versions_, memo, base_memo);
   }
-  void restore_blocks_full(const vm::ChunkedSnapshot& snap);
+  void restore_blocks_full(const vm::ChunkedSnapshot& snap,
+                           std::vector<std::uint64_t>* memo = nullptr);
   // True when the image is byte-identical to `snap`; skips blocks whose
-  // write version proves equality.
-  bool blocks_match(const vm::ChunkedSnapshot& snap) const {
-    return snap.matches(bytes_.data(), versions_);
+  // write version (per `memo`/`base_memo`) proves equality.
+  bool blocks_match(const vm::ChunkedSnapshot& snap,
+                    const std::vector<std::uint64_t>& memo,
+                    const std::vector<std::uint64_t>* base_memo = nullptr) const {
+    return snap.matches(bytes_.data(), versions_, memo, base_memo);
   }
+  const std::vector<std::uint64_t>& block_versions() const { return versions_; }
 
   // ---- legacy whole-image snapshots ----
   std::vector<std::uint8_t> snapshot() const { return bytes_; }

@@ -6,7 +6,49 @@
 #include <thread>
 #include <unordered_set>
 
+#include "inject/schedule.h"
+
 namespace kfi::inject {
+
+CampaignStats& CampaignStats::operator+=(const CampaignStats& o) {
+  runs += o.runs;
+  checkpoint_hits += o.checkpoint_hits;
+  checkpoint_misses += o.checkpoint_misses;
+  reconverged += o.reconverged;
+  pre_trigger_cycles += o.pre_trigger_cycles;
+  post_trigger_cycles += o.post_trigger_cycles;
+  perf += o.perf;
+  return *this;
+}
+
+CampaignStats& CampaignStats::operator-=(const CampaignStats& o) {
+  runs -= o.runs;
+  checkpoint_hits -= o.checkpoint_hits;
+  checkpoint_misses -= o.checkpoint_misses;
+  reconverged -= o.reconverged;
+  pre_trigger_cycles -= o.pre_trigger_cycles;
+  post_trigger_cycles -= o.post_trigger_cycles;
+  perf -= o.perf;
+  return *this;
+}
+
+namespace {
+
+// The injector's lifetime-cumulative counters as a CampaignStats value;
+// campaign shares are deltas between two of these.
+CampaignStats injector_counters(const Injector& injector) {
+  CampaignStats s;
+  s.runs = injector.runs_executed();
+  s.checkpoint_hits = injector.checkpoint_hits();
+  s.checkpoint_misses = injector.checkpoint_misses();
+  s.reconverged = injector.reconverged();
+  s.pre_trigger_cycles = injector.pre_trigger_cycles();
+  s.post_trigger_cycles = injector.post_trigger_cycles();
+  s.perf = injector.perf_stats();
+  return s;
+}
+
+}  // namespace
 
 std::vector<std::string> default_functions(Campaign campaign,
                                            const profile::ProfileResult& prof,
@@ -121,6 +163,11 @@ CampaignRun run_campaign(Injector& injector,
               });
   }
 
+  // The caller's injector may carry counters from earlier campaigns;
+  // only the delta accrued here belongs to this run's stats.
+  const CampaignStats caller_before = injector_counters(injector);
+  run.stats.threads_used = threads;
+
   if (threads <= 1) {
     std::size_t done = 0;
     for (const std::size_t i : order) {
@@ -128,41 +175,64 @@ CampaignRun run_campaign(Injector& injector,
       ++done;
       if (config.progress) config.progress(done, targets.size());
     }
+    run.stats += injector_counters(injector);
+    run.stats -= caller_before;
     return run;
   }
 
-  std::atomic<std::size_t> next{0};
+  // Locality chunks over the sorted order, drained work-stealing style:
+  // a worker burns down its own contiguous slice front-to-back (staying
+  // on one rung neighborhood) and steals from the far end of a loaded
+  // peer only when idle.  Which worker executes which item affects only
+  // wall-clock, never results: every run starts from a restore of the
+  // shared golden state.
+  std::vector<Chunk> chunks = make_chunks(order, targets, threads);
+  run.stats.chunks = chunks.size();
+  ChunkScheduler scheduler(std::move(chunks), threads);
+
   std::atomic<std::size_t> done{0};
-  std::mutex progress_mutex;
-  auto worker = [&](bool use_shared) {
-    // Thread 0 reuses the caller's injector (and its warmed goldens);
-    // the others own private machines targeting the same kernel image
-    // with the same options.
+  std::mutex stats_mutex;  // guards run.stats aggregation and progress
+  auto worker = [&](unsigned w, bool use_shared) {
+    // Worker 0 reuses the caller's injector (and its warmed machines);
+    // the others borrow the same GoldenCache, so no golden run, ladder
+    // capture, or boot is ever repeated — a private worker costs one
+    // adopt_boot (a full-image copy) per workload it actually touches.
     std::unique_ptr<Injector> own;
     Injector* inj = &injector;
     if (!use_shared) {
-      own = std::make_unique<Injector>(injector.options(), &injector.image());
+      own = std::make_unique<Injector>(injector.cache());
       inj = own.get();
     }
-    while (true) {
-      const std::size_t n = next.fetch_add(1);
-      if (n >= targets.size()) break;
-      const std::size_t i = order[n];
-      run.results[i] = inj->run_one(targets[i]);
-      const std::size_t d = done.fetch_add(1) + 1;
-      if (config.progress) {
-        const std::lock_guard<std::mutex> lock(progress_mutex);
-        config.progress(d, targets.size());
+    Chunk chunk;
+    while (scheduler.next(w, chunk)) {
+      for (std::size_t n = chunk.begin; n < chunk.end; ++n) {
+        const std::size_t i = order[n];
+        run.results[i] = inj->run_one(targets[i]);
+        const std::size_t d = done.fetch_add(1) + 1;
+        if (config.progress) {
+          const std::lock_guard<std::mutex> lock(stats_mutex);
+          config.progress(d, targets.size());
+        }
       }
+    }
+    if (!use_shared) {
+      // Fold this worker's counters in before its injector dies (the
+      // pre-existing MT counter-loss bug).
+      const CampaignStats s = injector_counters(*inj);
+      const std::lock_guard<std::mutex> lock(stats_mutex);
+      run.stats += s;
     }
   };
 
   std::vector<std::thread> pool;
   for (unsigned t = 1; t < threads; ++t) {
-    pool.emplace_back(worker, false);
+    pool.emplace_back(worker, t, false);
   }
-  worker(true);
+  worker(0, true);
   for (std::thread& t : pool) t.join();
+  run.stats += injector_counters(injector);
+  run.stats -= caller_before;
+  run.stats.steals = scheduler.steals();
   return run;
 }
 

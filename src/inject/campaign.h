@@ -27,17 +27,42 @@ struct CampaignConfig {
   std::uint64_t seed = 2003;
   // Kernel image to target (nullptr = the standard build).
   const kernel::KernelImage* kernel_image = nullptr;
-  // Worker threads.  Each worker owns a private Injector (machines are
-  // independent), so results are identical regardless of thread count.
+  // Worker threads.  Workers share one GoldenCache (golden runs and
+  // ladders are built once per workload total) but own private
+  // machines, so results are identical regardless of thread count.
   unsigned threads = 0;  // 0 = hardware concurrency
   // Optional progress callback: (done, total); called under a lock.
   std::function<void(std::size_t, std::size_t)> progress;
+};
+
+// Campaign-wide execution counters, aggregated over every worker
+// Injector (per-worker counters used to die with their private
+// Injectors at threads>1, silently underreporting).  The caller's
+// Injector contributes only the delta it accrued during this campaign,
+// so stats are per-campaign even when the Injector is reused.
+struct CampaignStats {
+  std::uint64_t runs = 0;
+  std::uint64_t checkpoint_hits = 0;
+  std::uint64_t checkpoint_misses = 0;
+  std::uint64_t reconverged = 0;
+  std::uint64_t pre_trigger_cycles = 0;
+  std::uint64_t post_trigger_cycles = 0;
+  machine::PerfStats perf;
+  // Scheduler telemetry (not part of += aggregation; set by
+  // run_campaign).
+  std::uint64_t chunks = 0;
+  std::uint64_t steals = 0;
+  unsigned threads_used = 1;
+
+  CampaignStats& operator+=(const CampaignStats& o);
+  CampaignStats& operator-=(const CampaignStats& o);
 };
 
 struct CampaignRun {
   Campaign campaign = Campaign::RandomNonBranch;
   std::vector<InjectionResult> results;
   std::size_t functions_targeted = 0;
+  CampaignStats stats;
 };
 
 // Default function selection for a campaign: the profile core set for

@@ -1,0 +1,114 @@
+#include "inject/golden.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "fsutil/kfs.h"
+
+namespace kfi::inject {
+
+GoldenCache::GoldenCache(InjectorOptions options,
+                         const kernel::KernelImage* image)
+    : options_(options),
+      image_(image != nullptr ? *image : kernel::built_kernel()),
+      root_disk_(machine::make_root_disk()) {
+  init_pristine_ = *fsutil::read_file(root_disk_, "/sbin/init");
+  libc_pristine_ = *fsutil::read_file(root_disk_, "/lib/libc.so");
+}
+
+GoldenCache::~GoldenCache() = default;
+
+const WorkloadGolden& GoldenCache::workload(const std::string& name) {
+  Entry* entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = entries_[name];
+    if (slot == nullptr) slot = std::make_unique<Entry>();
+    entry = slot.get();
+  }
+  // The entry pointer is stable (map of unique_ptr) and the once_flag
+  // both serializes the build and publishes the artifact to every
+  // waiter; a build that throws leaves the flag unset, so a later call
+  // may retry.
+  std::call_once(entry->once, [&] { build(name, entry->artifact); });
+  return entry->artifact;
+}
+
+void GoldenCache::build(const std::string& name, WorkloadGolden& out) {
+  machine::MachineOptions machine_options;
+  machine_options.full_restore = options_.full_restore;
+  machine_options.exec_engine = options_.exec_engine;
+  machine::Machine machine(image_, workloads::built_workload(name),
+                           root_disk_, machine_options);
+  if (!machine.boot()) {
+    throw std::runtime_error("golden cache: workload '" + name +
+                             "' failed to boot");
+  }
+
+  // Fault-free reference run, traced for coverage and touch windows.
+  machine.restore();
+  machine.set_trace(&out.coverage);
+  machine.set_touch_trace(&out.first_touch);
+  const std::uint64_t start = machine.cpu().cycles();
+  const machine::RunResult run = machine.run(100'000'000);
+  machine.set_trace(nullptr);
+  machine.set_touch_trace(nullptr);
+
+  GoldenRun& golden = out.golden;
+  golden.ok = run.exit == machine::RunExit::Completed;
+  golden.console = machine.console_output();
+  golden.exit_code = run.exit_code;
+  golden.fs_digest = fsutil::tree_digest(machine.disk_image());
+  golden.cycles = machine.cpu().cycles() - start;
+  if (!golden.ok) {
+    throw std::runtime_error("golden cache: golden run for '" + name +
+                             "' did not complete");
+  }
+
+  // Classify the golden end-of-run disk exactly as run_one() would, so
+  // a reconverged run can copy the fields instead of recomputing them
+  // from a bit-identical image.
+  {
+    const fsutil::FsckReport fsck = fsutil::fsck(machine.disk_image());
+    golden.bootable = disk_bootable(machine.disk_image());
+    golden.fs_damaged =
+        fsck.verdict != fsutil::FsckVerdict::Clean || !golden.bootable;
+    golden.fsck_unrepairable =
+        fsck.verdict == fsutil::FsckVerdict::Unrepairable;
+    if (fsck.verdict == fsutil::FsckVerdict::Repairable) {
+      disk::DiskImage copy = machine.disk_image();
+      fsutil::fsck_repair(copy);
+      golden.repair_verified =
+          fsutil::fsck(copy).verdict == fsutil::FsckVerdict::Clean;
+    }
+  }
+
+  // Build the checkpoint ladder: replay the golden run once more,
+  // snapshotting at evenly spaced cycles.  The replay follows the same
+  // deterministic timeline, so each rung is a state every injected run
+  // passes through before its trigger fires.
+  if (options_.checkpoints > 0) {
+    std::vector<std::uint64_t> at;
+    at.reserve(static_cast<std::size_t>(options_.checkpoints));
+    for (int k = 1; k <= options_.checkpoints; ++k) {
+      at.push_back(start + golden.cycles * static_cast<std::uint64_t>(k) /
+                               (static_cast<std::uint64_t>(options_.checkpoints) + 1));
+    }
+    out.ladder = machine.capture_checkpoints(std::move(at), 100'000'000);
+  }
+
+  // The BootState outlives this transient builder machine; worker
+  // machines adopt it (and the ladder's deltas resolve through it).
+  out.boot = machine.boot_state();
+  builds_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool GoldenCache::disk_bootable(const disk::DiskImage& image) const {
+  const auto init_file = fsutil::read_file(image, "/sbin/init");
+  if (!init_file.has_value() || *init_file != init_pristine_) return false;
+  const auto libc_file = fsutil::read_file(image, "/lib/libc.so");
+  if (!libc_file.has_value() || *libc_file != libc_pristine_) return false;
+  return true;
+}
+
+}  // namespace kfi::inject

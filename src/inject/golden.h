@@ -1,0 +1,136 @@
+// Shared golden-artifact cache.
+//
+// Everything an injection campaign needs per workload besides the
+// machine itself — the fault-free GoldenRun, the golden coverage set,
+// the first/last-touch map, the post-boot BootState, and the checkpoint
+// ladder — is a pure function of (kernel image, workload, root disk,
+// options).  A GoldenCache computes each workload's artifact bundle
+// exactly once per campaign, on whichever thread asks first, and hands
+// out immutable references; worker Injectors borrow the cache by
+// shared_ptr instead of re-running golden runs per thread (previously:
+// N threads cost N full golden replays, ladder captures, and ~16 MiB
+// RAM snapshot copies per workload).
+//
+// Thread safety: workload() may be called concurrently from any number
+// of threads; a per-entry std::once_flag serializes the build of one
+// workload while builds of different workloads proceed in parallel.
+// Everything a caller can reach from the returned reference is
+// immutable after the build completes (call_once is the release/acquire
+// barrier), so readers need no further synchronization.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "disk/disk.h"
+#include "inject/outcome.h"
+#include "machine/machine.h"
+
+namespace kfi::inject {
+
+struct GoldenRun {
+  bool ok = false;
+  std::string console;
+  std::uint32_t exit_code = 0;
+  std::uint64_t fs_digest = 0;
+  std::uint64_t cycles = 0;  // fault-free run length
+  // End-of-run disk classification, precomputed once so a run proven to
+  // reconverge onto the golden timeline can take the golden outcome
+  // without re-running fsck on an identical image.
+  bool bootable = true;
+  bool fs_damaged = false;
+  bool fsck_unrepairable = false;
+  bool repair_verified = false;
+};
+
+struct InjectorOptions {
+  // Watchdog budget multiplier over the golden run length.  Injected
+  // runs that still complete stay close to the golden length, so a
+  // modest margin keeps hang detection cheap.
+  double budget_factor = 1.6;
+  std::uint64_t budget_slack = 400'000;
+  // Number of golden-run checkpoints per workload (the checkpoint
+  // ladder).  Each injection resumes from the latest checkpoint that
+  // precedes its target's first execution, shrinking the pre-trigger
+  // replay from O(golden) to O(golden / checkpoints).  0 disables the
+  // ladder (every run replays from the post-boot snapshot).
+  int checkpoints = 24;
+  // Restore by full-image copy instead of dirty pages (the measurable
+  // pre-optimization baseline; results are bit-identical either way).
+  bool full_restore = false;
+  // Execution engine for every machine built against this cache;
+  // results are bit-identical between engines (defaults from KFI_EXEC).
+  machine::ExecEngine exec_engine = machine::default_exec_engine();
+};
+
+// One workload's complete golden artifact bundle.  Immutable once
+// built; the BootState is held by shared_ptr because the ladder's
+// delta snapshots resolve through it (and worker machines adopt it),
+// so it must outlive every borrower.
+struct WorkloadGolden {
+  GoldenRun golden;
+  std::unordered_set<std::uint32_t> coverage;
+  std::unordered_map<std::uint32_t, machine::TouchWindow> first_touch;
+  std::shared_ptr<const machine::BootState> boot;
+  std::vector<machine::Checkpoint> ladder;
+};
+
+class GoldenCache {
+ public:
+  // `image` selects the kernel build to inject into (default: the
+  // standard build; pass &kernel::built_hardened_kernel() for the
+  // assertion-hardened variant).
+  explicit GoldenCache(InjectorOptions options = {},
+                       const kernel::KernelImage* image = nullptr);
+  ~GoldenCache();
+
+  GoldenCache(const GoldenCache&) = delete;
+  GoldenCache& operator=(const GoldenCache&) = delete;
+
+  // The workload's golden artifacts, building them on first request
+  // (thread-safe, exactly once per workload).  Throws if the workload
+  // fails to boot or its golden run does not complete.
+  const WorkloadGolden& workload(const std::string& name);
+
+  // Number of golden builds actually executed (== number of distinct
+  // workloads requested so far).  The built-once regression test pins
+  // this against thread count.
+  std::uint64_t golden_builds() const {
+    return builds_.load(std::memory_order_relaxed);
+  }
+
+  const InjectorOptions& options() const { return options_; }
+  const kernel::KernelImage& image() const { return image_; }
+  const disk::DiskImage& root_disk() const { return root_disk_; }
+
+  // True when /sbin/init and /lib/libc.so on `image` are byte-identical
+  // to the pristine root disk (the paper's "will it reboot" check).
+  bool disk_bootable(const disk::DiskImage& image) const;
+
+ private:
+  struct Entry {
+    std::once_flag once;
+    WorkloadGolden artifact;
+  };
+
+  void build(const std::string& name, WorkloadGolden& out);
+
+  InjectorOptions options_;
+  const kernel::KernelImage& image_;
+  disk::DiskImage root_disk_;
+  std::vector<std::uint8_t> init_pristine_;
+  std::vector<std::uint8_t> libc_pristine_;
+
+  std::mutex mutex_;  // guards entries_ (map structure only)
+  std::map<std::string, std::unique_ptr<Entry>> entries_;
+  std::atomic<std::uint64_t> builds_{0};
+};
+
+}  // namespace kfi::inject

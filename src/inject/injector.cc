@@ -9,129 +9,45 @@
 namespace kfi::inject {
 
 Injector::Injector(InjectorOptions options, const kernel::KernelImage* image)
-    : options_(options),
-      image_(image != nullptr ? *image : kernel::built_kernel()),
-      root_disk_(machine::make_root_disk()) {
-  init_pristine_ = *fsutil::read_file(root_disk_, "/sbin/init");
-  libc_pristine_ = *fsutil::read_file(root_disk_, "/lib/libc.so");
+    : Injector(std::make_shared<GoldenCache>(options, image)) {}
+
+Injector::Injector(std::shared_ptr<GoldenCache> cache)
+    : cache_(std::move(cache)) {
+  if (cache_ == nullptr) {
+    throw std::invalid_argument("injector: null golden cache");
+  }
 }
 
 Injector::~Injector() = default;
 
-machine::Machine& Injector::machine_for(const std::string& workload) {
-  const auto it = machines_.find(workload);
-  if (it != machines_.end()) return *it->second;
+Injector::WorkloadState& Injector::state_for(const std::string& workload) {
+  const auto it = states_.find(workload);
+  if (it != states_.end()) return *it->second;
 
+  // Build (or look up) the shared artifacts first — this is the only
+  // golden warm-up in the whole campaign; the worker machine skips boot
+  // entirely by adopting the shared BootState, making it bit-identical
+  // to the builder machine by construction.
+  const WorkloadGolden& artifact = cache_->workload(workload);
   machine::MachineOptions machine_options;
-  machine_options.full_restore = options_.full_restore;
-  machine_options.exec_engine = options_.exec_engine;
-  auto machine = std::make_unique<machine::Machine>(
-      image_, workloads::built_workload(workload), root_disk_,
-      machine_options);
-  if (!machine->boot()) {
-    throw std::runtime_error("injector: workload '" + workload +
-                             "' failed to boot");
-  }
-  return *machines_.emplace(workload, std::move(machine)).first->second;
-}
-
-const GoldenRun& Injector::golden(const std::string& workload) {
-  const auto it = goldens_.find(workload);
-  if (it != goldens_.end()) return it->second;
-
-  machine::Machine& machine = machine_for(workload);
-  machine.restore();
-  machine.set_trace(&coverage_[workload]);
-  machine.set_touch_trace(&first_touch_[workload]);
-  const std::uint64_t start = machine.cpu().cycles();
-  const machine::RunResult run = machine.run(100'000'000);
-  machine.set_trace(nullptr);
-  machine.set_touch_trace(nullptr);
-
-  GoldenRun golden;
-  golden.ok = run.exit == machine::RunExit::Completed;
-  golden.console = machine.console_output();
-  golden.exit_code = run.exit_code;
-  golden.fs_digest = fsutil::tree_digest(machine.disk_image());
-  golden.cycles = machine.cpu().cycles() - start;
-  if (!golden.ok) {
-    throw std::runtime_error("injector: golden run for '" + workload +
-                             "' did not complete");
-  }
-
-  // Classify the golden end-of-run disk exactly as run_one() would, so
-  // a reconverged run can copy the fields instead of recomputing them
-  // from a bit-identical image.
-  {
-    const fsutil::FsckReport fsck = fsutil::fsck(machine.disk_image());
-    golden.bootable = disk_bootable(machine.disk_image());
-    golden.fs_damaged =
-        fsck.verdict != fsutil::FsckVerdict::Clean || !golden.bootable;
-    golden.fsck_unrepairable = fsck.verdict == fsutil::FsckVerdict::Unrepairable;
-    if (fsck.verdict == fsutil::FsckVerdict::Repairable) {
-      disk::DiskImage copy = machine.disk_image();
-      fsutil::fsck_repair(copy);
-      golden.repair_verified =
-          fsutil::fsck(copy).verdict == fsutil::FsckVerdict::Clean;
-    }
-  }
-
-  // Build the checkpoint ladder: replay the golden run once more,
-  // snapshotting at evenly spaced cycles.  The replay follows the same
-  // deterministic timeline, so each rung is a state every injected run
-  // passes through before its trigger fires.
-  if (options_.checkpoints > 0) {
-    std::vector<std::uint64_t> at;
-    at.reserve(static_cast<std::size_t>(options_.checkpoints));
-    for (int k = 1; k <= options_.checkpoints; ++k) {
-      at.push_back(start + golden.cycles * static_cast<std::uint64_t>(k) /
-                               (static_cast<std::uint64_t>(options_.checkpoints) + 1));
-    }
-    ladders_[workload] = machine.capture_checkpoints(std::move(at),
-                                                     100'000'000);
-  }
-  return goldens_.emplace(workload, std::move(golden)).first->second;
-}
-
-const std::unordered_map<std::uint32_t, machine::TouchWindow>&
-Injector::first_touch(const std::string& workload) {
-  golden(workload);  // ensures the traced run happened
-  return first_touch_[workload];
+  machine_options.full_restore = cache_->options().full_restore;
+  machine_options.exec_engine = cache_->options().exec_engine;
+  auto state = std::make_unique<WorkloadState>();
+  state->artifact = &artifact;
+  state->machine = std::make_unique<machine::Machine>(
+      cache_->image(), workloads::built_workload(workload),
+      cache_->root_disk(), machine_options);
+  state->machine->adopt_boot(artifact.boot);
+  state->rung_memos.resize(artifact.ladder.size());
+  return *states_.emplace(workload, std::move(state)).first->second;
 }
 
 machine::PerfStats Injector::perf_stats() const {
   machine::PerfStats total;
-  for (const auto& [workload, machine] : machines_) {
-    const machine::PerfStats s = machine->perf_stats();
-    total.decode_hits += s.decode_hits;
-    total.decode_misses += s.decode_misses;
-    total.restores += s.restores;
-    total.pages_restored += s.pages_restored;
-    total.bytes_restored += s.bytes_restored;
-    total.disk_blocks_restored += s.disk_blocks_restored;
-    total.checkpoints_taken += s.checkpoints_taken;
-    total.checkpoint_restores += s.checkpoint_restores;
-    total.block_builds += s.block_builds;
-    total.block_hits += s.block_hits;
-    total.block_fallbacks += s.block_fallbacks;
-    total.block_invalidations += s.block_invalidations;
-    total.block_ops += s.block_ops;
+  for (const auto& [workload, state] : states_) {
+    total += state->machine->perf_stats();
   }
   return total;
-}
-
-const std::unordered_set<std::uint32_t>& Injector::coverage(
-    const std::string& workload) {
-  golden(workload);  // ensures the traced run happened
-  return coverage_[workload];
-}
-
-bool Injector::disk_bootable(const disk::DiskImage& image) const {
-  const auto init_file = fsutil::read_file(image, "/sbin/init");
-  if (!init_file.has_value() || *init_file != init_pristine_) return false;
-  const auto libc_file = fsutil::read_file(image, "/lib/libc.so");
-  if (!libc_file.has_value() || *libc_file != libc_pristine_) return false;
-  return true;
 }
 
 InjectionResult Injector::run_one(const InjectionSpec& spec) {
@@ -144,25 +60,26 @@ InjectionResult Injector::run_one(const InjectionSpec& spec) {
     result.outcome = Outcome::NotActivated;
     return result;
   }
-  machine::Machine& machine = machine_for(spec.workload);
+  WorkloadState& state = state_for(spec.workload);
+  machine::Machine& machine = *state.machine;
+  const std::vector<machine::Checkpoint>& rungs = state.artifact->ladder;
 
   // Resume from the latest ladder checkpoint the target's first
   // execution still lies ahead of; fall back to the post-boot snapshot.
   // Execution up to the trigger is identical either way — the rung is a
   // state this exact run passes through — so only the replay cost
   // changes, never the result.
-  machine::Checkpoint* rung = nullptr;
-  const auto ladder = ladders_.find(spec.workload);
-  const auto& touch = first_touch_[spec.workload];
+  std::size_t rung_idx = rungs.size();
+  const auto& touch = state.artifact->first_touch;
   const auto touched = touch.find(spec.instr_addr);
-  if (ladder != ladders_.end() && touched != touch.end()) {
-    for (machine::Checkpoint& ck : ladder->second) {
-      if (ck.cycle > touched->second.first) break;
-      rung = &ck;
+  if (!rungs.empty() && touched != touch.end()) {
+    for (std::size_t i = 0; i < rungs.size(); ++i) {
+      if (rungs[i].cycle > touched->second.first) break;
+      rung_idx = i;
     }
   }
-  if (rung != nullptr) {
-    machine.restore_checkpoint(*rung);
+  if (rung_idx < rungs.size()) {
+    machine.restore_checkpoint(rungs[rung_idx], state.rung_memos[rung_idx]);
     ++ckpt_hits_;
   } else {
     machine.restore();
@@ -171,8 +88,8 @@ InjectionResult Injector::run_one(const InjectionSpec& spec) {
 
   const std::uint64_t budget =
       static_cast<std::uint64_t>(static_cast<double>(ref.cycles) *
-                                 options_.budget_factor) +
-      options_.budget_slack;
+                                 cache_->options().budget_factor) +
+      cache_->options().budget_slack;
   // Cycle/budget accounting stays anchored at the post-boot snapshot so
   // the watchdog deadline (and every derived latency) is bit-identical
   // to a straight-line run.
@@ -235,9 +152,8 @@ InjectionResult Injector::run_one(const InjectionSpec& spec) {
       machine.cpu().cycles() + (budget > spent ? budget - spent : 1);
   bool reconverged = false;
   bool finished = false;
-  if (ladder != ladders_.end() && touched != touch.end()) {
+  if (!rungs.empty() && touched != touch.end()) {
     const std::uint64_t last_exec = touched->second.last;
-    std::vector<machine::Checkpoint>& rungs = ladder->second;
     std::size_t idx = 0;
     while (!reconverged) {
       while (idx < rungs.size() &&
@@ -246,7 +162,7 @@ InjectionResult Injector::run_one(const InjectionSpec& spec) {
         ++idx;
       }
       if (idx >= rungs.size() || rungs[idx].cycle >= deadline) break;
-      machine::Checkpoint& ck = rungs[idx];
+      const machine::Checkpoint& ck = rungs[idx];
       run = machine.run(ck.cycle - machine.cpu().cycles(), /*resumable=*/true);
       if (run.exit != machine::RunExit::Hung ||
           machine.cpu().cycles() < ck.cycle) {
@@ -255,7 +171,7 @@ InjectionResult Injector::run_one(const InjectionSpec& spec) {
         finished = true;
         break;
       }
-      if (machine.state_matches(ck, flip_phys)) {
+      if (machine.state_matches(ck, state.rung_memos[idx], flip_phys)) {
         reconverged = true;
       } else {
         ++idx;
@@ -291,7 +207,7 @@ InjectionResult Injector::run_one(const InjectionSpec& spec) {
     result.repair_verified =
         fsutil::fsck(copy).verdict == fsutil::FsckVerdict::Clean;
   }
-  result.bootable = disk_bootable(machine.disk_image());
+  result.bootable = cache_->disk_bootable(machine.disk_image());
   const std::uint64_t digest = fsutil::tree_digest(machine.disk_image());
   result.fs_damaged =
       fsck.verdict != fsutil::FsckVerdict::Clean || !result.bootable;

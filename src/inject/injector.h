@@ -8,6 +8,13 @@
 // binary, the cycle counter is started, and execution continues from
 // the (now corrupted) instruction.  The error persists for the rest of
 // the run; the machine is rebooted (snapshot-restored) between runs.
+//
+// An Injector owns mutable per-run state only: one Machine per
+// workload (started by adopting the shared post-boot BootState, never
+// by simulating boot) plus its private checkpoint memos and counters.
+// All golden artifacts live in the shared GoldenCache — several
+// Injectors on different threads can borrow one cache and run
+// concurrently, each bit-identical to a serial run of its share.
 #pragma once
 
 #include <cstdint>
@@ -19,67 +26,45 @@
 #include <vector>
 
 #include "disk/disk.h"
+#include "inject/golden.h"
 #include "inject/outcome.h"
 #include "machine/machine.h"
 
 namespace kfi::inject {
 
-struct GoldenRun {
-  bool ok = false;
-  std::string console;
-  std::uint32_t exit_code = 0;
-  std::uint64_t fs_digest = 0;
-  std::uint64_t cycles = 0;  // fault-free run length
-  // End-of-run disk classification, precomputed once so a run proven to
-  // reconverge onto the golden timeline can take the golden outcome
-  // without re-running fsck on an identical image.
-  bool bootable = true;
-  bool fs_damaged = false;
-  bool fsck_unrepairable = false;
-  bool repair_verified = false;
-};
-
-struct InjectorOptions {
-  // Watchdog budget multiplier over the golden run length.  Injected
-  // runs that still complete stay close to the golden length, so a
-  // modest margin keeps hang detection cheap.
-  double budget_factor = 1.6;
-  std::uint64_t budget_slack = 400'000;
-  // Number of golden-run checkpoints per workload (the checkpoint
-  // ladder).  Each injection resumes from the latest checkpoint that
-  // precedes its target's first execution, shrinking the pre-trigger
-  // replay from O(golden) to O(golden / checkpoints).  0 disables the
-  // ladder (every run replays from the post-boot snapshot).
-  int checkpoints = 24;
-  // Restore by full-image copy instead of dirty pages (the measurable
-  // pre-optimization baseline; results are bit-identical either way).
-  bool full_restore = false;
-  // Execution engine for every machine this injector builds; results
-  // are bit-identical between engines (defaults from KFI_EXEC).
-  machine::ExecEngine exec_engine = machine::default_exec_engine();
-};
-
 class Injector {
  public:
-  // `image` selects the kernel build to inject into (default: the
-  // standard build; pass &kernel::built_hardened_kernel() for the
+  // Standalone construction: builds a private GoldenCache.  `image`
+  // selects the kernel build to inject into (default: the standard
+  // build; pass &kernel::built_hardened_kernel() for the
   // assertion-hardened variant).
   explicit Injector(InjectorOptions options = {},
                     const kernel::KernelImage* image = nullptr);
+  // Campaign construction: borrows a shared (possibly concurrently
+  // used) cache; golden warm-up already done there is not repeated.
+  explicit Injector(std::shared_ptr<GoldenCache> cache);
   ~Injector();
 
   Injector(const Injector&) = delete;
   Injector& operator=(const Injector&) = delete;
 
-  // Fault-free reference run for a workload (cached).
-  const GoldenRun& golden(const std::string& workload);
+  // The shared artifact cache (never null).
+  const std::shared_ptr<GoldenCache>& cache() const { return cache_; }
+
+  // Fault-free reference run for a workload (cached in the shared
+  // GoldenCache; built on first request by whoever asks first).
+  const GoldenRun& golden(const std::string& workload) {
+    return cache_->workload(workload).golden;
+  }
 
   // Kernel instruction addresses executed by the golden run.  Since
   // execution before the flip is identical to the golden run, a target
   // outside this set can never activate — the injector classifies it
   // as NotActivated without running.
   const std::unordered_set<std::uint32_t>& coverage(
-      const std::string& workload);
+      const std::string& workload) {
+    return cache_->workload(workload).coverage;
+  }
 
   // Executes one injection and classifies it.
   InjectionResult run_one(const InjectionSpec& spec);
@@ -91,10 +76,12 @@ class Injector {
   // sort by it so runs resuming from the same rung are adjacent);
   // `last` bounds reconvergence fast-forward.
   const std::unordered_map<std::uint32_t, machine::TouchWindow>& first_touch(
-      const std::string& workload);
+      const std::string& workload) {
+    return cache_->workload(workload).first_touch;
+  }
 
-  const InjectorOptions& options() const { return options_; }
-  const kernel::KernelImage& image() const { return image_; }
+  const InjectorOptions& options() const { return cache_->options(); }
+  const kernel::KernelImage& image() const { return cache_->image(); }
 
   // Runs that resumed from a ladder checkpoint vs from the post-boot
   // snapshot, and substrate counters summed over all workload machines.
@@ -111,20 +98,19 @@ class Injector {
   machine::PerfStats perf_stats() const;
 
  private:
-  machine::Machine& machine_for(const std::string& workload);
-  bool disk_bootable(const disk::DiskImage& image) const;
+  // This injector's mutable execution state for one workload: a worker
+  // machine started from the shared BootState, plus private dirty-
+  // tracking memos for each shared ladder rung.
+  struct WorkloadState {
+    const WorkloadGolden* artifact = nullptr;
+    std::unique_ptr<machine::Machine> machine;
+    std::vector<machine::CheckpointMemo> rung_memos;  // parallel to ladder
+  };
 
-  InjectorOptions options_;
-  const kernel::KernelImage& image_;
-  disk::DiskImage root_disk_;
-  std::vector<std::uint8_t> init_pristine_;
-  std::vector<std::uint8_t> libc_pristine_;
-  std::map<std::string, std::unique_ptr<machine::Machine>> machines_;
-  std::map<std::string, GoldenRun> goldens_;
-  std::map<std::string, std::unordered_set<std::uint32_t>> coverage_;
-  std::map<std::string, std::unordered_map<std::uint32_t, machine::TouchWindow>>
-      first_touch_;
-  std::map<std::string, std::vector<machine::Checkpoint>> ladders_;
+  WorkloadState& state_for(const std::string& workload);
+
+  std::shared_ptr<GoldenCache> cache_;
+  std::map<std::string, std::unique_ptr<WorkloadState>> states_;
   std::uint64_t runs_ = 0;
   std::uint64_t ckpt_hits_ = 0;
   std::uint64_t ckpt_misses_ = 0;

@@ -1,0 +1,95 @@
+#include "inject/schedule.h"
+
+namespace kfi::inject {
+
+namespace {
+// Chunks per worker when work is spread evenly.  Small enough that a
+// chunk is a meaningful locality neighborhood, large enough that
+// stealing can rebalance a skewed tail (the classic guided-scheduling
+// compromise).
+constexpr std::size_t kChunksPerWorker = 8;
+}  // namespace
+
+std::vector<Chunk> make_chunks(const std::vector<std::size_t>& order,
+                               const std::vector<InjectionSpec>& targets,
+                               unsigned workers) {
+  std::vector<Chunk> chunks;
+  if (order.empty()) return chunks;
+  if (workers == 0) workers = 1;
+  std::size_t chunk_items = order.size() / (workers * kChunksPerWorker);
+  if (chunk_items == 0) chunk_items = 1;
+
+  std::size_t begin = 0;
+  for (std::size_t i = 1; i <= order.size(); ++i) {
+    const bool boundary =
+        i == order.size() ||
+        // Never mix workloads in one chunk: a chunk is one machine's
+        // contiguous rung neighborhood.
+        targets[order[i]].workload != targets[order[begin]].workload;
+    if (boundary || i - begin >= chunk_items) {
+      chunks.push_back(Chunk{begin, i});
+      begin = i;
+    }
+  }
+  return chunks;
+}
+
+ChunkScheduler::ChunkScheduler(std::vector<Chunk> chunks, unsigned workers) {
+  if (workers == 0) workers = 1;
+  queues_.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  const std::size_t n = chunks.size();
+  for (unsigned w = 0; w < workers; ++w) {
+    const std::size_t lo = n * w / workers;
+    const std::size_t hi = n * (w + 1) / workers;
+    for (std::size_t i = lo; i < hi; ++i) {
+      queues_[w]->chunks.push_back(chunks[i]);
+    }
+  }
+  remaining_.store(n, std::memory_order_relaxed);
+}
+
+bool ChunkScheduler::pop_front(WorkerQueue& q, Chunk& out) {
+  const std::lock_guard<std::mutex> lock(q.mutex);
+  if (q.chunks.empty()) return false;
+  out = q.chunks.front();
+  q.chunks.pop_front();
+  remaining_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ChunkScheduler::pop_back(WorkerQueue& q, Chunk& out) {
+  const std::lock_guard<std::mutex> lock(q.mutex);
+  if (q.chunks.empty()) return false;
+  out = q.chunks.back();
+  q.chunks.pop_back();
+  remaining_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ChunkScheduler::next(unsigned worker, Chunk& out) {
+  const std::size_t workers = queues_.size();
+  if (worker >= workers) return false;
+  while (remaining_.load(std::memory_order_relaxed) != 0) {
+    // Own queue first, front first: continue the locality run.
+    if (pop_front(*queues_[worker], out)) return true;
+    // Steal from the back of the first non-empty victim — the chunk the
+    // victim would have reached last, farthest from where it is working
+    // now.
+    for (std::size_t k = 1; k < workers; ++k) {
+      const std::size_t victim = (worker + k) % workers;
+      if (pop_back(*queues_[victim], out)) {
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    // remaining_ was non-zero but every scan missed: a concurrent pop
+    // won the race.  Re-check the counter; it is monotonically
+    // decreasing, so this loop terminates.
+  }
+  return false;
+}
+
+}  // namespace kfi::inject

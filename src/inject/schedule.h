@@ -1,0 +1,83 @@
+// Locality-aware chunk formation + work-stealing drain for parallel
+// campaigns.
+//
+// The campaign's execution order is already sorted by (workload,
+// first-touch cycle) so consecutive runs resume from the same
+// checkpoint-ladder rung and re-dirty the same small page set.  A
+// per-item fetch_add dispatcher destroys that locality: neighboring
+// items land on different workers, every worker walks the whole rung
+// ladder, and each rung's dirty footprint is re-copied per item.
+// Instead the order is cut into contiguous chunks (never crossing a
+// workload boundary, so a chunk is one machine's coherent rung
+// neighborhood), each worker is dealt a contiguous block of chunks, and
+// idle workers steal whole chunks from the *back* of a victim's queue —
+// the end farthest from the victim's current locality neighborhood — so
+// tail latency doesn't regress when chunk costs are skewed.
+//
+// Exactly-once: every chunk is placed in exactly one deque at
+// construction; the only removal path pops under that deque's mutex and
+// nothing is ever re-inserted, so no chunk can be run twice or lost.
+// Termination: `remaining_` counts unpopped chunks; next() returns
+// false only once it reaches zero, and while it is non-zero some deque
+// is non-empty, so a scanning worker either pops a chunk or observes
+// another worker's pop having decremented the counter — no livelock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "inject/targets.h"
+
+namespace kfi::inject {
+
+// A half-open range [begin, end) of positions in the campaign's
+// execution order (not spec indices).
+struct Chunk {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+// Cuts `order` (positions into `targets`, sorted by (workload,
+// first-touch)) into contiguous chunks of roughly
+// total/(workers * kChunksPerWorker) items, never crossing a workload
+// boundary.  Deterministic: depends only on the arguments.
+std::vector<Chunk> make_chunks(const std::vector<std::size_t>& order,
+                               const std::vector<InjectionSpec>& targets,
+                               unsigned workers);
+
+class ChunkScheduler {
+ public:
+  // Deals the chunks to `workers` deques in contiguous blocks (worker w
+  // gets chunks [w*n/workers, (w+1)*n/workers)), preserving each
+  // worker's rung locality until stealing begins.
+  ChunkScheduler(std::vector<Chunk> chunks, unsigned workers);
+
+  // Hands `worker` its next chunk: the front of its own deque if
+  // non-empty, otherwise a steal from the back of another worker's.
+  // Returns false only when every chunk has been handed out.
+  bool next(unsigned worker, Chunk& out);
+
+  // Chunks obtained by stealing (telemetry).
+  std::uint64_t steals() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<Chunk> chunks;
+  };
+
+  bool pop_front(WorkerQueue& q, Chunk& out);
+  bool pop_back(WorkerQueue& q, Chunk& out);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::atomic<std::size_t> remaining_{0};
+  std::atomic<std::uint64_t> steals_{0};
+};
+
+}  // namespace kfi::inject

@@ -207,7 +207,6 @@ Machine::Machine(const KernelImage& kernel_image,
   bus_->attach(vm::kCrashMmio, vm::kPageSize, crash_device_.get());
   bus_->attach(vm::kTlbMmio, vm::kPageSize, tlb_device_.get());
 
-  disk_snapshot_ = disk_image_->snapshot_blocks();
   load_images();
   install_vectors();
 }
@@ -294,52 +293,93 @@ bool Machine::boot() {
   cpu_->disarm_breakpoint(3);
   if (result.exit != RunExit::Breakpoint) return false;
 
-  mem_snapshot_ = memory_->snapshot_pages();
+  auto boot = std::make_shared<BootState>();
+  boot->mem = memory_->snapshot_pages();
+  boot->disk = disk_image_->snapshot_blocks();
+  boot->console = console_;
   for (int i = 0; i < 8; ++i) {
-    snap_regs_[i] = cpu_->reg(static_cast<isa::Reg>(i));
+    boot->regs[i] = cpu_->reg(static_cast<isa::Reg>(i));
   }
-  snap_eip_ = cpu_->eip();
-  snap_flags_ = cpu_->flags().to_word();
-  snap_cpl_ = cpu_->cpl();
-  snap_cr3_ = cpu_->mmu().cr3();
-  snapshot_cycles_ = cpu_->cycles();
-  disk_snapshot_ = disk_image_->snapshot_blocks();
-  console_snapshot_ = console_;
+  boot->eip = cpu_->eip();
+  boot->flags = cpu_->flags().to_word();
+  boot->cpl = cpu_->cpl();
+  boot->cr3 = cpu_->mmu().cr3();
+  boot->cycles = cpu_->cycles();
+  boot_ = std::move(boot);
+  // At capture time every page/block trivially equals the snapshot, so
+  // the capturer's memos start from the capture versions and the first
+  // restore() is already O(dirty).
+  boot_mem_memo_ = boot_->mem.capture_memo();
+  boot_disk_memo_ = boot_->disk.capture_memo();
+  owns_boot_ = true;
   booted_ = true;
   return true;
+}
+
+void Machine::adopt_boot(std::shared_ptr<const BootState> boot) {
+  assert(boot != nullptr && boot->mem.valid());
+  assert(boot->mem.size() == memory_->size());
+  assert(boot->disk.size() == disk_image_->bytes().size());
+  boot_ = std::move(boot);
+  owns_boot_ = false;
+  booted_ = true;
+  // Unconditional full copy: the machine's pre-boot contents share
+  // nothing provable with the foreign snapshot.  The memos come out
+  // proving full equality at the new versions, so every subsequent
+  // restore() is O(dirty) exactly as on the capturing machine.
+  memory_->restore_pages_full(boot_->mem, &boot_mem_memo_);
+  disk_image_->restore_blocks_full(boot_->disk, &boot_disk_memo_);
+  for (int i = 0; i < 8; ++i) {
+    cpu_->set_reg(static_cast<isa::Reg>(i), boot_->regs[i]);
+  }
+  cpu_->set_eip(boot_->eip);
+  cpu_->flags() = isa::Flags::from_word(boot_->flags);
+  cpu_->set_cpl(boot_->cpl);
+  cpu_->mmu().set_cr3(boot_->cr3);  // also flushes the TLB
+  cpu_->set_cycles(boot_->cycles);
+  cpu_->reset_fault_state();
+  crash_fired_ = false;
+  crash_ = CrashInfo{};
+  console_ = boot_->console;
+  next_timer_ = boot_->cycles + options_.timer_period;
+  timer_pending_resume_ = false;
 }
 
 void Machine::restore() {
   assert(booted_);
   if (options_.full_restore) {
-    memory_->restore_pages_full(mem_snapshot_);
+    memory_->restore_pages_full(boot_->mem, &boot_mem_memo_);
     disk_blocks_restored_ += disk_image_->block_count();
-    disk_image_->restore_blocks_full(disk_snapshot_);
+    disk_image_->restore_blocks_full(boot_->disk, &boot_disk_memo_);
   } else {
-    memory_->restore_pages(mem_snapshot_);
-    disk_blocks_restored_ += disk_image_->restore_blocks(disk_snapshot_);
+    memory_->restore_pages(boot_->mem, boot_mem_memo_);
+    disk_blocks_restored_ +=
+        disk_image_->restore_blocks(boot_->disk, boot_disk_memo_);
   }
   for (int i = 0; i < 8; ++i) {
-    cpu_->set_reg(static_cast<isa::Reg>(i), snap_regs_[i]);
+    cpu_->set_reg(static_cast<isa::Reg>(i), boot_->regs[i]);
   }
-  cpu_->set_eip(snap_eip_);
-  cpu_->flags() = isa::Flags::from_word(snap_flags_);
-  cpu_->set_cpl(snap_cpl_);
-  cpu_->mmu().set_cr3(snap_cr3_);  // also flushes the TLB
-  cpu_->set_cycles(snapshot_cycles_);
+  cpu_->set_eip(boot_->eip);
+  cpu_->flags() = isa::Flags::from_word(boot_->flags);
+  cpu_->set_cpl(boot_->cpl);
+  cpu_->mmu().set_cr3(boot_->cr3);  // also flushes the TLB
+  cpu_->set_cycles(boot_->cycles);
   cpu_->reset_fault_state();
   crash_fired_ = false;
   crash_ = CrashInfo{};
-  console_ = console_snapshot_;
-  next_timer_ = snapshot_cycles_ + options_.timer_period;
+  console_ = boot_->console;
+  next_timer_ = boot_->cycles + options_.timer_period;
   timer_pending_resume_ = false;
 }
 
 void Machine::take_checkpoint(bool timer_pending) {
+  // The delta's version filter compares against the capture versions of
+  // boot_->mem/disk, which is sound only on the arrays that captured
+  // them — enforced by the owns_boot_ assert in capture_checkpoints().
   Checkpoint ck;
   ck.cycle = cpu_->cycles();
-  ck.mem = memory_->snapshot_delta(mem_snapshot_);
-  ck.disk = disk_image_->snapshot_delta(disk_snapshot_);
+  ck.mem = memory_->snapshot_delta(boot_->mem, &boot_mem_memo_);
+  ck.disk = disk_image_->snapshot_delta(boot_->disk, &boot_disk_memo_);
   ck.console = console_;
   for (int i = 0; i < 8; ++i) {
     ck.regs[i] = cpu_->reg(static_cast<isa::Reg>(i));
@@ -358,6 +398,7 @@ void Machine::take_checkpoint(bool timer_pending) {
 std::vector<Checkpoint> Machine::capture_checkpoints(
     std::vector<std::uint64_t> at, std::uint64_t max_cycles) {
   assert(booted_);
+  assert(owns_boot_ && "only the BootState's capturer may take checkpoints");
   std::vector<Checkpoint> out;
   restore();
   ckpt_request_ = std::move(at);
@@ -370,14 +411,23 @@ std::vector<Checkpoint> Machine::capture_checkpoints(
   return out;
 }
 
-void Machine::restore_checkpoint(Checkpoint& checkpoint) {
+void Machine::restore_checkpoint(const Checkpoint& checkpoint,
+                                 CheckpointMemo& memo) {
   assert(booted_);
-  // The checkpoint's deltas resolve unchanged chunks through the
-  // post-boot snapshot, so restoring them alone rebuilds the full
-  // mid-run state — copying only chunks that diverged since the
-  // checkpoint was captured or last restored.
-  memory_->restore_pages(checkpoint.mem);
-  disk_blocks_restored_ += disk_image_->restore_blocks(checkpoint.disk);
+  // The checkpoint's deltas must resolve through this machine's own
+  // boot state — the contract that makes shared rungs sound for every
+  // adopt_boot() sibling of the capturer.
+  assert(checkpoint.mem.base() == &boot_->mem);
+  assert(checkpoint.disk.base() == &boot_->disk);
+  // Restoring the deltas alone rebuilds the full mid-run state: chunks
+  // the rung did not store resolve through the boot snapshot, and this
+  // machine's boot memo lets those be skipped when already in place —
+  // copying only chunks that diverged since this machine last restored
+  // the rung.
+  memory_->restore_pages(checkpoint.mem, memo.mem, &boot_mem_memo_);
+  disk_blocks_restored_ +=
+      disk_image_->restore_blocks(checkpoint.disk, memo.disk,
+                                  &boot_disk_memo_);
   for (int i = 0; i < 8; ++i) {
     cpu_->set_reg(static_cast<isa::Reg>(i), checkpoint.regs[i]);
   }
@@ -560,6 +610,7 @@ RunResult Machine::run(std::uint64_t max_cycles, bool resumable) {
 }
 
 bool Machine::state_matches(const Checkpoint& checkpoint,
+                            const CheckpointMemo& memo,
                             std::size_t masked_phys) const {
   if (cpu_->cycles() != checkpoint.cycle) return false;
   for (int i = 0; i < 8; ++i) {
@@ -576,8 +627,46 @@ bool Machine::state_matches(const Checkpoint& checkpoint,
   if (timer_pending_resume_ != checkpoint.timer_pending) return false;
   if (crash_fired_) return false;
   if (console_ != checkpoint.console) return false;
-  if (!disk_image_->blocks_match(checkpoint.disk)) return false;
-  return memory_->pages_match(checkpoint.mem, masked_phys);
+  if (!disk_image_->blocks_match(checkpoint.disk, memo.disk,
+                                 &boot_disk_memo_)) {
+    return false;
+  }
+  return memory_->pages_match(checkpoint.mem, memo.mem, &boot_mem_memo_,
+                              masked_phys);
+}
+
+PerfStats& PerfStats::operator+=(const PerfStats& o) {
+  decode_hits += o.decode_hits;
+  decode_misses += o.decode_misses;
+  restores += o.restores;
+  pages_restored += o.pages_restored;
+  bytes_restored += o.bytes_restored;
+  disk_blocks_restored += o.disk_blocks_restored;
+  checkpoints_taken += o.checkpoints_taken;
+  checkpoint_restores += o.checkpoint_restores;
+  block_builds += o.block_builds;
+  block_hits += o.block_hits;
+  block_fallbacks += o.block_fallbacks;
+  block_invalidations += o.block_invalidations;
+  block_ops += o.block_ops;
+  return *this;
+}
+
+PerfStats& PerfStats::operator-=(const PerfStats& o) {
+  decode_hits -= o.decode_hits;
+  decode_misses -= o.decode_misses;
+  restores -= o.restores;
+  pages_restored -= o.pages_restored;
+  bytes_restored -= o.bytes_restored;
+  disk_blocks_restored -= o.disk_blocks_restored;
+  checkpoints_taken -= o.checkpoints_taken;
+  checkpoint_restores -= o.checkpoint_restores;
+  block_builds -= o.block_builds;
+  block_hits -= o.block_hits;
+  block_fallbacks -= o.block_fallbacks;
+  block_invalidations -= o.block_invalidations;
+  block_ops -= o.block_ops;
+  return *this;
 }
 
 }  // namespace kfi::machine

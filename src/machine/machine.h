@@ -73,11 +73,37 @@ struct MachineOptions {
   ExecEngine exec_engine = default_exec_engine();
 };
 
+// The complete machine state at the first user-mode instruction of the
+// workload — the "post-boot snapshot" every injection run restores to.
+// Immutable once captured, so one BootState can be shared (by
+// shared_ptr) between the machine that booted and any number of worker
+// machines that adopt_boot() it: an adopted machine starts from the
+// literal bytes of this state, which makes cross-machine identity hold
+// by construction rather than by boot determinism.
+struct BootState {
+  vm::ChunkedSnapshot mem;   // full RAM capture
+  vm::ChunkedSnapshot disk;  // full disk capture
+  std::string console;
+  std::uint32_t regs[8] = {};
+  std::uint32_t eip = 0;
+  std::uint32_t flags = 0;
+  int cpl = 0;
+  std::uint32_t cr3 = 0;
+  std::uint64_t cycles = 0;  // cycle counter at the snapshot point
+
+  std::uint64_t storage_bytes() const {
+    return mem.storage_bytes() + disk.storage_bytes() + console.size();
+  }
+};
+
 // One rung of a golden-run checkpoint ladder: the complete machine
 // state at a mid-run cycle, with RAM and disk stored as deltas against
-// the post-boot snapshot.  A Checkpoint is only meaningful for the
-// Machine that captured it (the deltas resolve through its post-boot
-// snapshot) and is invalidated if that Machine boots again.
+// the post-boot BootState.  Checkpoints are immutable and shareable:
+// any Machine whose boot_state() is the BootState the capture ran from
+// (the capturer, or an adopt_boot() sibling) can restore or compare
+// against them, holding a private CheckpointMemo per rung.  The
+// BootState must outlive the Checkpoint (the deltas resolve through
+// it).
 struct Checkpoint {
   std::uint64_t cycle = 0;
   vm::ChunkedSnapshot mem;   // dirty pages vs the post-boot snapshot
@@ -95,6 +121,17 @@ struct Checkpoint {
   std::uint64_t storage_bytes() const {
     return mem.storage_bytes() + disk.storage_bytes() + console.size();
   }
+};
+
+// A machine's private dirty-tracking state for one shared Checkpoint:
+// which of its RAM pages / disk blocks are currently known identical to
+// the rung (see vm/snapshot.h).  Starts empty (= no knowledge; the
+// first restore copies the rung's full footprint) and converges as the
+// machine keeps restoring the same rung — the locality the campaign
+// scheduler's chunking is designed to preserve.
+struct CheckpointMemo {
+  std::vector<std::uint64_t> mem;
+  std::vector<std::uint64_t> disk;
 };
 
 // First and last cycle at which the golden run executed a kernel-text
@@ -123,6 +160,12 @@ struct PerfStats {
   std::uint64_t block_fallbacks = 0;
   std::uint64_t block_invalidations = 0;
   std::uint64_t block_ops = 0;  // instructions retired through blocks
+
+  // Counter-wise sum/difference: campaign code aggregates per-worker
+  // machines into one campaign-wide view (and subtracts a baseline to
+  // isolate one campaign's share of a reused machine's counters).
+  PerfStats& operator+=(const PerfStats& o);
+  PerfStats& operator-=(const PerfStats& o);
 };
 
 // FNV-1a over `len` bytes starting from hash state `h`, mixed in byte
@@ -157,6 +200,20 @@ class Machine {
   // and snapshots there.  Returns false if the kernel failed to boot.
   bool boot();
 
+  // Starts this machine from `boot` — a BootState another Machine (same
+  // kernel/workload/disk/options) captured — without simulating boot at
+  // all: RAM, disk, registers, and console are copied from the shared
+  // state, so the machine is bit-identical to the capturer right after
+  // its boot().  This is how campaign workers share one golden warm-up:
+  // the GoldenCache boots once per workload and every worker adopts.
+  void adopt_boot(std::shared_ptr<const BootState> boot);
+
+  // The post-boot state this machine restores to (set by boot() or
+  // adopt_boot(); null before either).  Shared checkpoints can be
+  // restored only on machines whose boot_state() captured their deltas'
+  // base.
+  const std::shared_ptr<const BootState>& boot_state() const { return boot_; }
+
   // Continues execution until an exit condition or `max_cycles` more
   // cycles elapse (the watchdog).  With `resumable`, a deadline exit
   // (RunExit::Hung at exactly the requested cycle) keeps any in-flight
@@ -175,24 +232,30 @@ class Machine {
   // run never reaches are skipped).  Checkpoints land on the identical
   // deterministic timeline every restore()-based run follows, so
   // restore_checkpoint() + run continues bit-for-bit as if the run had
-  // executed from the post-boot snapshot.
+  // executed from the post-boot snapshot.  Only the machine that
+  // captured the BootState may capture (the deltas' version filter is
+  // tied to its arrays); any boot-sharing machine may restore.
   std::vector<Checkpoint> capture_checkpoints(std::vector<std::uint64_t> at,
                                               std::uint64_t max_cycles);
 
-  // Restores a mid-run checkpoint (non-const: the checkpoint tracks
-  // which pages it last restored to keep repeat restores cheap).
-  void restore_checkpoint(Checkpoint& checkpoint);
+  // Restores a mid-run checkpoint.  `memo` is this machine's private
+  // dirty-tracking state for this rung (start it empty; pass the same
+  // object on every restore of the same rung to keep repeat restores
+  // proportional to what the intervening run dirtied).  The checkpoint
+  // must have been captured against this machine's boot_state().
+  void restore_checkpoint(const Checkpoint& checkpoint, CheckpointMemo& memo);
 
   // True when the machine's complete run-visible state — registers,
   // flags, eip, cpl, cr3, cycle counter, halt state, timer phase,
   // console, RAM, and disk — is identical to `checkpoint`, except for
   // the single RAM byte at `masked_phys` (pass a value outside RAM to
-  // compare everything).  Only meaningful at a segment boundary: right
-  // after a resumable run() exited at its deadline, where the in-flight
-  // tick sits in the resume slot exactly as the capture recorded it.
-  // Dirty-page versions make the cost proportional to what the run
-  // wrote, not machine size.
-  bool state_matches(const Checkpoint& checkpoint,
+  // compare everything).  `memo` is the same per-(machine, rung) object
+  // restore_checkpoint() maintains; its equality knowledge lets the
+  // comparison skip untouched pages.  Only meaningful at a segment
+  // boundary: right after a resumable run() exited at its deadline,
+  // where the in-flight tick sits in the resume slot exactly as the
+  // capture recorded it.
+  bool state_matches(const Checkpoint& checkpoint, const CheckpointMemo& memo,
                      std::size_t masked_phys) const;
 
   vm::Cpu& cpu() { return *cpu_; }
@@ -201,7 +264,7 @@ class Machine {
   const std::string& console_output() const { return console_; }
 
   // Cycle at which run() started relative to the boot snapshot.
-  std::uint64_t snapshot_cycles() const { return snapshot_cycles_; }
+  std::uint64_t snapshot_cycles() const { return boot_ ? boot_->cycles : 0; }
 
   // FNV-1a digest over the complete machine state: architectural
   // registers, flags, eip, cpl, cr3, cycle counter, every byte of RAM,
@@ -255,17 +318,14 @@ class Machine {
 
   void take_checkpoint(bool timer_pending);
 
-  // Post-boot snapshot.
+  // Post-boot state: captured by boot() (owns_boot_) or shared in by
+  // adopt_boot().  The memos are this machine's dirty-tracking state
+  // for the BootState's RAM/disk snapshots (see vm/snapshot.h).
   bool booted_ = false;
-  vm::ChunkedSnapshot mem_snapshot_;
-  vm::ChunkedSnapshot disk_snapshot_;
-  std::string console_snapshot_;
-  std::uint32_t snap_regs_[8] = {};
-  std::uint32_t snap_eip_ = 0;
-  std::uint32_t snap_flags_ = 0;
-  int snap_cpl_ = 0;
-  std::uint32_t snap_cr3_ = 0;
-  std::uint64_t snapshot_cycles_ = 0;
+  bool owns_boot_ = false;
+  std::shared_ptr<const BootState> boot_;
+  std::vector<std::uint64_t> boot_mem_memo_;
+  std::vector<std::uint64_t> boot_disk_memo_;
 
   std::uint64_t next_timer_ = 0;
   // A restored checkpoint's in-flight timer tick, consumed by the next

@@ -50,21 +50,30 @@ ChunkedSnapshot PhysicalMemory::snapshot_pages() const {
 }
 
 ChunkedSnapshot PhysicalMemory::snapshot_delta(
-    const ChunkedSnapshot& base) const {
-  return ChunkedSnapshot::delta(bytes_.data(), bytes_.size(), versions_, base);
+    const ChunkedSnapshot& base,
+    const std::vector<std::uint64_t>* base_memo) const {
+  return ChunkedSnapshot::delta(bytes_.data(), bytes_.size(), versions_, base,
+                                base_memo);
 }
 
-void PhysicalMemory::restore_pages(ChunkedSnapshot& snap) {
-  const std::uint32_t pages = snap.restore_into(bytes_.data(), versions_);
+void PhysicalMemory::restore_pages(const ChunkedSnapshot& snap,
+                                   std::vector<std::uint64_t>& memo,
+                                   std::vector<std::uint64_t>* base_memo) {
+  const std::uint32_t pages =
+      snap.restore_into(bytes_.data(), versions_, memo, base_memo);
   ++restore_calls_;
   restored_pages_ += pages;
   restored_bytes_ += static_cast<std::uint64_t>(pages) * snap.chunk_size();
 }
 
-void PhysicalMemory::restore_pages_full(const ChunkedSnapshot& snap) {
+void PhysicalMemory::restore_pages_full(const ChunkedSnapshot& snap,
+                                        std::vector<std::uint64_t>* memo) {
   assert(!snap.is_delta() && snap.size() == bytes_.size());
   std::memcpy(bytes_.data(), snap.chunk(0), bytes_.size());
   for (std::uint64_t& v : versions_) ++v;
+  if (memo != nullptr) {
+    memo->assign(versions_.begin(), versions_.begin() + snap.chunk_count());
+  }
   ++restore_calls_;
   restored_pages_ += versions_.size() - 1;
   restored_bytes_ += bytes_.size();

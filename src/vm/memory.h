@@ -54,25 +54,43 @@ class PhysicalMemory {
   void read_block(std::uint32_t paddr, void* data, std::uint32_t len) const;
 
   // ---- version-tracked snapshots (dirty-page restore) ----
+  //
+  // Snapshots are immutable; the per-(snapshot, RAM) equality memo that
+  // makes restores O(dirty pages) is caller-owned — see vm/snapshot.h.
+  // A memo is only meaningful for the PhysicalMemory it was built
+  // against; machines sharing one snapshot each keep a private memo.
 
   // Full capture of RAM (the post-boot snapshot).
   ChunkedSnapshot snapshot_pages() const;
   // Sparse capture of the pages that differ from `base` (mid-run
   // checkpoints; `base` must outlive the returned snapshot).
-  ChunkedSnapshot snapshot_delta(const ChunkedSnapshot& base) const;
-  // Copies back only the pages whose write version moved since `snap`
-  // was captured (or last restored); bit-identical to a full copy.
-  void restore_pages(ChunkedSnapshot& snap);
+  // `base_memo` — this RAM's memo for `base`, if any — supplies extra
+  // version-based skips.
+  ChunkedSnapshot snapshot_delta(
+      const ChunkedSnapshot& base,
+      const std::vector<std::uint64_t>* base_memo = nullptr) const;
+  // Copies back only the pages whose write version moved since the last
+  // restore of `snap` into this RAM (per `memo`); bit-identical to a
+  // full copy.
+  void restore_pages(const ChunkedSnapshot& snap,
+                     std::vector<std::uint64_t>& memo,
+                     std::vector<std::uint64_t>* base_memo = nullptr);
   // Unconditional full copy from `snap` — the pre-dirty-tracking
   // behavior, kept as the measurable baseline and as a cross-check.
-  void restore_pages_full(const ChunkedSnapshot& snap);
+  // When `memo` is given it is refreshed to prove equality with `snap`
+  // at the new versions (RAM now literally is the snapshot).
+  void restore_pages_full(const ChunkedSnapshot& snap,
+                          std::vector<std::uint64_t>* memo = nullptr);
   // True when RAM is byte-identical to `snap`, ignoring the single byte
   // at `masked` (or nothing, if masked is out of range).  Costs
   // O(pages written since the snapshot) — see ChunkedSnapshot::matches.
   bool pages_match(const ChunkedSnapshot& snap,
+                   const std::vector<std::uint64_t>& memo,
+                   const std::vector<std::uint64_t>* base_memo = nullptr,
                    std::size_t masked = static_cast<std::size_t>(-1)) const {
-    return snap.matches(bytes_.data(), versions_, masked);
+    return snap.matches(bytes_.data(), versions_, memo, base_memo, masked);
   }
+  const std::vector<std::uint64_t>& page_versions() const { return versions_; }
 
   // ---- legacy whole-RAM snapshots ----
   std::vector<std::uint8_t> snapshot() const { return bytes_; }

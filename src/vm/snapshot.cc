@@ -24,13 +24,13 @@ ChunkedSnapshot ChunkedSnapshot::full(
   assert(versions.size() >= snap.chunk_count_);
   snap.data_.assign(data, data + size);
   snap.versions_.assign(versions.begin(), versions.begin() + snap.chunk_count_);
-  snap.clean_ = snap.versions_;
   return snap;
 }
 
 ChunkedSnapshot ChunkedSnapshot::delta(
     const std::uint8_t* data, std::size_t size,
-    const std::vector<std::uint64_t>& versions, const ChunkedSnapshot& base) {
+    const std::vector<std::uint64_t>& versions, const ChunkedSnapshot& base,
+    const std::vector<std::uint64_t>* base_memo) {
   assert(base.valid() && !base.is_delta());
   assert(size == base.size_);
   ChunkedSnapshot snap;
@@ -40,12 +40,14 @@ ChunkedSnapshot ChunkedSnapshot::delta(
   assert(versions.size() >= snap.chunk_count_);
   snap.base_ = &base;
   snap.versions_.assign(versions.begin(), versions.begin() + snap.chunk_count_);
-  snap.clean_ = snap.versions_;
   snap.slot_.assign(snap.chunk_count_, -1);
   for (std::uint32_t i = 0; i < snap.chunk_count_; ++i) {
-    // Unchanged version since base capture (or since a restore from
-    // base) means unchanged content: resolve through the base.
-    if (versions[i] == base.versions_[i] || versions[i] == base.clean_[i]) {
+    // Unchanged version since base capture (or since the capturer's
+    // last restore from base) means unchanged content: resolve through
+    // the base without comparing bytes.
+    if (versions[i] == base.versions_[i] ||
+        (base_memo != nullptr && i < base_memo->size() &&
+         versions[i] == (*base_memo)[i])) {
       continue;
     }
     const std::uint32_t len = snap.chunk_len(i);
@@ -70,11 +72,13 @@ const std::uint8_t* ChunkedSnapshot::chunk(std::uint32_t index) const {
 
 bool ChunkedSnapshot::matches(const std::uint8_t* data,
                               const std::vector<std::uint64_t>& versions,
+                              const std::vector<std::uint64_t>& memo,
+                              const std::vector<std::uint64_t>* base_memo,
                               std::size_t masked) const {
   assert(valid());
   assert(versions.size() >= chunk_count_);
   for (std::uint32_t i = 0; i < chunk_count_; ++i) {
-    if (versions[i] == versions_[i] || versions[i] == clean_[i]) continue;
+    if (proven_equal(i, versions[i], memo, base_memo)) continue;
     const std::size_t begin = static_cast<std::size_t>(i) * chunk_size_;
     const std::uint8_t* live = data + begin;
     const std::uint8_t* want = chunk(i);
@@ -94,16 +98,24 @@ bool ChunkedSnapshot::matches(const std::uint8_t* data,
 }
 
 std::uint32_t ChunkedSnapshot::restore_into(
-    std::uint8_t* data, std::vector<std::uint64_t>& versions) {
+    std::uint8_t* data, std::vector<std::uint64_t>& versions,
+    std::vector<std::uint64_t>& memo,
+    std::vector<std::uint64_t>* base_memo) const {
   assert(valid());
   assert(versions.size() >= chunk_count_);
+  if (memo.size() < chunk_count_) memo.assign(chunk_count_, kUnknownVersion);
   std::uint32_t copied = 0;
   for (std::uint32_t i = 0; i < chunk_count_; ++i) {
-    if (versions[i] == versions_[i] || versions[i] == clean_[i]) continue;
+    if (proven_equal(i, versions[i], memo, base_memo)) continue;
     std::memcpy(data + static_cast<std::size_t>(i) * chunk_size_, chunk(i),
                 chunk_len(i));
     ++versions[i];
-    clean_[i] = versions[i];
+    memo[i] = versions[i];
+    // A base-resolved chunk now also equals the base at this version.
+    if (base_ != nullptr && slot_[i] < 0 && base_memo != nullptr &&
+        i < base_memo->size()) {
+      (*base_memo)[i] = versions[i];
+    }
     ++copied;
   }
   return copied;

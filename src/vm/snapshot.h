@@ -3,12 +3,21 @@
 // A ChunkedSnapshot captures a byte array (physical RAM, a disk image)
 // whose writers maintain a per-chunk monotonically increasing write
 // version.  restore_into() copies back only the chunks whose version
-// moved since the snapshot was captured — or since the last restore
-// *from this snapshot* — so the per-run "reboot" costs O(pages the run
-// dirtied) instead of O(machine size).  A delta snapshot additionally
-// stores only the chunks that differ from a base full snapshot, so a
-// ladder of mid-run checkpoints costs memory proportional to what the
-// run has written so far, not K full RAM images.
+// moved since the last restore *from this snapshot into this array* —
+// so the per-run "reboot" costs O(pages the run dirtied) instead of
+// O(machine size).  A delta snapshot additionally stores only the
+// chunks that differ from a base full snapshot, so a ladder of mid-run
+// checkpoints costs memory proportional to what the run has written so
+// far, not K full RAM images.
+//
+// Snapshots are immutable after capture.  The "which chunks still equal
+// this snapshot" bookkeeping lives in a caller-owned memo (one
+// std::vector<std::uint64_t> per (snapshot, target-array) pair), so a
+// single snapshot — e.g. a golden post-boot image or a checkpoint rung
+// — can be shared read-only between many machines and threads, each
+// with its private memo.  memo[i] records the target's chunk version at
+// the last moment chunk i was known byte-identical to this snapshot
+// (kUnknownVersion = no such knowledge).
 //
 // Correctness rests on one invariant the writers must uphold: every
 // mutation of chunk i bumps versions[i].  Versions never decrease, so
@@ -17,12 +26,22 @@
 // skipped.  restore_into() itself bumps the version of every chunk it
 // copies (the content changed), which also invalidates any decode-cache
 // entries hanging off the old bytes.
+//
+// For a delta snapshot, a chunk it does not store is byte-identical to
+// the base, so a memo for the *base* doubles as equality knowledge for
+// that chunk: pass it as `base_memo` and restores/compares of shared
+// checkpoint rungs stay O(dirty + delta) on machines that never
+// captured anything.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 namespace kfi::vm {
+
+// Sentinel for "no equality knowledge": write versions are counters
+// starting at 0, so no chunk can ever legitimately reach this value.
+inline constexpr std::uint64_t kUnknownVersion = ~0ULL;
 
 class ChunkedSnapshot {
  public:
@@ -38,30 +57,53 @@ class ChunkedSnapshot {
   // Sparse capture against `base` (a full snapshot of the same array,
   // which must outlive this snapshot): stores only chunks whose content
   // differs from base.  The version filter makes this cheap — chunks
-  // whose version still equals base's capture version are skipped
-  // without comparing bytes.
+  // whose version still equals base's capture version (or the caller's
+  // base memo, if given) are skipped without comparing bytes.  Only
+  // sound on the array `base` was captured from: base's capture
+  // versions mean nothing on any other array.
   static ChunkedSnapshot delta(const std::uint8_t* data, std::size_t size,
                                const std::vector<std::uint64_t>& versions,
-                               const ChunkedSnapshot& base);
+                               const ChunkedSnapshot& base,
+                               const std::vector<std::uint64_t>* base_memo);
+
+  // The memo asserting "every chunk equals this snapshot at its capture
+  // version" — valid ONLY for the array the snapshot was captured from,
+  // at capture time.  Any other machine must start from fresh_memo().
+  std::vector<std::uint64_t> capture_memo() const { return versions_; }
+  // The all-unknown memo: the first restore through it copies every
+  // chunk (there is no prior equality knowledge to exploit).
+  std::vector<std::uint64_t> fresh_memo() const {
+    return std::vector<std::uint64_t>(chunk_count_, kUnknownVersion);
+  }
 
   // Copies back every chunk whose version says its content may differ
-  // from this snapshot, bumping the version of each restored chunk.
-  // Returns the number of chunks copied.
+  // from this snapshot, bumping the version of each restored chunk and
+  // recording the new version in `memo` (resized/initialized to
+  // fresh_memo() if it does not match this snapshot yet).  For delta
+  // snapshots, `base_memo` (the caller's memo for the base snapshot, or
+  // nullptr) both supplies extra skips for base-resolved chunks and is
+  // kept up to date when such chunks are copied.  Returns the number of
+  // chunks copied.
   std::uint32_t restore_into(std::uint8_t* data,
-                             std::vector<std::uint64_t>& versions);
+                             std::vector<std::uint64_t>& versions,
+                             std::vector<std::uint64_t>& memo,
+                             std::vector<std::uint64_t>* base_memo) const;
 
   // The snapshot's bytes for one chunk (resolved through the base for
   // delta snapshots).
   const std::uint8_t* chunk(std::uint32_t index) const;
 
   // True when data[0..size) is byte-identical to this snapshot's
-  // logical content.  Chunks whose version proves equality are skipped
-  // without touching their bytes, so the cost is O(chunks written since
-  // the snapshot was captured or last restored).  `masked` (a byte
-  // offset into the array, or SIZE_MAX) excludes exactly one byte from
-  // the comparison — the injector's in-place bit flip.
+  // logical content.  Chunks whose memo entry (or, for base-resolved
+  // delta chunks, base_memo entry) proves equality are skipped without
+  // touching their bytes; pass empty vectors/nullptr for no knowledge.
+  // `masked` (a byte offset into the array, or SIZE_MAX) excludes
+  // exactly one byte from the comparison — the injector's in-place bit
+  // flip.
   bool matches(const std::uint8_t* data,
                const std::vector<std::uint64_t>& versions,
+               const std::vector<std::uint64_t>& memo,
+               const std::vector<std::uint64_t>* base_memo,
                std::size_t masked = static_cast<std::size_t>(-1)) const;
 
   bool valid() const { return chunk_size_ != 0; }
@@ -69,6 +111,10 @@ class ChunkedSnapshot {
   std::uint32_t chunk_size() const { return chunk_size_; }
   std::size_t size() const { return size_; }
   bool is_delta() const { return base_ != nullptr; }
+  // The full snapshot a delta resolves through (nullptr for full
+  // snapshots).  Lets machines assert a shared checkpoint really was
+  // captured against their own boot image.
+  const ChunkedSnapshot* base() const { return base_; }
   // Bytes of payload this snapshot itself stores (delta compression
   // measure; excludes the base).
   std::uint64_t storage_bytes() const { return data_.size(); }
@@ -79,6 +125,17 @@ class ChunkedSnapshot {
     const std::size_t left = size_ - begin;
     return left < chunk_size_ ? static_cast<std::uint32_t>(left) : chunk_size_;
   }
+  // True when the chunk is proven byte-identical to this snapshot by
+  // the caller's equality knowledge alone.
+  bool proven_equal(std::uint32_t index, std::uint64_t version,
+                    const std::vector<std::uint64_t>& memo,
+                    const std::vector<std::uint64_t>* base_memo) const {
+    if (index < memo.size() && version == memo[index]) return true;
+    // A chunk the delta does not store equals the base; equality with
+    // the base is equality with this snapshot.
+    return base_ != nullptr && slot_[index] < 0 && base_memo != nullptr &&
+           index < base_memo->size() && version == (*base_memo)[index];
+  }
 
   std::uint32_t chunk_size_ = 0;
   std::uint32_t chunk_count_ = 0;
@@ -87,7 +144,6 @@ class ChunkedSnapshot {
   std::vector<std::uint8_t> data_;    // full bytes, or packed delta chunks
   std::vector<std::int32_t> slot_;    // delta: chunk -> packed index, -1=base
   std::vector<std::uint64_t> versions_;  // capture-time versions
-  std::vector<std::uint64_t> clean_;  // version at last restore-from-here
 };
 
 }  // namespace kfi::vm

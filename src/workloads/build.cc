@@ -1,6 +1,7 @@
 #include "workloads/workloads.h"
 
 #include <map>
+#include <mutex>
 #include <stdexcept>
 
 #include "kasm/assembler.h"
@@ -51,8 +52,13 @@ WorkloadBuildResult build_workload(const Workload& workload) {
 }
 
 const WorkloadImage& built_workload(const std::string& name) {
+  // Campaign workers construct machines concurrently; the cache must be
+  // locked.  std::map references stay valid across inserts, so the
+  // returned reference is safe to hold after the lock is dropped.
+  static std::mutex& mutex = *new std::mutex();
   static std::map<std::string, WorkloadImage>& cache =
       *new std::map<std::string, WorkloadImage>();
+  const std::lock_guard<std::mutex> lock(mutex);
   const auto it = cache.find(name);
   if (it != cache.end()) return it->second;
 

@@ -3,6 +3,9 @@
 // thread count") and the snapshot-restore property replay rests on.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "check/expectations.h"
 #include "check/replay.h"
 #include "inject/campaign.h"
@@ -57,6 +60,39 @@ TEST(check_determinism, ThreadCountDoesNotChangeResults) {
       << comparison.mismatches.size() << " of " << comparison.compared
       << " results differ between threads=1 and threads=4; first at #"
       << (comparison.mismatches.empty() ? 0 : comparison.mismatches[0].first);
+}
+
+// The stronger shared-cache contract: threads=1 and threads=4 borrowing
+// the *same* GoldenCache (so worker machines adopt one shared BootState
+// and resume from one shared ladder) produce identical result vectors,
+// under both execution engines.
+TEST(check_determinism, SharedCacheThreadCountIdenticalBothEngines) {
+  const auto& prof = profile::default_profile();
+  inject::CampaignConfig config = smoke_config(Campaign::RandomNonBranch);
+
+  std::vector<CampaignRun> runs;
+  for (const machine::ExecEngine engine :
+       {machine::ExecEngine::Step, machine::ExecEngine::Block}) {
+    inject::InjectorOptions options;
+    options.exec_engine = engine;
+    auto cache = std::make_shared<inject::GoldenCache>(options);
+    for (const unsigned threads : {1u, 4u}) {
+      inject::Injector injector(cache);
+      config.threads = threads;
+      runs.push_back(inject::run_campaign(injector, prof, config));
+      EXPECT_EQ(runs.back().stats.threads_used, threads);
+      EXPECT_EQ(runs.back().stats.runs, runs.back().results.size());
+    }
+  }
+  ASSERT_EQ(runs.size(), 4u);
+  ASSERT_GT(runs[0].results.size(), 10u);
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    const RunComparison comparison = compare_runs(runs[0], runs[i]);
+    EXPECT_FALSE(comparison.size_mismatch);
+    EXPECT_TRUE(comparison.identical())
+        << comparison.mismatches.size() << " of " << comparison.compared
+        << " results differ between run 0 and run " << i;
+  }
 }
 
 // Machine::state_digest covers every bit of machine state, and

@@ -1,0 +1,128 @@
+// Chunk formation and work-stealing drain: chunks partition the
+// campaign order without crossing workload boundaries, and the
+// scheduler hands every chunk out exactly once — serially, under
+// concurrent stealing races, and when one worker drains everything.
+#include "inject/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace kfi::inject {
+namespace {
+
+// A synthetic campaign order: `counts[i]` items of workload i, already
+// sorted by workload (as run_campaign's order always is).
+std::vector<InjectionSpec> make_targets(const std::vector<int>& counts) {
+  std::vector<InjectionSpec> targets;
+  for (std::size_t w = 0; w < counts.size(); ++w) {
+    for (int i = 0; i < counts[w]; ++i) {
+      InjectionSpec spec;
+      spec.workload = "wl" + std::to_string(w);
+      targets.push_back(spec);
+    }
+  }
+  return targets;
+}
+
+std::vector<std::size_t> identity_order(std::size_t n) {
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+TEST(Schedule, ChunksPartitionWithoutCrossingWorkloads) {
+  const std::vector<InjectionSpec> targets = make_targets({37, 3, 101, 1, 58});
+  const std::vector<std::size_t> order = identity_order(targets.size());
+  for (const unsigned workers : {1u, 2u, 4u, 8u, 64u}) {
+    const std::vector<Chunk> chunks = make_chunks(order, targets, workers);
+    ASSERT_FALSE(chunks.empty());
+    std::size_t expect_begin = 0;
+    for (const Chunk& chunk : chunks) {
+      // Contiguous, non-overlapping, non-empty cover of [0, n).
+      EXPECT_EQ(chunk.begin, expect_begin);
+      ASSERT_LT(chunk.begin, chunk.end);
+      expect_begin = chunk.end;
+      // One workload per chunk.
+      const std::string& workload = targets[order[chunk.begin]].workload;
+      for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+        EXPECT_EQ(targets[order[i]].workload, workload);
+      }
+    }
+    EXPECT_EQ(expect_begin, order.size());
+    // Deterministic: same inputs, same cuts.
+    EXPECT_EQ(make_chunks(order, targets, workers).size(), chunks.size());
+  }
+  EXPECT_TRUE(make_chunks({}, targets, 4).empty());
+}
+
+TEST(Schedule, SingleWorkerDrainsInOrder) {
+  const std::vector<InjectionSpec> targets = make_targets({20, 20});
+  const std::vector<std::size_t> order = identity_order(targets.size());
+  ChunkScheduler scheduler(make_chunks(order, targets, 1), 1);
+  Chunk chunk;
+  std::size_t expect_begin = 0;
+  while (scheduler.next(0, chunk)) {
+    EXPECT_EQ(chunk.begin, expect_begin);
+    expect_begin = chunk.end;
+  }
+  EXPECT_EQ(expect_begin, order.size());
+  EXPECT_EQ(scheduler.steals(), 0u);
+  EXPECT_FALSE(scheduler.next(0, chunk));
+}
+
+TEST(Schedule, IdleWorkerStealsEverything) {
+  const std::vector<InjectionSpec> targets = make_targets({64});
+  const std::vector<std::size_t> order = identity_order(targets.size());
+  const std::vector<Chunk> chunks = make_chunks(order, targets, 2);
+  ASSERT_GT(chunks.size(), 2u);
+  ChunkScheduler scheduler(chunks, 2);
+  // Worker 0 never calls next(); worker 1 must still drain every item,
+  // taking worker 0's share off the back of its deque.
+  std::vector<bool> seen(order.size(), false);
+  Chunk chunk;
+  while (scheduler.next(1, chunk)) {
+    for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+      EXPECT_FALSE(seen[i]);
+      seen[i] = true;
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+  EXPECT_GT(scheduler.steals(), 0u);
+}
+
+TEST(Schedule, ConcurrentDrainIsExactlyOnce) {
+  const std::vector<InjectionSpec> targets = make_targets({500, 7, 300, 193});
+  const std::vector<std::size_t> order = identity_order(targets.size());
+  constexpr unsigned kWorkers = 8;
+  for (int round = 0; round < 20; ++round) {
+    ChunkScheduler scheduler(make_chunks(order, targets, kWorkers), kWorkers);
+    std::vector<std::atomic<int>> taken(order.size());
+    for (auto& t : taken) t.store(0);
+    std::vector<std::thread> threads;
+    for (unsigned w = 0; w < kWorkers; ++w) {
+      threads.emplace_back([&, w] {
+        Chunk chunk;
+        while (scheduler.next(w, chunk)) {
+          for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+            taken[i].fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (std::size_t i = 0; i < taken.size(); ++i) {
+      ASSERT_EQ(taken[i].load(), 1) << "position " << i << " round " << round;
+    }
+    Chunk chunk;
+    EXPECT_FALSE(scheduler.next(3, chunk));
+  }
+}
+
+}  // namespace
+}  // namespace kfi::inject

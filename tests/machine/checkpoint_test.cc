@@ -48,7 +48,8 @@ TEST(Checkpoint, EveryRungResumesBitIdentically) {
   for (Checkpoint& rung : ladder) {
     ASSERT_GE(rung.cycle, start);
     ASSERT_LT(rung.cycle, start + length);
-    machine->restore_checkpoint(rung);
+    CheckpointMemo memo;
+    machine->restore_checkpoint(rung, memo);
     ASSERT_EQ(machine->cpu().cycles(), rung.cycle);
     // Same absolute watchdog deadline as the straight-line run, so the
     // continuation is the identical execution.
@@ -78,11 +79,13 @@ TEST(Checkpoint, RungToNextRungMatchesStraightLine) {
   // digest-after-restore must match between the two ladders.
   std::vector<Checkpoint> again = machine->capture_checkpoints(at, kBudget);
   ASSERT_EQ(again.size(), ladder.size());
+  std::vector<CheckpointMemo> ladder_memos(ladder.size());
+  std::vector<CheckpointMemo> again_memos(again.size());
   for (std::size_t i = 0; i < ladder.size(); ++i) {
     EXPECT_EQ(again[i].cycle, ladder[i].cycle);
-    machine->restore_checkpoint(ladder[i]);
+    machine->restore_checkpoint(ladder[i], ladder_memos[i]);
     const std::uint64_t from_first = machine->state_digest();
-    machine->restore_checkpoint(again[i]);
+    machine->restore_checkpoint(again[i], again_memos[i]);
     EXPECT_EQ(machine->state_digest(), from_first) << "rung " << i;
   }
 }

@@ -79,8 +79,10 @@ TEST(ExecEngine, CheckpointLadderIdenticalAcrossEngines) {
   // Resuming the step machine from a block-captured rung (and vice
   // versa would hold too) continues on the same timeline.
   ASSERT_GE(cks_a.size(), 2u);
-  step_m->restore_checkpoint(cks_a[1]);
-  block_m->restore_checkpoint(cks_b[1]);
+  CheckpointMemo memo_a;
+  CheckpointMemo memo_b;
+  step_m->restore_checkpoint(cks_a[1], memo_a);
+  block_m->restore_checkpoint(cks_b[1], memo_b);
   const RunResult ra = step_m->run(kRunBudget);
   const RunResult rb = block_m->run(kRunBudget);
   EXPECT_EQ(ra.exit, rb.exit);

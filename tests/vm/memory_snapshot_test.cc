@@ -1,7 +1,8 @@
 // Dirty-page snapshot/restore: the version-tracked restore must be
 // bit-identical to a full-image copy under arbitrary write patterns,
-// including repeated restores from the same snapshot and sparse delta
-// snapshots layered over a full base.
+// including repeated restores from the same snapshot, sparse delta
+// snapshots layered over a full base, and one immutable snapshot shared
+// between several memories each holding a private equality memo.
 #include "vm/memory.h"
 #include "vm/snapshot.h"
 
@@ -52,6 +53,7 @@ TEST(MemorySnapshot, DirtyRestoreMatchesFullCopyUnderFuzz) {
   scribble(mem, rng, 200);
 
   ChunkedSnapshot snap = mem.snapshot_pages();
+  std::vector<std::uint64_t> memo = snap.capture_memo();
   const std::vector<std::uint8_t> reference = contents(mem);
 
   // Repeated rounds against the same snapshot exercise the clean-page
@@ -59,7 +61,7 @@ TEST(MemorySnapshot, DirtyRestoreMatchesFullCopyUnderFuzz) {
   // not be copied again, and must still read back correctly).
   for (int round = 0; round < 20; ++round) {
     scribble(mem, rng, static_cast<int>(rng.below(40)));
-    mem.restore_pages(snap);
+    mem.restore_pages(snap, memo);
     ASSERT_EQ(contents(mem), reference) << "round " << round;
   }
 }
@@ -70,13 +72,14 @@ TEST(MemorySnapshot, RepeatRestoreCopiesNothingWhenClean) {
   scribble(mem, rng, 100);
 
   ChunkedSnapshot snap = mem.snapshot_pages();
+  std::vector<std::uint64_t> memo = snap.capture_memo();
   mem.write8(0, 0xAA);
-  mem.restore_pages(snap);
+  mem.restore_pages(snap, memo);
   const std::uint64_t pages_after_first = mem.restored_pages();
   EXPECT_GE(pages_after_first, 1u);
 
   // No writes since the restore: every page is clean, nothing to copy.
-  mem.restore_pages(snap);
+  mem.restore_pages(snap, memo);
   EXPECT_EQ(mem.restored_pages(), pages_after_first);
 }
 
@@ -85,22 +88,24 @@ TEST(MemorySnapshot, DeltaRestoreRebuildsCaptureState) {
   Rng rng(0xC0FFEEu);
   scribble(mem, rng, 150);
   ChunkedSnapshot base = mem.snapshot_pages();
+  std::vector<std::uint64_t> base_memo = base.capture_memo();
 
   scribble(mem, rng, 60);
-  ChunkedSnapshot delta = mem.snapshot_delta(base);
+  ChunkedSnapshot delta = mem.snapshot_delta(base, &base_memo);
+  std::vector<std::uint64_t> delta_memo = delta.capture_memo();
   const std::vector<std::uint8_t> at_capture = contents(mem);
   // A delta stores only diverged pages, not the whole image.
   EXPECT_LT(delta.storage_bytes(), static_cast<std::uint64_t>(kSize));
 
   for (int round = 0; round < 10; ++round) {
     scribble(mem, rng, static_cast<int>(rng.below(50)));
-    mem.restore_pages(delta);
+    mem.restore_pages(delta, delta_memo, &base_memo);
     ASSERT_EQ(contents(mem), at_capture) << "round " << round;
   }
 
   // The base must still restore its own (earlier) state afterwards.
   ChunkedSnapshot verify = mem.snapshot_pages();
-  mem.restore_pages(base);
+  mem.restore_pages(base, base_memo);
   PhysicalMemory other(kSize);
   other.restore_pages_full(verify);
   // `verify` captured the delta state; base differs from it somewhere.
@@ -112,20 +117,86 @@ TEST(MemorySnapshot, InterleavedSnapshotsStayIndependent) {
   Rng rng(42u);
   scribble(mem, rng, 80);
   ChunkedSnapshot base = mem.snapshot_pages();
+  std::vector<std::uint64_t> base_memo = base.capture_memo();
   const std::vector<std::uint8_t> base_state = contents(mem);
 
   scribble(mem, rng, 40);
-  ChunkedSnapshot mid = mem.snapshot_delta(base);
+  ChunkedSnapshot mid = mem.snapshot_delta(base, &base_memo);
+  std::vector<std::uint64_t> mid_memo = mid.capture_memo();
   const std::vector<std::uint8_t> mid_state = contents(mem);
 
   for (int round = 0; round < 8; ++round) {
     scribble(mem, rng, 30);
-    mem.restore_pages(mid);
+    mem.restore_pages(mid, mid_memo, &base_memo);
     ASSERT_EQ(contents(mem), mid_state);
     scribble(mem, rng, 30);
-    mem.restore_pages(base);
+    mem.restore_pages(base, base_memo);
     ASSERT_EQ(contents(mem), base_state);
   }
+}
+
+// The shared-cache contract: one immutable snapshot (plus a delta over
+// it) serves several memories, each with its own memo.  A foreign
+// memory starts from no knowledge (fresh/empty memo) and must converge
+// to the identical bytes; its memo then makes repeat restores cheap,
+// and interleaved restores on different memories must not interfere.
+TEST(MemorySnapshot, SharedSnapshotAcrossMemoriesWithPrivateMemos) {
+  PhysicalMemory capturer(kSize);
+  Rng rng(0xABCDu);
+  scribble(capturer, rng, 120);
+  const ChunkedSnapshot base = capturer.snapshot_pages();
+  const std::vector<std::uint8_t> base_state = contents(capturer);
+
+  scribble(capturer, rng, 50);
+  std::vector<std::uint64_t> cap_base_memo = base.capture_memo();
+  const ChunkedSnapshot delta = capturer.snapshot_delta(base);
+  const std::vector<std::uint8_t> delta_state = contents(capturer);
+
+  PhysicalMemory a(kSize);
+  PhysicalMemory b(kSize);
+  // Deliberately desynchronize the foreign memories' version counters
+  // from the capturer's (the unsoundness the caller-owned memo design
+  // removes: a foreign array's versions must never be compared against
+  // capture-time versions).
+  scribble(a, rng, 33);
+  scribble(b, rng, 77);
+
+  std::vector<std::uint64_t> a_base_memo;  // empty = no knowledge
+  std::vector<std::uint64_t> b_base_memo;
+  std::vector<std::uint64_t> a_delta_memo;
+  std::vector<std::uint64_t> b_delta_memo;
+
+  a.restore_pages(base, a_base_memo);
+  ASSERT_EQ(contents(a), base_state);
+  b.restore_pages(delta, b_delta_memo, &b_base_memo);
+  // b never restored `base`, and its empty base memo must not be
+  // consulted as knowledge — the delta restore has to copy base-resolved
+  // chunks too.
+  ASSERT_EQ(contents(b), delta_state);
+
+  for (int round = 0; round < 6; ++round) {
+    scribble(a, rng, 25);
+    scribble(b, rng, 25);
+    a.restore_pages(delta, a_delta_memo, &a_base_memo);
+    ASSERT_EQ(contents(a), delta_state) << "round " << round;
+    b.restore_pages(base, b_base_memo);
+    ASSERT_EQ(contents(b), base_state) << "round " << round;
+    EXPECT_TRUE(base.matches(b.raw(0), b.page_versions(), b_base_memo,
+                             nullptr));
+    EXPECT_TRUE(delta.matches(a.raw(0), a.page_versions(), a_delta_memo,
+                              &a_base_memo));
+  }
+
+  // Clean repeat restores copy nothing, per-memory.
+  const std::uint64_t a_pages = a.restored_pages();
+  a.restore_pages(delta, a_delta_memo, &a_base_memo);
+  EXPECT_EQ(a.restored_pages(), a_pages);
+
+  // The capturer's own memo still works after all of that (snapshot
+  // state was never mutated by the other memories' restores).
+  scribble(capturer, rng, 20);
+  capturer.restore_pages(base, cap_base_memo);
+  ASSERT_EQ(contents(capturer), base_state);
 }
 
 }  // namespace
