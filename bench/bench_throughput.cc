@@ -1,8 +1,9 @@
-// bench_throughput — end-to-end campaign throughput of three execution
-// paths: full-restore baseline, checkpoint ladder (PR 2), and
-// checkpoint ladder + superblock engine (PR 3) — plus a worker-thread
-// scaling sweep (threads = 1/2/4/8) of the fastest mode over one
-// shared, prewarmed GoldenCache.
+// bench_throughput — end-to-end campaign throughput of four execution
+// paths: full-restore baseline, checkpoint ladder (PR 2), checkpoint
+// ladder + superblock engine (PR 3), and the fastest mode with the
+// forensics event trace attached (PR 5's observational-overhead gate) —
+// plus a worker-thread scaling sweep (threads = 1/2/4/8) of the fastest
+// mode over one shared, prewarmed GoldenCache.
 //
 // All modes and every sweep entry run the identical smoke-scale A/B/C
 // campaigns; the result vectors are required to be bit-identical (exit
@@ -26,6 +27,7 @@
 #include "inject/golden.h"
 #include "machine/machine.h"
 #include "profile/profile.h"
+#include "trace/trace.h"
 
 namespace {
 
@@ -141,7 +143,9 @@ void print_mode(std::FILE* out, const ModeResult& mode, bool last) {
       "      \"block_fallbacks\": %llu,\n"
       "      \"block_invalidations\": %llu,\n"
       "      \"block_ops\": %llu,\n"
-      "      \"avg_block_len\": %.2f\n"
+      "      \"avg_block_len\": %.2f,\n"
+      "      \"trace_events\": %llu,\n"
+      "      \"trace_dropped\": %llu\n"
       "    }%s\n",
       mode.name.c_str(), mode.seconds,
       static_cast<unsigned long long>(mode.runs), rate,
@@ -172,6 +176,8 @@ void print_mode(std::FILE* out, const ModeResult& mode, bool last) {
       block_entries == 0 ? 0.0
                          : static_cast<double>(perf.block_ops) /
                                static_cast<double>(block_entries),
+      static_cast<unsigned long long>(perf.trace_events),
+      static_cast<unsigned long long>(perf.trace_dropped),
       last ? "" : ",");
 }
 
@@ -232,6 +238,32 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Trace-on leg: same fastest mode with the forensics trace attached.
+  // The trace layer's observational contract is gated here — recording
+  // may cost wall clock, but not a single result bit.
+  inject::InjectorOptions trace_options = block_options;
+  trace_options.trace_capacity = trace::TraceBuffer::kDefaultCapacity;
+  const ModeResult traced = run_mode("trace", trace_options);
+  for (std::size_t i = 0; i < traced.campaigns.size(); ++i) {
+    const check::RunComparison vs_trace =
+        check::compare_runs(baseline.campaigns[i], traced.campaigns[i]);
+    if (!vs_trace.identical()) {
+      std::fprintf(stderr,
+                   "FAIL: campaign %zu diverged with tracing enabled "
+                   "(%zu mismatches of %zu)\n",
+                   i, vs_trace.mismatches.size(), vs_trace.compared);
+      return 1;
+    }
+  }
+  const std::uint64_t trace_digest = results_digest(traced.campaigns);
+  if (trace_digest != digest) {
+    std::fprintf(stderr,
+                 "FAIL: trace-on result digest %016llx != %016llx\n",
+                 static_cast<unsigned long long>(trace_digest),
+                 static_cast<unsigned long long>(digest));
+    return 1;
+  }
+
   const double speedup =
       ladder.seconds > 0.0 ? baseline.seconds / ladder.seconds : 0.0;
   const double block_speedup =
@@ -263,6 +295,13 @@ int main(int argc, char** argv) {
               static_cast<double>(baseline.stats.pre_trigger_cycles) / 1e6,
               static_cast<double>(ladder.stats.pre_trigger_cycles) / 1e6,
               setup_speedup);
+  const double trace_overhead =
+      block.seconds > 0.0 ? traced.seconds / block.seconds : 0.0;
+  std::printf("trace-on:     %6.2f s  (%.2fx of ladder+block, %llu events, "
+              "%llu dropped, digest identical)\n",
+              traced.seconds, trace_overhead,
+              static_cast<unsigned long long>(traced.stats.perf.trace_events),
+              static_cast<unsigned long long>(traced.stats.perf.trace_dropped));
 
   // Worker-thread scaling sweep of the fastest mode.  One GoldenCache
   // is prewarmed (golden runs + ladders for every workload the
@@ -335,17 +374,23 @@ int main(int argc, char** argv) {
   std::fprintf(out, "{\n  \"benchmark\": \"throughput\",\n  \"modes\": {\n");
   print_mode(out, baseline, false);
   print_mode(out, ladder, false);
-  print_mode(out, block, true);
+  print_mode(out, block, false);
+  print_mode(out, traced, true);
   std::fprintf(out,
                "  },\n"
                "  \"speedup\": %.3f,\n"
                "  \"block_speedup\": %.3f,\n"
                "  \"total_speedup\": %.3f,\n"
                "  \"pre_trigger_speedup\": %.3f,\n"
+               "  \"trace_overhead\": %.3f,\n"
+               "  \"trace_gate\": {\"trace_identical\": true, "
+               "\"result_digest\": \"%016llx\"},\n"
                "  \"hardware_concurrency\": %u,\n"
                "  \"sweep_golden_builds\": %llu,\n"
                "  \"threads_sweep\": [\n",
-               speedup, block_speedup, total_speedup, setup_speedup, hardware,
+               speedup, block_speedup, total_speedup, setup_speedup,
+               trace_overhead,
+               static_cast<unsigned long long>(trace_digest), hardware,
                static_cast<unsigned long long>(golden_builds));
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     const ModeResult& entry = sweep[i];

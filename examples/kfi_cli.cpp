@@ -6,9 +6,11 @@
 //   kfi_cli disasm <function>
 //   kfi_cli profile [top-n]
 //   kfi_cli inject <function> <instr-index> <byte> <bit> [workload]
+//   kfi_cli forensics <function> <instr-index> <byte> <bit> [workload]
 //   kfi_cli campaign <A|B|C> [function ...]
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -21,10 +23,23 @@
 #include "machine/kdb.h"
 #include "profile/profile.h"
 #include "support/strings.h"
+#include "trace/trace.h"
 
 namespace {
 
 using namespace kfi;
+
+// Strict numeric argument parsing: atoi's 0-on-garbage return made
+// "kfi_cli inject fn x y z" look like a valid bit-0 injection.
+bool parse_arg(const char* text, const char* what, std::uint64_t max_value,
+               std::uint64_t& out) {
+  if (!parse_u64(text, out, 0, max_value)) {
+    std::printf("invalid %s '%s' (expected 0..%llu)\n", what, text,
+                static_cast<unsigned long long>(max_value));
+    return false;
+  }
+  return true;
+}
 
 int usage() {
   std::printf(
@@ -37,6 +52,10 @@ int usage() {
       "  profile [top-n]           kernprof-style profile (default 15)\n"
       "  inject <fn> <i> <byte> <bit> [workload]\n"
       "                            flip one bit in instruction #i of fn\n"
+      "  forensics <fn> <i> <byte> <bit> [workload]\n"
+      "                            replay one injection under the event\n"
+      "                            trace: timeline + JSONL next to the\n"
+      "                            campaign artifacts\n"
       "  campaign <A|B|C> [fn...]  run a campaign (default: paper's\n"
       "                            function selection)\n"
       "  report [out.md]           run/load all campaigns and write a\n"
@@ -75,14 +94,16 @@ int cmd_disasm(int argc, char** argv) {
 }
 
 int cmd_profile(int argc, char** argv) {
-  const int top = argc > 2 ? std::atoi(argv[2]) : 15;
+  std::uint64_t top = 15;
+  if (argc > 2 && !parse_arg(argv[2], "top-n", 1000, top)) return 1;
   const profile::ProfileResult& prof = profile::default_profile();
   std::fputs(analysis::render_table1(prof, 0.95).c_str(), stdout);
   std::printf("\n");
-  int rank = 1;
+  std::uint64_t rank = 1;
   for (const profile::FunctionSamples& fs : prof.functions) {
     if (rank > top) break;
-    std::printf("%3d. %-26s %-8s %8s samples\n", rank++,
+    std::printf("%3llu. %-26s %-8s %8s samples\n",
+                static_cast<unsigned long long>(rank++),
                 fs.function.c_str(),
                 std::string(kernel::subsystem_name(fs.subsystem)).c_str(),
                 with_commas(fs.samples).c_str());
@@ -90,44 +111,52 @@ int cmd_profile(int argc, char** argv) {
   return 0;
 }
 
-int cmd_inject(int argc, char** argv) {
-  if (argc < 6) return usage();
+// Shared by `inject` and `forensics`: argv[2..5] -> a validated spec.
+// Returns false after printing a diagnostic.
+bool parse_spec(int argc, char** argv, inject::InjectionSpec& spec) {
   const kernel::KernelImage& image = kernel::built_kernel();
   const kernel::KernelFunction* fn = image.function(argv[2]);
   if (fn == nullptr) {
     std::printf("unknown function '%s'\n", argv[2]);
-    return 1;
+    return false;
   }
   const auto sites = inject::enumerate_function(image, *fn);
-  const int index = std::atoi(argv[3]);
-  if (index < 0 || static_cast<std::size_t>(index) >= sites.size()) {
-    std::printf("instruction index out of range (0..%zu)\n",
-                sites.size() - 1);
-    return 1;
+  if (sites.empty()) {
+    std::printf("function '%s' has no enumerable instructions\n",
+                fn->name.c_str());
+    return false;
   }
-  inject::InjectionSpec spec;
+  std::uint64_t index = 0;
+  std::uint64_t byte_index = 0;
+  std::uint64_t bit_index = 0;
+  if (!parse_arg(argv[3], "instruction index", sites.size() - 1, index) ||
+      !parse_arg(argv[4], "byte index", 15, byte_index) ||
+      !parse_arg(argv[5], "bit index", 7, bit_index)) {
+    return false;
+  }
   spec.function = fn->name;
   spec.subsystem = fn->subsystem;
-  spec.instr_addr = sites[static_cast<std::size_t>(index)].addr;
-  spec.instr_len = static_cast<std::uint8_t>(
-      sites[static_cast<std::size_t>(index)].bytes.size());
-  spec.byte_index = static_cast<std::uint8_t>(std::atoi(argv[4]));
-  spec.bit_index = static_cast<std::uint8_t>(std::atoi(argv[5]));
+  spec.instr_addr = sites[index].addr;
+  spec.instr_len = static_cast<std::uint8_t>(sites[index].bytes.size());
+  spec.byte_index = static_cast<std::uint8_t>(byte_index);
+  spec.bit_index = static_cast<std::uint8_t>(bit_index);
   if (spec.byte_index >= spec.instr_len) {
     std::printf("byte index out of range (instruction is %u bytes)\n",
                 spec.instr_len);
-    return 1;
+    return false;
   }
   spec.workload = argc > 6 ? argv[6]
                            : profile::default_profile().best_workload(
                                  fn->name);
   if (spec.workload.empty()) spec.workload = "syscall";
+  return true;
+}
 
-  inject::Injector injector;
-  const inject::InjectionResult result = injector.run_one(spec);
-  std::printf("target   : %s @%s (%s), workload %s\n", fn->name.c_str(),
+void print_result(const inject::InjectionSpec& spec,
+                  const inject::InjectionResult& result) {
+  std::printf("target   : %s @%s (%s), workload %s\n", spec.function.c_str(),
               hex32(spec.instr_addr).c_str(),
-              std::string(kernel::subsystem_name(fn->subsystem)).c_str(),
+              std::string(kernel::subsystem_name(spec.subsystem)).c_str(),
               spec.workload.c_str());
   std::printf("before   : %s\n", result.disasm_before.c_str());
   std::printf("after    : %s\n", result.disasm_after.c_str());
@@ -145,6 +174,57 @@ int cmd_inject(int argc, char** argv) {
     std::printf("severity : %s\n",
                 std::string(inject::severity_name(result.severity)).c_str());
   }
+}
+
+int cmd_inject(int argc, char** argv) {
+  if (argc < 6) return usage();
+  inject::InjectionSpec spec;
+  if (!parse_spec(argc, argv, spec)) return 1;
+  inject::Injector injector;
+  const inject::InjectionResult result = injector.run_one(spec);
+  print_result(spec, result);
+  return 0;
+}
+
+int cmd_forensics(int argc, char** argv) {
+  if (argc < 6) return usage();
+  inject::InjectionSpec spec;
+  if (!parse_spec(argc, argv, spec)) return 1;
+
+  inject::InjectorOptions options;
+  options.trace_capacity = trace::TraceBuffer::kDefaultCapacity;
+  inject::Injector injector(options);
+  const inject::InjectionResult result = injector.run_one(spec);
+  print_result(spec, result);
+
+  const kernel::KernelImage& image = kernel::built_kernel();
+  const trace::SymbolResolver resolve = [&image](std::uint32_t addr) {
+    const kernel::KernelFunction* at = image.function_at(addr);
+    if (at == nullptr) return std::string();
+    return format("%s+0x%x (%s)", at->name.c_str(), addr - at->start,
+                  std::string(kernel::subsystem_name(at->subsystem)).c_str());
+  };
+  const std::vector<trace::Event> events = injector.trace()->events();
+  std::printf("\n-- forensics timeline (%zu events, %llu recorded, "
+              "%llu dropped) --\n",
+              events.size(),
+              static_cast<unsigned long long>(
+                  injector.trace()->total_recorded()),
+              static_cast<unsigned long long>(
+                  injector.trace()->total_dropped()));
+  std::fputs(trace::render_timeline(events, resolve).c_str(), stdout);
+
+  std::error_code ec;
+  std::filesystem::create_directories("kfi-results", ec);
+  // argv[3] is the already-validated instruction index.
+  const std::string path =
+      format("kfi-results/forensics_%s_%s_%u_%u.jsonl", spec.function.c_str(),
+             argv[3], spec.byte_index, spec.bit_index);
+  if (!trace::write_jsonl(events, path, resolve)) {
+    std::printf("cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu events)\n", path.c_str(), events.size());
   return 0;
 }
 
@@ -213,6 +293,7 @@ int main(int argc, char** argv) {
   if (command == "disasm") return cmd_disasm(argc, argv);
   if (command == "profile") return cmd_profile(argc, argv);
   if (command == "inject") return cmd_inject(argc, argv);
+  if (command == "forensics") return cmd_forensics(argc, argv);
   if (command == "campaign") return cmd_campaign(argc, argv);
   if (command == "report") return cmd_report(argc, argv);
   return usage();

@@ -1,6 +1,10 @@
 #include "analysis/aggregate.h"
 
 #include <set>
+#include <stdexcept>
+
+#include "isa/isa.h"
+#include "trace/trace.h"
 
 namespace kfi::analysis {
 
@@ -134,6 +138,72 @@ PropagationGraph make_propagation(const CampaignRun& run, Subsystem from) {
   }
   for (auto& [to, edge] : edges) graph.edges.push_back(std::move(edge));
   return graph;
+}
+
+namespace {
+
+// The eip of the first fault-class event after the injection flip, or 0
+// if the trace window holds none.  Timer ticks and syscall entries are
+// normal control flow, not corruption surfacing, and are skipped.
+std::uint32_t first_fault_eip(const std::vector<trace::Event>& events) {
+  bool flipped = false;
+  for (const trace::Event& e : events) {
+    if (e.kind == trace::EventKind::InjectFlip) {
+      flipped = true;
+      continue;
+    }
+    if (!flipped) continue;
+    if (e.kind == trace::EventKind::MemFault) return e.c;
+    if (e.kind == trace::EventKind::TrapEntry &&
+        e.a != static_cast<std::uint32_t>(isa::Trap::Syscall)) {
+      return e.c;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+TracedPropagation make_traced_propagation(inject::Injector& tracer,
+                                          const CampaignRun& run,
+                                          Subsystem from,
+                                          std::size_t max_replays) {
+  if (tracer.trace() == nullptr) {
+    throw std::invalid_argument(
+        "make_traced_propagation: tracer built without trace_capacity");
+  }
+  TracedPropagation out;
+  out.graph.campaign = run.campaign;
+  out.graph.from = from;
+
+  std::map<Subsystem, PropagationEdge> edges;
+  for (const InjectionResult& r : run.results) {
+    if (r.outcome != Outcome::DumpedCrash) continue;
+    if (r.spec.subsystem != from) continue;
+    if (max_replays != 0 && out.replayed >= max_replays) {
+      ++out.skipped;
+      continue;
+    }
+    const InjectionResult replay = tracer.run_one(r.spec);
+    ++out.replayed;
+    Subsystem to = r.crash_subsystem;
+    if (replay.outcome != Outcome::DumpedCrash) {
+      // Determinism should make this impossible; count it and keep the
+      // final-eip attribution rather than dropping the crash.
+      ++out.mismatches;
+    } else {
+      const std::uint32_t eip = first_fault_eip(tracer.trace()->events());
+      if (eip != 0) to = kernel::subsystem_of_addr(eip);
+    }
+    PropagationEdge& edge = edges[to];
+    edge.from = from;
+    edge.to = to;
+    ++edge.crashes;
+    ++edge.causes[r.cause];
+    ++out.graph.total_crashes;
+  }
+  for (auto& [to, edge] : edges) out.graph.edges.push_back(std::move(edge));
+  return out;
 }
 
 SeveritySummary make_severity(const CampaignRun& run) {

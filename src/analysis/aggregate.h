@@ -79,6 +79,28 @@ struct PropagationGraph {
 PropagationGraph make_propagation(const inject::CampaignRun& run,
                                   kernel::Subsystem from);
 
+// Figure 8, trace-derived: make_propagation() reads each crash's final
+// oops eip; this variant replays every DumpedCrash under the forensics
+// trace and attributes the edge to the subsystem of the *first* trap or
+// memory fault observed after the injection flip — the earliest
+// machine-visible point the corruption surfaced, which is what the
+// paper's dump analysis actually reads off the call trace.  Replays are
+// deterministic, so the result is a pure function of the run.
+struct TracedPropagation {
+  PropagationGraph graph;
+  std::size_t replayed = 0;   // crashes replayed under trace
+  std::size_t skipped = 0;    // crashes beyond max_replays (reported, not silent)
+  std::size_t mismatches = 0; // replays that failed to crash again (expect 0)
+};
+
+// `tracer` must have been built with InjectorOptions::trace_capacity >
+// 0 (throws std::invalid_argument otherwise).  `max_replays` caps the
+// replay cost; 0 = replay every crash.
+TracedPropagation make_traced_propagation(inject::Injector& tracer,
+                                          const inject::CampaignRun& run,
+                                          kernel::Subsystem from,
+                                          std::size_t max_replays = 0);
+
 // ---- Table 5 / §7.1: crash severity ----
 
 struct SeveritySummary {

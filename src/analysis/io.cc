@@ -99,7 +99,17 @@ bool save_campaign(const inject::CampaignRun& run, const std::string& path) {
   std::ofstream file(path, std::ios::binary | std::ios::trunc);
   if (!file) return false;
   file.write(out.data(), static_cast<std::streamsize>(out.size()));
-  return file.good();
+  file.flush();
+  file.close();
+  if (!file.good()) {
+    // A truncated artifact would be silently rejected (or worse,
+    // half-parsed) on the next load; remove it so the campaign is
+    // re-run instead of read back wrong.
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    return false;
+  }
+  return true;
 }
 
 std::optional<inject::CampaignRun> load_campaign(const std::string& path) {
@@ -208,7 +218,10 @@ inject::CampaignRun load_or_run_campaign(inject::Injector& injector,
   }
   inject::CampaignRun run =
       inject::run_campaign(injector, profile::default_profile(), config);
-  if (!path.empty()) save_campaign(run, path);
+  if (!path.empty() && !save_campaign(run, path)) {
+    std::fprintf(stderr, "[kfi] warning: failed to save campaign cache %s\n",
+                 path.c_str());
+  }
   return run;
 }
 

@@ -203,6 +203,7 @@ CampaignRun run_campaign(Injector& injector,
       own = std::make_unique<Injector>(injector.cache());
       inj = own.get();
     }
+    if (inj->trace() != nullptr) scheduler.set_trace(w, inj->trace());
     Chunk chunk;
     while (scheduler.next(w, chunk)) {
       for (std::size_t n = chunk.begin; n < chunk.end; ++n) {

@@ -68,6 +68,10 @@ struct InjectorOptions {
   // Execution engine for every machine built against this cache;
   // results are bit-identical between engines (defaults from KFI_EXEC).
   machine::ExecEngine exec_engine = machine::default_exec_engine();
+  // Capacity of the per-injector forensics TraceBuffer (0 = tracing
+  // off, the default).  Recording is strictly observational: outcomes
+  // and the campaign result digest are bit-identical either way.
+  std::size_t trace_capacity = 0;
 };
 
 // One workload's complete golden artifact bundle.  Immutable once

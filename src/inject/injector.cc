@@ -4,6 +4,7 @@
 
 #include "fsutil/kfs.h"
 #include "isa/disasm.h"
+#include "trace/trace.h"
 #include "vm/layout.h"
 
 namespace kfi::inject {
@@ -15,6 +16,10 @@ Injector::Injector(std::shared_ptr<GoldenCache> cache)
     : cache_(std::move(cache)) {
   if (cache_ == nullptr) {
     throw std::invalid_argument("injector: null golden cache");
+  }
+  if (cache_->options().trace_capacity > 0) {
+    trace_ =
+        std::make_unique<trace::TraceBuffer>(cache_->options().trace_capacity);
   }
 }
 
@@ -38,6 +43,7 @@ Injector::WorkloadState& Injector::state_for(const std::string& workload) {
       cache_->image(), workloads::built_workload(workload),
       cache_->root_disk(), machine_options);
   state->machine->adopt_boot(artifact.boot);
+  if (trace_ != nullptr) state->machine->set_event_trace(trace_.get());
   state->rung_memos.resize(artifact.ladder.size());
   return *states_.emplace(workload, std::move(state)).first->second;
 }
@@ -47,6 +53,12 @@ machine::PerfStats Injector::perf_stats() const {
   for (const auto& [workload, state] : states_) {
     total += state->machine->perf_stats();
   }
+  // Added here, not per machine: the buffer is shared across this
+  // injector's machines, so per-machine sums would double-count.
+  if (trace_ != nullptr) {
+    total.trace_events = trace_->total_recorded();
+    total.trace_dropped = trace_->total_dropped();
+  }
   return total;
 }
 
@@ -54,6 +66,8 @@ InjectionResult Injector::run_one(const InjectionSpec& spec) {
   InjectionResult result;
   result.spec = spec;
   ++runs_;
+  // A fresh per-injection window (lifetime totals survive the clear).
+  if (trace_ != nullptr) trace_->clear();
 
   const GoldenRun& ref = golden(spec.workload);
   if (coverage(spec.workload).count(spec.instr_addr) == 0) {
@@ -108,6 +122,10 @@ InjectionResult Injector::run_one(const InjectionSpec& spec) {
     return result;
   }
   const std::uint64_t trigger_abs = machine.cpu().cycles();
+  if (trace_ != nullptr) {
+    trace_->record(trace::EventKind::InjectTrigger, trigger_abs,
+                   spec.instr_addr);
+  }
 
   // Flip the bit in the instruction's binary and resume.
   result.activation_cycle = machine.cpu().cycles() - start;
@@ -120,9 +138,17 @@ InjectionResult Injector::run_one(const InjectionSpec& spec) {
     result.disasm_before =
         isa::disassemble_bytes(before, sizeof before, spec.instr_addr,
                                nullptr);
-    const std::uint8_t corrupted = static_cast<std::uint8_t>(
-        machine.memory().read8(flip_phys) ^ (1u << spec.bit_index));
+    const std::uint8_t pristine = machine.memory().read8(flip_phys);
+    const std::uint8_t corrupted =
+        static_cast<std::uint8_t>(pristine ^ (1u << spec.bit_index));
     machine.memory().write8(flip_phys, corrupted);
+    if (trace_ != nullptr) {
+      trace_->record(
+          trace::EventKind::InjectFlip, machine.cpu().cycles(),
+          spec.instr_addr,
+          static_cast<std::uint32_t>(spec.byte_index) << 8 | spec.bit_index,
+          pristine, corrupted);
+    }
     // Drop any cached superblock containing the corrupted page (the
     // per-op version check would catch it; this avoids the stale hit).
     machine.cpu().invalidate_blocks(flip_phys);
@@ -173,6 +199,10 @@ InjectionResult Injector::run_one(const InjectionSpec& spec) {
       }
       if (machine.state_matches(ck, state.rung_memos[idx], flip_phys)) {
         reconverged = true;
+        if (trace_ != nullptr) {
+          trace_->record(trace::EventKind::Reconverged, machine.cpu().cycles(),
+                         static_cast<std::uint32_t>(idx));
+        }
       } else {
         ++idx;
       }

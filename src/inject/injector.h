@@ -30,6 +30,10 @@
 #include "inject/outcome.h"
 #include "machine/machine.h"
 
+namespace kfi::trace {
+class TraceBuffer;
+}
+
 namespace kfi::inject {
 
 class Injector {
@@ -97,6 +101,13 @@ class Injector {
   std::uint64_t post_trigger_cycles() const { return post_trigger_cycles_; }
   machine::PerfStats perf_stats() const;
 
+  // The forensics trace buffer, or nullptr when
+  // InjectorOptions::trace_capacity is 0.  run_one() clears it on
+  // entry, so after a run it holds that injection's event window
+  // (trigger, flip, traps, crash report).  Lifetime recorded/dropped
+  // totals survive the clears and flow into perf_stats().
+  trace::TraceBuffer* trace() const { return trace_.get(); }
+
  private:
   // This injector's mutable execution state for one workload: a worker
   // machine started from the shared BootState, plus private dirty-
@@ -110,6 +121,9 @@ class Injector {
   WorkloadState& state_for(const std::string& workload);
 
   std::shared_ptr<GoldenCache> cache_;
+  // One buffer shared by all of this injector's workload machines (a
+  // run touches exactly one machine, so the window stays coherent).
+  std::unique_ptr<trace::TraceBuffer> trace_;
   std::map<std::string, std::unique_ptr<WorkloadState>> states_;
   std::uint64_t runs_ = 0;
   std::uint64_t ckpt_hits_ = 0;

@@ -1,5 +1,7 @@
 #include "inject/schedule.h"
 
+#include "trace/trace.h"
+
 namespace kfi::inject {
 
 namespace {
@@ -69,12 +71,24 @@ bool ChunkScheduler::pop_back(WorkerQueue& q, Chunk& out) {
   return true;
 }
 
+void ChunkScheduler::set_trace(unsigned worker, trace::TraceBuffer* sink) {
+  if (worker < queues_.size()) queues_[worker]->trace = sink;
+}
+
 bool ChunkScheduler::next(unsigned worker, Chunk& out) {
   const std::size_t workers = queues_.size();
   if (worker >= workers) return false;
+  trace::TraceBuffer* const sink = queues_[worker]->trace;
   while (remaining_.load(std::memory_order_relaxed) != 0) {
     // Own queue first, front first: continue the locality run.
-    if (pop_front(*queues_[worker], out)) return true;
+    if (pop_front(*queues_[worker], out)) {
+      if (sink != nullptr) {
+        sink->record(trace::EventKind::ChunkRun, 0, worker,
+                     static_cast<std::uint32_t>(out.begin),
+                     static_cast<std::uint32_t>(out.end));
+      }
+      return true;
+    }
     // Steal from the back of the first non-empty victim — the chunk the
     // victim would have reached last, farthest from where it is working
     // now.
@@ -82,6 +96,12 @@ bool ChunkScheduler::next(unsigned worker, Chunk& out) {
       const std::size_t victim = (worker + k) % workers;
       if (pop_back(*queues_[victim], out)) {
         steals_.fetch_add(1, std::memory_order_relaxed);
+        if (sink != nullptr) {
+          sink->record(trace::EventKind::ChunkSteal, 0, worker,
+                       static_cast<std::uint32_t>(victim),
+                       static_cast<std::uint32_t>(out.begin),
+                       static_cast<std::uint32_t>(out.end));
+        }
         return true;
       }
     }

@@ -32,6 +32,10 @@
 
 #include "inject/targets.h"
 
+namespace kfi::trace {
+class TraceBuffer;
+}
+
 namespace kfi::inject {
 
 // A half-open range [begin, end) of positions in the campaign's
@@ -61,6 +65,12 @@ class ChunkScheduler {
   // Returns false only when every chunk has been handed out.
   bool next(unsigned worker, Chunk& out);
 
+  // Attaches `worker`'s forensics sink (nullptr = off): each chunk
+  // grant/steal handed to that worker is recorded as a ChunkRun or
+  // ChunkSteal event.  Host-side events carry cycle 0 — the scheduler
+  // has no guest clock.  Call before the worker's first next().
+  void set_trace(unsigned worker, trace::TraceBuffer* sink);
+
   // Chunks obtained by stealing (telemetry).
   std::uint64_t steals() const {
     return steals_.load(std::memory_order_relaxed);
@@ -70,6 +80,7 @@ class ChunkScheduler {
   struct WorkerQueue {
     std::mutex mutex;
     std::deque<Chunk> chunks;
+    trace::TraceBuffer* trace = nullptr;  // written before the worker runs
   };
 
   bool pop_front(WorkerQueue& q, Chunk& out);

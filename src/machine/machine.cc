@@ -7,6 +7,7 @@
 #include "fsutil/kfs.h"
 #include "fsutil/kfs_format.h"
 #include "support/strings.h"
+#include "trace/trace.h"
 #include "vm/hostmap.h"
 #include "vm/layout.h"
 
@@ -52,6 +53,11 @@ class Machine::CrashDevice : public vm::Device {
         machine_.crash_.eip = eip_;
         machine_.crash_.report_cycle = machine_.cpu_->cycles();
         machine_.crash_.trap_cycle = machine_.cpu_->last_trap().cycle;
+        if (machine_.events_ != nullptr) {
+          machine_.events_->record(trace::EventKind::CrashReport,
+                                   machine_.cpu_->cycles(), value, addr_,
+                                   eip_, 0);
+        }
         break;
       }
       default: break;
@@ -347,6 +353,11 @@ void Machine::adopt_boot(std::shared_ptr<const BootState> boot) {
 
 void Machine::restore() {
   assert(booted_);
+  if (events_ != nullptr) {
+    events_->record(trace::EventKind::SnapshotRestore, cpu_->cycles(),
+                    static_cast<std::uint32_t>(boot_->cycles),
+                    options_.full_restore ? 1u : 0u, 0, 0);
+  }
   if (options_.full_restore) {
     memory_->restore_pages_full(boot_->mem, &boot_mem_memo_);
     disk_blocks_restored_ += disk_image_->block_count();
@@ -414,6 +425,12 @@ std::vector<Checkpoint> Machine::capture_checkpoints(
 void Machine::restore_checkpoint(const Checkpoint& checkpoint,
                                  CheckpointMemo& memo) {
   assert(booted_);
+  if (events_ != nullptr) {
+    events_->record(trace::EventKind::CheckpointRestore, cpu_->cycles(),
+                    static_cast<std::uint32_t>(checkpoint.cycle),
+                    static_cast<std::uint32_t>(checkpoint.cycle >> 32),
+                    checkpoint.eip, 0);
+  }
   // The checkpoint's deltas must resolve through this machine's own
   // boot state — the contract that makes shared rungs sound for every
   // adopt_boot() sibling of the capturer.
@@ -490,7 +507,33 @@ std::uint64_t Machine::state_digest() const {
   return h;
 }
 
+void Machine::set_event_trace(trace::TraceBuffer* sink) {
+  events_ = sink;
+  cpu_->set_trace_sink(sink);
+}
+
 RunResult Machine::run(std::uint64_t max_cycles, bool resumable) {
+  // The loop below has many exits; recording here keeps every one of
+  // them paired with exactly one RunBegin/RunEnd.
+  if (events_ != nullptr) {
+    events_->record(trace::EventKind::RunBegin, cpu_->cycles(),
+                    static_cast<std::uint32_t>(max_cycles),
+                    static_cast<std::uint32_t>(max_cycles >> 32),
+                    resumable ? 1u : 0u, 0);
+  }
+  const RunResult result = run_loop(max_cycles, resumable);
+  if (events_ != nullptr) {
+    events_->record(trace::EventKind::RunEnd, cpu_->cycles(),
+                    static_cast<std::uint32_t>(result.exit),
+                    result.exit == RunExit::Breakpoint
+                        ? static_cast<std::uint32_t>(result.breakpoint_index)
+                        : result.exit_code,
+                    result.crash.eip, 0);
+  }
+  return result;
+}
+
+RunResult Machine::run_loop(std::uint64_t max_cycles, bool resumable) {
   RunResult result;
   const std::uint64_t deadline = cpu_->cycles() + max_cycles;
   if (next_timer_ == 0) next_timer_ = cpu_->cycles() + options_.timer_period;
@@ -649,6 +692,8 @@ PerfStats& PerfStats::operator+=(const PerfStats& o) {
   block_fallbacks += o.block_fallbacks;
   block_invalidations += o.block_invalidations;
   block_ops += o.block_ops;
+  trace_events += o.trace_events;
+  trace_dropped += o.trace_dropped;
   return *this;
 }
 
@@ -666,6 +711,8 @@ PerfStats& PerfStats::operator-=(const PerfStats& o) {
   block_fallbacks -= o.block_fallbacks;
   block_invalidations -= o.block_invalidations;
   block_ops -= o.block_ops;
+  trace_events -= o.trace_events;
+  trace_dropped -= o.trace_dropped;
   return *this;
 }
 

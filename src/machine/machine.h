@@ -23,6 +23,10 @@
 #include "vm/memory.h"
 #include "workloads/workloads.h"
 
+namespace kfi::trace {
+class TraceBuffer;
+}
+
 namespace kfi::machine {
 
 // What the kernel's crash handler reported through the crash port
@@ -160,6 +164,12 @@ struct PerfStats {
   std::uint64_t block_fallbacks = 0;
   std::uint64_t block_invalidations = 0;
   std::uint64_t block_ops = 0;  // instructions retired through blocks
+  // Forensics trace layer (all zero when no sink is attached).  Filled
+  // at the Injector level from its per-worker TraceBuffer — a buffer is
+  // shared by all of an injector's machines, so summing per-machine
+  // would double-count.
+  std::uint64_t trace_events = 0;   // events recorded (lifetime)
+  std::uint64_t trace_dropped = 0;  // events lost to ring overwrite
 
   // Counter-wise sum/difference: campaign code aggregates per-worker
   // machines into one campaign-wide view (and subtracts a baseline to
@@ -287,6 +297,16 @@ class Machine {
     touch_ = sink;
   }
 
+  // Attaches the forensics event trace (nullptr = off, the default):
+  // run begin/end, snapshot and checkpoint-rung restores, and the crash
+  // report are recorded here, and the sink is forwarded to the CPU for
+  // trap entry/exit, memory faults, and block-cache invalidations.
+  // Strictly observational — every run-visible outcome (and the
+  // campaign result digest) is bit-identical with tracing on or off;
+  // unlike set_trace()/set_touch_trace() it does not disable the
+  // superblock engine.
+  void set_event_trace(trace::TraceBuffer* sink);
+
   PerfStats perf_stats() const;
 
  private:
@@ -344,6 +364,9 @@ class Machine {
 
   std::unordered_set<std::uint32_t>* trace_ = nullptr;
   std::unordered_map<std::uint32_t, TouchWindow>* touch_ = nullptr;
+  trace::TraceBuffer* events_ = nullptr;
+
+  RunResult run_loop(std::uint64_t max_cycles, bool resumable);
 };
 
 }  // namespace kfi::machine

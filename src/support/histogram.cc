@@ -31,6 +31,7 @@ void Histogram::add(std::uint64_t value) {
 
 void Histogram::merge(const Histogram& other) {
   assert(bounds_ == other.bounds_ && "incompatible histograms");
+  assert(counts_.size() == other.counts_.size() && "incompatible histograms");
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     counts_[i] += other.counts_[i];
   }
@@ -47,6 +48,9 @@ std::string Histogram::bucket_label(std::size_t bucket) const {
   if (bucket < bounds_.size()) {
     return "<=" + std::to_string(bounds_[bucket]);
   }
+  // A histogram with no bounds has exactly one bucket covering
+  // everything; bounds_.back() would be UB on the empty vector.
+  if (bounds_.empty()) return "all";
   return ">" + std::to_string(bounds_.back());
 }
 

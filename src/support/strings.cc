@@ -79,6 +79,21 @@ bool starts_with(std::string_view text, std::string_view prefix) {
          text.substr(0, prefix.size()) == prefix;
 }
 
+bool parse_u64(std::string_view text, std::uint64_t& out,
+               std::uint64_t min_value, std::uint64_t max_value) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;  // overflow
+    value = value * 10 + digit;
+  }
+  if (value < min_value || value > max_value) return false;
+  out = value;
+  return true;
+}
+
 std::string with_commas(std::uint64_t value) {
   std::string digits = std::to_string(value);
   std::string out;

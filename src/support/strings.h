@@ -27,6 +27,15 @@ std::vector<std::string> split(std::string_view text, char sep);
 std::string_view trim(std::string_view text);
 bool starts_with(std::string_view text, std::string_view prefix);
 
+// Strict whole-string base-10 parse into [min, max].  Returns false —
+// leaving `out` untouched — on an empty string, any non-digit
+// character (including sign, whitespace, and trailing junk), overflow,
+// or a value outside the range.  The CLI's replacement for atoi, whose
+// silent 0-on-garbage return turns typos into valid-looking inputs.
+bool parse_u64(std::string_view text, std::uint64_t& out,
+               std::uint64_t min_value = 0,
+               std::uint64_t max_value = UINT64_MAX);
+
 // "12,345" — thousands separators for table rendering.
 std::string with_commas(std::uint64_t value);
 

@@ -1,5 +1,7 @@
 #include "vm/cpu.h"
 
+#include "trace/trace.h"
+
 namespace kfi::vm {
 
 using isa::Cond;
@@ -54,6 +56,19 @@ bool Cpu::deliver(Trap trap, std::uint32_t error_code, std::uint32_t addr,
   last_trap_.faulting_eip = eip_;
   last_trap_.faulting_cpl = cpl_;
   last_trap_.cycle = cycles_;
+
+  if (trace_sink_ != nullptr) {
+    // Memory faults get their own kind (the propagation analysis keys
+    // on them); the periodic timer is separated so it doesn't read as
+    // an error event in a forensics timeline.
+    const trace::EventKind kind =
+        trap == Trap::PageFault || trap == Trap::GpFault
+            ? trace::EventKind::MemFault
+            : (trap == Trap::Timer ? trace::EventKind::TimerIrq
+                                   : trace::EventKind::TrapEntry);
+    trace_sink_->record(kind, cycles_, static_cast<std::uint32_t>(trap),
+                        error_code, eip_, addr);
+  }
 
   const std::uint32_t handler = vectors_[static_cast<int>(trap)];
   if (handler == 0) {
@@ -631,15 +646,21 @@ std::size_t Cpu::run_block(std::uint64_t max_instructions, const bool* stop,
 
 void Cpu::invalidate_blocks(std::uint32_t paddr) {
   const std::uint32_t page = paddr >> 12;
+  std::uint32_t dropped = 0;
   for (Block& blk : block_cache_) {
     if (blk.entry_paddr == kNoBlock) continue;
     for (const MicroOp& op : blk.ops) {
       if ((op.paddr >> 12) == page) {
         blk.entry_paddr = kNoBlock;
         ++block_invalidations_;
+        ++dropped;
         break;
       }
     }
+  }
+  if (trace_sink_ != nullptr) {
+    trace_sink_->record(trace::EventKind::BlockInvalidate, cycles_, paddr,
+                        dropped);
   }
 }
 
@@ -999,6 +1020,10 @@ bool Cpu::execute(const Instruction& in) {
       cpl_ = static_cast<int>(new_cpl);
       flags_ = Flags::from_word(new_eflags);
       eip_ = new_eip;
+      if (trace_sink_ != nullptr) {
+        trace_sink_->record(trace::EventKind::TrapExit, cycles_, new_eip,
+                            new_cpl);
+      }
       return true;
     }
 

@@ -15,6 +15,10 @@
 #include "vm/memory.h"
 #include "vm/mmu.h"
 
+namespace kfi::trace {
+class TraceBuffer;
+}
+
 namespace kfi::vm {
 
 // What step() observed.  Executed is the common case; everything else
@@ -117,6 +121,13 @@ class Cpu {
   bool deliver_interrupt(isa::Trap trap);
 
   const TrapRecord& last_trap() const { return last_trap_; }
+
+  // Attaches a forensics event sink (nullptr = off, the default).  The
+  // CPU records trap deliveries (frame essentials), trap returns, and
+  // block-cache invalidations into it.  Strictly observational: no
+  // architectural state, cycle count, or execution path depends on the
+  // sink — tracing on and off are bit-identical.
+  void set_trace_sink(kfi::trace::TraceBuffer* sink) { trace_sink_ = sink; }
 
   // Whether the CPU is permanently stopped (double fault escalated).
   bool dead() const { return dead_; }
@@ -231,6 +242,8 @@ class Cpu {
   std::uint64_t block_ops_ = 0;
 
   TrapRecord last_trap_;
+
+  kfi::trace::TraceBuffer* trace_sink_ = nullptr;
 };
 
 }  // namespace kfi::vm

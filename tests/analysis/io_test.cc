@@ -118,6 +118,17 @@ TEST(CampaignIo, TruncatedFileRejected) {
   std::remove(path.c_str());
 }
 
+TEST(CampaignIo, SaveToUnwritablePathFailsCleanly) {
+  // Previously save_campaign never checked the stream, so a full or
+  // missing target directory produced a silent half-written artifact.
+  const std::string path = "/nonexistent-kfi-dir/run.kfi";
+  EXPECT_FALSE(save_campaign(sample_run(), path));
+  EXPECT_FALSE(std::filesystem::exists(path));
+  // A directory is open()-able as a path string but not writable.
+  EXPECT_FALSE(save_campaign(
+      sample_run(), std::filesystem::temp_directory_path().string()));
+}
+
 TEST(CampaignIo, EmptyRunRoundTrips) {
   const std::string path = temp_path("kfi_io_empty.kfi");
   CampaignRun empty;

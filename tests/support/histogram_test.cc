@@ -54,5 +54,24 @@ TEST(Histogram, MergeAddsCounts) {
   EXPECT_EQ(a.total(), 3u);
 }
 
+TEST(Histogram, EmptyBoundsHasOneBucketAndLabel) {
+  // Degenerate but legal: no boundaries means a single catch-all
+  // bucket.  bucket_label() used to read bounds_.back() here — UB.
+  Histogram h({});
+  h.add(0);
+  h.add(12345);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.bucket_label(0), "all");
+}
+
+#ifndef NDEBUG
+TEST(HistogramDeathTest, MergeRejectsMismatchedShapes) {
+  Histogram a({10});
+  Histogram b({10, 100});
+  EXPECT_DEATH(a.merge(b), "incompatible histograms");
+}
+#endif
+
 }  // namespace
 }  // namespace kfi

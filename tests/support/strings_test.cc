@@ -61,5 +61,40 @@ TEST(Strings, Percent) {
   EXPECT_EQ(percent(0, 0), "0.0%");
 }
 
+TEST(Strings, ParseU64AcceptsWholeDecimalStrings) {
+  std::uint64_t out = 0;
+  EXPECT_TRUE(parse_u64("0", out));
+  EXPECT_EQ(out, 0u);
+  EXPECT_TRUE(parse_u64("42", out));
+  EXPECT_EQ(out, 42u);
+  EXPECT_TRUE(parse_u64("18446744073709551615", out));  // UINT64_MAX
+  EXPECT_EQ(out, UINT64_MAX);
+}
+
+TEST(Strings, ParseU64RejectsGarbageAndLeavesOutUntouched) {
+  std::uint64_t out = 77;
+  // atoi would have silently returned 0 or a prefix for all of these.
+  EXPECT_FALSE(parse_u64("", out));
+  EXPECT_FALSE(parse_u64("abc", out));
+  EXPECT_FALSE(parse_u64("12x", out));
+  EXPECT_FALSE(parse_u64("-3", out));
+  EXPECT_FALSE(parse_u64("+3", out));
+  EXPECT_FALSE(parse_u64(" 3", out));
+  EXPECT_FALSE(parse_u64("0x10", out));
+  EXPECT_FALSE(parse_u64("18446744073709551616", out));  // UINT64_MAX + 1
+  EXPECT_EQ(out, 77u) << "failed parses must not clobber the output";
+}
+
+TEST(Strings, ParseU64EnforcesRange) {
+  std::uint64_t out = 99;
+  EXPECT_FALSE(parse_u64("8", out, 0, 7)) << "bit indices stop at 7";
+  EXPECT_FALSE(parse_u64("0", out, 1, 7));
+  EXPECT_EQ(out, 99u);
+  EXPECT_TRUE(parse_u64("7", out, 0, 7));
+  EXPECT_EQ(out, 7u);
+  EXPECT_TRUE(parse_u64("1", out, 1, 7));
+  EXPECT_EQ(out, 1u);
+}
+
 }  // namespace
 }  // namespace kfi

@@ -1,0 +1,201 @@
+// End-to-end forensics-trace tests against the real injection engine:
+// the observational contract (identical results with tracing on/off),
+// the per-injection event window for a known severe crash, and the
+// trace-derived propagation attribution.
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "analysis/aggregate.h"
+#include "inject/campaign.h"
+#include "inject/injector.h"
+#include "inject/targets.h"
+#include "profile/profile.h"
+
+namespace kfi::inject {
+namespace {
+
+Injector& untraced_injector() {
+  static Injector injector;
+  return injector;
+}
+
+Injector& traced_injector() {
+  static Injector* injector = [] {
+    InjectorOptions options;
+    options.trace_capacity = trace::TraceBuffer::kDefaultCapacity;
+    return new Injector(options);
+  }();
+  return *injector;
+}
+
+const kernel::KernelImage& image() { return kernel::built_kernel(); }
+
+// The deterministic Table 7 severe crash: reversing free_pages' refcount
+// assert executes the BUG() ud2 immediately.
+InjectionSpec assert_reversal_spec() {
+  const kernel::KernelFunction* fn = image().function("free_pages");
+  EXPECT_NE(fn, nullptr);
+  const auto sites = enumerate_function(image(), *fn);
+  const InstructionSite* guard = nullptr;
+  for (std::size_t i = 0; i + 1 < sites.size(); ++i) {
+    if (sites[i].is_cond_branch && sites[i + 1].disasm == "ud2a") {
+      guard = &sites[i];
+      break;
+    }
+  }
+  EXPECT_NE(guard, nullptr);
+  InjectionSpec spec;
+  spec.campaign = Campaign::IncorrectBranch;
+  spec.function = "free_pages";
+  spec.subsystem = fn->subsystem;
+  spec.instr_addr = guard->addr;
+  spec.instr_len = static_cast<std::uint8_t>(guard->bytes.size());
+  spec.byte_index = static_cast<std::uint8_t>(condition_byte_index(*guard));
+  spec.bit_index = 0;
+  spec.workload = "spawn";
+  return spec;
+}
+
+TEST(TraceIntegration, TracingIsObservational) {
+  // The same spec must classify bit-identically with and without the
+  // event sink attached — recording may never perturb the guest.
+  const InjectionSpec spec = assert_reversal_spec();
+  const InjectionResult off = untraced_injector().run_one(spec);
+  const InjectionResult on = traced_injector().run_one(spec);
+  EXPECT_EQ(off.outcome, on.outcome);
+  EXPECT_EQ(off.activation_cycle, on.activation_cycle);
+  EXPECT_EQ(off.cause, on.cause);
+  EXPECT_EQ(off.crash_eip, on.crash_eip);
+  EXPECT_EQ(off.crash_addr, on.crash_addr);
+  EXPECT_EQ(off.crash_subsystem, on.crash_subsystem);
+  EXPECT_EQ(off.propagated, on.propagated);
+  EXPECT_EQ(off.latency_cycles, on.latency_cycles);
+  EXPECT_EQ(off.severity, on.severity);
+  EXPECT_EQ(off.fs_damaged, on.fs_damaged);
+  EXPECT_EQ(off.bootable, on.bootable);
+  EXPECT_EQ(off.disasm_before, on.disasm_before);
+  EXPECT_EQ(off.disasm_after, on.disasm_after);
+  EXPECT_EQ(untraced_injector().trace(), nullptr);
+  ASSERT_NE(traced_injector().trace(), nullptr);
+}
+
+TEST(TraceIntegration, CrashWindowHoldsTriggerFlipAndOops) {
+  const InjectionSpec spec = assert_reversal_spec();
+  const InjectionResult result = traced_injector().run_one(spec);
+  ASSERT_EQ(result.outcome, Outcome::DumpedCrash);
+
+  const std::vector<trace::Event> events = traced_injector().trace()->events();
+  ASSERT_FALSE(events.empty());
+  const trace::Event* trigger = nullptr;
+  const trace::Event* flip = nullptr;
+  const trace::Event* oops = nullptr;
+  for (const trace::Event& e : events) {
+    if (e.kind == trace::EventKind::InjectTrigger && trigger == nullptr) {
+      trigger = &e;
+    } else if (e.kind == trace::EventKind::InjectFlip && flip == nullptr) {
+      flip = &e;
+    } else if (e.kind == trace::EventKind::CrashReport && oops == nullptr) {
+      oops = &e;
+    }
+  }
+  ASSERT_NE(trigger, nullptr) << "breakpoint hit must be recorded";
+  ASSERT_NE(flip, nullptr) << "bit flip must be recorded";
+  ASSERT_NE(oops, nullptr) << "crash dump must be recorded";
+  EXPECT_EQ(trigger->a, spec.instr_addr);
+  EXPECT_EQ(flip->a, spec.instr_addr);
+  EXPECT_EQ(flip->b >> 8, spec.byte_index);
+  EXPECT_EQ(flip->b & 0xFFu, spec.bit_index);
+  EXPECT_NE(flip->c, flip->d) << "before/after bytes differ by one bit";
+  EXPECT_EQ(flip->c ^ flip->d, 1u << spec.bit_index);
+  EXPECT_EQ(oops->c, result.crash_eip);
+  // Causality: the story reads trigger -> flip -> oops.
+  EXPECT_LE(trigger->cycle, flip->cycle);
+  EXPECT_LE(flip->cycle, oops->cycle);
+
+  const std::string timeline = trace::render_timeline(events);
+  EXPECT_NE(timeline.find("TRIGGER"), std::string::npos);
+  EXPECT_NE(timeline.find("FLIP"), std::string::npos);
+  EXPECT_NE(timeline.find("OOPS"), std::string::npos);
+}
+
+TEST(TraceIntegration, WindowClearsBetweenInjections) {
+  // A NotActivated follow-up run must not inherit the crash window.
+  const kernel::KernelFunction* fn = image().function("sys_unlink");
+  ASSERT_NE(fn, nullptr);
+  const auto sites = enumerate_function(image(), *fn);
+  ASSERT_FALSE(sites.empty());
+  InjectionSpec spec;
+  spec.function = "sys_unlink";
+  spec.subsystem = fn->subsystem;
+  spec.instr_addr = sites[0].addr;
+  spec.instr_len = static_cast<std::uint8_t>(sites[0].bytes.size());
+  spec.byte_index = 0;
+  spec.bit_index = 3;
+  spec.workload = "pipe";
+  const InjectionResult result = traced_injector().run_one(spec);
+  EXPECT_EQ(result.outcome, Outcome::NotActivated);
+  for (const trace::Event& e : traced_injector().trace()->events()) {
+    EXPECT_NE(e.kind, trace::EventKind::InjectFlip)
+        << "stale flip event from a previous injection's window";
+    EXPECT_NE(e.kind, trace::EventKind::CrashReport);
+  }
+}
+
+TEST(TraceIntegration, PerfStatsAggregateTraceTotals) {
+  traced_injector().run_one(assert_reversal_spec());
+  const machine::PerfStats traced = traced_injector().perf_stats();
+  EXPECT_GT(traced.trace_events, 0u);
+  EXPECT_EQ(traced.trace_events, traced_injector().trace()->total_recorded());
+  const machine::PerfStats off = untraced_injector().perf_stats();
+  EXPECT_EQ(off.trace_events, 0u);
+  EXPECT_EQ(off.trace_dropped, 0u);
+}
+
+TEST(TraceIntegration, TracedPropagationMatchesReplay) {
+  // A tiny campaign C over free_pages: every DumpedCrash replays
+  // cleanly under trace and attributes to the first fault after the
+  // flip.  The assert crashes fault inside mm itself.
+  CampaignConfig config;
+  config.campaign = Campaign::IncorrectBranch;
+  config.functions = {"free_pages"};
+  const CampaignRun run =
+      run_campaign(untraced_injector(), profile::default_profile(), config);
+  std::size_t crashes = 0;
+  for (const InjectionResult& r : run.results) {
+    crashes += r.outcome == Outcome::DumpedCrash &&
+               r.spec.subsystem == kernel::Subsystem::Mm;
+  }
+  ASSERT_GT(crashes, 0u) << "assert reversals must crash";
+
+  const analysis::TracedPropagation tp = analysis::make_traced_propagation(
+      traced_injector(), run, kernel::Subsystem::Mm);
+  EXPECT_EQ(tp.replayed, crashes);
+  EXPECT_EQ(tp.skipped, 0u);
+  EXPECT_EQ(tp.mismatches, 0u) << "replays must be deterministic";
+  EXPECT_EQ(tp.graph.total_crashes, crashes);
+  // The ud2 executes inside free_pages: self-propagation.
+  EXPECT_GE(tp.graph.self_share(), 0.5);
+
+  // A cap of 1 replays one crash and reports the rest as skipped.
+  if (crashes > 1) {
+    const analysis::TracedPropagation capped =
+        analysis::make_traced_propagation(traced_injector(), run,
+                                          kernel::Subsystem::Mm, 1);
+    EXPECT_EQ(capped.replayed, 1u);
+    EXPECT_EQ(capped.skipped, crashes - 1);
+  }
+}
+
+TEST(TraceIntegration, TracedPropagationRequiresTracer) {
+  const CampaignRun empty_run;
+  EXPECT_THROW(analysis::make_traced_propagation(untraced_injector(),
+                                                 empty_run,
+                                                 kernel::Subsystem::Mm),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace kfi::inject

@@ -1,0 +1,139 @@
+// TraceBuffer unit tests: ring bounds, drop-oldest semantics, lifetime
+// counters across clear(), JSONL export, timeline rendering, and
+// concurrent recording.
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+namespace kfi::trace {
+namespace {
+
+TEST(TraceBuffer, RecordsAndReadsBackInOrder) {
+  TraceBuffer buf(8);
+  buf.record(EventKind::RunBegin, 100, 1);
+  buf.record(EventKind::TrapEntry, 250, 14, 2, 0xc0101000, 0x44);
+  buf.record(EventKind::RunEnd, 300, 0);
+  const std::vector<Event> events = buf.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, EventKind::RunBegin);
+  EXPECT_EQ(events[0].cycle, 100u);
+  EXPECT_EQ(events[1].kind, EventKind::TrapEntry);
+  EXPECT_EQ(events[1].a, 14u);
+  EXPECT_EQ(events[1].c, 0xc0101000u);
+  EXPECT_EQ(events[2].cycle, 300u);
+  EXPECT_EQ(buf.total_recorded(), 3u);
+  EXPECT_EQ(buf.total_dropped(), 0u);
+}
+
+TEST(TraceBuffer, DropsOldestWhenFull) {
+  TraceBuffer buf(4);
+  for (std::uint32_t i = 0; i < 7; ++i) {
+    buf.record(EventKind::TimerIrq, i, i);
+  }
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf.total_recorded(), 7u);
+  EXPECT_EQ(buf.total_dropped(), 3u);
+  // Forensics keeps the END of the story: the oldest three went away.
+  const std::vector<Event> events = buf.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].a, i + 3) << "oldest-first window of the tail";
+  }
+}
+
+TEST(TraceBuffer, ClearKeepsLifetimeTotals) {
+  TraceBuffer buf(2);
+  for (std::uint32_t i = 0; i < 5; ++i) buf.record(EventKind::TimerIrq, i);
+  buf.clear();
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_TRUE(buf.events().empty());
+  EXPECT_EQ(buf.total_recorded(), 5u);
+  EXPECT_EQ(buf.total_dropped(), 3u);
+  buf.record(EventKind::RunBegin, 9);
+  EXPECT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf.total_recorded(), 6u);
+}
+
+TEST(TraceBuffer, EventNamesAreStable) {
+  EXPECT_EQ(event_name(EventKind::TrapEntry), "trap_entry");
+  EXPECT_EQ(event_name(EventKind::InjectFlip), "inject_flip");
+  EXPECT_EQ(event_name(EventKind::ChunkSteal), "chunk_steal");
+}
+
+TEST(TraceBuffer, JsonlSchemaAndSymbolResolution) {
+  TraceBuffer buf(8);
+  buf.record(EventKind::InjectTrigger, 1000, 0xc0120010);
+  buf.record(EventKind::MemFault, 1010, 14, 2, 0xc0120014, 0x10);
+  const SymbolResolver resolve = [](std::uint32_t addr) {
+    return addr == 0xc0120014 ? std::string("pipe_read+0x4 (fs)")
+                              : std::string();
+  };
+  const std::string jsonl = to_jsonl(buf.events(), resolve);
+  EXPECT_NE(jsonl.find("\"seq\":0"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"event\":\"inject_trigger\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"event\":\"mem_fault\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"cycle\":1010"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"sym\":\"pipe_read+0x4 (fs)\""), std::string::npos);
+  // One JSON object per line.
+  std::size_t lines = 0;
+  for (const char c : jsonl) lines += c == '\n';
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST(TraceBuffer, WriteJsonlChecksIoAndRemovesPartialFile) {
+  TraceBuffer buf(4);
+  buf.record(EventKind::RunBegin, 1);
+  // Unwritable destination: must fail and leave nothing behind.
+  EXPECT_FALSE(write_jsonl(buf.events(),
+                           "/nonexistent-kfi-dir/trace.jsonl"));
+  EXPECT_FALSE(std::filesystem::exists("/nonexistent-kfi-dir/trace.jsonl"));
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "kfi_trace_test.jsonl")
+          .string();
+  EXPECT_TRUE(write_jsonl(buf.events(), path));
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"event\":\"run_begin\""), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceBuffer, TimelineMarksTriggerAndDeltas) {
+  TraceBuffer buf(8);
+  buf.record(EventKind::RunBegin, 500);
+  buf.record(EventKind::InjectTrigger, 1000, 0xc0120010);
+  buf.record(EventKind::InjectFlip, 1000, 0xc0120010, 0 << 8 | 7, 0x8b, 0x0b);
+  buf.record(EventKind::TrapEntry, 1042, 14, 0, 0xc0120014, 0x30);
+  const std::string timeline = render_timeline(buf.events());
+  EXPECT_NE(timeline.find("TRIGGER"), std::string::npos);
+  EXPECT_NE(timeline.find("FLIP"), std::string::npos);
+  // Events after the trigger carry a +delta column.
+  EXPECT_NE(timeline.find("+42"), std::string::npos);
+}
+
+TEST(TraceBuffer, ConcurrentRecordingLosesNothing) {
+  TraceBuffer buf(64);
+  constexpr int kThreads = 4;
+  constexpr std::uint32_t kPerThread = 1000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&buf, t] {
+      for (std::uint32_t i = 0; i < kPerThread; ++i) {
+        buf.record(EventKind::TimerIrq, i, static_cast<std::uint32_t>(t));
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(buf.total_recorded(), kThreads * kPerThread);
+  EXPECT_EQ(buf.size(), 64u);
+  EXPECT_EQ(buf.total_dropped(), kThreads * kPerThread - 64);
+}
+
+}  // namespace
+}  // namespace kfi::trace
