@@ -1,9 +1,11 @@
-// bench_throughput — end-to-end campaign throughput of four execution
+// bench_throughput — end-to-end campaign throughput of five execution
 // paths: full-restore baseline, checkpoint ladder (PR 2), checkpoint
-// ladder + superblock engine (PR 3), and the fastest mode with the
-// forensics event trace attached (PR 5's observational-overhead gate) —
-// plus a worker-thread scaling sweep (threads = 1/2/4/8) of the fastest
-// mode over one shared, prewarmed GoldenCache.
+// ladder + superblock engine (PR 3), chained superblock dispatch
+// (block_chained: trace widening + successor links + inline translate
+// cache), and the fastest mode with the forensics event trace attached
+// (PR 5's observational-overhead gate) — plus a worker-thread scaling
+// sweep (threads = 1/2/4/8) of the fastest mode over one shared,
+// prewarmed GoldenCache.
 //
 // All modes and every sweep entry run the identical smoke-scale A/B/C
 // campaigns; the result vectors are required to be bit-identical (exit
@@ -144,6 +146,9 @@ void print_mode(std::FILE* out, const ModeResult& mode, bool last) {
       "      \"block_invalidations\": %llu,\n"
       "      \"block_ops\": %llu,\n"
       "      \"avg_block_len\": %.2f,\n"
+      "      \"chain_follows\": %llu,\n"
+      "      \"chain_breaks\": %llu,\n"
+      "      \"avg_trace_len\": %.2f,\n"
       "      \"trace_events\": %llu,\n"
       "      \"trace_dropped\": %llu\n"
       "    }%s\n",
@@ -176,6 +181,11 @@ void print_mode(std::FILE* out, const ModeResult& mode, bool last) {
       block_entries == 0 ? 0.0
                          : static_cast<double>(perf.block_ops) /
                                static_cast<double>(block_entries),
+      static_cast<unsigned long long>(perf.chain_follows),
+      static_cast<unsigned long long>(perf.chain_breaks),
+      perf.block_builds == 0 ? 0.0
+                             : static_cast<double>(perf.trace_len) /
+                                   static_cast<double>(perf.block_builds),
       static_cast<unsigned long long>(perf.trace_events),
       static_cast<unsigned long long>(perf.trace_dropped),
       last ? "" : ",");
@@ -238,10 +248,36 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Chained dispatch leg: trace widening + block-to-block successor
+  // links + the inline translate cache, under the same hard gate — the
+  // campaign digest must be bit-identical to every prior mode.
+  inject::InjectorOptions chained_options;
+  chained_options.exec_engine = machine::ExecEngine::Chained;
+  const ModeResult chained = run_mode("block_chained", chained_options);
+  for (std::size_t i = 0; i < chained.campaigns.size(); ++i) {
+    const check::RunComparison vs_chained =
+        check::compare_runs(baseline.campaigns[i], chained.campaigns[i]);
+    if (!vs_chained.identical()) {
+      std::fprintf(stderr,
+                   "FAIL: campaign %zu diverged between baseline and chained "
+                   "dispatch (%zu mismatches of %zu)\n",
+                   i, vs_chained.mismatches.size(), vs_chained.compared);
+      return 1;
+    }
+  }
+  const std::uint64_t chained_digest = results_digest(chained.campaigns);
+  if (chained_digest != digest) {
+    std::fprintf(stderr,
+                 "FAIL: chained-dispatch result digest %016llx != %016llx\n",
+                 static_cast<unsigned long long>(chained_digest),
+                 static_cast<unsigned long long>(digest));
+    return 1;
+  }
+
   // Trace-on leg: same fastest mode with the forensics trace attached.
   // The trace layer's observational contract is gated here — recording
   // may cost wall clock, but not a single result bit.
-  inject::InjectorOptions trace_options = block_options;
+  inject::InjectorOptions trace_options = chained_options;
   trace_options.trace_capacity = trace::TraceBuffer::kDefaultCapacity;
   const ModeResult traced = run_mode("trace", trace_options);
   for (std::size_t i = 0; i < traced.campaigns.size(); ++i) {
@@ -268,8 +304,10 @@ int main(int argc, char** argv) {
       ladder.seconds > 0.0 ? baseline.seconds / ladder.seconds : 0.0;
   const double block_speedup =
       block.seconds > 0.0 ? ladder.seconds / block.seconds : 0.0;
+  const double chained_speedup =
+      chained.seconds > 0.0 ? ladder.seconds / chained.seconds : 0.0;
   const double total_speedup =
-      block.seconds > 0.0 ? baseline.seconds / block.seconds : 0.0;
+      chained.seconds > 0.0 ? baseline.seconds / chained.seconds : 0.0;
   // The component the ladder optimizes: pre-trigger replay simulated per
   // run.  Post-trigger simulation is inherent to the injected fault and
   // dominates wall clock on this population (hot-function targets
@@ -286,18 +324,24 @@ int main(int argc, char** argv) {
               static_cast<double>(ladder.runs) / ladder.seconds);
   std::printf("ladder+block: %6.2f s  (%.2f runs/s)\n", block.seconds,
               static_cast<double>(block.runs) / block.seconds);
+  std::printf("block_chained:%6.2f s  (%.2f runs/s, %llu chain follows, "
+              "%llu breaks)\n",
+              chained.seconds,
+              static_cast<double>(chained.runs) / chained.seconds,
+              static_cast<unsigned long long>(chained.stats.perf.chain_follows),
+              static_cast<unsigned long long>(chained.stats.perf.chain_breaks));
   std::printf(
-      "speedup: ladder %.2fx, block-over-ladder %.2fx, total %.2fx   "
-      "result digest %016llx (identical)\n",
-      speedup, block_speedup, total_speedup,
+      "speedup: ladder %.2fx, block-over-ladder %.2fx, chained-over-ladder "
+      "%.2fx, total %.2fx   result digest %016llx (identical)\n",
+      speedup, block_speedup, chained_speedup, total_speedup,
       static_cast<unsigned long long>(digest));
   std::printf("pre-trigger replay: %.1fM -> %.1fM cycles (%.1fx less)\n",
               static_cast<double>(baseline.stats.pre_trigger_cycles) / 1e6,
               static_cast<double>(ladder.stats.pre_trigger_cycles) / 1e6,
               setup_speedup);
   const double trace_overhead =
-      block.seconds > 0.0 ? traced.seconds / block.seconds : 0.0;
-  std::printf("trace-on:     %6.2f s  (%.2fx of ladder+block, %llu events, "
+      chained.seconds > 0.0 ? traced.seconds / chained.seconds : 0.0;
+  std::printf("trace-on:     %6.2f s  (%.2fx of block_chained, %llu events, "
               "%llu dropped, digest identical)\n",
               traced.seconds, trace_overhead,
               static_cast<unsigned long long>(traced.stats.perf.trace_events),
@@ -308,7 +352,7 @@ int main(int argc, char** argv) {
   // campaigns touch) before the clock starts, so each entry times pure
   // injection work — and proves golden warm-up happens once per
   // workload total, not once per thread.
-  auto sweep_cache = std::make_shared<inject::GoldenCache>(block_options);
+  auto sweep_cache = std::make_shared<inject::GoldenCache>(chained_options);
   {
     std::set<std::string> workloads;
     for (const inject::Campaign campaign : kCampaigns) {
@@ -325,7 +369,7 @@ int main(int argc, char** argv) {
   const unsigned hardware = std::thread::hardware_concurrency();
   std::vector<ModeResult> sweep;
   for (const unsigned threads : {1u, 2u, 4u, 8u}) {
-    sweep.push_back(run_mode("t" + std::to_string(threads), block_options,
+    sweep.push_back(run_mode("t" + std::to_string(threads), chained_options,
                              threads, sweep_cache));
     const ModeResult& entry = sweep.back();
     for (std::size_t i = 0; i < entry.campaigns.size(); ++i) {
@@ -354,7 +398,7 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(sweep_cache->golden_builds()));
     return 1;
   }
-  std::printf("threads sweep (ladder+block, shared golden cache, "
+  std::printf("threads sweep (block_chained, shared golden cache, "
               "%u hardware threads):\n", hardware);
   for (const ModeResult& entry : sweep) {
     std::printf("  t=%u: %6.2f s  (%.2f runs/s, %.2fx vs t=1, "
@@ -375,21 +419,26 @@ int main(int argc, char** argv) {
   print_mode(out, baseline, false);
   print_mode(out, ladder, false);
   print_mode(out, block, false);
+  print_mode(out, chained, false);
   print_mode(out, traced, true);
   std::fprintf(out,
                "  },\n"
                "  \"speedup\": %.3f,\n"
                "  \"block_speedup\": %.3f,\n"
+               "  \"chained_speedup\": %.3f,\n"
                "  \"total_speedup\": %.3f,\n"
                "  \"pre_trigger_speedup\": %.3f,\n"
                "  \"trace_overhead\": %.3f,\n"
+               "  \"chained_gate\": {\"chained_identical\": true, "
+               "\"result_digest\": \"%016llx\"},\n"
                "  \"trace_gate\": {\"trace_identical\": true, "
                "\"result_digest\": \"%016llx\"},\n"
                "  \"hardware_concurrency\": %u,\n"
                "  \"sweep_golden_builds\": %llu,\n"
                "  \"threads_sweep\": [\n",
-               speedup, block_speedup, total_speedup, setup_speedup,
-               trace_overhead,
+               speedup, block_speedup, chained_speedup, total_speedup,
+               setup_speedup, trace_overhead,
+               static_cast<unsigned long long>(chained_digest),
                static_cast<unsigned long long>(trace_digest), hardware,
                static_cast<unsigned long long>(golden_builds));
   for (std::size_t i = 0; i < sweep.size(); ++i) {

@@ -149,8 +149,11 @@ InjectionResult Injector::run_one(const InjectionSpec& spec) {
           static_cast<std::uint32_t>(spec.byte_index) << 8 | spec.bit_index,
           pristine, corrupted);
     }
-    // Drop any cached superblock containing the corrupted page (the
-    // per-op version check would catch it; this avoids the stale hit).
+    // Drop any cached superblock containing the corrupted page — and
+    // with it every chain link into or out of those blocks (follows
+    // re-validate entry identity, so severed links fail closed).  The
+    // per-op version check would catch the stale code anyway; this
+    // avoids the stale hit.
     machine.cpu().invalidate_blocks(flip_phys);
     std::uint8_t after[16] = {};
     machine.memory().read_block(vm::phys_of_virt(spec.instr_addr), after,

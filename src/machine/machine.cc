@@ -103,6 +103,9 @@ ExecEngine default_exec_engine() {
   if (env != nullptr && std::string_view(env) == "block") {
     return ExecEngine::Block;
   }
+  if (env != nullptr && std::string_view(env) == "chained") {
+    return ExecEngine::Chained;
+  }
   return ExecEngine::Step;
 }
 
@@ -202,6 +205,7 @@ Machine::Machine(const KernelImage& kernel_image,
   memory_ = std::make_unique<vm::PhysicalMemory>(vm::kRamSize);
   bus_ = std::make_unique<vm::Bus>();
   cpu_ = std::make_unique<vm::Cpu>(*memory_, *bus_);
+  cpu_->set_chaining(options_.exec_engine == ExecEngine::Chained);
   disk_image_ = std::make_unique<disk::DiskImage>(root_disk);
   disk_device_ = std::make_unique<disk::DiskDevice>(*disk_image_, *memory_);
   console_device_ = std::make_unique<ConsoleDevice>(*this);
@@ -478,6 +482,9 @@ PerfStats Machine::perf_stats() const {
   stats.block_fallbacks = cpu_->block_fallbacks();
   stats.block_invalidations = cpu_->block_invalidations();
   stats.block_ops = cpu_->block_ops();
+  stats.chain_follows = cpu_->chain_follows();
+  stats.chain_breaks = cpu_->chain_breaks();
+  stats.trace_len = cpu_->trace_len();
   return stats;
 }
 
@@ -541,7 +548,7 @@ RunResult Machine::run_loop(std::uint64_t max_cycles, bool resumable) {
   // capture saw; a plain restore()/boot() starts with none pending.
   bool timer_pending = timer_pending_resume_;
   timer_pending_resume_ = false;
-  const bool block_engine = options_.exec_engine == ExecEngine::Block;
+  const bool block_engine = options_.exec_engine != ExecEngine::Step;
 
   while (cpu_->cycles() < deadline) {
     // Checkpoint capture sits at the exact point a restored checkpoint
@@ -692,6 +699,9 @@ PerfStats& PerfStats::operator+=(const PerfStats& o) {
   block_fallbacks += o.block_fallbacks;
   block_invalidations += o.block_invalidations;
   block_ops += o.block_ops;
+  chain_follows += o.chain_follows;
+  chain_breaks += o.chain_breaks;
+  trace_len += o.trace_len;
   trace_events += o.trace_events;
   trace_dropped += o.trace_dropped;
   return *this;
@@ -711,6 +721,9 @@ PerfStats& PerfStats::operator-=(const PerfStats& o) {
   block_fallbacks -= o.block_fallbacks;
   block_invalidations -= o.block_invalidations;
   block_ops -= o.block_ops;
+  chain_follows -= o.chain_follows;
+  chain_breaks -= o.chain_breaks;
+  trace_len -= o.trace_len;
   trace_events -= o.trace_events;
   trace_dropped -= o.trace_dropped;
   return *this;

@@ -58,13 +58,17 @@ struct RunResult {
 // single-dispatch path; Block routes straight-line runs through the
 // CPU's superblock trace cache when no host event (timer tick,
 // checkpoint rung, deadline, trace sink) can fire inside the block.
-// The two are bit-identical for every run-visible outcome.
-enum class ExecEngine : std::uint8_t { Step, Block };
+// Chained additionally widens blocks into traces, follows patched
+// block-to-block successor links inside one dispatch, and shortcuts
+// proven-hit fetch translations.  All engines are bit-identical for
+// every run-visible outcome.
+enum class ExecEngine : std::uint8_t { Step, Block, Chained };
 
 // Reads the KFI_EXEC environment variable once per call: "block"
-// selects ExecEngine::Block, anything else (or unset) the stepper.
-// MachineOptions defaults from this so CI can drive the whole test
-// suite through either engine without code changes.
+// selects ExecEngine::Block, "chained" ExecEngine::Chained, anything
+// else (or unset) the stepper.  MachineOptions defaults from this so
+// CI can drive the whole test suite through any engine without code
+// changes.
 ExecEngine default_exec_engine();
 
 struct MachineOptions {
@@ -164,6 +168,12 @@ struct PerfStats {
   std::uint64_t block_fallbacks = 0;
   std::uint64_t block_invalidations = 0;
   std::uint64_t block_ops = 0;  // instructions retired through blocks
+  // Chained dispatch (all zero unless ExecEngine::Chained): successor
+  // links followed inside one dispatch, link validations that failed
+  // (severed or retargeted links), and micro-ops across built traces.
+  std::uint64_t chain_follows = 0;
+  std::uint64_t chain_breaks = 0;
+  std::uint64_t trace_len = 0;
   // Forensics trace layer (all zero when no sink is attached).  Filled
   // at the Injector level from its per-worker TraceBuffer — a buffer is
   // shared by all of an injector's machines, so summing per-machine

@@ -526,12 +526,17 @@ bool block_terminator(const Instruction& in) {
 
 bool Cpu::build_block(std::uint32_t entry_paddr, Block& blk) {
   blk.entry_paddr = kNoBlock;
-  blk.byte_len = 0;
+  blk.entry_vaddr = eip_;
+  blk.links[0] = ChainLink{};
+  blk.links[1] = ChainLink{};
   blk.ops.clear();
 
+  const std::size_t max_ops = chain_enabled_ ? kMaxTraceOps : kMaxBlockOps;
   std::uint32_t vaddr = eip_;
   std::uint32_t paddr = entry_paddr;
-  while (blk.ops.size() < kMaxBlockOps) {
+  std::uint32_t vmin = eip_;
+  std::uint32_t vmax = eip_;
+  while (blk.ops.size() < max_ops) {
     // Decode only from bytes within the instruction's page: an
     // instruction whose fetch identity spans two pages cannot be
     // verified with one translation, so it is left to the stepper.
@@ -545,11 +550,27 @@ bool Cpu::build_block(std::uint32_t entry_paddr, Block& blk) {
     Instruction instr;
     if (isa::decode(buf, take, instr) != DecodeStatus::Ok) break;
 
-    blk.ops.push_back({paddr, memory_.page_version(paddr), instr});
-    blk.byte_len += instr.length;
-    if (block_terminator(instr)) break;
+    blk.ops.push_back({vaddr, paddr, memory_.page_version(paddr), instr});
+    if (vaddr < vmin) vmin = vaddr;
+    const std::uint32_t last_byte = vaddr + instr.length - 1;
+    if (last_byte > vmax) vmax = last_byte;
 
-    vaddr += instr.length;
+    if (block_terminator(instr)) {
+      // Trace widening: direct jmp/call have statically known targets
+      // (next + rel), so the decode can continue there.  The branch op
+      // itself stays in the trace and executes normally — widening
+      // changes predecode layout only, never execution.  Everything
+      // else (conditional, indirect, IF-changing, trapping) ends the
+      // trace; chaining handles those transitions at runtime.
+      if (!chain_enabled_ ||
+          (instr.op != Op::Jmp && instr.op != Op::Call) ||
+          blk.ops.size() >= max_ops) {
+        break;
+      }
+      vaddr = vaddr + instr.length + static_cast<std::uint32_t>(instr.rel);
+    } else {
+      vaddr += instr.length;
+    }
     if (mmu_.peek(vaddr, Access::Execute, cpl_, paddr) !=
         TranslateStatus::Ok) {
       break;
@@ -557,6 +578,35 @@ bool Cpu::build_block(std::uint32_t entry_paddr, Block& blk) {
   }
   if (blk.ops.empty()) return false;
   blk.entry_paddr = entry_paddr;
+  blk.vmin = vmin;
+  blk.vmax = vmax;
+  trace_len_ += blk.ops.size();
+  return true;
+}
+
+Cpu::Block* Cpu::lookup_block(std::uint32_t paddr) {
+  Block& blk = block_cache_[block_index(paddr)];
+  if (blk.entry_paddr != paddr || blk.entry_vaddr != eip_ ||
+      blk.ops.empty() ||
+      blk.ops[0].version != memory_.page_version(paddr)) {
+    if (!build_block(paddr, blk)) return nullptr;
+    ++blocks_built_;
+  } else {
+    ++block_hits_;
+  }
+  return &blk;
+}
+
+bool Cpu::breakpoints_clear(const Block& blk) const {
+  for (const DebugReg& dr : debug_) {
+    if (!dr.enabled) continue;
+    if (dr.addr < blk.vmin || dr.addr > blk.vmax) continue;
+    // In range: refuse only if it names an instruction start — the
+    // stepper's trigger compares against eip_, never interior bytes.
+    for (const MicroOp& op : blk.ops) {
+      if (op.vaddr == dr.addr) return false;
+    }
+  }
   return true;
 }
 
@@ -573,78 +623,160 @@ std::size_t Cpu::run_block(std::uint64_t max_instructions, const bool* stop,
     return 0;
   }
 
-  Block& blk = block_cache_[(entry_paddr ^ (entry_paddr >> 12)) &
-                            (kBlockCacheSize - 1)];
-  if (blk.entry_paddr != entry_paddr || blk.ops.empty() ||
-      blk.ops[0].version != memory_.page_version(entry_paddr)) {
-    if (!build_block(entry_paddr, blk)) {
-      ++block_fallbacks_;
-      return 0;
-    }
-    ++blocks_built_;
-  } else {
-    ++block_hits_;
+  Block* blk = lookup_block(entry_paddr);
+  if (blk == nullptr || !breakpoints_clear(*blk)) {
+    // Undecodable entry, or an armed debug register names an
+    // instruction in the block: single-step so the Breakpoint event
+    // surfaces at the exact instruction.
+    ++block_fallbacks_;
+    return 0;
   }
 
-  // Hoisted breakpoint guard: if any armed debug register lies inside
-  // the block's address range, single-step so the Breakpoint event
-  // surfaces at the exact instruction (unsigned compare also rejects
-  // addresses below eip_).
-  for (const DebugReg& dr : debug_) {
-    if (dr.enabled && dr.addr - eip_ < blk.byte_len) {
-      ++block_fallbacks_;
-      return 0;
-    }
-  }
-  // With no breakpoint in range, the resume flag's only effect in the
-  // stepper is being consumed by the next fetch; consume it here.
-  resume_flag_ = false;
+  // Per-dispatch inline translate cache.  A translate_fast call is
+  // skipped only when it is provably a TLB hit: the page was verified
+  // present at `cached_epoch` and no TLB mutation (fill, flush, cr3
+  // load) has happened since, so the skipped call could neither fail
+  // differently nor change TLB state the stepper would have.
+  std::uint32_t cached_vpn = eip_ >> 12;
+  std::uint32_t cached_frame = entry_paddr & ~kPageMask;
+  std::uint64_t cached_epoch = mmu_.epoch();
 
-  const std::size_t limit =
-      blk.ops.size() < max_instructions
-          ? blk.ops.size()
-          : static_cast<std::size_t>(max_instructions);
-  std::size_t executed = 0;
-  while (executed < limit) {
-    const MicroOp& op = blk.ops[executed];
-    if (executed != 0) {
-      // Re-verify the fetch translation exactly where the stepper
-      // would fetch: same call, same TLB fills, same result.
-      std::uint32_t paddr = 0;
-      if (mmu_.translate_fast(eip_, Access::Execute, cpl_, paddr) !=
-              TranslateStatus::Ok ||
-          paddr != op.paddr) {
+  std::size_t total = 0;
+  for (;;) {
+    // With no breakpoint at any op, the resume flag's only effect in
+    // the stepper is being consumed by the next fetch; consume it.
+    resume_flag_ = false;
+
+    const std::uint64_t remaining = max_instructions - total;
+    const std::size_t limit =
+        blk->ops.size() < remaining ? blk->ops.size()
+                                    : static_cast<std::size_t>(remaining);
+    std::size_t executed = 0;
+    bool broke = false;
+    while (executed < limit) {
+      const MicroOp& op = blk->ops[executed];
+      if (executed != 0) {
+        // Re-verify the fetch translation exactly where the stepper
+        // would fetch: same call, same TLB fills, same result — or a
+        // proven-hit shortcut with no call at all.
+        const std::uint32_t vpn = op.vaddr >> 12;
+        std::uint32_t paddr = 0;
+        if (vpn == cached_vpn && mmu_.epoch() == cached_epoch) {
+          paddr = cached_frame | (op.vaddr & kPageMask);
+        } else if (mmu_.translate_fast(eip_, Access::Execute, cpl_, paddr) ==
+                   TranslateStatus::Ok) {
+          cached_vpn = vpn;
+          cached_frame = paddr & ~kPageMask;
+          cached_epoch = mmu_.epoch();
+        } else {
+          broke = true;
+          break;
+        }
+        if (paddr != op.paddr) {
+          broke = true;
+          break;
+        }
+      }
+      if (memory_.page_version(op.paddr) != op.version) {
+        // Self-modified (or flipped) code page: drop the block and let
+        // the stepper re-decode this instruction.
+        blk->entry_paddr = kNoBlock;
+        ++block_invalidations_;
+        broke = true;
+        break;
+      }
+      cycles_ += 1;
+      ++executed;
+      if (!execute(op.instr)) {
+        event.trap_taken = true;
+        event.trap = last_trap_.trap;
+        broke = true;
+        break;
+      }
+      if (halted_ || dead_ || (stop != nullptr && *stop)) {
+        broke = true;
         break;
       }
     }
-    if (memory_.page_version(op.paddr) != op.version) {
-      // Self-modified (or flipped) code page: drop the block and let
-      // the stepper re-decode this instruction.
-      blk.entry_paddr = kNoBlock;
-      ++block_invalidations_;
+    block_ops_ += executed;
+    total += executed;
+
+    if (broke || !chain_enabled_ || total >= max_instructions ||
+        executed < blk->ops.size()) {
       break;
     }
-    cycles_ += 1;
-    ++executed;
-    if (!execute(op.instr)) {
-      event.trap_taken = true;
-      event.trap = last_trap_.trap;
+
+    // The block ran to completion below budget.  Chain to the
+    // successor unless the terminator can enable interrupts: sti and
+    // iret may unmask a pending tick, whose delivery loop top must
+    // land exactly here (the PR 3 invariant).
+    const Op term = blk->ops.back().instr.op;
+    if (term == Op::Sti || term == Op::Iret) break;
+
+    // Successor entry translation — the same filling translate the
+    // stepper's fetch would do, unless provably already a hit.
+    const std::uint32_t next_vpn = eip_ >> 12;
+    std::uint32_t next_paddr = 0;
+    if (next_vpn == cached_vpn && mmu_.epoch() == cached_epoch) {
+      next_paddr = cached_frame | (eip_ & kPageMask);
+    } else if (mmu_.translate(eip_, Access::Execute, cpl_, next_paddr) ==
+               TranslateStatus::Ok) {
+      cached_vpn = next_vpn;
+      cached_frame = next_paddr & ~kPageMask;
+      cached_epoch = mmu_.epoch();
+    } else {
+      // Fetch fault at the target: the stepper raises the exact trap.
       break;
     }
-    if (halted_ || dead_) break;
-    if (stop != nullptr && *stop) break;
+
+    // Link slot: fall-through of a conditional gets its own slot so a
+    // hot jcc caches both edges; everything else (taken edge, computed
+    // ret/indirect targets, op-capped fall-through) shares slot 0 as a
+    // monomorphic cache keyed on the observed target vaddr.
+    const MicroOp& last = blk->ops.back();
+    const int slot = (last.instr.op == Op::Jcc &&
+                      eip_ == last.vaddr + last.instr.length)
+                         ? 1
+                         : 0;
+    ChainLink& link = blk->links[slot];
+
+    Block* next = nullptr;
+    if (link.index != kNoBlock) {
+      Block& cand = block_cache_[link.index];
+      if (link.vaddr == eip_ && cand.entry_paddr == next_paddr &&
+          cand.entry_vaddr == eip_ && !cand.ops.empty() &&
+          cand.ops[0].version == memory_.page_version(next_paddr)) {
+        next = &cand;
+        ++block_hits_;
+      } else {
+        // Severed (invalidated target, reused slot, remapped page) or
+        // retargeted link: fall back to a probe and re-patch.
+        ++chain_breaks_;
+      }
+    }
+    if (next == nullptr) {
+      next = lookup_block(next_paddr);
+      if (next == nullptr) break;
+      link.vaddr = eip_;
+      link.index = block_index(next_paddr);
+    }
+    if (!breakpoints_clear(*next)) break;
+    ++chain_follows_;
+    blk = next;
   }
-  block_ops_ += executed;
 
   if (dead_) {
     event.kind = CpuEventKind::DoubleFault;
   } else if (halted_) {
     event.kind = CpuEventKind::Halted;
   }
-  return executed;
+  return total;
 }
 
 void Cpu::invalidate_blocks(std::uint32_t paddr) {
+  // Dropping a block also severs every chain through it: inbound links
+  // fail their entry_paddr validation on the next follow, and outbound
+  // links die with the block (rebuilds start with empty link slots).
   const std::uint32_t page = paddr >> 12;
   std::uint32_t dropped = 0;
   for (Block& blk : block_cache_) {
@@ -652,6 +784,8 @@ void Cpu::invalidate_blocks(std::uint32_t paddr) {
     for (const MicroOp& op : blk.ops) {
       if ((op.paddr >> 12) == page) {
         blk.entry_paddr = kNoBlock;
+        blk.links[0] = ChainLink{};
+        blk.links[1] = ChainLink{};
         ++block_invalidations_;
         ++dropped;
         break;

@@ -96,9 +96,9 @@ class Cpu {
   // single-step via step()).  Guards hoisted out of the inner loop:
   //   - the caller bounds `max_instructions` so no timer tick,
   //     checkpoint rung, or run deadline can fall inside the block;
-  //   - a block whose address range contains an armed debug register
-  //     is refused (single-step delivers the Breakpoint event at the
-  //     exact instruction);
+  //   - a block containing an instruction whose address matches an
+  //     armed debug register is refused (single-step delivers the
+  //     Breakpoint event at the exact instruction);
   //   - each micro-op re-verifies its fetch translation and code-page
   //     write version before executing, so self-modifying code, page
   //     remaps, and injection flips break out of the block exactly
@@ -107,8 +107,23 @@ class Cpu {
   //     the instruction that sets it, and traps/hlt/double faults end
   //     it exactly as step() would surface them.
   // Executing N micro-ops is bit-identical to N step() calls.
+  //
+  // With chaining enabled (set_chaining), a fully executed block whose
+  // terminator cannot enable interrupts follows a per-terminator
+  // successor link (taken / fall-through slots) to the next block and
+  // keeps executing inside this one dispatch, up to `max_instructions`.
+  // Links are monomorphic inline caches validated on every follow
+  // against the successor's entry paddr/vaddr and code-page version,
+  // so the page-version invalidation scheme (and invalidate_blocks()
+  // at injection flip sites) severs stale chains automatically.
   std::size_t run_block(std::uint64_t max_instructions, const bool* stop,
                         CpuEvent& event);
+
+  // Enables block chaining + trace widening + the per-dispatch inline
+  // translate cache (ExecEngine::Chained).  Off by default: plain
+  // ExecEngine::Block keeps the PR 3 one-block-per-dispatch behavior.
+  void set_chaining(bool enabled) { chain_enabled_ = enabled; }
+  bool chaining() const { return chain_enabled_; }
 
   // Drops every cached block containing a micro-op on the page holding
   // `paddr`.  The injector calls this on its bit flip; the per-op
@@ -146,6 +161,14 @@ class Cpu {
   // Instructions retired through blocks (avg executed block length =
   // block_ops / (block_hits + blocks_built)).
   std::uint64_t block_ops() const { return block_ops_; }
+  // Chained-dispatch telemetry: block-to-block transitions taken
+  // inside a single run_block dispatch, link follows that failed
+  // validation (severed by invalidation, slot reuse, or a retargeted
+  // indirect branch), and total micro-ops across built blocks (avg
+  // built trace length = trace_len / blocks_built).
+  std::uint64_t chain_follows() const { return chain_follows_; }
+  std::uint64_t chain_breaks() const { return chain_breaks_; }
+  std::uint64_t trace_len() const { return trace_len_; }
 
   // Virtual-memory accessors for the host (debugger/loader view).
   // They use the current privilege translation but never trap; failures
@@ -215,31 +238,67 @@ class Cpu {
   // entry instruction's physical address.  Micro-ops live in one
   // contiguous array per block, so execution walks memory linearly
   // instead of re-probing the direct-mapped decode cache per step.
+  // With chaining enabled, blocks widen into traces across direct jmp
+  // and call (statically known targets), so op addresses need not be
+  // contiguous — every op carries its own vaddr.
   struct MicroOp {
+    std::uint32_t vaddr = 0;     // instruction-start virtual address
     std::uint32_t paddr = 0;     // fetch identity: physical address...
     std::uint64_t version = 0;   // ...and code-page version at decode
     isa::Instruction instr;
   };
+  // A monomorphic successor link: the last observed branch target and
+  // the cache slot it resolved to.  Never trusted blind — every follow
+  // re-validates the slot's entry identity and code-page version, so a
+  // link severed by invalidation or overwritten by slot reuse fails
+  // closed into an ordinary probe.
+  struct ChainLink {
+    std::uint32_t vaddr = 0;
+    std::uint32_t index = kNoBlock;
+  };
   struct Block {
     std::uint32_t entry_paddr = kNoBlock;
-    std::uint32_t byte_len = 0;  // encoded bytes covered (breakpoint guard)
+    std::uint32_t entry_vaddr = 0;  // alias guard: build-time entry eip
+    std::uint32_t vmin = 0;         // op-vaddr range (breakpoint prefilter)
+    std::uint32_t vmax = 0;
+    ChainLink links[2];             // [0] taken/target, [1] fall-through
     std::vector<MicroOp> ops;
   };
   static constexpr std::uint32_t kNoBlock = 0xFFFFFFFF;
   static constexpr std::uint32_t kBlockCacheSize = 4096;  // power of two
   static constexpr std::size_t kMaxBlockOps = 32;
+  // Widened traces may join several basic blocks; a larger cap lets a
+  // hot loop body with direct calls stay in one trace.
+  static constexpr std::size_t kMaxTraceOps = 64;
 
-  // Decodes a straight-line block starting at eip_ (entry already
-  // translated to `entry_paddr`).  Pure lookahead: reads memory and
-  // page versions only, never fills the TLB (Mmu::peek).
+  static std::uint32_t block_index(std::uint32_t paddr) {
+    return (paddr ^ (paddr >> 12)) & (kBlockCacheSize - 1);
+  }
+
+  // Decodes a block starting at eip_ (entry already translated to
+  // `entry_paddr`).  Pure lookahead: reads memory and page versions
+  // only, never fills the TLB (Mmu::peek).  With chaining enabled the
+  // decode continues across direct jmp/call into a widened trace.
   bool build_block(std::uint32_t entry_paddr, Block& blk);
 
+  // Cache probe + rebuild for the block entered at eip_ (translated to
+  // `paddr`); returns nullptr when no block can be built here.
+  Block* lookup_block(std::uint32_t paddr);
+
+  // True when no armed debug register matches any instruction-start
+  // address in the block (the stepper only triggers on exact starts).
+  bool breakpoints_clear(const Block& blk) const;
+
   std::vector<Block> block_cache_;
+  bool chain_enabled_ = false;
   std::uint64_t blocks_built_ = 0;
   std::uint64_t block_hits_ = 0;
   std::uint64_t block_fallbacks_ = 0;
   std::uint64_t block_invalidations_ = 0;
   std::uint64_t block_ops_ = 0;
+  std::uint64_t chain_follows_ = 0;
+  std::uint64_t chain_breaks_ = 0;
+  std::uint64_t trace_len_ = 0;
 
   TrapRecord last_trap_;
 

@@ -4,11 +4,13 @@ namespace kfi::vm {
 
 void Mmu::flush_tlb() {
   for (TlbEntry& e : tlb_) e.tag = 0xFFFFFFFF;
+  ++epoch_;
 }
 
 void Mmu::flush_page(std::uint32_t vaddr) {
   const std::uint32_t vpn = vaddr >> 12;
   tlb_[vpn & (kTlbSize - 1)].tag = 0xFFFFFFFF;
+  ++epoch_;
 }
 
 TranslateStatus Mmu::peek(std::uint32_t vaddr, Access access, int cpl,
@@ -92,6 +94,7 @@ TranslateStatus Mmu::translate(std::uint32_t vaddr, Access access, int cpl,
   entry.frame = frame;
   entry.writable = writable;
   entry.user = user_ok;
+  ++epoch_;
 
   paddr = frame | (vaddr & kPageMask);
   return TranslateStatus::Ok;

@@ -60,6 +60,16 @@ class Mmu {
     return translate(vaddr, access, cpl, paddr);
   }
 
+  // Monotonic count of TLB mutations: fills (translate() walks that
+  // install an entry), flushes, and cr3 loads.  Two uses: the chained
+  // block engine's inline translate cache skips a translate_fast call
+  // only while the epoch is unchanged since the last verified hit on
+  // the same page (a skipped call is then provably a side-effect-free
+  // TLB hit), and the cross-engine TLB-determinism tests assert equal
+  // epochs after equal runs — any divergence in fill history between
+  // the stepper and the block engines shows up here.
+  std::uint64_t epoch() const { return epoch_; }
+
   // Translation without side effects: identical result to translate()
   // at this instant, but never fills the TLB.  Block *construction*
   // uses this so predecoding lookahead instructions cannot perturb the
@@ -89,6 +99,7 @@ class Mmu {
   PhysicalMemory& memory_;
   std::uint32_t cr3_ = kBootPgdPhys;
   TlbEntry tlb_[kTlbSize];
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace kfi::vm

@@ -72,7 +72,8 @@ TEST(check_determinism, SharedCacheThreadCountIdenticalBothEngines) {
 
   std::vector<CampaignRun> runs;
   for (const machine::ExecEngine engine :
-       {machine::ExecEngine::Step, machine::ExecEngine::Block}) {
+       {machine::ExecEngine::Step, machine::ExecEngine::Block,
+        machine::ExecEngine::Chained}) {
     inject::InjectorOptions options;
     options.exec_engine = engine;
     auto cache = std::make_shared<inject::GoldenCache>(options);
@@ -84,7 +85,7 @@ TEST(check_determinism, SharedCacheThreadCountIdenticalBothEngines) {
       EXPECT_EQ(runs.back().stats.runs, runs.back().results.size());
     }
   }
-  ASSERT_EQ(runs.size(), 4u);
+  ASSERT_EQ(runs.size(), 6u);
   ASSERT_GT(runs[0].results.size(), 10u);
   for (std::size_t i = 1; i < runs.size(); ++i) {
     const RunComparison comparison = compare_runs(runs[0], runs[i]);

@@ -214,6 +214,38 @@ TEST(Injector, SameSpecIsDeterministic) {
   EXPECT_EQ(a.latency_cycles, b.latency_cycles);
 }
 
+TEST(Injector, ChainedEngineFlipSeversChainsAndMatchesStep) {
+  // run_one's flip site invalidates the flipped page's cached blocks,
+  // which with chaining also severs every link into them: the chained
+  // injector must land on the same outcome, activation cycle, and
+  // latency as the stepper for the same spec.
+  const kernel::KernelFunction* fn = image().function("pipe_read");
+  ASSERT_NE(fn, nullptr);
+  const auto sites = enumerate_function(image(), *fn);
+  const InjectionSpec spec = spec_for("pipe_read", sites[2], 0, 5, "pipe",
+                                      Campaign::RandomNonBranch);
+  InjectorOptions step_options;
+  step_options.exec_engine = machine::ExecEngine::Step;
+  InjectorOptions chain_options;
+  chain_options.exec_engine = machine::ExecEngine::Chained;
+  Injector step_inj(step_options);
+  Injector chain_inj(chain_options);
+
+  const InjectionResult a = step_inj.run_one(spec);
+  const InjectionResult b = chain_inj.run_one(spec);
+  EXPECT_EQ(a.outcome, b.outcome) << outcome_name(b.outcome);
+  EXPECT_EQ(a.activation_cycle, b.activation_cycle);
+  EXPECT_EQ(a.cause, b.cause);
+  EXPECT_EQ(a.latency_cycles, b.latency_cycles);
+  EXPECT_EQ(a.propagated, b.propagated);
+
+  EXPECT_GT(chain_inj.perf_stats().chain_follows, 0u);
+  EXPECT_GE(chain_inj.perf_stats().block_invalidations, 1u)
+      << "the flip site must invalidate the cached block under it";
+  EXPECT_EQ(step_inj.perf_stats().chain_follows, 0u);
+  EXPECT_EQ(step_inj.perf_stats().block_ops, 0u);
+}
+
 TEST(Campaign, SmallCampaignCProducesPlausibleMix) {
   CampaignConfig config;
   config.campaign = Campaign::IncorrectBranch;

@@ -1,0 +1,273 @@
+// Differential fuzz battery guarding the engine identity contract.
+//
+// Every seeded program from the shape generator (program_fuzz.h) runs
+// three times — through the stepping engine, the one-block-per-dispatch
+// superblock engine, and the chained engine — and every run-visible
+// outcome must be bit-identical: registers, flags, eip, cpl, cycle
+// count, halt/dead state, the trap delivery sequence, every RAM page
+// either engine dirtied, and the MMU's TLB-mutation epoch (the chained
+// engine's inline translate cache may only skip translations that are
+// provably TLB hits, so fill histories must match the stepper's).
+//
+// The three rigs are reused across seeds: a pristine post-setup
+// snapshot is restored before each program (O(dirtied pages), and the
+// restore bumps page versions, which invalidates stale cached blocks),
+// so the 1200-seed battery stays cheap enough for tier-1.
+//
+// Failing seeds are appended to chain_fuzz_failures.txt in the working
+// directory; CI uploads that file as an artifact on failure so a
+// red run is reproducible offline.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "isa/decode.h"
+#include "program_fuzz.h"
+#include "vm/cpu.h"
+#include "vm/hostmap.h"
+#include "vm/snapshot.h"
+
+namespace kfi::vm {
+namespace {
+
+using isa::Reg;
+using isa::Trap;
+using isa::fuzz::FuzzProgram;
+using isa::fuzz::Shape;
+
+constexpr std::uint32_t kCodeVirt = 0xC0105000;  // page-aligned kernel text
+constexpr std::uint32_t kDataVirt = 0xC0200000;
+constexpr std::uint32_t kHandlerVirt = 0xC0110000;
+
+enum class Engine { Step, Block, Chained };
+
+// One reusable differential rig.  Construction (16 MiB zero fill, page
+// tables, snapshot capture) happens once per battery; reset() restores
+// the pristine image and re-seeds architectural state per program.
+struct FuzzRig {
+  PhysicalMemory memory;
+  Bus bus;
+  Cpu cpu;
+  Engine engine;
+  ChunkedSnapshot pristine;
+  std::vector<std::uint64_t> memo;
+
+  explicit FuzzRig(Engine e) : memory(kRamSize), cpu(memory, bus), engine(e) {
+    HostMapper mapper(memory, kBootPgdPhys, kKernelPtePhys);
+    mapper.map_range(kKernelBase, 0, kRamSize, kPteWrite);
+    cpu.mmu().set_cr3(kBootPgdPhys);
+    memory.write32(kTssPhys, kBootStackTop);
+    for (int v = 0; v < 32; ++v) cpu.set_vector(v, kHandlerVirt);
+    cpu.set_vector(0x80, kHandlerVirt);
+    cpu.set_vector(0x20, kHandlerVirt);
+    memory.fill(phys_of_virt(kHandlerVirt), 64, 0xF4);  // hlt
+    cpu.set_chaining(engine == Engine::Chained);
+    pristine = memory.snapshot_pages();
+  }
+
+  void reset(const std::vector<std::uint8_t>& program) {
+    memory.restore_pages(pristine, memo);
+    memory.write_block(phys_of_virt(kCodeVirt), program.data(),
+                       static_cast<std::uint32_t>(program.size()));
+    for (int r = 0; r < isa::kRegCount; ++r) {
+      cpu.set_reg(static_cast<Reg>(r), 0);
+    }
+    cpu.set_reg(Reg::Esp, kBootStackTop);
+    cpu.set_eip(kCodeVirt);
+    cpu.flags() = isa::Flags{};
+    cpu.set_cpl(0);
+    cpu.set_cycles(0);
+    cpu.reset_fault_state();
+  }
+};
+
+struct TrapSeen {
+  Trap trap;
+  std::uint64_t cycle;
+  std::uint32_t faulting_eip;
+
+  bool operator==(const TrapSeen&) const = default;
+};
+
+struct Outcome {
+  CpuEvent last;
+  std::vector<TrapSeen> traps;
+};
+
+Outcome run_engine(FuzzRig& rig, std::uint64_t max_cycles) {
+  Outcome out;
+  while (rig.cpu.cycles() < max_cycles) {
+    CpuEvent event;
+    if (rig.engine == Engine::Step) {
+      event = rig.cpu.step();
+    } else if (rig.cpu.run_block(max_cycles - rig.cpu.cycles(), nullptr,
+                                 event) == 0) {
+      event = rig.cpu.step();
+    }
+    out.last = event;
+    if (event.trap_taken) {
+      out.traps.push_back({rig.cpu.last_trap().trap,
+                           rig.cpu.last_trap().cycle,
+                           rig.cpu.last_trap().faulting_eip});
+    }
+    if (event.kind != CpuEventKind::Executed) break;
+  }
+  return out;
+}
+
+// Returns "" when rigs a and b agree on every run-visible outcome;
+// otherwise a one-line description of the first divergence found.
+// `base_*` are the page-version vectors captured right after reset, so
+// "dirty" means "written during this program".
+std::string compare_rigs(FuzzRig& a, FuzzRig& b, const Outcome& oa,
+                         const Outcome& ob,
+                         const std::vector<std::uint64_t>& base_a,
+                         const std::vector<std::uint64_t>& base_b) {
+  char buf[128];
+  for (int r = 0; r < isa::kRegCount; ++r) {
+    const auto va = a.cpu.reg(static_cast<Reg>(r));
+    const auto vb = b.cpu.reg(static_cast<Reg>(r));
+    if (va != vb) {
+      std::snprintf(buf, sizeof buf, "reg %d: %08x vs %08x", r, va, vb);
+      return buf;
+    }
+  }
+  if (a.cpu.eip() != b.cpu.eip()) return "eip diverged";
+  if (a.cpu.flags().to_word() != b.cpu.flags().to_word()) {
+    return "flags diverged";
+  }
+  if (a.cpu.cpl() != b.cpu.cpl()) return "cpl diverged";
+  if (a.cpu.cycles() != b.cpu.cycles()) {
+    std::snprintf(buf, sizeof buf, "cycles: %llu vs %llu",
+                  static_cast<unsigned long long>(a.cpu.cycles()),
+                  static_cast<unsigned long long>(b.cpu.cycles()));
+    return buf;
+  }
+  if (a.cpu.halted() != b.cpu.halted()) return "halted diverged";
+  if (a.cpu.dead() != b.cpu.dead()) return "dead diverged";
+  if (oa.last.kind != ob.last.kind) return "terminal event kind diverged";
+  if (oa.traps != ob.traps) return "trap sequence diverged";
+  if (a.cpu.mmu().epoch() != b.cpu.mmu().epoch()) {
+    std::snprintf(buf, sizeof buf, "mmu epoch: %llu vs %llu (TLB fills)",
+                  static_cast<unsigned long long>(a.cpu.mmu().epoch()),
+                  static_cast<unsigned long long>(b.cpu.mmu().epoch()));
+    return buf;
+  }
+  const auto& va = a.memory.page_versions();
+  const auto& vb = b.memory.page_versions();
+  for (std::size_t p = 0; p < va.size(); ++p) {
+    const bool dirty = va[p] != base_a[p] || vb[p] != base_b[p];
+    if (!dirty) continue;
+    const std::uint32_t paddr = static_cast<std::uint32_t>(p) * kPageSize;
+    if (std::memcmp(a.memory.raw(paddr), b.memory.raw(paddr), kPageSize) !=
+        0) {
+      std::snprintf(buf, sizeof buf, "RAM page %zu diverged", p);
+      return buf;
+    }
+  }
+  return "";
+}
+
+void run_battery(Shape shape, int num_seeds) {
+  FuzzRig step_rig(Engine::Step);
+  FuzzRig block_rig(Engine::Block);
+  FuzzRig chain_rig(Engine::Chained);
+  FuzzRig* rigs[3] = {&step_rig, &block_rig, &chain_rig};
+
+  std::vector<std::uint64_t> failures;
+  for (std::uint64_t seed = 1;
+       seed <= static_cast<std::uint64_t>(num_seeds); ++seed) {
+    const FuzzProgram prog =
+        isa::fuzz::generate(shape, seed, kCodeVirt, kDataVirt);
+    ASSERT_FALSE(prog.bytes.empty())
+        << isa::fuzz::shape_name(shape) << " seed " << seed
+        << ": generator produced an unencodable program";
+    ASSERT_LT(prog.bytes.size(), 2u * kPageSize);
+
+    Outcome outs[3];
+    std::vector<std::uint64_t> base[3];
+    for (int i = 0; i < 3; ++i) {
+      rigs[i]->reset(prog.bytes);
+      base[i] = rigs[i]->memory.page_versions();
+      outs[i] = run_engine(*rigs[i], prog.max_cycles);
+    }
+    for (int i = 1; i < 3; ++i) {
+      const std::string err = compare_rigs(step_rig, *rigs[i], outs[0],
+                                           outs[i], base[0], base[i]);
+      if (!err.empty()) {
+        if (failures.empty() || failures.back() != seed) {
+          failures.push_back(seed);
+        }
+        if (failures.size() <= 10) {
+          ADD_FAILURE() << isa::fuzz::shape_name(shape) << " seed " << seed
+                        << " (step vs "
+                        << (i == 1 ? "block" : "chained") << "): " << err;
+        }
+      }
+    }
+  }
+
+  if (!failures.empty()) {
+    // Reproduction list for the CI failure artifact.
+    if (std::FILE* f = std::fopen("chain_fuzz_failures.txt", "a")) {
+      for (const std::uint64_t seed : failures) {
+        std::fprintf(f, "%s %llu\n", isa::fuzz::shape_name(shape),
+                     static_cast<unsigned long long>(seed));
+      }
+      std::fclose(f);
+    }
+    ADD_FAILURE() << failures.size() << " of " << num_seeds << " "
+                  << isa::fuzz::shape_name(shape)
+                  << " seeds diverged (list in chain_fuzz_failures.txt)";
+  }
+
+  // The battery must actually exercise the machinery it guards.
+  EXPECT_GT(block_rig.cpu.block_ops(), 0u);
+  EXPECT_GT(chain_rig.cpu.block_ops(), 0u);
+  EXPECT_EQ(step_rig.cpu.block_ops(), 0u);
+  if (shape == Shape::TightLoops || shape == Shape::BranchLadder ||
+      shape == Shape::SmcChain) {
+    EXPECT_GT(chain_rig.cpu.chain_follows(), 0u)
+        << "shape never followed a chain link";
+  }
+}
+
+// 6 shapes x 200 seeds = 1200 differential programs in tier-1.
+TEST(ChainFuzz, Mixed) { run_battery(Shape::Mixed, 200); }
+TEST(ChainFuzz, TightLoops) { run_battery(Shape::TightLoops, 200); }
+TEST(ChainFuzz, BranchLadder) { run_battery(Shape::BranchLadder, 200); }
+TEST(ChainFuzz, SmcChain) { run_battery(Shape::SmcChain, 200); }
+TEST(ChainFuzz, CrossPage) { run_battery(Shape::CrossPage, 200); }
+TEST(ChainFuzz, CallRet) { run_battery(Shape::CallRet, 200); }
+
+// Generator sanity: every emitted byte stream decodes cleanly end to
+// end (padding included), and regenerating a seed is deterministic.
+TEST(ChainFuzz, GeneratorEmitsDecodableDeterministicStreams) {
+  for (const Shape shape : isa::fuzz::kAllShapes) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      SCOPED_TRACE(std::string(isa::fuzz::shape_name(shape)) + " seed " +
+                   std::to_string(seed));
+      const FuzzProgram prog =
+          isa::fuzz::generate(shape, seed, kCodeVirt, kDataVirt);
+      ASSERT_FALSE(prog.bytes.empty());
+      std::size_t off = 0;
+      while (off < prog.bytes.size()) {
+        isa::Instruction instr;
+        const isa::DecodeStatus status = isa::decode(
+            prog.bytes.data() + off, prog.bytes.size() - off, instr);
+        ASSERT_EQ(status, isa::DecodeStatus::Ok) << "at offset " << off;
+        ASSERT_NE(instr.op, isa::Op::Invalid) << "at offset " << off;
+        off += instr.length;
+      }
+      EXPECT_EQ(off, prog.bytes.size());
+      EXPECT_EQ(isa::fuzz::generate(shape, seed, kCodeVirt, kDataVirt).bytes,
+                prog.bytes);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kfi::vm

@@ -1,0 +1,512 @@
+// Randomized-program generator for the differential fuzz battery.
+//
+// Each shape emits a seeded, self-contained KX86 program (a flat byte
+// image loaded at a fixed code address, always ending in hlt) chosen to
+// stress one structural hazard of the chained superblock engine:
+// back-edge links re-followed in tight loops, branch-to-branch ladders,
+// self-modifying code that rewrites an already-chained successor,
+// fall-through chains that cross a page boundary, and call/ret webs.
+// The battery runs every program through the stepping, block, and
+// chained engines and requires bit-identical outcomes, so the generator
+// only has to produce *deterministic* programs — it never needs to know
+// what the right answer is.
+//
+// Programs are built from symbolic items (instruction + optional branch
+// target or code-address immediate, both as item indices).  All
+// branches are encoded in their long forms, so item offsets are fixed
+// by a single length pass and targets/immediates resolve without a
+// relaxation fixpoint.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/encode.h"
+#include "isa/instruction.h"
+#include "support/rng.h"
+
+namespace kfi::isa::fuzz {
+
+inline constexpr std::uint32_t kFuzzPageSize = 4096;
+
+// --- Symbolic assembler -------------------------------------------------
+
+class Asm {
+ public:
+  // Plain instruction.  Returns the item index (usable as a target).
+  int add(const Instruction& instr) {
+    items_.push_back({instr, kNone, kNone, 0, false});
+    return static_cast<int>(items_.size()) - 1;
+  }
+
+  // Branch whose `rel` is resolved to reach item `target` (may be an
+  // index not emitted yet; call set_target later if so).
+  int branch(const Instruction& instr, int target) {
+    items_.push_back({instr, target, kNone, 0, false});
+    return static_cast<int>(items_.size()) - 1;
+  }
+
+  void set_target(int item, int target) { items_[item].branch_target = target; }
+
+  // Re-aims an addr_imm item after its target exists.
+  void set_imm_target(int item, int target, std::int32_t delta) {
+    items_[item].imm_target = target;
+    items_[item].imm_delta = delta;
+  }
+
+  // Instruction whose src immediate is patched to the code-space
+  // address of item `target` plus `delta` (e.g. +1 to hit the imm32 of
+  // a mov-ri).  The placeholder immediate keeps the encoded length of
+  // the final value.
+  int addr_imm(Instruction instr, int target, std::int32_t delta) {
+    instr.src = Operand::make_imm(0x7FFFFFFF);
+    items_.push_back({instr, kNone, target, delta, false});
+    return static_cast<int>(items_.size()) - 1;
+  }
+
+  // 1-byte nop padding up to the next page boundary (relative to the
+  // page-aligned load address); a no-op when already aligned.
+  int pad_to_page() {
+    Instruction nop;
+    nop.op = Op::Nop;
+    items_.push_back({nop, kNone, kNone, 0, true});
+    return static_cast<int>(items_.size()) - 1;
+  }
+
+  int next_index() const { return static_cast<int>(items_.size()); }
+
+  // Byte offset of an item within the assembled image (valid only
+  // after assemble()).
+  std::size_t offset_of(int item) const {
+    return offsets_[static_cast<std::size_t>(item)];
+  }
+
+  // Resolves offsets, branch displacements, and address immediates,
+  // then encodes.  `code_virt` must be page-aligned.
+  std::vector<std::uint8_t> assemble(std::uint32_t code_virt) {
+    const std::size_t n = items_.size();
+    offsets_.assign(n + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t len;
+      if (items_[i].pad_page) {
+        len = (kFuzzPageSize - (offsets_[i] % kFuzzPageSize)) % kFuzzPageSize;
+      } else {
+        len = encoded_length(items_[i].instr, /*force_long_branch=*/true);
+      }
+      offsets_[i + 1] = offsets_[i] + len;
+    }
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(offsets_[n]);
+    for (std::size_t i = 0; i < n; ++i) {
+      Item& item = items_[i];
+      if (item.pad_page) {
+        bytes.resize(offsets_[i + 1], 0x90);  // nop
+        continue;
+      }
+      if (item.branch_target != kNone) {
+        item.instr.rel = static_cast<std::int32_t>(
+            offsets_[static_cast<std::size_t>(item.branch_target)]) -
+            static_cast<std::int32_t>(offsets_[i + 1]);
+      }
+      if (item.imm_target != kNone) {
+        item.instr.src = Operand::make_imm(static_cast<std::int32_t>(
+            code_virt +
+            offsets_[static_cast<std::size_t>(item.imm_target)] +
+            static_cast<std::uint32_t>(item.imm_delta)));
+      }
+      const bool ok = encode(item.instr, bytes, /*force_long_branch=*/true);
+      if (!ok || bytes.size() != offsets_[i + 1]) return {};  // bug in shape
+    }
+    return bytes;
+  }
+
+ private:
+  static constexpr int kNone = -1;
+  struct Item {
+    Instruction instr;
+    int branch_target;
+    int imm_target;
+    std::int32_t imm_delta;
+    bool pad_page;
+  };
+  std::vector<Item> items_;
+  std::vector<std::size_t> offsets_;
+};
+
+// --- Instruction factories (shared with the vm differential tests) ------
+
+inline Instruction mov_ri(Reg r, std::int32_t imm) {
+  Instruction i;
+  i.op = Op::Mov;
+  i.dst = Operand::make_reg(r);
+  i.src = Operand::make_imm(imm);
+  return i;
+}
+inline Instruction alu_rr(Op op, Reg dst, Reg src) {
+  Instruction i;
+  i.op = op;
+  i.dst = Operand::make_reg(dst);
+  i.src = Operand::make_reg(src);
+  return i;
+}
+inline Instruction mem_op(Op op, Reg r, Reg base, std::int32_t disp,
+                          bool load) {
+  Instruction i;
+  i.op = op;
+  MemRef m;
+  m.has_base = true;
+  m.base = base;
+  m.disp = disp;
+  if (load) {
+    i.dst = Operand::make_reg(r);
+    i.src = Operand::make_mem(m);
+  } else {
+    i.dst = Operand::make_mem(m);
+    i.src = Operand::make_reg(r);
+  }
+  return i;
+}
+inline Instruction unary(Op op, Reg r) {
+  Instruction i;
+  i.op = op;
+  i.dst = Operand::make_reg(r);
+  return i;
+}
+inline Instruction nullary(Op op) {
+  Instruction i;
+  i.op = op;
+  return i;
+}
+inline Instruction jcc(Cond cond, int /*placeholder*/ = 0) {
+  Instruction i;
+  i.op = Op::Jcc;
+  i.cond = cond;
+  return i;
+}
+inline Instruction jmp() {
+  Instruction i;
+  i.op = Op::Jmp;
+  return i;
+}
+inline Instruction call() {
+  Instruction i;
+  i.op = Op::Call;
+  return i;
+}
+
+// --- Shapes -------------------------------------------------------------
+
+enum class Shape {
+  Mixed,        // the historical random mix: alu, memory, skips, traps, SMC
+  TightLoops,   // countdown loops — back-edge chain links re-followed
+  BranchLadder, // permuted jmp/jcc ladders — branch-to-branch chains
+  SmcChain,     // a loop that rewrites an already-chained successor block
+  CrossPage,    // fall-through and jumps across a page boundary
+  CallRet,      // call/ret webs — CallInd-free but stack-driven successors
+};
+
+inline constexpr Shape kAllShapes[] = {
+    Shape::Mixed,      Shape::TightLoops, Shape::BranchLadder,
+    Shape::SmcChain,   Shape::CrossPage,  Shape::CallRet,
+};
+
+inline const char* shape_name(Shape s) {
+  switch (s) {
+    case Shape::Mixed: return "mixed";
+    case Shape::TightLoops: return "tight_loops";
+    case Shape::BranchLadder: return "branch_ladder";
+    case Shape::SmcChain: return "smc_chain";
+    case Shape::CrossPage: return "cross_page";
+    case Shape::CallRet: return "call_ret";
+  }
+  return "?";
+}
+
+struct FuzzProgram {
+  std::vector<std::uint8_t> bytes;  // load at code_virt
+  std::uint64_t max_cycles = 20000;
+};
+
+namespace detail {
+
+inline Reg scratch(Rng& rng) {  // eax/ecx/edx/ebx
+  return static_cast<Reg>(rng.below(4));
+}
+
+// A few register-only ops that cannot fault or touch memory.
+inline void emit_safe_body(Asm& a, Rng& rng, int count) {
+  static constexpr Op kAlu[] = {Op::Add, Op::Sub, Op::Xor, Op::Or,
+                                Op::And, Op::Cmp, Op::Test};
+  for (int i = 0; i < count; ++i) {
+    switch (rng.below(3)) {
+      case 0:
+        a.add(mov_ri(scratch(rng), static_cast<std::int32_t>(rng.next_u32())));
+        break;
+      case 1:
+        a.add(alu_rr(kAlu[rng.below(7)], scratch(rng), scratch(rng)));
+        break;
+      default:
+        a.add(unary(rng.below(2) ? Op::Inc : Op::Dec, scratch(rng)));
+        break;
+    }
+  }
+}
+
+inline void gen_mixed(Asm& a, Rng& rng, std::uint32_t code_virt,
+                      std::uint32_t data_virt) {
+  const int count = 24 + static_cast<int>(rng.below(40));
+  for (int i = 0; i < count; ++i) {
+    switch (rng.below(10)) {
+      case 0:
+      case 1:
+        emit_safe_body(a, rng, 1);
+        break;
+      case 2: {  // data load/store
+        a.add(mov_ri(Reg::Esi, static_cast<std::int32_t>(
+                                   data_virt + 4 * rng.below(64))));
+        a.add(mem_op(Op::Mov, scratch(rng), Reg::Esi, 0,
+                     rng.below(2) == 0));
+        break;
+      }
+      case 3: {  // store into the code page tail: version-bump stress
+        // The tail past +0x800 is dead space (mixed programs stay well
+        // under 2 KiB), so the write is harmless but bumps the
+        // executing page's version every iteration it runs.
+        a.add(mov_ri(Reg::Edi, static_cast<std::int32_t>(
+                                   code_virt + 0x800 + 4 * rng.below(8))));
+        a.add(mem_op(Op::Mov, Reg::Eax, Reg::Edi, 0, false));
+        break;
+      }
+      case 4: {  // conditional skip over one instruction
+        const int j = a.branch(jcc(static_cast<Cond>(rng.below(16))), 0);
+        a.add(mov_ri(scratch(rng),
+                     static_cast<std::int32_t>(rng.next_u32())));
+        a.set_target(j, a.next_index());
+        break;
+      }
+      case 5: {  // short unconditional hop (trace-widening fodder)
+        const int j = a.branch(jmp(), 0);
+        emit_safe_body(a, rng, static_cast<int>(rng.below(3)));
+        a.set_target(j, a.next_index());
+        break;
+      }
+      case 6:
+        if (rng.below(8) == 0) {
+          // Rare trap: load from unmapped space parks at the handler.
+          a.add(mov_ri(Reg::Ecx, static_cast<std::int32_t>(0xC2000000)));
+          a.add(mem_op(Op::Mov, Reg::Edx, Reg::Ecx, 0, true));
+        } else {
+          a.add(nullary(Op::Nop));
+        }
+        break;
+      case 7:
+        if (rng.below(16) == 0) {
+          a.add(nullary(rng.below(2) ? Op::Ud2 : Op::Int3));  // trap, park
+        } else {
+          a.add(alu_rr(Op::Cmp, scratch(rng), scratch(rng)));
+        }
+        break;
+      default:
+        emit_safe_body(a, rng, 1);
+        break;
+    }
+  }
+}
+
+inline void gen_tight_loops(Asm& a, Rng& rng, std::uint32_t data_virt) {
+  a.add(mov_ri(Reg::Esi, static_cast<std::int32_t>(data_virt)));
+  const int loops = 1 + static_cast<int>(rng.below(3));
+  for (int l = 0; l < loops; ++l) {
+    a.add(mov_ri(Reg::Ecx,
+                 3 + static_cast<std::int32_t>(rng.below(40))));
+    const int top = a.next_index();
+    const int body = 1 + static_cast<int>(rng.below(4));
+    for (int i = 0; i < body; ++i) {
+      if (rng.below(4) == 0) {
+        a.add(mem_op(Op::Mov, Reg::Eax, Reg::Esi,
+                     static_cast<std::int32_t>(4 * rng.below(16)),
+                     rng.below(2) == 0));
+      } else {
+        static constexpr Reg kSpare[] = {Reg::Eax, Reg::Edx, Reg::Ebx};
+        a.add(alu_rr(rng.below(2) ? Op::Add : Op::Xor,
+                     kSpare[rng.below(3)],  // never ecx, the loop counter
+                     kSpare[rng.below(3)]));
+      }
+    }
+    a.add(unary(Op::Dec, Reg::Ecx));
+    a.branch(jcc(Cond::Ne), top);
+  }
+}
+
+inline void gen_branch_ladder(Asm& a, Rng& rng) {
+  // K logical blocks laid out in a random memory order; block i ends in
+  // a jmp (sometimes a jcc/jmp pair) to logical block i+1.  Several
+  // blocks are empty — pure branch-to-branch hops.
+  const int k = 6 + static_cast<int>(rng.below(10));
+  std::vector<int> layout(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) layout[static_cast<std::size_t>(i)] = i;
+  for (int i = k - 1; i > 0; --i) {
+    const int j = static_cast<int>(rng.below(static_cast<std::uint64_t>(i + 1)));
+    std::swap(layout[static_cast<std::size_t>(i)],
+              layout[static_cast<std::size_t>(j)]);
+  }
+  // Entry must be the memory-first block; rotate the logical chain so
+  // layout[0] is logical 0.
+  std::vector<int> logical_of_pos(layout.begin(), layout.end());
+  const int first_logical = logical_of_pos[0];
+  std::vector<int> start_item(static_cast<std::size_t>(k), -1);
+  std::vector<int> pending_jmp(static_cast<std::size_t>(k), -1);
+  std::vector<int> pending_jcc(static_cast<std::size_t>(k), -1);
+  for (int pos = 0; pos < k; ++pos) {
+    const int logical =
+        (logical_of_pos[static_cast<std::size_t>(pos)] - first_logical + k) %
+        k;
+    start_item[static_cast<std::size_t>(logical)] = a.next_index();
+    if (rng.below(3) != 0) {  // 2/3 of blocks carry a small body
+      emit_safe_body(a, rng, 1 + static_cast<int>(rng.below(3)));
+    }
+    if (logical == k - 1) {
+      a.add(nullary(Op::Hlt));
+      continue;
+    }
+    if (rng.below(3) == 0) {
+      // jcc to the successor backed by a jmp to the same place: taken
+      // exercises the target link slot, not-taken falls through into a
+      // one-instruction jmp block — a branch-to-branch hop.
+      pending_jcc[static_cast<std::size_t>(logical)] =
+          a.branch(jcc(static_cast<Cond>(rng.below(16))), 0);
+    }
+    pending_jmp[static_cast<std::size_t>(logical)] = a.branch(jmp(), 0);
+  }
+  for (int logical = 0; logical + 1 < k; ++logical) {
+    const int succ = start_item[static_cast<std::size_t>(logical + 1)];
+    a.set_target(pending_jmp[static_cast<std::size_t>(logical)], succ);
+    if (pending_jcc[static_cast<std::size_t>(logical)] >= 0) {
+      a.set_target(pending_jcc[static_cast<std::size_t>(logical)], succ);
+    }
+  }
+}
+
+inline void gen_smc_chain(Asm& a, Rng& rng) {
+  // A two-pass loop: the first iteration builds and chains
+  // head -> mid -> marker; the store then rewrites the marker block's
+  // immediate in place, so the second iteration must observe the severed
+  // chain and the new bytes.
+  const std::int32_t iters = 2 + static_cast<std::int32_t>(rng.below(3));
+  a.add(mov_ri(Reg::Edi, iters));
+  a.add(mov_ri(Reg::Esi, 0));
+  const int outer = a.next_index();
+  // eax = seed-dependent value mixed with the loop counter.
+  a.add(mov_ri(Reg::Eax, static_cast<std::int32_t>(rng.next_u32())));
+  a.add(alu_rr(Op::Add, Reg::Eax, Reg::Edi));
+  const int store = a.addr_imm(mov_ri(Reg::Ecx, 0), 0, 0);  // re-aimed below
+  a.add(mem_op(Op::Mov, Reg::Eax, Reg::Ecx, 0, false));     // rewrite imm32
+  const int hop1 = a.branch(jmp(), 0);
+  // mid block (chained between head and marker)
+  a.set_target(hop1, a.next_index());
+  emit_safe_body(a, rng, 1 + static_cast<int>(rng.below(2)));
+  const int hop2 = a.branch(jmp(), 0);
+  // marker block: the rewritten mov executes here.
+  a.set_target(hop2, a.next_index());
+  const int marker = a.add(mov_ri(Reg::Ebx, 0x11111111));
+  // ecx = &marker_imm32: one byte past the B8+r opcode, so the dword
+  // store replaces exactly the immediate and the marker stays decodable.
+  a.set_imm_target(store, marker, 1);
+  a.add(alu_rr(Op::Add, Reg::Esi, Reg::Ebx));
+  a.add(unary(Op::Dec, Reg::Edi));
+  a.branch(jcc(Cond::Ne), outer);
+}
+
+inline void gen_cross_page(Asm& a, Rng& rng, std::uint32_t data_virt) {
+  emit_safe_body(a, rng, 2 + static_cast<int>(rng.below(6)));
+  const bool jump_across = rng.below(2) == 0;
+  int hop = -1;
+  if (jump_across) {
+    // Sometimes-taken jcc over the sled straight onto the next page.
+    hop = a.branch(jcc(static_cast<Cond>(rng.below(16))), 0);
+  }
+  // Fall-through path: a nop sled to the page boundary.  Cap-ended
+  // blocks chain via fall-through, so the chain crosses the page.
+  a.pad_to_page();
+  if (hop >= 0) a.set_target(hop, a.next_index());
+  // Second page: a small loop so the cross-page entry block is re-entered.
+  a.add(mov_ri(Reg::Esi, static_cast<std::int32_t>(data_virt + 0x100)));
+  a.add(mov_ri(Reg::Ecx, 2 + static_cast<std::int32_t>(rng.below(6))));
+  const int top = a.next_index();
+  emit_safe_body(a, rng, 1 + static_cast<int>(rng.below(3)));
+  a.add(mem_op(Op::Mov, Reg::Eax, Reg::Esi, 0, false));
+  a.add(unary(Op::Dec, Reg::Ecx));
+  a.branch(jcc(Cond::Ne), top);
+}
+
+inline void gen_call_ret(Asm& a, Rng& rng) {
+  // Main calls a handful of subroutines (some nested), then halts.
+  const int subs = 2 + static_cast<int>(rng.below(3));
+  std::vector<int> call_sites;
+  const int calls = 2 + static_cast<int>(rng.below(4));
+  std::vector<int> which;
+  for (int c = 0; c < calls; ++c) {
+    emit_safe_body(a, rng, static_cast<int>(rng.below(3)));
+    call_sites.push_back(a.branch(call(), 0));
+    which.push_back(static_cast<int>(rng.below(static_cast<std::uint64_t>(subs))));
+  }
+  a.add(nullary(Op::Hlt));
+  std::vector<int> sub_start(static_cast<std::size_t>(subs));
+  std::vector<int> nested_site;
+  std::vector<int> nested_target;
+  for (int s = 0; s < subs; ++s) {
+    sub_start[static_cast<std::size_t>(s)] = a.next_index();
+    emit_safe_body(a, rng, 1 + static_cast<int>(rng.below(4)));
+    if (s + 1 < subs && rng.below(2) == 0) {
+      nested_site.push_back(a.branch(call(), 0));
+      nested_target.push_back(s + 1);  // only call later subs: no recursion
+    }
+    a.add(nullary(Op::Ret));
+  }
+  for (std::size_t i = 0; i < call_sites.size(); ++i) {
+    a.set_target(call_sites[i],
+                 sub_start[static_cast<std::size_t>(which[i])]);
+  }
+  for (std::size_t i = 0; i < nested_site.size(); ++i) {
+    a.set_target(nested_site[i],
+                 sub_start[static_cast<std::size_t>(nested_target[i])]);
+  }
+}
+
+}  // namespace detail
+
+// Generates the seeded program for `shape`.  `code_virt` must be
+// page-aligned; `data_virt` names a mapped, writable scratch region.
+inline FuzzProgram generate(Shape shape, std::uint64_t seed,
+                            std::uint32_t code_virt,
+                            std::uint32_t data_virt) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(shape));
+  Asm a;
+  switch (shape) {
+    case Shape::Mixed:
+      detail::gen_mixed(a, rng, code_virt, data_virt);
+      break;
+    case Shape::TightLoops:
+      detail::gen_tight_loops(a, rng, data_virt);
+      break;
+    case Shape::BranchLadder:
+      detail::gen_branch_ladder(a, rng);
+      break;
+    case Shape::SmcChain:
+      detail::gen_smc_chain(a, rng);
+      break;
+    case Shape::CrossPage:
+      detail::gen_cross_page(a, rng, data_virt);
+      break;
+    case Shape::CallRet:
+      detail::gen_call_ret(a, rng);
+      break;
+  }
+  if (shape != Shape::BranchLadder) a.add(nullary(Op::Hlt));
+  FuzzProgram out;
+  out.bytes = a.assemble(code_virt);
+  out.max_cycles = 20000;
+  return out;
+}
+
+}  // namespace kfi::isa::fuzz

@@ -1,7 +1,10 @@
 // Machine-level cross-engine identity: whole golden runs, checkpoint
-// ladders, and a smoke injection campaign executed under both
-// ExecEngine::Step and ExecEngine::Block must produce bit-identical
-// run-visible state — state_digest(), console, cycle counts, exits.
+// ladders, and a smoke injection campaign executed under
+// ExecEngine::Step, ExecEngine::Block, and ExecEngine::Chained must
+// produce bit-identical run-visible state — state_digest(), console,
+// cycle counts, exits — plus identical TLB-fill histories (the chained
+// engine's inline translate cache may only skip provable TLB hits) and
+// bit-exact timer delivery under adversarial tick periods.
 #include "machine/machine.h"
 
 #include <gtest/gtest.h>
@@ -31,27 +34,41 @@ std::unique_ptr<Machine> make_machine(const std::string& workload,
 TEST(ExecEngine, GoldenRunIdenticalAcrossEngines) {
   auto step_m = make_machine("syscall", ExecEngine::Step);
   auto block_m = make_machine("syscall", ExecEngine::Block);
+  auto chain_m = make_machine("syscall", ExecEngine::Chained);
   ASSERT_TRUE(step_m->boot()) << step_m->console_output();
   ASSERT_TRUE(block_m->boot()) << block_m->console_output();
+  ASSERT_TRUE(chain_m->boot()) << chain_m->console_output();
 
   const RunResult a = step_m->run(kRunBudget);
   const RunResult b = block_m->run(kRunBudget);
+  const RunResult c = chain_m->run(kRunBudget);
   ASSERT_EQ(a.exit, RunExit::Completed);
   ASSERT_EQ(b.exit, RunExit::Completed);
+  ASSERT_EQ(c.exit, RunExit::Completed);
   EXPECT_EQ(a.exit_code, b.exit_code);
+  EXPECT_EQ(a.exit_code, c.exit_code);
   EXPECT_EQ(step_m->cpu().cycles(), block_m->cpu().cycles());
+  EXPECT_EQ(step_m->cpu().cycles(), chain_m->cpu().cycles());
   EXPECT_EQ(step_m->console_output(), block_m->console_output());
+  EXPECT_EQ(step_m->console_output(), chain_m->console_output());
   EXPECT_EQ(step_m->state_digest(), block_m->state_digest());
-  // The block machine actually used the block engine.
+  EXPECT_EQ(step_m->state_digest(), chain_m->state_digest());
+  // The block machines actually used their engines.
   EXPECT_GT(block_m->perf_stats().block_ops, 0u);
+  EXPECT_EQ(block_m->perf_stats().chain_follows, 0u);
+  EXPECT_GT(chain_m->perf_stats().chain_follows, 0u);
   EXPECT_EQ(step_m->perf_stats().block_ops, 0u);
+  // TLB-fill determinism: the MMU epoch counts every TLB mutation
+  // (fills and flushes).  The chained engine's inline translate cache
+  // and the block builder's non-filling Mmu::peek must leave the fill
+  // history bit-identical to the stepper's.
+  EXPECT_EQ(step_m->cpu().mmu().epoch(), block_m->cpu().mmu().epoch());
+  EXPECT_EQ(step_m->cpu().mmu().epoch(), chain_m->cpu().mmu().epoch());
 }
 
 TEST(ExecEngine, CheckpointLadderIdenticalAcrossEngines) {
   auto step_m = make_machine("syscall", ExecEngine::Step);
-  auto block_m = make_machine("syscall", ExecEngine::Block);
   ASSERT_TRUE(step_m->boot());
-  ASSERT_TRUE(block_m->boot());
 
   // Place rungs inside the actual golden run length (capture replays
   // from the post-boot snapshot, so this probe run costs nothing).
@@ -62,68 +79,117 @@ TEST(ExecEngine, CheckpointLadderIdenticalAcrossEngines) {
   const std::vector<std::uint64_t> rungs = {
       base + total / 8, base + total / 3, base + (2 * total) / 3};
   auto cks_a = step_m->capture_checkpoints(rungs, kRunBudget);
-  auto cks_b = block_m->capture_checkpoints(rungs, kRunBudget);
-  ASSERT_EQ(cks_a.size(), cks_b.size());
-  for (std::size_t i = 0; i < cks_a.size(); ++i) {
-    // Rungs land on the identical loop-top cycle, with identical
-    // register file and deltas, regardless of engine.
-    EXPECT_EQ(cks_a[i].cycle, cks_b[i].cycle) << "rung " << i;
-    EXPECT_EQ(cks_a[i].eip, cks_b[i].eip) << "rung " << i;
-    EXPECT_EQ(cks_a[i].flags, cks_b[i].flags) << "rung " << i;
-    EXPECT_EQ(cks_a[i].timer_pending, cks_b[i].timer_pending) << "rung " << i;
-    for (int r = 0; r < 8; ++r) {
-      EXPECT_EQ(cks_a[i].regs[r], cks_b[i].regs[r]) << "rung " << i;
-    }
-  }
 
-  // Resuming the step machine from a block-captured rung (and vice
-  // versa would hold too) continues on the same timeline.
-  ASSERT_GE(cks_a.size(), 2u);
-  CheckpointMemo memo_a;
-  CheckpointMemo memo_b;
-  step_m->restore_checkpoint(cks_a[1], memo_a);
-  block_m->restore_checkpoint(cks_b[1], memo_b);
-  const RunResult ra = step_m->run(kRunBudget);
-  const RunResult rb = block_m->run(kRunBudget);
-  EXPECT_EQ(ra.exit, rb.exit);
-  EXPECT_EQ(step_m->state_digest(), block_m->state_digest());
+  for (const ExecEngine engine : {ExecEngine::Block, ExecEngine::Chained}) {
+    SCOPED_TRACE(engine == ExecEngine::Block ? "block" : "chained");
+    auto block_m = make_machine("syscall", engine);
+    ASSERT_TRUE(block_m->boot());
+    // With chaining on, every rung cycle falls mid-chain somewhere in
+    // the hot loop: the dispatch must still stop on the exact cycle.
+    auto cks_b = block_m->capture_checkpoints(rungs, kRunBudget);
+    ASSERT_EQ(cks_a.size(), cks_b.size());
+    for (std::size_t i = 0; i < cks_a.size(); ++i) {
+      // Rungs land on the identical loop-top cycle, with identical
+      // register file and deltas, regardless of engine.
+      EXPECT_EQ(cks_a[i].cycle, cks_b[i].cycle) << "rung " << i;
+      EXPECT_EQ(cks_a[i].eip, cks_b[i].eip) << "rung " << i;
+      EXPECT_EQ(cks_a[i].flags, cks_b[i].flags) << "rung " << i;
+      EXPECT_EQ(cks_a[i].timer_pending, cks_b[i].timer_pending)
+          << "rung " << i;
+      for (int r = 0; r < 8; ++r) {
+        EXPECT_EQ(cks_a[i].regs[r], cks_b[i].regs[r]) << "rung " << i;
+      }
+    }
+
+    // Resuming the step machine from a rung the block machine captured
+    // (and vice versa) continues on the same timeline — the mid-chain
+    // rung restore severs any stale chains via the page-version bumps.
+    ASSERT_GE(cks_a.size(), 2u);
+    CheckpointMemo memo_a;
+    CheckpointMemo memo_b;
+    step_m->restore_checkpoint(cks_a[1], memo_a);
+    block_m->restore_checkpoint(cks_b[1], memo_b);
+    const RunResult ra = step_m->run(kRunBudget);
+    const RunResult rb = block_m->run(kRunBudget);
+    EXPECT_EQ(ra.exit, rb.exit);
+    EXPECT_EQ(step_m->state_digest(), block_m->state_digest());
+  }
 }
 
 TEST(ExecEngine, SmokeCampaignIdenticalAcrossEngines) {
   inject::InjectorOptions step_options;
   step_options.exec_engine = ExecEngine::Step;
-  inject::InjectorOptions block_options;
-  block_options.exec_engine = ExecEngine::Block;
   inject::Injector step_inj(step_options);
-  inject::Injector block_inj(block_options);
-
   const inject::CampaignRun a = inject::run_campaign(
       step_inj, profile::default_profile(),
       check::smoke_config(inject::Campaign::RandomNonBranch));
-  const inject::CampaignRun b = inject::run_campaign(
-      block_inj, profile::default_profile(),
-      check::smoke_config(inject::Campaign::RandomNonBranch));
 
-  const check::RunComparison cmp = check::compare_runs(a, b);
-  EXPECT_TRUE(cmp.identical())
-      << cmp.mismatches.size() << " mismatches of " << cmp.compared;
-  std::size_t shown = 0;
-  for (const auto& [index, diffs] : cmp.mismatches) {
-    for (const check::FieldDiff& d : diffs) {
-      ADD_FAILURE() << "result " << index << " field " << d.field << ": step="
-                    << d.recorded << " block=" << d.replayed;
+  for (const ExecEngine engine : {ExecEngine::Block, ExecEngine::Chained}) {
+    SCOPED_TRACE(engine == ExecEngine::Block ? "block" : "chained");
+    inject::InjectorOptions block_options;
+    block_options.exec_engine = engine;
+    inject::Injector block_inj(block_options);
+    const inject::CampaignRun b = inject::run_campaign(
+        block_inj, profile::default_profile(),
+        check::smoke_config(inject::Campaign::RandomNonBranch));
+
+    const check::RunComparison cmp = check::compare_runs(a, b);
+    EXPECT_TRUE(cmp.identical())
+        << cmp.mismatches.size() << " mismatches of " << cmp.compared;
+    std::size_t shown = 0;
+    for (const auto& [index, diffs] : cmp.mismatches) {
+      for (const check::FieldDiff& d : diffs) {
+        ADD_FAILURE() << "result " << index << " field " << d.field
+                      << ": step=" << d.recorded << " block=" << d.replayed;
+      }
+      if (++shown == 3) break;
     }
-    if (++shown == 3) break;
+    EXPECT_GT(block_inj.perf_stats().block_ops, 0u);
+    if (engine == ExecEngine::Chained) {
+      EXPECT_GT(block_inj.perf_stats().chain_follows, 0u);
+    }
   }
-  EXPECT_GT(block_inj.perf_stats().block_ops, 0u);
+}
+
+// Timer ticks must be delivered on bit-identical cycles even when a
+// tick boundary lands exactly on a chain-follow edge.  Odd, mutually
+// prime periods sweep the tick phase across every block/chain boundary
+// in the golden run; the digest comparison catches any drift.
+TEST(ExecEngine, TimerPeriodSweepChainedMatchesStep) {
+  static const disk::DiskImage root_disk = make_root_disk();
+  for (const std::uint32_t period : {977u, 1361u}) {
+    SCOPED_TRACE(period);
+    std::uint64_t digests[2];
+    std::uint64_t cycles[2];
+    int i = 0;
+    for (const ExecEngine engine : {ExecEngine::Step, ExecEngine::Chained}) {
+      MachineOptions options;
+      options.exec_engine = engine;
+      options.timer_period = period;
+      Machine m(kernel::built_kernel(), workloads::built_workload("pipe"),
+                root_disk, options);
+      ASSERT_TRUE(m.boot()) << m.console_output();
+      ASSERT_EQ(m.run(kRunBudget).exit, RunExit::Completed);
+      digests[i] = m.state_digest();
+      cycles[i] = m.cpu().cycles();
+      if (engine == ExecEngine::Chained) {
+        EXPECT_GT(m.perf_stats().chain_follows, 0u);
+      }
+      ++i;
+    }
+    EXPECT_EQ(digests[0], digests[1]) << "state diverged at period " << period;
+    EXPECT_EQ(cycles[0], cycles[1]) << "cycles diverged at period " << period;
+  }
 }
 
 TEST(ExecEngine, DefaultsFromEnvironment) {
-  // The KFI_EXEC matrix leg in CI relies on this default.
+  // The KFI_EXEC matrix legs in CI rely on this default.
   const ExecEngine def = default_exec_engine();
   const char* env = std::getenv("KFI_EXEC");
   if (env != nullptr && std::string_view(env) == "block") {
     EXPECT_EQ(def, ExecEngine::Block);
+  } else if (env != nullptr && std::string_view(env) == "chained") {
+    EXPECT_EQ(def, ExecEngine::Chained);
   } else {
     EXPECT_EQ(def, ExecEngine::Step);
   }

@@ -1,0 +1,298 @@
+// Unit tests for block chaining: link following, link severing through
+// both invalidation paths (the injector's explicit invalidate_blocks()
+// hint and the bare page-version bump), guest self-modifying code that
+// rewrites an already-chained successor, cross-page fall-through chains
+// and their TLB-fill determinism, exact cycle-limit stops mid-chain,
+// and snapshot-restore severing (the checkpoint-rung case).
+//
+// The differential shapes live in the isa fuzz battery; these tests pin
+// the *mechanism* — counters, cache slots, and the exact severing
+// points — so a regression reports as "chain not severed" rather than
+// "digest diverged somewhere".
+#include "vm/cpu.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "../isa/program_fuzz.h"
+#include "vm/hostmap.h"
+#include "vm/snapshot.h"
+
+namespace kfi::vm {
+namespace {
+
+using isa::Cond;
+using isa::Instruction;
+using isa::Op;
+using isa::Reg;
+using isa::fuzz::Asm;
+using isa::fuzz::alu_rr;
+using isa::fuzz::jcc;
+using isa::fuzz::jmp;
+using isa::fuzz::mem_op;
+using isa::fuzz::mov_ri;
+using isa::fuzz::nullary;
+using isa::fuzz::unary;
+
+constexpr std::uint32_t kCodeVirt = 0xC0105000;  // page-aligned
+constexpr std::uint32_t kDataVirt = 0xC0200000;
+constexpr std::uint32_t kHandlerVirt = 0xC0110000;
+
+struct Rig {
+  PhysicalMemory memory;
+  Bus bus;
+  Cpu cpu;
+
+  explicit Rig(bool chained = true) : memory(kRamSize), cpu(memory, bus) {
+    HostMapper mapper(memory, kBootPgdPhys, kKernelPtePhys);
+    mapper.map_range(kKernelBase, 0, kRamSize, kPteWrite);
+    cpu.mmu().set_cr3(kBootPgdPhys);
+    memory.write32(kTssPhys, kBootStackTop);
+    for (int v = 0; v < 32; ++v) cpu.set_vector(v, kHandlerVirt);
+    cpu.set_vector(0x80, kHandlerVirt);
+    cpu.set_vector(0x20, kHandlerVirt);
+    memory.fill(phys_of_virt(kHandlerVirt), 64, 0xF4);
+    cpu.set_reg(Reg::Esp, kBootStackTop);
+    cpu.set_eip(kCodeVirt);
+    cpu.set_chaining(chained);
+  }
+
+  void load(const std::vector<std::uint8_t>& bytes) {
+    memory.write_block(phys_of_virt(kCodeVirt), bytes.data(),
+                       static_cast<std::uint32_t>(bytes.size()));
+  }
+
+  // Drives run_block with step() fallback until a non-Executed event or
+  // the cycle budget, exactly as Machine::run dispatches.
+  CpuEvent run(std::uint64_t max_cycles) {
+    CpuEvent event{};
+    while (cpu.cycles() < max_cycles) {
+      if (cpu.run_block(max_cycles - cpu.cycles(), nullptr, event) == 0) {
+        event = cpu.step();
+      }
+      if (event.kind != CpuEventKind::Executed) break;
+    }
+    return event;
+  }
+};
+
+// A countdown loop: mov ecx, n; top: add eax, ecx; dec ecx; jne top; hlt.
+std::vector<std::uint8_t> loop_program(std::int32_t n) {
+  Asm a;
+  a.add(mov_ri(Reg::Ecx, n));
+  const int top = a.next_index();
+  a.add(alu_rr(Op::Add, Reg::Eax, Reg::Ecx));
+  a.add(unary(Op::Dec, Reg::Ecx));
+  a.branch(jcc(Cond::Ne), top);
+  a.add(nullary(Op::Hlt));
+  return a.assemble(kCodeVirt);
+}
+
+TEST(ChainEngine, LoopFollowsBackEdgeLinks) {
+  Rig rig;
+  rig.load(loop_program(50));
+  const CpuEvent event = rig.run(1000);
+  EXPECT_EQ(event.kind, CpuEventKind::Halted);
+  EXPECT_EQ(rig.cpu.reg(Reg::Eax), 50u * 51u / 2u);
+  // 50 iterations of one re-entered block: after the first pass the
+  // back edge is a patched link followed without re-dispatch.
+  EXPECT_GT(rig.cpu.chain_follows(), 40u);
+  EXPECT_EQ(rig.cpu.block_fallbacks(), 0u);
+}
+
+TEST(ChainEngine, ChainingOffNeverFollows) {
+  Rig rig(/*chained=*/false);
+  rig.load(loop_program(50));
+  const CpuEvent event = rig.run(1000);
+  EXPECT_EQ(event.kind, CpuEventKind::Halted);
+  EXPECT_EQ(rig.cpu.reg(Reg::Eax), 50u * 51u / 2u);
+  EXPECT_EQ(rig.cpu.chain_follows(), 0u);
+  EXPECT_EQ(rig.cpu.chain_breaks(), 0u);
+}
+
+// Two chained blocks; the successor's bytes change between runs.
+// The head must end in a jcc — a direct jmp would be trace-widened
+// into one block and never produce a chain edge.  Returns the program
+// and the code offset of the successor's rewritten immediate.
+std::vector<std::uint8_t> chained_pair_program(std::size_t& imm_off) {
+  Asm a;
+  a.add(mov_ri(Reg::Eax, 7));
+  a.add(alu_rr(Op::Cmp, Reg::Eax, Reg::Eax));  // zf = 1
+  const int hop = a.branch(jcc(Cond::E), 0);   // always taken
+  a.add(nullary(Op::Hlt));                     // dead fall-through path
+  a.set_target(hop, a.next_index());
+  const int marker = a.add(mov_ri(Reg::Ebx, 1));
+  a.add(nullary(Op::Hlt));
+  std::vector<std::uint8_t> bytes = a.assemble(kCodeVirt);
+  imm_off = a.offset_of(marker) + 1;  // one past the B8+r opcode
+  EXPECT_EQ(bytes[a.offset_of(marker)],
+            0xB8u + static_cast<unsigned>(Reg::Ebx));
+  return bytes;
+}
+
+TEST(ChainEngine, InvalidateBlocksSeversChain) {
+  Rig rig;
+  std::size_t imm_off = 0;
+  rig.load(chained_pair_program(imm_off));
+  ASSERT_EQ(rig.run(100).kind, CpuEventKind::Halted);
+  EXPECT_EQ(rig.cpu.reg(Reg::Ebx), 1u);
+  EXPECT_GE(rig.cpu.chain_follows(), 1u);
+
+  // Host-side flip in the chained successor, with the injector's
+  // explicit invalidation hint (the Injector::run_one path).
+  const std::uint32_t flip_phys =
+      phys_of_virt(kCodeVirt) + static_cast<std::uint32_t>(imm_off);
+  rig.memory.write8(flip_phys, 5);
+  const std::uint64_t invalidations = rig.cpu.block_invalidations();
+  rig.cpu.invalidate_blocks(flip_phys);
+  EXPECT_GT(rig.cpu.block_invalidations(), invalidations);
+
+  rig.cpu.reset_fault_state();
+  rig.cpu.set_eip(kCodeVirt);
+  ASSERT_EQ(rig.run(200).kind, CpuEventKind::Halted);
+  EXPECT_EQ(rig.cpu.reg(Reg::Ebx), 5u) << "stale chained block executed";
+}
+
+TEST(ChainEngine, VersionBumpAloneSeversChain) {
+  // No invalidate_blocks() call: the bare write8 version bump must be
+  // enough, because every link follow re-validates the successor's
+  // code-page version (fail-closed into a fresh lookup).
+  Rig rig;
+  std::size_t imm_off = 0;
+  rig.load(chained_pair_program(imm_off));
+  ASSERT_EQ(rig.run(100).kind, CpuEventKind::Halted);
+  EXPECT_EQ(rig.cpu.reg(Reg::Ebx), 1u);
+
+  rig.memory.write8(phys_of_virt(kCodeVirt) +
+                        static_cast<std::uint32_t>(imm_off),
+                    9);
+  rig.cpu.reset_fault_state();
+  rig.cpu.set_eip(kCodeVirt);
+  ASSERT_EQ(rig.run(200).kind, CpuEventKind::Halted);
+  EXPECT_EQ(rig.cpu.reg(Reg::Ebx), 9u) << "stale chained block executed";
+}
+
+TEST(ChainEngine, GuestSmcRewritesChainedTarget) {
+  // The guest itself rewrites the chained successor's immediate on each
+  // trip around a loop: head (store) -> jmp -> marker -> jne head.
+  // Differential against the stepper — the canonical SMC contract.
+  Asm a;
+  a.add(mov_ri(Reg::Edi, 3));  // three iterations
+  const int outer = a.next_index();
+  a.add(mov_ri(Reg::Eax, 0x40));
+  a.add(alu_rr(Op::Add, Reg::Eax, Reg::Edi));
+  const int store = a.addr_imm(mov_ri(Reg::Ecx, 0), 0, 0);
+  a.add(mem_op(Op::Mov, Reg::Eax, Reg::Ecx, 0, false));
+  const int hop = a.branch(jmp(), 0);
+  a.set_target(hop, a.next_index());
+  const int marker = a.add(mov_ri(Reg::Ebx, 0));
+  a.set_imm_target(store, marker, 1);
+  a.add(alu_rr(Op::Add, Reg::Esi, Reg::Ebx));
+  a.add(unary(Op::Dec, Reg::Edi));
+  a.branch(jcc(Cond::Ne), outer);
+  a.add(nullary(Op::Hlt));
+  const std::vector<std::uint8_t> program = a.assemble(kCodeVirt);
+  ASSERT_FALSE(program.empty());
+
+  Rig stepper(/*chained=*/false), chained;
+  stepper.load(program);
+  chained.load(program);
+  CpuEvent event{};
+  while (stepper.cpu.cycles() < 500 &&
+         (event = stepper.cpu.step()).kind == CpuEventKind::Executed) {
+  }
+  ASSERT_EQ(event.kind, CpuEventKind::Halted);
+  ASSERT_EQ(chained.run(500).kind, CpuEventKind::Halted);
+
+  EXPECT_EQ(chained.cpu.reg(Reg::Esi), stepper.cpu.reg(Reg::Esi));
+  EXPECT_EQ(chained.cpu.reg(Reg::Ebx), stepper.cpu.reg(Reg::Ebx));
+  EXPECT_EQ(chained.cpu.cycles(), stepper.cpu.cycles());
+  // esi = sum of (0x40 + edi) for edi = 3,2,1.
+  EXPECT_EQ(chained.cpu.reg(Reg::Esi), 3u * 0x40u + 6u);
+  EXPECT_GE(chained.cpu.block_invalidations() + chained.cpu.chain_breaks(),
+            1u);
+}
+
+TEST(ChainEngine, CrossPageFallthroughChainsWithIdenticalTlbFills) {
+  // A nop sled runs off the end of the code page; cap-ended blocks
+  // chain via fall-through, so the chain crosses into the next page.
+  // Both engines must end bit-identical AND with the same MMU epoch:
+  // the chained engine's inline translate cache may only skip
+  // translations that are provably TLB hits, so the fill history —
+  // which the epoch counts — cannot diverge from the stepper's.
+  Asm a;
+  a.add(mov_ri(Reg::Eax, 0x1000));
+  a.pad_to_page();
+  a.add(mov_ri(Reg::Ebx, 0x2000));  // first instruction on page two
+  a.add(alu_rr(Op::Add, Reg::Eax, Reg::Ebx));
+  a.add(nullary(Op::Hlt));
+  const std::vector<std::uint8_t> program = a.assemble(kCodeVirt);
+  ASSERT_GT(program.size(), static_cast<std::size_t>(kPageSize));
+
+  Rig stepper(/*chained=*/false), chained;
+  stepper.load(program);
+  chained.load(program);
+  CpuEvent event{};
+  while (stepper.cpu.cycles() < 3 * kPageSize &&
+         (event = stepper.cpu.step()).kind == CpuEventKind::Executed) {
+  }
+  ASSERT_EQ(event.kind, CpuEventKind::Halted);
+  ASSERT_EQ(chained.run(3 * kPageSize).kind, CpuEventKind::Halted);
+
+  EXPECT_EQ(chained.cpu.reg(Reg::Eax), 0x3000u);
+  EXPECT_EQ(chained.cpu.eip(), stepper.cpu.eip());
+  EXPECT_EQ(chained.cpu.cycles(), stepper.cpu.cycles());
+  EXPECT_GE(chained.cpu.chain_follows(), 1u);
+  EXPECT_EQ(chained.cpu.mmu().epoch(), stepper.cpu.mmu().epoch())
+      << "TLB fill history diverged between engines";
+}
+
+TEST(ChainEngine, CycleLimitStopsExactlyMidChain) {
+  // The budget expires in the middle of a followed chain: run_block
+  // must retire exactly max_instructions so timer ticks, deadlines, and
+  // checkpoint rungs land on the same cycle as the stepper's loop top.
+  Rig rig;
+  rig.load(loop_program(50));  // 1 setup op + 3-op loop body
+  CpuEvent event{};
+  const std::size_t n = rig.cpu.run_block(14, nullptr, event);
+  EXPECT_EQ(n, 14u);
+  EXPECT_EQ(rig.cpu.cycles(), 14u);
+  // 14 = setup + 4 full iterations + dangling add: eip sits at dec.
+  EXPECT_GT(rig.cpu.chain_follows(), 0u);
+  Rig stepper(/*chained=*/false);
+  stepper.load(loop_program(50));
+  for (int i = 0; i < 14; ++i) stepper.cpu.step();
+  EXPECT_EQ(rig.cpu.eip(), stepper.cpu.eip());
+  EXPECT_EQ(rig.cpu.reg(Reg::Eax), stepper.cpu.reg(Reg::Eax));
+  EXPECT_EQ(rig.cpu.reg(Reg::Ecx), stepper.cpu.reg(Reg::Ecx));
+}
+
+TEST(ChainEngine, SnapshotRestoreSeversChains) {
+  // The checkpoint-rung case: restore_pages bumps the versions of every
+  // page it copies back, so blocks (and the links into them) cached
+  // before the restore never execute stale bytes afterwards.
+  Rig rig;
+  rig.load(loop_program(20));
+  ChunkedSnapshot snap = rig.memory.snapshot_pages();
+  std::vector<std::uint64_t> memo;
+
+  ASSERT_EQ(rig.run(200).kind, CpuEventKind::Halted);
+  const std::uint32_t eax_first = rig.cpu.reg(Reg::Eax);
+  EXPECT_GT(rig.cpu.chain_follows(), 10u);
+
+  // Rewind RAM to the rung and patch the loop bound before re-running:
+  // the rebuilt chain must see the patched byte, not the cached 20.
+  rig.memory.restore_pages(snap, memo);
+  rig.memory.write8(phys_of_virt(kCodeVirt) + 1, 10);  // mov ecx, 10
+  rig.cpu.reset_fault_state();
+  rig.cpu.set_reg(Reg::Eax, 0);
+  rig.cpu.set_eip(kCodeVirt);
+  ASSERT_EQ(rig.run(400).kind, CpuEventKind::Halted);
+  EXPECT_EQ(rig.cpu.reg(Reg::Eax), 10u * 11u / 2u);
+  EXPECT_NE(rig.cpu.reg(Reg::Eax), eax_first);
+}
+
+}  // namespace
+}  // namespace kfi::vm
