@@ -1,11 +1,13 @@
-// bench_throughput — end-to-end campaign throughput of five execution
+// bench_throughput — end-to-end campaign throughput of six execution
 // paths: full-restore baseline, checkpoint ladder (PR 2), checkpoint
 // ladder + superblock engine (PR 3), chained superblock dispatch
 // (block_chained: trace widening + successor links + inline translate
-// cache), and the fastest mode with the forensics event trace attached
-// (PR 5's observational-overhead gate) — plus a worker-thread scaling
-// sweep (threads = 1/2/4/8) of the fastest mode over one shared,
-// prewarmed GoldenCache.
+// cache), direct-threaded dispatch (block_threaded: per-op handler
+// pointers + flag-liveness elision on top of chaining), and the
+// fastest mode with the forensics event trace attached (PR 5's
+// observational-overhead gate) — plus a worker-thread scaling sweep
+// (threads = 1/2/4/8) of the fastest mode over one shared, prewarmed
+// GoldenCache.
 //
 // All modes and every sweep entry run the identical smoke-scale A/B/C
 // campaigns; the result vectors are required to be bit-identical (exit
@@ -149,6 +151,8 @@ void print_mode(std::FILE* out, const ModeResult& mode, bool last) {
       "      \"chain_follows\": %llu,\n"
       "      \"chain_breaks\": %llu,\n"
       "      \"avg_trace_len\": %.2f,\n"
+      "      \"threaded_ops\": %llu,\n"
+      "      \"flag_elisions\": %llu,\n"
       "      \"trace_events\": %llu,\n"
       "      \"trace_dropped\": %llu\n"
       "    }%s\n",
@@ -186,6 +190,8 @@ void print_mode(std::FILE* out, const ModeResult& mode, bool last) {
       perf.block_builds == 0 ? 0.0
                              : static_cast<double>(perf.trace_len) /
                                    static_cast<double>(perf.block_builds),
+      static_cast<unsigned long long>(perf.threaded_ops),
+      static_cast<unsigned long long>(perf.flag_elisions),
       static_cast<unsigned long long>(perf.trace_events),
       static_cast<unsigned long long>(perf.trace_dropped),
       last ? "" : ",");
@@ -274,10 +280,37 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Direct-threaded leg: chained dispatch with per-op handler pointers
+  // and dead-flag elision.  Same hard gate — the whole point of the
+  // liveness proof is that skipping flag writes is invisible in every
+  // result bit.
+  inject::InjectorOptions threaded_options;
+  threaded_options.exec_engine = machine::ExecEngine::Threaded;
+  const ModeResult threaded = run_mode("block_threaded", threaded_options);
+  for (std::size_t i = 0; i < threaded.campaigns.size(); ++i) {
+    const check::RunComparison vs_threaded =
+        check::compare_runs(baseline.campaigns[i], threaded.campaigns[i]);
+    if (!vs_threaded.identical()) {
+      std::fprintf(stderr,
+                   "FAIL: campaign %zu diverged between baseline and threaded "
+                   "dispatch (%zu mismatches of %zu)\n",
+                   i, vs_threaded.mismatches.size(), vs_threaded.compared);
+      return 1;
+    }
+  }
+  const std::uint64_t threaded_digest = results_digest(threaded.campaigns);
+  if (threaded_digest != digest) {
+    std::fprintf(stderr,
+                 "FAIL: threaded-dispatch result digest %016llx != %016llx\n",
+                 static_cast<unsigned long long>(threaded_digest),
+                 static_cast<unsigned long long>(digest));
+    return 1;
+  }
+
   // Trace-on leg: same fastest mode with the forensics trace attached.
   // The trace layer's observational contract is gated here — recording
   // may cost wall clock, but not a single result bit.
-  inject::InjectorOptions trace_options = chained_options;
+  inject::InjectorOptions trace_options = threaded_options;
   trace_options.trace_capacity = trace::TraceBuffer::kDefaultCapacity;
   const ModeResult traced = run_mode("trace", trace_options);
   for (std::size_t i = 0; i < traced.campaigns.size(); ++i) {
@@ -306,8 +339,10 @@ int main(int argc, char** argv) {
       block.seconds > 0.0 ? ladder.seconds / block.seconds : 0.0;
   const double chained_speedup =
       chained.seconds > 0.0 ? ladder.seconds / chained.seconds : 0.0;
+  const double threaded_speedup =
+      threaded.seconds > 0.0 ? ladder.seconds / threaded.seconds : 0.0;
   const double total_speedup =
-      chained.seconds > 0.0 ? baseline.seconds / chained.seconds : 0.0;
+      threaded.seconds > 0.0 ? baseline.seconds / threaded.seconds : 0.0;
   // The component the ladder optimizes: pre-trigger replay simulated per
   // run.  Post-trigger simulation is inherent to the injected fault and
   // dominates wall clock on this population (hot-function targets
@@ -331,17 +366,24 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(chained.stats.perf.chain_follows),
               static_cast<unsigned long long>(chained.stats.perf.chain_breaks));
   std::printf(
+      "block_threaded:%5.2f s  (%.2f runs/s, %llu threaded ops, "
+      "%llu flag writes elided)\n",
+      threaded.seconds, static_cast<double>(threaded.runs) / threaded.seconds,
+      static_cast<unsigned long long>(threaded.stats.perf.threaded_ops),
+      static_cast<unsigned long long>(threaded.stats.perf.flag_elisions));
+  std::printf(
       "speedup: ladder %.2fx, block-over-ladder %.2fx, chained-over-ladder "
-      "%.2fx, total %.2fx   result digest %016llx (identical)\n",
-      speedup, block_speedup, chained_speedup, total_speedup,
-      static_cast<unsigned long long>(digest));
+      "%.2fx, threaded-over-ladder %.2fx, total %.2fx   result digest "
+      "%016llx (identical)\n",
+      speedup, block_speedup, chained_speedup, threaded_speedup,
+      total_speedup, static_cast<unsigned long long>(digest));
   std::printf("pre-trigger replay: %.1fM -> %.1fM cycles (%.1fx less)\n",
               static_cast<double>(baseline.stats.pre_trigger_cycles) / 1e6,
               static_cast<double>(ladder.stats.pre_trigger_cycles) / 1e6,
               setup_speedup);
   const double trace_overhead =
-      chained.seconds > 0.0 ? traced.seconds / chained.seconds : 0.0;
-  std::printf("trace-on:     %6.2f s  (%.2fx of block_chained, %llu events, "
+      threaded.seconds > 0.0 ? traced.seconds / threaded.seconds : 0.0;
+  std::printf("trace-on:     %6.2f s  (%.2fx of block_threaded, %llu events, "
               "%llu dropped, digest identical)\n",
               traced.seconds, trace_overhead,
               static_cast<unsigned long long>(traced.stats.perf.trace_events),
@@ -352,7 +394,7 @@ int main(int argc, char** argv) {
   // campaigns touch) before the clock starts, so each entry times pure
   // injection work — and proves golden warm-up happens once per
   // workload total, not once per thread.
-  auto sweep_cache = std::make_shared<inject::GoldenCache>(chained_options);
+  auto sweep_cache = std::make_shared<inject::GoldenCache>(threaded_options);
   {
     std::set<std::string> workloads;
     for (const inject::Campaign campaign : kCampaigns) {
@@ -369,7 +411,7 @@ int main(int argc, char** argv) {
   const unsigned hardware = std::thread::hardware_concurrency();
   std::vector<ModeResult> sweep;
   for (const unsigned threads : {1u, 2u, 4u, 8u}) {
-    sweep.push_back(run_mode("t" + std::to_string(threads), chained_options,
+    sweep.push_back(run_mode("t" + std::to_string(threads), threaded_options,
                              threads, sweep_cache));
     const ModeResult& entry = sweep.back();
     for (std::size_t i = 0; i < entry.campaigns.size(); ++i) {
@@ -398,7 +440,7 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(sweep_cache->golden_builds()));
     return 1;
   }
-  std::printf("threads sweep (block_chained, shared golden cache, "
+  std::printf("threads sweep (block_threaded, shared golden cache, "
               "%u hardware threads):\n", hardware);
   for (const ModeResult& entry : sweep) {
     std::printf("  t=%u: %6.2f s  (%.2f runs/s, %.2fx vs t=1, "
@@ -420,25 +462,30 @@ int main(int argc, char** argv) {
   print_mode(out, ladder, false);
   print_mode(out, block, false);
   print_mode(out, chained, false);
+  print_mode(out, threaded, false);
   print_mode(out, traced, true);
   std::fprintf(out,
                "  },\n"
                "  \"speedup\": %.3f,\n"
                "  \"block_speedup\": %.3f,\n"
                "  \"chained_speedup\": %.3f,\n"
+               "  \"threaded_speedup\": %.3f,\n"
                "  \"total_speedup\": %.3f,\n"
                "  \"pre_trigger_speedup\": %.3f,\n"
                "  \"trace_overhead\": %.3f,\n"
                "  \"chained_gate\": {\"chained_identical\": true, "
+               "\"result_digest\": \"%016llx\"},\n"
+               "  \"threaded_gate\": {\"threaded_identical\": true, "
                "\"result_digest\": \"%016llx\"},\n"
                "  \"trace_gate\": {\"trace_identical\": true, "
                "\"result_digest\": \"%016llx\"},\n"
                "  \"hardware_concurrency\": %u,\n"
                "  \"sweep_golden_builds\": %llu,\n"
                "  \"threads_sweep\": [\n",
-               speedup, block_speedup, chained_speedup, total_speedup,
-               setup_speedup, trace_overhead,
+               speedup, block_speedup, chained_speedup, threaded_speedup,
+               total_speedup, setup_speedup, trace_overhead,
                static_cast<unsigned long long>(chained_digest),
+               static_cast<unsigned long long>(threaded_digest),
                static_cast<unsigned long long>(trace_digest), hardware,
                static_cast<unsigned long long>(golden_builds));
   for (std::size_t i = 0; i < sweep.size(); ++i) {

@@ -94,6 +94,11 @@ void print_campaign_stats(const inject::CampaignStats& cs) {
                      : static_cast<double>(stats.block_ops) /
                            static_cast<double>(entries));
   }
+  if (stats.threaded_ops > 0) {
+    std::printf("perf: threaded %llu ops dispatched, %llu flag writes elided\n",
+                static_cast<unsigned long long>(stats.threaded_ops),
+                static_cast<unsigned long long>(stats.flag_elisions));
+  }
   if (stats.trace_events + stats.trace_dropped > 0) {
     std::printf("perf: trace %llu events recorded, %llu dropped\n",
                 static_cast<unsigned long long>(stats.trace_events),

@@ -1,0 +1,169 @@
+#include "isa/flags_meta.h"
+
+namespace kfi::isa {
+
+namespace {
+
+bool is_mem(const Operand& op) {
+  return op.kind == OperandKind::Mem || op.kind == OperandKind::Mem8;
+}
+
+}  // namespace
+
+std::uint8_t cond_flags(Cond cond) {
+  // Bit 0 of the condition code only negates, so both polarities read
+  // the same flags (cond_holds in isa.cc is the executable spec).
+  switch (static_cast<int>(cond) >> 1) {
+    case 0: return kFlagOF;                       // o / no
+    case 1: return kFlagCF;                       // b / ae
+    case 2: return kFlagZF;                       // e / ne
+    case 3: return kFlagCF | kFlagZF;             // be / a
+    case 4: return kFlagSF;                       // s / ns
+    case 5: return kFlagPF;                       // p / np
+    case 6: return kFlagSF | kFlagOF;             // l / ge
+    case 7: return kFlagZF | kFlagSF | kFlagOF;   // le / g
+  }
+  return kFlagAll;
+}
+
+FlagEffects flag_effects(const Instruction& in) {
+  FlagEffects fx;
+  // Any guest memory access can raise #PF/#GP mid-instruction.
+  fx.may_trap = is_mem(in.dst) || is_mem(in.src);
+
+  switch (in.op) {
+    case Op::Add:
+    case Op::Sub:
+    case Op::Cmp:
+    case Op::Or:
+    case Op::And:
+    case Op::Xor:
+    case Op::Test:
+    case Op::Neg:
+      fx.kills = fx.writes = kFlagAll;
+      break;
+
+    case Op::Inc:
+    case Op::Dec:
+      // CF preserved (IA-32 semantics).
+      fx.kills = fx.writes = kFlagPF | kFlagZF | kFlagSF | kFlagOF;
+      break;
+
+    case Op::Mul:
+      // The executor leaves PF untouched for mul.
+      fx.kills = fx.writes = kFlagCF | kFlagZF | kFlagSF | kFlagOF;
+      break;
+    case Op::Imul:
+      fx.kills = fx.writes = kFlagCF | kFlagOF;
+      break;
+
+    case Op::Div:
+    case Op::Idiv:
+      // No flag writes in this core, but #DE is always reachable.
+      fx.may_trap = true;
+      break;
+
+    case Op::Shl:
+    case Op::Shr:
+    case Op::Sar:
+      if (in.src.kind == OperandKind::Imm) {
+        const std::uint32_t count =
+            static_cast<std::uint32_t>(in.src.imm) & 31u;
+        if (count == 0) {
+          // Shift by zero changes no flags at all.
+        } else if (count == 1) {
+          fx.kills = fx.writes = kFlagAll;
+        } else {
+          // OF is only written when the count is exactly 1.
+          fx.kills = fx.writes = kFlagCF | kFlagPF | kFlagZF | kFlagSF;
+        }
+      } else {
+        // Runtime count: may write everything (count >= 1, OF at 1),
+        // definitely kills nothing (count may be 0).
+        fx.writes = kFlagAll;
+      }
+      break;
+
+    case Op::Jcc:
+    case Op::Setcc:
+      fx.reads = cond_flags(in.cond);
+      break;
+
+    case Op::Mov:
+    case Op::Lea:       // address arithmetic only; never touches memory
+    case Op::Movzx8:
+    case Op::Not:
+    case Op::Cdq:
+    case Op::Nop:
+    case Op::Jmp:
+      break;
+    case Op::JmpInd:
+      // Register-indirect transfers read no memory; mem-indirect may
+      // fault on the target load (covered by the operand check above).
+      break;
+
+    case Op::Push:
+    case Op::Pop:
+    case Op::Leave:
+    case Op::Call:
+    case Op::CallInd:
+    case Op::Ret:
+      fx.may_trap = true;  // stack access
+      break;
+
+    case Op::Iret:
+      // Restores the whole flag word from the stack frame.
+      fx.kills = fx.writes = kFlagAll;
+      fx.may_trap = true;
+      break;
+
+    case Op::Ud2:
+    case Op::Invalid:
+    case Op::Int3:
+    case Op::Int:
+    case Op::Lret:
+    case Op::FarJmp:
+    case Op::FarCall:
+    case Op::MovSeg:
+      fx.may_trap = true;
+      break;
+
+    case Op::In:
+    case Op::Hlt:
+    case Op::Cli:
+    case Op::Sti:
+      fx.may_trap = true;  // #GP from user mode; cli/sti touch IF only
+      break;
+  }
+  return fx;
+}
+
+Liveness flag_liveness(const std::vector<LiveOp>& ops) {
+  Liveness lv;
+  lv.live_after.assign(ops.size(), kFlagAll);
+  lv.elidable.assign(ops.size(), 0);
+
+  std::uint8_t live = kFlagAll;  // trace end: everything observable
+  for (std::size_t i = ops.size(); i-- > 0;) {
+    const FlagEffects& fx = ops[i].fx;
+    lv.live_after[i] = live;
+    // An op's own writes can be skipped when nothing downstream can
+    // observe them and the op cannot abort into a trap frame.  Whether
+    // the op is itself a guard boundary is irrelevant here: a guard
+    // failure resumes the stepper *before* the op runs.
+    if (fx.writes != 0 && !fx.may_trap && (fx.writes & live) == 0) {
+      lv.elidable[i] = fx.writes;
+    }
+    if (ops[i].boundary || fx.may_trap) {
+      // Execution may leave the trace at this op's entry (guard
+      // failure) or during it (trap frame push): everything before
+      // must hold the full architectural flags.
+      live = kFlagAll;
+    } else {
+      live = static_cast<std::uint8_t>((live & ~fx.kills) | fx.reads);
+    }
+  }
+  return lv;
+}
+
+}  // namespace kfi::isa

@@ -1,0 +1,89 @@
+// Per-opcode flag metadata and the trace-build-time flag-liveness pass.
+//
+// The threaded execution engine (src/vm/cpu.cc) elides the arithmetic
+// flag computation of ALU micro-ops whose flag writes are provably dead
+// — overwritten before any consumer can observe them.  Soundness rests
+// on one invariant: at every point where execution can *leave* a trace
+// (trap delivery, which pushes EFLAGS into the trap frame; a mid-block
+// guard failure that resumes the stepper; the end of the trace, where a
+// chain edge, terminator, timer delivery, checkpoint rung, or digest
+// can observe state), the architectural flags must be bit-identical to
+// what the reference stepper would hold.  The analysis therefore treats
+// every such point as reading ALL flags:
+//
+//   * ops that can trap at runtime (memory operands, stack ops, #DE,
+//     privileged ops, software ints) read all flags — deliver() pushes
+//     flags_.to_word() into the frame — and their own flag writes are
+//     never elided (an ALU op with a memory destination updates flags
+//     before the faulting write, so the frame holds the NEW flags);
+//   * caller-marked `boundary` ops (a guard that may fail before the
+//     op executes: page-version checks after an in-trace store, the
+//     first op on a new page of a widened trace) force full liveness
+//     into everything before them;
+//   * the end of the sequence is always fully live: chain edges,
+//     sti/iret/trap terminators, and breakpoint-refused successors all
+//     resume where any consumer may look at the flags.
+//
+// IF (intf) is never analyzed or elided: it gates interrupt delivery
+// and is written only by cli/sti/iret/trap gates, all of which are
+// full-liveness points anyway.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.h"
+
+namespace kfi::isa {
+
+// Bit masks for the five arithmetic flags the core models (AF is not
+// modeled by this ISA).  These are analysis-internal positions, not the
+// EFLAGS word layout.
+inline constexpr std::uint8_t kFlagCF = 1u << 0;
+inline constexpr std::uint8_t kFlagPF = 1u << 1;
+inline constexpr std::uint8_t kFlagZF = 1u << 2;
+inline constexpr std::uint8_t kFlagSF = 1u << 3;
+inline constexpr std::uint8_t kFlagOF = 1u << 4;
+inline constexpr std::uint8_t kFlagAll =
+    kFlagCF | kFlagPF | kFlagZF | kFlagSF | kFlagOF;
+
+// What one decoded instruction does to the arithmetic flags.
+struct FlagEffects {
+  std::uint8_t reads = 0;   // flags whose current value the op consumes
+  std::uint8_t kills = 0;   // flags definitely overwritten when the op retires
+  std::uint8_t writes = 0;  // flags possibly written (superset of kills)
+  bool may_trap = false;    // can raise a trap at runtime (= full-liveness)
+};
+
+// Flags a condition code evaluates (cond_holds reads exactly these).
+std::uint8_t cond_flags(Cond cond);
+
+// Flag effects of `instr`, matching the executor's semantics exactly:
+// e.g. mul leaves PF untouched, imul writes only CF/OF, inc/dec leave
+// CF, a register-count shift may write nothing (count 0) so it kills
+// nothing but writes everything.
+FlagEffects flag_effects(const Instruction& instr);
+
+// One op in a straight-line trace, as the liveness pass sees it.
+// `boundary` marks ops whose pre-execution guards can fail at runtime
+// (the trace resumes the stepper *before* the op): everything earlier
+// must hold full flags on entry to this op.
+struct LiveOp {
+  FlagEffects fx;
+  bool boundary = false;
+};
+
+struct Liveness {
+  // Per op: flags some later observer may read before they are killed.
+  std::vector<std::uint8_t> live_after;
+  // Per op: the full `writes` mask when the op's flag computation can
+  // be skipped entirely (dead writes, cannot trap), else 0.  Elision
+  // is all-or-nothing per op: partial-flag variants are not generated.
+  std::vector<std::uint8_t> elidable;
+};
+
+// Backward dataflow over a straight-line op sequence.  The sequence end
+// is fully live (see header comment).
+Liveness flag_liveness(const std::vector<LiveOp>& ops);
+
+}  // namespace kfi::isa

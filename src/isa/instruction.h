@@ -59,6 +59,9 @@ enum class Op : std::uint8_t {
   Invalid,  // undefined encoding -> #UD at execution
 };
 
+// Number of Op enumerators (Invalid is last): sizes dispatch tables.
+inline constexpr int kOpCount = static_cast<int>(Op::Invalid) + 1;
+
 std::string_view op_name(Op op);
 
 enum class OperandKind : std::uint8_t { None, Reg, Reg8, Mem, Mem8, Imm };

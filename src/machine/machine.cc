@@ -106,6 +106,9 @@ ExecEngine default_exec_engine() {
   if (env != nullptr && std::string_view(env) == "chained") {
     return ExecEngine::Chained;
   }
+  if (env != nullptr && std::string_view(env) == "threaded") {
+    return ExecEngine::Threaded;
+  }
   return ExecEngine::Step;
 }
 
@@ -205,7 +208,9 @@ Machine::Machine(const KernelImage& kernel_image,
   memory_ = std::make_unique<vm::PhysicalMemory>(vm::kRamSize);
   bus_ = std::make_unique<vm::Bus>();
   cpu_ = std::make_unique<vm::Cpu>(*memory_, *bus_);
-  cpu_->set_chaining(options_.exec_engine == ExecEngine::Chained);
+  cpu_->set_chaining(options_.exec_engine == ExecEngine::Chained ||
+                     options_.exec_engine == ExecEngine::Threaded);
+  cpu_->set_threaded(options_.exec_engine == ExecEngine::Threaded);
   disk_image_ = std::make_unique<disk::DiskImage>(root_disk);
   disk_device_ = std::make_unique<disk::DiskDevice>(*disk_image_, *memory_);
   console_device_ = std::make_unique<ConsoleDevice>(*this);
@@ -485,6 +490,8 @@ PerfStats Machine::perf_stats() const {
   stats.chain_follows = cpu_->chain_follows();
   stats.chain_breaks = cpu_->chain_breaks();
   stats.trace_len = cpu_->trace_len();
+  stats.threaded_ops = cpu_->threaded_ops();
+  stats.flag_elisions = cpu_->flag_elisions();
   return stats;
 }
 
@@ -702,6 +709,8 @@ PerfStats& PerfStats::operator+=(const PerfStats& o) {
   chain_follows += o.chain_follows;
   chain_breaks += o.chain_breaks;
   trace_len += o.trace_len;
+  threaded_ops += o.threaded_ops;
+  flag_elisions += o.flag_elisions;
   trace_events += o.trace_events;
   trace_dropped += o.trace_dropped;
   return *this;
@@ -724,6 +733,8 @@ PerfStats& PerfStats::operator-=(const PerfStats& o) {
   chain_follows -= o.chain_follows;
   chain_breaks -= o.chain_breaks;
   trace_len -= o.trace_len;
+  threaded_ops -= o.threaded_ops;
+  flag_elisions -= o.flag_elisions;
   trace_events -= o.trace_events;
   trace_dropped -= o.trace_dropped;
   return *this;

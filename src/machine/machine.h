@@ -60,15 +60,18 @@ struct RunResult {
 // checkpoint rung, deadline, trace sink) can fire inside the block.
 // Chained additionally widens blocks into traces, follows patched
 // block-to-block successor links inside one dispatch, and shortcuts
-// proven-hit fetch translations.  All engines are bit-identical for
-// every run-visible outcome.
-enum class ExecEngine : std::uint8_t { Step, Block, Chained };
+// proven-hit fetch translations.  Threaded builds on Chained with
+// direct-threaded micro-op dispatch (per-op handler pointers resolved
+// at trace-build time) and flag-liveness elision (provably dead ALU
+// flag writes skipped).  All engines are bit-identical for every
+// run-visible outcome.
+enum class ExecEngine : std::uint8_t { Step, Block, Chained, Threaded };
 
 // Reads the KFI_EXEC environment variable once per call: "block"
-// selects ExecEngine::Block, "chained" ExecEngine::Chained, anything
-// else (or unset) the stepper.  MachineOptions defaults from this so
-// CI can drive the whole test suite through any engine without code
-// changes.
+// selects ExecEngine::Block, "chained" ExecEngine::Chained, "threaded"
+// ExecEngine::Threaded, anything else (or unset) the stepper.
+// MachineOptions defaults from this so CI can drive the whole test
+// suite through any engine without code changes.
 ExecEngine default_exec_engine();
 
 struct MachineOptions {
@@ -174,6 +177,11 @@ struct PerfStats {
   std::uint64_t chain_follows = 0;
   std::uint64_t chain_breaks = 0;
   std::uint64_t trace_len = 0;
+  // Threaded dispatch (all zero unless ExecEngine::Threaded): micro-ops
+  // retired through resolved handler pointers, and individual flag
+  // writes skipped by the liveness elision.
+  std::uint64_t threaded_ops = 0;
+  std::uint64_t flag_elisions = 0;
   // Forensics trace layer (all zero when no sink is attached).  Filled
   // at the Injector level from its per-worker TraceBuffer — a buffer is
   // shared by all of an injector's machines, so summing per-machine

@@ -522,6 +522,27 @@ bool block_terminator(const Instruction& in) {
   }
 }
 
+// True when executing the instruction can store to guest RAM (and so
+// bump a code-page write version mid-trace).  Ops after the first such
+// op keep their per-op version guard in threaded mode; everything
+// before is covered by the whole-trace prevalidation at dispatch entry.
+// Trap-frame pushes don't count: a trap ends the dispatch immediately,
+// so no later op can observe the version bump.
+bool may_write_memory(const Instruction& in) {
+  switch (in.op) {
+    case Op::Push:
+    case Op::Call:
+    case Op::CallInd:
+      return true;  // stack store
+    case Op::Cmp:
+    case Op::Test:
+      return false;  // read-only even with a memory "destination"
+    default:
+      return in.dst.kind == OperandKind::Mem ||
+             in.dst.kind == OperandKind::Mem8;
+  }
+}
+
 }  // namespace
 
 bool Cpu::build_block(std::uint32_t entry_paddr, Block& blk) {
@@ -530,6 +551,9 @@ bool Cpu::build_block(std::uint32_t entry_paddr, Block& blk) {
   blk.links[0] = ChainLink{};
   blk.links[1] = ChainLink{};
   blk.ops.clear();
+  blk.threaded = false;
+  blk.elided_writes = 0;
+  blk.pages.clear();
 
   const std::size_t max_ops = chain_enabled_ ? kMaxTraceOps : kMaxBlockOps;
   std::uint32_t vaddr = eip_;
@@ -550,7 +574,12 @@ bool Cpu::build_block(std::uint32_t entry_paddr, Block& blk) {
     Instruction instr;
     if (isa::decode(buf, take, instr) != DecodeStatus::Ok) break;
 
-    blk.ops.push_back({vaddr, paddr, memory_.page_version(paddr), instr});
+    MicroOp op;
+    op.vaddr = vaddr;
+    op.paddr = paddr;
+    op.instr = instr;
+    op.version = memory_.page_version(paddr);
+    blk.ops.push_back(op);
     if (vaddr < vmin) vmin = vaddr;
     const std::uint32_t last_byte = vaddr + instr.length - 1;
     if (last_byte > vmax) vmax = last_byte;
@@ -581,20 +610,49 @@ bool Cpu::build_block(std::uint32_t entry_paddr, Block& blk) {
   blk.vmin = vmin;
   blk.vmax = vmax;
   trace_len_ += blk.ops.size();
+  if (threaded_) thread_block(blk);
   return true;
 }
 
 Cpu::Block* Cpu::lookup_block(std::uint32_t paddr) {
   Block& blk = block_cache_[block_index(paddr)];
+  // A threaded block's elision proof assumes every spanned code page is
+  // unchanged at dispatch entry (pages_fresh), so a version bump on any
+  // page — not just the entry page — forces a rebuild here.  Blocks
+  // built under the other dispatch mode are rebuilt too: their fn /
+  // elided / verify state is unresolved or unsound for this mode.
   if (blk.entry_paddr != paddr || blk.entry_vaddr != eip_ ||
       blk.ops.empty() ||
-      blk.ops[0].version != memory_.page_version(paddr)) {
+      blk.ops[0].version != memory_.page_version(paddr) ||
+      blk.threaded != threaded_ || (threaded_ && !pages_fresh(blk))) {
     if (!build_block(paddr, blk)) return nullptr;
     ++blocks_built_;
   } else {
     ++block_hits_;
   }
   return &blk;
+}
+
+void Cpu::drop_all_blocks() {
+  for (Block& blk : block_cache_) {
+    blk.entry_paddr = kNoBlock;
+    blk.links[0] = ChainLink{};
+    blk.links[1] = ChainLink{};
+  }
+}
+
+std::vector<std::uint8_t> Cpu::block_elision_masks(std::uint32_t vaddr) const {
+  for (const Block& blk : block_cache_) {
+    if (blk.entry_paddr == kNoBlock || !blk.threaded ||
+        blk.entry_vaddr != vaddr) {
+      continue;
+    }
+    std::vector<std::uint8_t> masks;
+    masks.reserve(blk.ops.size());
+    for (const MicroOp& op : blk.ops) masks.push_back(op.elided);
+    return masks;
+  }
+  return {};
 }
 
 bool Cpu::breakpoints_clear(const Block& blk) const {
@@ -612,6 +670,13 @@ bool Cpu::breakpoints_clear(const Block& blk) const {
 
 std::size_t Cpu::run_block(std::uint64_t max_instructions, const bool* stop,
                            CpuEvent& event) {
+  return threaded_ ? run_block_impl<true>(max_instructions, stop, event)
+                   : run_block_impl<false>(max_instructions, stop, event);
+}
+
+template <bool kThreaded>
+std::size_t Cpu::run_block_impl(std::uint64_t max_instructions,
+                                const bool* stop, CpuEvent& event) {
   event = CpuEvent{};
   if (dead_ || halted_ || max_instructions == 0) return 0;
 
@@ -651,6 +716,13 @@ std::size_t Cpu::run_block(std::uint64_t max_instructions, const bool* stop,
     const std::size_t limit =
         blk->ops.size() < remaining ? blk->ops.size()
                                     : static_cast<std::size_t>(remaining);
+    // A truncated dispatch (the budget — a timer tick, checkpoint
+    // rung, or run deadline — lands mid-block) can stop after ANY op,
+    // and whatever observes the stop (tick delivery pushes EFLAGS, a
+    // rung capture digests them) must see the stepper's exact flags.
+    // The liveness proof only covers exits it modeled, so a truncated
+    // pass runs every op through its full-flag handler instead.
+    const bool elide = kThreaded && limit == blk->ops.size();
     std::size_t executed = 0;
     bool broke = false;
     while (executed < limit) {
@@ -677,7 +749,11 @@ std::size_t Cpu::run_block(std::uint64_t max_instructions, const bool* stop,
           break;
         }
       }
-      if (memory_.page_version(op.paddr) != op.version) {
+      // Threaded mode checks all spanned pages once at dispatch entry
+      // (pages_fresh) and keeps the per-op guard only where an
+      // in-trace store could have bumped a version since then.
+      if ((!kThreaded || op.verify) &&
+          memory_.page_version(op.paddr) != op.version) {
         // Self-modified (or flipped) code page: drop the block and let
         // the stepper re-decode this instruction.
         blk->entry_paddr = kNoBlock;
@@ -687,7 +763,15 @@ std::size_t Cpu::run_block(std::uint64_t max_instructions, const bool* stop,
       }
       cycles_ += 1;
       ++executed;
-      if (!execute(op.instr)) {
+      bool ok;
+      if constexpr (kThreaded) {
+        // Direct-threaded dispatch: the handler pointer was resolved
+        // at build time (a no-flags variant where elision is proven).
+        ok = elide ? op.fn(*this, op.instr) : execute(op.instr);
+      } else {
+        ok = execute(op.instr);
+      }
+      if (!ok) {
         event.trap_taken = true;
         event.trap = last_trap_.trap;
         broke = true;
@@ -700,6 +784,19 @@ std::size_t Cpu::run_block(std::uint64_t max_instructions, const bool* stop,
     }
     block_ops_ += executed;
     total += executed;
+    if constexpr (kThreaded) {
+      threaded_ops_ += executed;
+      if (elide) {
+        if (executed == blk->ops.size()) {
+          flag_elisions_ += blk->elided_writes;
+        } else {
+          for (std::size_t i = 0; i < executed; ++i) {
+            flag_elisions_ += static_cast<unsigned>(
+                __builtin_popcount(blk->ops[i].elided));
+          }
+        }
+      }
+    }
 
     if (broke || !chain_enabled_ || total >= max_instructions ||
         executed < blk->ops.size()) {
@@ -743,9 +840,13 @@ std::size_t Cpu::run_block(std::uint64_t max_instructions, const bool* stop,
     Block* next = nullptr;
     if (link.index != kNoBlock) {
       Block& cand = block_cache_[link.index];
+      // Threaded successors get the same whole-trace prevalidation a
+      // cache-probe entry would (pages_fresh): a chain follow is a
+      // dispatch entry for the elision proof.
       if (link.vaddr == eip_ && cand.entry_paddr == next_paddr &&
           cand.entry_vaddr == eip_ && !cand.ops.empty() &&
-          cand.ops[0].version == memory_.page_version(next_paddr)) {
+          cand.ops[0].version == memory_.page_version(next_paddr) &&
+          cand.threaded == kThreaded && (!kThreaded || pages_fresh(cand))) {
         next = &cand;
         ++block_hits_;
       } else {
@@ -798,395 +899,606 @@ void Cpu::invalidate_blocks(std::uint32_t paddr) {
   }
 }
 
-// Returns false when a trap was raised (eip already redirected).
-bool Cpu::execute(const Instruction& in) {
-  const std::uint32_t next = eip_ + in.length;
+// ---------------------------------------------------------------------
+// Opcode handlers (direct-threaded dispatch targets)
+// ---------------------------------------------------------------------
+//
+// One static handler per opcode — the bodies of the former execute()
+// switch, so step() and every block engine share a single
+// implementation of each instruction.  Flag-writing ALU ops are
+// additionally templated on kFlags: the <false> instantiations skip
+// the arithmetic flag computation and exist only as targets for the
+// trace builder's liveness elision (isa::flag_liveness proves the
+// writes dead before any observer — trap frame, chain edge, digest —
+// can see them).  A handler returns false when it raised a trap (eip_
+// already redirected).
 
-  auto finish = [&]() {
-    eip_ = next;
+struct OpHandlers {
+  // ----- data movement -----
+  static bool mov(Cpu& c, const Instruction& in) {
+    std::uint32_t value = 0;
+    if (!c.read_operand(in.src, value)) return false;
+    if (!c.write_operand(in.dst, value)) return false;
+    c.eip_ += in.length;
     return true;
-  };
+  }
+  static bool lea(Cpu& c, const Instruction& in) {
+    std::uint32_t addr = 0;
+    c.operand_addr(in.src, addr);
+    if (!c.write_operand(in.dst, addr)) return false;
+    c.eip_ += in.length;
+    return true;
+  }
+  static bool movzx8(Cpu& c, const Instruction& in) {
+    std::uint32_t value = 0;
+    if (!c.read_operand(in.src, value)) return false;
+    if (!c.write_operand(in.dst, value & 0xFF)) return false;
+    c.eip_ += in.length;
+    return true;
+  }
 
-  switch (in.op) {
-    // ----- data movement -----
-    case Op::Mov: {
-      std::uint32_t value = 0;
-      if (!read_operand(in.src, value)) return false;
-      if (!write_operand(in.dst, value)) return false;
-      return finish();
-    }
-    case Op::Lea: {
-      std::uint32_t addr = 0;
-      operand_addr(in.src, addr);
-      if (!write_operand(in.dst, addr)) return false;
-      return finish();
-    }
-    case Op::Movzx8: {
-      std::uint32_t value = 0;
-      if (!read_operand(in.src, value)) return false;
-      if (!write_operand(in.dst, value & 0xFF)) return false;
-      return finish();
-    }
+  // ----- ALU -----
+  template <Op O, bool kFlags>
+  static bool alu(Cpu& c, const Instruction& in) {
+    static_assert(O == Op::Add || O == Op::Or || O == Op::And ||
+                  O == Op::Sub || O == Op::Xor || O == Op::Cmp ||
+                  O == Op::Test);
+    const bool byte_op = in.dst.kind == OperandKind::Reg8 ||
+                         in.dst.kind == OperandKind::Mem8;
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    if (!c.read_operand(in.dst, a)) return false;
+    if (!c.read_operand(in.src, b)) return false;
 
-    // ----- ALU -----
-    case Op::Add:
-    case Op::Or:
-    case Op::And:
-    case Op::Sub:
-    case Op::Xor:
-    case Op::Cmp:
-    case Op::Test: {
-      const bool byte_op = in.dst.kind == OperandKind::Reg8 ||
-                           in.dst.kind == OperandKind::Mem8;
-      std::uint32_t a = 0;
-      std::uint32_t b = 0;
-      if (!read_operand(in.dst, a)) return false;
-      if (!read_operand(in.src, b)) return false;
-
-      std::uint32_t result = 0;
-      if (byte_op) {
-        const std::uint8_t a8 = static_cast<std::uint8_t>(a);
-        const std::uint8_t b8 = static_cast<std::uint8_t>(b);
-        std::uint8_t r8 = 0;
-        switch (in.op) {
-          case Op::Add: {
-            const unsigned wide = unsigned(a8) + unsigned(b8);
-            r8 = static_cast<std::uint8_t>(wide);
-            flags_.cf = wide > 0xFF;
-            flags_.of = ((a8 ^ r8) & (b8 ^ r8) & 0x80) != 0;
-            break;
-          }
-          case Op::Sub:
-          case Op::Cmp: {
-            r8 = static_cast<std::uint8_t>(a8 - b8);
-            flags_.cf = a8 < b8;
-            flags_.of = ((a8 ^ b8) & (a8 ^ r8) & 0x80) != 0;
-            break;
-          }
-          case Op::Or: r8 = a8 | b8; break;
-          case Op::And:
-          case Op::Test: r8 = a8 & b8; break;
-          case Op::Xor: r8 = a8 ^ b8; break;
-          default: break;
+    std::uint32_t result = 0;
+    if (byte_op) {
+      const std::uint8_t a8 = static_cast<std::uint8_t>(a);
+      const std::uint8_t b8 = static_cast<std::uint8_t>(b);
+      std::uint8_t r8 = 0;
+      if constexpr (O == Op::Add) {
+        const unsigned wide = unsigned(a8) + unsigned(b8);
+        r8 = static_cast<std::uint8_t>(wide);
+        if constexpr (kFlags) {
+          c.flags_.cf = wide > 0xFF;
+          c.flags_.of = ((a8 ^ r8) & (b8 ^ r8) & 0x80) != 0;
         }
-        if (in.op == Op::Or || in.op == Op::And || in.op == Op::Xor ||
-            in.op == Op::Test) {
-          set_logic_flags8(r8);
-        } else {
-          flags_.zf = r8 == 0;
-          flags_.sf = (r8 & 0x80) != 0;
-          flags_.pf = parity_even(r8);
+      } else if constexpr (O == Op::Sub || O == Op::Cmp) {
+        r8 = static_cast<std::uint8_t>(a8 - b8);
+        if constexpr (kFlags) {
+          c.flags_.cf = a8 < b8;
+          c.flags_.of = ((a8 ^ b8) & (a8 ^ r8) & 0x80) != 0;
         }
-        result = r8;
+      } else if constexpr (O == Op::Or) {
+        r8 = a8 | b8;
+      } else if constexpr (O == Op::And || O == Op::Test) {
+        r8 = a8 & b8;
       } else {
-        switch (in.op) {
-          case Op::Add: {
-            result = a + b;
-            flags_.cf = result < a;
-            flags_.of = (((a ^ result) & (b ^ result)) >> 31) != 0;
-            break;
-          }
-          case Op::Sub:
-          case Op::Cmp: {
-            result = a - b;
-            flags_.cf = a < b;
-            flags_.of = (((a ^ b) & (a ^ result)) >> 31) != 0;
-            break;
-          }
-          case Op::Or: result = a | b; break;
-          case Op::And:
-          case Op::Test: result = a & b; break;
-          case Op::Xor: result = a ^ b; break;
-          default: break;
-        }
-        if (in.op == Op::Or || in.op == Op::And || in.op == Op::Xor ||
-            in.op == Op::Test) {
-          set_logic_flags32(result);
+        r8 = a8 ^ b8;
+      }
+      if constexpr (kFlags) {
+        if constexpr (O == Op::Or || O == Op::And || O == Op::Xor ||
+                      O == Op::Test) {
+          c.set_logic_flags8(r8);
         } else {
-          flags_.zf = result == 0;
-          flags_.sf = (result >> 31) != 0;
-          flags_.pf = parity_even(static_cast<std::uint8_t>(result));
+          c.flags_.zf = r8 == 0;
+          c.flags_.sf = (r8 & 0x80) != 0;
+          c.flags_.pf = parity_even(r8);
         }
       }
-      if (in.op != Op::Cmp && in.op != Op::Test) {
-        if (!write_operand(in.dst, result)) return false;
+      result = r8;
+    } else {
+      if constexpr (O == Op::Add) {
+        result = a + b;
+        if constexpr (kFlags) {
+          c.flags_.cf = result < a;
+          c.flags_.of = (((a ^ result) & (b ^ result)) >> 31) != 0;
+        }
+      } else if constexpr (O == Op::Sub || O == Op::Cmp) {
+        result = a - b;
+        if constexpr (kFlags) {
+          c.flags_.cf = a < b;
+          c.flags_.of = (((a ^ b) & (a ^ result)) >> 31) != 0;
+        }
+      } else if constexpr (O == Op::Or) {
+        result = a | b;
+      } else if constexpr (O == Op::And || O == Op::Test) {
+        result = a & b;
+      } else {
+        result = a ^ b;
       }
-      return finish();
+      if constexpr (kFlags) {
+        if constexpr (O == Op::Or || O == Op::And || O == Op::Xor ||
+                      O == Op::Test) {
+          c.set_logic_flags32(result);
+        } else {
+          c.flags_.zf = result == 0;
+          c.flags_.sf = (result >> 31) != 0;
+          c.flags_.pf = parity_even(static_cast<std::uint8_t>(result));
+        }
+      }
     }
+    if constexpr (O != Op::Cmp && O != Op::Test) {
+      if (!c.write_operand(in.dst, result)) return false;
+    }
+    c.eip_ += in.length;
+    return true;
+  }
 
-    case Op::Inc:
-    case Op::Dec: {
-      std::uint32_t a = 0;
-      if (!read_operand(in.dst, a)) return false;
-      const std::uint32_t result = in.op == Op::Inc ? a + 1 : a - 1;
+  template <Op O, bool kFlags>
+  static bool inc_dec(Cpu& c, const Instruction& in) {
+    static_assert(O == Op::Inc || O == Op::Dec);
+    std::uint32_t a = 0;
+    if (!c.read_operand(in.dst, a)) return false;
+    const std::uint32_t result = O == Op::Inc ? a + 1 : a - 1;
+    if constexpr (kFlags) {
       // CF unchanged (IA-32 semantics).
-      if (in.op == Op::Inc) {
-        flags_.of = result == 0x80000000u;
+      if constexpr (O == Op::Inc) {
+        c.flags_.of = result == 0x80000000u;
       } else {
-        flags_.of = a == 0x80000000u;
+        c.flags_.of = a == 0x80000000u;
       }
-      flags_.zf = result == 0;
-      flags_.sf = (result >> 31) != 0;
-      flags_.pf = parity_even(static_cast<std::uint8_t>(result));
-      if (!write_operand(in.dst, result)) return false;
-      return finish();
+      c.flags_.zf = result == 0;
+      c.flags_.sf = (result >> 31) != 0;
+      c.flags_.pf = parity_even(static_cast<std::uint8_t>(result));
     }
+    if (!c.write_operand(in.dst, result)) return false;
+    c.eip_ += in.length;
+    return true;
+  }
 
-    case Op::Not: {
-      std::uint32_t a = 0;
-      if (!read_operand(in.dst, a)) return false;
-      if (!write_operand(in.dst, ~a)) return false;  // no flags
-      return finish();
-    }
-    case Op::Neg: {
-      std::uint32_t a = 0;
-      if (!read_operand(in.dst, a)) return false;
-      const std::uint32_t result = 0u - a;
-      flags_.cf = a != 0;
-      flags_.of = a == 0x80000000u;
-      flags_.zf = result == 0;
-      flags_.sf = (result >> 31) != 0;
-      flags_.pf = parity_even(static_cast<std::uint8_t>(result));
-      if (!write_operand(in.dst, result)) return false;
-      return finish();
-    }
+  static bool not_(Cpu& c, const Instruction& in) {
+    std::uint32_t a = 0;
+    if (!c.read_operand(in.dst, a)) return false;
+    if (!c.write_operand(in.dst, ~a)) return false;  // no flags
+    c.eip_ += in.length;
+    return true;
+  }
 
-    case Op::Mul: {
-      std::uint32_t src = 0;
-      if (!read_operand(in.src, src)) return false;
-      const std::uint64_t wide =
-          static_cast<std::uint64_t>(regs_[0]) * src;
-      regs_[0] = static_cast<std::uint32_t>(wide);
-      regs_[static_cast<int>(Reg::Edx)] = static_cast<std::uint32_t>(wide >> 32);
-      flags_.cf = flags_.of = regs_[static_cast<int>(Reg::Edx)] != 0;
-      flags_.zf = regs_[0] == 0;
-      flags_.sf = (regs_[0] >> 31) != 0;
-      return finish();
+  template <bool kFlags>
+  static bool neg(Cpu& c, const Instruction& in) {
+    std::uint32_t a = 0;
+    if (!c.read_operand(in.dst, a)) return false;
+    const std::uint32_t result = 0u - a;
+    if constexpr (kFlags) {
+      c.flags_.cf = a != 0;
+      c.flags_.of = a == 0x80000000u;
+      c.flags_.zf = result == 0;
+      c.flags_.sf = (result >> 31) != 0;
+      c.flags_.pf = parity_even(static_cast<std::uint8_t>(result));
     }
-    case Op::Imul: {
-      std::uint32_t a = 0;
-      std::uint32_t b = 0;
-      if (!read_operand(in.dst, a)) return false;
-      if (!read_operand(in.src, b)) return false;
-      const std::int64_t wide = static_cast<std::int64_t>(
-                                    static_cast<std::int32_t>(a)) *
-                                static_cast<std::int32_t>(b);
-      const std::int32_t low = static_cast<std::int32_t>(wide);
-      flags_.cf = flags_.of = wide != low;
-      if (!write_operand(in.dst, static_cast<std::uint32_t>(low))) return false;
-      return finish();
+    if (!c.write_operand(in.dst, result)) return false;
+    c.eip_ += in.length;
+    return true;
+  }
+
+  template <bool kFlags>
+  static bool mul(Cpu& c, const Instruction& in) {
+    std::uint32_t src = 0;
+    if (!c.read_operand(in.src, src)) return false;
+    const std::uint64_t wide = static_cast<std::uint64_t>(c.regs_[0]) * src;
+    c.regs_[0] = static_cast<std::uint32_t>(wide);
+    c.regs_[static_cast<int>(Reg::Edx)] =
+        static_cast<std::uint32_t>(wide >> 32);
+    if constexpr (kFlags) {
+      c.flags_.cf = c.flags_.of = c.regs_[static_cast<int>(Reg::Edx)] != 0;
+      c.flags_.zf = c.regs_[0] == 0;
+      c.flags_.sf = (c.regs_[0] >> 31) != 0;
     }
-    case Op::Div: {
-      std::uint32_t src = 0;
-      if (!read_operand(in.src, src)) return false;
-      if (src == 0) return raise(Trap::DivideError, 0, eip_);
-      const std::uint64_t dividend =
-          (static_cast<std::uint64_t>(regs_[static_cast<int>(Reg::Edx)]) << 32) |
-          regs_[0];
-      const std::uint64_t q = dividend / src;
-      if (q > 0xFFFFFFFFu) return raise(Trap::DivideError, 0, eip_);
-      regs_[0] = static_cast<std::uint32_t>(q);
-      regs_[static_cast<int>(Reg::Edx)] =
-          static_cast<std::uint32_t>(dividend % src);
-      return finish();
+    c.eip_ += in.length;
+    return true;
+  }
+
+  template <bool kFlags>
+  static bool imul(Cpu& c, const Instruction& in) {
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    if (!c.read_operand(in.dst, a)) return false;
+    if (!c.read_operand(in.src, b)) return false;
+    const std::int64_t wide =
+        static_cast<std::int64_t>(static_cast<std::int32_t>(a)) *
+        static_cast<std::int32_t>(b);
+    const std::int32_t low = static_cast<std::int32_t>(wide);
+    if constexpr (kFlags) {
+      c.flags_.cf = c.flags_.of = wide != low;
     }
-    case Op::Idiv: {
-      std::uint32_t src = 0;
-      if (!read_operand(in.src, src)) return false;
-      if (src == 0) return raise(Trap::DivideError, 0, eip_);
-      const std::int64_t dividend = static_cast<std::int64_t>(
-          (static_cast<std::uint64_t>(regs_[static_cast<int>(Reg::Edx)]) << 32) |
-          regs_[0]);
-      const std::int32_t divisor = static_cast<std::int32_t>(src);
-      if (dividend == INT64_MIN && divisor == -1) {
-        return raise(Trap::DivideError, 0, eip_);
+    if (!c.write_operand(in.dst, static_cast<std::uint32_t>(low))) {
+      return false;
+    }
+    c.eip_ += in.length;
+    return true;
+  }
+
+  static bool div(Cpu& c, const Instruction& in) {
+    std::uint32_t src = 0;
+    if (!c.read_operand(in.src, src)) return false;
+    if (src == 0) return c.raise(Trap::DivideError, 0, c.eip_);
+    const std::uint64_t dividend =
+        (static_cast<std::uint64_t>(c.regs_[static_cast<int>(Reg::Edx)])
+         << 32) |
+        c.regs_[0];
+    const std::uint64_t q = dividend / src;
+    if (q > 0xFFFFFFFFu) return c.raise(Trap::DivideError, 0, c.eip_);
+    c.regs_[0] = static_cast<std::uint32_t>(q);
+    c.regs_[static_cast<int>(Reg::Edx)] =
+        static_cast<std::uint32_t>(dividend % src);
+    c.eip_ += in.length;
+    return true;
+  }
+
+  static bool idiv(Cpu& c, const Instruction& in) {
+    std::uint32_t src = 0;
+    if (!c.read_operand(in.src, src)) return false;
+    if (src == 0) return c.raise(Trap::DivideError, 0, c.eip_);
+    const std::int64_t dividend = static_cast<std::int64_t>(
+        (static_cast<std::uint64_t>(c.regs_[static_cast<int>(Reg::Edx)])
+         << 32) |
+        c.regs_[0]);
+    const std::int32_t divisor = static_cast<std::int32_t>(src);
+    if (dividend == INT64_MIN && divisor == -1) {
+      return c.raise(Trap::DivideError, 0, c.eip_);
+    }
+    const std::int64_t q = dividend / divisor;
+    if (q > INT32_MAX || q < INT32_MIN) {
+      return c.raise(Trap::DivideError, 0, c.eip_);
+    }
+    c.regs_[0] = static_cast<std::uint32_t>(static_cast<std::int32_t>(q));
+    c.regs_[static_cast<int>(Reg::Edx)] =
+        static_cast<std::uint32_t>(static_cast<std::int32_t>(dividend % divisor));
+    c.eip_ += in.length;
+    return true;
+  }
+
+  static bool cdq(Cpu& c, const Instruction& in) {
+    c.regs_[static_cast<int>(Reg::Edx)] =
+        (c.regs_[0] & 0x80000000u) ? 0xFFFFFFFFu : 0;
+    c.eip_ += in.length;
+    return true;
+  }
+
+  template <Op O, bool kFlags>
+  static bool shift(Cpu& c, const Instruction& in) {
+    static_assert(O == Op::Shl || O == Op::Shr || O == Op::Sar);
+    std::uint32_t a = 0;
+    std::uint32_t count = 0;
+    if (!c.read_operand(in.dst, a)) return false;
+    if (!c.read_operand(in.src, count)) return false;
+    count &= 31;
+    if (count == 0) {  // no flag change either
+      c.eip_ += in.length;
+      return true;
+    }
+    std::uint32_t result = 0;
+    if constexpr (O == Op::Shl) {
+      result = a << count;
+      if constexpr (kFlags) {
+        c.flags_.cf = ((a >> (32 - count)) & 1) != 0;
+        if (count == 1) c.flags_.of = ((result >> 31) != 0) != c.flags_.cf;
       }
-      const std::int64_t q = dividend / divisor;
-      if (q > INT32_MAX || q < INT32_MIN) {
-        return raise(Trap::DivideError, 0, eip_);
+    } else if constexpr (O == Op::Shr) {
+      result = a >> count;
+      if constexpr (kFlags) {
+        c.flags_.cf = ((a >> (count - 1)) & 1) != 0;
+        if (count == 1) c.flags_.of = (a >> 31) != 0;
       }
-      regs_[0] = static_cast<std::uint32_t>(static_cast<std::int32_t>(q));
-      regs_[static_cast<int>(Reg::Edx)] = static_cast<std::uint32_t>(
-          static_cast<std::int32_t>(dividend % divisor));
-      return finish();
-    }
-    case Op::Cdq:
-      regs_[static_cast<int>(Reg::Edx)] =
-          (regs_[0] & 0x80000000u) ? 0xFFFFFFFFu : 0;
-      return finish();
-
-    case Op::Shl:
-    case Op::Shr:
-    case Op::Sar: {
-      std::uint32_t a = 0;
-      std::uint32_t count = 0;
-      if (!read_operand(in.dst, a)) return false;
-      if (!read_operand(in.src, count)) return false;
-      count &= 31;
-      if (count == 0) return finish();  // no flag change
-      std::uint32_t result = 0;
-      if (in.op == Op::Shl) {
-        result = a << count;
-        flags_.cf = ((a >> (32 - count)) & 1) != 0;
-        if (count == 1) flags_.of = ((result >> 31) != 0) != flags_.cf;
-      } else if (in.op == Op::Shr) {
-        result = a >> count;
-        flags_.cf = ((a >> (count - 1)) & 1) != 0;
-        if (count == 1) flags_.of = (a >> 31) != 0;
-      } else {
-        result = static_cast<std::uint32_t>(
-            static_cast<std::int32_t>(a) >> count);
-        flags_.cf = ((a >> (count - 1)) & 1) != 0;
-        if (count == 1) flags_.of = false;
+    } else {
+      result =
+          static_cast<std::uint32_t>(static_cast<std::int32_t>(a) >> count);
+      if constexpr (kFlags) {
+        c.flags_.cf = ((a >> (count - 1)) & 1) != 0;
+        if (count == 1) c.flags_.of = false;
       }
-      flags_.zf = result == 0;
-      flags_.sf = (result >> 31) != 0;
-      flags_.pf = parity_even(static_cast<std::uint8_t>(result));
-      if (!write_operand(in.dst, result)) return false;
-      return finish();
     }
+    if constexpr (kFlags) {
+      c.flags_.zf = result == 0;
+      c.flags_.sf = (result >> 31) != 0;
+      c.flags_.pf = parity_even(static_cast<std::uint8_t>(result));
+    }
+    if (!c.write_operand(in.dst, result)) return false;
+    c.eip_ += in.length;
+    return true;
+  }
 
-    case Op::Setcc: {
-      const std::uint32_t value = cond_holds(in.cond, flags_) ? 1 : 0;
-      if (!write_operand(in.dst, value)) return false;
-      return finish();
-    }
+  static bool setcc(Cpu& c, const Instruction& in) {
+    const std::uint32_t value = cond_holds(in.cond, c.flags_) ? 1 : 0;
+    if (!c.write_operand(in.dst, value)) return false;
+    c.eip_ += in.length;
+    return true;
+  }
 
-    // ----- stack -----
-    case Op::Push: {
-      std::uint32_t value = 0;
-      if (!read_operand(in.src, value)) return false;
-      if (!push32(value)) return false;
-      return finish();
-    }
-    case Op::Pop: {
-      std::uint32_t value = 0;
-      if (!pop32(value)) return false;
-      if (!write_operand(in.dst, value)) return false;
-      return finish();
-    }
-    case Op::Leave: {
-      regs_[static_cast<int>(Reg::Esp)] = regs_[static_cast<int>(Reg::Ebp)];
-      std::uint32_t value = 0;
-      if (!pop32(value)) return false;
-      regs_[static_cast<int>(Reg::Ebp)] = value;
-      return finish();
-    }
+  // ----- stack -----
+  static bool push(Cpu& c, const Instruction& in) {
+    std::uint32_t value = 0;
+    if (!c.read_operand(in.src, value)) return false;
+    if (!c.push32(value)) return false;
+    c.eip_ += in.length;
+    return true;
+  }
+  static bool pop(Cpu& c, const Instruction& in) {
+    std::uint32_t value = 0;
+    if (!c.pop32(value)) return false;
+    if (!c.write_operand(in.dst, value)) return false;
+    c.eip_ += in.length;
+    return true;
+  }
+  static bool leave(Cpu& c, const Instruction& in) {
+    c.regs_[static_cast<int>(Reg::Esp)] = c.regs_[static_cast<int>(Reg::Ebp)];
+    std::uint32_t value = 0;
+    if (!c.pop32(value)) return false;
+    c.regs_[static_cast<int>(Reg::Ebp)] = value;
+    c.eip_ += in.length;
+    return true;
+  }
 
-    // ----- control transfer -----
-    case Op::Jcc:
-      eip_ = cond_holds(in.cond, flags_)
+  // ----- control transfer -----
+  static bool jcc(Cpu& c, const Instruction& in) {
+    const std::uint32_t next = c.eip_ + in.length;
+    c.eip_ = cond_holds(in.cond, c.flags_)
                  ? next + static_cast<std::uint32_t>(in.rel)
                  : next;
-      return true;
-    case Op::Jmp:
-      eip_ = next + static_cast<std::uint32_t>(in.rel);
-      return true;
-    case Op::JmpInd: {
-      std::uint32_t target = 0;
-      if (!read_operand(in.src, target)) return false;
-      eip_ = target;
-      return true;
-    }
-    case Op::Call: {
-      if (!push32(next)) return false;
-      eip_ = next + static_cast<std::uint32_t>(in.rel);
-      return true;
-    }
-    case Op::CallInd: {
-      std::uint32_t target = 0;
-      if (!read_operand(in.src, target)) return false;
-      if (!push32(next)) return false;
-      eip_ = target;
-      return true;
-    }
-    case Op::Ret: {
-      std::uint32_t target = 0;
-      if (!pop32(target)) return false;
-      eip_ = target;
-      return true;
-    }
-
-    case Op::Nop:
-      return finish();
-
-    // ----- traps and privileged operations -----
-    case Op::Ud2:
-    case Op::Invalid:
-      return raise(Trap::InvalidOpcode, 0, eip_);
-
-    case Op::Int3:
-      eip_ = next;  // software traps push the next instruction
-      deliver(Trap::Int3, 0, 0, 0);
-      return false;
-    case Op::Int: {
-      const int vec = in.imm8;
-      // Gate DPL check: user code may only raise the syscall gate and
-      // the debug/breakpoint vectors.
-      if (cpl_ == 3 && vec != 0x80 && vec != 3 && vec != 4) {
-        return raise(Trap::GpFault, 0, eip_);
-      }
-      if (vectors_[vec] == 0) return raise(Trap::GpFault, 0, eip_);
-      eip_ = next;
-      deliver(static_cast<Trap>(vec), 0, 0, 0);
-      return false;
-    }
-    case Op::Iret: {
-      if (cpl_ != 0) return raise(Trap::GpFault, 0, eip_);
-      const std::uint32_t esp = regs_[static_cast<int>(Reg::Esp)];
-      std::uint32_t new_eip = 0;
-      std::uint32_t new_eflags = 0;
-      std::uint32_t new_esp = 0;
-      std::uint32_t new_cpl = 0;
-      if (!read_v(esp, 4, new_eip)) return false;
-      if (!read_v(esp + 4, 4, new_eflags)) return false;
-      if (!read_v(esp + 8, 4, new_esp)) return false;
-      if (!read_v(esp + 12, 4, new_cpl)) return false;
-      new_cpl &= 3;
-      if (new_cpl != 0 && new_cpl != 3) {
-        return raise(Trap::GpFault, 0, eip_);
-      }
-      if (new_cpl == 3) {
-        regs_[static_cast<int>(Reg::Esp)] = new_esp;
-      } else {
-        regs_[static_cast<int>(Reg::Esp)] = esp + 24;
-      }
-      cpl_ = static_cast<int>(new_cpl);
-      flags_ = Flags::from_word(new_eflags);
-      eip_ = new_eip;
-      if (trace_sink_ != nullptr) {
-        trace_sink_->record(trace::EventKind::TrapExit, cycles_, new_eip,
-                            new_cpl);
-      }
-      return true;
-    }
-
-    case Op::Lret:
-    case Op::FarJmp:
-    case Op::FarCall:
-    case Op::MovSeg:
-      // No far segments / descriptors exist; a corrupted selector always
-      // faults (Table 7 example 3).
-      return raise(Trap::GpFault, 0, eip_);
-
-    case Op::In:
-      if (cpl_ != 0) return raise(Trap::GpFault, 0, eip_);
-      regs_[0] = (regs_[0] & 0xFFFFFF00u);  // no legacy ports: reads 0
-      return finish();
-    case Op::Hlt:
-      if (cpl_ != 0) return raise(Trap::GpFault, 0, eip_);
-      halted_ = true;
-      return finish();
-    case Op::Cli:
-      if (cpl_ != 0) return raise(Trap::GpFault, 0, eip_);
-      flags_.intf = false;
-      return finish();
-    case Op::Sti:
-      if (cpl_ != 0) return raise(Trap::GpFault, 0, eip_);
-      flags_.intf = true;
-      return finish();
+    return true;
   }
-  return raise(Trap::InvalidOpcode, 0, eip_);
+  static bool jmp(Cpu& c, const Instruction& in) {
+    c.eip_ += in.length + static_cast<std::uint32_t>(in.rel);
+    return true;
+  }
+  static bool jmp_ind(Cpu& c, const Instruction& in) {
+    std::uint32_t target = 0;
+    if (!c.read_operand(in.src, target)) return false;
+    c.eip_ = target;
+    return true;
+  }
+  static bool call(Cpu& c, const Instruction& in) {
+    const std::uint32_t next = c.eip_ + in.length;
+    if (!c.push32(next)) return false;
+    c.eip_ = next + static_cast<std::uint32_t>(in.rel);
+    return true;
+  }
+  static bool call_ind(Cpu& c, const Instruction& in) {
+    const std::uint32_t next = c.eip_ + in.length;
+    std::uint32_t target = 0;
+    if (!c.read_operand(in.src, target)) return false;
+    if (!c.push32(next)) return false;
+    c.eip_ = target;
+    return true;
+  }
+  static bool ret(Cpu& c, const Instruction& in) {
+    (void)in;
+    std::uint32_t target = 0;
+    if (!c.pop32(target)) return false;
+    c.eip_ = target;
+    return true;
+  }
+
+  static bool nop(Cpu& c, const Instruction& in) {
+    c.eip_ += in.length;
+    return true;
+  }
+
+  // ----- traps and privileged operations -----
+  static bool ud(Cpu& c, const Instruction& in) {
+    (void)in;
+    return c.raise(Trap::InvalidOpcode, 0, c.eip_);
+  }
+  static bool int3(Cpu& c, const Instruction& in) {
+    c.eip_ += in.length;  // software traps push the next instruction
+    c.deliver(Trap::Int3, 0, 0, 0);
+    return false;
+  }
+  static bool int_n(Cpu& c, const Instruction& in) {
+    const int vec = in.imm8;
+    // Gate DPL check: user code may only raise the syscall gate and
+    // the debug/breakpoint vectors.
+    if (c.cpl_ == 3 && vec != 0x80 && vec != 3 && vec != 4) {
+      return c.raise(Trap::GpFault, 0, c.eip_);
+    }
+    if (c.vectors_[vec] == 0) return c.raise(Trap::GpFault, 0, c.eip_);
+    c.eip_ += in.length;
+    c.deliver(static_cast<Trap>(vec), 0, 0, 0);
+    return false;
+  }
+  static bool iret(Cpu& c, const Instruction& in) {
+    (void)in;
+    if (c.cpl_ != 0) return c.raise(Trap::GpFault, 0, c.eip_);
+    const std::uint32_t esp = c.regs_[static_cast<int>(Reg::Esp)];
+    std::uint32_t new_eip = 0;
+    std::uint32_t new_eflags = 0;
+    std::uint32_t new_esp = 0;
+    std::uint32_t new_cpl = 0;
+    if (!c.read_v(esp, 4, new_eip)) return false;
+    if (!c.read_v(esp + 4, 4, new_eflags)) return false;
+    if (!c.read_v(esp + 8, 4, new_esp)) return false;
+    if (!c.read_v(esp + 12, 4, new_cpl)) return false;
+    new_cpl &= 3;
+    if (new_cpl != 0 && new_cpl != 3) {
+      return c.raise(Trap::GpFault, 0, c.eip_);
+    }
+    if (new_cpl == 3) {
+      c.regs_[static_cast<int>(Reg::Esp)] = new_esp;
+    } else {
+      c.regs_[static_cast<int>(Reg::Esp)] = esp + 24;
+    }
+    c.cpl_ = static_cast<int>(new_cpl);
+    c.flags_ = Flags::from_word(new_eflags);
+    c.eip_ = new_eip;
+    if (c.trace_sink_ != nullptr) {
+      c.trace_sink_->record(trace::EventKind::TrapExit, c.cycles_, new_eip,
+                            new_cpl);
+    }
+    return true;
+  }
+  static bool far_op(Cpu& c, const Instruction& in) {
+    (void)in;
+    // No far segments / descriptors exist; a corrupted selector always
+    // faults (Table 7 example 3).
+    return c.raise(Trap::GpFault, 0, c.eip_);
+  }
+  static bool in_port(Cpu& c, const Instruction& in) {
+    if (c.cpl_ != 0) return c.raise(Trap::GpFault, 0, c.eip_);
+    c.regs_[0] = (c.regs_[0] & 0xFFFFFF00u);  // no legacy ports: reads 0
+    c.eip_ += in.length;
+    return true;
+  }
+  static bool hlt(Cpu& c, const Instruction& in) {
+    if (c.cpl_ != 0) return c.raise(Trap::GpFault, 0, c.eip_);
+    c.halted_ = true;
+    c.eip_ += in.length;
+    return true;
+  }
+  static bool cli(Cpu& c, const Instruction& in) {
+    if (c.cpl_ != 0) return c.raise(Trap::GpFault, 0, c.eip_);
+    c.flags_.intf = false;
+    c.eip_ += in.length;
+    return true;
+  }
+  static bool sti(Cpu& c, const Instruction& in) {
+    if (c.cpl_ != 0) return c.raise(Trap::GpFault, 0, c.eip_);
+    c.flags_.intf = true;
+    c.eip_ += in.length;
+    return true;
+  }
+
+  // Full-flag handler table, indexed by Op (the dispatch every
+  // execution mode uses when elision is off or unproven).
+  static constexpr Cpu::HandlerFn kFull[isa::kOpCount] = {
+      alu<Op::Add, true>,   // Add
+      alu<Op::Or, true>,    // Or
+      alu<Op::And, true>,   // And
+      alu<Op::Sub, true>,   // Sub
+      alu<Op::Xor, true>,   // Xor
+      alu<Op::Cmp, true>,   // Cmp
+      alu<Op::Test, true>,  // Test
+      mov,                  // Mov
+      lea,                  // Lea
+      movzx8,               // Movzx8
+      imul<true>,           // Imul
+      push,                 // Push
+      pop,                  // Pop
+      inc_dec<Op::Inc, true>,  // Inc
+      inc_dec<Op::Dec, true>,  // Dec
+      not_,                 // Not
+      neg<true>,            // Neg
+      mul<true>,            // Mul
+      div,                  // Div
+      idiv,                 // Idiv
+      shift<Op::Shl, true>,  // Shl
+      shift<Op::Shr, true>,  // Shr
+      shift<Op::Sar, true>,  // Sar
+      jcc,                  // Jcc
+      setcc,                // Setcc
+      jmp,                  // Jmp
+      jmp_ind,              // JmpInd
+      call,                 // Call
+      call_ind,             // CallInd
+      ret,                  // Ret
+      leave,                // Leave
+      nop,                  // Nop
+      cdq,                  // Cdq
+      ud,                   // Ud2
+      int3,                 // Int3
+      int_n,                // Int
+      iret,                 // Iret
+      far_op,               // Lret
+      far_op,               // FarJmp
+      far_op,               // FarCall
+      far_op,               // MovSeg
+      in_port,              // In
+      hlt,                  // Hlt
+      cli,                  // Cli
+      sti,                  // Sti
+      ud,                   // Invalid
+  };
+
+  // No-flags variant for ops whose flag writes the liveness pass can
+  // elide; nullptr when the op has no such variant (elision is then
+  // skipped even if the writes are dead — e.g. iret, whose flag write
+  // is the restore itself).
+  static Cpu::HandlerFn noflags(Op op) {
+    switch (op) {
+      case Op::Add: return alu<Op::Add, false>;
+      case Op::Or: return alu<Op::Or, false>;
+      case Op::And: return alu<Op::And, false>;
+      case Op::Sub: return alu<Op::Sub, false>;
+      case Op::Xor: return alu<Op::Xor, false>;
+      case Op::Cmp: return alu<Op::Cmp, false>;
+      case Op::Test: return alu<Op::Test, false>;
+      case Op::Inc: return inc_dec<Op::Inc, false>;
+      case Op::Dec: return inc_dec<Op::Dec, false>;
+      case Op::Neg: return neg<false>;
+      case Op::Mul: return mul<false>;
+      case Op::Imul: return imul<false>;
+      case Op::Shl: return shift<Op::Shl, false>;
+      case Op::Shr: return shift<Op::Shr, false>;
+      case Op::Sar: return shift<Op::Sar, false>;
+      default: return nullptr;
+    }
+  }
+};
+
+// Returns false when a trap was raised (eip already redirected).
+bool Cpu::execute(const Instruction& in) {
+  return OpHandlers::kFull[static_cast<int>(in.op)](*this, in);
+}
+
+// Resolves the threaded-dispatch state of a freshly built block: the
+// per-op handler pointer, the page prevalidation set, which ops keep
+// their per-op version guard, and the flag-liveness elision.  (Defined
+// after OpHandlers so the handler table is complete.)
+void Cpu::thread_block(Block& blk) {
+  blk.threaded = true;
+
+  // Distinct (code page, build-time version) pairs the trace spans
+  // beyond the entry page; the entry page is validated by every cache
+  // probe and chain-link check already, so single-page traces — the
+  // overwhelming majority — keep pages_fresh() at an empty loop.
+  const std::uint32_t entry_page = blk.ops[0].paddr & ~kPageMask;
+  for (const MicroOp& op : blk.ops) {
+    const std::uint32_t page = op.paddr & ~kPageMask;
+    if (page == entry_page) continue;
+    bool seen = false;
+    for (const auto& [p, v] : blk.pages) seen = seen || p == page;
+    if (!seen) blk.pages.emplace_back(page, op.version);
+  }
+
+  std::size_t first_store = blk.ops.size();
+  for (std::size_t i = 0; i < blk.ops.size(); ++i) {
+    if (may_write_memory(blk.ops[i].instr)) {
+      first_store = i;
+      break;
+    }
+  }
+
+  // Liveness boundaries: any op whose pre-execution guard can fail at
+  // runtime hands control back to the stepper *before* the op, so all
+  // earlier flag writes are observable there.  That is (a) ops after
+  // an in-trace store (their version guard stays live), and (b) the
+  // first op on each new page of a widened trace (its translate guard
+  // can fail if the page was remapped or unmapped since the build —
+  // page versions track writes, not mappings).  Ops that may trap are
+  // boundaries too; flag_liveness derives that from the effects.
+  std::vector<isa::LiveOp> lops(blk.ops.size());
+  for (std::size_t i = 0; i < blk.ops.size(); ++i) {
+    MicroOp& op = blk.ops[i];
+    lops[i].fx = isa::flag_effects(op.instr);
+    op.verify = i > first_store;
+    const bool new_page =
+        i > 0 && (op.paddr & ~kPageMask) != (blk.ops[i - 1].paddr & ~kPageMask);
+    lops[i].boundary = op.verify || new_page;
+  }
+
+  const isa::Liveness lv = isa::flag_liveness(lops);
+  for (std::size_t i = 0; i < blk.ops.size(); ++i) {
+    MicroOp& op = blk.ops[i];
+    op.fn = OpHandlers::kFull[static_cast<int>(op.instr.op)];
+    op.elided = 0;
+    if (lv.elidable[i] != 0) {
+      if (const HandlerFn nf = OpHandlers::noflags(op.instr.op)) {
+        op.fn = nf;
+        op.elided = lv.elidable[i];
+        blk.elided_writes +=
+            static_cast<unsigned>(__builtin_popcount(op.elided));
+      }
+    }
+  }
 }
 
 }  // namespace kfi::vm

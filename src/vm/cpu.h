@@ -5,9 +5,11 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "isa/decode.h"
+#include "isa/flags_meta.h"
 #include "isa/instruction.h"
 #include "isa/isa.h"
 #include "vm/bus.h"
@@ -122,8 +124,23 @@ class Cpu {
   // Enables block chaining + trace widening + the per-dispatch inline
   // translate cache (ExecEngine::Chained).  Off by default: plain
   // ExecEngine::Block keeps the PR 3 one-block-per-dispatch behavior.
-  void set_chaining(bool enabled) { chain_enabled_ = enabled; }
+  void set_chaining(bool enabled) {
+    if (chain_enabled_ != enabled) drop_all_blocks();
+    chain_enabled_ = enabled;
+  }
   bool chaining() const { return chain_enabled_; }
+
+  // Enables direct-threaded dispatch with flag-liveness elision
+  // (ExecEngine::Threaded; implies chaining, which the machine layer
+  // turns on alongside).  Each micro-op's handler pointer and elision
+  // mask are resolved at trace-build time; blocks built under one
+  // dispatch mode are never executed under another (the cache is
+  // dropped on any mode change).
+  void set_threaded(bool enabled) {
+    if (threaded_ != enabled) drop_all_blocks();
+    threaded_ = enabled;
+  }
+  bool threaded() const { return threaded_; }
 
   // Drops every cached block containing a micro-op on the page holding
   // `paddr`.  The injector calls this on its bit flip; the per-op
@@ -169,6 +186,17 @@ class Cpu {
   std::uint64_t chain_follows() const { return chain_follows_; }
   std::uint64_t chain_breaks() const { return chain_breaks_; }
   std::uint64_t trace_len() const { return trace_len_; }
+  // Threaded-dispatch telemetry: micro-ops retired through resolved
+  // handler pointers, and individual flag-register writes skipped by
+  // the liveness elision (a fully elided add counts 5: CF PF ZF SF OF).
+  std::uint64_t threaded_ops() const { return threaded_ops_; }
+  std::uint64_t flag_elisions() const { return flag_elisions_; }
+
+  // Test hook: per-op elided-flag masks (isa::kFlag* bits) of the
+  // cached threaded block entered at `vaddr`, empty when no such block
+  // is cached.  Lets the liveness unit suite pin exact masks against
+  // blocks the real trace builder produced.
+  std::vector<std::uint8_t> block_elision_masks(std::uint32_t vaddr) const;
 
   // Virtual-memory accessors for the host (debugger/loader view).
   // They use the current privilege translation but never trap; failures
@@ -177,6 +205,14 @@ class Cpu {
   bool peek8(std::uint32_t vaddr, std::uint8_t& value);
 
  private:
+  // The per-opcode handler functions live in cpu.cc; each one is the
+  // body of the old execute() switch case, templated on whether the
+  // arithmetic flag computation is performed.  `execute` dispatches
+  // through the full-flag handler table, so step() and the threaded
+  // engine share a single implementation of every opcode.
+  friend struct OpHandlers;
+  using HandlerFn = bool (*)(Cpu&, const isa::Instruction&);
+
   // Raises a trap against the current instruction (eip_ points at it).
   // Returns false if delivery escalated into a dead CPU.
   bool raise(isa::Trap trap, std::uint32_t error_code, std::uint32_t addr);
@@ -241,11 +277,23 @@ class Cpu {
   // With chaining enabled, blocks widen into traces across direct jmp
   // and call (statically known targets), so op addresses need not be
   // contiguous — every op carries its own vaddr.
+  // Field order keeps the struct at 72 bytes (fn before instr avoids
+  // alignment padding) with the threaded hot path's fields — fn, the
+  // instruction, and the guard flags — packed up front.
   struct MicroOp {
     std::uint32_t vaddr = 0;     // instruction-start virtual address
     std::uint32_t paddr = 0;     // fetch identity: physical address...
-    std::uint64_t version = 0;   // ...and code-page version at decode
+    // Threaded dispatch (resolved at build time, unused otherwise):
+    // the handler pointer (a no-flags variant when `elided` != 0), the
+    // isa::kFlag* mask of elided flag writes, and whether the per-op
+    // page-version guard must run (only ops after an in-trace memory
+    // write can observe a version bump mid-dispatch; everything else
+    // is covered by the whole-trace prevalidation at entry).
+    HandlerFn fn = nullptr;
     isa::Instruction instr;
+    std::uint8_t elided = 0;
+    bool verify = false;
+    std::uint64_t version = 0;   // code-page version at decode
   };
   // A monomorphic successor link: the last observed branch target and
   // the cache slot it resolved to.  Never trusted blind — every follow
@@ -263,6 +311,20 @@ class Cpu {
     std::uint32_t vmax = 0;
     ChainLink links[2];             // [0] taken/target, [1] fall-through
     std::vector<MicroOp> ops;
+    // Threaded-mode state.  `threaded` marks that fn/elided/verify are
+    // resolved (a block built under one mode never runs under the
+    // other).  `pages` holds the distinct (code page, version) pairs
+    // the trace spans BEYOND the entry page — the entry page is
+    // already version-checked by every cache probe and chain-link
+    // validation, and most traces span only it, so the common-case
+    // pages_fresh() is an empty-vector check.  Re-validated at every
+    // entry and chain follow: a flip or restore-driven version bump
+    // anywhere in the trace forces a rebuild before any elided op can
+    // run, because the elision proof assumes all guards hold at
+    // dispatch entry.
+    bool threaded = false;
+    std::uint64_t elided_writes = 0;  // popcount sum over ops[].elided
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> pages;
   };
   static constexpr std::uint32_t kNoBlock = 0xFFFFFFFF;
   static constexpr std::uint32_t kBlockCacheSize = 4096;  // power of two
@@ -289,8 +351,32 @@ class Cpu {
   // address in the block (the stepper only triggers on exact starts).
   bool breakpoints_clear(const Block& blk) const;
 
+  // Threaded-mode whole-trace prevalidation: every code page the block
+  // spans past the entry page (checked separately by the caller) still
+  // holds its build-time write version.
+  bool pages_fresh(const Block& blk) const {
+    for (const auto& [page, version] : blk.pages) {
+      if (memory_.page_version(page) != version) return false;
+    }
+    return true;
+  }
+
+  // Resolves handler pointers, verify guards, and the flag-liveness
+  // elision for a freshly built block (threaded mode only).
+  void thread_block(Block& blk);
+
+  // Drops the whole trace cache (dispatch-mode changes).
+  void drop_all_blocks();
+
+  // The dispatch loop, templated on the engine so the threaded hot
+  // path pays no per-op mode branches.
+  template <bool kThreaded>
+  std::size_t run_block_impl(std::uint64_t max_instructions, const bool* stop,
+                             CpuEvent& event);
+
   std::vector<Block> block_cache_;
   bool chain_enabled_ = false;
+  bool threaded_ = false;
   std::uint64_t blocks_built_ = 0;
   std::uint64_t block_hits_ = 0;
   std::uint64_t block_fallbacks_ = 0;
@@ -299,6 +385,8 @@ class Cpu {
   std::uint64_t chain_follows_ = 0;
   std::uint64_t chain_breaks_ = 0;
   std::uint64_t trace_len_ = 0;
+  std::uint64_t threaded_ops_ = 0;
+  std::uint64_t flag_elisions_ = 0;
 
   TrapRecord last_trap_;
 

@@ -246,6 +246,40 @@ TEST(Injector, ChainedEngineFlipSeversChainsAndMatchesStep) {
   EXPECT_EQ(step_inj.perf_stats().block_ops, 0u);
 }
 
+TEST(Injector, ThreadedEngineFlipInvalidatesHandlersAndMatchesStep) {
+  // Same contract as the chained test, but against the direct-threaded
+  // engine: a flip landing inside a trace whose micro-ops already
+  // carry resolved handler pointers and elided flag masks must
+  // invalidate that cached state (the page-version bump forces a
+  // rebuild, so stale no-flags handlers can never run over patched
+  // bytes) and re-derive exactly the stepper's outcome, activation
+  // cycle, and fault latency.
+  const kernel::KernelFunction* fn = image().function("pipe_read");
+  ASSERT_NE(fn, nullptr);
+  const auto sites = enumerate_function(image(), *fn);
+  const InjectionSpec spec = spec_for("pipe_read", sites[2], 0, 5, "pipe",
+                                      Campaign::RandomNonBranch);
+  InjectorOptions step_options;
+  step_options.exec_engine = machine::ExecEngine::Step;
+  InjectorOptions thread_options;
+  thread_options.exec_engine = machine::ExecEngine::Threaded;
+  Injector step_inj(step_options);
+  Injector thread_inj(thread_options);
+
+  const InjectionResult a = step_inj.run_one(spec);
+  const InjectionResult b = thread_inj.run_one(spec);
+  EXPECT_EQ(a.outcome, b.outcome) << outcome_name(b.outcome);
+  EXPECT_EQ(a.activation_cycle, b.activation_cycle);
+  EXPECT_EQ(a.cause, b.cause);
+  EXPECT_EQ(a.latency_cycles, b.latency_cycles);
+  EXPECT_EQ(a.propagated, b.propagated);
+
+  EXPECT_GT(thread_inj.perf_stats().threaded_ops, 0u);
+  EXPECT_GT(thread_inj.perf_stats().flag_elisions, 0u);
+  EXPECT_GE(thread_inj.perf_stats().block_invalidations, 1u)
+      << "the flip site must invalidate the threaded trace under it";
+}
+
 TEST(Campaign, SmallCampaignCProducesPlausibleMix) {
   CampaignConfig config;
   config.campaign = Campaign::IncorrectBranch;

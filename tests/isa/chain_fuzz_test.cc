@@ -1,18 +1,20 @@
 // Differential fuzz battery guarding the engine identity contract.
 //
 // Every seeded program from the shape generator (program_fuzz.h) runs
-// three times — through the stepping engine, the one-block-per-dispatch
-// superblock engine, and the chained engine — and every run-visible
-// outcome must be bit-identical: registers, flags, eip, cpl, cycle
-// count, halt/dead state, the trap delivery sequence, every RAM page
-// either engine dirtied, and the MMU's TLB-mutation epoch (the chained
-// engine's inline translate cache may only skip translations that are
-// provably TLB hits, so fill histories must match the stepper's).
+// four times — through the stepping engine, the one-block-per-dispatch
+// superblock engine, the chained engine, and the direct-threaded engine
+// with flag-liveness elision — and every run-visible outcome must be
+// bit-identical: registers, the full Flags word at every trap delivery
+// and at the end of the run, eip, cpl, cycle count, halt/dead state,
+// the trap delivery sequence, every RAM page any engine dirtied, and
+// the MMU's TLB-mutation epoch (the chained engine's inline translate
+// cache may only skip translations that are provably TLB hits, so fill
+// histories must match the stepper's).
 //
-// The three rigs are reused across seeds: a pristine post-setup
+// The four rigs are reused across seeds: a pristine post-setup
 // snapshot is restored before each program (O(dirtied pages), and the
 // restore bumps page versions, which invalidates stale cached blocks),
-// so the 1200-seed battery stays cheap enough for tier-1.
+// so the 1600-seed battery stays cheap enough for tier-1.
 //
 // Failing seeds are appended to chain_fuzz_failures.txt in the working
 // directory; CI uploads that file as an artifact on failure so a
@@ -42,7 +44,17 @@ constexpr std::uint32_t kCodeVirt = 0xC0105000;  // page-aligned kernel text
 constexpr std::uint32_t kDataVirt = 0xC0200000;
 constexpr std::uint32_t kHandlerVirt = 0xC0110000;
 
-enum class Engine { Step, Block, Chained };
+enum class Engine { Step, Block, Chained, Threaded };
+
+const char* engine_name(Engine e) {
+  switch (e) {
+    case Engine::Step: return "step";
+    case Engine::Block: return "block";
+    case Engine::Chained: return "chained";
+    case Engine::Threaded: return "threaded";
+  }
+  return "?";
+}
 
 // One reusable differential rig.  Construction (16 MiB zero fill, page
 // tables, snapshot capture) happens once per battery; reset() restores
@@ -64,7 +76,8 @@ struct FuzzRig {
     cpu.set_vector(0x80, kHandlerVirt);
     cpu.set_vector(0x20, kHandlerVirt);
     memory.fill(phys_of_virt(kHandlerVirt), 64, 0xF4);  // hlt
-    cpu.set_chaining(engine == Engine::Chained);
+    cpu.set_chaining(engine == Engine::Chained || engine == Engine::Threaded);
+    cpu.set_threaded(engine == Engine::Threaded);
     pristine = memory.snapshot_pages();
   }
 
@@ -88,6 +101,9 @@ struct TrapSeen {
   Trap trap;
   std::uint64_t cycle;
   std::uint32_t faulting_eip;
+  // Full flags word right after delivery: the threaded engine's elision
+  // must never leave a stale flag visible at any trap stop.
+  std::uint32_t flags_word;
 
   bool operator==(const TrapSeen&) const = default;
 };
@@ -111,7 +127,8 @@ Outcome run_engine(FuzzRig& rig, std::uint64_t max_cycles) {
     if (event.trap_taken) {
       out.traps.push_back({rig.cpu.last_trap().trap,
                            rig.cpu.last_trap().cycle,
-                           rig.cpu.last_trap().faulting_eip});
+                           rig.cpu.last_trap().faulting_eip,
+                           rig.cpu.flags().to_word()});
     }
     if (event.kind != CpuEventKind::Executed) break;
   }
@@ -175,7 +192,8 @@ void run_battery(Shape shape, int num_seeds) {
   FuzzRig step_rig(Engine::Step);
   FuzzRig block_rig(Engine::Block);
   FuzzRig chain_rig(Engine::Chained);
-  FuzzRig* rigs[3] = {&step_rig, &block_rig, &chain_rig};
+  FuzzRig thread_rig(Engine::Threaded);
+  FuzzRig* rigs[4] = {&step_rig, &block_rig, &chain_rig, &thread_rig};
 
   std::vector<std::uint64_t> failures;
   for (std::uint64_t seed = 1;
@@ -187,14 +205,14 @@ void run_battery(Shape shape, int num_seeds) {
         << ": generator produced an unencodable program";
     ASSERT_LT(prog.bytes.size(), 2u * kPageSize);
 
-    Outcome outs[3];
-    std::vector<std::uint64_t> base[3];
-    for (int i = 0; i < 3; ++i) {
+    Outcome outs[4];
+    std::vector<std::uint64_t> base[4];
+    for (int i = 0; i < 4; ++i) {
       rigs[i]->reset(prog.bytes);
       base[i] = rigs[i]->memory.page_versions();
       outs[i] = run_engine(*rigs[i], prog.max_cycles);
     }
-    for (int i = 1; i < 3; ++i) {
+    for (int i = 1; i < 4; ++i) {
       const std::string err = compare_rigs(step_rig, *rigs[i], outs[0],
                                            outs[i], base[0], base[i]);
       if (!err.empty()) {
@@ -203,8 +221,8 @@ void run_battery(Shape shape, int num_seeds) {
         }
         if (failures.size() <= 10) {
           ADD_FAILURE() << isa::fuzz::shape_name(shape) << " seed " << seed
-                        << " (step vs "
-                        << (i == 1 ? "block" : "chained") << "): " << err;
+                        << " (step vs " << engine_name(rigs[i]->engine)
+                        << "): " << err;
         }
       }
     }
@@ -227,21 +245,30 @@ void run_battery(Shape shape, int num_seeds) {
   // The battery must actually exercise the machinery it guards.
   EXPECT_GT(block_rig.cpu.block_ops(), 0u);
   EXPECT_GT(chain_rig.cpu.block_ops(), 0u);
+  EXPECT_GT(thread_rig.cpu.threaded_ops(), 0u)
+      << "threaded rig never dispatched through handler pointers";
   EXPECT_EQ(step_rig.cpu.block_ops(), 0u);
   if (shape == Shape::TightLoops || shape == Shape::BranchLadder ||
-      shape == Shape::SmcChain) {
+      shape == Shape::SmcChain || shape == Shape::DeadFlags ||
+      shape == Shape::FlagEdge) {
     EXPECT_GT(chain_rig.cpu.chain_follows(), 0u)
         << "shape never followed a chain link";
   }
+  if (shape == Shape::DeadFlags) {
+    EXPECT_GT(thread_rig.cpu.flag_elisions(), 0u)
+        << "dead-flag runs never tripped the liveness elision";
+  }
 }
 
-// 6 shapes x 200 seeds = 1200 differential programs in tier-1.
+// 8 shapes x 200 seeds = 1600 differential programs in tier-1.
 TEST(ChainFuzz, Mixed) { run_battery(Shape::Mixed, 200); }
 TEST(ChainFuzz, TightLoops) { run_battery(Shape::TightLoops, 200); }
 TEST(ChainFuzz, BranchLadder) { run_battery(Shape::BranchLadder, 200); }
 TEST(ChainFuzz, SmcChain) { run_battery(Shape::SmcChain, 200); }
 TEST(ChainFuzz, CrossPage) { run_battery(Shape::CrossPage, 200); }
 TEST(ChainFuzz, CallRet) { run_battery(Shape::CallRet, 200); }
+TEST(ChainFuzz, DeadFlags) { run_battery(Shape::DeadFlags, 200); }
+TEST(ChainFuzz, FlagEdge) { run_battery(Shape::FlagEdge, 200); }
 
 // Generator sanity: every emitted byte stream decodes cleanly end to
 // end (padding included), and regenerating a seed is deterministic.

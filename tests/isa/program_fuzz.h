@@ -183,6 +183,13 @@ inline Instruction jcc(Cond cond, int /*placeholder*/ = 0) {
   i.cond = cond;
   return i;
 }
+inline Instruction setcc(Cond cond, Reg r) {
+  Instruction i;
+  i.op = Op::Setcc;
+  i.cond = cond;
+  i.dst = Operand::make_reg8(r);
+  return i;
+}
 inline Instruction jmp() {
   Instruction i;
   i.op = Op::Jmp;
@@ -203,11 +210,14 @@ enum class Shape {
   SmcChain,     // a loop that rewrites an already-chained successor block
   CrossPage,    // fall-through and jumps across a page boundary
   CallRet,      // call/ret webs — CallInd-free but stack-driven successors
+  DeadFlags,    // long dead-flag ALU runs ended by a live cmp + jcc
+  FlagEdge,     // flag producer/consumer pairs straddling chain edges
 };
 
 inline constexpr Shape kAllShapes[] = {
     Shape::Mixed,      Shape::TightLoops, Shape::BranchLadder,
     Shape::SmcChain,   Shape::CrossPage,  Shape::CallRet,
+    Shape::DeadFlags,  Shape::FlagEdge,
 };
 
 inline const char* shape_name(Shape s) {
@@ -218,6 +228,8 @@ inline const char* shape_name(Shape s) {
     case Shape::SmcChain: return "smc_chain";
     case Shape::CrossPage: return "cross_page";
     case Shape::CallRet: return "call_ret";
+    case Shape::DeadFlags: return "dead_flags";
+    case Shape::FlagEdge: return "flag_edge";
   }
   return "?";
 }
@@ -473,6 +485,87 @@ inline void gen_call_ret(Asm& a, Rng& rng) {
   }
 }
 
+inline void gen_dead_flags(Asm& a, Rng& rng) {
+  // Long straight-line runs of register-only ALU ops whose flag writes
+  // are all dead — each op's flags are clobbered by a later op before
+  // any consumer reads them — closed by a cmp/jcc pair whose flags ARE
+  // live, all inside a countdown loop so chained traces re-follow the
+  // run.  The threaded engine's liveness pass should elide almost the
+  // whole run; the differential battery proves the elision is
+  // invisible.  Inc/Dec (CF preserved) and Neg are mixed in so partial
+  // kill masks get exercised, not just the all-five ALU kills.
+  static constexpr Op kAlu[] = {Op::Add, Op::Sub, Op::Xor, Op::Or, Op::And};
+  static constexpr Reg kSpare[] = {Reg::Eax, Reg::Ecx, Reg::Edx, Reg::Ebx};
+  a.add(mov_ri(Reg::Edi, 2 + static_cast<std::int32_t>(rng.below(4))));
+  const int top = a.next_index();
+  const int run = 8 + static_cast<int>(rng.below(24));
+  for (int i = 0; i < run; ++i) {
+    switch (rng.below(4)) {
+      case 0:
+        a.add(alu_rr(kAlu[rng.below(5)], kSpare[rng.below(4)],
+                     kSpare[rng.below(4)]));
+        break;
+      case 1:
+        a.add(unary(rng.below(2) ? Op::Inc : Op::Dec, kSpare[rng.below(4)]));
+        break;
+      case 2:
+        a.add(unary(Op::Neg, kSpare[rng.below(4)]));
+        break;
+      default:
+        a.add(mov_ri(kSpare[rng.below(4)],
+                     static_cast<std::int32_t>(rng.next_u32())));
+        break;
+    }
+  }
+  // The run's only live flags: a cmp consumed by a one-instruction skip.
+  a.add(alu_rr(Op::Cmp, kSpare[rng.below(4)], kSpare[rng.below(4)]));
+  const int skip = a.branch(jcc(static_cast<Cond>(rng.below(16))), 0);
+  a.add(mov_ri(kSpare[rng.below(4)],
+               static_cast<std::int32_t>(rng.next_u32())));
+  a.set_target(skip, a.next_index());
+  a.add(unary(Op::Dec, Reg::Edi));
+  a.branch(jcc(Cond::Ne), top);
+}
+
+inline void gen_flag_edge(Asm& a, Rng& rng) {
+  // Segments where the flag producer is the LAST op before a chain edge
+  // and the consumer (setcc or jcc) is the FIRST op of the successor
+  // block: if chain edges were not treated as full-liveness boundaries,
+  // the producer's flags would look dead inside its own block and be
+  // elided, and the successor would branch on stale flags.  A countdown
+  // loop re-follows the patched links so the second pass runs through
+  // already-threaded traces.
+  a.add(mov_ri(Reg::Edi, 2 + static_cast<std::int32_t>(rng.below(3))));
+  a.add(mov_ri(Reg::Esi, 0));
+  const int top = a.next_index();
+  const int segs = 3 + static_cast<int>(rng.below(4));
+  for (int s = 0; s < segs; ++s) {
+    emit_safe_body(a, rng, 1 + static_cast<int>(rng.below(3)));
+    // Producer right at the edge.  Cmp/Test write flags without
+    // touching registers; Add/Sub also mutate the register file.
+    static constexpr Op kProd[] = {Op::Cmp, Op::Test, Op::Add, Op::Sub};
+    a.add(alu_rr(kProd[rng.below(4)], scratch(rng), scratch(rng)));
+    // The edge: jmp chains via the target link, jcc via target or
+    // fall-through — both aimed at the consumer.
+    const int edge = a.branch(
+        rng.below(2) ? jmp() : jcc(static_cast<Cond>(rng.below(16))), 0);
+    a.set_target(edge, a.next_index());
+    // Consumer straddles the edge: first op of the successor block.
+    if (rng.below(2) == 0) {
+      a.add(setcc(static_cast<Cond>(rng.below(16)), scratch(rng)));
+    } else {
+      const int skip = a.branch(jcc(static_cast<Cond>(rng.below(16))), 0);
+      a.add(mov_ri(scratch(rng), static_cast<std::int32_t>(rng.next_u32())));
+      a.set_target(skip, a.next_index());
+    }
+    // Accumulate so every segment's outcome stays run-visible even if
+    // later filler overwrites the scratch registers.
+    a.add(alu_rr(Op::Add, Reg::Esi, scratch(rng)));
+  }
+  a.add(unary(Op::Dec, Reg::Edi));
+  a.branch(jcc(Cond::Ne), top);
+}
+
 }  // namespace detail
 
 // Generates the seeded program for `shape`.  `code_virt` must be
@@ -500,6 +593,12 @@ inline FuzzProgram generate(Shape shape, std::uint64_t seed,
       break;
     case Shape::CallRet:
       detail::gen_call_ret(a, rng);
+      break;
+    case Shape::DeadFlags:
+      detail::gen_dead_flags(a, rng);
+      break;
+    case Shape::FlagEdge:
+      detail::gen_flag_edge(a, rng);
       break;
   }
   if (shape != Shape::BranchLadder) a.add(nullary(Op::Hlt));

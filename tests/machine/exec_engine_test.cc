@@ -1,10 +1,13 @@
 // Machine-level cross-engine identity: whole golden runs, checkpoint
 // ladders, and a smoke injection campaign executed under
-// ExecEngine::Step, ExecEngine::Block, and ExecEngine::Chained must
-// produce bit-identical run-visible state — state_digest(), console,
-// cycle counts, exits — plus identical TLB-fill histories (the chained
-// engine's inline translate cache may only skip provable TLB hits) and
-// bit-exact timer delivery under adversarial tick periods.
+// ExecEngine::Step, ExecEngine::Block, ExecEngine::Chained, and
+// ExecEngine::Threaded must produce bit-identical run-visible state —
+// state_digest(), console, cycle counts, exits — plus identical
+// TLB-fill histories (the chained engine's inline translate cache may
+// only skip provable TLB hits) and bit-exact timer delivery under
+// adversarial tick periods.  Threaded additionally elides provably
+// dead flag writes, so these comparisons are also the machine-level
+// proof that the liveness analysis never drops a live flag.
 #include "machine/machine.h"
 
 #include <gtest/gtest.h>
@@ -21,6 +24,16 @@ namespace {
 
 constexpr std::uint64_t kRunBudget = 30'000'000;
 
+const char* engine_name(ExecEngine engine) {
+  switch (engine) {
+    case ExecEngine::Step: return "step";
+    case ExecEngine::Block: return "block";
+    case ExecEngine::Chained: return "chained";
+    case ExecEngine::Threaded: return "threaded";
+  }
+  return "?";
+}
+
 std::unique_ptr<Machine> make_machine(const std::string& workload,
                                       ExecEngine engine) {
   static const disk::DiskImage root_disk = make_root_disk();
@@ -33,37 +46,45 @@ std::unique_ptr<Machine> make_machine(const std::string& workload,
 
 TEST(ExecEngine, GoldenRunIdenticalAcrossEngines) {
   auto step_m = make_machine("syscall", ExecEngine::Step);
-  auto block_m = make_machine("syscall", ExecEngine::Block);
-  auto chain_m = make_machine("syscall", ExecEngine::Chained);
   ASSERT_TRUE(step_m->boot()) << step_m->console_output();
-  ASSERT_TRUE(block_m->boot()) << block_m->console_output();
-  ASSERT_TRUE(chain_m->boot()) << chain_m->console_output();
-
   const RunResult a = step_m->run(kRunBudget);
-  const RunResult b = block_m->run(kRunBudget);
-  const RunResult c = chain_m->run(kRunBudget);
   ASSERT_EQ(a.exit, RunExit::Completed);
-  ASSERT_EQ(b.exit, RunExit::Completed);
-  ASSERT_EQ(c.exit, RunExit::Completed);
-  EXPECT_EQ(a.exit_code, b.exit_code);
-  EXPECT_EQ(a.exit_code, c.exit_code);
-  EXPECT_EQ(step_m->cpu().cycles(), block_m->cpu().cycles());
-  EXPECT_EQ(step_m->cpu().cycles(), chain_m->cpu().cycles());
-  EXPECT_EQ(step_m->console_output(), block_m->console_output());
-  EXPECT_EQ(step_m->console_output(), chain_m->console_output());
-  EXPECT_EQ(step_m->state_digest(), block_m->state_digest());
-  EXPECT_EQ(step_m->state_digest(), chain_m->state_digest());
-  // The block machines actually used their engines.
-  EXPECT_GT(block_m->perf_stats().block_ops, 0u);
-  EXPECT_EQ(block_m->perf_stats().chain_follows, 0u);
-  EXPECT_GT(chain_m->perf_stats().chain_follows, 0u);
   EXPECT_EQ(step_m->perf_stats().block_ops, 0u);
-  // TLB-fill determinism: the MMU epoch counts every TLB mutation
-  // (fills and flushes).  The chained engine's inline translate cache
-  // and the block builder's non-filling Mmu::peek must leave the fill
-  // history bit-identical to the stepper's.
-  EXPECT_EQ(step_m->cpu().mmu().epoch(), block_m->cpu().mmu().epoch());
-  EXPECT_EQ(step_m->cpu().mmu().epoch(), chain_m->cpu().mmu().epoch());
+
+  for (const ExecEngine engine :
+       {ExecEngine::Block, ExecEngine::Chained, ExecEngine::Threaded}) {
+    SCOPED_TRACE(engine_name(engine));
+    auto block_m = make_machine("syscall", engine);
+    ASSERT_TRUE(block_m->boot()) << block_m->console_output();
+    const RunResult b = block_m->run(kRunBudget);
+    ASSERT_EQ(b.exit, RunExit::Completed);
+    EXPECT_EQ(a.exit_code, b.exit_code);
+    EXPECT_EQ(step_m->cpu().cycles(), block_m->cpu().cycles());
+    EXPECT_EQ(step_m->console_output(), block_m->console_output());
+    EXPECT_EQ(step_m->state_digest(), block_m->state_digest());
+    // The block machines actually used their engines.
+    const PerfStats stats = block_m->perf_stats();
+    EXPECT_GT(stats.block_ops, 0u);
+    if (engine == ExecEngine::Block) {
+      EXPECT_EQ(stats.chain_follows, 0u);
+    } else {
+      EXPECT_GT(stats.chain_follows, 0u);
+    }
+    if (engine == ExecEngine::Threaded) {
+      // Direct-threaded dispatch retired ops through handler pointers
+      // and the liveness pass actually elided dead flag writes.
+      EXPECT_GT(stats.threaded_ops, 0u);
+      EXPECT_GT(stats.flag_elisions, 0u);
+    } else {
+      EXPECT_EQ(stats.threaded_ops, 0u);
+      EXPECT_EQ(stats.flag_elisions, 0u);
+    }
+    // TLB-fill determinism: the MMU epoch counts every TLB mutation
+    // (fills and flushes).  The chained engine's inline translate cache
+    // and the block builder's non-filling Mmu::peek must leave the fill
+    // history bit-identical to the stepper's.
+    EXPECT_EQ(step_m->cpu().mmu().epoch(), block_m->cpu().mmu().epoch());
+  }
 }
 
 TEST(ExecEngine, CheckpointLadderIdenticalAcrossEngines) {
@@ -80,8 +101,9 @@ TEST(ExecEngine, CheckpointLadderIdenticalAcrossEngines) {
       base + total / 8, base + total / 3, base + (2 * total) / 3};
   auto cks_a = step_m->capture_checkpoints(rungs, kRunBudget);
 
-  for (const ExecEngine engine : {ExecEngine::Block, ExecEngine::Chained}) {
-    SCOPED_TRACE(engine == ExecEngine::Block ? "block" : "chained");
+  for (const ExecEngine engine :
+       {ExecEngine::Block, ExecEngine::Chained, ExecEngine::Threaded}) {
+    SCOPED_TRACE(engine_name(engine));
     auto block_m = make_machine("syscall", engine);
     ASSERT_TRUE(block_m->boot());
     // With chaining on, every rung cycle falls mid-chain somewhere in
@@ -124,8 +146,9 @@ TEST(ExecEngine, SmokeCampaignIdenticalAcrossEngines) {
       step_inj, profile::default_profile(),
       check::smoke_config(inject::Campaign::RandomNonBranch));
 
-  for (const ExecEngine engine : {ExecEngine::Block, ExecEngine::Chained}) {
-    SCOPED_TRACE(engine == ExecEngine::Block ? "block" : "chained");
+  for (const ExecEngine engine :
+       {ExecEngine::Block, ExecEngine::Chained, ExecEngine::Threaded}) {
+    SCOPED_TRACE(engine_name(engine));
     inject::InjectorOptions block_options;
     block_options.exec_engine = engine;
     inject::Injector block_inj(block_options);
@@ -145,8 +168,11 @@ TEST(ExecEngine, SmokeCampaignIdenticalAcrossEngines) {
       if (++shown == 3) break;
     }
     EXPECT_GT(block_inj.perf_stats().block_ops, 0u);
-    if (engine == ExecEngine::Chained) {
+    if (engine != ExecEngine::Block) {
       EXPECT_GT(block_inj.perf_stats().chain_follows, 0u);
+    }
+    if (engine == ExecEngine::Threaded) {
+      EXPECT_GT(block_inj.perf_stats().threaded_ops, 0u);
     }
   }
 }
@@ -159,10 +185,11 @@ TEST(ExecEngine, TimerPeriodSweepChainedMatchesStep) {
   static const disk::DiskImage root_disk = make_root_disk();
   for (const std::uint32_t period : {977u, 1361u}) {
     SCOPED_TRACE(period);
-    std::uint64_t digests[2];
-    std::uint64_t cycles[2];
+    std::uint64_t digests[3];
+    std::uint64_t cycles[3];
     int i = 0;
-    for (const ExecEngine engine : {ExecEngine::Step, ExecEngine::Chained}) {
+    for (const ExecEngine engine :
+         {ExecEngine::Step, ExecEngine::Chained, ExecEngine::Threaded}) {
       MachineOptions options;
       options.exec_engine = engine;
       options.timer_period = period;
@@ -172,13 +199,17 @@ TEST(ExecEngine, TimerPeriodSweepChainedMatchesStep) {
       ASSERT_EQ(m.run(kRunBudget).exit, RunExit::Completed);
       digests[i] = m.state_digest();
       cycles[i] = m.cpu().cycles();
-      if (engine == ExecEngine::Chained) {
+      if (engine != ExecEngine::Step) {
         EXPECT_GT(m.perf_stats().chain_follows, 0u);
       }
       ++i;
     }
-    EXPECT_EQ(digests[0], digests[1]) << "state diverged at period " << period;
-    EXPECT_EQ(cycles[0], cycles[1]) << "cycles diverged at period " << period;
+    for (int j = 1; j < 3; ++j) {
+      EXPECT_EQ(digests[0], digests[j])
+          << "state diverged at period " << period << " engine " << j;
+      EXPECT_EQ(cycles[0], cycles[j])
+          << "cycles diverged at period " << period << " engine " << j;
+    }
   }
 }
 
@@ -190,6 +221,8 @@ TEST(ExecEngine, DefaultsFromEnvironment) {
     EXPECT_EQ(def, ExecEngine::Block);
   } else if (env != nullptr && std::string_view(env) == "chained") {
     EXPECT_EQ(def, ExecEngine::Chained);
+  } else if (env != nullptr && std::string_view(env) == "threaded") {
+    EXPECT_EQ(def, ExecEngine::Threaded);
   } else {
     EXPECT_EQ(def, ExecEngine::Step);
   }

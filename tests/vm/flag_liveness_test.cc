@@ -1,0 +1,468 @@
+// Unit and differential tests for the flag-liveness analysis behind the
+// direct-threaded engine's dead-flag elision (isa/flags_meta and
+// Cpu::thread_block).
+//
+// The differential fuzz battery proves the elision is invisible at
+// scale; these tests pin the *mechanism* — per-opcode flag effects,
+// the backward liveness masks on hand-built sequences, the boundary
+// conservatism rules (trap-capable ops, guard boundaries, chain edges,
+// armed breakpoints), and the exact per-op elision masks the cpu
+// derives for a real block — so a regression reports as "wrong mask at
+// op 3" rather than "digest diverged somewhere".
+#include "isa/flags_meta.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../isa/program_fuzz.h"
+#include "vm/cpu.h"
+#include "vm/hostmap.h"
+#include "vm/snapshot.h"
+
+namespace kfi::vm {
+namespace {
+
+using isa::Cond;
+using isa::FlagEffects;
+using isa::Flags;
+using isa::Instruction;
+using isa::kFlagAll;
+using isa::kFlagCF;
+using isa::kFlagOF;
+using isa::kFlagPF;
+using isa::kFlagSF;
+using isa::kFlagZF;
+using isa::LiveOp;
+using isa::Op;
+using isa::Reg;
+using isa::fuzz::Asm;
+using isa::fuzz::alu_rr;
+using isa::fuzz::jcc;
+using isa::fuzz::mem_op;
+using isa::fuzz::mov_ri;
+using isa::fuzz::nullary;
+using isa::fuzz::unary;
+
+constexpr std::uint32_t kCodeVirt = 0xC0105000;  // page-aligned
+constexpr std::uint32_t kDataVirt = 0xC0200000;
+constexpr std::uint32_t kHandlerVirt = 0xC0110000;
+
+// --- flag_effects: the per-opcode metadata must match the executor ----
+
+FlagEffects fx_of(Op op) {
+  Instruction in;
+  in.op = op;
+  in.dst = isa::Operand::make_reg(Reg::Eax);
+  in.src = isa::Operand::make_reg(Reg::Ecx);
+  return isa::flag_effects(in);
+}
+
+TEST(FlagEffects, PinnedPerOpcode) {
+  for (const Op op : {Op::Add, Op::Sub, Op::Cmp, Op::Or, Op::And, Op::Xor,
+                      Op::Test}) {
+    const FlagEffects fx = fx_of(op);
+    EXPECT_EQ(fx.writes, kFlagAll) << isa::op_name(op);
+    EXPECT_EQ(fx.kills, kFlagAll) << isa::op_name(op);
+    EXPECT_EQ(fx.reads, 0) << isa::op_name(op);
+    EXPECT_FALSE(fx.may_trap) << isa::op_name(op);
+  }
+  // Inc/Dec preserve CF: a partial kill, the case the masks exist for.
+  for (const Op op : {Op::Inc, Op::Dec}) {
+    const FlagEffects fx = fx_of(op);
+    EXPECT_EQ(fx.writes, kFlagPF | kFlagZF | kFlagSF | kFlagOF);
+    EXPECT_EQ(fx.kills, fx.writes);
+  }
+  EXPECT_EQ(fx_of(Op::Mul).writes, kFlagCF | kFlagZF | kFlagSF | kFlagOF);
+  EXPECT_EQ(fx_of(Op::Imul).writes, kFlagCF | kFlagOF);
+  EXPECT_EQ(fx_of(Op::Mov).writes, 0);
+  EXPECT_EQ(fx_of(Op::Not).writes, 0);
+  // Division writes nothing but can always raise #DE: never elidable,
+  // always a liveness boundary.
+  EXPECT_TRUE(fx_of(Op::Div).may_trap);
+  EXPECT_TRUE(fx_of(Op::Idiv).may_trap);
+  // Stack ops trap on stack faults; iret additionally restores the
+  // whole flag word from the frame.
+  EXPECT_TRUE(fx_of(Op::Push).may_trap);
+  EXPECT_TRUE(fx_of(Op::Ret).may_trap);
+  EXPECT_TRUE(fx_of(Op::Iret).may_trap);
+  EXPECT_EQ(fx_of(Op::Iret).writes, kFlagAll);
+  EXPECT_TRUE(fx_of(Op::Sti).may_trap);
+  EXPECT_TRUE(fx_of(Op::Int).may_trap);
+  EXPECT_TRUE(fx_of(Op::Ud2).may_trap);
+  // Any memory operand can fault mid-instruction.
+  Instruction load = mem_op(Op::Mov, Reg::Eax, Reg::Esi, 0, /*load=*/true);
+  EXPECT_TRUE(isa::flag_effects(load).may_trap);
+}
+
+TEST(FlagEffects, ShiftCountDisambiguation) {
+  Instruction sh;
+  sh.op = Op::Shl;
+  sh.dst = isa::Operand::make_reg(Reg::Eax);
+  sh.src = isa::Operand::make_imm(0);
+  EXPECT_EQ(isa::flag_effects(sh).writes, 0);  // shift by 0: no flags
+  sh.src = isa::Operand::make_imm(1);
+  EXPECT_EQ(isa::flag_effects(sh).writes, kFlagAll);  // count 1 writes OF
+  sh.src = isa::Operand::make_imm(4);
+  EXPECT_EQ(isa::flag_effects(sh).writes,
+            kFlagCF | kFlagPF | kFlagZF | kFlagSF);  // OF only at count 1
+}
+
+// cond_flags must name a superset of the flags cond_holds actually
+// reads: toggling any bit outside the mask can never change the
+// verdict.  Exhaustive over all 16 conditions x 32 flag states.
+TEST(FlagEffects, CondFlagsCoversCondHolds) {
+  const auto flags_from_mask = [](std::uint8_t m) {
+    Flags f;
+    f.cf = m & kFlagCF;
+    f.pf = m & kFlagPF;
+    f.zf = m & kFlagZF;
+    f.sf = m & kFlagSF;
+    f.of = m & kFlagOF;
+    return f;
+  };
+  for (int c = 0; c < 16; ++c) {
+    const Cond cond = static_cast<Cond>(c);
+    const std::uint8_t mask = isa::cond_flags(cond);
+    for (std::uint8_t m = 0; m < 32; ++m) {
+      for (int bit = 0; bit < 5; ++bit) {
+        const std::uint8_t toggled =
+            static_cast<std::uint8_t>(m ^ (1u << bit));
+        if (((1u << bit) & mask) != 0) continue;
+        EXPECT_EQ(isa::cond_holds(cond, flags_from_mask(m)),
+                  isa::cond_holds(cond, flags_from_mask(toggled)))
+            << "cond " << c << " reads flag bit " << bit
+            << " outside its declared mask";
+      }
+    }
+  }
+}
+
+// --- flag_liveness: pinned masks on hand-built sequences -------------
+
+LiveOp plain(Op op) { return {fx_of(op), /*boundary=*/false}; }
+
+TEST(FlagLiveness, SequenceEndIsFullyLive) {
+  // Chain edges and terminators sit past the last op, where everything
+  // is observable: a lone ALU op is never elidable.
+  const isa::Liveness lv = isa::flag_liveness({plain(Op::Add)});
+  EXPECT_EQ(lv.live_after[0], kFlagAll);
+  EXPECT_EQ(lv.elidable[0], 0);
+}
+
+TEST(FlagLiveness, BackToBackKillsElideTheEarlierWrite) {
+  const isa::Liveness lv =
+      isa::flag_liveness({plain(Op::Add), plain(Op::Sub), plain(Op::Cmp)});
+  EXPECT_EQ(lv.elidable[0], kFlagAll);
+  EXPECT_EQ(lv.elidable[1], kFlagAll);
+  EXPECT_EQ(lv.elidable[2], 0);  // last writer feeds the trace end
+  EXPECT_EQ(lv.live_after[0], 0);
+  EXPECT_EQ(lv.live_after[2], kFlagAll);
+}
+
+TEST(FlagLiveness, PartialKillKeepsCarryAlive) {
+  // add; inc; jb; cmp — inc does not kill CF, so the add's CF write
+  // flows through it into the branch and the add cannot be elided
+  // (elision is all-or-nothing per handler variant, so one live bit
+  // pins the whole write).  The inc's own PF/ZF/SF/OF are dead — the
+  // branch reads only CF — so the inc still elides.
+  Instruction br;
+  br.op = Op::Jcc;
+  br.cond = Cond::B;  // reads CF
+  const isa::Liveness lv = isa::flag_liveness(
+      {plain(Op::Add), plain(Op::Inc), {isa::flag_effects(br), false},
+       plain(Op::Cmp)});
+  EXPECT_EQ(lv.live_after[0] & kFlagCF, kFlagCF);
+  EXPECT_EQ(lv.elidable[0], 0);
+  EXPECT_EQ(lv.elidable[1], kFlagPF | kFlagZF | kFlagSF | kFlagOF);
+  // Without the CF reader, the cmp's full kill makes both dead.
+  const isa::Liveness lv2 =
+      isa::flag_liveness({plain(Op::Add), plain(Op::Inc), plain(Op::Cmp)});
+  EXPECT_EQ(lv2.elidable[0], kFlagAll);
+  EXPECT_EQ(lv2.elidable[1], kFlagPF | kFlagZF | kFlagSF | kFlagOF);
+}
+
+TEST(FlagLiveness, ReaderKeepsExactlyItsFlagsLive) {
+  // add; jcc(e) — the branch reads ZF only, but the add writes all
+  // five, so the write is not elidable; live_after names just ZF plus
+  // whatever the trace end needs (the jcc is the last op here, so its
+  // own position is fully live).
+  Instruction br;
+  br.op = Op::Jcc;
+  br.cond = Cond::E;
+  const isa::Liveness lv = isa::flag_liveness(
+      {plain(Op::Add), {isa::flag_effects(br), false}, plain(Op::Cmp)});
+  EXPECT_EQ(lv.live_after[0] & kFlagZF, kFlagZF);
+  EXPECT_EQ(lv.elidable[0], 0);
+}
+
+TEST(FlagLiveness, BoundaryForcesFullLivenessBehindIt) {
+  // add; mov(guard boundary); sub — without the boundary the add would
+  // be dead; with it, execution may resume in the stepper before the
+  // mov, so the add's flags must be architecturally visible.
+  std::vector<LiveOp> ops = {plain(Op::Add), plain(Op::Mov), plain(Op::Sub)};
+  isa::Liveness lv = isa::flag_liveness(ops);
+  EXPECT_EQ(lv.elidable[0], kFlagAll);
+  ops[1].boundary = true;
+  lv = isa::flag_liveness(ops);
+  EXPECT_EQ(lv.live_after[0], kFlagAll);
+  EXPECT_EQ(lv.elidable[0], 0);
+}
+
+TEST(FlagLiveness, TrapCapableOpsAreBoundariesAndNeverElidable) {
+  // add; push; sub — push writes no flags but can fault into a trap
+  // frame that pushes the whole flag word: the add must stay exact.
+  const isa::Liveness lv =
+      isa::flag_liveness({plain(Op::Add), plain(Op::Push), plain(Op::Sub)});
+  EXPECT_EQ(lv.live_after[0], kFlagAll);
+  EXPECT_EQ(lv.elidable[0], 0);
+  EXPECT_EQ(lv.elidable[1], 0);
+  // Same for sti (pending-interrupt window) and iret (frame pop): both
+  // may_trap, so nothing before them is ever elided.
+  const isa::Liveness lv2 =
+      isa::flag_liveness({plain(Op::Add), plain(Op::Sti)});
+  EXPECT_EQ(lv2.elidable[0], 0);
+  const isa::Liveness lv3 =
+      isa::flag_liveness({plain(Op::Add), plain(Op::Iret)});
+  EXPECT_EQ(lv3.elidable[0], 0);
+}
+
+// --- Cpu::thread_block: masks derived for a real cached trace --------
+
+struct Rig {
+  PhysicalMemory memory;
+  Bus bus;
+  Cpu cpu;
+
+  explicit Rig(bool threaded = true) : memory(kRamSize), cpu(memory, bus) {
+    HostMapper mapper(memory, kBootPgdPhys, kKernelPtePhys);
+    mapper.map_range(kKernelBase, 0, kRamSize, kPteWrite);
+    cpu.mmu().set_cr3(kBootPgdPhys);
+    memory.write32(kTssPhys, kBootStackTop);
+    for (int v = 0; v < 32; ++v) cpu.set_vector(v, kHandlerVirt);
+    cpu.set_vector(0x80, kHandlerVirt);
+    cpu.set_vector(0x20, kHandlerVirt);
+    memory.fill(phys_of_virt(kHandlerVirt), 64, 0xF4);
+    cpu.set_reg(Reg::Esp, kBootStackTop);
+    cpu.set_eip(kCodeVirt);
+    cpu.set_chaining(threaded);
+    cpu.set_threaded(threaded);
+  }
+
+  void load(const std::vector<std::uint8_t>& bytes) {
+    memory.write_block(phys_of_virt(kCodeVirt), bytes.data(),
+                       static_cast<std::uint32_t>(bytes.size()));
+  }
+
+  CpuEvent run(std::uint64_t max_cycles) {
+    CpuEvent event{};
+    while (cpu.cycles() < max_cycles) {
+      if (cpu.run_block(max_cycles - cpu.cycles(), nullptr, event) == 0) {
+        event = cpu.step();
+      }
+      if (event.kind != CpuEventKind::Executed) break;
+    }
+    return event;
+  }
+
+  CpuEvent step_to_stop(std::uint64_t max_cycles) {
+    CpuEvent event{};
+    while (cpu.cycles() < max_cycles &&
+           (event = cpu.step()).kind == CpuEventKind::Executed) {
+    }
+    return event;
+  }
+};
+
+TEST(ThreadBlock, PinnedElisionMasksForStraightLineBlock) {
+  // mov ecx,7; add eax,ecx; sub eax,ecx; inc ebx; cmp eax,ecx; hlt
+  Asm a;
+  a.add(mov_ri(Reg::Ecx, 7));
+  a.add(alu_rr(Op::Add, Reg::Eax, Reg::Ecx));
+  a.add(alu_rr(Op::Sub, Reg::Eax, Reg::Ecx));
+  a.add(unary(Op::Inc, Reg::Ebx));
+  a.add(alu_rr(Op::Cmp, Reg::Eax, Reg::Ecx));
+  a.add(nullary(Op::Hlt));
+  Rig rig;
+  rig.load(a.assemble(kCodeVirt));
+  ASSERT_EQ(rig.run(100).kind, CpuEventKind::Halted);
+
+  const std::vector<std::uint8_t> masks =
+      rig.cpu.block_elision_masks(kCodeVirt);
+  ASSERT_GE(masks.size(), 5u);
+  EXPECT_EQ(masks[0], 0);         // mov writes no flags
+  EXPECT_EQ(masks[1], kFlagAll);  // add: dead into the sub's full kill
+  EXPECT_EQ(masks[2], kFlagAll);  // sub: dead into inc + cmp
+  EXPECT_EQ(masks[3], kFlagPF | kFlagZF | kFlagSF | kFlagOF);  // inc
+  EXPECT_EQ(masks[4], 0);  // cmp feeds the hlt boundary: conservative
+  EXPECT_GT(rig.cpu.flag_elisions(), 0u);
+  EXPECT_GT(rig.cpu.threaded_ops(), 0u);
+}
+
+TEST(ThreadBlock, InTraceStoreSuspendsElisionBehindItsGuards) {
+  // add; mov [esi],eax; add; sub; hlt — the store may trap (nothing
+  // before it elides) and every op after it keeps a version guard that
+  // can fail, making each a liveness boundary: no op in this block is
+  // elidable even though the adds' flags look dead.
+  Asm a;
+  a.add(mov_ri(Reg::Esi, static_cast<std::int32_t>(kDataVirt)));
+  a.add(alu_rr(Op::Add, Reg::Eax, Reg::Ecx));
+  a.add(mem_op(Op::Mov, Reg::Eax, Reg::Esi, 0, /*load=*/false));
+  a.add(alu_rr(Op::Add, Reg::Ebx, Reg::Ecx));
+  a.add(alu_rr(Op::Sub, Reg::Ebx, Reg::Ecx));
+  a.add(nullary(Op::Hlt));
+  Rig rig;
+  rig.load(a.assemble(kCodeVirt));
+  ASSERT_EQ(rig.run(100).kind, CpuEventKind::Halted);
+
+  const std::vector<std::uint8_t> masks =
+      rig.cpu.block_elision_masks(kCodeVirt);
+  ASSERT_GE(masks.size(), 5u);
+  EXPECT_EQ(masks[1], 0) << "flag write before a trap-capable store elided";
+  EXPECT_EQ(masks[2], 0);
+  // ops[4] (sub) is a guard boundary, so ops[3] (add) must stay exact;
+  // the sub itself dies into the hlt... which is a trap boundary too.
+  EXPECT_EQ(masks[3], 0) << "write before a guarded successor elided";
+  EXPECT_EQ(masks[4], 0);
+}
+
+TEST(ThreadBlock, ArmedBreakpointRefusesThreadedDispatch) {
+  // A debug breakpoint inside the block: run_block must refuse the
+  // cached trace (single-step delivers the Breakpoint event), so no
+  // elided handler can ever run over a breakpoint site.
+  Asm a;
+  a.add(mov_ri(Reg::Ecx, 3));
+  const int top = a.next_index();
+  a.add(alu_rr(Op::Add, Reg::Eax, Reg::Ecx));
+  const int bp = a.add(alu_rr(Op::Xor, Reg::Ebx, Reg::Ebx));
+  a.add(unary(Op::Dec, Reg::Ecx));
+  a.branch(jcc(Cond::Ne), top);
+  a.add(nullary(Op::Hlt));
+  const std::vector<std::uint8_t> program = a.assemble(kCodeVirt);
+
+  Rig rig;
+  rig.load(program);
+  rig.cpu.arm_breakpoint(0, kCodeVirt + static_cast<std::uint32_t>(
+                                             a.offset_of(bp)));
+  CpuEvent event{};
+  EXPECT_EQ(rig.cpu.run_block(100, nullptr, event), 0u)
+      << "threaded dispatch ran a block containing an armed breakpoint";
+  EXPECT_GT(rig.cpu.block_fallbacks(), 0u);
+  EXPECT_EQ(rig.cpu.threaded_ops(), 0u);
+}
+
+TEST(ThreadBlock, MidBlockFlipRederivesStepperFlagsAndLatency) {
+  // The injector contract at the cpu level: run once through threaded
+  // traces, host-flip an immediate in the middle of a cached block,
+  // invalidate, and re-run.  Both legs must match a stepper doing the
+  // identical flip — same registers, same full flags word, same cycle
+  // count (fault latency is measured in cycles).
+  Asm a;
+  a.add(mov_ri(Reg::Eax, 7));
+  a.add(alu_rr(Op::Cmp, Reg::Eax, Reg::Eax));  // zf = 1
+  const int hop = a.branch(jcc(Cond::E), 0);   // always taken
+  a.add(nullary(Op::Hlt));                     // dead fall-through
+  a.set_target(hop, a.next_index());
+  const int marker = a.add(mov_ri(Reg::Ebx, 1));
+  a.add(alu_rr(Op::Add, Reg::Ecx, Reg::Ebx));
+  a.add(nullary(Op::Hlt));
+  const std::vector<std::uint8_t> program = a.assemble(kCodeVirt);
+  const std::uint32_t flip_phys = phys_of_virt(kCodeVirt) +
+                                  static_cast<std::uint32_t>(
+                                      a.offset_of(marker) + 1);
+
+  Rig threaded(/*threaded=*/true);
+  Rig stepper(/*threaded=*/false);
+  for (Rig* rig : {&threaded, &stepper}) {
+    rig->load(program);
+    ASSERT_EQ(rig->run(100).kind, CpuEventKind::Halted);
+    rig->memory.write8(flip_phys, 5);
+    rig->cpu.invalidate_blocks(flip_phys);
+    rig->cpu.reset_fault_state();
+    rig->cpu.set_eip(kCodeVirt);
+  }
+  ASSERT_EQ(threaded.run(200).kind, CpuEventKind::Halted);
+  ASSERT_EQ(stepper.step_to_stop(200).kind, CpuEventKind::Halted);
+
+  EXPECT_EQ(threaded.cpu.reg(Reg::Ebx), 5u) << "stale threaded block executed";
+  for (int r = 0; r < isa::kRegCount; ++r) {
+    EXPECT_EQ(threaded.cpu.reg(static_cast<Reg>(r)),
+              stepper.cpu.reg(static_cast<Reg>(r)));
+  }
+  EXPECT_EQ(threaded.cpu.flags().to_word(), stepper.cpu.flags().to_word());
+  EXPECT_EQ(threaded.cpu.cycles(), stepper.cpu.cycles());
+  EXPECT_GE(threaded.cpu.block_invalidations(), 1u);
+}
+
+TEST(ThreadBlock, SnapshotRestoreDropsCachedHandlerState) {
+  // The checkpoint-rung case: restore_pages bumps every restored page's
+  // version, so a threaded block cached before the rung — handler
+  // pointers, elision masks, page prevalidation list and all — must be
+  // rebuilt before it can run again over the patched image.
+  // The xor's flags are dead (killed by the add before any reader), so
+  // the loop body carries one elidable op per iteration; the add/dec
+  // pair stays exact because dec preserves CF and the jne ends the
+  // trace fully live.
+  Asm a;
+  a.add(mov_ri(Reg::Ecx, 20));
+  const int top = a.next_index();
+  a.add(alu_rr(Op::Xor, Reg::Ebx, Reg::Ebx));
+  a.add(alu_rr(Op::Add, Reg::Eax, Reg::Ecx));
+  a.add(unary(Op::Dec, Reg::Ecx));
+  a.branch(jcc(Cond::Ne), top);
+  a.add(nullary(Op::Hlt));
+  const std::vector<std::uint8_t> program = a.assemble(kCodeVirt);
+
+  Rig rig;
+  rig.load(program);
+  ChunkedSnapshot snap = rig.memory.snapshot_pages();
+  std::vector<std::uint64_t> memo;
+  ASSERT_EQ(rig.run(400).kind, CpuEventKind::Halted);
+  EXPECT_EQ(rig.cpu.reg(Reg::Eax), 20u * 21u / 2u);
+  EXPECT_GT(rig.cpu.flag_elisions(), 0u);
+
+  rig.memory.restore_pages(snap, memo);
+  rig.memory.write8(phys_of_virt(kCodeVirt) + 1, 10);  // mov ecx, 10
+  rig.cpu.reset_fault_state();
+  rig.cpu.set_reg(Reg::Eax, 0);
+  rig.cpu.set_eip(kCodeVirt);
+  ASSERT_EQ(rig.run(400).kind, CpuEventKind::Halted);
+  EXPECT_EQ(rig.cpu.reg(Reg::Eax), 10u * 11u / 2u)
+      << "stale threaded trace survived the rung restore";
+
+  // A stepper over the same patched program agrees on the flags word.
+  Rig stepper(/*threaded=*/false);
+  stepper.load(program);
+  stepper.memory.write8(phys_of_virt(kCodeVirt) + 1, 10);
+  ASSERT_EQ(stepper.step_to_stop(400).kind, CpuEventKind::Halted);
+  EXPECT_EQ(rig.cpu.flags().to_word(), stepper.cpu.flags().to_word());
+}
+
+TEST(ThreadBlock, ModeToggleDropsCache) {
+  // Blocks threaded under one dispatch mode must never execute under
+  // the other: toggling modes mid-session rebuilds from scratch.
+  Asm a;
+  a.add(mov_ri(Reg::Ecx, 5));
+  const int top = a.next_index();
+  a.add(alu_rr(Op::Add, Reg::Eax, Reg::Ecx));
+  a.add(unary(Op::Dec, Reg::Ecx));
+  a.branch(jcc(Cond::Ne), top);
+  a.add(nullary(Op::Hlt));
+  Rig rig;
+  rig.load(a.assemble(kCodeVirt));
+  ASSERT_EQ(rig.run(100).kind, CpuEventKind::Halted);
+  const std::uint64_t threaded_ops = rig.cpu.threaded_ops();
+  EXPECT_GT(threaded_ops, 0u);
+
+  rig.cpu.set_threaded(false);
+  rig.cpu.reset_fault_state();
+  rig.cpu.set_reg(Reg::Eax, 0);
+  rig.cpu.set_eip(kCodeVirt);
+  ASSERT_EQ(rig.run(200).kind, CpuEventKind::Halted);
+  EXPECT_EQ(rig.cpu.reg(Reg::Eax), 15u);
+  EXPECT_EQ(rig.cpu.threaded_ops(), threaded_ops)
+      << "non-threaded dispatch retired ops through handler pointers";
+}
+
+}  // namespace
+}  // namespace kfi::vm
