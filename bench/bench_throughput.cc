@@ -1,13 +1,15 @@
-// bench_throughput — end-to-end campaign throughput of six execution
+// bench_throughput — end-to-end campaign throughput of seven execution
 // paths: full-restore baseline, checkpoint ladder (PR 2), checkpoint
 // ladder + superblock engine (PR 3), chained superblock dispatch
 // (block_chained: trace widening + successor links + inline translate
 // cache), direct-threaded dispatch (block_threaded: per-op handler
-// pointers + flag-liveness elision on top of chaining), and the
-// fastest mode with the forensics event trace attached (PR 5's
-// observational-overhead gate) — plus a worker-thread scaling sweep
-// (threads = 1/2/4/8) of the fastest mode over one shared, prewarmed
-// GoldenCache.
+// pointers + flag-liveness elision on top of chaining), memfast
+// dispatch (block_memfast: software D-TLB on guest loads/stores +
+// trace formation widened past conditional branches on top of
+// threading), and the fastest mode with the forensics event trace
+// attached (PR 5's observational-overhead gate) — plus a worker-thread
+// scaling sweep (threads = 1/2/4/8) of the fastest mode over one
+// shared, prewarmed GoldenCache.
 //
 // All modes and every sweep entry run the identical smoke-scale A/B/C
 // campaigns; the result vectors are required to be bit-identical (exit
@@ -153,6 +155,10 @@ void print_mode(std::FILE* out, const ModeResult& mode, bool last) {
       "      \"avg_trace_len\": %.2f,\n"
       "      \"threaded_ops\": %llu,\n"
       "      \"flag_elisions\": %llu,\n"
+      "      \"dtlb_hits\": %llu,\n"
+      "      \"dtlb_misses\": %llu,\n"
+      "      \"cond_widened\": %llu,\n"
+      "      \"side_exits\": %llu,\n"
       "      \"trace_events\": %llu,\n"
       "      \"trace_dropped\": %llu\n"
       "    }%s\n",
@@ -192,6 +198,10 @@ void print_mode(std::FILE* out, const ModeResult& mode, bool last) {
                                    static_cast<double>(perf.block_builds),
       static_cast<unsigned long long>(perf.threaded_ops),
       static_cast<unsigned long long>(perf.flag_elisions),
+      static_cast<unsigned long long>(perf.dtlb_hits),
+      static_cast<unsigned long long>(perf.dtlb_misses),
+      static_cast<unsigned long long>(perf.cond_widened),
+      static_cast<unsigned long long>(perf.side_exits),
       static_cast<unsigned long long>(perf.trace_events),
       static_cast<unsigned long long>(perf.trace_dropped),
       last ? "" : ",");
@@ -307,10 +317,38 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Memfast leg: threaded dispatch plus the data-side fast paths —
+  // software D-TLB in front of guest loads/stores and trace formation
+  // widened past conditional branches with a guarded side exit.  Same
+  // hard gate: a D-TLB hit or widened edge that changed any result bit
+  // would fail right here.
+  inject::InjectorOptions memfast_options;
+  memfast_options.exec_engine = machine::ExecEngine::Memfast;
+  const ModeResult memfast = run_mode("block_memfast", memfast_options);
+  for (std::size_t i = 0; i < memfast.campaigns.size(); ++i) {
+    const check::RunComparison vs_memfast =
+        check::compare_runs(baseline.campaigns[i], memfast.campaigns[i]);
+    if (!vs_memfast.identical()) {
+      std::fprintf(stderr,
+                   "FAIL: campaign %zu diverged between baseline and memfast "
+                   "dispatch (%zu mismatches of %zu)\n",
+                   i, vs_memfast.mismatches.size(), vs_memfast.compared);
+      return 1;
+    }
+  }
+  const std::uint64_t memfast_digest = results_digest(memfast.campaigns);
+  if (memfast_digest != digest) {
+    std::fprintf(stderr,
+                 "FAIL: memfast-dispatch result digest %016llx != %016llx\n",
+                 static_cast<unsigned long long>(memfast_digest),
+                 static_cast<unsigned long long>(digest));
+    return 1;
+  }
+
   // Trace-on leg: same fastest mode with the forensics trace attached.
   // The trace layer's observational contract is gated here — recording
   // may cost wall clock, but not a single result bit.
-  inject::InjectorOptions trace_options = threaded_options;
+  inject::InjectorOptions trace_options = memfast_options;
   trace_options.trace_capacity = trace::TraceBuffer::kDefaultCapacity;
   const ModeResult traced = run_mode("trace", trace_options);
   for (std::size_t i = 0; i < traced.campaigns.size(); ++i) {
@@ -341,8 +379,10 @@ int main(int argc, char** argv) {
       chained.seconds > 0.0 ? ladder.seconds / chained.seconds : 0.0;
   const double threaded_speedup =
       threaded.seconds > 0.0 ? ladder.seconds / threaded.seconds : 0.0;
+  const double memfast_speedup =
+      memfast.seconds > 0.0 ? ladder.seconds / memfast.seconds : 0.0;
   const double total_speedup =
-      threaded.seconds > 0.0 ? baseline.seconds / threaded.seconds : 0.0;
+      memfast.seconds > 0.0 ? baseline.seconds / memfast.seconds : 0.0;
   // The component the ladder optimizes: pre-trigger replay simulated per
   // run.  Post-trigger simulation is inherent to the injected fault and
   // dominates wall clock on this population (hot-function targets
@@ -371,19 +411,32 @@ int main(int argc, char** argv) {
       threaded.seconds, static_cast<double>(threaded.runs) / threaded.seconds,
       static_cast<unsigned long long>(threaded.stats.perf.threaded_ops),
       static_cast<unsigned long long>(threaded.stats.perf.flag_elisions));
+  const std::uint64_t dtlb_total =
+      memfast.stats.perf.dtlb_hits + memfast.stats.perf.dtlb_misses;
+  std::printf(
+      "block_memfast:%6.2f s  (%.2f runs/s, %.1f%% dtlb hit rate, "
+      "%llu cond edges widened, %llu side exits, %llu flag writes elided)\n",
+      memfast.seconds, static_cast<double>(memfast.runs) / memfast.seconds,
+      dtlb_total == 0 ? 0.0
+                      : 100.0 * static_cast<double>(memfast.stats.perf.dtlb_hits) /
+                            static_cast<double>(dtlb_total),
+      static_cast<unsigned long long>(memfast.stats.perf.cond_widened),
+      static_cast<unsigned long long>(memfast.stats.perf.side_exits),
+      static_cast<unsigned long long>(memfast.stats.perf.flag_elisions));
   std::printf(
       "speedup: ladder %.2fx, block-over-ladder %.2fx, chained-over-ladder "
-      "%.2fx, threaded-over-ladder %.2fx, total %.2fx   result digest "
-      "%016llx (identical)\n",
+      "%.2fx, threaded-over-ladder %.2fx, memfast-over-ladder %.2fx, total "
+      "%.2fx   result digest %016llx (identical)\n",
       speedup, block_speedup, chained_speedup, threaded_speedup,
-      total_speedup, static_cast<unsigned long long>(digest));
+      memfast_speedup, total_speedup,
+      static_cast<unsigned long long>(digest));
   std::printf("pre-trigger replay: %.1fM -> %.1fM cycles (%.1fx less)\n",
               static_cast<double>(baseline.stats.pre_trigger_cycles) / 1e6,
               static_cast<double>(ladder.stats.pre_trigger_cycles) / 1e6,
               setup_speedup);
   const double trace_overhead =
-      threaded.seconds > 0.0 ? traced.seconds / threaded.seconds : 0.0;
-  std::printf("trace-on:     %6.2f s  (%.2fx of block_threaded, %llu events, "
+      memfast.seconds > 0.0 ? traced.seconds / memfast.seconds : 0.0;
+  std::printf("trace-on:     %6.2f s  (%.2fx of block_memfast, %llu events, "
               "%llu dropped, digest identical)\n",
               traced.seconds, trace_overhead,
               static_cast<unsigned long long>(traced.stats.perf.trace_events),
@@ -394,7 +447,7 @@ int main(int argc, char** argv) {
   // campaigns touch) before the clock starts, so each entry times pure
   // injection work — and proves golden warm-up happens once per
   // workload total, not once per thread.
-  auto sweep_cache = std::make_shared<inject::GoldenCache>(threaded_options);
+  auto sweep_cache = std::make_shared<inject::GoldenCache>(memfast_options);
   {
     std::set<std::string> workloads;
     for (const inject::Campaign campaign : kCampaigns) {
@@ -411,7 +464,7 @@ int main(int argc, char** argv) {
   const unsigned hardware = std::thread::hardware_concurrency();
   std::vector<ModeResult> sweep;
   for (const unsigned threads : {1u, 2u, 4u, 8u}) {
-    sweep.push_back(run_mode("t" + std::to_string(threads), threaded_options,
+    sweep.push_back(run_mode("t" + std::to_string(threads), memfast_options,
                              threads, sweep_cache));
     const ModeResult& entry = sweep.back();
     for (std::size_t i = 0; i < entry.campaigns.size(); ++i) {
@@ -440,7 +493,7 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(sweep_cache->golden_builds()));
     return 1;
   }
-  std::printf("threads sweep (block_threaded, shared golden cache, "
+  std::printf("threads sweep (block_memfast, shared golden cache, "
               "%u hardware threads):\n", hardware);
   for (const ModeResult& entry : sweep) {
     std::printf("  t=%u: %6.2f s  (%.2f runs/s, %.2fx vs t=1, "
@@ -463,6 +516,7 @@ int main(int argc, char** argv) {
   print_mode(out, block, false);
   print_mode(out, chained, false);
   print_mode(out, threaded, false);
+  print_mode(out, memfast, false);
   print_mode(out, traced, true);
   std::fprintf(out,
                "  },\n"
@@ -470,6 +524,7 @@ int main(int argc, char** argv) {
                "  \"block_speedup\": %.3f,\n"
                "  \"chained_speedup\": %.3f,\n"
                "  \"threaded_speedup\": %.3f,\n"
+               "  \"memfast_speedup\": %.3f,\n"
                "  \"total_speedup\": %.3f,\n"
                "  \"pre_trigger_speedup\": %.3f,\n"
                "  \"trace_overhead\": %.3f,\n"
@@ -477,15 +532,18 @@ int main(int argc, char** argv) {
                "\"result_digest\": \"%016llx\"},\n"
                "  \"threaded_gate\": {\"threaded_identical\": true, "
                "\"result_digest\": \"%016llx\"},\n"
+               "  \"memfast_gate\": {\"memfast_identical\": true, "
+               "\"result_digest\": \"%016llx\"},\n"
                "  \"trace_gate\": {\"trace_identical\": true, "
                "\"result_digest\": \"%016llx\"},\n"
                "  \"hardware_concurrency\": %u,\n"
                "  \"sweep_golden_builds\": %llu,\n"
                "  \"threads_sweep\": [\n",
                speedup, block_speedup, chained_speedup, threaded_speedup,
-               total_speedup, setup_speedup, trace_overhead,
+               memfast_speedup, total_speedup, setup_speedup, trace_overhead,
                static_cast<unsigned long long>(chained_digest),
                static_cast<unsigned long long>(threaded_digest),
+               static_cast<unsigned long long>(memfast_digest),
                static_cast<unsigned long long>(trace_digest), hardware,
                static_cast<unsigned long long>(golden_builds));
   for (std::size_t i = 0; i < sweep.size(); ++i) {

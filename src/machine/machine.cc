@@ -109,6 +109,9 @@ ExecEngine default_exec_engine() {
   if (env != nullptr && std::string_view(env) == "threaded") {
     return ExecEngine::Threaded;
   }
+  if (env != nullptr && std::string_view(env) == "memfast") {
+    return ExecEngine::Memfast;
+  }
   return ExecEngine::Step;
 }
 
@@ -209,8 +212,11 @@ Machine::Machine(const KernelImage& kernel_image,
   bus_ = std::make_unique<vm::Bus>();
   cpu_ = std::make_unique<vm::Cpu>(*memory_, *bus_);
   cpu_->set_chaining(options_.exec_engine == ExecEngine::Chained ||
-                     options_.exec_engine == ExecEngine::Threaded);
-  cpu_->set_threaded(options_.exec_engine == ExecEngine::Threaded);
+                     options_.exec_engine == ExecEngine::Threaded ||
+                     options_.exec_engine == ExecEngine::Memfast);
+  cpu_->set_threaded(options_.exec_engine == ExecEngine::Threaded ||
+                     options_.exec_engine == ExecEngine::Memfast);
+  cpu_->set_memfast(options_.exec_engine == ExecEngine::Memfast);
   disk_image_ = std::make_unique<disk::DiskImage>(root_disk);
   disk_device_ = std::make_unique<disk::DiskDevice>(*disk_image_, *memory_);
   console_device_ = std::make_unique<ConsoleDevice>(*this);
@@ -492,6 +498,10 @@ PerfStats Machine::perf_stats() const {
   stats.trace_len = cpu_->trace_len();
   stats.threaded_ops = cpu_->threaded_ops();
   stats.flag_elisions = cpu_->flag_elisions();
+  stats.dtlb_hits = cpu_->dtlb_hits();
+  stats.dtlb_misses = cpu_->dtlb_misses();
+  stats.cond_widened = cpu_->cond_widened();
+  stats.side_exits = cpu_->side_exits();
   return stats;
 }
 
@@ -711,6 +721,10 @@ PerfStats& PerfStats::operator+=(const PerfStats& o) {
   trace_len += o.trace_len;
   threaded_ops += o.threaded_ops;
   flag_elisions += o.flag_elisions;
+  dtlb_hits += o.dtlb_hits;
+  dtlb_misses += o.dtlb_misses;
+  cond_widened += o.cond_widened;
+  side_exits += o.side_exits;
   trace_events += o.trace_events;
   trace_dropped += o.trace_dropped;
   return *this;
@@ -735,6 +749,10 @@ PerfStats& PerfStats::operator-=(const PerfStats& o) {
   trace_len -= o.trace_len;
   threaded_ops -= o.threaded_ops;
   flag_elisions -= o.flag_elisions;
+  dtlb_hits -= o.dtlb_hits;
+  dtlb_misses -= o.dtlb_misses;
+  cond_widened -= o.cond_widened;
+  side_exits -= o.side_exits;
   trace_events -= o.trace_events;
   trace_dropped -= o.trace_dropped;
   return *this;

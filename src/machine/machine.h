@@ -63,15 +63,19 @@ struct RunResult {
 // proven-hit fetch translations.  Threaded builds on Chained with
 // direct-threaded micro-op dispatch (per-op handler pointers resolved
 // at trace-build time) and flag-liveness elision (provably dead ALU
-// flag writes skipped).  All engines are bit-identical for every
-// run-visible outcome.
-enum class ExecEngine : std::uint8_t { Step, Block, Chained, Threaded };
+// flag writes skipped).  Memfast builds on Threaded with data-side
+// fast paths: a software D-TLB in front of guest loads/stores (a
+// provably-still-hit translation skips the mmu call) and trace
+// formation widened past conditional branches with a guarded side
+// exit.  All engines are bit-identical for every run-visible outcome.
+enum class ExecEngine : std::uint8_t { Step, Block, Chained, Threaded,
+                                       Memfast };
 
 // Reads the KFI_EXEC environment variable once per call: "block"
 // selects ExecEngine::Block, "chained" ExecEngine::Chained, "threaded"
-// ExecEngine::Threaded, anything else (or unset) the stepper.
-// MachineOptions defaults from this so CI can drive the whole test
-// suite through any engine without code changes.
+// ExecEngine::Threaded, "memfast" ExecEngine::Memfast, anything else
+// (or unset) the stepper.  MachineOptions defaults from this so CI can
+// drive the whole test suite through any engine without code changes.
 ExecEngine default_exec_engine();
 
 struct MachineOptions {
@@ -182,6 +186,15 @@ struct PerfStats {
   // writes skipped by the liveness elision.
   std::uint64_t threaded_ops = 0;
   std::uint64_t flag_elisions = 0;
+  // Memfast dispatch (all zero unless ExecEngine::Memfast): guest
+  // loads/stores resolved through the software D-TLB vs ones that paid
+  // the full translate, conditional edges widened into traces at build
+  // time, and dispatches that left a widened trace through the guarded
+  // side exit.
+  std::uint64_t dtlb_hits = 0;
+  std::uint64_t dtlb_misses = 0;
+  std::uint64_t cond_widened = 0;
+  std::uint64_t side_exits = 0;
   // Forensics trace layer (all zero when no sink is attached).  Filled
   // at the Injector level from its per-worker TraceBuffer — a buffer is
   // shared by all of an injector's machines, so summing per-machine

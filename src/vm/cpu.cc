@@ -142,13 +142,47 @@ bool Cpu::deliver_interrupt(Trap trap) {
 // Guest memory access
 // ---------------------------------------------------------------------
 
+void Cpu::dtlb_fill(std::uint32_t vaddr, std::uint32_t paddr, Access access) {
+  const std::uint32_t vpn = vaddr >> 12;
+  DtlbEntry& e = dtlb_[vpn & (kDtlbSize - 1)];
+  // A read fill must not downgrade a still-valid write-proven entry for
+  // the same page: write permission, once proven at this epoch/cpl,
+  // stays proven until the next TLB mutation.
+  const bool keep_write = e.tag == vpn && e.epoch == mmu_.epoch() &&
+                          e.cpl == static_cast<std::uint8_t>(cpl_) &&
+                          e.write_ok;
+  e.tag = vpn;
+  e.frame = paddr & ~kPageMask;
+  e.epoch = mmu_.epoch();
+  e.cpl = static_cast<std::uint8_t>(cpl_);
+  e.write_ok = access == Access::Write || keep_write;
+}
+
 bool Cpu::read_v(std::uint32_t vaddr, std::uint32_t size,
                  std::uint32_t& value) {
+  if (memfast_) {
+    // D-TLB fast path: a hit proves the filling translate below would
+    // succeed as a side-effect-free TLB hit with this frame (see the
+    // DtlbEntry invariant), so skipping it is unobservable.  Anything
+    // unproven — page-crossing access, MMIO, stale epoch, other cpl —
+    // falls closed into the exact stepper path.
+    const DtlbEntry& e = dtlb_[(vaddr >> 12) & (kDtlbSize - 1)];
+    if (e.tag == vaddr >> 12 && e.epoch == mmu_.epoch() &&
+        e.cpl == static_cast<std::uint8_t>(cpl_) &&
+        (size == 1 || (vaddr & kPageMask) <= kPageSize - 4)) {
+      ++dtlb_hits_;
+      const std::uint32_t paddr = e.frame | (vaddr & kPageMask);
+      value = size == 1 ? memory_.read8(paddr) : memory_.read32(paddr);
+      return true;
+    }
+    ++dtlb_misses_;
+  }
   std::uint32_t paddr = 0;
   const TranslateStatus status =
       mmu_.translate(vaddr, Access::Read, cpl_, paddr);
   switch (status) {
     case TranslateStatus::Ok:
+      if (memfast_) dtlb_fill(vaddr, paddr, Access::Read);
       break;
     case TranslateStatus::Mmio: {
       if (size != 4 || (vaddr & 3) != 0) {
@@ -174,23 +208,67 @@ bool Cpu::read_v(std::uint32_t vaddr, std::uint32_t size,
     value = memory_.read32(paddr);
     return true;
   }
-  // Page-crossing 32-bit read: translate per byte.
+  // Page-crossing 32-bit read: the first page's frame is already in
+  // hand, so only the second page needs a translate — one fill per
+  // page, the same TLB history the old per-byte fallback produced.
+  // The fault point matches it exactly too: the first byte of the
+  // second page, with the per-status error code below.
+  const std::uint32_t first = kPageSize - (vaddr & kPageMask);  // 1..3
+  const std::uint32_t vaddr2 = vaddr + first;
+  std::uint32_t paddr2 = 0;
+  switch (mmu_.translate(vaddr2, Access::Read, cpl_, paddr2)) {
+    case TranslateStatus::Ok:
+      break;
+    case TranslateStatus::Mmio:
+      // The second page's bytes would be sub-word MMIO accesses, which
+      // always fault.
+      return raise(Trap::GpFault, 0, vaddr2);
+    case TranslateStatus::NotPresent:
+    case TranslateStatus::BadPhysical:
+      return raise(Trap::PageFault, (cpl_ == 3 ? kPfErrUser : 0), vaddr2);
+    case TranslateStatus::Protection:
+      return raise(Trap::PageFault,
+                   kPfErrPresent | (cpl_ == 3 ? kPfErrUser : 0), vaddr2);
+  }
   value = 0;
-  for (std::uint32_t i = 0; i < 4; ++i) {
-    std::uint32_t b = 0;
-    if (!read_v(vaddr + i, 1, b)) return false;
-    value |= b << (8 * i);
+  for (std::uint32_t i = 0; i < first; ++i) {
+    value |= static_cast<std::uint32_t>(memory_.read8(paddr + i)) << (8 * i);
+  }
+  for (std::uint32_t i = first; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(memory_.read8(paddr2 + (i - first)))
+             << (8 * i);
   }
   return true;
 }
 
 bool Cpu::write_v(std::uint32_t vaddr, std::uint32_t size,
                   std::uint32_t value) {
+  if (memfast_) {
+    // Same proof as in read_v, plus write permission: `write_ok` means
+    // a full translate with Access::Write succeeded at this epoch/cpl.
+    // Stores still go through PhysicalMemory, so page write versions
+    // bump exactly as on the slow path (SMC and flip detection intact).
+    const DtlbEntry& e = dtlb_[(vaddr >> 12) & (kDtlbSize - 1)];
+    if (e.tag == vaddr >> 12 && e.epoch == mmu_.epoch() && e.write_ok &&
+        e.cpl == static_cast<std::uint8_t>(cpl_) &&
+        (size == 1 || (vaddr & kPageMask) <= kPageSize - 4)) {
+      ++dtlb_hits_;
+      const std::uint32_t paddr = e.frame | (vaddr & kPageMask);
+      if (size == 1) {
+        memory_.write8(paddr, static_cast<std::uint8_t>(value));
+      } else {
+        memory_.write32(paddr, value);
+      }
+      return true;
+    }
+    ++dtlb_misses_;
+  }
   std::uint32_t paddr = 0;
   const TranslateStatus status =
       mmu_.translate(vaddr, Access::Write, cpl_, paddr);
   switch (status) {
     case TranslateStatus::Ok:
+      if (memfast_) dtlb_fill(vaddr, paddr, Access::Write);
       break;
     case TranslateStatus::Mmio: {
       if (size != 4 || (vaddr & 3) != 0) {
@@ -219,8 +297,33 @@ bool Cpu::write_v(std::uint32_t vaddr, std::uint32_t size,
     memory_.write32(paddr, value);
     return true;
   }
-  for (std::uint32_t i = 0; i < 4; ++i) {
-    if (!write_v(vaddr + i, 1, (value >> (8 * i)) & 0xFF)) return false;
+  // Page-crossing 32-bit write: one translate per page instead of one
+  // per byte.  The first page's bytes commit BEFORE the second page is
+  // probed — a fault there leaves the same partial write (and the same
+  // per-byte version bumps) the old per-byte fallback produced.
+  const std::uint32_t first = kPageSize - (vaddr & kPageMask);  // 1..3
+  const std::uint32_t vaddr2 = vaddr + first;
+  for (std::uint32_t i = 0; i < first; ++i) {
+    memory_.write8(paddr + i, static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+  std::uint32_t paddr2 = 0;
+  switch (mmu_.translate(vaddr2, Access::Write, cpl_, paddr2)) {
+    case TranslateStatus::Ok:
+      break;
+    case TranslateStatus::Mmio:
+      return raise(Trap::GpFault, 0, vaddr2);
+    case TranslateStatus::NotPresent:
+    case TranslateStatus::BadPhysical:
+      return raise(Trap::PageFault,
+                   kPfErrWrite | (cpl_ == 3 ? kPfErrUser : 0), vaddr2);
+    case TranslateStatus::Protection:
+      return raise(Trap::PageFault,
+                   kPfErrPresent | kPfErrWrite | (cpl_ == 3 ? kPfErrUser : 0),
+                   vaddr2);
+  }
+  for (std::uint32_t i = first; i < 4; ++i) {
+    memory_.write8(paddr2 + (i - first),
+                   static_cast<std::uint8_t>(value >> (8 * i)));
   }
   return true;
 }
@@ -523,9 +626,10 @@ bool block_terminator(const Instruction& in) {
 }
 
 // True when executing the instruction can store to guest RAM (and so
-// bump a code-page write version mid-trace).  Ops after the first such
-// op keep their per-op version guard in threaded mode; everything
-// before is covered by the whole-trace prevalidation at dispatch entry.
+// bump a code-page write version mid-trace).  In threaded mode the op
+// immediately after each such store is an SMC gate that re-validates
+// every code page the trace spans; everything else is covered by the
+// whole-trace prevalidation at dispatch entry.
 // Trap-frame pushes don't count: a trap ends the dispatch immediately,
 // so no later op can observe the version bump.
 bool may_write_memory(const Instruction& in) {
@@ -552,10 +656,13 @@ bool Cpu::build_block(std::uint32_t entry_paddr, Block& blk) {
   blk.links[1] = ChainLink{};
   blk.ops.clear();
   blk.threaded = false;
+  blk.memfast = widen_mode();
   blk.elided_writes = 0;
+  blk.elided_cum.clear();
   blk.pages.clear();
 
   const std::size_t max_ops = chain_enabled_ ? kMaxTraceOps : kMaxBlockOps;
+  std::size_t cond_edges = 0;
   std::uint32_t vaddr = eip_;
   std::uint32_t paddr = entry_paddr;
   std::uint32_t vmin = eip_;
@@ -588,15 +695,27 @@ bool Cpu::build_block(std::uint32_t entry_paddr, Block& blk) {
       // Trace widening: direct jmp/call have statically known targets
       // (next + rel), so the decode can continue there.  The branch op
       // itself stays in the trace and executes normally — widening
-      // changes predecode layout only, never execution.  Everything
-      // else (conditional, indirect, IF-changing, trapping) ends the
-      // trace; chaining handles those transitions at runtime.
-      if (!chain_enabled_ ||
-          (instr.op != Op::Jmp && instr.op != Op::Call) ||
-          blk.ops.size() >= max_ops) {
+      // changes predecode layout only, never execution.  In memfast
+      // mode the decode also continues past conditional branches along
+      // the statically predicted edge (backward taken — loops; forward
+      // fall-through); the dispatch loop guards every op with a
+      // `vaddr == eip` check and side-exits fail-closed on a
+      // misprediction.  Everything else (indirect, IF-changing,
+      // trapping) ends the trace; chaining handles those transitions
+      // at runtime.
+      if (!chain_enabled_ || blk.ops.size() >= max_ops) break;
+      if (instr.op == Op::Jmp || instr.op == Op::Call) {
+        vaddr = vaddr + instr.length + static_cast<std::uint32_t>(instr.rel);
+      } else if (blk.memfast && instr.op == Op::Jcc &&
+                 cond_edges < kMaxCondEdges) {
+        ++cond_edges;
+        ++cond_widened_;
+        vaddr = instr.rel < 0 ? vaddr + instr.length +
+                                    static_cast<std::uint32_t>(instr.rel)
+                              : vaddr + instr.length;
+      } else {
         break;
       }
-      vaddr = vaddr + instr.length + static_cast<std::uint32_t>(instr.rel);
     } else {
       vaddr += instr.length;
     }
@@ -624,7 +743,8 @@ Cpu::Block* Cpu::lookup_block(std::uint32_t paddr) {
   if (blk.entry_paddr != paddr || blk.entry_vaddr != eip_ ||
       blk.ops.empty() ||
       blk.ops[0].version != memory_.page_version(paddr) ||
-      blk.threaded != threaded_ || (threaded_ && !pages_fresh(blk))) {
+      blk.threaded != threaded_ || blk.memfast != widen_mode() ||
+      (threaded_ && !pages_fresh(blk))) {
     if (!build_block(paddr, blk)) return nullptr;
     ++blocks_built_;
   } else {
@@ -670,13 +790,19 @@ bool Cpu::breakpoints_clear(const Block& blk) const {
 
 std::size_t Cpu::run_block(std::uint64_t max_instructions, const bool* stop,
                            CpuEvent& event) {
-  return threaded_ ? run_block_impl<true>(max_instructions, stop, event)
-                   : run_block_impl<false>(max_instructions, stop, event);
+  if (widen_mode()) {
+    return run_block_impl<true, true>(max_instructions, stop, event);
+  }
+  return threaded_ ? run_block_impl<true, false>(max_instructions, stop, event)
+                   : run_block_impl<false, false>(max_instructions, stop,
+                                                  event);
 }
 
-template <bool kThreaded>
+template <bool kThreaded, bool kWidened>
 std::size_t Cpu::run_block_impl(std::uint64_t max_instructions,
                                 const bool* stop, CpuEvent& event) {
+  static_assert(kThreaded || !kWidened,
+                "widened dispatch requires threaded blocks");
   event = CpuEvent{};
   if (dead_ || halted_ || max_instructions == 0) return 0;
 
@@ -725,16 +851,20 @@ std::size_t Cpu::run_block_impl(std::uint64_t max_instructions,
     const bool elide = kThreaded && limit == blk->ops.size();
     std::size_t executed = 0;
     bool broke = false;
+    [[maybe_unused]] bool side_exit = false;
     while (executed < limit) {
       const MicroOp& op = blk->ops[executed];
       if (executed != 0) {
         // Re-verify the fetch translation exactly where the stepper
         // would fetch: same call, same TLB fills, same result — or a
-        // proven-hit shortcut with no call at all.
-        const std::uint32_t vpn = op.vaddr >> 12;
+        // proven-hit shortcut with no call at all.  The shortcut keys
+        // on the live eip, so a widened trace's mispredicted jcc
+        // surfaces below as a single mismatch branch — no separate
+        // per-op side-exit guard.
+        const std::uint32_t vpn = eip_ >> 12;
         std::uint32_t paddr = 0;
         if (vpn == cached_vpn && mmu_.epoch() == cached_epoch) {
-          paddr = cached_frame | (op.vaddr & kPageMask);
+          paddr = cached_frame | (eip_ & kPageMask);
         } else if (mmu_.translate_fast(eip_, Access::Execute, cpl_, paddr) ==
                    TranslateStatus::Ok) {
           cached_vpn = vpn;
@@ -744,16 +874,46 @@ std::size_t Cpu::run_block_impl(std::uint64_t max_instructions,
           broke = true;
           break;
         }
-        if (paddr != op.paddr) {
+        bool mismatch = paddr != op.paddr;
+        // The vaddr compare keeps aliased mappings honest: two virtual
+        // pages onto one frame would match on paddr alone, and the
+        // trace's breakpoint prefilter (vmin/vmax) only covers the
+        // build-time vaddrs.
+        if constexpr (kWidened) mismatch |= op.vaddr != eip_;
+        if (mismatch) {
+          if constexpr (kWidened) {
+            // Side exit: ops past a widened conditional edge run only
+            // while execution follows the predicted path.  A
+            // mispredicted jcc leaves eip off-trace; every op before
+            // it ran exactly as the stepper would, and thread_block
+            // marks mid-trace jccs as liveness boundaries, so no
+            // elided flag write is observable here.
+            if (op.vaddr != eip_) {
+              ++side_exits_;
+              side_exit = true;
+              break;
+            }
+          }
           broke = true;
           break;
         }
       }
       // Threaded mode checks all spanned pages once at dispatch entry
-      // (pages_fresh) and keeps the per-op guard only where an
-      // in-trace store could have bumped a version since then.
-      if ((!kThreaded || op.verify) &&
-          memory_.page_version(op.paddr) != op.version) {
+      // (pages_fresh); only the op right after an in-trace store is an
+      // SMC gate that re-runs that whole-trace check, since only a
+      // store can bump a code-page version mid-dispatch.  Exiting at
+      // the gate is stepper-identical: the gate is a liveness
+      // boundary, and the stepper re-decodes everything downstream.
+      bool stale;
+      if constexpr (kThreaded) {
+        stale = op.verify &&
+                (memory_.page_version(blk->ops[0].paddr) !=
+                     blk->ops[0].version ||
+                 !pages_fresh(*blk));
+      } else {
+        stale = memory_.page_version(op.paddr) != op.version;
+      }
+      if (stale) {
         // Self-modified (or flipped) code page: drop the block and let
         // the stepper re-decode this instruction.
         blk->entry_paddr = kNoBlock;
@@ -786,22 +946,40 @@ std::size_t Cpu::run_block_impl(std::uint64_t max_instructions,
     total += executed;
     if constexpr (kThreaded) {
       threaded_ops_ += executed;
-      if (elide) {
-        if (executed == blk->ops.size()) {
-          flag_elisions_ += blk->elided_writes;
+      if (elide) flag_elisions_ += blk->elided_cum[executed];
+    }
+
+    if (broke || !chain_enabled_ || total >= max_instructions) break;
+
+    if constexpr (kWidened) {
+      if (side_exit) {
+        // Execution left the predecoded path at a widened conditional
+        // edge.  Fail closed into an ordinary probe at the real eip —
+        // no link slot is patched: terminator links stay monomorphic
+        // per edge, while side exits are polymorphic across trace
+        // positions.  The entry translation below is the same filling
+        // translate the stepper's fetch would do, unless provably
+        // already a hit.
+        const std::uint32_t next_vpn = eip_ >> 12;
+        std::uint32_t next_paddr = 0;
+        if (next_vpn == cached_vpn && mmu_.epoch() == cached_epoch) {
+          next_paddr = cached_frame | (eip_ & kPageMask);
+        } else if (mmu_.translate(eip_, Access::Execute, cpl_, next_paddr) ==
+                   TranslateStatus::Ok) {
+          cached_vpn = next_vpn;
+          cached_frame = next_paddr & ~kPageMask;
+          cached_epoch = mmu_.epoch();
         } else {
-          for (std::size_t i = 0; i < executed; ++i) {
-            flag_elisions_ += static_cast<unsigned>(
-                __builtin_popcount(blk->ops[i].elided));
-          }
+          break;
         }
+        Block* next = lookup_block(next_paddr);
+        if (next == nullptr || !breakpoints_clear(*next)) break;
+        blk = next;
+        continue;
       }
     }
 
-    if (broke || !chain_enabled_ || total >= max_instructions ||
-        executed < blk->ops.size()) {
-      break;
-    }
+    if (executed < blk->ops.size()) break;
 
     // The block ran to completion below budget.  Chain to the
     // successor unless the terminator can enable interrupts: sti and
@@ -846,7 +1024,8 @@ std::size_t Cpu::run_block_impl(std::uint64_t max_instructions,
       if (link.vaddr == eip_ && cand.entry_paddr == next_paddr &&
           cand.entry_vaddr == eip_ && !cand.ops.empty() &&
           cand.ops[0].version == memory_.page_version(next_paddr) &&
-          cand.threaded == kThreaded && (!kThreaded || pages_fresh(cand))) {
+          cand.threaded == kThreaded && cand.memfast == kWidened &&
+          (!kThreaded || pages_fresh(cand))) {
         next = &cand;
         ++block_hits_;
       } else {
@@ -1459,33 +1638,35 @@ void Cpu::thread_block(Block& blk) {
     if (!seen) blk.pages.emplace_back(page, op.version);
   }
 
-  std::size_t first_store = blk.ops.size();
-  for (std::size_t i = 0; i < blk.ops.size(); ++i) {
-    if (may_write_memory(blk.ops[i].instr)) {
-      first_store = i;
-      break;
-    }
-  }
-
   // Liveness boundaries: any op whose pre-execution guard can fail at
   // runtime hands control back to the stepper *before* the op, so all
-  // earlier flag writes are observable there.  That is (a) ops after
-  // an in-trace store (their version guard stays live), and (b) the
+  // earlier flag writes are observable there.  That is (a) SMC gates —
+  // the op right after each in-trace store re-validates the whole page
+  // set, and a failed gate exits there (sound even though the stale op
+  // may be further downstream: the stepper resumes at the gate op,
+  // re-decodes, and diverges exactly where the bytes changed), (b) the
   // first op on each new page of a widened trace (its translate guard
   // can fail if the page was remapped or unmapped since the build —
-  // page versions track writes, not mappings).  Ops that may trap are
-  // boundaries too; flag_liveness derives that from the effects.
+  // page versions track writes, not mappings), and (c) mid-trace
+  // conditional branches (memfast widening): a mispredicted jcc takes
+  // the side exit right after it, where every flag is observable (the
+  // jcc itself writes none, so boundary-at-the-jcc covers the exit).
+  // Ops that may trap are boundaries too; flag_liveness derives that
+  // from the effects.
   std::vector<isa::LiveOp> lops(blk.ops.size());
   for (std::size_t i = 0; i < blk.ops.size(); ++i) {
     MicroOp& op = blk.ops[i];
     lops[i].fx = isa::flag_effects(op.instr);
-    op.verify = i > first_store;
+    op.verify = i > 0 && may_write_memory(blk.ops[i - 1].instr);
     const bool new_page =
         i > 0 && (op.paddr & ~kPageMask) != (blk.ops[i - 1].paddr & ~kPageMask);
-    lops[i].boundary = op.verify || new_page;
+    const bool mid_jcc = op.instr.op == Op::Jcc && i + 1 < blk.ops.size();
+    lops[i].boundary = op.verify || new_page || mid_jcc;
   }
 
   const isa::Liveness lv = isa::flag_liveness(lops);
+  blk.elided_cum.resize(blk.ops.size() + 1);
+  blk.elided_cum[0] = 0;
   for (std::size_t i = 0; i < blk.ops.size(); ++i) {
     MicroOp& op = blk.ops[i];
     op.fn = OpHandlers::kFull[static_cast<int>(op.instr.op)];
@@ -1494,11 +1675,13 @@ void Cpu::thread_block(Block& blk) {
       if (const HandlerFn nf = OpHandlers::noflags(op.instr.op)) {
         op.fn = nf;
         op.elided = lv.elidable[i];
-        blk.elided_writes +=
-            static_cast<unsigned>(__builtin_popcount(op.elided));
       }
     }
+    blk.elided_cum[i + 1] =
+        blk.elided_cum[i] +
+        static_cast<unsigned>(__builtin_popcount(op.elided));
   }
+  blk.elided_writes = blk.elided_cum[blk.ops.size()];
 }
 
 }  // namespace kfi::vm

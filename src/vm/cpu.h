@@ -137,10 +137,35 @@ class Cpu {
   // dispatch mode are never executed under another (the cache is
   // dropped on any mode change).
   void set_threaded(bool enabled) {
-    if (threaded_ != enabled) drop_all_blocks();
+    if (threaded_ != enabled) {
+      drop_all_blocks();
+      drop_dtlb();
+    }
     threaded_ = enabled;
   }
   bool threaded() const { return threaded_; }
+
+  // Enables the data-side fast paths (ExecEngine::Memfast; implies
+  // threaded+chained, which the machine layer turns on alongside):
+  //   - a software D-TLB in front of read_v/write_v, so loads and
+  //     stores whose translation is provably still a TLB hit (same
+  //     page, same cpl, Mmu epoch unchanged since the fill, write
+  //     permission proven for stores) skip the mmu_.translate call;
+  //   - trace formation widened past conditional branches — the
+  //     decoder follows the statically predicted edge (backward taken,
+  //     forward fall-through) and the dispatch loop side-exits fail-
+  //     closed when execution leaves the predecoded path.
+  // Both are pure fast paths: any miss falls back to the exact
+  // stepping-engine code, so trap delivery, TLB-fill histories, and
+  // campaign digests are bit-identical to every other engine.
+  void set_memfast(bool enabled) {
+    if (memfast_ != enabled) {
+      drop_all_blocks();
+      drop_dtlb();
+    }
+    memfast_ = enabled;
+  }
+  bool memfast() const { return memfast_; }
 
   // Drops every cached block containing a micro-op on the page holding
   // `paddr`.  The injector calls this on its bit flip; the per-op
@@ -191,6 +216,16 @@ class Cpu {
   // the liveness elision (a fully elided add counts 5: CF PF ZF SF OF).
   std::uint64_t threaded_ops() const { return threaded_ops_; }
   std::uint64_t flag_elisions() const { return flag_elisions_; }
+  // Memfast telemetry: loads/stores resolved through the D-TLB vs ones
+  // that paid the full translate (misses also count fail-closed
+  // fallbacks: page-crossing, MMIO, unproven write permission),
+  // conditional edges widened into traces at build time, and dispatches
+  // that left a widened trace through the guarded side exit.  All four
+  // stay zero under every other engine.
+  std::uint64_t dtlb_hits() const { return dtlb_hits_; }
+  std::uint64_t dtlb_misses() const { return dtlb_misses_; }
+  std::uint64_t cond_widened() const { return cond_widened_; }
+  std::uint64_t side_exits() const { return side_exits_; }
 
   // Test hook: per-op elided-flag masks (isa::kFlag* bits) of the
   // cached threaded block entered at `vaddr`, empty when no such block
@@ -285,10 +320,11 @@ class Cpu {
     std::uint32_t paddr = 0;     // fetch identity: physical address...
     // Threaded dispatch (resolved at build time, unused otherwise):
     // the handler pointer (a no-flags variant when `elided` != 0), the
-    // isa::kFlag* mask of elided flag writes, and whether the per-op
-    // page-version guard must run (only ops after an in-trace memory
-    // write can observe a version bump mid-dispatch; everything else
-    // is covered by the whole-trace prevalidation at entry).
+    // isa::kFlag* mask of elided flag writes, and whether the op is an
+    // SMC gate (set on the op right after each in-trace memory write —
+    // the only event that can bump a code-page version mid-dispatch).
+    // A gate re-validates the trace's whole page set; everything else
+    // is covered by the whole-trace prevalidation at entry.
     HandlerFn fn = nullptr;
     isa::Instruction instr;
     std::uint8_t elided = 0;
@@ -323,7 +359,18 @@ class Cpu {
     // run, because the elision proof assumes all guards hold at
     // dispatch entry.
     bool threaded = false;
+    // Built with conditional-edge widening (memfast mode): ops after a
+    // mid-trace jcc sit on the statically predicted edge and the
+    // dispatch loop runs the per-op `vaddr == eip` side-exit guard.
+    // Like `threaded`, a block built under one mode never runs under
+    // the other.
+    bool memfast = false;
     std::uint64_t elided_writes = 0;  // popcount sum over ops[].elided
+    // elided_cum[i] = popcount sum over ops[0..i-1].elided, so a
+    // dispatch that stops after `executed` ops (side exit, trap,
+    // truncation) accounts its elisions in O(1) instead of rescanning
+    // the executed prefix.  elided_cum[ops.size()] == elided_writes.
+    std::vector<std::uint32_t> elided_cum;
     std::vector<std::pair<std::uint32_t, std::uint64_t>> pages;
   };
   static constexpr std::uint32_t kNoBlock = 0xFFFFFFFF;
@@ -332,6 +379,9 @@ class Cpu {
   // Widened traces may join several basic blocks; a larger cap lets a
   // hot loop body with direct calls stay in one trace.
   static constexpr std::size_t kMaxTraceOps = 64;
+  // Conditional edges a single memfast trace may predecode past; keeps
+  // the misprediction cost (side exit + fresh probe) bounded.
+  static constexpr std::size_t kMaxCondEdges = 4;
 
   static std::uint32_t block_index(std::uint32_t paddr) {
     return (paddr ^ (paddr >> 12)) & (kBlockCacheSize - 1);
@@ -361,6 +411,12 @@ class Cpu {
     return true;
   }
 
+  // Conditional-edge widening is active only with the full memfast
+  // stack: chaining (widened traces), threaded dispatch (the side
+  // exit leans on the jcc liveness boundaries thread_block plants),
+  // and the memfast flag itself.
+  bool widen_mode() const { return chain_enabled_ && threaded_ && memfast_; }
+
   // Resolves handler pointers, verify guards, and the flag-liveness
   // elision for a freshly built block (threaded mode only).
   void thread_block(Block& blk);
@@ -368,15 +424,50 @@ class Cpu {
   // Drops the whole trace cache (dispatch-mode changes).
   void drop_all_blocks();
 
+  // Invalidates every D-TLB entry (engine toggles; epoch bumps from
+  // flushes, fills, and cr3 loads — including every snapshot and
+  // checkpoint-rung restore — invalidate entries implicitly).
+  void drop_dtlb() {
+    for (DtlbEntry& e : dtlb_) e.tag = 0xFFFFFFFF;
+  }
+
   // The dispatch loop, templated on the engine so the threaded hot
-  // path pays no per-op mode branches.
-  template <bool kThreaded>
+  // path pays no per-op mode branches; kWidened adds the memfast
+  // side-exit guard for traces predecoded past conditional branches.
+  template <bool kThreaded, bool kWidened>
   std::size_t run_block_impl(std::uint64_t max_instructions, const bool* stop,
                              CpuEvent& event);
+
+  // Software D-TLB for guest data accesses (memfast mode only).
+  // Direct-mapped on the virtual page number.  An entry proves "a full
+  // mmu_.translate of this page succeeded for `cpl` (with write
+  // permission iff write_ok) at Mmu epoch `epoch`".  While the epoch is
+  // unchanged the hardware TLB still holds that entry, so the skipped
+  // translate would have been a side-effect-free hit with the same
+  // frame — fill histories and trap points cannot diverge.  Any epoch
+  // bump (fill, flush, cr3 load — every snapshot/rung restore flushes)
+  // makes every entry stale at once; data freshness is automatic
+  // because hits still read/write through PhysicalMemory, which bumps
+  // page write versions as usual (guest SMC stays coherent).
+  struct DtlbEntry {
+    std::uint32_t tag = 0xFFFFFFFF;  // vpn; 0xFFFFFFFF = invalid
+    std::uint32_t frame = 0;
+    std::uint64_t epoch = 0;
+    std::uint8_t cpl = 0;
+    bool write_ok = false;
+  };
+  static constexpr std::uint32_t kDtlbSize = 256;  // power of two
+  DtlbEntry dtlb_[kDtlbSize];
+
+  // Fills the slot for `vaddr`'s page after a successful translate
+  // (called with the post-fill epoch).  A write-proven entry is never
+  // downgraded by a read fill of the same still-valid page.
+  void dtlb_fill(std::uint32_t vaddr, std::uint32_t paddr, Access access);
 
   std::vector<Block> block_cache_;
   bool chain_enabled_ = false;
   bool threaded_ = false;
+  bool memfast_ = false;
   std::uint64_t blocks_built_ = 0;
   std::uint64_t block_hits_ = 0;
   std::uint64_t block_fallbacks_ = 0;
@@ -387,6 +478,10 @@ class Cpu {
   std::uint64_t trace_len_ = 0;
   std::uint64_t threaded_ops_ = 0;
   std::uint64_t flag_elisions_ = 0;
+  std::uint64_t dtlb_hits_ = 0;
+  std::uint64_t dtlb_misses_ = 0;
+  std::uint64_t cond_widened_ = 0;
+  std::uint64_t side_exits_ = 0;
 
   TrapRecord last_trap_;
 

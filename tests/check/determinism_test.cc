@@ -65,7 +65,7 @@ TEST(check_determinism, ThreadCountDoesNotChangeResults) {
 // The stronger shared-cache contract: threads=1 and threads=4 borrowing
 // the *same* GoldenCache (so worker machines adopt one shared BootState
 // and resume from one shared ladder) produce identical result vectors,
-// under both execution engines.
+// under every execution engine tier from stepping to memfast.
 TEST(check_determinism, SharedCacheThreadCountIdenticalBothEngines) {
   const auto& prof = profile::default_profile();
   inject::CampaignConfig config = smoke_config(Campaign::RandomNonBranch);
@@ -73,7 +73,7 @@ TEST(check_determinism, SharedCacheThreadCountIdenticalBothEngines) {
   std::vector<CampaignRun> runs;
   for (const machine::ExecEngine engine :
        {machine::ExecEngine::Step, machine::ExecEngine::Block,
-        machine::ExecEngine::Chained}) {
+        machine::ExecEngine::Chained, machine::ExecEngine::Memfast}) {
     inject::InjectorOptions options;
     options.exec_engine = engine;
     auto cache = std::make_shared<inject::GoldenCache>(options);
@@ -85,7 +85,7 @@ TEST(check_determinism, SharedCacheThreadCountIdenticalBothEngines) {
       EXPECT_EQ(runs.back().stats.runs, runs.back().results.size());
     }
   }
-  ASSERT_EQ(runs.size(), 6u);
+  ASSERT_EQ(runs.size(), 8u);
   ASSERT_GT(runs[0].results.size(), 10u);
   for (std::size_t i = 1; i < runs.size(); ++i) {
     const RunComparison comparison = compare_runs(runs[0], runs[i]);

@@ -280,6 +280,62 @@ TEST(Injector, ThreadedEngineFlipInvalidatesHandlersAndMatchesStep) {
       << "the flip site must invalidate the threaded trace under it";
 }
 
+TEST(Injector, MemfastEngineFlipMatchesStepOnDataAndBranchSites) {
+  // Same contract against the memfast engine, on both hazards it adds:
+  // a flip landing on a page whose translation sits in the data-side
+  // D-TLB (the version bump must still invalidate the cached trace —
+  // the D-TLB caches translations, never bytes), and a reversed
+  // conditional branch inside a widened trace (the flipped direction
+  // must side-exit the predecoded edge, not follow it), re-deriving
+  // exactly the stepper's outcome, activation cycle, and fault
+  // latency — which includes the EFLAGS-driven branch decisions after
+  // the flip.
+  const kernel::KernelFunction* fn = image().function("pipe_read");
+  ASSERT_NE(fn, nullptr);
+  const auto sites = enumerate_function(image(), *fn);
+  const InstructionSite* branch_site = nullptr;
+  for (const InstructionSite& site : sites) {
+    if (site.is_cond_branch) {
+      branch_site = &site;
+      break;
+    }
+  }
+  ASSERT_NE(branch_site, nullptr);
+
+  const InjectionSpec specs[] = {
+      spec_for("pipe_read", sites[2], 0, 5, "pipe",
+               Campaign::RandomNonBranch),
+      spec_for("pipe_read", *branch_site,
+               static_cast<std::uint8_t>(condition_byte_index(*branch_site)),
+               0, "pipe", Campaign::IncorrectBranch),
+  };
+  InjectorOptions step_options;
+  step_options.exec_engine = machine::ExecEngine::Step;
+  InjectorOptions fast_options;
+  fast_options.exec_engine = machine::ExecEngine::Memfast;
+  Injector step_inj(step_options);
+  Injector fast_inj(fast_options);
+
+  for (const InjectionSpec& spec : specs) {
+    SCOPED_TRACE(spec.campaign == Campaign::IncorrectBranch ? "branch"
+                                                            : "data");
+    const InjectionResult a = step_inj.run_one(spec);
+    const InjectionResult b = fast_inj.run_one(spec);
+    EXPECT_EQ(a.outcome, b.outcome) << outcome_name(b.outcome);
+    EXPECT_EQ(a.activation_cycle, b.activation_cycle);
+    EXPECT_EQ(a.cause, b.cause);
+    EXPECT_EQ(a.latency_cycles, b.latency_cycles);
+    EXPECT_EQ(a.propagated, b.propagated);
+  }
+
+  EXPECT_GT(fast_inj.perf_stats().dtlb_hits, 0u);
+  EXPECT_GT(fast_inj.perf_stats().cond_widened, 0u);
+  EXPECT_GT(fast_inj.perf_stats().side_exits, 0u);
+  EXPECT_GE(fast_inj.perf_stats().block_invalidations, 1u)
+      << "the flip site must invalidate the widened trace under it";
+  EXPECT_EQ(step_inj.perf_stats().dtlb_hits, 0u);
+}
+
 TEST(Campaign, SmallCampaignCProducesPlausibleMix) {
   CampaignConfig config;
   config.campaign = Campaign::IncorrectBranch;

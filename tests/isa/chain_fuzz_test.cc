@@ -1,9 +1,11 @@
 // Differential fuzz battery guarding the engine identity contract.
 //
 // Every seeded program from the shape generator (program_fuzz.h) runs
-// four times — through the stepping engine, the one-block-per-dispatch
-// superblock engine, the chained engine, and the direct-threaded engine
-// with flag-liveness elision — and every run-visible outcome must be
+// five times — through the stepping engine, the one-block-per-dispatch
+// superblock engine, the chained engine, the direct-threaded engine
+// with flag-liveness elision, and the memfast engine (data-side D-TLB
+// plus conditional-edge trace widening) — and every run-visible
+// outcome must be
 // bit-identical: registers, the full Flags word at every trap delivery
 // and at the end of the run, eip, cpl, cycle count, halt/dead state,
 // the trap delivery sequence, every RAM page any engine dirtied, and
@@ -11,7 +13,7 @@
 // cache may only skip translations that are provably TLB hits, so fill
 // histories must match the stepper's).
 //
-// The four rigs are reused across seeds: a pristine post-setup
+// The five rigs are reused across seeds: a pristine post-setup
 // snapshot is restored before each program (O(dirtied pages), and the
 // restore bumps page versions, which invalidates stale cached blocks),
 // so the 1600-seed battery stays cheap enough for tier-1.
@@ -44,7 +46,7 @@ constexpr std::uint32_t kCodeVirt = 0xC0105000;  // page-aligned kernel text
 constexpr std::uint32_t kDataVirt = 0xC0200000;
 constexpr std::uint32_t kHandlerVirt = 0xC0110000;
 
-enum class Engine { Step, Block, Chained, Threaded };
+enum class Engine { Step, Block, Chained, Threaded, Memfast };
 
 const char* engine_name(Engine e) {
   switch (e) {
@@ -52,6 +54,7 @@ const char* engine_name(Engine e) {
     case Engine::Block: return "block";
     case Engine::Chained: return "chained";
     case Engine::Threaded: return "threaded";
+    case Engine::Memfast: return "memfast";
   }
   return "?";
 }
@@ -76,8 +79,12 @@ struct FuzzRig {
     cpu.set_vector(0x80, kHandlerVirt);
     cpu.set_vector(0x20, kHandlerVirt);
     memory.fill(phys_of_virt(kHandlerVirt), 64, 0xF4);  // hlt
-    cpu.set_chaining(engine == Engine::Chained || engine == Engine::Threaded);
-    cpu.set_threaded(engine == Engine::Threaded);
+    cpu.set_chaining(engine == Engine::Chained ||
+                     engine == Engine::Threaded ||
+                     engine == Engine::Memfast);
+    cpu.set_threaded(engine == Engine::Threaded ||
+                     engine == Engine::Memfast);
+    cpu.set_memfast(engine == Engine::Memfast);
     pristine = memory.snapshot_pages();
   }
 
@@ -193,7 +200,9 @@ void run_battery(Shape shape, int num_seeds) {
   FuzzRig block_rig(Engine::Block);
   FuzzRig chain_rig(Engine::Chained);
   FuzzRig thread_rig(Engine::Threaded);
-  FuzzRig* rigs[4] = {&step_rig, &block_rig, &chain_rig, &thread_rig};
+  FuzzRig memfast_rig(Engine::Memfast);
+  FuzzRig* rigs[5] = {&step_rig, &block_rig, &chain_rig, &thread_rig,
+                      &memfast_rig};
 
   std::vector<std::uint64_t> failures;
   for (std::uint64_t seed = 1;
@@ -205,14 +214,14 @@ void run_battery(Shape shape, int num_seeds) {
         << ": generator produced an unencodable program";
     ASSERT_LT(prog.bytes.size(), 2u * kPageSize);
 
-    Outcome outs[4];
-    std::vector<std::uint64_t> base[4];
-    for (int i = 0; i < 4; ++i) {
+    Outcome outs[5];
+    std::vector<std::uint64_t> base[5];
+    for (int i = 0; i < 5; ++i) {
       rigs[i]->reset(prog.bytes);
       base[i] = rigs[i]->memory.page_versions();
       outs[i] = run_engine(*rigs[i], prog.max_cycles);
     }
-    for (int i = 1; i < 4; ++i) {
+    for (int i = 1; i < 5; ++i) {
       const std::string err = compare_rigs(step_rig, *rigs[i], outs[0],
                                            outs[i], base[0], base[i]);
       if (!err.empty()) {
@@ -247,7 +256,14 @@ void run_battery(Shape shape, int num_seeds) {
   EXPECT_GT(chain_rig.cpu.block_ops(), 0u);
   EXPECT_GT(thread_rig.cpu.threaded_ops(), 0u)
       << "threaded rig never dispatched through handler pointers";
+  EXPECT_GT(memfast_rig.cpu.threaded_ops(), 0u);
   EXPECT_EQ(step_rig.cpu.block_ops(), 0u);
+  // The D-TLB and widening are memfast-only: no other rig may ever
+  // touch their counters.
+  EXPECT_EQ(thread_rig.cpu.dtlb_hits(), 0u);
+  EXPECT_EQ(thread_rig.cpu.dtlb_misses(), 0u);
+  EXPECT_EQ(chain_rig.cpu.cond_widened(), 0u);
+  EXPECT_EQ(chain_rig.cpu.side_exits(), 0u);
   if (shape == Shape::TightLoops || shape == Shape::BranchLadder ||
       shape == Shape::SmcChain || shape == Shape::DeadFlags ||
       shape == Shape::FlagEdge) {
@@ -258,9 +274,19 @@ void run_battery(Shape shape, int num_seeds) {
     EXPECT_GT(thread_rig.cpu.flag_elisions(), 0u)
         << "dead-flag runs never tripped the liveness elision";
   }
+  if (shape == Shape::MemMix || shape == Shape::TightLoops) {
+    EXPECT_GT(memfast_rig.cpu.dtlb_hits(), 0u)
+        << "memory-heavy shape never hit the D-TLB";
+  }
+  if (shape == Shape::CondEdge) {
+    EXPECT_GT(memfast_rig.cpu.cond_widened(), 0u)
+        << "diamond shape never widened past a conditional edge";
+    EXPECT_GT(memfast_rig.cpu.side_exits(), 0u)
+        << "alternating branches never forced a side exit";
+  }
 }
 
-// 8 shapes x 200 seeds = 1600 differential programs in tier-1.
+// 10 shapes x 200 seeds = 2000 differential programs in tier-1.
 TEST(ChainFuzz, Mixed) { run_battery(Shape::Mixed, 200); }
 TEST(ChainFuzz, TightLoops) { run_battery(Shape::TightLoops, 200); }
 TEST(ChainFuzz, BranchLadder) { run_battery(Shape::BranchLadder, 200); }
@@ -269,6 +295,8 @@ TEST(ChainFuzz, CrossPage) { run_battery(Shape::CrossPage, 200); }
 TEST(ChainFuzz, CallRet) { run_battery(Shape::CallRet, 200); }
 TEST(ChainFuzz, DeadFlags) { run_battery(Shape::DeadFlags, 200); }
 TEST(ChainFuzz, FlagEdge) { run_battery(Shape::FlagEdge, 200); }
+TEST(ChainFuzz, MemMix) { run_battery(Shape::MemMix, 200); }
+TEST(ChainFuzz, CondEdge) { run_battery(Shape::CondEdge, 200); }
 
 // Generator sanity: every emitted byte stream decodes cleanly end to
 // end (padding included), and regenerating a seed is deterministic.

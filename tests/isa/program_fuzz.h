@@ -149,6 +149,13 @@ inline Instruction alu_rr(Op op, Reg dst, Reg src) {
   i.src = Operand::make_reg(src);
   return i;
 }
+inline Instruction alu_ri(Op op, Reg dst, std::int32_t imm) {
+  Instruction i;
+  i.op = op;
+  i.dst = Operand::make_reg(dst);
+  i.src = Operand::make_imm(imm);
+  return i;
+}
 inline Instruction mem_op(Op op, Reg r, Reg base, std::int32_t disp,
                           bool load) {
   Instruction i;
@@ -212,12 +219,15 @@ enum class Shape {
   CallRet,      // call/ret webs — CallInd-free but stack-driven successors
   DeadFlags,    // long dead-flag ALU runs ended by a live cmp + jcc
   FlagEdge,     // flag producer/consumer pairs straddling chain edges
+  MemMix,       // dense loads/stores, incl. page-crossing pointers (D-TLB)
+  CondEdge,     // both-way conditional diamonds — widened-trace side exits
 };
 
 inline constexpr Shape kAllShapes[] = {
     Shape::Mixed,      Shape::TightLoops, Shape::BranchLadder,
     Shape::SmcChain,   Shape::CrossPage,  Shape::CallRet,
-    Shape::DeadFlags,  Shape::FlagEdge,
+    Shape::DeadFlags,  Shape::FlagEdge,   Shape::MemMix,
+    Shape::CondEdge,
 };
 
 inline const char* shape_name(Shape s) {
@@ -230,6 +240,8 @@ inline const char* shape_name(Shape s) {
     case Shape::CallRet: return "call_ret";
     case Shape::DeadFlags: return "dead_flags";
     case Shape::FlagEdge: return "flag_edge";
+    case Shape::MemMix: return "mem_mix";
+    case Shape::CondEdge: return "cond_edge";
   }
   return "?";
 }
@@ -566,6 +578,94 @@ inline void gen_flag_edge(Asm& a, Rng& rng) {
   a.branch(jcc(Cond::Ne), top);
 }
 
+inline void gen_mem_mix(Asm& a, Rng& rng, std::uint32_t data_virt) {
+  // Dense loads and stores inside a countdown loop: the memfast D-TLB
+  // must serve repeat accesses to the same pages without changing any
+  // run-visible state, and the page-crossing pointers (esi parked a
+  // few bytes shy of a page boundary) drive every 32-bit access
+  // through the two-page translate path on some iterations.  Stores
+  // are interleaved with reads of the same slots so a stale D-TLB
+  // frame or a missed write-permission check shows up as a wrong
+  // value, not just a wrong counter.
+  static constexpr Reg kSpare[] = {Reg::Eax, Reg::Edx, Reg::Ebx};
+  a.add(mov_ri(Reg::Esi, static_cast<std::int32_t>(
+                             data_virt + 4 * rng.below(32))));
+  // 0xFFD..0xFFF within the page: a 32-bit access straddles the page
+  // boundary; 0xFFC stays single-page as a control.
+  a.add(mov_ri(Reg::Edi, static_cast<std::int32_t>(
+                             data_virt + kFuzzPageSize - 4 + rng.below(4))));
+  a.add(mov_ri(Reg::Ecx, 3 + static_cast<std::int32_t>(rng.below(10))));
+  const int top = a.next_index();
+  const int body = 6 + static_cast<int>(rng.below(10));
+  for (int i = 0; i < body; ++i) {
+    const Reg r = kSpare[rng.below(3)];
+    switch (rng.below(6)) {
+      case 0:  // same-page store
+        a.add(mem_op(Op::Mov, r, Reg::Esi,
+                     static_cast<std::int32_t>(4 * rng.below(16)), false));
+        break;
+      case 1:  // same-page load
+        a.add(mem_op(Op::Mov, r, Reg::Esi,
+                     static_cast<std::int32_t>(4 * rng.below(16)), true));
+        break;
+      case 2:  // page-crossing (or boundary-adjacent) store
+        a.add(mem_op(Op::Mov, r, Reg::Edi, 0, false));
+        break;
+      case 3:  // page-crossing (or boundary-adjacent) load
+        a.add(mem_op(Op::Mov, r, Reg::Edi, 0, true));
+        break;
+      case 4:  // second page, far slot: a distinct D-TLB set
+        a.add(mem_op(Op::Mov, r, Reg::Esi,
+                     static_cast<std::int32_t>(kFuzzPageSize +
+                                               4 * rng.below(16)),
+                     rng.below(2) == 0));
+        break;
+      default:
+        emit_safe_body(a, rng, 1);
+        break;
+    }
+  }
+  a.add(unary(Op::Dec, Reg::Ecx));
+  a.branch(jcc(Cond::Ne), top);
+}
+
+inline void gen_cond_edge(Asm& a, Rng& rng) {
+  // Conditional diamonds whose direction alternates across iterations
+  // of an enclosing countdown loop: a widened memfast trace predecodes
+  // one edge of each jcc and must side-exit cleanly whenever the other
+  // edge is taken — half the iterations, by construction, since the
+  // branch keys on low bits of the loop counter.  Each path writes a
+  // different accumulator delta so a wrongly-followed predecoded edge
+  // changes run-visible state.
+  static constexpr Reg kSpare[] = {Reg::Eax, Reg::Edx, Reg::Ebx};
+  a.add(mov_ri(Reg::Edi, 4 + static_cast<std::int32_t>(rng.below(10))));
+  a.add(mov_ri(Reg::Esi, 0));
+  const int top = a.next_index();
+  const int diamonds = 2 + static_cast<int>(rng.below(3));
+  for (int d = 0; d < diamonds; ++d) {
+    // eax = edi & mask: alternates with period 2, 4, or 8.
+    a.add(alu_rr(Op::Mov, Reg::Eax, Reg::Edi));
+    a.add(alu_ri(Op::And, Reg::Eax,
+                 static_cast<std::int32_t>(1u << rng.below(3))));
+    const int jcc_item =
+        a.branch(jcc(rng.below(2) ? Cond::Ne : Cond::E), 0);
+    // Fall-through arm.
+    a.add(alu_ri(Op::Add, Reg::Esi,
+                 1 + static_cast<std::int32_t>(rng.below(100))));
+    emit_safe_body(a, rng, static_cast<int>(rng.below(2)));
+    const int join = a.branch(jmp(), 0);
+    // Taken arm.
+    a.set_target(jcc_item, a.next_index());
+    a.add(alu_ri(Op::Add, Reg::Esi,
+                 1 + static_cast<std::int32_t>(rng.below(100))));
+    a.add(alu_rr(rng.below(2) ? Op::Xor : Op::Add, kSpare[rng.below(3)],
+                 kSpare[rng.below(3)]));
+    a.set_target(join, a.next_index());
+  }
+  a.add(unary(Op::Dec, Reg::Edi));
+  a.branch(jcc(Cond::Ne), top);
+}
+
 }  // namespace detail
 
 // Generates the seeded program for `shape`.  `code_virt` must be
@@ -599,6 +699,12 @@ inline FuzzProgram generate(Shape shape, std::uint64_t seed,
       break;
     case Shape::FlagEdge:
       detail::gen_flag_edge(a, rng);
+      break;
+    case Shape::MemMix:
+      detail::gen_mem_mix(a, rng, data_virt);
+      break;
+    case Shape::CondEdge:
+      detail::gen_cond_edge(a, rng);
       break;
   }
   if (shape != Shape::BranchLadder) a.add(nullary(Op::Hlt));

@@ -1,13 +1,15 @@
 // Machine-level cross-engine identity: whole golden runs, checkpoint
 // ladders, and a smoke injection campaign executed under
-// ExecEngine::Step, ExecEngine::Block, ExecEngine::Chained, and
-// ExecEngine::Threaded must produce bit-identical run-visible state —
-// state_digest(), console, cycle counts, exits — plus identical
-// TLB-fill histories (the chained engine's inline translate cache may
+// ExecEngine::Step, ExecEngine::Block, ExecEngine::Chained,
+// ExecEngine::Threaded, and ExecEngine::Memfast must produce
+// bit-identical run-visible state — state_digest(), console, cycle
+// counts, exits — plus identical TLB-fill histories (the chained
+// engine's inline translate cache and the memfast data-side D-TLB may
 // only skip provable TLB hits) and bit-exact timer delivery under
 // adversarial tick periods.  Threaded additionally elides provably
-// dead flag writes, so these comparisons are also the machine-level
-// proof that the liveness analysis never drops a live flag.
+// dead flag writes, and memfast widens traces past conditional edges
+// and short-circuits data translates, so these comparisons are also
+// the machine-level proof that neither optimization is observable.
 #include "machine/machine.h"
 
 #include <gtest/gtest.h>
@@ -30,6 +32,7 @@ const char* engine_name(ExecEngine engine) {
     case ExecEngine::Block: return "block";
     case ExecEngine::Chained: return "chained";
     case ExecEngine::Threaded: return "threaded";
+    case ExecEngine::Memfast: return "memfast";
   }
   return "?";
 }
@@ -52,7 +55,8 @@ TEST(ExecEngine, GoldenRunIdenticalAcrossEngines) {
   EXPECT_EQ(step_m->perf_stats().block_ops, 0u);
 
   for (const ExecEngine engine :
-       {ExecEngine::Block, ExecEngine::Chained, ExecEngine::Threaded}) {
+       {ExecEngine::Block, ExecEngine::Chained, ExecEngine::Threaded,
+        ExecEngine::Memfast}) {
     SCOPED_TRACE(engine_name(engine));
     auto block_m = make_machine("syscall", engine);
     ASSERT_TRUE(block_m->boot()) << block_m->console_output();
@@ -70,7 +74,7 @@ TEST(ExecEngine, GoldenRunIdenticalAcrossEngines) {
     } else {
       EXPECT_GT(stats.chain_follows, 0u);
     }
-    if (engine == ExecEngine::Threaded) {
+    if (engine == ExecEngine::Threaded || engine == ExecEngine::Memfast) {
       // Direct-threaded dispatch retired ops through handler pointers
       // and the liveness pass actually elided dead flag writes.
       EXPECT_GT(stats.threaded_ops, 0u);
@@ -78,6 +82,18 @@ TEST(ExecEngine, GoldenRunIdenticalAcrossEngines) {
     } else {
       EXPECT_EQ(stats.threaded_ops, 0u);
       EXPECT_EQ(stats.flag_elisions, 0u);
+    }
+    if (engine == ExecEngine::Memfast) {
+      // The data-side D-TLB actually served loads/stores, and trace
+      // formation actually widened past conditional edges.
+      EXPECT_GT(stats.dtlb_hits, 0u);
+      EXPECT_GT(stats.cond_widened, 0u);
+      EXPECT_GT(stats.side_exits, 0u);
+    } else {
+      EXPECT_EQ(stats.dtlb_hits, 0u);
+      EXPECT_EQ(stats.dtlb_misses, 0u);
+      EXPECT_EQ(stats.cond_widened, 0u);
+      EXPECT_EQ(stats.side_exits, 0u);
     }
     // TLB-fill determinism: the MMU epoch counts every TLB mutation
     // (fills and flushes).  The chained engine's inline translate cache
@@ -102,7 +118,8 @@ TEST(ExecEngine, CheckpointLadderIdenticalAcrossEngines) {
   auto cks_a = step_m->capture_checkpoints(rungs, kRunBudget);
 
   for (const ExecEngine engine :
-       {ExecEngine::Block, ExecEngine::Chained, ExecEngine::Threaded}) {
+       {ExecEngine::Block, ExecEngine::Chained, ExecEngine::Threaded,
+        ExecEngine::Memfast}) {
     SCOPED_TRACE(engine_name(engine));
     auto block_m = make_machine("syscall", engine);
     ASSERT_TRUE(block_m->boot());
@@ -147,7 +164,8 @@ TEST(ExecEngine, SmokeCampaignIdenticalAcrossEngines) {
       check::smoke_config(inject::Campaign::RandomNonBranch));
 
   for (const ExecEngine engine :
-       {ExecEngine::Block, ExecEngine::Chained, ExecEngine::Threaded}) {
+       {ExecEngine::Block, ExecEngine::Chained, ExecEngine::Threaded,
+        ExecEngine::Memfast}) {
     SCOPED_TRACE(engine_name(engine));
     inject::InjectorOptions block_options;
     block_options.exec_engine = engine;
@@ -171,8 +189,14 @@ TEST(ExecEngine, SmokeCampaignIdenticalAcrossEngines) {
     if (engine != ExecEngine::Block) {
       EXPECT_GT(block_inj.perf_stats().chain_follows, 0u);
     }
-    if (engine == ExecEngine::Threaded) {
+    if (engine == ExecEngine::Threaded || engine == ExecEngine::Memfast) {
       EXPECT_GT(block_inj.perf_stats().threaded_ops, 0u);
+    }
+    if (engine == ExecEngine::Memfast) {
+      EXPECT_GT(block_inj.perf_stats().dtlb_hits, 0u);
+      EXPECT_GT(block_inj.perf_stats().cond_widened, 0u);
+    } else {
+      EXPECT_EQ(block_inj.perf_stats().dtlb_hits, 0u);
     }
   }
 }
@@ -185,11 +209,12 @@ TEST(ExecEngine, TimerPeriodSweepChainedMatchesStep) {
   static const disk::DiskImage root_disk = make_root_disk();
   for (const std::uint32_t period : {977u, 1361u}) {
     SCOPED_TRACE(period);
-    std::uint64_t digests[3];
-    std::uint64_t cycles[3];
+    std::uint64_t digests[4];
+    std::uint64_t cycles[4];
     int i = 0;
     for (const ExecEngine engine :
-         {ExecEngine::Step, ExecEngine::Chained, ExecEngine::Threaded}) {
+         {ExecEngine::Step, ExecEngine::Chained, ExecEngine::Threaded,
+          ExecEngine::Memfast}) {
       MachineOptions options;
       options.exec_engine = engine;
       options.timer_period = period;
@@ -204,7 +229,7 @@ TEST(ExecEngine, TimerPeriodSweepChainedMatchesStep) {
       }
       ++i;
     }
-    for (int j = 1; j < 3; ++j) {
+    for (int j = 1; j < 4; ++j) {
       EXPECT_EQ(digests[0], digests[j])
           << "state diverged at period " << period << " engine " << j;
       EXPECT_EQ(cycles[0], cycles[j])
@@ -223,6 +248,8 @@ TEST(ExecEngine, DefaultsFromEnvironment) {
     EXPECT_EQ(def, ExecEngine::Chained);
   } else if (env != nullptr && std::string_view(env) == "threaded") {
     EXPECT_EQ(def, ExecEngine::Threaded);
+  } else if (env != nullptr && std::string_view(env) == "memfast") {
+    EXPECT_EQ(def, ExecEngine::Memfast);
   } else {
     EXPECT_EQ(def, ExecEngine::Step);
   }

@@ -1,0 +1,262 @@
+// Unit tests for the memfast data-side D-TLB: fill/hit/upgrade counter
+// mechanics, fail-closed invalidation on every event that can change a
+// translation (MMU epoch bumps from cr3 loads and TLB flushes,
+// snapshot/checkpoint restores, engine toggles), guest self-modifying
+// code reached through a D-TLB-cached pointer, and the page-crossing
+// 32-bit fast path (one translate per page, bytes split across the
+// boundary exactly as the stepper splits them).
+//
+// The engine-identity proof lives in the isa fuzz battery (the memfast
+// rig) and the machine-level exec_engine tests; these tests pin the
+// *mechanism* — which accesses miss, which hit, and which events force
+// a re-fill — so a regression reports as "restore did not drop the
+// D-TLB" rather than "digest diverged somewhere".
+#include "vm/cpu.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../isa/program_fuzz.h"
+#include "vm/hostmap.h"
+#include "vm/snapshot.h"
+
+namespace kfi::vm {
+namespace {
+
+using isa::Cond;
+using isa::Op;
+using isa::Reg;
+using isa::fuzz::Asm;
+using isa::fuzz::alu_rr;
+using isa::fuzz::jcc;
+using isa::fuzz::mem_op;
+using isa::fuzz::mov_ri;
+using isa::fuzz::nullary;
+using isa::fuzz::unary;
+
+constexpr std::uint32_t kCodeVirt = 0xC0105000;  // page-aligned
+constexpr std::uint32_t kDataVirt = 0xC0200000;
+constexpr std::uint32_t kHandlerVirt = 0xC0110000;
+
+struct Rig {
+  PhysicalMemory memory;
+  Bus bus;
+  Cpu cpu;
+
+  explicit Rig(bool memfast = true) : memory(kRamSize), cpu(memory, bus) {
+    HostMapper mapper(memory, kBootPgdPhys, kKernelPtePhys);
+    mapper.map_range(kKernelBase, 0, kRamSize, kPteWrite);
+    cpu.mmu().set_cr3(kBootPgdPhys);
+    memory.write32(kTssPhys, kBootStackTop);
+    for (int v = 0; v < 32; ++v) cpu.set_vector(v, kHandlerVirt);
+    cpu.set_vector(0x80, kHandlerVirt);
+    cpu.set_vector(0x20, kHandlerVirt);
+    memory.fill(phys_of_virt(kHandlerVirt), 64, 0xF4);
+    cpu.set_reg(Reg::Esp, kBootStackTop);
+    cpu.set_eip(kCodeVirt);
+    cpu.set_chaining(memfast);
+    cpu.set_threaded(memfast);
+    cpu.set_memfast(memfast);
+  }
+
+  void load(const std::vector<std::uint8_t>& bytes) {
+    memory.write_block(phys_of_virt(kCodeVirt), bytes.data(),
+                       static_cast<std::uint32_t>(bytes.size()));
+  }
+
+  CpuEvent run(std::uint64_t max_cycles) {
+    CpuEvent event{};
+    while (cpu.cycles() < max_cycles) {
+      if (cpu.run_block(max_cycles - cpu.cycles(), nullptr, event) == 0) {
+        event = cpu.step();
+      }
+      if (event.kind != CpuEventKind::Executed) break;
+    }
+    return event;
+  }
+};
+
+// mov esi, data; n x { store/load [esi] }; hlt — every data access after
+// the first lands on the same page.
+std::vector<std::uint8_t> same_page_program(int accesses) {
+  Asm a;
+  a.add(mov_ri(Reg::Esi, static_cast<std::int32_t>(kDataVirt)));
+  a.add(mov_ri(Reg::Eax, 0x1234));
+  for (int i = 0; i < accesses; ++i) {
+    a.add(mem_op(Op::Mov, Reg::Eax, Reg::Esi,
+                 4 * (i % 8), /*load=*/i % 2 != 0));
+  }
+  a.add(nullary(Op::Hlt));
+  return a.assemble(kCodeVirt);
+}
+
+TEST(Dtlb, FillHitAndWriteUpgradeCounters) {
+  // Exact per-access accounting, driven by step() so nothing but the
+  // five data accesses touches read_v/write_v: a read fill does not
+  // grant write permission, so the first store re-translates (upgrade
+  // miss) even though the read already cached the page.
+  Asm a;
+  a.add(mov_ri(Reg::Esi, static_cast<std::int32_t>(kDataVirt)));
+  a.add(mem_op(Op::Mov, Reg::Eax, Reg::Esi, 0, /*load=*/true));   // miss
+  a.add(mem_op(Op::Mov, Reg::Ebx, Reg::Esi, 4, /*load=*/true));   // hit
+  a.add(mem_op(Op::Mov, Reg::Eax, Reg::Esi, 0, /*load=*/false));  // miss
+  a.add(mem_op(Op::Mov, Reg::Eax, Reg::Esi, 4, /*load=*/false));  // hit
+  a.add(mem_op(Op::Mov, Reg::Ecx, Reg::Esi, 0, /*load=*/true));   // hit
+  a.add(nullary(Op::Hlt));
+  Rig rig;
+  rig.load(a.assemble(kCodeVirt));
+  CpuEvent event{};
+  do {
+    event = rig.cpu.step();
+  } while (event.kind == CpuEventKind::Executed);
+  EXPECT_EQ(event.kind, CpuEventKind::Halted);
+  EXPECT_EQ(rig.cpu.dtlb_misses(), 2u);
+  EXPECT_EQ(rig.cpu.dtlb_hits(), 3u);
+}
+
+TEST(Dtlb, MemfastMatchesStepperAndHitsDtlb) {
+  Rig fast(/*memfast=*/true);
+  Rig step(/*memfast=*/false);
+  step.cpu.set_chaining(false);
+  step.cpu.set_threaded(false);
+  const auto program = same_page_program(24);
+  fast.load(program);
+  step.load(program);
+  EXPECT_EQ(fast.run(1000).kind, CpuEventKind::Halted);
+  CpuEvent event{};
+  do {
+    event = step.cpu.step();
+  } while (event.kind == CpuEventKind::Executed);
+  EXPECT_EQ(event.kind, CpuEventKind::Halted);
+  for (int r = 0; r < isa::kRegCount; ++r) {
+    EXPECT_EQ(fast.cpu.reg(static_cast<Reg>(r)),
+              step.cpu.reg(static_cast<Reg>(r)))
+        << "reg " << r;
+  }
+  EXPECT_EQ(fast.cpu.cycles(), step.cpu.cycles());
+  EXPECT_GT(fast.cpu.dtlb_hits(), 0u);
+  EXPECT_EQ(step.cpu.dtlb_hits(), 0u);
+  EXPECT_EQ(step.cpu.dtlb_misses(), 0u);
+}
+
+TEST(Dtlb, SnapshotRestoreForcesRefill) {
+  // A checkpoint-rung restore rewrites RAM from a snapshot and reloads
+  // cr3; the cr3 load flushes the I-TLB and bumps the MMU epoch, which
+  // must also strand every D-TLB entry — a hit after restore could
+  // otherwise read through a translation the restored page tables no
+  // longer contain.
+  Rig rig;
+  rig.load(same_page_program(16));
+  const ChunkedSnapshot snap = rig.memory.snapshot_pages();
+  EXPECT_EQ(rig.run(1000).kind, CpuEventKind::Halted);
+  EXPECT_GT(rig.cpu.dtlb_hits(), 0u);
+  const std::uint64_t misses_before = rig.cpu.dtlb_misses();
+
+  std::vector<std::uint64_t> memo;
+  rig.memory.restore_pages(snap, memo);
+  rig.cpu.mmu().set_cr3(kBootPgdPhys);  // what every restore path does
+  rig.cpu.set_eip(kCodeVirt);
+  rig.cpu.set_halted(false);
+  EXPECT_EQ(rig.run(2000).kind, CpuEventKind::Halted);
+  // The first post-restore access cannot be served from the D-TLB.
+  EXPECT_GT(rig.cpu.dtlb_misses(), misses_before);
+}
+
+TEST(Dtlb, EngineToggleDropsDtlb) {
+  Rig rig;
+  rig.load(same_page_program(16));
+  EXPECT_EQ(rig.run(1000).kind, CpuEventKind::Halted);
+  const std::uint64_t misses_before = rig.cpu.dtlb_misses();
+
+  // Flipping memfast off and back on (the exec-engine toggle) must
+  // drop the D-TLB outright: entries cached under the old mode carry
+  // no validity story across the flip.
+  rig.cpu.set_memfast(false);
+  rig.cpu.set_memfast(true);
+  rig.cpu.set_eip(kCodeVirt);
+  rig.cpu.set_halted(false);
+  EXPECT_EQ(rig.run(2000).kind, CpuEventKind::Halted);
+  EXPECT_GT(rig.cpu.dtlb_misses(), misses_before);
+}
+
+TEST(Dtlb, GuestSmcThroughCachedPointerReDecodes) {
+  // The store's target page is D-TLB-cached by an earlier store, and
+  // the target is the imm32 of an instruction later in the SAME
+  // widened trace: the D-TLB fast path must still bump the page
+  // version, and the SMC gate after the store must hand control back
+  // so the rewritten bytes are re-decoded — exactly what the stepper
+  // does.
+  Asm a;
+  a.add(mov_ri(Reg::Eax, static_cast<std::int32_t>(0xAABBCCDD)));
+  const int ptr = a.addr_imm(mov_ri(Reg::Esi, 0), 0, 0);  // re-aimed below
+  a.add(mem_op(Op::Mov, Reg::Eax, Reg::Esi, 0, /*load=*/false));  // warm
+  a.add(mem_op(Op::Mov, Reg::Eax, Reg::Esi, 0, /*load=*/false));  // rewrite
+  const int marker = a.add(mov_ri(Reg::Ebx, 0x11111111));
+  a.set_imm_target(ptr, marker, 1);  // &imm32 of the marker mov
+  a.add(nullary(Op::Hlt));
+
+  Rig fast(/*memfast=*/true);
+  Rig step(/*memfast=*/false);
+  step.cpu.set_chaining(false);
+  step.cpu.set_threaded(false);
+  const auto program = a.assemble(kCodeVirt);
+  ASSERT_FALSE(program.empty());
+  fast.load(program);
+  step.load(program);
+  EXPECT_EQ(fast.run(1000).kind, CpuEventKind::Halted);
+  CpuEvent event{};
+  do {
+    event = step.cpu.step();
+  } while (event.kind == CpuEventKind::Executed);
+  EXPECT_EQ(event.kind, CpuEventKind::Halted);
+  EXPECT_EQ(step.cpu.reg(Reg::Ebx), 0xAABBCCDDu) << "stepper baseline";
+  EXPECT_EQ(fast.cpu.reg(Reg::Ebx), 0xAABBCCDDu)
+      << "memfast ran the stale predecoded marker";
+  EXPECT_EQ(fast.cpu.cycles(), step.cpu.cycles());
+}
+
+TEST(Dtlb, PageCrossingAccessMatchesStepper) {
+  // 32-bit store + loads straddling a page boundary: the fast path
+  // translates once per page (not per byte) but must leave the same
+  // bytes on both pages, the same registers, and the same D-TLB state
+  // as four byte-wise accesses would.
+  for (const std::uint32_t off : {0xFFDu, 0xFFEu, 0xFFFu}) {
+    SCOPED_TRACE(off);
+    Asm a;
+    a.add(mov_ri(Reg::Esi, static_cast<std::int32_t>(kDataVirt + off)));
+    a.add(mov_ri(Reg::Eax, static_cast<std::int32_t>(0x44332211)));
+    a.add(mem_op(Op::Mov, Reg::Eax, Reg::Esi, 0, /*load=*/false));
+    a.add(mem_op(Op::Mov, Reg::Ebx, Reg::Esi, 0, /*load=*/true));
+    a.add(mem_op(Op::Mov, Reg::Ecx, Reg::Esi, -8, /*load=*/true));
+    a.add(nullary(Op::Hlt));
+    const auto program = a.assemble(kCodeVirt);
+
+    Rig fast(/*memfast=*/true);
+    Rig step(/*memfast=*/false);
+    step.cpu.set_chaining(false);
+    step.cpu.set_threaded(false);
+    fast.load(program);
+    step.load(program);
+    EXPECT_EQ(fast.run(1000).kind, CpuEventKind::Halted);
+    CpuEvent event{};
+    do {
+      event = step.cpu.step();
+    } while (event.kind == CpuEventKind::Executed);
+    EXPECT_EQ(event.kind, CpuEventKind::Halted);
+    EXPECT_EQ(fast.cpu.reg(Reg::Ebx), 0x44332211u);
+    EXPECT_EQ(step.cpu.reg(Reg::Ebx), 0x44332211u);
+    EXPECT_EQ(fast.cpu.reg(Reg::Ecx), step.cpu.reg(Reg::Ecx));
+    // Byte-identical split across the boundary in both machines.
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(fast.memory.read8(phys_of_virt(kDataVirt + off + i)),
+                step.memory.read8(phys_of_virt(kDataVirt + off + i)))
+          << "byte " << i;
+    }
+    EXPECT_EQ(fast.memory.read8(phys_of_virt(kDataVirt + off)), 0x11u);
+    EXPECT_EQ(fast.memory.read8(phys_of_virt(kDataVirt + off + 3)), 0x44u);
+  }
+}
+
+}  // namespace
+}  // namespace kfi::vm

@@ -299,11 +299,12 @@ TEST(ThreadBlock, PinnedElisionMasksForStraightLineBlock) {
   EXPECT_GT(rig.cpu.threaded_ops(), 0u);
 }
 
-TEST(ThreadBlock, InTraceStoreSuspendsElisionBehindItsGuards) {
+TEST(ThreadBlock, InTraceStoreGatesElisionAtTheNextOp) {
   // add; mov [esi],eax; add; sub; hlt — the store may trap (nothing
-  // before it elides) and every op after it keeps a version guard that
-  // can fail, making each a liveness boundary: no op in this block is
-  // elidable even though the adds' flags look dead.
+  // before it elides) and the op right after it is an SMC gate, a
+  // liveness boundary where every earlier flag write is observable.
+  // Past the gate, liveness resumes: the second add dies into the
+  // sub's full kill and elides again.
   Asm a;
   a.add(mov_ri(Reg::Esi, static_cast<std::int32_t>(kDataVirt)));
   a.add(alu_rr(Op::Add, Reg::Eax, Reg::Ecx));
@@ -320,9 +321,10 @@ TEST(ThreadBlock, InTraceStoreSuspendsElisionBehindItsGuards) {
   ASSERT_GE(masks.size(), 5u);
   EXPECT_EQ(masks[1], 0) << "flag write before a trap-capable store elided";
   EXPECT_EQ(masks[2], 0);
-  // ops[4] (sub) is a guard boundary, so ops[3] (add) must stay exact;
-  // the sub itself dies into the hlt... which is a trap boundary too.
-  EXPECT_EQ(masks[3], 0) << "write before a guarded successor elided";
+  // ops[3] (add) sits AT the gate; the gate exit lands before it, so
+  // its own write is unaffected and dies into the sub's full kill.
+  EXPECT_EQ(masks[3], kFlagAll) << "write past the SMC gate not elided";
+  // ops[4] (sub) feeds the hlt end-of-trace boundary: conservative.
   EXPECT_EQ(masks[4], 0);
 }
 
