@@ -17,7 +17,16 @@
 // behavior.  Emits BENCH_throughput.json with machine-readable numbers:
 // runs/sec per mode, RAM bytes copied per restore, checkpoint hit rate,
 // decode-cache hit rate, block-engine counters, the per-thread-count
-// sweep (with scheduler telemetry), and the shared result digest.
+// sweep (with scheduler telemetry), the worker-process sweep of the
+// sharded campaign service (src/serve) under the same digest gate, and
+// the shared result digest.
+//
+// Sweeps default to {1, 2, 4, 8}; --jobs N (or KFI_JOBS) replaces the
+// ladder with {1, N} — strictly parsed, so a mistyped count aborts
+// instead of silently sweeping hardware concurrency.  Every sweep
+// entry records hardware_concurrency, and a single-core host tags the
+// sweeps "scaling_valid": false: the identity gates still bind there,
+// the wall-clock ratios do not.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -27,12 +36,16 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/io.h"
+#include "analysis/store.h"
 #include "check/expectations.h"
 #include "check/replay.h"
 #include "inject/campaign.h"
 #include "inject/golden.h"
 #include "machine/machine.h"
 #include "profile/profile.h"
+#include "serve/service.h"
+#include "support/strings.h"
 #include "trace/trace.h"
 
 namespace {
@@ -88,29 +101,11 @@ ModeResult run_mode(const std::string& name,
 }
 
 // FNV-1a over every field that identifies an outcome; any behavioral
-// divergence between the two modes changes the value.
+// divergence between two modes changes the value.  Shared with the
+// campaign service's streaming aggregation (analysis/store), which is
+// exactly why the sharded digest is comparable bit-for-bit.
 std::uint64_t results_digest(const std::vector<inject::CampaignRun>& runs) {
-  std::uint64_t h = 1469598103934665603ULL;
-  const auto mix = [&h](std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h = (h ^ static_cast<std::uint8_t>(v >> (8 * i))) * 1099511628211ULL;
-    }
-  };
-  for (const inject::CampaignRun& run : runs) {
-    for (const inject::InjectionResult& r : run.results) {
-      mix(static_cast<std::uint64_t>(r.outcome));
-      mix(r.activation_cycle);
-      mix(static_cast<std::uint64_t>(r.cause));
-      mix(r.crash_eip);
-      mix(r.crash_addr);
-      mix(r.latency_cycles);
-      mix(static_cast<std::uint64_t>(r.severity));
-      mix((r.fs_damaged ? 1u : 0u) | (r.bootable ? 2u : 0u) |
-          (r.propagated ? 4u : 0u));
-      mix(r.spec.instr_addr);
-    }
-  }
-  return h;
+  return analysis::results_digest(runs);
 }
 
 double per_restore(std::uint64_t total, std::uint64_t restores) {
@@ -211,10 +206,25 @@ void print_mode(std::FILE* out, const ModeResult& mode, bool last) {
 
 int main(int argc, char** argv) {
   const char* out_path = "BENCH_throughput.json";
+  unsigned jobs = analysis::jobs_from_env();
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      if (!parse_jobs(argv[i + 1], jobs)) {
+        std::fprintf(stderr, "error: --jobs expects an integer in "
+                             "[1, 1024], got '%s'\n", argv[i + 1]);
+        return 2;
+      }
+      ++i;
     }
+  }
+  // --jobs N swaps the hardcoded {1,2,4,8} ladders for {1, N}: the
+  // 1-entry stays as the speedup baseline.
+  std::vector<unsigned> sweep_counts = {1u, 2u, 4u, 8u};
+  if (jobs != 0) {
+    sweep_counts = {1u};
+    if (jobs != 1) sweep_counts.push_back(jobs);
   }
 
   inject::InjectorOptions baseline_options;
@@ -462,8 +472,11 @@ int main(int argc, char** argv) {
   }
   const std::uint64_t golden_builds = sweep_cache->golden_builds();
   const unsigned hardware = std::thread::hardware_concurrency();
+  // On a single-core host the sweep's wall-clock ratios measure
+  // scheduling overhead, not scaling; the JSON says so explicitly.
+  const bool scaling_valid = hardware > 1;
   std::vector<ModeResult> sweep;
-  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+  for (const unsigned threads : sweep_counts) {
     sweep.push_back(run_mode("t" + std::to_string(threads), memfast_options,
                              threads, sweep_cache));
     const ModeResult& entry = sweep.back();
@@ -494,7 +507,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("threads sweep (block_memfast, shared golden cache, "
-              "%u hardware threads):\n", hardware);
+              "%u hardware threads%s):\n", hardware,
+              scaling_valid ? "" : ", scaling not valid on 1 core");
   for (const ModeResult& entry : sweep) {
     std::printf("  t=%u: %6.2f s  (%.2f runs/s, %.2fx vs t=1, "
                 "%llu chunks, %llu steals)\n",
@@ -503,6 +517,61 @@ int main(int argc, char** argv) {
                 sweep[0].seconds / entry.seconds,
                 static_cast<unsigned long long>(entry.stats.chunks),
                 static_cast<unsigned long long>(entry.stats.steals));
+  }
+
+  // Worker-process sweep: the sharded campaign service end to end —
+  // manifest, golden bundles (built once at w=1, mmap-adopted by every
+  // later entry), forked workers, content-addressed shard artifacts,
+  // streaming spec-order aggregation.  Gate: the aggregated digest
+  // must equal the in-process digest at every worker count.
+  struct ProcessEntry {
+    unsigned workers = 0;
+    double seconds = 0.0;
+    serve::ServiceResult result;
+  };
+  std::vector<ProcessEntry> process_sweep;
+  const std::string serve_root = "kfi-serve-bench";
+  for (const unsigned workers : sweep_counts) {
+    serve::ServiceConfig service;
+    for (const inject::Campaign campaign : kCampaigns) {
+      service.campaigns.push_back(check::smoke_config(campaign));
+    }
+    service.options = memfast_options;
+    service.dir = serve_root + "/w" + std::to_string(workers);
+    service.bundle_dir = serve_root + "/bundles";  // shared: built once
+    service.workers = workers;
+    service.fresh = true;
+    const auto begin = std::chrono::steady_clock::now();
+    serve::ServiceResult result = serve::run_service(service);
+    const auto end = std::chrono::steady_clock::now();
+    if (!result.ok) {
+      std::fprintf(stderr, "FAIL: campaign service at workers=%u: %s\n",
+                   workers, result.error.c_str());
+      return 1;
+    }
+    if (result.digest != digest) {
+      std::fprintf(stderr,
+                   "FAIL: workers=%u sharded digest %016llx != %016llx\n",
+                   workers, static_cast<unsigned long long>(result.digest),
+                   static_cast<unsigned long long>(digest));
+      return 1;
+    }
+    ProcessEntry entry;
+    entry.workers = workers;
+    entry.seconds = std::chrono::duration<double>(end - begin).count();
+    entry.result = std::move(result);
+    process_sweep.push_back(std::move(entry));
+  }
+  std::printf("process sweep (sharded service, forked workers, "
+              "%u hardware threads%s):\n", hardware,
+              scaling_valid ? "" : ", scaling not valid on 1 core");
+  for (const ProcessEntry& entry : process_sweep) {
+    std::printf("  w=%u: %6.2f s  (%.2fx vs w=1, %llu shards, "
+                "%llu steals, digest identical)\n",
+                entry.workers, entry.seconds,
+                process_sweep[0].seconds / entry.seconds,
+                static_cast<unsigned long long>(entry.result.shard_count),
+                static_cast<unsigned long long>(entry.result.steals));
   }
 
   std::FILE* out = std::fopen(out_path, "w");
@@ -537,6 +606,7 @@ int main(int argc, char** argv) {
                "  \"trace_gate\": {\"trace_identical\": true, "
                "\"result_digest\": \"%016llx\"},\n"
                "  \"hardware_concurrency\": %u,\n"
+               "  \"scaling_valid\": %s,\n"
                "  \"sweep_golden_builds\": %llu,\n"
                "  \"threads_sweep\": [\n",
                speedup, block_speedup, chained_speedup, threaded_speedup,
@@ -545,6 +615,7 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(threaded_digest),
                static_cast<unsigned long long>(memfast_digest),
                static_cast<unsigned long long>(trace_digest), hardware,
+               scaling_valid ? "true" : "false",
                static_cast<unsigned long long>(golden_builds));
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     const ModeResult& entry = sweep[i];
@@ -552,6 +623,7 @@ int main(int argc, char** argv) {
                  "    {\"threads\": %u, \"seconds\": %.3f, \"runs\": %llu, "
                  "\"runs_per_sec\": %.2f, \"speedup_vs_t1\": %.3f, "
                  "\"chunks\": %llu, \"steals\": %llu, "
+                 "\"hardware_concurrency\": %u, \"scaling_valid\": %s, "
                  "\"results_identical\": true, "
                  "\"result_digest\": \"%016llx\"}%s\n",
                  entry.threads, entry.seconds,
@@ -560,15 +632,51 @@ int main(int argc, char** argv) {
                  sweep[0].seconds / entry.seconds,
                  static_cast<unsigned long long>(entry.stats.chunks),
                  static_cast<unsigned long long>(entry.stats.steals),
+                 hardware, scaling_valid ? "true" : "false",
                  static_cast<unsigned long long>(digest),
                  i + 1 == sweep.size() ? "" : ",");
   }
   std::fprintf(out,
                "  ],\n"
                "  \"sweep_identical\": true,\n"
+               "  \"process_sweep\": [\n");
+  for (std::size_t i = 0; i < process_sweep.size(); ++i) {
+    const ProcessEntry& entry = process_sweep[i];
+    std::fprintf(
+        out,
+        "    {\"workers\": %u, \"seconds\": %.3f, \"runs\": %llu, "
+        "\"runs_per_sec\": %.2f, \"speedup_vs_w1\": %.3f, "
+        "\"shards\": %llu, \"shards_executed\": %llu, "
+        "\"shards_resumed\": %llu, \"steals\": %llu, "
+        "\"bundles_built\": %llu, \"bundles_adopted\": %llu, "
+        "\"attempts\": %d, "
+        "\"hardware_concurrency\": %u, \"scaling_valid\": %s, "
+        "\"sharded_identical\": true, "
+        "\"result_digest\": \"%016llx\"}%s\n",
+        entry.workers, entry.seconds,
+        static_cast<unsigned long long>(entry.result.total_runs),
+        entry.seconds > 0.0
+            ? static_cast<double>(entry.result.total_runs) / entry.seconds
+            : 0.0,
+        process_sweep[0].seconds / entry.seconds,
+        static_cast<unsigned long long>(entry.result.shard_count),
+        static_cast<unsigned long long>(entry.result.shards_executed),
+        static_cast<unsigned long long>(entry.result.shards_resumed),
+        static_cast<unsigned long long>(entry.result.steals),
+        static_cast<unsigned long long>(entry.result.bundles_built),
+        static_cast<unsigned long long>(entry.result.bundles_adopted),
+        entry.result.attempts, hardware, scaling_valid ? "true" : "false",
+        static_cast<unsigned long long>(entry.result.digest),
+        i + 1 == process_sweep.size() ? "" : ",");
+  }
+  std::fprintf(out,
+               "  ],\n"
+               "  \"sharded_gate\": {\"sharded_identical\": true, "
+               "\"result_digest\": \"%016llx\"},\n"
                "  \"results_identical\": true,\n"
                "  \"result_digest\": \"%016llx\"\n"
                "}\n",
+               static_cast<unsigned long long>(digest),
                static_cast<unsigned long long>(digest));
   std::fclose(out);
   return 0;

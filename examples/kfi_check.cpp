@@ -9,6 +9,7 @@
 //
 // Exit status 0 = every check passed, 1 = at least one failed.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -17,15 +18,44 @@
 #include "check/replay.h"
 #include "inject/campaign.h"
 #include "profile/profile.h"
+#include "support/strings.h"
 
 namespace {
 
 using namespace kfi;
 
+// Strict numeric flag parsing everywhere: a worker count of "4x" or
+// "0" aborts with exit 2 instead of being atoi'd into something that
+// silently runs the wrong experiment.  --jobs and --threads are
+// synonyms here; KFI_JOBS supplies the default when set.
+unsigned require_jobs(const char* flag, const char* text) {
+  unsigned jobs = 0;
+  if (!parse_jobs(text, jobs)) {
+    std::fprintf(stderr, "error: %s expects an integer in [1, 1024], "
+                         "got '%s'\n", flag, text);
+    std::exit(2);
+  }
+  return jobs;
+}
+
+std::uint64_t require_u64(const char* flag, const char* text,
+                          std::uint64_t min_value, std::uint64_t max_value) {
+  std::uint64_t value = 0;
+  if (!parse_u64(text, value, min_value, max_value)) {
+    std::fprintf(stderr,
+                 "error: %s expects an integer in [%llu, %llu], got '%s'\n",
+                 flag, static_cast<unsigned long long>(min_value),
+                 static_cast<unsigned long long>(max_value), text);
+    std::exit(2);
+  }
+  return value;
+}
+
 int usage() {
   std::printf(
       "usage: kfi_check <command> [args]\n"
-      "  shape smoke [--threads N] run the fixed smoke campaigns (A and C\n"
+      "  shape smoke [--threads N | --jobs N]\n"
+      "                            run the fixed smoke campaigns (A and C\n"
       "                            over %zu hot functions) and evaluate\n"
       "                            the smoke oracles\n"
       "  shape full [--scale N --seed N --cache DIR --no-cache --quiet\n"
@@ -40,7 +70,7 @@ int usage() {
       "                            from (campaign, seed, repeats)\n"
       "  replay <file.kfi> --index N\n"
       "                            replay exactly result #N\n"
-      "  determinism [--threads N] [--campaign A|B|C]\n"
+      "  determinism [--threads N | --jobs N] [--campaign A|B|C]\n"
       "                            run the smoke campaign with threads=1\n"
       "                            and threads=N (default 4) and require\n"
       "                            identical result vectors\n",
@@ -131,10 +161,15 @@ int cmd_shape(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string scale = argv[2];
   if (scale == "smoke") {
-    unsigned threads = 1;
+    unsigned threads = analysis::jobs_from_env() != 0
+                           ? analysis::jobs_from_env()
+                           : 1;
     for (int i = 3; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-        threads = static_cast<unsigned>(std::atoi(argv[++i]));
+      if ((std::strcmp(argv[i], "--threads") == 0 ||
+           std::strcmp(argv[i], "--jobs") == 0) &&
+          i + 1 < argc) {
+        threads = require_jobs(argv[i], argv[i + 1]);
+        ++i;
       }
     }
     inject::Injector injector;
@@ -188,13 +223,16 @@ int cmd_replay(int argc, char** argv) {
   int repeats = 1;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--samples") == 0 && i + 1 < argc) {
-      samples = static_cast<std::size_t>(std::atol(argv[++i]));
+      samples = static_cast<std::size_t>(
+          require_u64("--samples", argv[++i], 1, 1'000'000));
     } else if (std::strcmp(argv[i], "--index") == 0 && i + 1 < argc) {
-      index = std::atol(argv[++i]);
+      index = static_cast<long>(
+          require_u64("--index", argv[++i], 0, 1'000'000'000));
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      seed = require_u64("--seed", argv[++i], 0, UINT64_MAX);
     } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
-      repeats = std::atoi(argv[++i]);
+      repeats = static_cast<int>(
+          require_u64("--scale", argv[++i], 1, 1'000'000));
     }
   }
 
@@ -236,11 +274,16 @@ int cmd_replay(int argc, char** argv) {
 }
 
 int cmd_determinism(int argc, char** argv) {
-  unsigned threads = 4;
+  unsigned threads = analysis::jobs_from_env() != 0
+                         ? analysis::jobs_from_env()
+                         : 4;
   inject::Campaign campaign = inject::Campaign::IncorrectBranch;
   for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    if ((std::strcmp(argv[i], "--threads") == 0 ||
+         std::strcmp(argv[i], "--jobs") == 0) &&
+        i + 1 < argc) {
+      threads = require_jobs(argv[i], argv[i + 1]);
+      ++i;
     } else if (std::strcmp(argv[i], "--campaign") == 0 && i + 1 < argc) {
       campaign = parse_campaign(argv[++i]);
     }

@@ -1,123 +1,46 @@
 #include "analysis/io.h"
 
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 #include <filesystem>
-#include <fstream>
 
+#include "analysis/store.h"
 #include "kernel/build.h"
+#include "support/fsio.h"
+#include "support/serial.h"
 #include "support/strings.h"
 
 namespace kfi::analysis {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x4B464931;  // "KFI1"
+// v4: unchanged byte layout since the put_u32/put_str writers this file
+// used before the shared ByteWriter — the per-result record now lives
+// in analysis/store (write_result/read_result) so shard artifacts and
+// campaign caches stay format-twins.
 constexpr std::uint32_t kVersion = 4;
-
-void put_u32(std::string& out, std::uint32_t v) {
-  out.append(reinterpret_cast<const char*>(&v), 4);
-}
-void put_u64(std::string& out, std::uint64_t v) {
-  out.append(reinterpret_cast<const char*>(&v), 8);
-}
-void put_str(std::string& out, const std::string& s) {
-  put_u32(out, static_cast<std::uint32_t>(s.size()));
-  out.append(s);
-}
-
-struct Reader {
-  const std::string& data;
-  std::size_t pos = 0;
-  bool ok = true;
-
-  std::uint32_t u32() {
-    if (pos + 4 > data.size()) {
-      ok = false;
-      return 0;
-    }
-    std::uint32_t v;
-    std::memcpy(&v, data.data() + pos, 4);
-    pos += 4;
-    return v;
-  }
-  std::uint64_t u64() {
-    if (pos + 8 > data.size()) {
-      ok = false;
-      return 0;
-    }
-    std::uint64_t v;
-    std::memcpy(&v, data.data() + pos, 8);
-    pos += 8;
-    return v;
-  }
-  std::string str() {
-    const std::uint32_t n = u32();
-    if (!ok || pos + n > data.size()) {
-      ok = false;
-      return "";
-    }
-    std::string s = data.substr(pos, n);
-    pos += n;
-    return s;
-  }
-};
 
 }  // namespace
 
 bool save_campaign(const inject::CampaignRun& run, const std::string& path) {
-  std::string out;
-  put_u32(out, kMagic);
-  put_u32(out, kVersion);
-  put_u32(out, static_cast<std::uint32_t>(run.campaign));
-  put_u64(out, run.functions_targeted);
-  put_u64(out, run.results.size());
+  ByteWriter writer;
+  writer.u32(kMagic);
+  writer.u32(kVersion);
+  writer.u32(static_cast<std::uint32_t>(run.campaign));
+  writer.u64(run.functions_targeted);
+  writer.u64(run.results.size());
   for (const inject::InjectionResult& r : run.results) {
-    put_u32(out, static_cast<std::uint32_t>(r.spec.campaign));
-    put_str(out, r.spec.function);
-    put_u32(out, static_cast<std::uint32_t>(r.spec.subsystem));
-    put_u32(out, r.spec.instr_addr);
-    put_u32(out, r.spec.instr_len);
-    put_u32(out, r.spec.byte_index);
-    put_u32(out, r.spec.bit_index);
-    put_str(out, r.spec.workload);
-    put_u32(out, static_cast<std::uint32_t>(r.outcome));
-    put_u64(out, r.activation_cycle);
-    put_u32(out, static_cast<std::uint32_t>(r.cause));
-    put_u32(out, r.crash_eip);
-    put_u32(out, r.crash_addr);
-    put_u32(out, static_cast<std::uint32_t>(r.crash_subsystem));
-    put_u32(out, r.propagated ? 1 : 0);
-    put_u64(out, r.latency_cycles);
-    put_u32(out, static_cast<std::uint32_t>(r.severity));
-    put_u32(out, r.fs_damaged ? 1 : 0);
-    put_u32(out, r.bootable ? 1 : 0);
-    put_u32(out, r.repair_verified ? 1 : 0);
-    put_str(out, r.disasm_before);
-    put_str(out, r.disasm_after);
+    write_result(writer, r);
   }
-
-  std::ofstream file(path, std::ios::binary | std::ios::trunc);
-  if (!file) return false;
-  file.write(out.data(), static_cast<std::streamsize>(out.size()));
-  file.flush();
-  file.close();
-  if (!file.good()) {
-    // A truncated artifact would be silently rejected (or worse,
-    // half-parsed) on the next load; remove it so the campaign is
-    // re-run instead of read back wrong.
-    std::error_code ec;
-    std::filesystem::remove(path, ec);
-    return false;
-  }
-  return true;
+  // Crash-safe: a reader either sees the previous cache or the complete
+  // new one, never a torn write that half-parses on the next load.
+  return atomic_write_file(path, writer.buffer());
 }
 
 std::optional<inject::CampaignRun> load_campaign(const std::string& path) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file) return std::nullopt;
-  std::string data((std::istreambuf_iterator<char>(file)),
-                   std::istreambuf_iterator<char>());
-  Reader reader{data};
+  const std::optional<std::string> data = read_file_bytes(path);
+  if (!data.has_value()) return std::nullopt;
+  ByteReader reader(*data);
   if (reader.u32() != kMagic || reader.u32() != kVersion) {
     return std::nullopt;
   }
@@ -126,44 +49,22 @@ std::optional<inject::CampaignRun> load_campaign(const std::string& path) {
   run.campaign = static_cast<inject::Campaign>(reader.u32());
   run.functions_targeted = static_cast<std::size_t>(reader.u64());
   const std::uint64_t count = reader.u64();
-  if (!reader.ok || count > 100'000'000) return std::nullopt;
+  if (!reader.ok() || count > 100'000'000) return std::nullopt;
   run.results.reserve(count);
-  for (std::uint64_t i = 0; i < count && reader.ok; ++i) {
+  for (std::uint64_t i = 0; i < count && reader.ok(); ++i) {
     inject::InjectionResult r;
-    r.spec.campaign = static_cast<inject::Campaign>(reader.u32());
-    r.spec.function = reader.str();
-    r.spec.subsystem = static_cast<kernel::Subsystem>(reader.u32());
-    r.spec.instr_addr = reader.u32();
-    r.spec.instr_len = static_cast<std::uint8_t>(reader.u32());
-    r.spec.byte_index = static_cast<std::uint8_t>(reader.u32());
-    r.spec.bit_index = static_cast<std::uint8_t>(reader.u32());
-    r.spec.workload = reader.str();
-    r.outcome = static_cast<inject::Outcome>(reader.u32());
-    r.activation_cycle = reader.u64();
-    r.cause = static_cast<inject::CrashCause>(reader.u32());
-    r.crash_eip = reader.u32();
-    r.crash_addr = reader.u32();
-    r.crash_subsystem = static_cast<kernel::Subsystem>(reader.u32());
-    r.propagated = reader.u32() != 0;
-    r.latency_cycles = reader.u64();
-    r.severity = static_cast<inject::Severity>(reader.u32());
-    r.fs_damaged = reader.u32() != 0;
-    r.bootable = reader.u32() != 0;
-    r.repair_verified = reader.u32() != 0;
-    r.disasm_before = reader.str();
-    r.disasm_after = reader.str();
+    if (!read_result(reader, r)) break;
     run.results.push_back(std::move(r));
   }
-  if (!reader.ok) return std::nullopt;
+  if (!reader.ok() || run.results.size() != count) return std::nullopt;
   return run;
 }
 
 std::uint64_t kernel_fingerprint(const kernel::KernelImage& image) {
-  std::uint64_t fingerprint = 1469598103934665603ULL;
+  std::uint64_t fingerprint = kFnvOffset;
   for (const kernel::LoadSegment& segment : image.segments) {
-    for (const std::uint8_t byte : segment.bytes) {
-      fingerprint = (fingerprint ^ byte) * 1099511628211ULL;
-    }
+    fingerprint =
+        fnv1a_bytes(segment.bytes.data(), segment.bytes.size(), fingerprint);
   }
   return fingerprint;
 }
@@ -225,15 +126,48 @@ inject::CampaignRun load_or_run_campaign(inject::Injector& injector,
   return run;
 }
 
+namespace {
+
+// Strict numeric flag parse: prints the offending flag and exits(2)
+// instead of atoi's silent 0-on-garbage (which turned "--threads 4x"
+// into a hardware-concurrency sweep without a word).
+std::uint64_t require_u64(const char* flag, const char* text,
+                          std::uint64_t min_value, std::uint64_t max_value) {
+  std::uint64_t value = 0;
+  if (!parse_u64(text, value, min_value, max_value)) {
+    std::fprintf(stderr,
+                 "error: %s expects an integer in [%llu, %llu], got '%s'\n",
+                 flag, static_cast<unsigned long long>(min_value),
+                 static_cast<unsigned long long>(max_value), text);
+    std::exit(2);
+  }
+  return value;
+}
+
+}  // namespace
+
+unsigned jobs_from_env() {
+  const char* env = std::getenv("KFI_JOBS");
+  if (env == nullptr || *env == '\0') return 0;
+  unsigned jobs = 0;
+  if (!parse_jobs(env, jobs)) {
+    std::fprintf(stderr, "error: KFI_JOBS expects an integer in [1, 1024], "
+                         "got '%s'\n", env);
+    std::exit(2);
+  }
+  return jobs;
+}
+
 BenchOptions parse_bench_options(int argc, char** argv) {
   BenchOptions options;
+  options.jobs = jobs_from_env();
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--scale" && i + 1 < argc) {
-      options.repeats = std::atoi(argv[++i]);
-      if (options.repeats < 1) options.repeats = 1;
+      options.repeats = static_cast<int>(
+          require_u64("--scale", argv[++i], 1, 1'000'000));
     } else if (arg == "--seed" && i + 1 < argc) {
-      options.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      options.seed = require_u64("--seed", argv[++i], 0, UINT64_MAX);
     } else if (arg == "--cache" && i + 1 < argc) {
       options.cache_dir = argv[++i];
     } else if (arg == "--no-cache") {
@@ -241,13 +175,25 @@ BenchOptions parse_bench_options(int argc, char** argv) {
     } else if (arg == "--quiet") {
       options.verbose = false;
     } else if (arg == "--threads" && i + 1 < argc) {
-      options.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+      options.threads = static_cast<unsigned>(
+          require_u64("--threads", argv[++i], 0, 1024));
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      unsigned jobs = 0;
+      if (!parse_jobs(argv[i + 1], jobs)) {
+        std::fprintf(stderr, "error: --jobs expects an integer in [1, 1024], "
+                             "got '%s'\n", argv[i + 1]);
+        std::exit(2);
+      }
+      ++i;
+      options.jobs = jobs;
     } else if (arg == "--help") {
       std::printf(
           "options: --scale N (repeat random campaigns N times)\n"
           "         --seed N  (campaign RNG seed)\n"
           "         --cache DIR | --no-cache\n"
           "         --threads N (worker threads; 0 = hardware concurrency)\n"
+          "         --jobs N  (replace the 1/2/4/8 scaling sweeps with one\n"
+          "                    entry at N workers; also via KFI_JOBS)\n"
           "         --quiet\n");
       std::exit(0);
     }

@@ -37,7 +37,7 @@ inject::CampaignRun load_or_run_campaign(inject::Injector& injector,
                                          bool verbose, unsigned threads = 0);
 
 // Shared bench flags: --scale N (repeats), --seed N, --cache DIR,
-// --no-cache, --quiet, --threads N.
+// --no-cache, --quiet, --threads N, --jobs N.
 struct BenchOptions {
   int repeats = 1;
   std::uint64_t seed = 2003;
@@ -45,8 +45,22 @@ struct BenchOptions {
   bool use_cache = true;
   bool verbose = true;
   unsigned threads = 0;  // 0 = hardware concurrency
+  // Scaling-sweep override: when non-zero, sweeps run {1, jobs} instead
+  // of the hardcoded {1, 2, 4, 8} ladder.  Set by --jobs or KFI_JOBS
+  // (flag wins); both are strict parse_jobs inputs — 0, "4x", and
+  // anything above 1024 are rejected with exit(2), never silently
+  // coerced.  0 = no override.
+  unsigned jobs = 0;
 };
 
+// KFI_JOBS from the environment (strict; exits(2) on garbage), or 0
+// when unset.  Exposed for binaries that do not use
+// parse_bench_options (bench_throughput's own flag handling).
+unsigned jobs_from_env();
+
+// All numeric flags are strict (support/strings parse_u64): a
+// malformed value prints a diagnostic and exits(2) instead of being
+// atoi'd to 0.
 BenchOptions parse_bench_options(int argc, char** argv);
 
 // Runs (or loads) one campaign with the given options.

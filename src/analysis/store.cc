@@ -1,0 +1,305 @@
+#include "analysis/store.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <queue>
+#include <utility>
+
+#include "support/strings.h"
+
+namespace kfi::analysis {
+namespace {
+
+constexpr std::uint32_t kShardMagic = 0x4B464953;  // "KFIS"
+constexpr std::uint32_t kShardVersion = 1;
+
+std::string shard_file_name(std::uint64_t index, std::uint64_t hash) {
+  return format("shard_%06llu_%016llx.kfis",
+                static_cast<unsigned long long>(index),
+                static_cast<unsigned long long>(hash));
+}
+
+std::string shard_prefix(std::uint64_t index) {
+  return format("shard_%06llu_", static_cast<unsigned long long>(index));
+}
+
+// The hash component of "shard_NNNNNN_<16 hex>.kfis", or nullopt when
+// the name does not have that shape.
+std::optional<std::uint64_t> hash_from_name(const std::string& name,
+                                            const std::string& prefix) {
+  const std::string suffix = ".kfis";
+  if (!starts_with(name, prefix)) return std::nullopt;
+  if (name.size() != prefix.size() + 16 + suffix.size()) return std::nullopt;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return std::nullopt;
+  }
+  std::uint64_t hash = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    const char c = name[prefix.size() + i];
+    std::uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return std::nullopt;
+    }
+    hash = (hash << 4) | digit;
+  }
+  return hash;
+}
+
+}  // namespace
+
+void ResultDigest::mix(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h_ = (h_ ^ static_cast<std::uint8_t>(v >> (8 * i))) * kFnvPrime;
+  }
+}
+
+void ResultDigest::add(const inject::InjectionResult& r) {
+  mix(static_cast<std::uint64_t>(r.outcome));
+  mix(r.activation_cycle);
+  mix(static_cast<std::uint64_t>(r.cause));
+  mix(r.crash_eip);
+  mix(r.crash_addr);
+  mix(r.latency_cycles);
+  mix(static_cast<std::uint64_t>(r.severity));
+  mix((r.fs_damaged ? 1u : 0u) | (r.bootable ? 2u : 0u) |
+      (r.propagated ? 4u : 0u));
+  mix(r.spec.instr_addr);
+}
+
+std::uint64_t results_digest(const std::vector<inject::CampaignRun>& runs) {
+  ResultDigest digest;
+  for (const inject::CampaignRun& run : runs) {
+    for (const inject::InjectionResult& r : run.results) digest.add(r);
+  }
+  return digest.value();
+}
+
+void write_result(ByteWriter& writer, const inject::InjectionResult& r) {
+  writer.u32(static_cast<std::uint32_t>(r.spec.campaign));
+  writer.str(r.spec.function);
+  writer.u32(static_cast<std::uint32_t>(r.spec.subsystem));
+  writer.u32(r.spec.instr_addr);
+  writer.u32(r.spec.instr_len);
+  writer.u32(r.spec.byte_index);
+  writer.u32(r.spec.bit_index);
+  writer.str(r.spec.workload);
+  writer.u32(static_cast<std::uint32_t>(r.outcome));
+  writer.u64(r.activation_cycle);
+  writer.u32(static_cast<std::uint32_t>(r.cause));
+  writer.u32(r.crash_eip);
+  writer.u32(r.crash_addr);
+  writer.u32(static_cast<std::uint32_t>(r.crash_subsystem));
+  writer.u32(r.propagated ? 1 : 0);
+  writer.u64(r.latency_cycles);
+  writer.u32(static_cast<std::uint32_t>(r.severity));
+  writer.u32(r.fs_damaged ? 1 : 0);
+  writer.u32(r.bootable ? 1 : 0);
+  writer.u32(r.repair_verified ? 1 : 0);
+  writer.str(r.disasm_before);
+  writer.str(r.disasm_after);
+}
+
+bool read_result(ByteReader& reader, inject::InjectionResult& out) {
+  out.spec.campaign = static_cast<inject::Campaign>(reader.u32());
+  out.spec.function = reader.str();
+  out.spec.subsystem = static_cast<kernel::Subsystem>(reader.u32());
+  out.spec.instr_addr = reader.u32();
+  out.spec.instr_len = static_cast<std::uint8_t>(reader.u32());
+  out.spec.byte_index = static_cast<std::uint8_t>(reader.u32());
+  out.spec.bit_index = static_cast<std::uint8_t>(reader.u32());
+  out.spec.workload = reader.str();
+  out.outcome = static_cast<inject::Outcome>(reader.u32());
+  out.activation_cycle = reader.u64();
+  out.cause = static_cast<inject::CrashCause>(reader.u32());
+  out.crash_eip = reader.u32();
+  out.crash_addr = reader.u32();
+  out.crash_subsystem = static_cast<kernel::Subsystem>(reader.u32());
+  out.propagated = reader.u32() != 0;
+  out.latency_cycles = reader.u64();
+  out.severity = static_cast<inject::Severity>(reader.u32());
+  out.fs_damaged = reader.u32() != 0;
+  out.bootable = reader.u32() != 0;
+  out.repair_verified = reader.u32() != 0;
+  out.disasm_before = reader.str();
+  out.disasm_after = reader.str();
+  return reader.ok();
+}
+
+std::string ShardStore::write_shard(std::uint64_t shard_index,
+                                    std::uint64_t config_hash,
+                                    std::vector<ShardRecord> records) const {
+  // Records are written sorted by spec index so the aggregator's k-way
+  // merge only ever needs the head of each shard.
+  std::sort(records.begin(), records.end(),
+            [](const ShardRecord& a, const ShardRecord& b) {
+              return a.spec_index < b.spec_index;
+            });
+  ByteWriter writer;
+  writer.u32(kShardMagic);
+  writer.u32(kShardVersion);
+  writer.u64(shard_index);
+  writer.u64(config_hash);
+  writer.u64(records.size());
+  for (const ShardRecord& record : records) {
+    writer.u64(record.spec_index);
+    write_result(writer, record.result);
+  }
+  const std::string payload = writer.take();
+  const std::uint64_t hash = fnv1a_bytes(payload.data(), payload.size());
+  const std::string path = dir_ + "/" + shard_file_name(shard_index, hash);
+  if (!atomic_write_file(path, payload)) return "";
+  return path;
+}
+
+std::optional<std::string> ShardStore::find_shard(
+    std::uint64_t shard_index) const {
+  const std::string prefix = shard_prefix(shard_index);
+  std::error_code ec;
+  std::optional<std::string> fallback;
+  // Deterministic scan order so concurrent observers agree on the
+  // winner when (transiently) both a corrupt artifact and its re-run
+  // exist.
+  std::vector<std::string> names;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    names.push_back(entry.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    if (!hash_from_name(name, prefix).has_value()) continue;
+    const std::string path = dir_ + "/" + name;
+    if (verify_shard(path)) return path;
+    fallback = path;
+  }
+  return fallback;
+}
+
+bool ShardStore::verify_shard(const std::string& path) {
+  const std::string name =
+      std::filesystem::path(path).filename().string();
+  const std::size_t sep = name.rfind('_');
+  if (sep == std::string::npos) return false;
+  const auto named = hash_from_name(name, name.substr(0, sep + 1));
+  if (!named.has_value()) return false;
+  const auto actual = file_content_hash(path);
+  return actual.has_value() && *actual == *named;
+}
+
+void ShardStore::discard_shard(std::uint64_t shard_index) const {
+  const std::string prefix = shard_prefix(shard_index);
+  std::error_code ec;
+  std::vector<std::string> victims;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (hash_from_name(name, prefix).has_value()) {
+      victims.push_back(entry.path().string());
+    }
+  }
+  for (const std::string& path : victims) {
+    std::filesystem::remove(path, ec);
+  }
+}
+
+std::optional<ShardCursor> ShardCursor::open(const std::string& path,
+                                             std::uint64_t expect_index,
+                                             std::uint64_t expect_config) {
+  std::shared_ptr<const MappedFile> file = MappedFile::map(path);
+  if (file == nullptr) return std::nullopt;
+  ByteReader reader(file->data(), file->size());
+  if (reader.u32() != kShardMagic || reader.u32() != kShardVersion) {
+    return std::nullopt;
+  }
+  const std::uint64_t index = reader.u64();
+  const std::uint64_t config = reader.u64();
+  const std::uint64_t count = reader.u64();
+  if (!reader.ok() || index != expect_index || config != expect_config) {
+    return std::nullopt;
+  }
+  return ShardCursor(std::move(file), std::move(reader), index, count);
+}
+
+bool ShardCursor::next(ShardRecord& out) {
+  if (!ok_ || read_ >= count_) return false;
+  out.spec_index = reader_.u64();
+  if (!read_result(reader_, out.result)) {
+    ok_ = false;
+    return false;
+  }
+  ++read_;
+  return true;
+}
+
+bool merge_shards(std::vector<ShardCursor>& cursors,
+                  const std::function<bool(const ShardRecord&)>& fn) {
+  // Min-heap of (spec_index, cursor position); one in-flight record per
+  // cursor is the whole working set.
+  using Head = std::pair<std::uint64_t, std::size_t>;
+  std::priority_queue<Head, std::vector<Head>, std::greater<Head>> heap;
+  std::vector<ShardRecord> heads(cursors.size());
+  std::vector<std::uint64_t> last_in_shard(cursors.size(), 0);
+  for (std::size_t i = 0; i < cursors.size(); ++i) {
+    if (cursors[i].next(heads[i])) {
+      last_in_shard[i] = heads[i].spec_index;
+      heap.emplace(heads[i].spec_index, i);
+    } else if (!cursors[i].ok()) {
+      return false;
+    }
+  }
+  bool first = true;
+  std::uint64_t last = 0;
+  while (!heap.empty()) {
+    const auto [index, i] = heap.top();
+    heap.pop();
+    if (!first && index <= last) return false;  // duplicate across shards
+    first = false;
+    last = index;
+    if (!fn(heads[i])) return false;
+    if (cursors[i].next(heads[i])) {
+      // Within-shard order is a file invariant (write_shard sorts);
+      // enforce it so a tampered file cannot smuggle a duplicate past
+      // the cross-shard check.
+      if (heads[i].spec_index <= last_in_shard[i]) return false;
+      last_in_shard[i] = heads[i].spec_index;
+      heap.emplace(heads[i].spec_index, i);
+    } else if (!cursors[i].ok()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+StreamingFold::StreamingFold(std::vector<std::uint64_t> counts,
+                             bool materialize)
+    : counts_(std::move(counts)), materialize_(materialize) {
+  for (const std::uint64_t c : counts_) total_ += c;
+  if (materialize_) {
+    slots_.resize(counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      slots_[i].reserve(static_cast<std::size_t>(counts_[i]));
+    }
+  }
+}
+
+bool StreamingFold::add(const ShardRecord& record) {
+  // A complete disjoint shard set merges to exactly 0..total-1; any
+  // deviation means a shard is missing, duplicated, or mis-indexed.
+  if (record.spec_index != next_ || next_ >= total_) return false;
+  ++next_;
+  digest_.add(record.result);
+  if (materialize_) {
+    std::uint64_t index = record.spec_index;
+    for (std::size_t slot = 0; slot < counts_.size(); ++slot) {
+      if (index < counts_[slot]) {
+        slots_[slot].push_back(record.result);
+        break;
+      }
+      index -= counts_[slot];
+    }
+  }
+  return true;
+}
+
+}  // namespace kfi::analysis

@@ -117,6 +117,34 @@ std::vector<InjectionSpec> campaign_targets(const profile::ProfileResult& prof,
   return targets;
 }
 
+std::vector<std::size_t> campaign_order(
+    Injector& injector, const std::vector<InjectionSpec>& targets) {
+  // Group runs by workload, then by the target's first-execution cycle
+  // in the golden run, so consecutive runs resume from the same (or an
+  // adjacent) checkpoint-ladder rung and re-dirty the same small page
+  // set.  Results are always written to spec-order slots, so execution
+  // order is a pure locality decision, never a result decision.
+  std::vector<std::size_t> order(targets.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<std::uint64_t> touch_cycle(targets.size(), ~0ULL);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const auto& touch = injector.first_touch(targets[i].workload);
+    const auto it = touch.find(targets[i].instr_addr);
+    if (it != touch.end()) touch_cycle[i] = it->second.first;
+  }
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (targets[a].workload != targets[b].workload) {
+                return targets[a].workload < targets[b].workload;
+              }
+              if (touch_cycle[a] != touch_cycle[b]) {
+                return touch_cycle[a] < touch_cycle[b];
+              }
+              return a < b;
+            });
+  return order;
+}
+
 CampaignRun run_campaign(Injector& injector,
                          const profile::ProfileResult& prof,
                          const CampaignConfig& config) {
@@ -137,31 +165,7 @@ CampaignRun run_campaign(Injector& injector,
     threads = static_cast<unsigned>(targets.size() ? targets.size() : 1);
   }
 
-  // Execution order: group runs by workload, then by the target's
-  // first-execution cycle in the golden run, so consecutive runs resume
-  // from the same (or an adjacent) checkpoint-ladder rung and re-dirty
-  // the same small page set.  Each result is still written to its
-  // spec-order slot, so the output is order-independent.
-  std::vector<std::size_t> order(targets.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  {
-    std::vector<std::uint64_t> touch_cycle(targets.size(), ~0ULL);
-    for (std::size_t i = 0; i < targets.size(); ++i) {
-      const auto& touch = injector.first_touch(targets[i].workload);
-      const auto it = touch.find(targets[i].instr_addr);
-      if (it != touch.end()) touch_cycle[i] = it->second.first;
-    }
-    std::sort(order.begin(), order.end(),
-              [&](std::size_t a, std::size_t b) {
-                if (targets[a].workload != targets[b].workload) {
-                  return targets[a].workload < targets[b].workload;
-                }
-                if (touch_cycle[a] != touch_cycle[b]) {
-                  return touch_cycle[a] < touch_cycle[b];
-                }
-                return a < b;
-              });
-  }
+  const std::vector<std::size_t> order = campaign_order(injector, targets);
 
   // The caller's injector may carry counters from earlier campaigns;
   // only the delta accrued here belongs to this run's stats.

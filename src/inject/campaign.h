@@ -84,6 +84,18 @@ std::vector<InjectionSpec> campaign_targets(const profile::ProfileResult& prof,
                                             const CampaignConfig& config,
                                             std::size_t* functions_targeted);
 
+// The deterministic execution order run_campaign drains: positions
+// into `targets`, grouped by workload and sorted by each target's
+// first-execution cycle in the golden run, so consecutive runs resume
+// from the same (or an adjacent) checkpoint-ladder rung.  Exposed so
+// the process-sharded campaign service (src/serve) cuts its shard
+// manifest over the identical order — shard boundaries, and therefore
+// shard artifact hashes, depend only on (targets, golden touch maps).
+// Looking up first-touch maps builds (or bundle-adopts) each
+// workload's golden artifacts in `injector`'s cache.
+std::vector<std::size_t> campaign_order(
+    Injector& injector, const std::vector<InjectionSpec>& targets);
+
 CampaignRun run_campaign(Injector& injector,
                          const profile::ProfileResult& prof,
                          const CampaignConfig& config);

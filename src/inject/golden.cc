@@ -18,20 +18,35 @@ GoldenCache::GoldenCache(InjectorOptions options,
 
 GoldenCache::~GoldenCache() = default;
 
+GoldenCache::Entry* GoldenCache::entry_for(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = entries_[name];
+  if (slot == nullptr) slot = std::make_unique<Entry>();
+  return slot.get();
+}
+
 const WorkloadGolden& GoldenCache::workload(const std::string& name) {
-  Entry* entry;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto& slot = entries_[name];
-    if (slot == nullptr) slot = std::make_unique<Entry>();
-    entry = slot.get();
-  }
+  Entry* entry = entry_for(name);
   // The entry pointer is stable (map of unique_ptr) and the once_flag
   // both serializes the build and publishes the artifact to every
   // waiter; a build that throws leaves the flag unset, so a later call
   // may retry.
   std::call_once(entry->once, [&] { build(name, entry->artifact); });
   return entry->artifact;
+}
+
+bool GoldenCache::adopt_workload(const std::string& name,
+                                 WorkloadGolden artifact,
+                                 std::shared_ptr<const void> keepalive) {
+  Entry* entry = entry_for(name);
+  bool adopted = false;
+  std::call_once(entry->once, [&] {
+    entry->artifact = std::move(artifact);
+    entry->keepalive = std::move(keepalive);
+    adoptions_.fetch_add(1, std::memory_order_relaxed);
+    adopted = true;
+  });
+  return adopted;
 }
 
 void GoldenCache::build(const std::string& name, WorkloadGolden& out) {

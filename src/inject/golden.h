@@ -103,6 +103,21 @@ class GoldenCache {
   // fails to boot or its golden run does not complete.
   const WorkloadGolden& workload(const std::string& name);
 
+  // Installs a prebuilt artifact under `name` — the campaign-service
+  // path, where worker processes deserialize a golden bundle instead of
+  // re-simulating boot and the golden run.  `keepalive` (may be null)
+  // is retained for the entry's lifetime; it owns whatever the
+  // artifact's snapshots borrow (the bundle file's mmap).  Returns
+  // false when an artifact for `name` was already built or adopted
+  // (the existing entry wins — references to it may be live).
+  bool adopt_workload(const std::string& name, WorkloadGolden artifact,
+                      std::shared_ptr<const void> keepalive);
+
+  // Number of artifacts installed by adopt_workload (never rebuilt).
+  std::uint64_t adoptions() const {
+    return adoptions_.load(std::memory_order_relaxed);
+  }
+
   // Number of golden builds actually executed (== number of distinct
   // workloads requested so far).  The built-once regression test pins
   // this against thread count.
@@ -122,7 +137,12 @@ class GoldenCache {
   struct Entry {
     std::once_flag once;
     WorkloadGolden artifact;
+    // Owner of externally-backed artifact storage (a bundle mmap);
+    // null for locally built entries.
+    std::shared_ptr<const void> keepalive;
   };
+
+  Entry* entry_for(const std::string& name);
 
   void build(const std::string& name, WorkloadGolden& out);
 
@@ -135,6 +155,7 @@ class GoldenCache {
   std::mutex mutex_;  // guards entries_ (map structure only)
   std::map<std::string, std::unique_ptr<Entry>> entries_;
   std::atomic<std::uint64_t> builds_{0};
+  std::atomic<std::uint64_t> adoptions_{0};
 };
 
 }  // namespace kfi::inject

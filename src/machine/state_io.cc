@@ -1,0 +1,139 @@
+#include "machine/state_io.h"
+
+#include <cstring>
+#include <utility>
+
+namespace kfi::machine {
+namespace {
+
+// One ChunkedSnapshot: geometry, capture versions, the delta slot table
+// when applicable, then the raw payload (full bytes or packed chunks).
+void write_snapshot(ByteWriter& w, const vm::ChunkedSnapshot& snap) {
+  w.u32(snap.chunk_size());
+  w.u64(snap.size());
+  w.u8(snap.is_delta() ? 1 : 0);
+  w.u32(snap.chunk_count());
+  w.bytes(snap.versions().data(), snap.versions().size() * 8);
+  if (snap.is_delta()) {
+    w.bytes(snap.slots().data(), snap.slots().size() * 4);
+  }
+  w.u64(snap.payload_size());
+  w.bytes(snap.payload(), snap.payload_size());
+}
+
+// `base` must be nullptr exactly when the serialized snapshot was full.
+bool read_snapshot(ByteReader& r, const vm::ChunkedSnapshot* base, bool view,
+                   vm::ChunkedSnapshot& out) {
+  const std::uint32_t chunk_size = r.u32();
+  const std::uint64_t size = r.u64();
+  const bool is_delta = r.u8() != 0;
+  const std::uint32_t chunk_count = r.u32();
+  if (!r.ok() || chunk_size == 0 || is_delta != (base != nullptr)) {
+    return false;
+  }
+  if (chunk_count != (size + chunk_size - 1) / chunk_size) return false;
+
+  std::vector<std::uint64_t> versions(chunk_count);
+  const std::uint8_t* vbytes = r.bytes(chunk_count * 8ULL);
+  if (vbytes == nullptr) return false;
+  std::memcpy(versions.data(), vbytes, chunk_count * 8ULL);
+
+  std::vector<std::int32_t> slots;
+  if (is_delta) {
+    slots.resize(chunk_count);
+    const std::uint8_t* sbytes = r.bytes(chunk_count * 4ULL);
+    if (sbytes == nullptr) return false;
+    std::memcpy(slots.data(), sbytes, chunk_count * 4ULL);
+  }
+
+  const std::uint64_t payload_size = r.u64();
+  const std::uint8_t* payload = r.bytes(payload_size);
+  if (payload == nullptr) return false;
+  if (!is_delta && payload_size < size) return false;
+  if (is_delta) {
+    // Every stored slot must lie inside the payload.
+    for (const std::int32_t slot : slots) {
+      if (slot < 0) continue;
+      const std::uint64_t end =
+          (static_cast<std::uint64_t>(slot) + 1) * chunk_size;
+      if (end > payload_size) return false;
+    }
+  }
+  out = vm::ChunkedSnapshot::from_parts(
+      chunk_size, static_cast<std::size_t>(size), std::move(versions), base,
+      std::move(slots), payload, static_cast<std::size_t>(payload_size),
+      !view);
+  return true;
+}
+
+void write_regs(ByteWriter& w, const std::uint32_t (&regs)[8]) {
+  for (int i = 0; i < 8; ++i) w.u32(regs[i]);
+}
+
+void read_regs(ByteReader& r, std::uint32_t (&regs)[8]) {
+  for (int i = 0; i < 8; ++i) regs[i] = r.u32();
+}
+
+}  // namespace
+
+void write_boot_state(ByteWriter& writer, const BootState& boot) {
+  write_regs(writer, boot.regs);
+  writer.u32(boot.eip);
+  writer.u32(boot.flags);
+  writer.u32(static_cast<std::uint32_t>(boot.cpl));
+  writer.u32(boot.cr3);
+  writer.u64(boot.cycles);
+  writer.str(boot.console);
+  write_snapshot(writer, boot.mem);
+  write_snapshot(writer, boot.disk);
+}
+
+std::shared_ptr<BootState> read_boot_state(ByteReader& reader, bool view) {
+  auto boot = std::make_shared<BootState>();
+  read_regs(reader, boot->regs);
+  boot->eip = reader.u32();
+  boot->flags = reader.u32();
+  boot->cpl = static_cast<int>(reader.u32());
+  boot->cr3 = reader.u32();
+  boot->cycles = reader.u64();
+  boot->console = reader.str();
+  if (!read_snapshot(reader, nullptr, view, boot->mem)) return nullptr;
+  if (!read_snapshot(reader, nullptr, view, boot->disk)) return nullptr;
+  if (!reader.ok()) return nullptr;
+  return boot;
+}
+
+void write_checkpoint(ByteWriter& writer, const Checkpoint& checkpoint) {
+  writer.u64(checkpoint.cycle);
+  write_regs(writer, checkpoint.regs);
+  writer.u32(checkpoint.eip);
+  writer.u32(checkpoint.flags);
+  writer.u32(static_cast<std::uint32_t>(checkpoint.cpl));
+  writer.u32(checkpoint.cr3);
+  writer.u64(checkpoint.next_timer);
+  writer.u8(checkpoint.timer_pending ? 1 : 0);
+  writer.u8(checkpoint.halted ? 1 : 0);
+  writer.str(checkpoint.console);
+  write_snapshot(writer, checkpoint.mem);
+  write_snapshot(writer, checkpoint.disk);
+}
+
+Checkpoint read_checkpoint(ByteReader& reader, const BootState& boot,
+                           bool view, bool& ok) {
+  Checkpoint ck;
+  ck.cycle = reader.u64();
+  read_regs(reader, ck.regs);
+  ck.eip = reader.u32();
+  ck.flags = reader.u32();
+  ck.cpl = static_cast<int>(reader.u32());
+  ck.cr3 = reader.u32();
+  ck.next_timer = reader.u64();
+  ck.timer_pending = reader.u8() != 0;
+  ck.halted = reader.u8() != 0;
+  ck.console = reader.str();
+  ok = read_snapshot(reader, &boot.mem, view, ck.mem) &&
+       read_snapshot(reader, &boot.disk, view, ck.disk) && reader.ok();
+  return ck;
+}
+
+}  // namespace kfi::machine

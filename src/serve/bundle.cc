@@ -1,0 +1,185 @@
+#include "serve/bundle.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "machine/state_io.h"
+#include "support/fsio.h"
+#include "support/serial.h"
+#include "support/strings.h"
+
+namespace kfi::serve {
+namespace {
+
+constexpr std::uint32_t kBundleMagic = 0x4B464942;  // "KFIB"
+constexpr std::uint32_t kBundleVersion = 1;
+
+// The option fields golden artifacts can depend on.  budget_* and
+// trace_capacity are run-time knobs applied by the Injector, never
+// baked into artifacts, so they stay out of the bundle identity.
+void write_options_echo(ByteWriter& writer,
+                        const inject::InjectorOptions& options) {
+  writer.u32(static_cast<std::uint32_t>(options.checkpoints));
+  writer.u8(options.full_restore ? 1 : 0);
+  writer.u32(static_cast<std::uint32_t>(options.exec_engine));
+}
+
+bool options_echo_matches(ByteReader& reader,
+                          const inject::InjectorOptions& options) {
+  const std::uint32_t checkpoints = reader.u32();
+  const bool full_restore = reader.u8() != 0;
+  const std::uint32_t engine = reader.u32();
+  return reader.ok() &&
+         checkpoints == static_cast<std::uint32_t>(options.checkpoints) &&
+         full_restore == options.full_restore &&
+         engine == static_cast<std::uint32_t>(options.exec_engine);
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> write_bundle(
+    const std::string& path, const std::string& workload,
+    const inject::WorkloadGolden& artifact,
+    const inject::InjectorOptions& options, std::uint64_t kernel_fp) {
+  ByteWriter writer;
+  writer.u32(kBundleMagic);
+  writer.u32(kBundleVersion);
+  writer.str(workload);
+  writer.u64(kernel_fp);
+  write_options_echo(writer, options);
+
+  const inject::GoldenRun& golden = artifact.golden;
+  writer.u8(golden.ok ? 1 : 0);
+  writer.str(golden.console);
+  writer.u32(golden.exit_code);
+  writer.u64(golden.fs_digest);
+  writer.u64(golden.cycles);
+  writer.u8(golden.bootable ? 1 : 0);
+  writer.u8(golden.fs_damaged ? 1 : 0);
+  writer.u8(golden.fsck_unrepairable ? 1 : 0);
+  writer.u8(golden.repair_verified ? 1 : 0);
+
+  // Coverage and first-touch are serialized address-sorted so the
+  // bundle bytes (and therefore the content hash the manifest records)
+  // are a pure function of the artifact, not of hash-table iteration
+  // order.
+  {
+    std::vector<std::uint32_t> coverage(artifact.coverage.begin(),
+                                        artifact.coverage.end());
+    std::sort(coverage.begin(), coverage.end());
+    writer.u64(coverage.size());
+    for (const std::uint32_t addr : coverage) writer.u32(addr);
+  }
+  {
+    std::vector<std::pair<std::uint32_t, machine::TouchWindow>> touch(
+        artifact.first_touch.begin(), artifact.first_touch.end());
+    std::sort(touch.begin(), touch.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    writer.u64(touch.size());
+    for (const auto& [addr, window] : touch) {
+      writer.u32(addr);
+      writer.u64(window.first);
+      writer.u64(window.last);
+    }
+  }
+
+  machine::write_boot_state(writer, *artifact.boot);
+  writer.u32(static_cast<std::uint32_t>(artifact.ladder.size()));
+  for (const machine::Checkpoint& rung : artifact.ladder) {
+    machine::write_checkpoint(writer, rung);
+  }
+
+  const std::string& payload = writer.buffer();
+  if (!atomic_write_file(path, payload)) return std::nullopt;
+  return fnv1a_bytes(payload.data(), payload.size());
+}
+
+std::optional<LoadedBundle> load_bundle(const std::string& path,
+                                        const std::string& workload,
+                                        const inject::InjectorOptions& options,
+                                        std::uint64_t kernel_fp,
+                                        std::uint64_t expect_hash) {
+  std::shared_ptr<const MappedFile> file = MappedFile::map(path);
+  if (file == nullptr) return std::nullopt;
+  if (expect_hash != 0 &&
+      fnv1a_bytes(file->data(), file->size()) != expect_hash) {
+    return std::nullopt;
+  }
+
+  ByteReader reader(file->data(), file->size());
+  if (reader.u32() != kBundleMagic || reader.u32() != kBundleVersion) {
+    return std::nullopt;
+  }
+  if (reader.str() != workload || reader.u64() != kernel_fp ||
+      !options_echo_matches(reader, options)) {
+    return std::nullopt;
+  }
+
+  LoadedBundle loaded;
+  inject::WorkloadGolden& artifact = loaded.artifact;
+  inject::GoldenRun& golden = artifact.golden;
+  golden.ok = reader.u8() != 0;
+  golden.console = reader.str();
+  golden.exit_code = reader.u32();
+  golden.fs_digest = reader.u64();
+  golden.cycles = reader.u64();
+  golden.bootable = reader.u8() != 0;
+  golden.fs_damaged = reader.u8() != 0;
+  golden.fsck_unrepairable = reader.u8() != 0;
+  golden.repair_verified = reader.u8() != 0;
+
+  const std::uint64_t coverage_count = reader.u64();
+  if (!reader.ok() || coverage_count > reader.remaining() / 4) {
+    return std::nullopt;
+  }
+  artifact.coverage.reserve(static_cast<std::size_t>(coverage_count));
+  for (std::uint64_t i = 0; i < coverage_count; ++i) {
+    artifact.coverage.insert(reader.u32());
+  }
+  const std::uint64_t touch_count = reader.u64();
+  if (!reader.ok() || touch_count > reader.remaining() / 20) {
+    return std::nullopt;
+  }
+  artifact.first_touch.reserve(static_cast<std::size_t>(touch_count));
+  for (std::uint64_t i = 0; i < touch_count; ++i) {
+    const std::uint32_t addr = reader.u32();
+    machine::TouchWindow window;
+    window.first = reader.u64();
+    window.last = reader.u64();
+    artifact.first_touch.emplace(addr, window);
+  }
+
+  // view = true: the snapshots borrow their payloads straight from the
+  // mapping — the zero-copy adoption path.  The shared BootState must
+  // exist before its ladder, whose deltas re-base onto it.
+  std::shared_ptr<machine::BootState> boot =
+      machine::read_boot_state(reader, /*view=*/true);
+  if (boot == nullptr) return std::nullopt;
+  artifact.boot = boot;
+  const std::uint32_t ladder_count = reader.u32();
+  if (!reader.ok() || ladder_count > 4096) return std::nullopt;
+  artifact.ladder.reserve(ladder_count);
+  for (std::uint32_t i = 0; i < ladder_count; ++i) {
+    bool ok = false;
+    artifact.ladder.push_back(
+        machine::read_checkpoint(reader, *boot, /*view=*/true, ok));
+    if (!ok) return std::nullopt;
+  }
+  if (!reader.ok()) return std::nullopt;
+
+  loaded.content_hash = fnv1a_bytes(file->data(), file->size());
+  loaded.keepalive = std::move(file);
+  return loaded;
+}
+
+std::string bundle_path(const std::string& dir, const std::string& workload,
+                        const inject::InjectorOptions& options,
+                        std::uint64_t kernel_fp) {
+  return format("%s/bundle_%s_k%08x_c%d%s_e%d.kfib", dir.c_str(),
+                workload.c_str(), static_cast<std::uint32_t>(kernel_fp),
+                options.checkpoints, options.full_restore ? "_fr" : "",
+                static_cast<int>(options.exec_engine));
+}
+
+}  // namespace kfi::serve

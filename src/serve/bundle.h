@@ -1,0 +1,63 @@
+// Golden-bundle files: one workload's complete golden artifact set —
+// GoldenRun, coverage, first-touch map, post-boot BootState, checkpoint
+// ladder — serialized once by the campaign controller and adopted
+// zero-copy by every worker process.
+//
+// The controller pays for boot + golden run + ladder capture exactly
+// once per workload, writes the bundle crash-safely (temp + fsync +
+// atomic rename), and each worker mmaps the file read-only: the
+// multi-megabyte RAM/disk snapshot payloads become ChunkedSnapshot
+// *views* into the mapping (vm/snapshot from_parts, copy=false), so N
+// workers restoring the same workload share one set of physical pages
+// through the kernel page cache instead of holding N private copies.
+// The mapping's lifetime is carried by the keepalive shared_ptr that
+// GoldenCache::adopt_workload() retains next to the artifact.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "inject/golden.h"
+
+namespace kfi::serve {
+
+// Serializes `artifact` for `workload` and writes it crash-safely to
+// `path`.  `kernel_fp` and the ladder geometry from `options` are baked
+// into the header so a stale bundle (different kernel build, different
+// checkpoint count) is rejected at load instead of silently adopted.
+// Returns the bundle's content hash (FNV-1a over the file bytes), or
+// nullopt on I/O failure.
+std::optional<std::uint64_t> write_bundle(
+    const std::string& path, const std::string& workload,
+    const inject::WorkloadGolden& artifact,
+    const inject::InjectorOptions& options, std::uint64_t kernel_fp);
+
+struct LoadedBundle {
+  inject::WorkloadGolden artifact;
+  // Owner of the mmap the artifact's snapshots point into; hand to
+  // GoldenCache::adopt_workload().
+  std::shared_ptr<const void> keepalive;
+  std::uint64_t content_hash = 0;
+};
+
+// Maps and validates the bundle at `path`.  Rejects wrong magic or
+// version, a workload/kernel/options mismatch, a truncated or corrupt
+// payload, and — when `expect_hash` is non-zero — file bytes whose
+// FNV-1a differs from it (the manifest's recorded hash, so a worker
+// never adopts a bundle the controller didn't write).
+std::optional<LoadedBundle> load_bundle(
+    const std::string& path, const std::string& workload,
+    const inject::InjectorOptions& options, std::uint64_t kernel_fp,
+    std::uint64_t expect_hash = 0);
+
+// Canonical bundle file name:
+// "<dir>/bundle_<workload>_k<fp8>_c<checkpoints>[_fr]_e<engine>.kfib".
+// Everything the artifact bytes can depend on is in the name, so
+// option changes never alias onto a stale file.
+std::string bundle_path(const std::string& dir, const std::string& workload,
+                        const inject::InjectorOptions& options,
+                        std::uint64_t kernel_fp);
+
+}  // namespace kfi::serve

@@ -1,0 +1,591 @@
+#include "serve/service.h"
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "analysis/io.h"
+#include "kernel/build.h"
+#include "profile/profile.h"
+#include "serve/bundle.h"
+#include "support/fsio.h"
+#include "support/serial.h"
+#include "support/strings.h"
+
+namespace kfi::serve {
+namespace {
+
+constexpr std::uint32_t kManifestMagic = 0x4B46494D;  // "KFIM"
+constexpr std::uint32_t kManifestVersion = 1;
+
+std::string manifest_path(const std::string& dir) {
+  return dir + "/manifest.kfim";
+}
+std::string shards_dir(const std::string& dir) { return dir + "/shards"; }
+std::string claims_dir(const std::string& dir) { return dir + "/claims"; }
+std::string claim_path(const std::string& dir, std::uint64_t shard) {
+  return format("%s/shard_%06llu.claim", claims_dir(dir).c_str(),
+                static_cast<unsigned long long>(shard));
+}
+
+// The config echo: every input the campaign's results are a function
+// of.  Its FNV-1a is the config hash that ties manifest, shard
+// artifacts, and workers to one campaign identity.
+void write_config_echo(ByteWriter& writer, const Manifest& manifest) {
+  writer.u32(static_cast<std::uint32_t>(manifest.options.checkpoints));
+  writer.u8(manifest.options.full_restore ? 1 : 0);
+  writer.u32(static_cast<std::uint32_t>(manifest.options.exec_engine));
+  writer.f64(manifest.options.budget_factor);
+  writer.u64(manifest.options.budget_slack);
+  writer.u64(manifest.kernel_fp);
+  writer.u32(static_cast<std::uint32_t>(manifest.campaigns.size()));
+  for (const inject::CampaignConfig& config : manifest.campaigns) {
+    writer.u32(static_cast<std::uint32_t>(config.campaign));
+    writer.u64(config.seed);
+    writer.u32(static_cast<std::uint32_t>(config.repeats));
+    writer.f64(config.profile_coverage);
+    writer.u32(static_cast<std::uint32_t>(config.functions.size()));
+    for (const std::string& fn : config.functions) writer.str(fn);
+  }
+}
+
+bool read_config_echo(ByteReader& reader, Manifest& manifest) {
+  manifest.options.checkpoints = static_cast<int>(reader.u32());
+  manifest.options.full_restore = reader.u8() != 0;
+  manifest.options.exec_engine =
+      static_cast<machine::ExecEngine>(reader.u32());
+  manifest.options.budget_factor = reader.f64();
+  manifest.options.budget_slack = reader.u64();
+  manifest.kernel_fp = reader.u64();
+  const std::uint32_t campaigns = reader.u32();
+  if (!reader.ok() || campaigns > 256) return false;
+  manifest.campaigns.resize(campaigns);
+  for (inject::CampaignConfig& config : manifest.campaigns) {
+    config.campaign = static_cast<inject::Campaign>(reader.u32());
+    config.seed = reader.u64();
+    config.repeats = static_cast<int>(reader.u32());
+    config.profile_coverage = reader.f64();
+    const std::uint32_t functions = reader.u32();
+    if (!reader.ok() || functions > 100'000) return false;
+    config.functions.resize(functions);
+    for (std::string& fn : config.functions) fn = reader.str();
+  }
+  return reader.ok();
+}
+
+bool write_manifest(const std::string& dir, const std::string& bundle_dir,
+                    const Manifest& manifest) {
+  ByteWriter echo;
+  write_config_echo(echo, manifest);
+
+  ByteWriter writer;
+  writer.u32(kManifestMagic);
+  writer.u32(kManifestVersion);
+  writer.str(bundle_dir);
+  writer.u64(manifest.config_hash);
+  writer.u64(echo.size());
+  writer.bytes(echo.buffer().data(), echo.size());
+  for (std::size_t i = 0; i < manifest.campaigns.size(); ++i) {
+    writer.u64(manifest.functions_targeted[i]);
+    writer.u64(manifest.target_counts[i]);
+  }
+  writer.u32(static_cast<std::uint32_t>(manifest.workloads.size()));
+  for (std::size_t i = 0; i < manifest.workloads.size(); ++i) {
+    writer.str(manifest.workloads[i]);
+    writer.u64(manifest.bundle_hashes[i]);
+  }
+  writer.u64(manifest.shard_ranges.size());
+  for (const auto& [begin, end] : manifest.shard_ranges) {
+    writer.u64(begin);
+    writer.u64(end);
+  }
+  return atomic_write_file(manifest_path(dir), writer.buffer());
+}
+
+// The manifest plus the bundle directory recorded inside it.
+std::optional<std::pair<Manifest, std::string>> load_manifest_full(
+    const std::string& dir) {
+  const std::optional<std::string> data =
+      read_file_bytes(manifest_path(dir));
+  if (!data.has_value()) return std::nullopt;
+  ByteReader reader(*data);
+  if (reader.u32() != kManifestMagic || reader.u32() != kManifestVersion) {
+    return std::nullopt;
+  }
+  const std::string bundle_dir = reader.str();
+  Manifest manifest;
+  manifest.config_hash = reader.u64();
+  const std::uint64_t echo_size = reader.u64();
+  const std::uint8_t* echo = reader.bytes(echo_size);
+  if (echo == nullptr) return std::nullopt;
+  // The stored hash must be the hash of the stored echo — a manifest
+  // whose identity field was tampered with (or torn) is rejected here.
+  if (fnv1a_bytes(echo, echo_size) != manifest.config_hash) {
+    return std::nullopt;
+  }
+  ByteReader echo_reader(echo, static_cast<std::size_t>(echo_size));
+  if (!read_config_echo(echo_reader, manifest)) return std::nullopt;
+
+  manifest.functions_targeted.resize(manifest.campaigns.size());
+  manifest.target_counts.resize(manifest.campaigns.size());
+  for (std::size_t i = 0; i < manifest.campaigns.size(); ++i) {
+    manifest.functions_targeted[i] =
+        static_cast<std::size_t>(reader.u64());
+    manifest.target_counts[i] = reader.u64();
+  }
+  const std::uint32_t workloads = reader.u32();
+  if (!reader.ok() || workloads > 10'000) return std::nullopt;
+  manifest.workloads.resize(workloads);
+  manifest.bundle_hashes.resize(workloads);
+  for (std::uint32_t i = 0; i < workloads; ++i) {
+    manifest.workloads[i] = reader.str();
+    manifest.bundle_hashes[i] = reader.u64();
+  }
+  const std::uint64_t shard_count = reader.u64();
+  if (!reader.ok() || shard_count > 1'000'000) return std::nullopt;
+  manifest.shard_ranges.resize(static_cast<std::size_t>(shard_count));
+  for (auto& [begin, end] : manifest.shard_ranges) {
+    begin = reader.u64();
+    end = reader.u64();
+  }
+  if (!reader.ok()) return std::nullopt;
+  return std::make_pair(std::move(manifest), bundle_dir);
+}
+
+// The per-slot target lists and locality orders, regenerated
+// deterministically from the manifest's config echo — workers never
+// ship target lists around, they re-derive them.
+struct CampaignPlan {
+  std::vector<std::vector<inject::InjectionSpec>> targets;  // per slot
+  std::vector<std::vector<std::size_t>> orders;             // per slot
+  std::vector<std::uint64_t> bases;  // global index of slot start
+  std::uint64_t total = 0;
+};
+
+CampaignPlan build_plan(inject::Injector& injector,
+                        const std::vector<inject::CampaignConfig>& campaigns) {
+  CampaignPlan plan;
+  const profile::ProfileResult& prof = profile::default_profile();
+  for (const inject::CampaignConfig& config : campaigns) {
+    plan.bases.push_back(plan.total);
+    plan.targets.push_back(
+        inject::campaign_targets(prof, config, nullptr));
+    plan.orders.push_back(
+        inject::campaign_order(injector, plan.targets.back()));
+    plan.total += plan.targets.back().size();
+  }
+  return plan;
+}
+
+// Installs every manifest workload into the cache from its bundle
+// (mmap, zero-copy).  A bundle that is missing or fails verification
+// is rebuilt locally — slower, never wrong, since golden artifacts are
+// a pure function of (kernel, workload, options).
+std::uint64_t adopt_bundles(inject::GoldenCache& cache,
+                            const Manifest& manifest,
+                            const std::string& bundle_dir, bool verbose) {
+  std::uint64_t adopted = 0;
+  for (std::size_t i = 0; i < manifest.workloads.size(); ++i) {
+    const std::string& workload = manifest.workloads[i];
+    const std::string path = bundle_path(bundle_dir, workload,
+                                         manifest.options,
+                                         manifest.kernel_fp);
+    std::optional<LoadedBundle> loaded =
+        load_bundle(path, workload, manifest.options, manifest.kernel_fp,
+                    manifest.bundle_hashes[i]);
+    if (!loaded.has_value()) {
+      if (verbose) {
+        std::fprintf(stderr,
+                     "[kfi-serve] bundle %s invalid; rebuilding locally\n",
+                     path.c_str());
+      }
+      continue;
+    }
+    if (cache.adopt_workload(workload, std::move(loaded->artifact),
+                             std::move(loaded->keepalive))) {
+      ++adopted;
+    }
+  }
+  return adopted;
+}
+
+// Executes order positions [begin, end) and returns the shard's
+// records (global spec index + result).
+std::vector<analysis::ShardRecord> execute_range(
+    inject::Injector& injector, const CampaignPlan& plan,
+    std::uint64_t begin, std::uint64_t end) {
+  std::vector<analysis::ShardRecord> records;
+  records.reserve(static_cast<std::size_t>(end - begin));
+  for (std::uint64_t pos = begin; pos < end; ++pos) {
+    std::size_t slot = plan.bases.size() - 1;
+    while (slot > 0 && pos < plan.bases[slot]) --slot;
+    const std::size_t j = static_cast<std::size_t>(pos - plan.bases[slot]);
+    const std::size_t spec = plan.orders[slot][j];
+    analysis::ShardRecord record;
+    record.spec_index = plan.bases[slot] + spec;
+    record.result = injector.run_one(plan.targets[slot][spec]);
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+// O_CREAT|O_EXCL claim: exactly one process wins a shard, kernel-
+// arbitrated, shared-filesystem-visible.
+bool try_claim(const std::string& dir, std::uint64_t shard,
+               unsigned worker_id) {
+  const std::string path = claim_path(dir, shard);
+  const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (fd < 0) return false;
+  const std::string body = format("worker %u\n", worker_id);
+  (void)!::write(fd, body.data(), body.size());
+  ::close(fd);
+  return true;
+}
+
+// The claimer recorded in a claim file, or nullopt.
+std::optional<unsigned> claim_owner(const std::string& dir,
+                                    std::uint64_t shard) {
+  const std::optional<std::string> body =
+      read_file_bytes(claim_path(dir, shard));
+  if (!body.has_value()) return std::nullopt;
+  unsigned worker = 0;
+  if (std::sscanf(body->c_str(), "worker %u", &worker) != 1) {
+    return std::nullopt;
+  }
+  return worker;
+}
+
+bool shard_done(const analysis::ShardStore& store, std::uint64_t shard) {
+  const std::optional<std::string> path = store.find_shard(shard);
+  return path.has_value() && analysis::ShardStore::verify_shard(*path);
+}
+
+}  // namespace
+
+std::optional<Manifest> load_manifest(const std::string& dir) {
+  auto full = load_manifest_full(dir);
+  if (!full.has_value()) return std::nullopt;
+  return std::move(full->first);
+}
+
+std::optional<Manifest> prepare_campaign(const ServiceConfig& config,
+                                         ServiceResult* result) {
+  const std::string bundle_dir =
+      config.bundle_dir.empty() ? config.dir + "/bundles"
+                                : config.bundle_dir;
+  std::error_code ec;
+  std::filesystem::create_directories(shards_dir(config.dir), ec);
+  std::filesystem::create_directories(claims_dir(config.dir), ec);
+  std::filesystem::create_directories(bundle_dir, ec);
+
+  Manifest manifest;
+  manifest.campaigns = config.campaigns;
+  manifest.options = config.options;
+  manifest.options.trace_capacity = 0;  // never part of campaign identity
+  manifest.kernel_fp = analysis::kernel_fingerprint(kernel::built_kernel());
+  {
+    ByteWriter echo;
+    write_config_echo(echo, manifest);
+    manifest.config_hash = fnv1a_bytes(echo.buffer().data(), echo.size());
+  }
+
+  // An existing manifest for the same config is the resume case: keep
+  // it (and every completed shard).  A different config, or --fresh,
+  // wipes shards and claims; bundles are keyed and content-verified,
+  // so they always survive.
+  if (auto existing = load_manifest_full(config.dir)) {
+    if (!config.fresh &&
+        existing->first.config_hash == manifest.config_hash) {
+      return std::move(existing->first);
+    }
+  }
+  if (std::filesystem::exists(manifest_path(config.dir), ec) ||
+      config.fresh) {
+    for (const auto& sub : {shards_dir(config.dir), claims_dir(config.dir)}) {
+      for (const auto& entry : std::filesystem::directory_iterator(sub, ec)) {
+        std::filesystem::remove(entry.path(), ec);
+      }
+    }
+    std::filesystem::remove(manifest_path(config.dir), ec);
+  }
+
+  auto cache = std::make_shared<inject::GoldenCache>(manifest.options);
+  inject::Injector injector(cache);
+
+  const profile::ProfileResult& prof = profile::default_profile();
+  std::set<std::string> workloads;
+  std::vector<std::vector<inject::InjectionSpec>> targets;
+  for (const inject::CampaignConfig& campaign : manifest.campaigns) {
+    std::size_t functions_targeted = 0;
+    targets.push_back(
+        inject::campaign_targets(prof, campaign, &functions_targeted));
+    manifest.functions_targeted.push_back(functions_targeted);
+    manifest.target_counts.push_back(targets.back().size());
+    for (const inject::InjectionSpec& spec : targets.back()) {
+      workloads.insert(spec.workload);
+    }
+  }
+
+  // Bundle each workload: adopt an existing valid bundle, otherwise
+  // build the artifacts once and serialize them for every worker.
+  for (const std::string& workload : workloads) {
+    const std::string path =
+        bundle_path(bundle_dir, workload, manifest.options,
+                    manifest.kernel_fp);
+    std::uint64_t hash = 0;
+    if (auto loaded = load_bundle(path, workload, manifest.options,
+                                  manifest.kernel_fp)) {
+      hash = loaded->content_hash;
+      cache->adopt_workload(workload, std::move(loaded->artifact),
+                            std::move(loaded->keepalive));
+      if (result != nullptr) ++result->bundles_adopted;
+    } else {
+      const inject::WorkloadGolden& artifact = cache->workload(workload);
+      const auto written = write_bundle(path, workload, artifact,
+                                        manifest.options,
+                                        manifest.kernel_fp);
+      if (!written.has_value()) {
+        std::fprintf(stderr, "[kfi-serve] cannot write bundle %s\n",
+                     path.c_str());
+        return std::nullopt;
+      }
+      hash = *written;
+      if (result != nullptr) ++result->bundles_built;
+    }
+    manifest.workloads.push_back(workload);
+    manifest.bundle_hashes.push_back(hash);
+  }
+
+  // Shard table over the concatenated locality orders.  The orders are
+  // computed here only to pin down `total`; workers re-derive them.
+  std::uint64_t total = 0;
+  for (const std::uint64_t count : manifest.target_counts) total += count;
+  std::uint64_t shard_count =
+      config.shards != 0
+          ? config.shards
+          : std::max<std::uint64_t>(4ULL * std::max(config.workers, 1u), 1);
+  shard_count = std::min(shard_count, std::max<std::uint64_t>(total, 1));
+  if (total == 0) shard_count = 0;
+  for (std::uint64_t s = 0; s < shard_count; ++s) {
+    manifest.shard_ranges.emplace_back(total * s / shard_count,
+                                       total * (s + 1) / shard_count);
+  }
+
+  if (!write_manifest(config.dir, bundle_dir, manifest)) {
+    std::fprintf(stderr, "[kfi-serve] cannot write manifest in %s\n",
+                 config.dir.c_str());
+    return std::nullopt;
+  }
+  return manifest;
+}
+
+WorkerReport run_worker(const std::string& dir, unsigned worker_id,
+                        unsigned workers, std::uint64_t max_shards,
+                        bool verbose) {
+  WorkerReport report;
+  auto full = load_manifest_full(dir);
+  if (!full.has_value()) {
+    std::fprintf(stderr, "[kfi-serve] worker %u: no manifest in %s\n",
+                 worker_id, dir.c_str());
+    return report;
+  }
+  const Manifest& manifest = full->first;
+  const std::string& bundle_dir = full->second;
+  if (workers == 0) workers = 1;
+
+  auto cache = std::make_shared<inject::GoldenCache>(manifest.options);
+  report.bundle_adoptions =
+      adopt_bundles(*cache, manifest, bundle_dir, verbose);
+  inject::Injector injector(cache);
+  const CampaignPlan plan = build_plan(injector, manifest.campaigns);
+  const analysis::ShardStore store(shards_dir(dir));
+
+  // Owned shards first (index % workers), then steal whatever lagging
+  // or dead peers left unclaimed.
+  const std::uint64_t shard_count = manifest.shard_ranges.size();
+  for (const int pass : {0, 1}) {
+    for (std::uint64_t shard = 0; shard < shard_count; ++shard) {
+      if (max_shards != 0 && report.shards_completed >= max_shards) {
+        report.ok = true;
+        return report;
+      }
+      const bool owned = shard % workers == worker_id;
+      if ((pass == 0) != owned) continue;
+      if (shard_done(store, shard)) continue;
+      if (!try_claim(dir, shard, worker_id)) continue;
+      const auto [begin, end] = manifest.shard_ranges[shard];
+      std::vector<analysis::ShardRecord> records =
+          execute_range(injector, plan, begin, end);
+      report.runs += records.size();
+      const std::string path = store.write_shard(
+          shard, manifest.config_hash, std::move(records));
+      if (path.empty()) {
+        std::fprintf(stderr,
+                     "[kfi-serve] worker %u: cannot write shard %llu\n",
+                     worker_id, static_cast<unsigned long long>(shard));
+        return report;
+      }
+      ++report.shards_completed;
+      if (!owned) ++report.shards_stolen;
+      if (verbose) {
+        std::fprintf(stderr,
+                     "[kfi-serve] worker %u: shard %llu done (%s)\n",
+                     worker_id, static_cast<unsigned long long>(shard),
+                     owned ? "owned" : "stolen");
+      }
+    }
+  }
+  report.ok = true;
+  return report;
+}
+
+bool aggregate_campaign(const std::string& dir, bool materialize,
+                        ServiceResult& result) {
+  auto full = load_manifest_full(dir);
+  if (!full.has_value()) {
+    result.error = "no manifest in " + dir;
+    return false;
+  }
+  const Manifest& manifest = full->first;
+  const analysis::ShardStore store(shards_dir(dir));
+  result.shard_count = manifest.shard_ranges.size();
+
+  // Verification pass: every shard must have an artifact whose bytes
+  // still hash to its name.  Corrupt ones are discarded so the next
+  // wave re-runs them instead of feeding poison into the merge.
+  std::vector<std::string> paths;
+  for (std::uint64_t shard = 0; shard < result.shard_count; ++shard) {
+    const std::optional<std::string> path = store.find_shard(shard);
+    if (!path.has_value()) {
+      result.error = format("shard %llu missing",
+                            static_cast<unsigned long long>(shard));
+      return false;
+    }
+    if (!analysis::ShardStore::verify_shard(*path)) {
+      store.discard_shard(shard);
+      ++result.corrupt_discarded;
+      result.error = format("shard %llu failed content verification",
+                            static_cast<unsigned long long>(shard));
+      return false;
+    }
+    paths.push_back(*path);
+  }
+
+  std::vector<analysis::ShardCursor> cursors;
+  for (std::uint64_t shard = 0; shard < result.shard_count; ++shard) {
+    auto cursor = analysis::ShardCursor::open(paths[shard], shard,
+                                              manifest.config_hash);
+    if (!cursor.has_value()) {
+      store.discard_shard(shard);
+      ++result.corrupt_discarded;
+      result.error = format("shard %llu unreadable",
+                            static_cast<unsigned long long>(shard));
+      return false;
+    }
+    cursors.push_back(std::move(*cursor));
+  }
+
+  analysis::StreamingFold fold(manifest.target_counts, materialize);
+  const bool merged = analysis::merge_shards(
+      cursors, [&](const analysis::ShardRecord& record) {
+        return fold.add(record);
+      });
+  if (!merged || !fold.complete()) {
+    result.error = "shard merge did not tile the spec space";
+    return false;
+  }
+
+  result.digest = fold.digest();
+  result.total_runs = fold.total();
+  if (materialize) {
+    result.runs.clear();
+    for (std::size_t i = 0; i < manifest.campaigns.size(); ++i) {
+      inject::CampaignRun run;
+      run.campaign = manifest.campaigns[i].campaign;
+      run.functions_targeted = manifest.functions_targeted[i];
+      run.results = std::move(fold.slots()[i]);
+      result.runs.push_back(std::move(run));
+    }
+  }
+  result.error.clear();
+  return true;
+}
+
+ServiceResult run_service(const ServiceConfig& config, bool materialize) {
+  ServiceResult result;
+  const std::optional<Manifest> manifest =
+      prepare_campaign(config, &result);
+  if (!manifest.has_value()) {
+    result.error = "prepare failed";
+    return result;
+  }
+  const analysis::ShardStore store(shards_dir(config.dir));
+  const std::uint64_t shard_count = manifest->shard_ranges.size();
+  const unsigned workers = std::max(config.workers, 1u);
+
+  for (std::uint64_t shard = 0; shard < shard_count; ++shard) {
+    if (shard_done(store, shard)) ++result.shards_resumed;
+  }
+
+  for (int attempt = 1; attempt <= std::max(config.max_attempts, 1);
+       ++attempt) {
+    result.attempts = attempt;
+    std::vector<std::uint64_t> pending;
+    for (std::uint64_t shard = 0; shard < shard_count; ++shard) {
+      if (!shard_done(store, shard)) pending.push_back(shard);
+    }
+    if (!pending.empty()) {
+      // A claim without an artifact marks a worker that died (or was
+      // kill-simulated) mid-shard; clear it so this wave can re-claim.
+      std::error_code ec;
+      for (const std::uint64_t shard : pending) {
+        std::filesystem::remove(claim_path(config.dir, shard), ec);
+      }
+      const unsigned wave =
+          static_cast<unsigned>(std::min<std::uint64_t>(workers,
+                                                        pending.size()));
+      std::vector<pid_t> children;
+      for (unsigned w = 0; w < wave; ++w) {
+        const pid_t pid = ::fork();
+        if (pid == 0) {
+          const WorkerReport report =
+              run_worker(config.dir, w, workers,
+                         config.max_shards_per_worker, config.verbose);
+          ::_exit(report.ok ? 0 : 1);
+        }
+        if (pid < 0) {
+          result.error = "fork failed";
+          return result;
+        }
+        children.push_back(pid);
+      }
+      for (const pid_t pid : children) {
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+      }
+    }
+    if (aggregate_campaign(config.dir, materialize, result)) {
+      result.ok = true;
+      break;
+    }
+    if (config.verbose) {
+      std::fprintf(stderr, "[kfi-serve] attempt %d: %s\n", attempt,
+                   result.error.c_str());
+    }
+  }
+  if (!result.ok) return result;
+
+  result.shards_executed = shard_count - result.shards_resumed;
+  for (std::uint64_t shard = 0; shard < shard_count; ++shard) {
+    const std::optional<unsigned> owner = claim_owner(config.dir, shard);
+    if (owner.has_value() && *owner != shard % workers) ++result.steals;
+  }
+  return result;
+}
+
+}  // namespace kfi::serve

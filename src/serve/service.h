@@ -1,0 +1,157 @@
+// Process-sharded campaign service.
+//
+// A campaign sequence (e.g. the smoke A/B/C triple) is split into a
+// manifest of contiguous shards over the locality-sorted execution
+// order, golden bundles are serialized once (serve/bundle), and N
+// worker processes — forked by run_service() or spawned independently
+// via `kfi_campaignd worker` — drain the shard list, each streaming
+// its finished shards into the content-addressed artifact store
+// (analysis/store).  Aggregation k-way merges the shard artifacts back
+// into spec order and folds the campaign digest, which is required to
+// be bit-identical to the in-process run_campaign() path at every
+// worker count.
+//
+// Crash/kill recovery is structural, not transactional: an artifact
+// exists iff its shard completed (atomic rename), a claim file exists
+// iff some worker took the shard, and a claim without an artifact is
+// stale — cleared by the controller between waves so the shard is
+// re-run.  A killed campaign therefore resumes from exactly its
+// completed shards; a corrupted artifact fails content-hash
+// verification, is discarded, and is re-run the same way.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/store.h"
+#include "inject/campaign.h"
+
+namespace kfi::serve {
+
+struct ServiceConfig {
+  // Campaign slots in digest order (the global spec index space is
+  // their concatenation).  `threads` and `progress` are ignored —
+  // parallelism is processes here.
+  std::vector<inject::CampaignConfig> campaigns;
+  inject::InjectorOptions options;
+
+  // Campaign directory: manifest.kfim, shards/, claims/.  Bundles
+  // default to "<dir>/bundles" so repeated campaigns against the same
+  // kernel+options reuse them.
+  std::string dir;
+  std::string bundle_dir;
+
+  unsigned workers = 1;
+  // Shard count; 0 = auto (4 per worker, capped by the target count —
+  // enough slack for stealing without drowning in tiny artifacts).
+  std::uint64_t shards = 0;
+
+  // Wipe shards/claims/manifest before starting (bundles survive; they
+  // are content-verified anyway).
+  bool fresh = false;
+
+  // Test hook: each worker exits after completing this many shards,
+  // simulating a worker killed mid-campaign.  0 = unlimited.
+  std::uint64_t max_shards_per_worker = 0;
+
+  // Controller wave retries before giving up (stale claims are cleared
+  // and missing shards re-dispatched each wave).
+  int max_attempts = 8;
+
+  bool verbose = false;
+};
+
+// What prepare_campaign() wrote: everything a worker or aggregator
+// needs to reconstruct the campaign deterministically.
+struct Manifest {
+  std::uint64_t config_hash = 0;  // FNV over the serialized config echo
+  std::vector<inject::CampaignConfig> campaigns;
+  inject::InjectorOptions options;
+  std::uint64_t kernel_fp = 0;
+  std::vector<std::size_t> functions_targeted;   // per campaign slot
+  std::vector<std::uint64_t> target_counts;      // per campaign slot
+  std::vector<std::string> workloads;            // every workload used
+  std::vector<std::uint64_t> bundle_hashes;      // parallel to workloads
+  // Shard table: [begin, end) positions over the concatenated
+  // locality-sorted execution order.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> shard_ranges;
+
+  std::uint64_t total_targets() const {
+    std::uint64_t n = 0;
+    for (const std::uint64_t c : target_counts) n += c;
+    return n;
+  }
+};
+
+struct WorkerReport {
+  bool ok = false;
+  std::uint64_t shards_completed = 0;
+  std::uint64_t shards_stolen = 0;  // completed shards this worker did
+                                    // not statically own
+  std::uint64_t runs = 0;
+  std::uint64_t bundle_adoptions = 0;
+};
+
+struct ServiceResult {
+  bool ok = false;
+  std::string error;
+  std::uint64_t digest = 0;
+  std::uint64_t total_runs = 0;
+  std::uint64_t shard_count = 0;
+  std::uint64_t shards_executed = 0;  // run by this invocation
+  std::uint64_t shards_resumed = 0;   // adopted from a prior (killed) run
+  std::uint64_t steals = 0;           // shards completed by a
+                                      // non-preferred worker
+  std::uint64_t corrupt_discarded = 0;
+  int attempts = 0;
+  std::uint64_t bundles_built = 0;
+  std::uint64_t bundles_adopted = 0;
+  // Materialized per-campaign runs (results only; stats stay with the
+  // worker processes).  Filled when aggregate runs with materialize.
+  std::vector<inject::CampaignRun> runs;
+};
+
+// Serializes golden bundles (building only the ones missing or
+// invalid), computes the shard table over the deterministic execution
+// order, and writes "<dir>/manifest.kfim" crash-safely.  When a
+// manifest for a *different* config already exists in `dir`, stale
+// shards and claims are wiped first; a matching manifest is reused
+// as-is so completed shards resume.  Returns nullopt on failure
+// (message on stderr).
+std::optional<Manifest> prepare_campaign(const ServiceConfig& config,
+                                         ServiceResult* result = nullptr);
+
+// Loads "<dir>/manifest.kfim" (nullopt when absent or corrupt).
+std::optional<Manifest> load_manifest(const std::string& dir);
+
+// One worker's drain loop: adopts the manifest's bundles (mmap,
+// zero-copy), then claims and executes pending shards — its statically
+// owned ones (index % workers == worker_id) first, then steals — and
+// streams each into the artifact store.  Runs in-process; run_service
+// calls it from forked children, `kfi_campaignd worker` from a spawned
+// process.  `max_shards` 0 = unlimited.
+WorkerReport run_worker(const std::string& dir, unsigned worker_id,
+                        unsigned workers, std::uint64_t max_shards = 0,
+                        bool verbose = false);
+
+// Streams every shard artifact through content-hash verification and
+// the k-way spec-order merge, folding the digest (and the materialized
+// runs when `materialize`).  Corrupt artifacts are discarded (counted
+// in result.corrupt_discarded) and reported as failure so the caller
+// re-runs those shards.  On success fills result.digest/total_runs/
+// runs and returns true.
+bool aggregate_campaign(const std::string& dir, bool materialize,
+                        ServiceResult& result);
+
+// The full controller: prepare, fork worker waves until every shard
+// has a verified artifact (clearing stale claims between waves),
+// aggregate, and fill the structural counters.  Bit-identity contract:
+// result.digest equals results_digest() of the in-process path for the
+// same campaign configs, at any worker count, including after resume.
+ServiceResult run_service(const ServiceConfig& config,
+                          bool materialize = false);
+
+}  // namespace kfi::serve

@@ -1,0 +1,94 @@
+#include "support/fsio.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "support/serial.h"
+
+namespace kfi {
+
+bool atomic_write_file(const std::string& path, const void* data,
+                       std::size_t size) {
+  // The temp file must live in the target's directory: rename() is
+  // atomic only within one filesystem, and landing next to the target
+  // means a crash leaves the debris where the next write cleans it up.
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t written = 0;
+  bool ok = true;
+  while (written < size) {
+    const ssize_t n = ::write(fd, p + written, size - written);
+    if (n <= 0) {
+      ok = false;
+      break;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // fsync before rename: the rename must never become durable ahead of
+  // the bytes it points at, or a crash could leave a truncated artifact
+  // under the final (trusted) name.
+  if (ok && ::fsync(fd) != 0) ok = false;
+  if (::close(fd) != 0) ok = false;
+  if (ok && std::rename(tmp.c_str(), path.c_str()) != 0) ok = false;
+  if (!ok) ::unlink(tmp.c_str());
+  return ok;
+}
+
+bool atomic_write_file(const std::string& path, const std::string& bytes) {
+  return atomic_write_file(path, bytes.data(), bytes.size());
+}
+
+std::optional<std::string> read_file_bytes(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return std::nullopt;
+  std::string data((std::istreambuf_iterator<char>(file)),
+                   std::istreambuf_iterator<char>());
+  if (!file.good() && !file.eof()) return std::nullopt;
+  return data;
+}
+
+std::optional<std::uint64_t> file_content_hash(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return std::nullopt;
+  std::uint64_t h = kFnvOffset;
+  char buffer[1 << 16];
+  while (file) {
+    file.read(buffer, sizeof buffer);
+    const std::streamsize n = file.gcount();
+    if (n > 0) h = fnv1a_bytes(buffer, static_cast<std::size_t>(n), h);
+  }
+  if (!file.eof()) return std::nullopt;
+  return h;
+}
+
+std::shared_ptr<const MappedFile> MappedFile::map(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return nullptr;
+  struct stat st {};
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  void* mapped = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  if (mapped == MAP_FAILED) return nullptr;
+  return std::shared_ptr<const MappedFile>(
+      new MappedFile(static_cast<const std::uint8_t*>(mapped), size));
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+  }
+}
+
+}  // namespace kfi

@@ -1,0 +1,123 @@
+// Shared little-endian binary (de)serialization: the byte layout the
+// campaign artifact cache (analysis/io), the golden-bundle files
+// (serve/bundle), and the shard store (analysis/store) all speak.  A
+// ByteWriter appends fixed-width integers and length-prefixed strings
+// to an in-memory buffer; a ByteReader walks a const byte range with a
+// sticky `ok` flag instead of exceptions, so a truncated or corrupt
+// file degrades into one boolean check at the end of the parse.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kfi {
+
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+// FNV-1a over a byte range, continuing from `h` — the hash every
+// content-addressed artifact name and every result digest is built on.
+inline std::uint64_t fnv1a_bytes(const void* data, std::size_t len,
+                                 std::uint64_t h = kFnvOffset) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < len; ++i) h = (h ^ p[i]) * kFnvPrime;
+  return h;
+}
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) {
+    out_.append(reinterpret_cast<const char*>(&v), 4);
+  }
+  void u64(std::uint64_t v) {
+    out_.append(reinterpret_cast<const char*>(&v), 8);
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    u64(bits);
+  }
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.append(s.data(), s.size());
+  }
+  void bytes(const void* data, std::size_t len) {
+    out_.append(static_cast<const char*>(data), len);
+  }
+
+  const std::string& buffer() const { return out_; }
+  std::string take() { return std::move(out_); }
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  std::string out_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const void* data, std::size_t size)
+      : data_(static_cast<const std::uint8_t*>(data)), size_(size) {}
+  explicit ByteReader(const std::string& data)
+      : ByteReader(data.data(), data.size()) {}
+
+  std::uint8_t u8() {
+    if (!take(1)) return 0;
+    return data_[pos_ - 1];
+  }
+  std::uint32_t u32() {
+    if (!take(4)) return 0;
+    std::uint32_t v;
+    std::memcpy(&v, data_ + pos_ - 4, 4);
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!take(8)) return 0;
+    std::uint64_t v;
+    std::memcpy(&v, data_ + pos_ - 8, 8);
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    const std::uint8_t* p = bytes(n);
+    return p != nullptr ? std::string(reinterpret_cast<const char*>(p), n)
+                        : std::string();
+  }
+  // A view into the underlying buffer (no copy) — how mmap'd snapshot
+  // payloads stay zero-copy.  Returns nullptr (and poisons `ok`) when
+  // fewer than `len` bytes remain.
+  const std::uint8_t* bytes(std::size_t len) {
+    if (!take(len)) return nullptr;
+    return data_ + pos_ - len;
+  }
+
+  bool ok() const { return ok_; }
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  bool take(std::size_t n) {
+    if (!ok_ || size_ - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace kfi

@@ -94,6 +94,13 @@ bool parse_u64(std::string_view text, std::uint64_t& out,
   return true;
 }
 
+bool parse_jobs(std::string_view text, unsigned& out) {
+  std::uint64_t value = 0;
+  if (!parse_u64(text, value, 1, 1024)) return false;
+  out = static_cast<unsigned>(value);
+  return true;
+}
+
 std::string with_commas(std::uint64_t value) {
   std::string digits = std::to_string(value);
   std::string out;

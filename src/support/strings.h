@@ -36,6 +36,12 @@ bool parse_u64(std::string_view text, std::uint64_t& out,
                std::uint64_t min_value = 0,
                std::uint64_t max_value = UINT64_MAX);
 
+// Strict worker/thread-count parse for --jobs flags and the KFI_JOBS
+// environment variable: parse_u64 semantics, range [1, 1024] (0 would
+// silently serialize a sweep; four digits of workers is a typo, not a
+// machine).  Returns false on anything else, leaving `out` untouched.
+bool parse_jobs(std::string_view text, unsigned& out);
+
 // "12,345" — thousands separators for table rendering.
 std::string with_commas(std::uint64_t value);
 

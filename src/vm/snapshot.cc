@@ -63,11 +63,41 @@ ChunkedSnapshot ChunkedSnapshot::delta(
 
 const std::uint8_t* ChunkedSnapshot::chunk(std::uint32_t index) const {
   if (base_ == nullptr) {
-    return data_.data() + static_cast<std::size_t>(index) * chunk_size_;
+    return payload() + static_cast<std::size_t>(index) * chunk_size_;
   }
   const std::int32_t slot = slot_[index];
   if (slot < 0) return base_->chunk(index);
-  return data_.data() + static_cast<std::size_t>(slot) * chunk_size_;
+  return payload() + static_cast<std::size_t>(slot) * chunk_size_;
+}
+
+ChunkedSnapshot ChunkedSnapshot::from_parts(
+    std::uint32_t chunk_size, std::size_t size,
+    std::vector<std::uint64_t> versions, const ChunkedSnapshot* base,
+    std::vector<std::int32_t> slots, const std::uint8_t* payload,
+    std::size_t payload_size, bool copy_payload) {
+  assert(chunk_size != 0);
+  ChunkedSnapshot snap;
+  snap.chunk_size_ = chunk_size;
+  snap.size_ = size;
+  snap.chunk_count_ = count_chunks(size, chunk_size);
+  assert(versions.size() >= snap.chunk_count_);
+  snap.versions_ = std::move(versions);
+  if (base != nullptr) {
+    assert(base->valid() && !base->is_delta());
+    assert(size == base->size_ && chunk_size == base->chunk_size_);
+    assert(slots.size() >= snap.chunk_count_);
+    snap.base_ = base;
+    snap.slot_ = std::move(slots);
+  } else {
+    assert(payload_size >= size);
+  }
+  if (copy_payload) {
+    snap.data_.assign(payload, payload + payload_size);
+  } else {
+    snap.view_ = payload;
+    snap.view_size_ = payload_size;
+  }
+  return snap;
 }
 
 bool ChunkedSnapshot::matches(const std::uint8_t* data,

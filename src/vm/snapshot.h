@@ -106,6 +106,33 @@ class ChunkedSnapshot {
                const std::vector<std::uint64_t>* base_memo,
                std::size_t masked = static_cast<std::size_t>(-1)) const;
 
+  // ---- serialization access (machine/state_io, serve/bundle) ----
+  // The snapshot's stored payload: the full bytes for a full snapshot,
+  // the packed differing chunks for a delta.
+  const std::uint8_t* payload() const {
+    return view_ != nullptr ? view_ : data_.data();
+  }
+  std::uint64_t payload_size() const {
+    return view_ != nullptr ? view_size_ : data_.size();
+  }
+  const std::vector<std::uint64_t>& versions() const { return versions_; }
+  const std::vector<std::int32_t>& slots() const { return slot_; }
+
+  // Reconstructs a snapshot from serialized parts.  `base` must be
+  // nullptr for a full snapshot; for a delta it is the full snapshot
+  // the slots resolve through (and must outlive the result).  With
+  // `copy_payload` false the snapshot only *views* `payload` — the
+  // zero-copy path for mmap'd golden bundles, where the caller
+  // guarantees the mapping outlives every borrower; with true the
+  // payload is copied into owned storage.
+  static ChunkedSnapshot from_parts(std::uint32_t chunk_size, std::size_t size,
+                                    std::vector<std::uint64_t> versions,
+                                    const ChunkedSnapshot* base,
+                                    std::vector<std::int32_t> slots,
+                                    const std::uint8_t* payload,
+                                    std::size_t payload_size,
+                                    bool copy_payload);
+
   bool valid() const { return chunk_size_ != 0; }
   std::uint32_t chunk_count() const { return chunk_count_; }
   std::uint32_t chunk_size() const { return chunk_size_; }
@@ -117,7 +144,10 @@ class ChunkedSnapshot {
   const ChunkedSnapshot* base() const { return base_; }
   // Bytes of payload this snapshot itself stores (delta compression
   // measure; excludes the base).
-  std::uint64_t storage_bytes() const { return data_.size(); }
+  std::uint64_t storage_bytes() const { return payload_size(); }
+  // True when the payload is a borrowed view (an mmap'd bundle) rather
+  // than owned storage.
+  bool is_view() const { return view_ != nullptr; }
 
  private:
   std::uint32_t chunk_len(std::uint32_t index) const {
@@ -142,6 +172,11 @@ class ChunkedSnapshot {
   std::size_t size_ = 0;
   const ChunkedSnapshot* base_ = nullptr;  // full snapshot deltas resolve to
   std::vector<std::uint8_t> data_;    // full bytes, or packed delta chunks
+  // Borrowed payload (from_parts with copy_payload=false): data_ stays
+  // empty and every read resolves through this pointer instead — the
+  // caller (a mapped golden bundle) owns the bytes.
+  const std::uint8_t* view_ = nullptr;
+  std::size_t view_size_ = 0;
   std::vector<std::int32_t> slot_;    // delta: chunk -> packed index, -1=base
   std::vector<std::uint64_t> versions_;  // capture-time versions
 };

@@ -1,0 +1,251 @@
+// Content-addressed shard store: record round-trip in the campaign
+// cache byte layout, artifact self-verification by content hash, the
+// k-way spec-order merge, and the streaming digest fold the sharded
+// campaign service rests on.
+#include "analysis/store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "support/fsio.h"
+#include "support/serial.h"
+
+namespace kfi::analysis {
+namespace {
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// A result with every serialized field off its default, so a field
+// dropped or reordered by the codec shows up as a mismatch.
+inject::InjectionResult sample_result(std::uint64_t salt) {
+  inject::InjectionResult r;
+  r.spec.campaign = inject::Campaign::RandomBranch;
+  r.spec.function = "sys_write_" + std::to_string(salt);
+  r.spec.subsystem = kernel::Subsystem::Fs;
+  r.spec.instr_addr = 0x1000 + static_cast<std::uint32_t>(salt);
+  r.spec.instr_len = 3;
+  r.spec.byte_index = 1;
+  r.spec.bit_index = static_cast<std::uint8_t>(salt % 8);
+  r.spec.workload = "pipe";
+  r.outcome = inject::Outcome::DumpedCrash;
+  r.activation_cycle = 77 + salt;
+  r.cause = inject::CrashCause::PagingRequest;
+  r.crash_eip = 0x2000;
+  r.crash_addr = 0xdead0000 + static_cast<std::uint32_t>(salt);
+  r.crash_subsystem = kernel::Subsystem::Mm;
+  r.propagated = true;
+  r.latency_cycles = 12345 + salt;
+  r.severity = inject::Severity::Severe;
+  r.fs_damaged = true;
+  r.bootable = false;
+  r.repair_verified = true;
+  r.disasm_before = "mov eax, ebx";
+  r.disasm_after = "mov eax, ebp";
+  return r;
+}
+
+void expect_equal(const inject::InjectionResult& a,
+                  const inject::InjectionResult& b) {
+  EXPECT_EQ(a.spec.campaign, b.spec.campaign);
+  EXPECT_EQ(a.spec.function, b.spec.function);
+  EXPECT_EQ(a.spec.subsystem, b.spec.subsystem);
+  EXPECT_EQ(a.spec.instr_addr, b.spec.instr_addr);
+  EXPECT_EQ(a.spec.instr_len, b.spec.instr_len);
+  EXPECT_EQ(a.spec.byte_index, b.spec.byte_index);
+  EXPECT_EQ(a.spec.bit_index, b.spec.bit_index);
+  EXPECT_EQ(a.spec.workload, b.spec.workload);
+  EXPECT_EQ(a.outcome, b.outcome);
+  EXPECT_EQ(a.activation_cycle, b.activation_cycle);
+  EXPECT_EQ(a.cause, b.cause);
+  EXPECT_EQ(a.crash_eip, b.crash_eip);
+  EXPECT_EQ(a.crash_addr, b.crash_addr);
+  EXPECT_EQ(a.crash_subsystem, b.crash_subsystem);
+  EXPECT_EQ(a.propagated, b.propagated);
+  EXPECT_EQ(a.latency_cycles, b.latency_cycles);
+  EXPECT_EQ(a.severity, b.severity);
+  EXPECT_EQ(a.fs_damaged, b.fs_damaged);
+  EXPECT_EQ(a.bootable, b.bootable);
+  EXPECT_EQ(a.repair_verified, b.repair_verified);
+  EXPECT_EQ(a.disasm_before, b.disasm_before);
+  EXPECT_EQ(a.disasm_after, b.disasm_after);
+}
+
+TEST(Store, ResultRoundTripPreservesEveryField) {
+  const inject::InjectionResult original = sample_result(5);
+  ByteWriter writer;
+  write_result(writer, original);
+  ByteReader reader(writer.buffer().data(), writer.size());
+  inject::InjectionResult back;
+  ASSERT_TRUE(read_result(reader, back));
+  EXPECT_EQ(reader.remaining(), 0u);
+  expect_equal(original, back);
+}
+
+TEST(Store, ResultDigestMatchesStreamingFoldOverSameOrder) {
+  std::vector<inject::CampaignRun> runs(2);
+  runs[0].results = {sample_result(0), sample_result(1), sample_result(2)};
+  runs[1].results = {sample_result(3), sample_result(4)};
+
+  ResultDigest rolling;
+  for (const auto& run : runs)
+    for (const auto& r : run.results) rolling.add(r);
+  EXPECT_EQ(rolling.value(), results_digest(runs));
+
+  StreamingFold fold({3, 2}, /*materialize=*/true);
+  std::uint64_t index = 0;
+  for (const auto& run : runs)
+    for (const auto& r : run.results)
+      ASSERT_TRUE(fold.add(ShardRecord{index++, r}));
+  EXPECT_TRUE(fold.complete());
+  EXPECT_EQ(fold.digest(), results_digest(runs));
+  ASSERT_EQ(fold.slots().size(), 2u);
+  EXPECT_EQ(fold.slots()[0].size(), 3u);
+  EXPECT_EQ(fold.slots()[1].size(), 2u);
+  expect_equal(fold.slots()[1][0], runs[1].results[0]);
+}
+
+TEST(Store, WriteShardIsContentAddressedAndVerifies) {
+  const std::string dir = fresh_dir("kfi_store_test_write");
+  ShardStore store(dir);
+  // Records handed over unsorted; the file must come back in spec order.
+  std::vector<ShardRecord> records = {{9, sample_result(9)},
+                                      {4, sample_result(4)},
+                                      {7, sample_result(7)}};
+  const std::string path = store.write_shard(3, 0xabcd, records);
+  ASSERT_FALSE(path.empty());
+  EXPECT_TRUE(ShardStore::verify_shard(path));
+  const auto found = store.find_shard(3);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, path);
+  EXPECT_FALSE(store.find_shard(2).has_value());
+
+  auto cursor = ShardCursor::open(path, 3, 0xabcd);
+  ASSERT_TRUE(cursor.has_value());
+  EXPECT_EQ(cursor->records(), 3u);
+  ShardRecord record;
+  std::vector<std::uint64_t> order;
+  while (cursor->next(record)) order.push_back(record.spec_index);
+  EXPECT_TRUE(cursor->ok());
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{4, 7, 9}));
+
+  // Wrong expectations are rejected at open.
+  EXPECT_FALSE(ShardCursor::open(path, 2, 0xabcd).has_value());
+  EXPECT_FALSE(ShardCursor::open(path, 3, 0xbeef).has_value());
+}
+
+TEST(Store, CorruptedArtifactFailsVerificationAndIsDiscardable) {
+  const std::string dir = fresh_dir("kfi_store_test_corrupt");
+  ShardStore store(dir);
+  const std::string path =
+      store.write_shard(0, 1, {{0, sample_result(0)}, {1, sample_result(1)}});
+  ASSERT_FALSE(path.empty());
+
+  // Flip one byte in the middle of the file: the name's hash no longer
+  // matches the content, exactly as if a worker died mid-write or the
+  // disk corrupted the artifact.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<long>(f.tellg());
+    f.seekp(size / 2);
+    char byte = 0;
+    f.seekg(size / 2);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(size / 2);
+    f.write(&byte, 1);
+  }
+  EXPECT_FALSE(ShardStore::verify_shard(path));
+
+  store.discard_shard(0);
+  EXPECT_FALSE(store.find_shard(0).has_value());
+}
+
+TEST(Store, TruncatedArtifactFailsVerification) {
+  const std::string dir = fresh_dir("kfi_store_test_trunc");
+  ShardStore store(dir);
+  const std::string path = store.write_shard(0, 1, {{0, sample_result(0)}});
+  ASSERT_FALSE(path.empty());
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 8);
+  EXPECT_FALSE(ShardStore::verify_shard(path));
+}
+
+TEST(Store, MergeShardsYieldsAscendingSpecOrderAcrossShards) {
+  const std::string dir = fresh_dir("kfi_store_test_merge");
+  ShardStore store(dir);
+  // Interleaved spec indices across three shards: 0,3,6 / 1,4 / 2,5.
+  const std::string p0 =
+      store.write_shard(0, 7, {{0, sample_result(0)},
+                               {3, sample_result(3)},
+                               {6, sample_result(6)}});
+  const std::string p1 =
+      store.write_shard(1, 7, {{1, sample_result(1)}, {4, sample_result(4)}});
+  const std::string p2 =
+      store.write_shard(2, 7, {{2, sample_result(2)}, {5, sample_result(5)}});
+  ASSERT_FALSE(p0.empty() || p1.empty() || p2.empty());
+
+  std::vector<ShardCursor> cursors;
+  for (const auto& [path, index] :
+       {std::pair{p0, 0u}, std::pair{p1, 1u}, std::pair{p2, 2u}}) {
+    auto cursor = ShardCursor::open(path, index, 7);
+    ASSERT_TRUE(cursor.has_value());
+    cursors.push_back(std::move(*cursor));
+  }
+  std::vector<std::uint64_t> order;
+  EXPECT_TRUE(merge_shards(cursors, [&](const ShardRecord& record) {
+    order.push_back(record.spec_index);
+    return true;
+  }));
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{0, 1, 2, 3, 4, 5, 6}));
+}
+
+TEST(Store, MergeRejectsDuplicateSpecIndices) {
+  const std::string dir = fresh_dir("kfi_store_test_dup");
+  ShardStore store(dir);
+  const std::string p0 =
+      store.write_shard(0, 7, {{0, sample_result(0)}, {2, sample_result(2)}});
+  const std::string p1 =
+      store.write_shard(1, 7, {{1, sample_result(1)}, {2, sample_result(9)}});
+  std::vector<ShardCursor> cursors;
+  auto c0 = ShardCursor::open(p0, 0, 7);
+  auto c1 = ShardCursor::open(p1, 1, 7);
+  ASSERT_TRUE(c0.has_value() && c1.has_value());
+  cursors.push_back(std::move(*c0));
+  cursors.push_back(std::move(*c1));
+  EXPECT_FALSE(merge_shards(cursors, [](const ShardRecord&) { return true; }));
+}
+
+TEST(Store, StreamingFoldRejectsGapsDuplicatesAndOverruns) {
+  {
+    StreamingFold fold({2}, false);
+    EXPECT_TRUE(fold.add({0, sample_result(0)}));
+    EXPECT_FALSE(fold.add({0, sample_result(0)}));  // duplicate
+  }
+  {
+    StreamingFold fold({3}, false);
+    EXPECT_TRUE(fold.add({0, sample_result(0)}));
+    EXPECT_FALSE(fold.add({2, sample_result(2)}));  // gap at 1
+  }
+  {
+    StreamingFold fold({1}, false);
+    EXPECT_TRUE(fold.add({0, sample_result(0)}));
+    EXPECT_TRUE(fold.complete());
+    EXPECT_FALSE(fold.add({1, sample_result(1)}));  // overrun
+  }
+}
+
+}  // namespace
+}  // namespace kfi::analysis

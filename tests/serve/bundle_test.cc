@@ -1,0 +1,183 @@
+// Golden-bundle files: the serialized WorkloadGolden round-trips
+// bit-exactly through write_bundle/load_bundle, stale or corrupt
+// bundles are rejected at load, and an adopted bundle substitutes for a
+// locally built artifact without changing a single injection result.
+#include "serve/bundle.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/io.h"
+#include "inject/golden.h"
+#include "kernel/build.h"
+
+namespace kfi::serve {
+namespace {
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// One golden build for the whole suite: bundle tests only need a real
+// artifact to serialize, not a fresh boot per TEST.
+class BundleTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    cache_ = new inject::GoldenCache(options());
+    kernel_fp_ = analysis::kernel_fingerprint(kernel::built_kernel());
+  }
+  static void TearDownTestSuite() {
+    delete cache_;
+    cache_ = nullptr;
+  }
+
+  static inject::InjectorOptions options() { return {}; }
+
+  static inject::GoldenCache* cache_;
+  static std::uint64_t kernel_fp_;
+};
+
+inject::GoldenCache* BundleTest::cache_ = nullptr;
+std::uint64_t BundleTest::kernel_fp_ = 0;
+
+TEST_F(BundleTest, RoundTripPreservesTheWholeArtifact) {
+  const inject::WorkloadGolden& original = cache_->workload("pipe");
+  const std::string dir = fresh_dir("kfi_bundle_test_roundtrip");
+  const std::string path = bundle_path(dir, "pipe", options(), kernel_fp_);
+
+  const auto hash = write_bundle(path, "pipe", original, options(),
+                                 kernel_fp_);
+  ASSERT_TRUE(hash.has_value());
+
+  const auto loaded = load_bundle(path, "pipe", options(), kernel_fp_, *hash);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->content_hash, *hash);
+  ASSERT_NE(loaded->keepalive, nullptr);
+
+  const inject::WorkloadGolden& back = loaded->artifact;
+  EXPECT_EQ(back.golden.ok, original.golden.ok);
+  EXPECT_EQ(back.golden.console, original.golden.console);
+  EXPECT_EQ(back.golden.exit_code, original.golden.exit_code);
+  EXPECT_EQ(back.golden.fs_digest, original.golden.fs_digest);
+  EXPECT_EQ(back.golden.cycles, original.golden.cycles);
+  EXPECT_EQ(back.golden.bootable, original.golden.bootable);
+  EXPECT_EQ(back.golden.fs_damaged, original.golden.fs_damaged);
+  EXPECT_EQ(back.golden.fsck_unrepairable, original.golden.fsck_unrepairable);
+  EXPECT_EQ(back.golden.repair_verified, original.golden.repair_verified);
+  EXPECT_EQ(back.coverage, original.coverage);
+  ASSERT_EQ(back.first_touch.size(), original.first_touch.size());
+  for (const auto& [addr, window] : original.first_touch) {
+    const auto it = back.first_touch.find(addr);
+    ASSERT_NE(it, back.first_touch.end());
+    EXPECT_EQ(it->second.first, window.first);
+    EXPECT_EQ(it->second.last, window.last);
+  }
+  ASSERT_NE(back.boot, nullptr);
+  EXPECT_EQ(back.boot->eip, original.boot->eip);
+  EXPECT_EQ(back.boot->cycles, original.boot->cycles);
+  EXPECT_EQ(back.boot->cr3, original.boot->cr3);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(back.boot->regs[i], original.boot->regs[i]);
+  ASSERT_EQ(back.ladder.size(), original.ladder.size());
+  for (std::size_t i = 0; i < back.ladder.size(); ++i) {
+    EXPECT_EQ(back.ladder[i].cycle, original.ladder[i].cycle);
+    EXPECT_EQ(back.ladder[i].eip, original.ladder[i].eip);
+  }
+}
+
+TEST_F(BundleTest, DeterministicBytesAcrossRewrites) {
+  const inject::WorkloadGolden& artifact = cache_->workload("pipe");
+  const std::string dir = fresh_dir("kfi_bundle_test_deterministic");
+  const auto h1 = write_bundle(dir + "/one.kfib", "pipe", artifact, options(),
+                               kernel_fp_);
+  const auto h2 = write_bundle(dir + "/two.kfib", "pipe", artifact, options(),
+                               kernel_fp_);
+  ASSERT_TRUE(h1.has_value() && h2.has_value());
+  // Coverage and first-touch are hash maps in memory; the bundle must
+  // serialize them in a canonical order for the content hash to be
+  // stable across writers.
+  EXPECT_EQ(*h1, *h2);
+}
+
+TEST_F(BundleTest, RejectsMismatchedIdentityAndCorruption) {
+  const inject::WorkloadGolden& artifact = cache_->workload("pipe");
+  const std::string dir = fresh_dir("kfi_bundle_test_reject");
+  const std::string path = dir + "/bundle.kfib";
+  const auto hash = write_bundle(path, "pipe", artifact, options(),
+                                 kernel_fp_);
+  ASSERT_TRUE(hash.has_value());
+
+  // Wrong workload name.
+  EXPECT_FALSE(load_bundle(path, "syscall", options(), kernel_fp_).has_value());
+  // Wrong kernel build.
+  EXPECT_FALSE(load_bundle(path, "pipe", options(), kernel_fp_ ^ 1)
+                   .has_value());
+  // Wrong ladder geometry.
+  inject::InjectorOptions other = options();
+  other.checkpoints += 1;
+  EXPECT_FALSE(load_bundle(path, "pipe", other, kernel_fp_).has_value());
+  // Manifest hash mismatch.
+  EXPECT_FALSE(load_bundle(path, "pipe", options(), kernel_fp_, *hash ^ 1)
+                   .has_value());
+
+  // Truncation.
+  const std::string cut = dir + "/cut.kfib";
+  std::filesystem::copy_file(path, cut);
+  std::filesystem::resize_file(cut,
+                               std::filesystem::file_size(cut) * 3 / 4);
+  EXPECT_FALSE(load_bundle(cut, "pipe", options(), kernel_fp_).has_value());
+
+  // A flipped byte in the payload against the recorded hash.
+  const std::string bad = dir + "/bad.kfib";
+  std::filesystem::copy_file(path, bad);
+  {
+    std::fstream f(bad, std::ios::in | std::ios::out | std::ios::binary);
+    const auto size = static_cast<long>(std::filesystem::file_size(bad));
+    char byte = 0;
+    f.seekg(size / 2);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x01);
+    f.seekp(size / 2);
+    f.write(&byte, 1);
+  }
+  EXPECT_FALSE(load_bundle(bad, "pipe", options(), kernel_fp_, *hash)
+                   .has_value());
+}
+
+TEST_F(BundleTest, AdoptedBundleSubstitutesForALocalBuild) {
+  const inject::WorkloadGolden& original = cache_->workload("pipe");
+  const std::string dir = fresh_dir("kfi_bundle_test_adopt");
+  const std::string path = bundle_path(dir, "pipe", options(), kernel_fp_);
+  const auto hash = write_bundle(path, "pipe", original, options(),
+                                 kernel_fp_);
+  ASSERT_TRUE(hash.has_value());
+  auto loaded = load_bundle(path, "pipe", options(), kernel_fp_, *hash);
+  ASSERT_TRUE(loaded.has_value());
+
+  inject::GoldenCache adopter(options());
+  EXPECT_TRUE(adopter.adopt_workload("pipe", std::move(loaded->artifact),
+                                     loaded->keepalive));
+  EXPECT_EQ(adopter.adoptions(), 1u);
+  // The adopted entry wins: asking for the workload must not build.
+  const inject::WorkloadGolden& adopted = adopter.workload("pipe");
+  EXPECT_EQ(adopter.golden_builds(), 0u);
+  EXPECT_EQ(adopted.golden.cycles, original.golden.cycles);
+  EXPECT_EQ(adopted.coverage, original.coverage);
+  // A second adoption under the same name is refused.
+  EXPECT_FALSE(adopter.adopt_workload("pipe", inject::WorkloadGolden{},
+                                      nullptr));
+  EXPECT_EQ(adopter.adoptions(), 1u);
+}
+
+}  // namespace
+}  // namespace kfi::serve

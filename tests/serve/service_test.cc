@@ -1,0 +1,229 @@
+// The process-sharded campaign service: the sharded digest is
+// bit-identical to the in-process run_campaign() path at every worker
+// count, a killed campaign resumes from exactly its completed shards,
+// and a corrupted shard artifact is rejected by content hash and
+// re-run.  These are the contracts kfi_campaignd and the CI sharded
+// smoke leg gate at full scale; here they run on a trimmed two-slot
+// campaign so the whole suite stays in tier-1 time.
+#include "serve/service.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/store.h"
+#include "check/expectations.h"
+#include "check/replay.h"
+#include "inject/injector.h"
+#include "profile/profile.h"
+
+namespace kfi::serve {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = temp_path(name);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// Two campaign slots (a random-bit slot and a reversed-branch slot)
+// over a pared-down function list: big enough to span multiple
+// workloads, shards, and the A/C slot boundary; small enough to run
+// many service invocations per suite.
+std::vector<inject::CampaignConfig> test_campaigns() {
+  inject::CampaignConfig a = check::smoke_config(
+      inject::Campaign::RandomNonBranch);
+  a.functions = {"pipe_read"};
+  inject::CampaignConfig c = check::smoke_config(
+      inject::Campaign::IncorrectBranch);
+  c.functions = {"pipe_read", "free_pages"};
+  return {a, c};
+}
+
+ServiceConfig base_config(const std::string& dir) {
+  ServiceConfig config;
+  config.campaigns = test_campaigns();
+  config.dir = dir;
+  // All tests share one bundle directory: the first prepare pays for
+  // boot + golden + ladder, every later one adopts from disk.
+  config.bundle_dir = temp_path("kfi_service_test_bundles");
+  config.workers = 1;
+  return config;
+}
+
+// The in-process reference, computed once per suite.
+const std::vector<inject::CampaignRun>& reference_runs() {
+  static const std::vector<inject::CampaignRun> runs = [] {
+    inject::Injector injector(inject::InjectorOptions{});
+    std::vector<inject::CampaignRun> out;
+    for (inject::CampaignConfig config : test_campaigns()) {
+      config.threads = 1;
+      out.push_back(inject::run_campaign(
+          injector, profile::default_profile(), config));
+    }
+    return out;
+  }();
+  return runs;
+}
+
+std::uint64_t reference_digest() {
+  return analysis::results_digest(reference_runs());
+}
+
+TEST(Service, SingleWorkerMatchesInProcessResultForResult) {
+  ServiceConfig config = base_config(fresh_dir("kfi_service_test_w1"));
+  const ServiceResult result = run_service(config, /*materialize=*/true);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.digest, reference_digest());
+  ASSERT_EQ(result.runs.size(), reference_runs().size());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < result.runs.size(); ++i) {
+    const check::RunComparison cmp =
+        check::compare_runs(reference_runs()[i], result.runs[i]);
+    EXPECT_TRUE(cmp.identical())
+        << "campaign slot " << i << ": " << cmp.mismatches.size()
+        << " mismatches of " << cmp.compared;
+    total += result.runs[i].results.size();
+  }
+  EXPECT_EQ(result.total_runs, total);
+  EXPECT_GT(result.shard_count, 1u);
+  EXPECT_EQ(result.shards_executed, result.shard_count);
+  EXPECT_EQ(result.shards_resumed, 0u);
+  EXPECT_EQ(result.corrupt_discarded, 0u);
+}
+
+TEST(Service, EveryWorkerCountFoldsTheIdenticalDigest) {
+  for (const unsigned workers : {2u, 4u}) {
+    ServiceConfig config = base_config(
+        fresh_dir("kfi_service_test_w" + std::to_string(workers)));
+    config.workers = workers;
+    const ServiceResult result = run_service(config);
+    ASSERT_TRUE(result.ok) << "workers=" << workers << ": " << result.error;
+    EXPECT_EQ(result.digest, reference_digest()) << "workers=" << workers;
+    EXPECT_EQ(result.total_runs, reference_runs()[0].results.size() +
+                                     reference_runs()[1].results.size());
+    // 4 shards per worker by default.
+    EXPECT_EQ(result.shard_count, 4u * workers);
+  }
+}
+
+TEST(Service, KilledCampaignResumesFromCompletedShards) {
+  const std::string dir = fresh_dir("kfi_service_test_resume");
+  ServiceConfig config = base_config(dir);
+
+  // First invocation: every worker dies after one shard and the
+  // controller gets one wave — a partial campaign on disk.
+  ServiceConfig killed = config;
+  killed.max_shards_per_worker = 1;
+  killed.max_attempts = 1;
+  const ServiceResult partial = run_service(killed);
+  EXPECT_FALSE(partial.ok);
+  EXPECT_EQ(partial.corrupt_discarded, 0u);
+
+  // The artifacts that did land are whole (atomic rename): exactly one
+  // shard from the single worker's single completed claim.
+  const analysis::ShardStore store(dir + "/shards");
+  std::uint64_t completed = 0;
+  for (std::uint64_t shard = 0; shard < partial.shard_count; ++shard) {
+    const auto path = store.find_shard(shard);
+    if (!path.has_value()) continue;
+    EXPECT_TRUE(analysis::ShardStore::verify_shard(*path));
+    ++completed;
+  }
+  EXPECT_EQ(completed, 1u);
+
+  // Second invocation, same config: resumes instead of restarting, and
+  // the digest still matches the in-process path bit for bit.
+  const ServiceResult resumed = run_service(config);
+  ASSERT_TRUE(resumed.ok) << resumed.error;
+  EXPECT_EQ(resumed.digest, reference_digest());
+  EXPECT_EQ(resumed.shards_resumed, completed);
+  EXPECT_EQ(resumed.shards_executed, resumed.shard_count - completed);
+}
+
+TEST(Service, CorruptShardIsRejectedByHashAndReRun) {
+  const std::string dir = fresh_dir("kfi_service_test_corrupt");
+  ServiceConfig config = base_config(dir);
+  const ServiceResult first = run_service(config);
+  ASSERT_TRUE(first.ok) << first.error;
+
+  // Flip a payload byte in shard 0's artifact, keeping its name — the
+  // torn-write / bit-rot case.  Aggregation must refuse it.
+  const analysis::ShardStore store(dir + "/shards");
+  const auto victim = store.find_shard(0);
+  ASSERT_TRUE(victim.has_value());
+  {
+    std::fstream f(*victim, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    const auto size =
+        static_cast<long>(std::filesystem::file_size(*victim));
+    char byte = 0;
+    f.seekg(size - 5);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x80);
+    f.seekp(size - 5);
+    f.write(&byte, 1);
+  }
+  ServiceResult aggregate;
+  EXPECT_FALSE(aggregate_campaign(dir, false, aggregate));
+  EXPECT_EQ(aggregate.corrupt_discarded, 1u);
+  EXPECT_FALSE(store.find_shard(0).has_value());  // discarded
+
+  // The controller re-runs exactly the discarded shard and converges on
+  // the same digest.
+  const ServiceResult repaired = run_service(config);
+  ASSERT_TRUE(repaired.ok) << repaired.error;
+  EXPECT_EQ(repaired.digest, reference_digest());
+  EXPECT_EQ(repaired.shards_executed, 1u);
+  EXPECT_EQ(repaired.shards_resumed, repaired.shard_count - 1);
+}
+
+TEST(Service, WorkersAdoptBundlesInsteadOfRebuilding) {
+  ServiceConfig config = base_config(fresh_dir("kfi_service_test_bundle"));
+  const ServiceResult result = run_service(config);
+  ASSERT_TRUE(result.ok) << result.error;
+  // Bundles either existed (shared bundle dir, built by an earlier
+  // test) or were built by this prepare — but between the two runs of
+  // this config's workloads, each bundle exists exactly once.
+  EXPECT_GT(result.bundles_built + result.bundles_adopted, 0u);
+
+  // A standalone worker against the prepared directory adopts every
+  // manifest workload from its bundle: zero local golden rebuilds.
+  const auto manifest = load_manifest(config.dir);
+  ASSERT_TRUE(manifest.has_value());
+  EXPECT_GE(manifest->workloads.size(), 1u);
+  const WorkerReport report = run_worker(config.dir, 0, 1);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.bundle_adoptions, manifest->workloads.size());
+  EXPECT_EQ(report.shards_completed, 0u);  // campaign already complete
+}
+
+TEST(Service, DifferentConfigInvalidatesTheManifest) {
+  const std::string dir = fresh_dir("kfi_service_test_invalidate");
+  ServiceConfig config = base_config(dir);
+  const ServiceResult first = run_service(config);
+  ASSERT_TRUE(first.ok) << first.error;
+
+  // Same directory, different seed: the manifest identity changes, so
+  // stale shards must not be resumed into the new campaign.
+  ServiceConfig changed = config;
+  for (inject::CampaignConfig& campaign : changed.campaigns) {
+    campaign.seed = 2004;
+  }
+  const ServiceResult second = run_service(changed);
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_EQ(second.shards_resumed, 0u);
+  EXPECT_EQ(second.shards_executed, second.shard_count);
+  EXPECT_NE(second.digest, first.digest);
+}
+
+}  // namespace
+}  // namespace kfi::serve

@@ -96,5 +96,26 @@ TEST(Strings, ParseU64EnforcesRange) {
   EXPECT_EQ(out, 1u);
 }
 
+TEST(Strings, ParseJobsAcceptsTheWorkerRange) {
+  unsigned jobs = 0;
+  EXPECT_TRUE(parse_jobs("1", jobs));
+  EXPECT_EQ(jobs, 1u);
+  EXPECT_TRUE(parse_jobs("1024", jobs));
+  EXPECT_EQ(jobs, 1024u);
+  EXPECT_TRUE(parse_jobs("8", jobs));
+  EXPECT_EQ(jobs, 8u);
+}
+
+TEST(Strings, ParseJobsRejectsZeroOversizeAndGarbage) {
+  unsigned jobs = 7;
+  EXPECT_FALSE(parse_jobs("0", jobs)) << "a zero-worker pool cannot run";
+  EXPECT_FALSE(parse_jobs("1025", jobs));
+  EXPECT_FALSE(parse_jobs("", jobs));
+  EXPECT_FALSE(parse_jobs("-4", jobs));
+  EXPECT_FALSE(parse_jobs("4x", jobs));
+  EXPECT_FALSE(parse_jobs("4 ", jobs));
+  EXPECT_EQ(jobs, 7u) << "failed parses must not clobber the output";
+}
+
 }  // namespace
 }  // namespace kfi

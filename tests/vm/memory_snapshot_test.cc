@@ -199,5 +199,54 @@ TEST(MemorySnapshot, SharedSnapshotAcrossMemoriesWithPrivateMemos) {
   ASSERT_EQ(contents(capturer), base_state);
 }
 
+TEST(MemorySnapshot, FromPartsViewRestoresIdenticallyToOwnedCopy) {
+  PhysicalMemory mem(kSize);
+  Rng rng(0xBEEFu);
+  scribble(mem, rng, 150);
+  ChunkedSnapshot base = mem.snapshot_pages();
+  const std::vector<std::uint8_t> base_state = contents(mem);
+  scribble(mem, rng, 40);
+  std::vector<std::uint64_t> base_memo = base.capture_memo();
+  ChunkedSnapshot delta = ChunkedSnapshot::delta(
+      mem.raw(0), mem.size(), mem.page_versions(), base, &base_memo);
+  const std::vector<std::uint8_t> delta_state = contents(mem);
+
+  // Reassemble both snapshots from their serialized parts, once with an
+  // owned payload copy and once as a zero-copy view into the original
+  // payload bytes — the bundle-mmap path.
+  ChunkedSnapshot base_copy = ChunkedSnapshot::from_parts(
+      base.chunk_size(), base.size(), base.versions(), nullptr, {},
+      base.payload(), base.payload_size(), /*copy_payload=*/true);
+  ChunkedSnapshot base_view = ChunkedSnapshot::from_parts(
+      base.chunk_size(), base.size(), base.versions(), nullptr, {},
+      base.payload(), base.payload_size(), /*copy_payload=*/false);
+  EXPECT_FALSE(base_copy.is_view());
+  EXPECT_TRUE(base_view.is_view());
+  EXPECT_EQ(base_view.payload(), base.payload())
+      << "a view must alias the serialized payload, not copy it";
+  ChunkedSnapshot delta_view = ChunkedSnapshot::from_parts(
+      delta.chunk_size(), delta.size(), delta.versions(), &base_view,
+      delta.slots(), delta.payload(), delta.payload_size(),
+      /*copy_payload=*/false);
+  EXPECT_TRUE(delta_view.is_delta());
+
+  // Restores through the reassembled snapshots must land the same bytes
+  // as the originals, for both the copy and the view.
+  for (ChunkedSnapshot* snap : {&base_copy, &base_view}) {
+    PhysicalMemory target(kSize);
+    std::vector<std::uint64_t> memo = snap->fresh_memo();
+    target.restore_pages(*snap, memo);
+    ASSERT_EQ(contents(target), base_state);
+  }
+  {
+    PhysicalMemory target(kSize);
+    std::vector<std::uint64_t> memo = delta_view.fresh_memo();
+    std::vector<std::uint64_t> view_base_memo = base_view.fresh_memo();
+    target.restore_pages(base_view, view_base_memo);
+    target.restore_pages(delta_view, memo, &view_base_memo);
+    ASSERT_EQ(contents(target), delta_state);
+  }
+}
+
 }  // namespace
 }  // namespace kfi::vm
