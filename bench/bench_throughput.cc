@@ -574,6 +574,77 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(entry.result.steals));
   }
 
+  // Fault-model leg: campaigns D (register-file bit flips), E (kernel
+  // data bit flips), F (syscall errno injection) under the same hard
+  // gates as A/B/C — the stepper and the fastest engine must agree bit
+  // for bit, and the sharded service must reproduce the in-process
+  // digest at every worker count.
+  constexpr inject::Campaign kFaultModelCampaigns[] = {
+      inject::Campaign::RegisterFile,
+      inject::Campaign::KernelData,
+      inject::Campaign::SyscallErrno,
+  };
+  std::vector<inject::CampaignRun> fm_step;
+  std::vector<inject::CampaignRun> fm_fast;
+  {
+    inject::Injector step_injector(baseline_options);
+    inject::Injector fast_injector(memfast_options);
+    for (const inject::Campaign campaign : kFaultModelCampaigns) {
+      const inject::CampaignConfig config = check::smoke_config(campaign);
+      fm_step.push_back(inject::run_campaign(
+          step_injector, profile::default_profile(), config));
+      fm_fast.push_back(inject::run_campaign(
+          fast_injector, profile::default_profile(), config));
+    }
+  }
+  std::uint64_t fm_campaign_digest[3] = {0, 0, 0};
+  for (std::size_t i = 0; i < fm_fast.size(); ++i) {
+    const char letter = static_cast<char>('D' + i);
+    const check::RunComparison cmp =
+        check::compare_runs(fm_step[i], fm_fast[i]);
+    if (!cmp.identical()) {
+      std::fprintf(stderr,
+                   "FAIL: campaign %c diverged between stepper and memfast "
+                   "(%zu mismatches of %zu)\n",
+                   letter, cmp.mismatches.size(), cmp.compared);
+      return 1;
+    }
+    analysis::ResultDigest one;
+    for (const inject::InjectionResult& r : fm_fast[i].results) one.add(r);
+    fm_campaign_digest[i] = one.value();
+  }
+  const std::uint64_t fm_digest = results_digest(fm_fast);
+  for (const unsigned workers : sweep_counts) {
+    serve::ServiceConfig service;
+    for (const inject::Campaign campaign : kFaultModelCampaigns) {
+      service.campaigns.push_back(check::smoke_config(campaign));
+    }
+    service.options = memfast_options;
+    service.dir = serve_root + "/def-w" + std::to_string(workers);
+    service.bundle_dir = serve_root + "/bundles";  // shared with A/B/C
+    service.workers = workers;
+    service.fresh = true;
+    const serve::ServiceResult result = serve::run_service(service);
+    if (!result.ok) {
+      std::fprintf(stderr, "FAIL: D/E/F campaign service at workers=%u: %s\n",
+                   workers, result.error.c_str());
+      return 1;
+    }
+    if (result.digest != fm_digest) {
+      std::fprintf(stderr,
+                   "FAIL: workers=%u D/E/F sharded digest %016llx != %016llx\n",
+                   workers, static_cast<unsigned long long>(result.digest),
+                   static_cast<unsigned long long>(fm_digest));
+      return 1;
+    }
+  }
+  std::printf("fault models: D %016llx, E %016llx, F %016llx "
+              "(stepper == memfast == sharded, fold %016llx)\n",
+              static_cast<unsigned long long>(fm_campaign_digest[0]),
+              static_cast<unsigned long long>(fm_campaign_digest[1]),
+              static_cast<unsigned long long>(fm_campaign_digest[2]),
+              static_cast<unsigned long long>(fm_digest));
+
   std::FILE* out = std::fopen(out_path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_path);
@@ -673,10 +744,22 @@ int main(int argc, char** argv) {
                "  ],\n"
                "  \"sharded_gate\": {\"sharded_identical\": true, "
                "\"result_digest\": \"%016llx\"},\n"
+               "  \"fault_model_gate\": {\"campaignD_identical\": true, "
+               "\"campaignD_digest\": \"%016llx\", "
+               "\"campaignE_identical\": true, "
+               "\"campaignE_digest\": \"%016llx\", "
+               "\"campaignF_identical\": true, "
+               "\"campaignF_digest\": \"%016llx\", "
+               "\"def_sharded_identical\": true, "
+               "\"def_digest\": \"%016llx\"},\n"
                "  \"results_identical\": true,\n"
                "  \"result_digest\": \"%016llx\"\n"
                "}\n",
                static_cast<unsigned long long>(digest),
+               static_cast<unsigned long long>(fm_campaign_digest[0]),
+               static_cast<unsigned long long>(fm_campaign_digest[1]),
+               static_cast<unsigned long long>(fm_campaign_digest[2]),
+               static_cast<unsigned long long>(fm_digest),
                static_cast<unsigned long long>(digest));
   std::fclose(out);
   return 0;

@@ -12,6 +12,10 @@
 //   kfi_campaignd worker --dir DIR --id 2 --workers 4
 //   kfi_campaignd aggregate --dir DIR [--json FILE]
 //
+// --campaigns selects which smoke campaigns the service shards:
+// letters A..F in any order (default ABC; DEF runs the fault-model
+// triple — register flips, kernel-data flips, syscall errno).
+//
 // The contract gated by --verify-inprocess (and by tier-1 CI): the
 // sharded digest is bit-identical to the in-process run_campaign()
 // path — 54fdd95d1638c920 on the smoke triple — at any worker count,
@@ -38,6 +42,7 @@ using namespace kfi;
 struct CliOptions {
   std::string command;
   std::string dir = "kfi-campaignd";
+  std::string campaigns = "ABC";
   std::string json_path;
   unsigned workers = 2;
   unsigned worker_id = 0;
@@ -54,6 +59,8 @@ struct CliOptions {
   std::printf(
       "usage: kfi_campaignd <run|prepare|worker|aggregate> [options]\n"
       "  --dir DIR           campaign directory (manifest, shards, claims)\n"
+      "  --campaigns LIST    campaign letters A..F (default ABC; DEF runs\n"
+      "                      the fault-model triple)\n"
       "  --workers N         worker processes (strict, 1..1024; also "
       "KFI_JOBS)\n"
       "  --shards N          shard count (default: 4 per worker)\n"
@@ -96,6 +103,20 @@ CliOptions parse_cli(int argc, char** argv) {
     const bool has_value = i + 1 < argc;
     if (arg == "--dir" && has_value) {
       options.dir = argv[++i];
+    } else if (arg == "--campaigns" && has_value) {
+      options.campaigns = argv[++i];
+      if (options.campaigns.empty()) {
+        std::fprintf(stderr, "error: --campaigns expects letters A..F\n");
+        std::exit(2);
+      }
+      for (const char letter : options.campaigns) {
+        if (letter < 'A' || letter > 'F') {
+          std::fprintf(stderr,
+                       "error: --campaigns expects letters A..F, got '%c'\n",
+                       letter);
+          std::exit(2);
+        }
+      }
     } else if (arg == "--workers" && has_value) {
       unsigned workers = 0;
       if (!parse_jobs(argv[i + 1], workers)) {
@@ -137,12 +158,23 @@ CliOptions parse_cli(int argc, char** argv) {
   return options;
 }
 
+inject::Campaign campaign_for_letter(char letter) {
+  switch (letter) {
+    case 'A': return inject::Campaign::RandomNonBranch;
+    case 'B': return inject::Campaign::RandomBranch;
+    case 'C': return inject::Campaign::IncorrectBranch;
+    case 'D': return inject::Campaign::RegisterFile;
+    case 'E': return inject::Campaign::KernelData;
+    default:  return inject::Campaign::SyscallErrno;  // 'F'; parse_cli
+                                                      // rejects the rest
+  }
+}
+
 serve::ServiceConfig service_config(const CliOptions& cli) {
   serve::ServiceConfig config;
-  for (const inject::Campaign campaign :
-       {inject::Campaign::RandomNonBranch, inject::Campaign::RandomBranch,
-        inject::Campaign::IncorrectBranch}) {
-    inject::CampaignConfig c = check::smoke_config(campaign);
+  for (const char letter : cli.campaigns) {
+    inject::CampaignConfig c =
+        check::smoke_config(campaign_for_letter(letter));
     c.seed = cli.seed;
     c.repeats = cli.repeats;
     config.campaigns.push_back(std::move(c));
@@ -168,6 +200,7 @@ void write_json(const CliOptions& cli, const serve::ServiceResult& result,
   std::fprintf(out,
                "{\n"
                "  \"tool\": \"kfi_campaignd\",\n"
+               "  \"campaigns\": \"%s\",\n"
                "  \"ok\": %s,\n"
                "  \"result_digest\": \"%016llx\",\n"
                "  \"total_runs\": %llu,\n"
@@ -183,6 +216,7 @@ void write_json(const CliOptions& cli, const serve::ServiceResult& result,
                "  \"hardware_concurrency\": %u,\n"
                "  \"scaling_valid\": %s%s%s\n"
                "}\n",
+               cli.campaigns.c_str(),
                result.ok ? "true" : "false",
                static_cast<unsigned long long>(result.digest),
                static_cast<unsigned long long>(result.total_runs),

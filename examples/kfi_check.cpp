@@ -12,8 +12,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "analysis/aggregate.h"
 #include "analysis/io.h"
+#include "analysis/render.h"
 #include "check/expectations.h"
 #include "check/replay.h"
 #include "inject/campaign.h"
@@ -58,6 +61,10 @@ int usage() {
       "                            run the fixed smoke campaigns (A and C\n"
       "                            over %zu hot functions) and evaluate\n"
       "                            the smoke oracles\n"
+      "  shape extended [--threads N | --jobs N]\n"
+      "                            run the fault-model smoke campaigns\n"
+      "                            (D registers, E kernel data, F syscall\n"
+      "                            errno) and evaluate their oracles\n"
       "  shape full [--scale N --seed N --cache DIR --no-cache --quiet\n"
       "              --threads N]\n"
       "                            evaluate the EXPERIMENTS.md oracles on\n"
@@ -70,7 +77,7 @@ int usage() {
       "                            from (campaign, seed, repeats)\n"
       "  replay <file.kfi> --index N\n"
       "                            replay exactly result #N\n"
-      "  determinism [--threads N | --jobs N] [--campaign A|B|C]\n"
+      "  determinism [--threads N | --jobs N] [--campaign A|B|C|D|E|F]\n"
       "                            run the smoke campaign with threads=1\n"
       "                            and threads=N (default 4) and require\n"
       "                            identical result vectors\n",
@@ -153,6 +160,9 @@ inject::Campaign parse_campaign(const char* arg) {
   switch (arg[0]) {
     case 'B': return inject::Campaign::RandomBranch;
     case 'C': return inject::Campaign::IncorrectBranch;
+    case 'D': return inject::Campaign::RegisterFile;
+    case 'E': return inject::Campaign::KernelData;
+    case 'F': return inject::Campaign::SyscallErrno;
     default: return inject::Campaign::RandomNonBranch;
   }
 }
@@ -188,6 +198,40 @@ int cmd_shape(int argc, char** argv) {
     totals += c.stats;
     totals.chunks = a.stats.chunks + c.stats.chunks;
     totals.steals = a.stats.steals + c.stats.steals;
+    print_campaign_stats(totals);
+    return report.all_pass() ? 0 : 1;
+  }
+  if (scale == "extended") {
+    unsigned threads = analysis::jobs_from_env() != 0
+                           ? analysis::jobs_from_env()
+                           : 1;
+    for (int i = 3; i < argc; ++i) {
+      if ((std::strcmp(argv[i], "--threads") == 0 ||
+           std::strcmp(argv[i], "--jobs") == 0) &&
+          i + 1 < argc) {
+        threads = require_jobs(argv[i], argv[i + 1]);
+        ++i;
+      }
+    }
+    inject::Injector injector;
+    const auto& prof = profile::default_profile();
+    std::vector<inject::CampaignRun> runs;
+    for (const inject::Campaign campaign :
+         {inject::Campaign::RegisterFile, inject::Campaign::KernelData,
+          inject::Campaign::SyscallErrno}) {
+      inject::CampaignConfig config = check::smoke_config(campaign);
+      config.threads = threads;
+      runs.push_back(inject::run_campaign(injector, prof, config));
+    }
+    const check::ShapeReport report =
+        check::evaluate_smoke_extended(runs[0], runs[1], runs[2]);
+    std::fputs(check::render_report(report).c_str(), stdout);
+    std::fputs(
+        analysis::render_cascade(analysis::make_cascade(runs[2])).c_str(),
+        stdout);
+    inject::CampaignStats totals = runs[0].stats;
+    totals += runs[1].stats;
+    totals += runs[2].stats;
     print_campaign_stats(totals);
     return report.all_pass() ? 0 : 1;
   }

@@ -7,7 +7,7 @@
 //   kfi_cli profile [top-n]
 //   kfi_cli inject <function> <instr-index> <byte> <bit> [workload]
 //   kfi_cli forensics <function> <instr-index> <byte> <bit> [workload]
-//   kfi_cli campaign <A|B|C> [function ...]
+//   kfi_cli campaign <A|B|C|D|E|F> [function ...]
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -56,8 +56,10 @@ int usage() {
       "                            replay one injection under the event\n"
       "                            trace: timeline + JSONL next to the\n"
       "                            campaign artifacts\n"
-      "  campaign <A|B|C> [fn...]  run a campaign (default: paper's\n"
-      "                            function selection)\n"
+      "  campaign <A|B|C|D|E|F> [fn...]\n"
+      "                            run a campaign (default: paper's\n"
+      "                            function selection; D/E/F are the\n"
+      "                            fault-model campaigns)\n"
       "  report [out.md]           run/load all campaigns and write a\n"
       "                            markdown report\n");
   return 2;
@@ -235,6 +237,9 @@ int cmd_campaign(int argc, char** argv) {
     case 'A': config.campaign = inject::Campaign::RandomNonBranch; break;
     case 'B': config.campaign = inject::Campaign::RandomBranch; break;
     case 'C': config.campaign = inject::Campaign::IncorrectBranch; break;
+    case 'D': config.campaign = inject::Campaign::RegisterFile; break;
+    case 'E': config.campaign = inject::Campaign::KernelData; break;
+    case 'F': config.campaign = inject::Campaign::SyscallErrno; break;
     default: return usage();
   }
   for (int i = 3; i < argc; ++i) config.functions.emplace_back(argv[i]);
@@ -254,6 +259,11 @@ int cmd_campaign(int argc, char** argv) {
   std::fputs(
       analysis::render_crash_causes(analysis::make_crash_causes(run)).c_str(),
       stdout);
+  if (config.campaign == inject::Campaign::SyscallErrno) {
+    std::printf("\n");
+    std::fputs(analysis::render_cascade(analysis::make_cascade(run)).c_str(),
+               stdout);
+  }
   return 0;
 }
 

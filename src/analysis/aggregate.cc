@@ -71,6 +71,37 @@ OutcomeTable make_outcome_table(const CampaignRun& run) {
   return table;
 }
 
+CascadeTable make_cascade(const CampaignRun& run) {
+  CascadeTable table;
+  table.campaign = run.campaign;
+  std::map<std::uint32_t, CascadeRow> rows;
+  for (const InjectionResult& r : run.results) {
+    CascadeRow& row = rows[r.spec.errno_value];
+    row.errno_value = r.spec.errno_value;
+    const auto fold = [&](CascadeRow& into) {
+      ++into.injected;
+      if (r.outcome == Outcome::NotActivated) return;
+      ++into.activated;
+      switch (r.outcome) {
+        case Outcome::NotManifested: ++into.not_manifested; break;
+        case Outcome::FailSilenceViolation: ++into.fail_silence; break;
+        case Outcome::DumpedCrash:
+        case Outcome::HangUnknown: ++into.crash_hang; break;
+        default: break;
+      }
+      into.total_after += r.syscalls_after;
+      into.total_cascade += r.cascade_syscalls;
+      if (r.cascade_syscalls > into.max_cascade) {
+        into.max_cascade = r.cascade_syscalls;
+      }
+    };
+    fold(row);
+    fold(table.total);
+  }
+  for (const auto& [errno_value, row] : rows) table.rows.push_back(row);
+  return table;
+}
+
 double CrashCauseDistribution::top4_share() const {
   if (total == 0) return 0.0;
   std::uint64_t top4 = 0;

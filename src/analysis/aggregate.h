@@ -101,6 +101,32 @@ TracedPropagation make_traced_propagation(inject::Injector& tracer,
                                           kernel::Subsystem from,
                                           std::size_t max_replays = 0);
 
+// ---- Campaign F: errno-injection cascade ----
+
+// Per-errno accounting of what a forced syscall failure did to the
+// rest of the workload: how many syscalls still ran after the
+// injection and how many of them the kernel itself turned into errno
+// failures (the cascade).
+struct CascadeRow {
+  std::uint32_t errno_value = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t activated = 0;
+  std::uint64_t not_manifested = 0;
+  std::uint64_t fail_silence = 0;
+  std::uint64_t crash_hang = 0;
+  std::uint64_t total_after = 0;    // syscall exits after the injection
+  std::uint64_t total_cascade = 0;  // of those, errno failures
+  std::uint64_t max_cascade = 0;    // longest single-run cascade
+};
+
+struct CascadeTable {
+  inject::Campaign campaign = inject::Campaign::SyscallErrno;
+  std::vector<CascadeRow> rows;  // ascending errno
+  CascadeRow total;
+};
+
+CascadeTable make_cascade(const inject::CampaignRun& run);
+
 // ---- Table 5 / §7.1: crash severity ----
 
 struct SeveritySummary {

@@ -19,18 +19,30 @@ constexpr std::uint32_t kMagic = 0x4B464931;  // "KFI1"
 // in analysis/store (write_result/read_result) so shard artifacts and
 // campaign caches stay format-twins.
 constexpr std::uint32_t kVersion = 4;
+// v5 appends the fault-model fields to every record (store.cc's
+// extended layout).  Caches whose results are all InstrBit keep being
+// written as v4, so the committed A/B/C caches stay byte-identical and
+// loadable; a D/E/F cache is v5.
+constexpr std::uint32_t kVersionExtended = 5;
 
 }  // namespace
 
 bool save_campaign(const inject::CampaignRun& run, const std::string& path) {
+  bool extended = false;
+  for (const inject::InjectionResult& r : run.results) {
+    if (result_is_extended(r)) {
+      extended = true;
+      break;
+    }
+  }
   ByteWriter writer;
   writer.u32(kMagic);
-  writer.u32(kVersion);
+  writer.u32(extended ? kVersionExtended : kVersion);
   writer.u32(static_cast<std::uint32_t>(run.campaign));
   writer.u64(run.functions_targeted);
   writer.u64(run.results.size());
   for (const inject::InjectionResult& r : run.results) {
-    write_result(writer, r);
+    write_result(writer, r, extended);
   }
   // Crash-safe: a reader either sees the previous cache or the complete
   // new one, never a torn write that half-parses on the next load.
@@ -41,9 +53,12 @@ std::optional<inject::CampaignRun> load_campaign(const std::string& path) {
   const std::optional<std::string> data = read_file_bytes(path);
   if (!data.has_value()) return std::nullopt;
   ByteReader reader(*data);
-  if (reader.u32() != kMagic || reader.u32() != kVersion) {
+  if (reader.u32() != kMagic) return std::nullopt;
+  const std::uint32_t version = reader.u32();
+  if (version != kVersion && version != kVersionExtended) {
     return std::nullopt;
   }
+  const bool extended = version == kVersionExtended;
 
   inject::CampaignRun run;
   run.campaign = static_cast<inject::Campaign>(reader.u32());
@@ -53,7 +68,7 @@ std::optional<inject::CampaignRun> load_campaign(const std::string& path) {
   run.results.reserve(count);
   for (std::uint64_t i = 0; i < count && reader.ok(); ++i) {
     inject::InjectionResult r;
-    if (!read_result(reader, r)) break;
+    if (!read_result(reader, r, extended)) break;
     run.results.push_back(std::move(r));
   }
   if (!reader.ok() || run.results.size() != count) return std::nullopt;

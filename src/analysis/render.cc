@@ -1,5 +1,8 @@
 #include "analysis/render.h"
 
+#include <string_view>
+
+#include "kernel/koffsets.h"
 #include "support/strings.h"
 
 namespace kfi::analysis {
@@ -7,6 +10,34 @@ namespace kfi::analysis {
 using inject::Campaign;
 using inject::CrashCause;
 using kernel::Subsystem;
+
+namespace {
+
+// percent() maps an empty denominator to "0.0%", which reads as a
+// measured zero; tables render "–" instead so "no activated runs" is
+// distinguishable from "0% of activated runs".
+std::string share(double num, double den) {
+  return den > 0 ? percent(num, den) : "–";
+}
+
+std::string_view errno_label(std::uint32_t errno_value) {
+  switch (errno_value) {
+    case kernel::KE_ENOENT: return "ENOENT";
+    case kernel::KE_EBADF: return "EBADF";
+    case kernel::KE_EAGAIN: return "EAGAIN";
+    case kernel::KE_ENOMEM: return "ENOMEM";
+    case kernel::KE_EEXIST: return "EEXIST";
+    case kernel::KE_EINVAL: return "EINVAL";
+    case kernel::KE_EMFILE: return "EMFILE";
+    case kernel::KE_ENOSPC: return "ENOSPC";
+    case kernel::KE_ESPIPE: return "ESPIPE";
+    case kernel::KE_EPIPE: return "EPIPE";
+    case kernel::KE_ENOSYS: return "ENOSYS";
+    default: return "E?";
+  }
+}
+
+}  // namespace
 
 std::string render_fig1(const kernel::KernelImage& image) {
   std::string out;
@@ -54,9 +85,13 @@ std::string render_table4() {
   out += "-------------------------------------------------\n";
   for (const Campaign campaign :
        {Campaign::RandomNonBranch, Campaign::RandomBranch,
-        Campaign::IncorrectBranch}) {
-    out += format("  %s - %s\n",
+        Campaign::IncorrectBranch, Campaign::RegisterFile,
+        Campaign::KernelData, Campaign::SyscallErrno}) {
+    out += format("  %s [%s] - %s\n",
                   std::string(inject::campaign_name(campaign)).c_str(),
+                  std::string(inject::fault_model_name(
+                                  inject::campaign_fault_model(campaign)))
+                      .c_str(),
                   std::string(inject::campaign_description(campaign)).c_str());
   }
   return out;
@@ -78,14 +113,14 @@ std::string render_outcome_table(const OutcomeTable& table) {
     return format(
         "  %-12s %9s %10s(%5s) %9s(%5s) %8s(%5s) %7s(%5s)\n", name,
         with_commas(row.injected).c_str(), with_commas(row.activated).c_str(),
-        percent(static_cast<double>(row.activated),
-                static_cast<double>(row.injected)).c_str(),
+        share(static_cast<double>(row.activated),
+              static_cast<double>(row.injected)).c_str(),
         with_commas(row.not_manifested).c_str(),
-        percent(static_cast<double>(row.not_manifested), act).c_str(),
+        share(static_cast<double>(row.not_manifested), act).c_str(),
         with_commas(row.fail_silence).c_str(),
-        percent(static_cast<double>(row.fail_silence), act).c_str(),
+        share(static_cast<double>(row.fail_silence), act).c_str(),
         with_commas(row.crash_hang).c_str(),
-        percent(static_cast<double>(row.crash_hang), act).c_str());
+        share(static_cast<double>(row.crash_hang), act).c_str());
   };
 
   for (const OutcomeRow& row : table.rows) {
@@ -100,15 +135,44 @@ std::string render_outcome_table(const OutcomeTable& table) {
   const double act = static_cast<double>(table.total.activated);
   out += "  Overall distribution of activated errors:\n";
   out += format("    Not Manifested        %6s\n",
-                percent(static_cast<double>(table.total.not_manifested), act)
+                share(static_cast<double>(table.total.not_manifested), act)
                     .c_str());
   out += format("    Fail Silence Violation%6s\n",
-                percent(static_cast<double>(table.total.fail_silence), act)
+                share(static_cast<double>(table.total.fail_silence), act)
                     .c_str());
   out += format("    Dumped Crash          %6s\n",
-                percent(static_cast<double>(table.dumped_crash), act).c_str());
+                share(static_cast<double>(table.dumped_crash), act).c_str());
   out += format("    Hang/Unknown Crash    %6s\n",
-                percent(static_cast<double>(table.hang_unknown), act).c_str());
+                share(static_cast<double>(table.hang_unknown), act).c_str());
+  return out;
+}
+
+std::string render_cascade(const CascadeTable& table) {
+  std::string out;
+  out += format("Campaign %s: Syscall-Failure Cascades\n",
+                std::string(inject::campaign_name(table.campaign)).c_str());
+  out += "------------------------------------------------------------------"
+         "----\n";
+  out += format("  %-8s %9s %10s %8s %8s %10s %10s %8s\n", "errno",
+                "Injected", "Activated", "FailSil", "Crash", "After",
+                "Cascaded", "MaxCasc");
+  const auto row_text = [](const char* name, const CascadeRow& row) {
+    return format("  %-8s %9s %10s %8s %8s %10s %10s %8s\n", name,
+                  with_commas(row.injected).c_str(),
+                  with_commas(row.activated).c_str(),
+                  with_commas(row.fail_silence).c_str(),
+                  with_commas(row.crash_hang).c_str(),
+                  with_commas(row.total_after).c_str(),
+                  with_commas(row.total_cascade).c_str(),
+                  with_commas(row.max_cascade).c_str());
+  };
+  for (const CascadeRow& row : table.rows) {
+    out += row_text(std::string(errno_label(row.errno_value)).c_str(), row);
+  }
+  out += row_text("Total", table.total);
+  out += format("  cascade rate over post-injection syscalls: %s\n",
+                share(static_cast<double>(table.total.total_cascade),
+                      static_cast<double>(table.total.total_after)).c_str());
   return out;
 }
 
@@ -131,8 +195,8 @@ std::string render_crash_causes(const CrashCauseDistribution& dist) {
     out += format("  %-52s %7s  %6s\n",
                   std::string(inject::crash_cause_name(cause)).c_str(),
                   with_commas(count).c_str(),
-                  percent(static_cast<double>(count),
-                          static_cast<double>(dist.total)).c_str());
+                  share(static_cast<double>(count),
+                        static_cast<double>(dist.total)).c_str());
   }
   out += format("  top-4 causes account for %.1f%% of all crashes\n",
                 dist.top4_share() * 100.0);
@@ -176,8 +240,8 @@ std::string render_propagation(const PropagationGraph& graph) {
     out += format("  %s -> %-8s %6s",
                   std::string(subsystem_name(edge.from)).c_str(),
                   std::string(subsystem_name(edge.to)).c_str(),
-                  percent(static_cast<double>(edge.crashes),
-                          static_cast<double>(graph.total_crashes)).c_str());
+                  share(static_cast<double>(edge.crashes),
+                        static_cast<double>(graph.total_crashes)).c_str());
     out += "  causes:";
     for (const auto& [cause, count] : edge.causes) {
       out += format(" %s=%s",

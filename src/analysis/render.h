@@ -32,6 +32,10 @@ std::string render_latency(const LatencyDistribution& dist);
 // Figure 8: propagation graph for one faulted subsystem.
 std::string render_propagation(const PropagationGraph& graph);
 
+// Campaign F: per-errno cascade table (syscalls still run after the
+// forced failure, and how many of them failed in turn).
+std::string render_cascade(const CascadeTable& table);
+
 // Table 5 / §7.1: severity summary with the most-severe inventory.
 std::string render_severity(const inject::CampaignRun& run,
                             const SeveritySummary& summary);

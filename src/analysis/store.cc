@@ -12,6 +12,10 @@ namespace {
 
 constexpr std::uint32_t kShardMagic = 0x4B464953;  // "KFIS"
 constexpr std::uint32_t kShardVersion = 1;
+// v2 appends the fault-model fields to every record; shards holding
+// only InstrBit results keep writing v1 so their bytes (and therefore
+// their content-hash names) are unchanged from before campaigns D/E/F.
+constexpr std::uint32_t kShardVersionExtended = 2;
 
 std::string shard_file_name(std::uint64_t index, std::uint64_t hash) {
   return format("shard_%06llu_%016llx.kfis",
@@ -68,6 +72,22 @@ void ResultDigest::add(const inject::InjectionResult& r) {
   mix((r.fs_damaged ? 1u : 0u) | (r.bootable ? 2u : 0u) |
       (r.propagated ? 4u : 0u));
   mix(r.spec.instr_addr);
+  // Extended fault models fold their extra identifying fields too.  An
+  // InstrBit result mixes nothing further, so the pinned A/B/C digest
+  // (54fdd95d1638c920) is byte-for-byte the historical fold.
+  if (r.spec.model != inject::FaultModel::InstrBit) {
+    mix(static_cast<std::uint64_t>(r.spec.model));
+    mix(r.spec.target_reg);
+    mix(r.spec.data_index);
+    mix(r.spec.errno_value);
+    mix(r.data_addr);
+    mix(r.syscalls_after);
+    mix(r.cascade_syscalls);
+  }
+}
+
+bool result_is_extended(const inject::InjectionResult& r) {
+  return r.spec.model != inject::FaultModel::InstrBit;
 }
 
 std::uint64_t results_digest(const std::vector<inject::CampaignRun>& runs) {
@@ -78,7 +98,8 @@ std::uint64_t results_digest(const std::vector<inject::CampaignRun>& runs) {
   return digest.value();
 }
 
-void write_result(ByteWriter& writer, const inject::InjectionResult& r) {
+void write_result(ByteWriter& writer, const inject::InjectionResult& r,
+                  bool extended) {
   writer.u32(static_cast<std::uint32_t>(r.spec.campaign));
   writer.str(r.spec.function);
   writer.u32(static_cast<std::uint32_t>(r.spec.subsystem));
@@ -101,9 +122,19 @@ void write_result(ByteWriter& writer, const inject::InjectionResult& r) {
   writer.u32(r.repair_verified ? 1 : 0);
   writer.str(r.disasm_before);
   writer.str(r.disasm_after);
+  if (!extended) return;
+  writer.u32(static_cast<std::uint32_t>(r.spec.model));
+  writer.u32(r.spec.target_reg);
+  writer.u32(r.spec.data_addr);
+  writer.u32(r.spec.data_index);
+  writer.u32(r.spec.errno_value);
+  writer.u32(r.data_addr);
+  writer.u32(r.syscalls_after);
+  writer.u32(r.cascade_syscalls);
 }
 
-bool read_result(ByteReader& reader, inject::InjectionResult& out) {
+bool read_result(ByteReader& reader, inject::InjectionResult& out,
+                 bool extended) {
   out.spec.campaign = static_cast<inject::Campaign>(reader.u32());
   out.spec.function = reader.str();
   out.spec.subsystem = static_cast<kernel::Subsystem>(reader.u32());
@@ -126,6 +157,16 @@ bool read_result(ByteReader& reader, inject::InjectionResult& out) {
   out.repair_verified = reader.u32() != 0;
   out.disasm_before = reader.str();
   out.disasm_after = reader.str();
+  if (extended) {
+    out.spec.model = static_cast<inject::FaultModel>(reader.u32());
+    out.spec.target_reg = static_cast<std::uint8_t>(reader.u32());
+    out.spec.data_addr = reader.u32();
+    out.spec.data_index = reader.u32();
+    out.spec.errno_value = reader.u32();
+    out.data_addr = reader.u32();
+    out.syscalls_after = reader.u32();
+    out.cascade_syscalls = reader.u32();
+  }
   return reader.ok();
 }
 
@@ -138,15 +179,22 @@ std::string ShardStore::write_shard(std::uint64_t shard_index,
             [](const ShardRecord& a, const ShardRecord& b) {
               return a.spec_index < b.spec_index;
             });
+  bool extended = false;
+  for (const ShardRecord& record : records) {
+    if (result_is_extended(record.result)) {
+      extended = true;
+      break;
+    }
+  }
   ByteWriter writer;
   writer.u32(kShardMagic);
-  writer.u32(kShardVersion);
+  writer.u32(extended ? kShardVersionExtended : kShardVersion);
   writer.u64(shard_index);
   writer.u64(config_hash);
   writer.u64(records.size());
   for (const ShardRecord& record : records) {
     writer.u64(record.spec_index);
-    write_result(writer, record.result);
+    write_result(writer, record.result, extended);
   }
   const std::string payload = writer.take();
   const std::uint64_t hash = fnv1a_bytes(payload.data(), payload.size());
@@ -209,7 +257,9 @@ std::optional<ShardCursor> ShardCursor::open(const std::string& path,
   std::shared_ptr<const MappedFile> file = MappedFile::map(path);
   if (file == nullptr) return std::nullopt;
   ByteReader reader(file->data(), file->size());
-  if (reader.u32() != kShardMagic || reader.u32() != kShardVersion) {
+  if (reader.u32() != kShardMagic) return std::nullopt;
+  const std::uint32_t version = reader.u32();
+  if (version != kShardVersion && version != kShardVersionExtended) {
     return std::nullopt;
   }
   const std::uint64_t index = reader.u64();
@@ -218,13 +268,15 @@ std::optional<ShardCursor> ShardCursor::open(const std::string& path,
   if (!reader.ok() || index != expect_index || config != expect_config) {
     return std::nullopt;
   }
-  return ShardCursor(std::move(file), std::move(reader), index, count);
+  ShardCursor cursor(std::move(file), std::move(reader), index, count);
+  cursor.extended_ = version == kShardVersionExtended;
+  return cursor;
 }
 
 bool ShardCursor::next(ShardRecord& out) {
   if (!ok_ || read_ >= count_) return false;
   out.spec_index = reader_.u64();
-  if (!read_result(reader_, out.result)) {
+  if (!read_result(reader_, out.result, extended_)) {
     ok_ = false;
     return false;
   }

@@ -52,9 +52,18 @@ std::uint64_t results_digest(const std::vector<inject::CampaignRun>& runs);
 
 // One result record with the exact field order of the campaign cache
 // format (analysis/io.cc, format v4) — the shard files and the cache
-// files speak the same per-result byte layout.
-void write_result(ByteWriter& writer, const inject::InjectionResult& r);
-bool read_result(ByteReader& reader, inject::InjectionResult& out);
+// files speak the same per-result byte layout.  `extended` appends the
+// fault-model fields (spec model/target/data/errno plus the resolved
+// data address and cascade counters) after the v4 layout; files whose
+// results are all InstrBit omit them so their bytes never change.
+void write_result(ByteWriter& writer, const inject::InjectionResult& r,
+                  bool extended = false);
+bool read_result(ByteReader& reader, inject::InjectionResult& out,
+                 bool extended = false);
+
+// True when `r` carries fault-model fields the v4/v1 record layouts
+// cannot represent (any model other than InstrBit).
+bool result_is_extended(const inject::InjectionResult& r);
 
 // One shard record: the result plus its position in the global spec
 // order (campaign A's specs first, then B, then C — the order the
@@ -131,6 +140,7 @@ class ShardCursor {
   std::uint64_t count_ = 0;
   std::uint64_t read_ = 0;
   bool ok_ = true;
+  bool extended_ = false;  // v2 record layout (fault-model fields)
 };
 
 // K-way merge of shard cursors into one ascending spec-index stream.

@@ -194,9 +194,25 @@ const std::vector<std::string>& smoke_branch_functions() {
 inject::CampaignConfig smoke_config(Campaign campaign) {
   inject::CampaignConfig config;
   config.campaign = campaign;
-  config.functions = campaign == Campaign::RandomNonBranch
-                         ? smoke_functions()
-                         : smoke_branch_functions();
+  switch (campaign) {
+    case Campaign::RandomNonBranch:
+      config.functions = smoke_functions();
+      break;
+    case Campaign::RegisterFile:
+    case Campaign::KernelData:
+      // One fault per instruction site, so the narrow A-list holds the
+      // register and data smoke campaigns to a few dozen runs each.
+      config.functions = smoke_functions();
+      break;
+    case Campaign::SyscallErrno:
+      // Campaign F's "functions" are workload names; the syscall
+      // workload issues the densest exit stream per simulated cycle.
+      config.functions = {"syscall"};
+      break;
+    default:
+      config.functions = smoke_branch_functions();
+      break;
+  }
   config.repeats = 1;
   config.seed = 2003;
   config.threads = 1;
@@ -247,6 +263,59 @@ ShapeReport evaluate_smoke(const CampaignRun& a, const CampaignRun& c) {
       {{"A", outcome_share(a, inject::Outcome::FailSilenceViolation)},
        {"C", outcome_share(c, inject::Outcome::FailSilenceViolation)}},
       "C", "reversed guards report errors for correct requests"));
+  return report;
+}
+
+ShapeReport evaluate_smoke_extended(const CampaignRun& d,
+                                    const CampaignRun& e,
+                                    const CampaignRun& f) {
+  ShapeReport report;
+
+  // Campaign D: register faults trigger on covered sites, so most
+  // activate; many flips land in dead registers or bits the next write
+  // clobbers, so not-manifested runs well above the instruction
+  // campaigns (the CHAOS-style register campaigns saw the same).
+  OutcomeShape outcome_d;
+  outcome_d.name = "smoke.D";
+  outcome_d.activated = {0.75, 1.0};
+  outcome_d.not_manifested = {0.55, 0.92};
+  outcome_d.fail_silence = {0.0, 0.25};
+  outcome_d.crash_hang = {0.05, 0.45};
+  report.add(outcome_d.evaluate(analysis::make_outcome_table(d)));
+
+  // Campaign E: data faults land on bytes the golden run demonstrably
+  // wrote, so activation is structural; a single flipped data bit is
+  // frequently overwritten before it is read, so not-manifested
+  // dominates (the paper's "error not consumed" observation).
+  OutcomeShape outcome_e;
+  outcome_e.name = "smoke.E";
+  outcome_e.activated = {0.75, 1.0};
+  outcome_e.not_manifested = {0.70, 1.0};
+  outcome_e.fail_silence = {0.0, 0.30};
+  outcome_e.crash_hang = {0.0, 0.20};
+  report.add(outcome_e.evaluate(analysis::make_outcome_table(e)));
+
+  // Campaign F: every target is a real golden syscall exit, so
+  // activation is total; a forced errno on a previously-successful
+  // syscall visibly changes workload output (fail silence) far more
+  // often than it crashes the kernel — the kernel itself stays sane,
+  // the workload is what gets lied to.
+  CascadeShape cascade_f;
+  cascade_f.name = "smoke.F";
+  cascade_f.activated = {0.95, 1.0};
+  cascade_f.fail_silence = {0.25, 0.75};
+  cascade_f.cascade_rate = {0.0, 0.50};
+  report.add(cascade_f.evaluate(analysis::make_cascade(f)));
+
+  report.add(check_argmax(
+      "smoke.cross.f_kernel_survives",
+      {{"F.crash_hang", outcome_share(f, inject::Outcome::DumpedCrash) +
+                            outcome_share(f, inject::Outcome::HangUnknown)},
+       {"F.survived", outcome_share(f, inject::Outcome::NotManifested) +
+                          outcome_share(f, inject::Outcome::FailSilenceViolation)}},
+      "F.survived",
+      "an errno at the syscall boundary corrupts no kernel state, so the"
+      " kernel itself keeps running"));
   return report;
 }
 

@@ -64,4 +64,10 @@ inject::CampaignConfig smoke_config(inject::Campaign campaign);
 ShapeReport evaluate_smoke(const inject::CampaignRun& a,
                            const inject::CampaignRun& c);
 
+// Evaluates smoke runs of the fault-model campaigns: D (register-file
+// bit flips), E (kernel-data bit flips), F (syscall errno injection).
+ShapeReport evaluate_smoke_extended(const inject::CampaignRun& d,
+                                    const inject::CampaignRun& e,
+                                    const inject::CampaignRun& f);
+
 }  // namespace kfi::check

@@ -225,6 +225,35 @@ std::vector<CheckResult> SeverityShape::evaluate(
   return checks;
 }
 
+std::vector<CheckResult> CascadeShape::evaluate(
+    const analysis::CascadeTable& table) const {
+  std::vector<CheckResult> checks;
+  const analysis::CascadeRow& total = table.total;
+  checks.push_back(check_band(
+      name + ".activated", ratio(total.activated, total.injected), activated,
+      format("%s activated of %s injected",
+             with_commas(total.activated).c_str(),
+             with_commas(total.injected).c_str())));
+  checks.push_back(check_band(
+      name + ".fail_silence", ratio(total.fail_silence, total.activated),
+      fail_silence,
+      format("%s of %s activated", with_commas(total.fail_silence).c_str(),
+             with_commas(total.activated).c_str())));
+  checks.push_back(check_band(
+      name + ".cascade_rate", ratio(total.total_cascade, total.total_after),
+      cascade_rate,
+      format("%s cascaded of %s post-injection syscalls",
+             with_commas(total.total_cascade).c_str(),
+             with_commas(total.total_after).c_str())));
+  if (expect_some_cascade) {
+    checks.push_back(check_band(
+        name + ".some_cascade", total.max_cascade > 0 ? 1.0 : 0.0,
+        Band{1.0, 1.0},
+        "at least one injection must visibly cascade (max_cascade > 0)"));
+  }
+  return checks;
+}
+
 double short_latency_share(const inject::CampaignRun& run,
                            std::uint64_t within_cycles) {
   std::uint64_t crashes = 0;

@@ -121,6 +121,21 @@ struct SeverityShape {
       const analysis::SeveritySummary& summary) const;
 };
 
+// Campaign F shape: every errno target lands on a real golden syscall
+// exit (activation is structural, not probabilistic), and the forced
+// failure's downstream cascade stays within the band.
+struct CascadeShape {
+  std::string name;
+  Band activated;     // activated / injected
+  Band fail_silence;  // fail-silence violations / activated
+  Band cascade_rate;  // cascaded failures / post-injection syscalls
+  // When set, at least one activated injection must have produced a
+  // non-empty cascade (the errno visibly propagated).
+  bool expect_some_cascade = false;
+
+  std::vector<CheckResult> evaluate(const analysis::CascadeTable& table) const;
+};
+
 // Share of dumped crashes with latency <= `within_cycles` (Figure 7's
 // "crashes within 10 cycles" statistic).
 double short_latency_share(const inject::CampaignRun& run,

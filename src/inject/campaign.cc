@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "inject/schedule.h"
+#include "kernel/koffsets.h"
 
 namespace kfi::inject {
 
@@ -53,7 +54,20 @@ CampaignStats injector_counters(const Injector& injector) {
 std::vector<std::string> default_functions(Campaign campaign,
                                            const profile::ProfileResult& prof,
                                            double coverage) {
-  if (campaign == Campaign::RandomNonBranch) {
+  if (campaign == Campaign::SyscallErrno) {
+    // Campaign F's "functions" are workload names: the fault sits at
+    // the one syscall-exit site, so the population axis is which
+    // workload's syscall stream gets corrupted.
+    std::vector<std::string> names;
+    names.reserve(prof.workload_cycles.size());
+    for (const auto& [workload, cycles] : prof.workload_cycles) {
+      names.push_back(workload);
+    }
+    return names;
+  }
+  if (campaign == Campaign::RandomNonBranch ||
+      campaign == Campaign::RegisterFile ||
+      campaign == Campaign::KernelData) {
     // The paper targeted the core-32 plus enough extra hot functions to
     // reach statistical mass (51 functions in campaign A); mirror that
     // by extending the core set to at least the 40 hottest functions.
@@ -87,6 +101,43 @@ std::vector<InjectionSpec> campaign_targets(const profile::ProfileResult& prof,
                                          ? *config.kernel_image
                                          : kernel::built_kernel();
   Rng rng(config.seed ^ (static_cast<std::uint64_t>(config.campaign) << 32));
+
+  if (config.campaign == Campaign::SyscallErrno) {
+    // Campaign F: `functions` names workloads (see default_functions);
+    // every target sits at the one syscall-exit site and differs in
+    // which successful golden exit it corrupts (data_index, resolved
+    // against the golden run's exit list at injection time — this
+    // generator must stay pure over profile/config/seed so service
+    // workers re-derive identical target lists) and which errno lands.
+    static constexpr std::uint32_t kErrnos[] = {
+        kernel::KE_ENOENT, kernel::KE_EBADF,  kernel::KE_EAGAIN,
+        kernel::KE_ENOMEM, kernel::KE_EEXIST, kernel::KE_EINVAL,
+        kernel::KE_EMFILE, kernel::KE_ENOSPC, kernel::KE_ESPIPE,
+        kernel::KE_EPIPE,  kernel::KE_ENOSYS};
+    const std::uint32_t site = syscall_return_site(image);
+    std::vector<InjectionSpec> targets;
+    std::size_t targeted = 0;
+    for (const std::string& workload : functions) {
+      if (prof.workload_cycles.count(workload) == 0) continue;
+      ++targeted;
+      const int samples = config.repeats * kErrnoSamplesPerRepeat;
+      for (int rep = 0; rep < samples; ++rep) {
+        InjectionSpec spec;
+        spec.campaign = config.campaign;
+        spec.model = FaultModel::SyscallErrno;
+        spec.function = "system_call";
+        spec.subsystem = kernel::Subsystem::Arch;
+        spec.instr_addr = site;
+        spec.workload = workload;
+        spec.data_index = rng.next_u32();
+        spec.errno_value =
+            kErrnos[rng.below(sizeof kErrnos / sizeof kErrnos[0])];
+        targets.push_back(std::move(spec));
+      }
+    }
+    if (functions_targeted != nullptr) *functions_targeted = targeted;
+    return targets;
+  }
 
   // Two-phase append: expand every function first, then reserve the
   // exact total once, so the flat list never reallocates mid-fill.

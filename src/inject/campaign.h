@@ -15,11 +15,18 @@
 
 namespace kfi::inject {
 
+// Campaign F samples this many errno injections per workload per
+// `repeats` unit (each picks a random successful golden syscall exit
+// and a random errno).
+inline constexpr int kErrnoSamplesPerRepeat = 8;
+
 struct CampaignConfig {
   Campaign campaign = Campaign::RandomNonBranch;
   // Functions to target; empty = the profile's core set (coverage
   // below), like the paper's 32 hottest functions, extended for the
-  // branch campaigns which need more branch sites.
+  // branch campaigns which need more branch sites.  For campaign F the
+  // entries name *workloads* instead (the fault site is fixed at the
+  // syscall exit; the population axis is whose syscall stream fails).
   std::vector<std::string> functions;
   double profile_coverage = 0.95;
   // Random-bit repetition factor for campaigns A and B.

@@ -1,9 +1,11 @@
 #include "inject/golden.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 #include "fsutil/kfs.h"
+#include "inject/targets.h"
 
 namespace kfi::inject {
 
@@ -60,14 +62,42 @@ void GoldenCache::build(const std::string& name, WorkloadGolden& out) {
                              "' failed to boot");
   }
 
-  // Fault-free reference run, traced for coverage and touch windows.
+  // Fault-free reference run, traced for coverage, touch windows, and
+  // the written-data footprint (campaign E's target population).  A
+  // breakpoint on the syscall-exit store additionally records every
+  // syscall return (campaign F's timeline); breakpoint stops consume
+  // zero cycles and the resumable segments preserve the in-flight
+  // timer tick, so the traced timeline — and every golden artifact —
+  // is bit-identical to the historical single-call run.
   machine.restore();
   machine.set_trace(&out.coverage);
   machine.set_touch_trace(&out.first_touch);
+  std::unordered_set<std::uint32_t> written;
+  machine.set_write_trace(&written);
+  const std::uint32_t sc_site = syscall_return_site(image_);
   const std::uint64_t start = machine.cpu().cycles();
-  const machine::RunResult run = machine.run(100'000'000);
+  constexpr std::uint64_t kGoldenBudget = 100'000'000;
+  machine::RunResult run;
+  if (sc_site != 0) {
+    machine.cpu().arm_breakpoint(0, sc_site);
+    for (;;) {
+      const std::uint64_t spent = machine.cpu().cycles() - start;
+      run = machine.run(kGoldenBudget > spent ? kGoldenBudget - spent : 1,
+                        /*resumable=*/true);
+      if (run.exit != machine::RunExit::Breakpoint) break;
+      out.syscalls.push_back(SyscallExit{
+          machine.cpu().cycles(),
+          machine.cpu().reg(isa::Reg::Eax)});
+    }
+    machine.cpu().disarm_breakpoint(0);
+  } else {
+    run = machine.run(kGoldenBudget);
+  }
   machine.set_trace(nullptr);
   machine.set_touch_trace(nullptr);
+  machine.set_write_trace(nullptr);
+  out.write_footprint.assign(written.begin(), written.end());
+  std::sort(out.write_footprint.begin(), out.write_footprint.end());
 
   GoldenRun& golden = out.golden;
   golden.ok = run.exit == machine::RunExit::Completed;

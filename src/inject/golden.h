@@ -74,6 +74,18 @@ struct InjectorOptions {
   std::size_t trace_capacity = 0;
 };
 
+// One syscall exit observed during the golden run: the cycle the
+// syscall-exit store was reached and the return value about to be
+// written back.  Campaign F picks its injection point (the Nth
+// successful exit) and derives cascade baselines from this list.
+struct SyscallExit {
+  std::uint64_t cycle = 0;
+  std::uint32_t eax = 0;
+
+  // Syscall returns in (-4096, 0) are errno failures.
+  bool failed() const { return eax >= 0xFFFFF001u; }
+};
+
 // One workload's complete golden artifact bundle.  Immutable once
 // built; the BootState is held by shared_ptr because the ladder's
 // delta snapshots resolve through it (and worker machines adopt it),
@@ -84,6 +96,12 @@ struct WorkloadGolden {
   std::unordered_map<std::uint32_t, machine::TouchWindow> first_touch;
   std::shared_ptr<const machine::BootState> boot;
   std::vector<machine::Checkpoint> ladder;
+  // Physical byte addresses written by cpl-0 stores during the golden
+  // run, address-sorted (campaign E's fault-target population: data
+  // faults land on bytes the kernel demonstrably uses).
+  std::vector<std::uint32_t> write_footprint;
+  // Every syscall exit in golden order (campaign F's timeline).
+  std::vector<SyscallExit> syscalls;
 };
 
 class GoldenCache {

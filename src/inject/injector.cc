@@ -1,9 +1,11 @@
 #include "inject/injector.h"
 
 #include <stdexcept>
+#include <utility>
 
 #include "fsutil/kfs.h"
 #include "isa/disasm.h"
+#include "isa/isa.h"
 #include "trace/trace.h"
 #include "vm/layout.h"
 
@@ -69,14 +71,46 @@ InjectionResult Injector::run_one(const InjectionSpec& spec) {
   // A fresh per-injection window (lifetime totals survive the clear).
   if (trace_ != nullptr) trace_->clear();
 
+  if (spec.model == FaultModel::SyscallErrno) {
+    return run_syscall_errno(spec, std::move(result));
+  }
+  return run_triggered(spec, std::move(result));
+}
+
+InjectionResult Injector::run_triggered(const InjectionSpec& spec,
+                                        InjectionResult result) {
   const GoldenRun& ref = golden(spec.workload);
-  if (coverage(spec.workload).count(spec.instr_addr) == 0) {
+  // The coverage prune is sound only for the instruction model: a text
+  // byte outside the executed set can never activate.  Register and
+  // data faults trigger on execution of a *site*, so an uncovered site
+  // simply runs to completion and classifies as NotActivated honestly.
+  if (spec.model == FaultModel::InstrBit &&
+      coverage(spec.workload).count(spec.instr_addr) == 0) {
     result.outcome = Outcome::NotActivated;
     return result;
   }
   WorkloadState& state = state_for(spec.workload);
   machine::Machine& machine = *state.machine;
   const std::vector<machine::Checkpoint>& rungs = state.artifact->ladder;
+
+  // Campaign E resolves its data-fault address up front: either the
+  // spec pins a physical byte, or data_index samples the golden run's
+  // written-data footprint (empty footprint = nothing to corrupt).
+  std::uint32_t data_phys = 0;
+  if (spec.model == FaultModel::DataBit) {
+    if (spec.data_addr != 0) {
+      data_phys = spec.data_addr;
+    } else {
+      const std::vector<std::uint32_t>& footprint =
+          state.artifact->write_footprint;
+      if (footprint.empty()) {
+        result.outcome = Outcome::NotActivated;
+        return result;
+      }
+      data_phys = footprint[spec.data_index % footprint.size()];
+    }
+    result.data_addr = data_phys;
+  }
 
   // Resume from the latest ladder checkpoint the target's first
   // execution still lies ahead of; fall back to the post-boot snapshot.
@@ -127,40 +161,92 @@ InjectionResult Injector::run_one(const InjectionSpec& spec) {
                    spec.instr_addr);
   }
 
-  // Flip the bit in the instruction's binary and resume.
+  // Apply the model's fault at the trigger point and resume.
   result.activation_cycle = machine.cpu().cycles() - start;
-  const std::uint32_t flip_phys =
-      vm::phys_of_virt(spec.instr_addr) + spec.byte_index;
-  {
-    std::uint8_t before[16] = {};
-    machine.memory().read_block(vm::phys_of_virt(spec.instr_addr), before,
-                                sizeof before);
-    result.disasm_before =
-        isa::disassemble_bytes(before, sizeof before, spec.instr_addr,
-                               nullptr);
-    const std::uint8_t pristine = machine.memory().read8(flip_phys);
-    const std::uint8_t corrupted =
-        static_cast<std::uint8_t>(pristine ^ (1u << spec.bit_index));
-    machine.memory().write8(flip_phys, corrupted);
-    if (trace_ != nullptr) {
-      trace_->record(
-          trace::EventKind::InjectFlip, machine.cpu().cycles(),
-          spec.instr_addr,
-          static_cast<std::uint32_t>(spec.byte_index) << 8 | spec.bit_index,
-          pristine, corrupted);
+  // RAM byte masked out of reconvergence comparison: only the
+  // instruction model leaves a persistent divergence (the corrupted
+  // text byte); register and data faults compare the full state — a
+  // match proves the fault was overwritten back or absorbed.
+  std::size_t masked = static_cast<std::size_t>(-1);
+  switch (spec.model) {
+    case FaultModel::InstrBit: {
+      const std::uint32_t flip_phys =
+          vm::phys_of_virt(spec.instr_addr) + spec.byte_index;
+      masked = flip_phys;
+      std::uint8_t before[16] = {};
+      machine.memory().read_block(vm::phys_of_virt(spec.instr_addr), before,
+                                  sizeof before);
+      result.disasm_before =
+          isa::disassemble_bytes(before, sizeof before, spec.instr_addr,
+                                 nullptr);
+      const std::uint8_t pristine = machine.memory().read8(flip_phys);
+      const std::uint8_t corrupted =
+          static_cast<std::uint8_t>(pristine ^ (1u << spec.bit_index));
+      machine.memory().write8(flip_phys, corrupted);
+      if (trace_ != nullptr) {
+        trace_->record(
+            trace::EventKind::InjectFlip, machine.cpu().cycles(),
+            spec.instr_addr,
+            static_cast<std::uint32_t>(spec.byte_index) << 8 | spec.bit_index,
+            pristine, corrupted);
+      }
+      // Drop any cached superblock containing the corrupted page — and
+      // with it every chain link into or out of those blocks (follows
+      // re-validate entry identity, so severed links fail closed).  The
+      // per-op version check would catch the stale code anyway; this
+      // avoids the stale hit.
+      machine.cpu().invalidate_blocks(flip_phys);
+      std::uint8_t after[16] = {};
+      machine.memory().read_block(vm::phys_of_virt(spec.instr_addr), after,
+                                  sizeof after);
+      result.disasm_after =
+          isa::disassemble_bytes(after, sizeof after, spec.instr_addr,
+                                 nullptr);
+      break;
     }
-    // Drop any cached superblock containing the corrupted page — and
-    // with it every chain link into or out of those blocks (follows
-    // re-validate entry identity, so severed links fail closed).  The
-    // per-op version check would catch the stale code anyway; this
-    // avoids the stale hit.
-    machine.cpu().invalidate_blocks(flip_phys);
-    std::uint8_t after[16] = {};
-    machine.memory().read_block(vm::phys_of_virt(spec.instr_addr), after,
-                                sizeof after);
-    result.disasm_after =
-        isa::disassemble_bytes(after, sizeof after, spec.instr_addr,
-                               nullptr);
+    case FaultModel::RegisterBit: {
+      if (spec.target_reg == kEflagsTarget) {
+        const std::uint32_t before_word = machine.cpu().flags().to_word();
+        const std::uint32_t after_word = before_word ^ (1u << spec.bit_index);
+        machine.cpu().flags() = isa::Flags::from_word(after_word);
+        if (trace_ != nullptr) {
+          trace_->record(trace::EventKind::InjectFlip, machine.cpu().cycles(),
+                         spec.instr_addr,
+                         static_cast<std::uint32_t>(kEflagsTarget) << 8 |
+                             spec.bit_index,
+                         before_word, after_word);
+        }
+      } else {
+        const isa::Reg reg = static_cast<isa::Reg>(spec.target_reg);
+        const std::uint32_t before_val = machine.cpu().reg(reg);
+        const std::uint32_t after_val = before_val ^ (1u << spec.bit_index);
+        machine.cpu().set_reg(reg, after_val);
+        if (trace_ != nullptr) {
+          trace_->record(trace::EventKind::InjectFlip, machine.cpu().cycles(),
+                         spec.instr_addr,
+                         static_cast<std::uint32_t>(spec.target_reg) << 8 |
+                             spec.bit_index,
+                         before_val, after_val);
+        }
+      }
+      break;
+    }
+    case FaultModel::DataBit: {
+      const std::uint8_t pristine = machine.memory().read8(data_phys);
+      const std::uint8_t corrupted =
+          static_cast<std::uint8_t>(pristine ^ (1u << spec.bit_index));
+      machine.memory().write8(data_phys, corrupted);
+      // The flipped byte might back an already-compiled superblock (the
+      // footprint cannot prove it is not text); invalidate defensively.
+      machine.cpu().invalidate_blocks(data_phys);
+      if (trace_ != nullptr) {
+        trace_->record(trace::EventKind::InjectFlip, machine.cpu().cycles(),
+                       data_phys, spec.bit_index, pristine, corrupted);
+      }
+      break;
+    }
+    case FaultModel::SyscallErrno:
+      break;  // handled in run_syscall_errno
   }
   machine.cpu().disarm_breakpoint(0);
 
@@ -182,7 +268,14 @@ InjectionResult Injector::run_one(const InjectionSpec& spec) {
   bool reconverged = false;
   bool finished = false;
   if (!rungs.empty() && touched != touch.end()) {
-    const std::uint64_t last_exec = touched->second.last;
+    // Rungs at or before the corrupted instruction's last golden
+    // execution are unsafe for the instruction model — the golden
+    // timeline would re-execute the (still corrupted) byte past them.
+    // Register and data faults never corrupt text, so any future rung
+    // that full-compares equal is conclusive.
+    const std::uint64_t last_exec = spec.model == FaultModel::InstrBit
+                                        ? touched->second.last
+                                        : 0;
     std::size_t idx = 0;
     while (!reconverged) {
       while (idx < rungs.size() &&
@@ -200,7 +293,7 @@ InjectionResult Injector::run_one(const InjectionSpec& spec) {
         finished = true;
         break;
       }
-      if (machine.state_matches(ck, state.rung_memos[idx], flip_phys)) {
+      if (machine.state_matches(ck, state.rung_memos[idx], masked)) {
         reconverged = true;
         if (trace_ != nullptr) {
           trace_->record(trace::EventKind::Reconverged, machine.cpu().cycles(),
@@ -229,6 +322,14 @@ InjectionResult Injector::run_one(const InjectionSpec& spec) {
     run = machine.run(deadline - machine.cpu().cycles());
   }
   post_trigger_cycles_ += machine.cpu().cycles() - trigger_abs;
+  classify(result, run, machine, ref);
+  return result;
+}
+
+void Injector::classify(InjectionResult& result, const machine::RunResult& run,
+                        machine::Machine& machine, const GoldenRun& ref) {
+  const InjectionSpec& spec = result.spec;
+  const std::uint64_t start = machine.snapshot_cycles();
 
   // Post-run disk state (before the next restore wipes it).
   const fsutil::FsckReport fsck = fsutil::fsck(machine.disk_image());
@@ -297,7 +398,101 @@ InjectionResult Injector::run_one(const InjectionSpec& spec) {
                           ? Severity::MostSevere
                           : Severity::Severe;
   }
+}
 
+InjectionResult Injector::run_syscall_errno(const InjectionSpec& spec,
+                                            InjectionResult result) {
+  const GoldenRun& ref = golden(spec.workload);
+  WorkloadState& state = state_for(spec.workload);
+  machine::Machine& machine = *state.machine;
+  const WorkloadGolden& artifact = *state.artifact;
+  const std::vector<machine::Checkpoint>& rungs = artifact.ladder;
+
+  // The injection point: the data_index-th successful syscall exit of
+  // the golden timeline (failing a syscall that already failed would
+  // not model an error).  No successes = nothing to inject into.
+  std::vector<std::size_t> successes;
+  successes.reserve(artifact.syscalls.size());
+  for (std::size_t i = 0; i < artifact.syscalls.size(); ++i) {
+    if (!artifact.syscalls[i].failed()) successes.push_back(i);
+  }
+  if (spec.instr_addr == 0 || successes.empty()) {
+    result.outcome = Outcome::NotActivated;
+    return result;
+  }
+  const std::size_t target =
+      successes[spec.data_index % successes.size()];
+  const std::uint64_t target_cycle = artifact.syscalls[target].cycle;
+
+  // Resume from the latest rung strictly before the target exit;
+  // pre-fault execution is identical to the golden timeline, so the
+  // syscall-exit breakpoint fires at exactly the recorded cycles.
+  std::size_t rung_idx = rungs.size();
+  for (std::size_t i = 0; i < rungs.size(); ++i) {
+    if (rungs[i].cycle >= target_cycle) break;
+    rung_idx = i;
+  }
+  if (rung_idx < rungs.size()) {
+    machine.restore_checkpoint(rungs[rung_idx], state.rung_memos[rung_idx]);
+    ++ckpt_hits_;
+  } else {
+    machine.restore();
+    ++ckpt_misses_;
+  }
+
+  const std::uint64_t budget =
+      static_cast<std::uint64_t>(static_cast<double>(ref.cycles) *
+                                 cache_->options().budget_factor) +
+      cache_->options().budget_slack;
+  const std::uint64_t start = machine.snapshot_cycles();
+  const std::uint64_t deadline = start + budget;
+  const std::uint64_t entry = machine.cpu().cycles();
+
+  machine.cpu().arm_breakpoint(0, spec.instr_addr);
+  bool injected = false;
+  std::uint64_t trigger_abs = entry;
+  machine::RunResult run;
+  for (;;) {
+    const std::uint64_t now = machine.cpu().cycles();
+    run = machine.run(deadline > now ? deadline - now : 1, /*resumable=*/true);
+    if (run.exit != machine::RunExit::Breakpoint) break;
+    const std::uint64_t hit = machine.cpu().cycles();
+    if (!injected) {
+      if (hit < target_cycle) continue;  // an earlier exit — skip past it
+      // The target exit: overwrite the (successful) return value with
+      // -errno before the kernel stores it back to the user frame.
+      result.activation_cycle = hit - start;
+      trigger_abs = hit;
+      pre_trigger_cycles_ += hit - entry;
+      const std::uint32_t before_eax = machine.cpu().reg(isa::Reg::Eax);
+      const std::uint32_t after_eax = static_cast<std::uint32_t>(
+          -static_cast<std::int32_t>(spec.errno_value));
+      machine.cpu().set_reg(isa::Reg::Eax, after_eax);
+      injected = true;
+      if (trace_ != nullptr) {
+        trace_->record(trace::EventKind::InjectTrigger, hit, spec.instr_addr);
+        trace_->record(trace::EventKind::InjectFlip, hit, spec.instr_addr,
+                       spec.errno_value, before_eax, after_eax);
+      }
+    } else {
+      // Cascade accounting: every later exit, and how many of them the
+      // kernel itself turned into errno failures.
+      ++result.syscalls_after;
+      if (SyscallExit{0, machine.cpu().reg(isa::Reg::Eax)}.failed()) {
+        ++result.cascade_syscalls;
+      }
+    }
+  }
+  machine.cpu().disarm_breakpoint(0);
+  if (!injected) {
+    // The run ended before the target exit was reached — with a golden
+    // pre-fault timeline this cannot happen, but classify it honestly.
+    pre_trigger_cycles_ += machine.cpu().cycles() - entry;
+    result.outcome = Outcome::NotActivated;
+    return result;
+  }
+  post_trigger_cycles_ += machine.cpu().cycles() - trigger_abs;
+  classify(result, run, machine, ref);
   return result;
 }
 

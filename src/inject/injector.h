@@ -120,6 +120,20 @@ class Injector {
 
   WorkloadState& state_for(const std::string& workload);
 
+  // Trigger-at-instruction models (InstrBit / RegisterBit / DataBit):
+  // arm a breakpoint on the target instruction, apply the model's fault
+  // when it fires, then run out (with reconvergence fast-forward).
+  InjectionResult run_triggered(const InjectionSpec& spec,
+                                InjectionResult result);
+  // Campaign F: overwrite EAX with -errno at the Nth successful golden
+  // syscall exit and count the failure cascade that follows.
+  InjectionResult run_syscall_errno(const InjectionSpec& spec,
+                                    InjectionResult result);
+  // Shared end-of-run classification: disk forensics, outcome switch on
+  // the run exit, and the severity taxonomy.
+  void classify(InjectionResult& result, const machine::RunResult& run,
+                machine::Machine& machine, const GoldenRun& ref);
+
   std::shared_ptr<GoldenCache> cache_;
   // One buffer shared by all of this injector's workload machines (a
   // run touches exactly one machine, so the window stays coherent).

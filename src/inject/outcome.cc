@@ -9,6 +9,9 @@ std::string_view campaign_name(Campaign campaign) {
     case Campaign::RandomNonBranch: return "A";
     case Campaign::RandomBranch: return "B";
     case Campaign::IncorrectBranch: return "C";
+    case Campaign::RegisterFile: return "D";
+    case Campaign::KernelData: return "E";
+    case Campaign::SyscallErrno: return "F";
   }
   return "?";
 }
@@ -24,8 +27,42 @@ std::string_view campaign_description(Campaign campaign) {
     case Campaign::IncorrectBranch:
       return "Valid but Incorrect Branch: the bit that reverses the "
              "condition of the branch instruction";
+    case Campaign::RegisterFile:
+      return "Register File Error: a random bit of a general-purpose "
+             "register or EFLAGS flipped when a target instruction is "
+             "reached";
+    case Campaign::KernelData:
+      return "Kernel Data Error: a random bit of a kernel data/stack "
+             "byte from the golden run's written footprint flipped when "
+             "a target instruction is reached";
+    case Campaign::SyscallErrno:
+      return "Syscall Errno Error: a successful system-call return "
+             "value replaced by -errno at the syscall-exit boundary";
   }
   return "?";
+}
+
+std::string_view fault_model_name(FaultModel model) {
+  switch (model) {
+    case FaultModel::InstrBit: return "instr-bit";
+    case FaultModel::RegisterBit: return "register-bit";
+    case FaultModel::DataBit: return "data-bit";
+    case FaultModel::SyscallErrno: return "syscall-errno";
+  }
+  return "?";
+}
+
+FaultModel campaign_fault_model(Campaign campaign) {
+  switch (campaign) {
+    case Campaign::RandomNonBranch:
+    case Campaign::RandomBranch:
+    case Campaign::IncorrectBranch:
+      return FaultModel::InstrBit;
+    case Campaign::RegisterFile: return FaultModel::RegisterBit;
+    case Campaign::KernelData: return FaultModel::DataBit;
+    case Campaign::SyscallErrno: return FaultModel::SyscallErrno;
+  }
+  return FaultModel::InstrBit;
 }
 
 std::string_view outcome_name(Outcome outcome) {

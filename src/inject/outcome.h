@@ -10,15 +10,43 @@
 
 namespace kfi::inject {
 
-// The paper's three campaigns (Table 4).
+// The paper's three campaigns (Table 4) plus the extended fault-model
+// campaigns (ROADMAP "new fault models" track; CHAOS-style register and
+// data faults, errno injection at the syscall boundary).
 enum class Campaign : std::uint8_t {
   RandomNonBranch,   // A: a random bit in each byte of non-branch instrs
   RandomBranch,      // B: a random bit in each byte of conditional branches
   IncorrectBranch,   // C: the bit that reverses the branch condition
+  RegisterFile,      // D: a random bit of a GPR/EFLAGS at trigger time
+  KernelData,        // E: a random bit of a written kernel data/stack byte
+  SyscallErrno,      // F: a successful syscall return replaced by -errno
 };
 
-std::string_view campaign_name(Campaign campaign);        // "A" / "B" / "C"
+std::string_view campaign_name(Campaign campaign);        // "A" ... "F"
 std::string_view campaign_description(Campaign campaign);
+
+// Where the corruption lands.  Campaigns A/B/C flip a bit of an
+// instruction's encoding; D/E/F generalize the spec to the register
+// file, kernel data pages, and the syscall return value.  Carried by
+// every InjectionSpec so the injector, serializers, and the campaign
+// service's config-echo hash all dispatch on it explicitly instead of
+// inferring it from the campaign letter.
+enum class FaultModel : std::uint8_t {
+  InstrBit,      // flip one bit of one instruction byte (A/B/C)
+  RegisterBit,   // flip one bit of a GPR or a modeled EFLAGS bit (D)
+  DataBit,       // flip one bit of a kernel data/stack byte (E)
+  SyscallErrno,  // overwrite a successful syscall return with -errno (F)
+};
+
+std::string_view fault_model_name(FaultModel model);
+
+// The fault model each campaign injects under.
+FaultModel campaign_fault_model(Campaign campaign);
+
+// Register-file target encoding for FaultModel::RegisterBit: values
+// 0..7 are isa::Reg GPR numbers; kEflagsTarget selects EFLAGS (the
+// bit index must then be one of the modeled flag bits).
+inline constexpr std::uint8_t kEflagsTarget = 8;
 
 // Outcome categories (Table 3).  DumpedCrash and HangUnknown together
 // form the tables' "Crash/Hang" column.
@@ -75,6 +103,21 @@ struct InjectionSpec {
   std::uint8_t byte_index = 0;
   std::uint8_t bit_index = 0;
   std::string workload;
+
+  // Fault-model extension (defaults describe A/B/C exactly, so every
+  // pre-existing spec is a valid InstrBit spec unchanged).
+  FaultModel model = FaultModel::InstrBit;
+  // RegisterBit: GPR number 0..7, or kEflagsTarget for EFLAGS.
+  std::uint8_t target_reg = 0;
+  // DataBit: explicit physical byte address to flip; 0 means "resolve
+  // through data_index against the golden run's written-data footprint".
+  std::uint32_t data_addr = 0;
+  // DataBit: index into the sorted write footprint (taken modulo its
+  // size at run time).  SyscallErrno: picks which successful golden
+  // syscall exit to corrupt (modulo the golden success count).
+  std::uint32_t data_index = 0;
+  // SyscallErrno: the positive errno value injected as -errno.
+  std::uint32_t errno_value = 0;
 };
 
 // One injection run's full record.
@@ -102,6 +145,14 @@ struct InjectionResult {
   // Case-study material.
   std::string disasm_before;
   std::string disasm_after;
+
+  // Fault-model extras.  DataBit: the physical byte address actually
+  // flipped (spec.data_addr, or the footprint entry data_index resolved
+  // to).  SyscallErrno: how many syscall exits followed the injection,
+  // and how many of those also returned an error — the cascade length.
+  std::uint32_t data_addr = 0;
+  std::uint32_t syscalls_after = 0;
+  std::uint32_t cascade_syscalls = 0;
 };
 
 }  // namespace kfi::inject

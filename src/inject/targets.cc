@@ -107,9 +107,69 @@ std::vector<InjectionSpec> make_targets(const kernel::KernelImage& image,
         targets.push_back(std::move(spec));
         break;
       }
+      case Campaign::RegisterFile: {
+        // One register-file fault per instruction site: the site is the
+        // trigger (when its fetch is reached the register flips), so the
+        // fault population spreads over the same execution points the
+        // instruction campaigns exercise.
+        for (int rep = 0; rep < repeats; ++rep) {
+          InjectionSpec spec = base_spec(site);
+          spec.model = FaultModel::RegisterBit;
+          spec.target_reg = static_cast<std::uint8_t>(
+              rng.below(static_cast<std::uint64_t>(kEflagsTarget) + 1));
+          if (spec.target_reg == kEflagsTarget) {
+            // Only the modeled EFLAGS bits (isa::Flags::to_word layout).
+            static constexpr std::uint8_t kFlagBits[] = {0, 2, 6, 7, 9, 11};
+            spec.bit_index = kFlagBits[rng.below(6)];
+          } else {
+            spec.bit_index = static_cast<std::uint8_t>(rng.below(32));
+          }
+          targets.push_back(std::move(spec));
+        }
+        break;
+      }
+      case Campaign::KernelData: {
+        // One data fault per instruction site: the trigger is the site's
+        // fetch; the faulted byte is chosen at run time by indexing the
+        // golden run's written-data footprint (which campaign_targets
+        // cannot see — target generation must stay pure over the
+        // profile, config, and seed for worker re-derivation).
+        for (int rep = 0; rep < repeats; ++rep) {
+          InjectionSpec spec = base_spec(site);
+          spec.model = FaultModel::DataBit;
+          spec.data_index = rng.next_u32();
+          spec.bit_index = static_cast<std::uint8_t>(rng.bit_in_byte());
+          targets.push_back(std::move(spec));
+        }
+        break;
+      }
+      case Campaign::SyscallErrno:
+        // Errno targets are per-workload, not per-function; generated by
+        // campaign_targets directly.
+        break;
     }
   }
   return targets;
+}
+
+std::uint32_t syscall_return_site(const kernel::KernelImage& image) {
+  // The syscall-exit store is the instruction after the `sc_out` label
+  // in system_call: `add $12, %esp` then `mov %eax, 28(%esp)` (the
+  // return value landing in the saved-eax slot).  Locate it by decoding
+  // forward from the label, host-side — the kernel text itself is never
+  // touched, so the A/B/C identity digests cannot move.
+  const std::uint32_t sc_out = image.symbol("sc_out");
+  if (sc_out == 0) return 0;
+  const kernel::KernelFunction* fn = image.function_at(sc_out);
+  if (fn == nullptr) return 0;
+  const std::uint8_t* bytes = segment_bytes(image, fn->start, fn->end);
+  if (bytes == nullptr) return 0;
+  isa::Instruction instr;
+  if (isa::decode(bytes + (sc_out - fn->start), fn->end - sc_out, instr) !=
+      isa::DecodeStatus::Ok) {
+    return 0;
+  }
+  return sc_out + instr.length;
 }
 
 }  // namespace kfi::inject

@@ -40,4 +40,10 @@ std::vector<InjectionSpec> make_targets(const kernel::KernelImage& image,
                                         Campaign campaign, Rng& rng,
                                         int repeats = 1);
 
+// Virtual address of the syscall-exit return-value store (the
+// `mov %eax, 28(%esp)` after the `sc_out` label in system_call): the
+// trigger/injection point of campaign F.  0 if the symbol or its
+// decode is missing.
+std::uint32_t syscall_return_site(const kernel::KernelImage& image);
+
 }  // namespace kfi::inject

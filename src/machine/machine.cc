@@ -640,6 +640,13 @@ RunResult Machine::run_loop(std::uint64_t max_cycles, bool resumable) {
       case vm::CpuEventKind::Executed:
         break;
       case vm::CpuEventKind::Breakpoint:
+        // A resumable caller continues past the breakpoint (the golden
+        // syscall-exit capture and campaign F's segmented runs): keep
+        // the in-flight tick so the segmented timeline stays
+        // bit-identical to an unsegmented run even when the breakpoint
+        // fires with interrupts off.  Non-resumable exits keep the
+        // historical behavior (the A/B/C trigger path's pinned digest).
+        if (resumable) timer_pending_resume_ = timer_pending;
         result.exit = RunExit::Breakpoint;
         result.breakpoint_index = event.breakpoint_index;
         return result;

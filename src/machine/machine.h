@@ -328,6 +328,15 @@ class Machine {
     touch_ = sink;
   }
 
+  // When set, every physical byte address a cpl-0 store commits is
+  // inserted into *sink (the written-data footprint campaign E draws
+  // its fault targets from).  Observational only; used alongside
+  // set_trace during the golden capture run, which is a stepping run
+  // anyway.  Pass nullptr to disable.
+  void set_write_trace(std::unordered_set<std::uint32_t>* sink) {
+    cpu_->set_write_trace(sink);
+  }
+
   // Attaches the forensics event trace (nullptr = off, the default):
   // run begin/end, snapshot and checkpoint-rung restores, and the crash
   // report are recorded here, and the sink is forwarded to the CPU for

@@ -13,7 +13,9 @@ namespace kfi::serve {
 namespace {
 
 constexpr std::uint32_t kBundleMagic = 0x4B464942;  // "KFIB"
-constexpr std::uint32_t kBundleVersion = 1;
+// v2: appends the written-data footprint and the golden syscall-exit
+// list (campaign E/F golden inputs) after the checkpoint ladder.
+constexpr std::uint32_t kBundleVersion = 2;
 
 // The option fields golden artifacts can depend on.  budget_* and
 // trace_capacity are run-time knobs applied by the Injector, never
@@ -88,6 +90,16 @@ std::optional<std::uint64_t> write_bundle(
   writer.u32(static_cast<std::uint32_t>(artifact.ladder.size()));
   for (const machine::Checkpoint& rung : artifact.ladder) {
     machine::write_checkpoint(writer, rung);
+  }
+
+  // v2 tail: the write footprint is already address-sorted (a build
+  // invariant), so bundle bytes stay a pure function of the artifact.
+  writer.u64(artifact.write_footprint.size());
+  for (const std::uint32_t addr : artifact.write_footprint) writer.u32(addr);
+  writer.u64(artifact.syscalls.size());
+  for (const inject::SyscallExit& exit : artifact.syscalls) {
+    writer.u64(exit.cycle);
+    writer.u32(exit.eax);
   }
 
   const std::string& payload = writer.buffer();
@@ -165,6 +177,26 @@ std::optional<LoadedBundle> load_bundle(const std::string& path,
     artifact.ladder.push_back(
         machine::read_checkpoint(reader, *boot, /*view=*/true, ok));
     if (!ok) return std::nullopt;
+  }
+  const std::uint64_t footprint_count = reader.u64();
+  if (!reader.ok() || footprint_count > reader.remaining() / 4) {
+    return std::nullopt;
+  }
+  artifact.write_footprint.reserve(
+      static_cast<std::size_t>(footprint_count));
+  for (std::uint64_t i = 0; i < footprint_count; ++i) {
+    artifact.write_footprint.push_back(reader.u32());
+  }
+  const std::uint64_t syscall_count = reader.u64();
+  if (!reader.ok() || syscall_count > reader.remaining() / 12) {
+    return std::nullopt;
+  }
+  artifact.syscalls.reserve(static_cast<std::size_t>(syscall_count));
+  for (std::uint64_t i = 0; i < syscall_count; ++i) {
+    inject::SyscallExit exit;
+    exit.cycle = reader.u64();
+    exit.eax = reader.u32();
+    artifact.syscalls.push_back(exit);
   }
   if (!reader.ok()) return std::nullopt;
 

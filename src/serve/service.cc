@@ -1,10 +1,12 @@
 #include "serve/service.h"
 
 #include <fcntl.h>
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
 #include <set>
@@ -21,7 +23,11 @@ namespace kfi::serve {
 namespace {
 
 constexpr std::uint32_t kManifestMagic = 0x4B46494D;  // "KFIM"
-constexpr std::uint32_t kManifestVersion = 1;
+// v2: each campaign slot's config echo carries its fault-model byte,
+// so a resume against a directory whose manifest was produced under a
+// different fault model (or a tampered campaign/model pairing) fails
+// the config-hash comparison instead of silently mixing models.
+constexpr std::uint32_t kManifestVersion = 2;
 
 std::string manifest_path(const std::string& dir) {
   return dir + "/manifest.kfim";
@@ -46,6 +52,8 @@ void write_config_echo(ByteWriter& writer, const Manifest& manifest) {
   writer.u32(static_cast<std::uint32_t>(manifest.campaigns.size()));
   for (const inject::CampaignConfig& config : manifest.campaigns) {
     writer.u32(static_cast<std::uint32_t>(config.campaign));
+    writer.u8(static_cast<std::uint8_t>(
+        inject::campaign_fault_model(config.campaign)));
     writer.u64(config.seed);
     writer.u32(static_cast<std::uint32_t>(config.repeats));
     writer.f64(config.profile_coverage);
@@ -67,6 +75,14 @@ bool read_config_echo(ByteReader& reader, Manifest& manifest) {
   manifest.campaigns.resize(campaigns);
   for (inject::CampaignConfig& config : manifest.campaigns) {
     config.campaign = static_cast<inject::Campaign>(reader.u32());
+    const std::uint8_t model = reader.u8();
+    // The model byte is derived state; a mismatch means the manifest
+    // was written by a build with a different campaign→model mapping
+    // (or tampered with) — results would not be comparable.
+    if (model != static_cast<std::uint8_t>(
+                     inject::campaign_fault_model(config.campaign))) {
+      return false;
+    }
     config.seed = reader.u64();
     config.repeats = static_cast<int>(reader.u32());
     config.profile_coverage = reader.f64();
@@ -550,23 +566,58 @@ ServiceResult run_service(const ServiceConfig& config, bool materialize) {
           static_cast<unsigned>(std::min<std::uint64_t>(workers,
                                                         pending.size()));
       std::vector<pid_t> children;
+      bool fork_failed = false;
       for (unsigned w = 0; w < wave; ++w) {
         const pid_t pid = ::fork();
         if (pid == 0) {
           const WorkerReport report =
               run_worker(config.dir, w, workers,
                          config.max_shards_per_worker, config.verbose);
+          if (config.worker_death == ServiceConfig::WorkerDeath::Signal) {
+            ::raise(SIGKILL);
+          }
+          if (config.worker_death == ServiceConfig::WorkerDeath::Fail) {
+            ::_exit(9);
+          }
           ::_exit(report.ok ? 0 : 1);
         }
         if (pid < 0) {
-          result.error = "fork failed";
-          return result;
+          // Do not leave the already-spawned part of the wave running:
+          // kill and reap every child before reporting the failure, or
+          // they become orphans still writing into the campaign
+          // directory after run_service returned.
+          fork_failed = true;
+          for (const pid_t child : children) ::kill(child, SIGKILL);
+          break;
         }
         children.push_back(pid);
       }
       for (const pid_t pid : children) {
         int status = 0;
-        ::waitpid(pid, &status, 0);
+        pid_t got;
+        do {
+          got = ::waitpid(pid, &status, 0);
+        } while (got < 0 && errno == EINTR);
+        if (got != pid) continue;
+        if (WIFSIGNALED(status)) {
+          ++result.workers_signaled;
+          if (config.verbose) {
+            std::fprintf(stderr,
+                         "[kfi-serve] worker pid %d killed by signal %d\n",
+                         static_cast<int>(pid), WTERMSIG(status));
+          }
+        } else if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
+          ++result.workers_failed;
+          if (config.verbose) {
+            std::fprintf(stderr,
+                         "[kfi-serve] worker pid %d exited with status %d\n",
+                         static_cast<int>(pid), WEXITSTATUS(status));
+          }
+        }
+      }
+      if (fork_failed) {
+        result.error = "fork failed";
+        return result;
       }
     }
     if (aggregate_campaign(config.dir, materialize, result)) {

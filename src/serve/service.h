@@ -57,6 +57,15 @@ struct ServiceConfig {
   // simulating a worker killed mid-campaign.  0 = unlimited.
   std::uint64_t max_shards_per_worker = 0;
 
+  // Test hook: how a forked worker terminates after its drain loop
+  // returns — exercises the controller's exit-status accounting.
+  enum class WorkerDeath : std::uint8_t {
+    Clean,   // _exit(0/1) from the worker report (production behavior)
+    Fail,    // _exit(9): a worker that hit an internal error
+    Signal,  // raise(SIGKILL): a worker killed mid-campaign
+  };
+  WorkerDeath worker_death = WorkerDeath::Clean;
+
   // Controller wave retries before giving up (stale claims are cleared
   // and missing shards re-dispatched each wave).
   int max_attempts = 8;
@@ -106,6 +115,14 @@ struct ServiceResult {
   std::uint64_t steals = 0;           // shards completed by a
                                       // non-preferred worker
   std::uint64_t corrupt_discarded = 0;
+  // Worker-process exit accounting, summed over every wave: children
+  // that exited non-zero and children killed by a signal.  Non-zero
+  // values mean waves lost workers mid-shard (their shards were
+  // re-claimed later); the campaign can still converge, but the caller
+  // can see the attrition instead of it vanishing into a discarded
+  // waitpid status.
+  std::uint64_t workers_failed = 0;
+  std::uint64_t workers_signaled = 0;
   int attempts = 0;
   std::uint64_t bundles_built = 0;
   std::uint64_t bundles_adopted = 0;

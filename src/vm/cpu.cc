@@ -254,6 +254,7 @@ bool Cpu::write_v(std::uint32_t vaddr, std::uint32_t size,
         (size == 1 || (vaddr & kPageMask) <= kPageSize - 4)) {
       ++dtlb_hits_;
       const std::uint32_t paddr = e.frame | (vaddr & kPageMask);
+      note_write(paddr, size);
       if (size == 1) {
         memory_.write8(paddr, static_cast<std::uint8_t>(value));
       } else {
@@ -290,10 +291,12 @@ bool Cpu::write_v(std::uint32_t vaddr, std::uint32_t size,
   }
 
   if (size == 1) {
+    note_write(paddr, 1);
     memory_.write8(paddr, static_cast<std::uint8_t>(value));
     return true;
   }
   if ((vaddr & kPageMask) <= kPageSize - 4) {
+    note_write(paddr, 4);
     memory_.write32(paddr, value);
     return true;
   }
@@ -303,6 +306,7 @@ bool Cpu::write_v(std::uint32_t vaddr, std::uint32_t size,
   // per-byte version bumps) the old per-byte fallback produced.
   const std::uint32_t first = kPageSize - (vaddr & kPageMask);  // 1..3
   const std::uint32_t vaddr2 = vaddr + first;
+  note_write(paddr, first);
   for (std::uint32_t i = 0; i < first; ++i) {
     memory_.write8(paddr + i, static_cast<std::uint8_t>(value >> (8 * i)));
   }
@@ -321,6 +325,7 @@ bool Cpu::write_v(std::uint32_t vaddr, std::uint32_t size,
                    kPfErrPresent | kPfErrWrite | (cpl_ == 3 ? kPfErrUser : 0),
                    vaddr2);
   }
+  note_write(paddr2, 4 - first);
   for (std::uint32_t i = first; i < 4; ++i) {
     memory_.write8(paddr2 + (i - first),
                    static_cast<std::uint8_t>(value >> (8 * i)));

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -185,6 +186,16 @@ class Cpu {
   // architectural state, cycle count, or execution path depends on the
   // sink — tracing on and off are bit-identical.
   void set_trace_sink(kfi::trace::TraceBuffer* sink) { trace_sink_ = sink; }
+
+  // Attaches a kernel-store footprint sink (nullptr = off, the
+  // default): every physical byte address a cpl-0 store commits is
+  // inserted.  Purely observational — the golden-cache capture run
+  // (already a stepping run: coverage tracing disables the block
+  // engine) records the written-data footprint campaign E draws its
+  // fault addresses from.
+  void set_write_trace(std::unordered_set<std::uint32_t>* sink) {
+    write_trace_ = sink;
+  }
 
   // Whether the CPU is permanently stopped (double fault escalated).
   bool dead() const { return dead_; }
@@ -486,6 +497,13 @@ class Cpu {
   TrapRecord last_trap_;
 
   kfi::trace::TraceBuffer* trace_sink_ = nullptr;
+
+  // Kernel-store footprint capture (campaign E's golden-side input).
+  std::unordered_set<std::uint32_t>* write_trace_ = nullptr;
+  void note_write(std::uint32_t paddr, std::uint32_t size) {
+    if (write_trace_ == nullptr || cpl_ != 0) return;
+    for (std::uint32_t i = 0; i < size; ++i) write_trace_->insert(paddr + i);
+  }
 };
 
 }  // namespace kfi::vm

@@ -1,0 +1,139 @@
+// Seed-driven fuzz battery over the fault-model target generators
+// (campaigns D/E/F).  For every seed the generated spec population
+// must satisfy the structural contract of its shape — model tag,
+// register/bit ranges, modeled EFLAGS bits, errno range, trigger
+// placement — and re-derive bit-identically from the same seed (the
+// sharded service re-generates targets inside every worker, so any
+// impurity here silently splits a campaign across processes).
+//
+// Failing seeds are appended to fault_model_fuzz_failures.txt in the
+// working directory, one "<shape> <seed>" per line, so a red CI run
+// reproduces offline (the CI job uploads the file as an artifact).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "check/expectations.h"
+#include "inject/campaign.h"
+#include "inject/targets.h"
+#include "isa/isa.h"
+#include "profile/profile.h"
+
+namespace kfi::inject {
+namespace {
+
+const kernel::KernelImage& image() { return kernel::built_kernel(); }
+
+constexpr int kSeeds = 64;
+
+// One structural check per spec; returns a non-empty message on the
+// first violated invariant.
+std::string check_spec(Campaign campaign, const InjectionSpec& spec) {
+  if (spec.campaign != campaign) return "campaign tag mismatch";
+  switch (campaign) {
+    case Campaign::RegisterFile: {
+      if (spec.model != FaultModel::RegisterBit) return "model != RegisterBit";
+      if (spec.target_reg > kEflagsTarget) return "target_reg out of range";
+      if (spec.bit_index >= 32) return "bit_index out of range";
+      if (spec.target_reg == kEflagsTarget) {
+        const std::uint32_t word = 1u << spec.bit_index;
+        const std::uint32_t modeled =
+            isa::Flags::from_word(word).to_word() & ~(1u << 1);
+        if (modeled != word) return "EFLAGS flip on an unmodeled bit";
+      }
+      return {};
+    }
+    case Campaign::KernelData:
+      if (spec.model != FaultModel::DataBit) return "model != DataBit";
+      if (spec.bit_index >= 8) return "bit_index out of range";
+      return {};
+    case Campaign::SyscallErrno:
+      if (spec.model != FaultModel::SyscallErrno) {
+        return "model != SyscallErrno";
+      }
+      if (spec.instr_addr != syscall_return_site(image())) {
+        return "trigger is not the syscall return site";
+      }
+      if (spec.errno_value == 0 || spec.errno_value >= 4096) {
+        return "errno_value out of range";
+      }
+      return {};
+    default:
+      return "unexpected campaign";
+  }
+}
+
+std::string compare_specs(const std::vector<InjectionSpec>& a,
+                          const std::vector<InjectionSpec>& b) {
+  if (a.size() != b.size()) return "re-derived population size differs";
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].instr_addr != b[i].instr_addr ||
+        a[i].target_reg != b[i].target_reg ||
+        a[i].bit_index != b[i].bit_index ||
+        a[i].data_index != b[i].data_index ||
+        a[i].errno_value != b[i].errno_value ||
+        a[i].workload != b[i].workload) {
+      return "re-derived spec differs at index " + std::to_string(i);
+    }
+  }
+  return {};
+}
+
+void fuzz_campaign(Campaign campaign, const char* shape) {
+  std::vector<std::uint64_t> failures;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    CampaignConfig config = check::smoke_config(campaign);
+    config.seed = seed;
+    const auto targets =
+        campaign_targets(profile::default_profile(), config, nullptr);
+    std::string err;
+    if (targets.empty()) {
+      err = "empty target population";
+    } else {
+      const auto again =
+          campaign_targets(profile::default_profile(), config, nullptr);
+      err = compare_specs(targets, again);
+      for (const InjectionSpec& spec : targets) {
+        if (!err.empty()) break;
+        err = check_spec(campaign, spec);
+      }
+    }
+    if (!err.empty()) {
+      failures.push_back(seed);
+      if (failures.size() <= 10) {
+        ADD_FAILURE() << shape << " seed " << seed << ": " << err;
+      }
+    }
+  }
+
+  if (!failures.empty()) {
+    // Reproduction list for the CI failure artifact.
+    if (std::FILE* f = std::fopen("fault_model_fuzz_failures.txt", "a")) {
+      for (const std::uint64_t seed : failures) {
+        std::fprintf(f, "%s %llu\n", shape,
+                     static_cast<unsigned long long>(seed));
+      }
+      std::fclose(f);
+    }
+    ADD_FAILURE() << failures.size() << " of " << kSeeds << " " << shape
+                  << " seeds violated the spec contract "
+                  << "(list in fault_model_fuzz_failures.txt)";
+  }
+}
+
+TEST(FaultModelFuzz, RegisterSpecsHoldAcrossSeeds) {
+  fuzz_campaign(Campaign::RegisterFile, "register-bit");
+}
+
+TEST(FaultModelFuzz, DataSpecsHoldAcrossSeeds) {
+  fuzz_campaign(Campaign::KernelData, "data-bit");
+}
+
+TEST(FaultModelFuzz, ErrnoSpecsHoldAcrossSeeds) {
+  fuzz_campaign(Campaign::SyscallErrno, "syscall-errno");
+}
+
+}  // namespace
+}  // namespace kfi::inject

@@ -206,6 +206,103 @@ TEST(Service, WorkersAdoptBundlesInsteadOfRebuilding) {
   EXPECT_EQ(report.shards_completed, 0u);  // campaign already complete
 }
 
+// A one-slot campaign-D (register-file fault model) config over one
+// function: the fault-model service contracts on a tier-1 budget.
+ServiceConfig register_config(const std::string& dir) {
+  ServiceConfig config;
+  inject::CampaignConfig d =
+      check::smoke_config(inject::Campaign::RegisterFile);
+  d.functions = {"pipe_read"};
+  config.campaigns = {d};
+  config.dir = dir;
+  config.bundle_dir = temp_path("kfi_service_test_bundles");
+  config.workers = 1;
+  return config;
+}
+
+const inject::CampaignRun& register_reference_run() {
+  static const inject::CampaignRun run = [] {
+    inject::Injector injector(inject::InjectorOptions{});
+    inject::CampaignConfig d =
+        check::smoke_config(inject::Campaign::RegisterFile);
+    d.functions = {"pipe_read"};
+    d.threads = 1;
+    return inject::run_campaign(injector, profile::default_profile(), d);
+  }();
+  return run;
+}
+
+TEST(Service, RegisterCampaignKilledAndResumedStaysBitIdentical) {
+  const std::string dir = fresh_dir("kfi_service_test_d_resume");
+  ServiceConfig config = register_config(dir);
+
+  // Kill the campaign after one shard, then resume: the fault-model
+  // campaign must converge on the in-process digest like A/C do.
+  ServiceConfig killed = config;
+  killed.max_shards_per_worker = 1;
+  killed.max_attempts = 1;
+  const ServiceResult partial = run_service(killed);
+  EXPECT_FALSE(partial.ok);
+
+  const ServiceResult resumed = run_service(config, /*materialize=*/true);
+  ASSERT_TRUE(resumed.ok) << resumed.error;
+  EXPECT_EQ(resumed.shards_resumed, 1u);
+  std::vector<inject::CampaignRun> reference;
+  reference.push_back(register_reference_run());
+  EXPECT_EQ(resumed.digest, analysis::results_digest(reference));
+  ASSERT_EQ(resumed.runs.size(), 1u);
+  const check::RunComparison cmp =
+      check::compare_runs(register_reference_run(), resumed.runs[0]);
+  EXPECT_TRUE(cmp.identical())
+      << cmp.mismatches.size() << " mismatches of " << cmp.compared;
+}
+
+TEST(Service, MixedFaultModelResumeIsRejected) {
+  // A directory holding a completed campaign-D manifest must not leak
+  // shards into a campaign-A run over the same functions: the config
+  // echo (campaign + fault-model byte) differs, so the service wipes
+  // and restarts instead of resuming across models.
+  const std::string dir = fresh_dir("kfi_service_test_mixed_model");
+  ServiceConfig register_service = register_config(dir);
+  const ServiceResult first = run_service(register_service);
+  ASSERT_TRUE(first.ok) << first.error;
+
+  ServiceConfig instr_service = register_service;
+  instr_service.campaigns[0] =
+      check::smoke_config(inject::Campaign::RandomNonBranch);
+  instr_service.campaigns[0].functions = {"pipe_read"};
+  const ServiceResult second = run_service(instr_service);
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_EQ(second.shards_resumed, 0u);
+  EXPECT_EQ(second.shards_executed, second.shard_count);
+  EXPECT_NE(second.digest, first.digest);
+}
+
+TEST(Service, FailingWorkersAreReapedAndCounted) {
+  // Every worker exits 9 after completing one shard; the controller
+  // must reap each one, record the non-zero exits, keep re-dispatching
+  // waves, and still converge on the bit-identical digest.
+  ServiceConfig config = base_config(fresh_dir("kfi_service_test_failing"));
+  config.max_shards_per_worker = 1;
+  config.worker_death = ServiceConfig::WorkerDeath::Fail;
+  const ServiceResult result = run_service(config);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.digest, reference_digest());
+  EXPECT_GE(result.workers_failed, result.shard_count);
+  EXPECT_EQ(result.workers_signaled, 0u);
+}
+
+TEST(Service, SignaledWorkersAreReapedAndCounted) {
+  ServiceConfig config = base_config(fresh_dir("kfi_service_test_signaled"));
+  config.max_shards_per_worker = 1;
+  config.worker_death = ServiceConfig::WorkerDeath::Signal;
+  const ServiceResult result = run_service(config);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.digest, reference_digest());
+  EXPECT_GE(result.workers_signaled, result.shard_count);
+  EXPECT_EQ(result.workers_failed, 0u);
+}
+
 TEST(Service, DifferentConfigInvalidatesTheManifest) {
   const std::string dir = fresh_dir("kfi_service_test_invalidate");
   ServiceConfig config = base_config(dir);
